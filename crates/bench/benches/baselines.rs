@@ -1,0 +1,41 @@
+//! Wall-time of the baseline estimators vs. TV-L1 (context for the accuracy
+//! ladder in `repro -- accuracy`).
+
+use chambolle_core::{
+    block_matching_flow, BlockMatchingParams, ChambolleParams, HornSchunck, HornSchunckParams,
+    TvL1Params, TvL1Solver,
+};
+use chambolle_imaging::{render_pair, Motion, NoiseTexture};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_methods");
+    group.sample_size(10);
+    let pair = render_pair(
+        &NoiseTexture::new(8),
+        96,
+        72,
+        Motion::Translation { du: 2.0, dv: 1.0 },
+    );
+
+    let tvl1 = TvL1Solver::sequential(
+        TvL1Params::new(38.0, ChambolleParams::with_iterations(20), 3, 3, 4).expect("params"),
+    );
+    group.bench_function("tvl1_96x72", |b| {
+        b.iter(|| tvl1.flow(&pair.i0, &pair.i1).expect("valid frames"))
+    });
+
+    let hs = HornSchunck::new(HornSchunckParams::new(0.05, 60, 3, 4).expect("params"));
+    group.bench_function("horn_schunck_96x72", |b| {
+        b.iter(|| hs.flow(&pair.i0, &pair.i1).expect("valid frames"))
+    });
+
+    let bm = BlockMatchingParams::default();
+    group.bench_function("block_matching_96x72", |b| {
+        b.iter(|| block_matching_flow(&pair.i0, &pair.i1, &bm).expect("valid frames"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

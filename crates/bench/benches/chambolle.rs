@@ -1,0 +1,50 @@
+//! Wall-time of the Chambolle inner solver: sequential vs tiled-parallel.
+//!
+//! The counterpart to Table II's software baselines — the shapes here are
+//! kept small so a full `cargo bench` stays fast; the `repro` binary measures
+//! the Table II sizes directly.
+
+use chambolle_bench::workloads::timing_frame;
+use chambolle_core::{
+    chambolle_iterate, chambolle_iterate_tiled, ChambolleParams, DualField, TileConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_chambolle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chambolle");
+    group.sample_size(10);
+    let params = ChambolleParams::with_iterations(10);
+
+    for &(w, h) in &[(128usize, 128usize), (256, 256)] {
+        let v = timing_frame(w, h);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("{w}x{h}x10")),
+            &v,
+            |b, v| {
+                b.iter(|| {
+                    let mut p = DualField::zeros(w, h);
+                    chambolle_iterate(&mut p, v, &params, 10);
+                    p
+                })
+            },
+        );
+        for threads in [1usize, 2] {
+            let cfg = TileConfig::new(92, 88, 2, threads).expect("valid config");
+            group.bench_with_input(
+                BenchmarkId::new(format!("tiled-{threads}t"), format!("{w}x{h}x10")),
+                &v,
+                |b, v| {
+                    b.iter(|| {
+                        let mut p = DualField::zeros(w, h);
+                        chambolle_iterate_tiled(&mut p, v, &params, 10, &cfg);
+                        p
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chambolle);
+criterion_main!(benches);

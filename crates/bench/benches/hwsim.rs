@@ -1,0 +1,30 @@
+//! Simulation speed of the cycle-level array model (host seconds per
+//! simulated window) plus the analytic cycle model — how long Table II rows
+//! take to *evaluate*, not hardware performance itself.
+
+use chambolle_bench::workloads::timing_frame;
+use chambolle_hwsim::{
+    quantize_input, AccelConfig, ArrayConfig, HwParams, PeArray, ThroughputModel,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_hwsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hwsim");
+    group.sample_size(10);
+    let words = quantize_input(&timing_frame(92, 88));
+    let params = HwParams::standard(1);
+    group.bench_function("window_92x88_1iter", |b| {
+        b.iter(|| {
+            let mut array = PeArray::new(ArrayConfig::paper());
+            array.process_window(&words, &params)
+        })
+    });
+    let model = ThroughputModel::new(AccelConfig::default());
+    group.bench_function("analytic_frame_model_1024x768", |b| {
+        b.iter(|| model.frame_cycles(1024, 768, 200))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hwsim);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Throughput of the 256-entry LUT square root against `f64::sqrt` — the
+//! Section V-C trade (the LUT exists because exact square roots are the
+//! PE-V's critical path).
+
+use chambolle_fixed::SqrtLut;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_sqrt(c: &mut Criterion) {
+    let lut = SqrtLut::new();
+    let inputs: Vec<u32> = (0..4096)
+        .map(|i| (i * 2654435761u64 as usize) as u32 & 0xFF_FFFF)
+        .collect();
+
+    let mut group = c.benchmark_group("sqrt");
+    group.bench_function("lut_q24_8", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc = acc.wrapping_add(lut.sqrt_q24_8(x) as u64);
+            }
+            acc
+        })
+    });
+    group.bench_function("exact_f64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &x in &inputs {
+                acc = acc.wrapping_add(SqrtLut::sqrt_exact_q24_8(x) as u64);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sqrt);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation of the sliding-window design choices: merge factor K, tile size
+//! and thread count (DESIGN.md "design choices to ablate").
+
+use chambolle_bench::workloads::timing_frame;
+use chambolle_core::{chambolle_iterate_tiled, ChambolleParams, DualField, TileConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiling");
+    group.sample_size(10);
+    let (w, h) = (256usize, 192usize);
+    let v = timing_frame(w, h);
+    let params = ChambolleParams::with_iterations(8);
+
+    for k in [1u32, 2, 4] {
+        let cfg = TileConfig::new(92, 88, k, 2).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("merge_factor", k), &v, |b, v| {
+            b.iter(|| {
+                let mut p = DualField::zeros(w, h);
+                chambolle_iterate_tiled(&mut p, v, &params, 8, &cfg);
+                p
+            })
+        });
+    }
+    for (tw, th) in [(46usize, 44usize), (92, 88), (184, 176)] {
+        let cfg = TileConfig::new(tw, th, 2, 2).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::new("tile_size", format!("{tw}x{th}")),
+            &v,
+            |b, v| {
+                b.iter(|| {
+                    let mut p = DualField::zeros(w, h);
+                    chambolle_iterate_tiled(&mut p, v, &params, 8, &cfg);
+                    p
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiling);
+criterion_main!(benches);

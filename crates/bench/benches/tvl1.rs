@@ -1,0 +1,29 @@
+//! Wall-time of a full TV-L1 optical-flow estimation (the application the
+//! paper profiles in its introduction).
+
+use chambolle_core::{ChambolleParams, TvL1Params, TvL1Solver};
+use chambolle_imaging::{render_pair, Motion, NoiseTexture};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tvl1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tvl1");
+    group.sample_size(10);
+    let scene = NoiseTexture::new(3);
+    for &(w, h) in &[(64usize, 48usize), (96, 72)] {
+        let pair = render_pair(&scene, w, h, Motion::Translation { du: 1.5, dv: 0.5 });
+        let params = TvL1Params::new(38.0, ChambolleParams::with_iterations(20), 2, 3, 3)
+            .expect("valid params");
+        group.bench_with_input(
+            BenchmarkId::new("flow", format!("{w}x{h}")),
+            &pair,
+            |b, p| {
+                let solver = TvL1Solver::sequential(params);
+                b.iter(|| solver.flow(&p.i0, &p.i1).expect("valid frames"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tvl1);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! A small synthetic flow-accuracy suite (the paper evaluates only speed;
+//! this adds the accuracy dimension with analytic ground truth).
+
+use chambolle_imaging::{render_pair, FramePair, Motion, NoiseTexture};
+
+/// One named test sequence with ground-truth flow.
+#[derive(Debug, Clone)]
+pub struct FlowCase {
+    /// Short case name for tables.
+    pub name: &'static str,
+    /// The rendered frame pair and its analytic ground truth.
+    pub pair: FramePair,
+}
+
+/// The standard suite at the given frame size: translations of increasing
+/// magnitude, a diagonal move, a rotation, a zoom, and a combined
+/// similarity — each on an independently seeded texture.
+pub fn standard_cases(width: usize, height: usize) -> Vec<FlowCase> {
+    let cx = width as f32 / 2.0;
+    let cy = height as f32 / 2.0;
+    let cases: [(&'static str, u64, Motion); 6] = [
+        (
+            "translate-small",
+            11,
+            Motion::Translation { du: 0.6, dv: -0.3 },
+        ),
+        (
+            "translate-medium",
+            12,
+            Motion::Translation { du: 2.5, dv: 1.0 },
+        ),
+        (
+            "translate-large",
+            13,
+            Motion::Translation { du: 5.0, dv: -2.0 },
+        ),
+        (
+            "rotate",
+            14,
+            Motion::Similarity {
+                cx,
+                cy,
+                angle: 0.05,
+                scale: 1.0,
+            },
+        ),
+        (
+            "zoom",
+            15,
+            Motion::Similarity {
+                cx,
+                cy,
+                angle: 0.0,
+                scale: 1.04,
+            },
+        ),
+        (
+            "rotate-zoom",
+            16,
+            Motion::Similarity {
+                cx,
+                cy,
+                angle: 0.03,
+                scale: 1.02,
+            },
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(name, seed, motion)| FlowCase {
+            name,
+            pair: render_pair(&NoiseTexture::new(seed), width, height, motion),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chambolle_imaging::{average_endpoint_error, FlowField};
+
+    #[test]
+    fn suite_has_six_distinct_cases() {
+        let cases = standard_cases(64, 48);
+        assert_eq!(cases.len(), 6);
+        let names: std::collections::HashSet<_> = cases.iter().map(|c| c.name).collect();
+        assert_eq!(names.len(), 6);
+        for c in &cases {
+            assert_eq!(c.pair.i0.dims(), (64, 48));
+            // Every case has real motion to recover.
+            let zero = FlowField::zeros(64, 48);
+            assert!(
+                average_endpoint_error(&zero, &c.pair.truth) > 0.2,
+                "{} has negligible motion",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = standard_cases(32, 32);
+        let b = standard_cases(32, 32);
+        for (ca, cb) in a.iter().zip(&b) {
+            assert_eq!(ca.pair.i0, cb.pair.i0);
+            assert_eq!(ca.pair.truth, cb.pair.truth);
+        }
+    }
+
+    #[test]
+    fn accuracy_ladder_holds_on_translations() {
+        // TV-L1 beats Horn-Schunck beats block matching — the qualitative
+        // result of `repro -- accuracy`, pinned as a regression test on the
+        // medium-translation case.
+        use chambolle_core::{
+            block_matching_flow, BlockMatchingParams, ChambolleParams, HornSchunck,
+            HornSchunckParams, TvL1Params, TvL1Solver,
+        };
+        let case = standard_cases(96, 72)
+            .into_iter()
+            .find(|c| c.name == "translate-medium")
+            .expect("suite contains the case");
+        let tvl1_params =
+            TvL1Params::new(38.0, ChambolleParams::with_iterations(25), 3, 4, 4).expect("params");
+        let (tv, _) = TvL1Solver::sequential(tvl1_params)
+            .flow(&case.pair.i0, &case.pair.i1)
+            .expect("valid frames");
+        let hs = HornSchunck::new(HornSchunckParams::default())
+            .flow(&case.pair.i0, &case.pair.i1)
+            .expect("valid frames");
+        let bm = block_matching_flow(
+            &case.pair.i0,
+            &case.pair.i1,
+            &BlockMatchingParams::new(8, 10).expect("params"),
+        )
+        .expect("valid frames");
+        let e_tv = average_endpoint_error(&tv, &case.pair.truth);
+        let e_hs = average_endpoint_error(&hs, &case.pair.truth);
+        let e_bm = average_endpoint_error(&bm, &case.pair.truth);
+        assert!(
+            e_tv < e_hs,
+            "TV-L1 ({e_tv}) should beat Horn-Schunck ({e_hs})"
+        );
+        assert!(
+            e_hs < e_bm,
+            "Horn-Schunck ({e_hs}) should beat block matching ({e_bm})"
+        );
+        assert!(e_tv < 0.1, "TV-L1 should be deeply sub-pixel, got {e_tv}");
+    }
+}

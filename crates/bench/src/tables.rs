@@ -1,0 +1,132 @@
+//! Plain-text table rendering for the reproduction harness.
+
+/// A simple left-padded text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_bench::tables::TextTable;
+///
+/// let mut t = TextTable::new(&["name", "value"]);
+/// t.row(&["cycles", "1234"]);
+/// let s = t.render();
+/// assert!(s.contains("cycles"));
+/// assert!(s.contains("1234"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are dropped.
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, cell) in r.iter().take(cols).enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}"));
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an fps value the way Table II prints them (one decimal, or a
+/// range for interval sources).
+pub fn fps_cell(lo: f64, hi: f64) -> String {
+    if (lo - hi).abs() < 1e-9 {
+        format!("{lo:.1}")
+    } else {
+        format!("{lo:.0}-{hi:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(&["xxxxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a      "));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "long-header" starts at the same offset everywhere.
+        let col = lines[0].find("long-header").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn missing_and_extra_cells() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.contains('1'));
+        assert!(!s.contains('3'), "extra cells are dropped");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fps_cells() {
+        assert_eq!(fps_cell(5.0, 5.0), "5.0");
+        assert_eq!(fps_cell(1.0, 2.0), "1-2");
+    }
+}

@@ -1,0 +1,235 @@
+//! Full-search block matching — the classical motion-estimation baseline
+//! used by video codecs (the paper's motion-estimation/compensation
+//! application context, refs \[2\]\[3\]).
+//!
+//! Block matching yields integer, blockwise-constant motion with no
+//! regularization across blocks: fast and simple, but coarse next to the
+//! dense sub-pixel fields of Horn–Schunck and TV-L1. It is included as the
+//! third rung of the baseline ladder in the accuracy experiment.
+
+use chambolle_imaging::{FlowField, Image};
+
+use crate::params::InvalidParamsError;
+use crate::tvl1::FlowError;
+
+/// Block-matching parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMatchingParams {
+    /// Block edge length in pixels.
+    pub block_size: usize,
+    /// Maximum displacement searched in each direction (full search over
+    /// `(2r+1)²` candidates).
+    pub search_radius: usize,
+}
+
+impl BlockMatchingParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] if `block_size == 0`.
+    pub fn new(block_size: usize, search_radius: usize) -> Result<Self, InvalidParamsError> {
+        if block_size == 0 {
+            return Err(InvalidParamsError::new(
+                "block_size must be positive".into(),
+            ));
+        }
+        Ok(BlockMatchingParams {
+            block_size,
+            search_radius,
+        })
+    }
+}
+
+impl Default for BlockMatchingParams {
+    /// 8×8 blocks, ±7 px search — the classic codec configuration.
+    fn default() -> Self {
+        BlockMatchingParams {
+            block_size: 8,
+            search_radius: 7,
+        }
+    }
+}
+
+/// Estimates blockwise motion with exhaustive SAD search.
+///
+/// The output uses the same convention as the other estimators
+/// (`i1(x + u) ≈ i0(x)`), expanded to a dense per-pixel field for metric
+/// comparison: every pixel of a block carries the block's vector.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the frames are empty or differ in size.
+pub fn block_matching_flow(
+    i0: &Image,
+    i1: &Image,
+    params: &BlockMatchingParams,
+) -> Result<FlowField, FlowError> {
+    if i0.dims() != i1.dims() {
+        return Err(FlowError::DimensionMismatch {
+            first: i0.dims(),
+            second: i1.dims(),
+        });
+    }
+    if i0.is_empty() {
+        return Err(FlowError::EmptyInput);
+    }
+    let (w, h) = i0.dims();
+    let b = params.block_size;
+    let r = params.search_radius as i64;
+    let mut flow = FlowField::zeros(w, h);
+
+    let mut by = 0;
+    while by < h {
+        let bh = b.min(h - by);
+        let mut bx = 0;
+        while bx < w {
+            let bw = b.min(w - bx);
+            let (du, dv) = best_match(i0, i1, bx, by, bw, bh, r);
+            for y in by..by + bh {
+                for x in bx..bx + bw {
+                    flow.u1[(x, y)] = du as f32;
+                    flow.u2[(x, y)] = dv as f32;
+                }
+            }
+            bx += bw;
+        }
+        by += bh;
+    }
+    Ok(flow)
+}
+
+/// Exhaustive SAD search for one block; candidates whose target block leaves
+/// the frame are skipped (the zero vector is always valid).
+#[allow(clippy::too_many_arguments)]
+fn best_match(
+    i0: &Image,
+    i1: &Image,
+    bx: usize,
+    by: usize,
+    bw: usize,
+    bh: usize,
+    radius: i64,
+) -> (i64, i64) {
+    let (w, h) = i0.dims();
+    let mut best = (0i64, 0i64);
+    let mut best_sad = sad(i0, i1, bx, by, bw, bh, 0, 0);
+    for dv in -radius..=radius {
+        for du in -radius..=radius {
+            if (du, dv) == (0, 0) {
+                continue;
+            }
+            let x0 = bx as i64 + du;
+            let y0 = by as i64 + dv;
+            if x0 < 0 || y0 < 0 || x0 + bw as i64 > w as i64 || y0 + bh as i64 > h as i64 {
+                continue;
+            }
+            let s = sad(i0, i1, bx, by, bw, bh, du, dv);
+            if s < best_sad {
+                best_sad = s;
+                best = (du, dv);
+            }
+        }
+    }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sad(
+    i0: &Image,
+    i1: &Image,
+    bx: usize,
+    by: usize,
+    bw: usize,
+    bh: usize,
+    du: i64,
+    dv: i64,
+) -> f32 {
+    let mut acc = 0.0f32;
+    for y in 0..bh {
+        for x in 0..bw {
+            let a = i0[(bx + x, by + y)];
+            let b = i1[(
+                (bx as i64 + x as i64 + du) as usize,
+                (by as i64 + y as i64 + dv) as usize,
+            )];
+            acc += (a - b).abs();
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chambolle_imaging::{average_endpoint_error, render_pair, Motion, NoiseTexture};
+
+    #[test]
+    fn validation_and_defaults() {
+        assert!(BlockMatchingParams::new(0, 4).is_err());
+        let p = BlockMatchingParams::default();
+        assert_eq!(p.block_size, 8);
+        assert_eq!(p.search_radius, 7);
+    }
+
+    #[test]
+    fn recovers_integer_translation_exactly() {
+        let scene = NoiseTexture::new(51);
+        let pair = render_pair(&scene, 64, 48, Motion::Translation { du: 3.0, dv: -2.0 });
+        let flow =
+            block_matching_flow(&pair.i0, &pair.i1, &BlockMatchingParams::default()).unwrap();
+        // Interior blocks must hit the exact integer vector.
+        for y in (8..40).step_by(8) {
+            for x in (8..56).step_by(8) {
+                assert_eq!(flow.at(x, y), (3.0, -2.0), "block at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn subpixel_motion_rounds_to_integers() {
+        let scene = NoiseTexture::new(52);
+        let motion = Motion::Translation { du: 1.4, dv: 0.6 };
+        let pair = render_pair(&scene, 64, 48, motion);
+        let flow =
+            block_matching_flow(&pair.i0, &pair.i1, &BlockMatchingParams::default()).unwrap();
+        let aee = average_endpoint_error(&flow, &pair.truth);
+        // Integer grid: the error floor is the rounding distance (~0.57 px
+        // for this vector), far above TV-L1's sub-0.1 px.
+        assert!(aee < 0.9, "AEE {aee}");
+        assert!(aee > 0.3, "block matching cannot be sub-pixel, AEE {aee}");
+    }
+
+    #[test]
+    fn motion_beyond_radius_is_missed() {
+        let scene = NoiseTexture::new(53);
+        let pair = render_pair(&scene, 64, 48, Motion::Translation { du: 11.0, dv: 0.0 });
+        let small = BlockMatchingParams::new(8, 4).unwrap();
+        let flow = block_matching_flow(&pair.i0, &pair.i1, &small).unwrap();
+        let aee = average_endpoint_error(&flow, &pair.truth);
+        assert!(
+            aee > 5.0,
+            "an 11px motion must escape a 4px search, AEE {aee}"
+        );
+    }
+
+    #[test]
+    fn non_multiple_dimensions_are_covered() {
+        let scene = NoiseTexture::new(54);
+        let pair = render_pair(&scene, 61, 45, Motion::Translation { du: 2.0, dv: 1.0 });
+        let flow =
+            block_matching_flow(&pair.i0, &pair.i1, &BlockMatchingParams::default()).unwrap();
+        assert_eq!(flow.dims(), (61, 45));
+        // Every pixel got assigned (blockwise-constant, so check a ragged
+        // edge pixel has a finite vector).
+        let (u, v) = flow.at(60, 44);
+        assert!(u.is_finite() && v.is_finite());
+    }
+
+    #[test]
+    fn rejects_mismatched_frames() {
+        let a = chambolle_imaging::Grid::new(16, 16, 0.0f32);
+        let b = chambolle_imaging::Grid::new(17, 16, 0.0f32);
+        assert!(block_matching_flow(&a, &b, &BlockMatchingParams::default()).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! Executable loop decomposition (Section III-A): computing the elements of
+//! an output group at iteration `n + depth` *directly* from the values
+//! available at iteration `n`, without storing intermediate frames — the
+//! software analogue of a cascaded-PE pipeline evaluating Fig. 1.c's merged
+//! formula.
+//!
+//! The evaluator memoizes intermediate `p` and `Term` values per level, so
+//! the number of evaluations it performs is exactly the dependency-cone
+//! arithmetic of [`crate::dependency`] (tested below) — Figure 1's counts
+//! are not just analysis here, they are the measured cost of this function.
+//! The arithmetic per value is shared with the sequential solver's formulas,
+//! so the result is bit-identical to running `depth` plain iterations.
+
+use std::collections::HashMap;
+
+use chambolle_imaging::Grid;
+
+use crate::params::ChambolleParams;
+use crate::real::Real;
+use crate::solver::DualField;
+
+/// Evaluation counters of one decomposed group computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecomposedStats {
+    /// `p`-update evaluations (PE-V work), across all intermediate levels.
+    pub p_evals: usize,
+    /// `Term` evaluations (PE-T work), across all intermediate levels.
+    pub term_evals: usize,
+}
+
+/// A rectangular output group (absolute frame coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupRect {
+    /// Left column.
+    pub x0: usize,
+    /// Top row.
+    pub y0: usize,
+    /// Width.
+    pub w: usize,
+    /// Height.
+    pub h: usize,
+}
+
+/// Computes the dual values of `group` at iteration `n + depth` directly
+/// from the global state `p` at iteration `n`, and returns them as a pair of
+/// `group`-sized grids together with the evaluation counts.
+///
+/// # Panics
+///
+/// Panics if the group is empty, `depth == 0`, or the group exceeds the
+/// frame.
+pub fn compute_group_decomposed<R: Real>(
+    p: &DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    depth: u32,
+    group: GroupRect,
+) -> (Grid<R>, Grid<R>, DecomposedStats) {
+    assert!(depth > 0, "depth must be at least 1");
+    assert!(group.w > 0 && group.h > 0, "group must be non-empty");
+    let (fw, fh) = v.dims();
+    assert!(
+        group.x0 + group.w <= fw && group.y0 + group.h <= fh,
+        "group exceeds the frame"
+    );
+    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
+
+    let mut eval = Evaluator {
+        p,
+        v,
+        w: fw,
+        h: fh,
+        inv_theta: R::ONE / R::from_f32(params.theta),
+        step_ratio: R::from_f32(params.step_ratio()),
+        p_memo: HashMap::new(),
+        term_memo: HashMap::new(),
+        stats: DecomposedStats::default(),
+    };
+    let mut px = Grid::new(group.w, group.h, R::ZERO);
+    let mut py = Grid::new(group.w, group.h, R::ZERO);
+    for dy in 0..group.h {
+        for dx in 0..group.w {
+            let (a, b) = eval.p_at(depth, group.x0 + dx, group.y0 + dy);
+            px[(dx, dy)] = a;
+            py[(dx, dy)] = b;
+        }
+    }
+    (px, py, eval.stats)
+}
+
+struct Evaluator<'a, R: Real> {
+    p: &'a DualField<R>,
+    v: &'a Grid<R>,
+    w: usize,
+    h: usize,
+    inv_theta: R,
+    step_ratio: R,
+    p_memo: HashMap<(u32, usize, usize), (R, R)>,
+    term_memo: HashMap<(u32, usize, usize), R>,
+    stats: DecomposedStats,
+}
+
+impl<R: Real> Evaluator<'_, R> {
+    /// `p` at iteration `n + level`, cell `(x, y)`.
+    fn p_at(&mut self, level: u32, x: usize, y: usize) -> (R, R) {
+        if level == 0 {
+            return (self.p.px[(x, y)], self.p.py[(x, y)]);
+        }
+        if let Some(&cached) = self.p_memo.get(&(level, x, y)) {
+            return cached;
+        }
+        // The PE-V formula, verbatim from the sequential solver.
+        let t_c = self.term_at(level - 1, x, y);
+        let t1 = if x + 1 < self.w {
+            self.term_at(level - 1, x + 1, y) - t_c
+        } else {
+            R::ZERO
+        };
+        let t2 = if y + 1 < self.h {
+            self.term_at(level - 1, x, y + 1) - t_c
+        } else {
+            R::ZERO
+        };
+        let grad = (t1 * t1 + t2 * t2).sqrt();
+        let denom = R::ONE + self.step_ratio * grad;
+        let (px0, py0) = self.p_at(level - 1, x, y);
+        let result = (
+            (px0 + self.step_ratio * t1) / denom,
+            (py0 + self.step_ratio * t2) / denom,
+        );
+        self.stats.p_evals += 1;
+        self.p_memo.insert((level, x, y), result);
+        result
+    }
+
+    /// `Term` at iteration `n + level`, cell `(x, y)` (from `p` at the same
+    /// level — the PE-T formula with the divergence boundary rules).
+    fn term_at(&mut self, level: u32, x: usize, y: usize) -> R {
+        if let Some(&cached) = self.term_memo.get(&(level, x, y)) {
+            return cached;
+        }
+        let div_x = if self.w == 1 {
+            R::ZERO
+        } else if x == 0 {
+            self.p_at(level, 0, y).0
+        } else if x + 1 < self.w {
+            self.p_at(level, x, y).0 - self.p_at(level, x - 1, y).0
+        } else {
+            -self.p_at(level, x - 1, y).0
+        };
+        let div_y = if self.h == 1 {
+            R::ZERO
+        } else if y == 0 {
+            self.p_at(level, x, 0).1
+        } else if y + 1 < self.h {
+            self.p_at(level, x, y).1 - self.p_at(level, x, y - 1).1
+        } else {
+            -self.p_at(level, x, y - 1).1
+        };
+        let term = (div_x + div_y) - self.v[(x, y)] * self.inv_theta;
+        self.stats.term_evals += 1;
+        self.term_memo.insert((level, x, y), term);
+        term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dependency::{dependency_set, rect_group};
+    use crate::solver::chambolle_iterate;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn params() -> ChambolleParams {
+        ChambolleParams::new(0.25, 0.0625, 10).unwrap()
+    }
+
+    fn random_state(w: usize, h: usize, seed: u64) -> (DualField<f64>, Grid<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = Grid::from_fn(w, h, |_, _| rng.gen_range(0.0f64..1.0));
+        // A warmed-up dual state exercises all terms of the formula.
+        let mut p = DualField::zeros(w, h);
+        chambolle_iterate(&mut p, &v, &params(), 3);
+        (p, v)
+    }
+
+    #[test]
+    fn decomposed_equals_iterated_bit_exact() {
+        let (p, v) = random_state(20, 16, 1);
+        for depth in [1u32, 2, 3] {
+            let group = GroupRect {
+                x0: 5,
+                y0: 4,
+                w: 4,
+                h: 3,
+            };
+            let (gx, gy, _) = compute_group_decomposed(&p, &v, &params(), depth, group);
+            let mut p_iter = p.clone();
+            chambolle_iterate(&mut p_iter, &v, &params(), depth);
+            for dy in 0..group.h {
+                for dx in 0..group.w {
+                    assert_eq!(
+                        gx[(dx, dy)],
+                        p_iter.px[(group.x0 + dx, group.y0 + dy)],
+                        "px at depth {depth}"
+                    );
+                    assert_eq!(
+                        gy[(dx, dy)],
+                        p_iter.py[(group.x0 + dx, group.y0 + dy)],
+                        "py at depth {depth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_counts_match_the_dependency_cones() {
+        // Figure 1 as measured cost: the number of p-updates at intermediate
+        // level l equals the cone of the group dilated (depth - l) times.
+        let (p, v) = random_state(40, 40, 2);
+        for (gw, gh, depth) in [(1usize, 1usize, 1u32), (2, 2, 1), (1, 1, 2), (4, 4, 2)] {
+            let group = GroupRect {
+                x0: 16,
+                y0: 16,
+                w: gw,
+                h: gh,
+            };
+            let (_, _, stats) = compute_group_decomposed(&p, &v, &params(), depth, group);
+            let mut expected_p = 0usize;
+            for level in 1..=depth {
+                // p at level `level` is needed on the cone of radius
+                // (depth - level).
+                expected_p += dependency_set(&rect_group(gw, gh), depth - level).len();
+            }
+            assert_eq!(
+                stats.p_evals, expected_p,
+                "p-eval count for {gw}x{gh} at depth {depth}"
+            );
+            assert!(stats.term_evals >= stats.p_evals);
+        }
+    }
+
+    #[test]
+    fn fig_1a_costs_seven_inputs() {
+        // One element one iteration ahead reads p^n at 7 cells (Fig. 1.a):
+        // 1 p-update, term evals over the 3-cell Term stencil.
+        let (p, v) = random_state(16, 16, 3);
+        let group = GroupRect {
+            x0: 8,
+            y0: 8,
+            w: 1,
+            h: 1,
+        };
+        let (_, _, stats) = compute_group_decomposed(&p, &v, &params(), 1, group);
+        assert_eq!(stats.p_evals, 1);
+        assert_eq!(stats.term_evals, 3);
+    }
+
+    #[test]
+    fn grouping_amortizes_shared_work() {
+        // inputs/output falls with group size (Fig. 1.b): per-output term
+        // evaluations for a 2x2 group are below 4x the single-element cost.
+        let (p, v) = random_state(24, 24, 4);
+        let single = compute_group_decomposed(
+            &p,
+            &v,
+            &params(),
+            2,
+            GroupRect {
+                x0: 10,
+                y0: 10,
+                w: 1,
+                h: 1,
+            },
+        )
+        .2;
+        let quad = compute_group_decomposed(
+            &p,
+            &v,
+            &params(),
+            2,
+            GroupRect {
+                x0: 10,
+                y0: 10,
+                w: 2,
+                h: 2,
+            },
+        )
+        .2;
+        assert!(quad.term_evals < 4 * single.term_evals);
+        assert!(quad.p_evals < 4 * single.p_evals);
+    }
+
+    #[test]
+    fn borders_clip_the_cone() {
+        let (p, v) = random_state(10, 10, 5);
+        let corner = compute_group_decomposed(
+            &p,
+            &v,
+            &params(),
+            2,
+            GroupRect {
+                x0: 0,
+                y0: 0,
+                w: 1,
+                h: 1,
+            },
+        )
+        .2;
+        let interior = compute_group_decomposed(
+            &p,
+            &v,
+            &params(),
+            2,
+            GroupRect {
+                x0: 5,
+                y0: 5,
+                w: 1,
+                h: 1,
+            },
+        )
+        .2;
+        assert!(
+            corner.p_evals < interior.p_evals,
+            "corner cones are smaller"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the frame")]
+    fn out_of_frame_group_rejected() {
+        let (p, v) = random_state(8, 8, 6);
+        compute_group_decomposed(
+            &p,
+            &v,
+            &params(),
+            1,
+            GroupRect {
+                x0: 6,
+                y0: 6,
+                w: 4,
+                h: 4,
+            },
+        );
+    }
+}

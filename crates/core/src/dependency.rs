@@ -1,0 +1,225 @@
+//! Dependency-cone analysis of the Chambolle update — the quantitative
+//! content of the paper's Figure 1 and the basis for both loop decomposition
+//! and the sliding-window halo width.
+//!
+//! One iteration of the dual update at cell `(x, y)` reads `p` at seven
+//! cells: computing `px/py[(x, y)]` at iteration `n+1` needs `Term` at
+//! `(x, y)`, `(x+1, y)` and `(x, y+1)`, and `Term` at `(a, b)` needs
+//! `p` at `(a, b)`, `(a−1, b)` and `(a, b−1)` — the union is the 7-element
+//! set of Fig. 1.a. Iterating the stencil gives the cone for merged
+//! iterations (Fig. 1.c) and the per-element overhead of computing a group
+//! of outputs (Fig. 1.b).
+
+use std::collections::HashSet;
+
+/// The 7-point single-iteration dependency stencil, as relative offsets
+/// `(dx, dy)` from the updated cell.
+pub const STENCIL: [(i64, i64); 7] = [(0, 0), (-1, 0), (0, -1), (1, 0), (1, -1), (0, 1), (-1, 1)];
+
+/// The set of iteration-`n` cells required to compute the given target
+/// cells at iteration `n + iterations` (on an unbounded grid, i.e. ignoring
+/// image borders, as Fig. 1 does).
+///
+/// With `iterations == 0` the result is the targets themselves.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_core::dependency::dependency_set;
+/// // Fig. 1.a: one element at n+1 needs 7 elements at n.
+/// assert_eq!(dependency_set(&[(0, 0)], 1).len(), 7);
+/// // Fig. 1.b: a 2x2 group at n+1 needs 14 elements at n.
+/// let group = [(0, 0), (1, 0), (0, 1), (1, 1)];
+/// assert_eq!(dependency_set(&group, 1).len(), 14);
+/// ```
+pub fn dependency_set(targets: &[(i64, i64)], iterations: u32) -> HashSet<(i64, i64)> {
+    let mut current: HashSet<(i64, i64)> = targets.iter().copied().collect();
+    for _ in 0..iterations {
+        let mut next = HashSet::with_capacity(current.len() * 2);
+        for &(x, y) in &current {
+            for &(dx, dy) in &STENCIL {
+                next.insert((x + dx, y + dy));
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// The cells of a `w × h` group anchored at the origin.
+pub fn rect_group(w: usize, h: usize) -> Vec<(i64, i64)> {
+    let mut cells = Vec::with_capacity(w * h);
+    for y in 0..h as i64 {
+        for x in 0..w as i64 {
+            cells.push((x, y));
+        }
+    }
+    cells
+}
+
+/// Figure-1 style statistics for computing a `group_w × group_h` block of
+/// outputs `iterations` iterations ahead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConeStats {
+    /// Output group width.
+    pub group_w: usize,
+    /// Output group height.
+    pub group_h: usize,
+    /// Iterations merged (`x` in "n + x").
+    pub iterations: u32,
+    /// Total input cells required at iteration `n`.
+    pub inputs: usize,
+    /// `inputs − outputs`: cells computed only to satisfy dependencies.
+    pub overhead: usize,
+    /// `overhead / outputs` — the paper reports 7 and 3.5 for Figs. 1.a/1.b
+    /// counted as *inputs* per output; we expose both.
+    pub overhead_per_output: f64,
+    /// `inputs / outputs`.
+    pub inputs_per_output: f64,
+}
+
+/// Computes [`ConeStats`] for a rectangular output group.
+///
+/// # Panics
+///
+/// Panics if the group is empty.
+pub fn cone_stats(group_w: usize, group_h: usize, iterations: u32) -> ConeStats {
+    assert!(group_w > 0 && group_h > 0, "group must be non-empty");
+    let outputs = group_w * group_h;
+    let inputs = dependency_set(&rect_group(group_w, group_h), iterations).len();
+    ConeStats {
+        group_w,
+        group_h,
+        iterations,
+        inputs,
+        overhead: inputs - outputs,
+        overhead_per_output: (inputs - outputs) as f64 / outputs as f64,
+        inputs_per_output: inputs as f64 / outputs as f64,
+    }
+}
+
+/// Among all `w × h` groups with `w * h == area` (integer factorizations),
+/// returns the one minimizing inputs-per-output — the paper's observation
+/// that "the overhead can be reduced if the group ... \[is\] disposed on a
+/// squared shape".
+///
+/// # Panics
+///
+/// Panics if `area == 0`.
+pub fn best_group_shape(area: usize, iterations: u32) -> ConeStats {
+    assert!(area > 0, "area must be positive");
+    let mut best: Option<ConeStats> = None;
+    for w in 1..=area {
+        if !area.is_multiple_of(w) {
+            continue;
+        }
+        let h = area / w;
+        let stats = cone_stats(w, h, iterations);
+        let better = match &best {
+            None => true,
+            Some(b) => stats.inputs_per_output < b.inputs_per_output,
+        };
+        if better {
+            best = Some(stats);
+        }
+    }
+    best.expect("area >= 1 always has the 1 x area factorization")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_1a_single_element_needs_7() {
+        let s = dependency_set(&[(5, 5)], 1);
+        assert_eq!(s.len(), 7);
+        // The stencil's own members, translated.
+        for (dx, dy) in STENCIL {
+            assert!(s.contains(&(5 + dx, 5 + dy)));
+        }
+    }
+
+    #[test]
+    fn fig_1b_2x2_group_needs_14() {
+        let stats = cone_stats(2, 2, 1);
+        assert_eq!(stats.inputs, 14);
+        assert_eq!(stats.overhead, 10);
+        assert!((stats.inputs_per_output - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iterations_is_identity() {
+        let t = [(0, 0), (3, 4)];
+        let s = dependency_set(&t, 0);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&(3, 4)));
+    }
+
+    #[test]
+    fn cone_grows_monotonically_with_iterations() {
+        let mut prev = 0;
+        for it in 0..6 {
+            let n = dependency_set(&[(0, 0)], it).len();
+            assert!(n > prev || it == 0);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn cone_is_contained_in_linf_ball() {
+        // The stencil has L∞ radius 1, so k iterations stay within radius k.
+        for k in 1..5u32 {
+            let s = dependency_set(&[(0, 0)], k);
+            for (x, y) in s {
+                assert!(x.unsigned_abs() as u32 <= k && y.unsigned_abs() as u32 <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn halo_k_covers_k_merged_iterations() {
+        // The justification for the sliding-window halo width: every cell a
+        // K-iteration output depends on lies within L∞ distance K, so a halo
+        // of K rows/columns suffices for exactness.
+        let k = 3u32;
+        let s = dependency_set(&rect_group(4, 4), k);
+        for (x, y) in s {
+            assert!((-(k as i64)..(4 + k as i64)).contains(&x));
+            assert!((-(k as i64)..(4 + k as i64)).contains(&y));
+        }
+    }
+
+    #[test]
+    fn square_beats_line_for_same_area() {
+        let square = cone_stats(4, 4, 1);
+        let line = cone_stats(16, 1, 1);
+        assert!(
+            square.inputs_per_output < line.inputs_per_output,
+            "square {} vs line {}",
+            square.inputs_per_output,
+            line.inputs_per_output
+        );
+        let best = best_group_shape(16, 1);
+        assert_eq!((best.group_w, best.group_h), (4, 4));
+    }
+
+    #[test]
+    fn overhead_per_output_shrinks_with_group_size() {
+        let s1 = cone_stats(1, 1, 1);
+        let s2 = cone_stats(2, 2, 1);
+        let s4 = cone_stats(4, 4, 1);
+        assert!(s1.inputs_per_output > s2.inputs_per_output);
+        assert!(s2.inputs_per_output > s4.inputs_per_output);
+        assert_eq!(s1.inputs, 7); // Fig. 1.a again, via stats
+    }
+
+    #[test]
+    fn two_iterations_from_one_element() {
+        // Fig. 1.c: the n+2 cone of a single element. Dilating the 7-point
+        // stencil by itself yields 19 cells (computed, then frozen here as a
+        // regression value).
+        let s = dependency_set(&[(0, 0)], 2);
+        assert_eq!(s.len(), 19);
+    }
+}

@@ -1,0 +1,242 @@
+//! Convergence diagnostics for the Chambolle iteration: dual energy,
+//! duality gap, and a gap-driven solver with per-iteration history.
+//!
+//! The paper treats `Niterations` as a free precision knob (Table II sweeps
+//! 50/100/200). The duality gap makes that knob quantitative: for the ROF
+//! problem `min_u TV(u) + ‖u−v‖²/(2θ)` and its dual
+//! `max_{|p|≤1} ⟨v, div p⟩ − (θ/2)‖div p‖²`, every feasible pair bounds the
+//! distance to optimality by `E(u) − D(p) ≥ 0`, and for the primal recovered
+//! as `u = v − θ·div p` the gap simplifies to `TV(u) + ⟨∇u, p⟩`.
+
+use chambolle_imaging::Grid;
+
+use crate::ops::{divergence, forward_diff_x, forward_diff_y, inner_product, total_variation};
+use crate::params::ChambolleParams;
+use crate::real::Real;
+use crate::solver::{chambolle_iterate, recover_u, rof_energy, DualField};
+
+/// The dual ROF objective `D(p) = ⟨v, div p⟩ − (θ/2)‖div p‖²`.
+///
+/// For any `p` with `|p| ≤ 1` pointwise, `D(p) ≤ E(u)` for every `u`
+/// ([`rof_energy`]); equality holds only at the saddle point.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or `theta <= 0`.
+pub fn rof_dual_energy<R: Real>(p: &DualField<R>, v: &Grid<R>, theta: f32) -> f64 {
+    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
+    assert!(theta > 0.0, "theta must be positive");
+    let div = divergence(&p.px, &p.py);
+    let norm_sq: f64 = div
+        .as_slice()
+        .iter()
+        .map(|&d| d.to_f64() * d.to_f64())
+        .sum();
+    inner_product(v, &div) - 0.5 * theta as f64 * norm_sq
+}
+
+/// Duality gap of a primal/dual pair: `E(u) − D(p)`.
+///
+/// Non-negative whenever `|p| ≤ 1` pointwise; zero exactly at the optimum.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or `theta <= 0`.
+pub fn duality_gap<R: Real>(u: &Grid<R>, p: &DualField<R>, v: &Grid<R>, theta: f32) -> f64 {
+    rof_energy(u, v, theta) - rof_dual_energy(p, v, theta)
+}
+
+/// The algebraically simplified gap for `u = v − θ·div p`:
+/// `TV(u) + ⟨∇u, p⟩` (avoids recomputing the quadratic terms).
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn duality_gap_compact<R: Real>(u: &Grid<R>, p: &DualField<R>) -> f64 {
+    assert_eq!(u.dims(), p.dims(), "u and dual field must match in size");
+    let gx = forward_diff_x(u);
+    let gy = forward_diff_y(u);
+    total_variation(u) + inner_product(&gx, &p.px) + inner_product(&gy, &p.py)
+}
+
+/// One sampled point of a monitored solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Iterations completed when the sample was taken.
+    pub iteration: u32,
+    /// Primal ROF energy of `u = v − θ·div p`.
+    pub energy: f64,
+    /// Duality gap at the sample.
+    pub gap: f64,
+}
+
+/// Result of [`chambolle_denoise_monitored`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport<R: Real> {
+    /// The denoised image.
+    pub u: Grid<R>,
+    /// The final dual field.
+    pub p: DualField<R>,
+    /// Iterations actually executed (≤ `params.iterations` when the gap
+    /// tolerance stopped the solve early).
+    pub iterations_run: u32,
+    /// Sampled convergence history (one entry per check interval, plus the
+    /// final state).
+    pub history: Vec<ConvergencePoint>,
+}
+
+impl<R: Real> SolveReport<R> {
+    /// The final duality gap.
+    pub fn final_gap(&self) -> f64 {
+        self.history.last().map_or(f64::INFINITY, |pt| pt.gap)
+    }
+}
+
+/// Runs the Chambolle iteration with convergence monitoring: the duality gap
+/// is evaluated every `check_every` iterations and the solve stops early
+/// once it falls below `gap_tolerance` (use `0.0` to always run the full
+/// `params.iterations`).
+///
+/// # Panics
+///
+/// Panics if `check_every == 0`.
+pub fn chambolle_denoise_monitored<R: Real>(
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    check_every: u32,
+    gap_tolerance: f64,
+) -> SolveReport<R> {
+    assert!(check_every > 0, "check interval must be positive");
+    let mut p = DualField::zeros(v.width(), v.height());
+    let mut history = Vec::new();
+    let mut done = 0u32;
+    while done < params.iterations {
+        let chunk = check_every.min(params.iterations - done);
+        chambolle_iterate(&mut p, v, params, chunk);
+        done += chunk;
+        let u = recover_u(v, &p, params.theta);
+        let gap = duality_gap(&u, &p, v, params.theta);
+        history.push(ConvergencePoint {
+            iteration: done,
+            energy: rof_energy(&u, v, params.theta),
+            gap,
+        });
+        if gap <= gap_tolerance {
+            break;
+        }
+    }
+    let u = recover_u(v, &p, params.theta);
+    SolveReport {
+        u,
+        p,
+        iterations_run: done,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn noisy(w: usize, h: usize, seed: u64) -> Grid<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Grid::from_fn(w, h, |x, _| {
+            (if x < w / 2 { 0.2 } else { 0.8 }) + rng.gen_range(-0.1..0.1)
+        })
+    }
+
+    fn params(iters: u32) -> ChambolleParams {
+        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+    }
+
+    #[test]
+    fn weak_duality_holds() {
+        let v = noisy(16, 12, 1);
+        let mut p = DualField::zeros(16, 12);
+        chambolle_iterate(&mut p, &v, &params(10), 10);
+        let u = recover_u(&v, &p, 0.25);
+        assert!(p.max_norm() <= 1.0 + 1e-12);
+        let gap = duality_gap(&u, &p, &v, 0.25);
+        assert!(gap >= -1e-9, "weak duality violated: gap = {gap}");
+    }
+
+    #[test]
+    fn compact_gap_matches_definition() {
+        let v = noisy(14, 10, 2);
+        let mut p = DualField::zeros(14, 10);
+        chambolle_iterate(&mut p, &v, &params(25), 25);
+        let u = recover_u(&v, &p, 0.25);
+        let full = duality_gap(&u, &p, &v, 0.25);
+        let compact = duality_gap_compact(&u, &p);
+        assert!(
+            (full - compact).abs() < 1e-8,
+            "gap formulations disagree: {full} vs {compact}"
+        );
+    }
+
+    #[test]
+    fn gap_decreases_toward_zero() {
+        let v = noisy(20, 16, 3);
+        let report = chambolle_denoise_monitored(&v, &params(800), 100, 0.0);
+        let gaps: Vec<f64> = report.history.iter().map(|pt| pt.gap).collect();
+        assert!(gaps.len() >= 4);
+        assert!(
+            gaps.last().unwrap() < &(0.2 * gaps[0]),
+            "gap should shrink substantially: {gaps:?}"
+        );
+        for w in gaps.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.05,
+                "gap should be (near-)monotone: {gaps:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_stop_on_tolerance() {
+        let v = noisy(16, 12, 4);
+        let full = chambolle_denoise_monitored(&v, &params(2000), 50, 0.0);
+        let target_gap = full.history[full.history.len() / 2].gap;
+        let early = chambolle_denoise_monitored(&v, &params(2000), 50, target_gap);
+        assert!(early.iterations_run < 2000);
+        assert!(early.final_gap() <= target_gap);
+    }
+
+    #[test]
+    fn monitored_solve_matches_plain_solve() {
+        use crate::solver::chambolle_denoise;
+        let v = noisy(16, 12, 5);
+        let report = chambolle_denoise_monitored(&v, &params(60), 20, 0.0);
+        let (u_plain, p_plain) = chambolle_denoise(&v, &params(60));
+        assert_eq!(report.iterations_run, 60);
+        assert_eq!(report.u.as_slice(), u_plain.as_slice());
+        assert_eq!(report.p.px.as_slice(), p_plain.px.as_slice());
+    }
+
+    #[test]
+    fn dual_energy_of_zero_p_is_zero() {
+        let v = noisy(8, 8, 6);
+        let p = DualField::zeros(8, 8);
+        assert_eq!(rof_dual_energy(&p, &v, 0.25), 0.0);
+    }
+
+
+    #[test]
+    fn monitoring_works_in_f32_too() {
+        let v64 = noisy(12, 10, 8);
+        let v32 = v64.map(|&x| x as f32);
+        let report = chambolle_denoise_monitored(&v32, &params(80), 40, 0.0);
+        assert_eq!(report.iterations_run, 80);
+        assert!(report.final_gap().is_finite());
+        assert!(report.final_gap() >= -1e-3, "weak duality up to f32 noise");
+    }
+
+    #[test]
+    fn history_records_iteration_numbers() {
+        let v = noisy(10, 8, 7);
+        let report = chambolle_denoise_monitored(&v, &params(45), 20, 0.0);
+        let iters: Vec<u32> = report.history.iter().map(|pt| pt.iteration).collect();
+        assert_eq!(iters, vec![20, 40, 45]);
+    }
+}

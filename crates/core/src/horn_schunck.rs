@@ -1,0 +1,257 @@
+//! Horn–Schunck optical flow — the classical quadratic-smoothness baseline
+//! (the paper's reference \[7\], Horn & Schunck 1981).
+//!
+//! Unlike TV-L1, the smoothness penalty is quadratic (`α²‖∇u‖²`), so motion
+//! boundaries blur; the data term is also quadratic, so outliers are not
+//! rejected. We run it coarse-to-fine with warping (the modern formulation),
+//! which is the fair baseline configuration: the remaining difference to
+//! TV-L1 is exactly the regularizer/data-norm choice that TV-L1's Chambolle
+//! inner solver exists to handle.
+
+use chambolle_imaging::{
+    upsample_flow_component, FlowField, Grid, Image, Pyramid, WarpLinearization,
+};
+
+use crate::params::InvalidParamsError;
+use crate::tvl1::FlowError;
+
+/// Horn–Schunck parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HornSchunckParams {
+    /// Smoothness weight α (larger → smoother flow). On unit-intensity
+    /// images useful values are around 0.01–0.1.
+    pub alpha: f32,
+    /// Jacobi iterations per warp.
+    pub iterations: u32,
+    /// Warps (re-linearizations) per pyramid level.
+    pub warps: u32,
+    /// Maximum pyramid levels.
+    pub pyramid_levels: usize,
+}
+
+impl HornSchunckParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] for non-positive `alpha` or zero
+    /// counts.
+    pub fn new(
+        alpha: f32,
+        iterations: u32,
+        warps: u32,
+        pyramid_levels: usize,
+    ) -> Result<Self, InvalidParamsError> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+        if !(alpha > 0.0) {
+            return Err(InvalidParamsError::new(format!(
+                "alpha must be positive, got {alpha}"
+            )));
+        }
+        if iterations == 0 || warps == 0 || pyramid_levels == 0 {
+            return Err(InvalidParamsError::new(
+                "iterations, warps and pyramid_levels must be at least 1".into(),
+            ));
+        }
+        Ok(HornSchunckParams {
+            alpha,
+            iterations,
+            warps,
+            pyramid_levels,
+        })
+    }
+}
+
+impl Default for HornSchunckParams {
+    /// α = 0.05, 100 Jacobi iterations, 5 warps, 5 levels.
+    fn default() -> Self {
+        HornSchunckParams {
+            alpha: 0.05,
+            iterations: 100,
+            warps: 5,
+            pyramid_levels: 5,
+        }
+    }
+}
+
+/// The Horn–Schunck solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HornSchunck {
+    params: HornSchunckParams,
+}
+
+impl HornSchunck {
+    /// Creates a solver.
+    pub fn new(params: HornSchunckParams) -> Self {
+        HornSchunck { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &HornSchunckParams {
+        &self.params
+    }
+
+    /// Estimates the flow from `i0` to `i1` (same convention as TV-L1:
+    /// `i1(x + u) ≈ i0(x)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] if the frames are empty or differ in size.
+    pub fn flow(&self, i0: &Image, i1: &Image) -> Result<FlowField, FlowError> {
+        if i0.dims() != i1.dims() {
+            return Err(FlowError::DimensionMismatch {
+                first: i0.dims(),
+                second: i1.dims(),
+            });
+        }
+        if i0.is_empty() {
+            return Err(FlowError::EmptyInput);
+        }
+        let pyr0 = Pyramid::build(i0, self.params.pyramid_levels);
+        let pyr1 = Pyramid::build(i1, self.params.pyramid_levels);
+        let levels = pyr0.len().min(pyr1.len());
+        let coarsest = &pyr0.levels()[levels - 1];
+        let mut flow = FlowField::zeros(coarsest.width(), coarsest.height());
+
+        for level in (0..levels).rev() {
+            let l0 = &pyr0.levels()[level];
+            let l1 = &pyr1.levels()[level];
+            if flow.dims() != l0.dims() {
+                flow = FlowField::from_components(
+                    upsample_flow_component(&flow.u1, l0.width(), l0.height()),
+                    upsample_flow_component(&flow.u2, l0.width(), l0.height()),
+                );
+            }
+            for _ in 0..self.params.warps {
+                flow = self.solve_linearized(l0, l1, &flow);
+            }
+        }
+        Ok(flow)
+    }
+
+    /// Jacobi iterations on the linearized Horn–Schunck equations around
+    /// the warp point `u0`.
+    fn solve_linearized(&self, i0: &Image, i1: &Image, u0: &FlowField) -> FlowField {
+        let lin = WarpLinearization::new(i0, i1, u0);
+        let (w, h) = i0.dims();
+        let alpha_sq = self.params.alpha * self.params.alpha;
+        let mut u = u0.clone();
+        for _ in 0..self.params.iterations {
+            let ubar = neighbor_average(&u.u1);
+            let vbar = neighbor_average(&u.u2);
+            let mut next = FlowField::zeros(w, h);
+            for y in 0..h {
+                for x in 0..w {
+                    let ix = lin.gx[(x, y)];
+                    let iy = lin.gy[(x, y)];
+                    // rho at (ubar, vbar): It + Ix*(ubar-u0) + Iy*(vbar-v0).
+                    let rho = lin.rho(x, y, ubar[(x, y)], vbar[(x, y)]);
+                    let denom = alpha_sq + ix * ix + iy * iy;
+                    next.u1[(x, y)] = ubar[(x, y)] - ix * rho / denom;
+                    next.u2[(x, y)] = vbar[(x, y)] - iy * rho / denom;
+                }
+            }
+            u = next;
+        }
+        u
+    }
+}
+
+/// 4-neighbor average with clamp-to-edge boundaries (the `ū` of the
+/// Horn–Schunck update).
+fn neighbor_average(f: &Image) -> Image {
+    let (w, h) = f.dims();
+    Grid::from_fn(w, h, |x, y| {
+        let left = f[(x.saturating_sub(1), y)];
+        let right = f[((x + 1).min(w - 1), y)];
+        let up = f[(x, y.saturating_sub(1))];
+        let down = f[(x, (y + 1).min(h - 1))];
+        0.25 * (left + right + up + down)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chambolle_imaging::{average_endpoint_error, render_pair, Motion, NoiseTexture, Scene};
+
+    fn quick() -> HornSchunckParams {
+        HornSchunckParams::new(0.05, 60, 3, 4).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HornSchunckParams::new(0.0, 10, 3, 3).is_err());
+        assert!(HornSchunckParams::new(f32::NAN, 10, 3, 3).is_err());
+        assert!(HornSchunckParams::new(0.1, 0, 3, 3).is_err());
+        assert!(HornSchunckParams::new(0.1, 10, 0, 3).is_err());
+        assert!(HornSchunckParams::new(0.1, 10, 3, 0).is_err());
+    }
+
+    #[test]
+    fn recovers_translation() {
+        let scene = NoiseTexture::new(41);
+        let pair = render_pair(&scene, 80, 60, Motion::Translation { du: 2.0, dv: -1.0 });
+        let flow = HornSchunck::new(quick()).flow(&pair.i0, &pair.i1).unwrap();
+        let aee = average_endpoint_error(&flow, &pair.truth);
+        assert!(aee < 0.5, "Horn-Schunck AEE {aee}");
+    }
+
+    #[test]
+    fn zero_motion_gives_small_flow() {
+        let i0 = NoiseTexture::new(42).render(48, 48);
+        let flow = HornSchunck::new(quick()).flow(&i0, &i0).unwrap();
+        assert!(flow.max_magnitude() < 0.05);
+    }
+
+    #[test]
+    fn rejects_mismatched_frames() {
+        let a = Grid::new(10, 10, 0.0f32);
+        let b = Grid::new(12, 10, 0.0f32);
+        assert!(HornSchunck::new(quick()).flow(&a, &b).is_err());
+    }
+
+    #[test]
+    fn blurs_motion_boundaries_more_than_tvl1() {
+        // A half-moving scene: left half static, right half translating.
+        // Quadratic smoothness spreads the motion across the boundary;
+        // TV preserves it. Compare the flow's transition sharpness.
+        use crate::params::{ChambolleParams, TvL1Params};
+        use crate::tvl1::TvL1Solver;
+        let (w, h) = (96usize, 48usize);
+        let bg = NoiseTexture::new(43);
+        let fg = NoiseTexture::with_octaves(44, &[(8.0, 1.0), (4.0, 0.5)]);
+        let du = 3.0f32;
+        let frame = |shift: f32| -> Grid<f32> {
+            Grid::from_fn(w, h, |x, y| {
+                if x < w / 2 {
+                    0.7 * bg.sample(x as f32, y as f32)
+                } else {
+                    0.3 + 0.7 * fg.sample(x as f32 - shift, y as f32)
+                }
+            })
+        };
+        let i0 = frame(0.0);
+        let i1 = frame(du);
+        let hs = HornSchunck::new(quick()).flow(&i0, &i1).unwrap();
+        let tv_params =
+            TvL1Params::new(38.0, ChambolleParams::with_iterations(25), 3, 4, 4).unwrap();
+        let (tv, _) = TvL1Solver::sequential(tv_params).flow(&i0, &i1).unwrap();
+        // Width of the transition band: columns whose mean |u1| is between
+        // 20% and 80% of the moving-half motion.
+        let band = |f: &FlowField| -> usize {
+            (0..w)
+                .filter(|&x| {
+                    let m: f32 = (8..h - 8).map(|y| f.u1[(x, y)]).sum::<f32>() / (h - 16) as f32;
+                    m > 0.2 * du && m < 0.8 * du
+                })
+                .count()
+        };
+        let hs_band = band(&hs);
+        let tv_band = band(&tv);
+        assert!(
+            tv_band <= hs_band,
+            "TV should keep the boundary at least as sharp: TV {tv_band} vs HS {hs_band} columns"
+        );
+    }
+}

@@ -1,0 +1,552 @@
+//! The sequential Chambolle fixed-point solver (Algorithm 1 of the paper).
+//!
+//! One iteration does, for every cell:
+//!
+//! ```text
+//! div_p = BackwardX(px) + BackwardY(py)
+//! Term  = div_p − v/θ
+//! Term1 = ForwardX(Term);  Term2 = ForwardY(Term)
+//! |∇|   = sqrt(Term1² + Term2²)
+//! px    = (px + τ/θ·Term1) / (1 + τ/θ·|∇|)
+//! py    = (py + τ/θ·Term2) / (1 + τ/θ·|∇|)
+//! ```
+//!
+//! and finally `u = v − θ·div p`. The per-cell arithmetic lives in
+//! [`compute_term_into`] / [`update_p_inplace`], which the tiled parallel
+//! solver reuses verbatim so that tiled and sequential results are
+//! **bit-identical** on profitable cells.
+
+use chambolle_imaging::Grid;
+
+use crate::ops::{div_x_at, div_y_at, total_variation};
+use crate::params::ChambolleParams;
+use crate::real::Real;
+
+/// The dual variable `p = (px, py)` of the Chambolle iteration
+/// (the paper's intermediate `pxu`/`pyu` storage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DualField<R: Real> {
+    /// x-component of the dual vector field.
+    pub px: Grid<R>,
+    /// y-component of the dual vector field.
+    pub py: Grid<R>,
+}
+
+impl<R: Real> DualField<R> {
+    /// The zero dual field — the iteration's initial state.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        DualField {
+            px: Grid::new(width, height, R::ZERO),
+            py: Grid::new(width, height, R::ZERO),
+        }
+    }
+
+    /// `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.px.dims()
+    }
+
+    /// The largest Euclidean norm `|(px, py)|` over all cells.
+    ///
+    /// Chambolle's projection keeps this `≤ 1`; it is the key invariant of
+    /// the iteration.
+    pub fn max_norm(&self) -> f64 {
+        self.px
+            .as_slice()
+            .iter()
+            .zip(self.py.as_slice())
+            .map(|(&a, &b)| {
+                let (a, b) = (a.to_f64(), b.to_f64());
+                (a * a + b * b).sqrt()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sign convention for the gradient inside the dual update.
+///
+/// [`Convention::Standard`] is Chambolle (2004) / Zach et al. (2007) and is
+/// what every result in this workspace uses. [`Convention::PaperProse`] is
+/// the literal reading of the paper's sentence "in `ForwardX` [each element
+/// is reduced] by its right neighbor"; it steps in the *ascent* direction and
+/// diverges — kept only to document the discrepancy (see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Convention {
+    /// Standard forward difference `z[x+1] − z[x]` (convergent).
+    #[default]
+    Standard,
+    /// Literal prose `z[x] − z[x+1]` (divergent; for the reproduction study).
+    PaperProse,
+}
+
+/// Pass 1 of an iteration: `term = div p − v/θ` into a caller-provided grid.
+///
+/// # Panics
+///
+/// Panics if grid dimensions differ.
+pub fn compute_term_into<R: Real>(p: &DualField<R>, v: &Grid<R>, inv_theta: R, term: &mut Grid<R>) {
+    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
+    assert_eq!(v.dims(), term.dims(), "term grid must match in size");
+    let (w, h) = v.dims();
+    for y in 0..h {
+        for x in 0..w {
+            let div = div_x_at(&p.px, x, y) + div_y_at(&p.py, x, y);
+            term[(x, y)] = div - v[(x, y)] * inv_theta;
+        }
+    }
+}
+
+/// Pass 2 of an iteration: the semi-implicit dual update
+/// `p ← (p + τ/θ·∇term) / (1 + τ/θ·|∇term|)`, in place.
+///
+/// # Panics
+///
+/// Panics if grid dimensions differ.
+pub fn update_p_inplace<R: Real>(
+    p: &mut DualField<R>,
+    term: &Grid<R>,
+    step_ratio: R,
+    convention: Convention,
+) {
+    assert_eq!(
+        p.dims(),
+        term.dims(),
+        "dual field and term must match in size"
+    );
+    let (w, h) = term.dims();
+    for y in 0..h {
+        for x in 0..w {
+            let t1 = if x + 1 < w {
+                match convention {
+                    Convention::Standard => term[(x + 1, y)] - term[(x, y)],
+                    Convention::PaperProse => term[(x, y)] - term[(x + 1, y)],
+                }
+            } else {
+                R::ZERO
+            };
+            let t2 = if y + 1 < h {
+                match convention {
+                    Convention::Standard => term[(x, y + 1)] - term[(x, y)],
+                    Convention::PaperProse => term[(x, y)] - term[(x, y + 1)],
+                }
+            } else {
+                R::ZERO
+            };
+            let grad = (t1 * t1 + t2 * t2).sqrt();
+            let denom = R::ONE + step_ratio * grad;
+            p.px[(x, y)] = (p.px[(x, y)] + step_ratio * t1) / denom;
+            p.py[(x, y)] = (p.py[(x, y)] + step_ratio * t2) / denom;
+        }
+    }
+}
+
+/// Runs `iterations` Chambolle iterations on `p` in place (the paper's
+/// Algorithm 1 loop body, lines 2–8).
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+) {
+    let inv_theta = R::ONE / R::from_f32(params.theta);
+    let step_ratio = R::from_f32(params.step_ratio());
+    let mut term = Grid::new(v.width(), v.height(), R::ZERO);
+    for _ in 0..iterations {
+        compute_term_into(p, v, inv_theta, &mut term);
+        update_p_inplace(p, &term, step_ratio, Convention::Standard);
+    }
+}
+
+/// Recovers the primal solution `u = v − θ·div p` (Algorithm 1, line 9).
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn recover_u<R: Real>(v: &Grid<R>, p: &DualField<R>, theta: f32) -> Grid<R> {
+    assert_eq!(v.dims(), p.dims(), "v and dual field must match in size");
+    let th = R::from_f32(theta);
+    Grid::from_fn(v.width(), v.height(), |x, y| {
+        v[(x, y)] - th * (div_x_at(&p.px, x, y) + div_y_at(&p.py, x, y))
+    })
+}
+
+/// Solves the ROF model `min_u TV(u) + ‖u − v‖²/(2θ)` with
+/// `params.iterations` Chambolle iterations from a zero dual start.
+///
+/// Returns the denoised image and the final dual field (useful for
+/// warm-starting or for inspecting the `|p| ≤ 1` invariant).
+pub fn chambolle_denoise<R: Real>(
+    v: &Grid<R>,
+    params: &ChambolleParams,
+) -> (Grid<R>, DualField<R>) {
+    let mut p = DualField::zeros(v.width(), v.height());
+    chambolle_iterate(&mut p, v, params, params.iterations);
+    let u = recover_u(v, &p, params.theta);
+    (u, p)
+}
+
+/// The ROF primal energy `TV(u) + ‖u − v‖² / (2θ)` the iteration minimizes.
+///
+/// # Panics
+///
+/// Panics if dimensions differ or `theta <= 0`.
+pub fn rof_energy<R: Real>(u: &Grid<R>, v: &Grid<R>, theta: f32) -> f64 {
+    assert_eq!(u.dims(), v.dims(), "u and v must match in size");
+    assert!(theta > 0.0, "theta must be positive");
+    let quad: f64 = u
+        .as_slice()
+        .iter()
+        .zip(v.as_slice())
+        .map(|(&a, &b)| {
+            let d = a.to_f64() - b.to_f64();
+            d * d
+        })
+        .sum();
+    total_variation(u) + quad / (2.0 * theta as f64)
+}
+
+/// Something that can run the Chambolle inner solve of TV-L1: the sequential
+/// reference, the tiled parallel solver, or the FPGA cycle simulator.
+///
+/// The solve is per-component (`u1` from `v1`, `u2` from `v2`), exactly as
+/// the paper's hardware instantiates one PE array per component.
+pub trait TvDenoiser {
+    /// Denoises `v` with the given Chambolle parameters, returning `u`.
+    fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+impl<T: TvDenoiser + ?Sized> TvDenoiser for Box<T> {
+    fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
+        (**self).denoise(v, params)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: TvDenoiser + ?Sized> TvDenoiser for &T {
+    fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
+        (**self).denoise(v, params)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// The plain sequential Algorithm-1 solver (the software baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialSolver;
+
+impl SequentialSolver {
+    /// Creates the sequential solver.
+    pub fn new() -> Self {
+        SequentialSolver
+    }
+}
+
+impl TvDenoiser for SequentialSolver {
+    fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
+        chambolle_denoise(v, params).0
+    }
+
+    fn name(&self) -> &str {
+        "sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn noisy_step(w: usize, h: usize, seed: u64) -> Grid<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Grid::from_fn(w, h, |x, _| {
+            let base = if x < w / 2 { 0.2 } else { 0.8 };
+            base + rng.gen_range(-0.1..0.1)
+        })
+    }
+
+    fn params(iters: u32) -> ChambolleParams {
+        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+    }
+
+    #[test]
+    fn constant_image_is_fixed_point() {
+        let v = Grid::new(8, 8, 0.5f64);
+        let (u, p) = chambolle_denoise(&v, &params(50));
+        for &val in u.as_slice() {
+            assert!((val - 0.5).abs() < 1e-12);
+        }
+        assert!(p.max_norm() < 1e-12);
+    }
+
+    #[test]
+    fn energy_decreases_with_iterations() {
+        let v = noisy_step(24, 16, 3);
+        let e0 = rof_energy(&v, &v, 0.25); // u = v, zero iterations
+        let mut prev = e0;
+        for iters in [1u32, 5, 20, 80, 200] {
+            let (u, _) = chambolle_denoise(&v, &params(iters));
+            let e = rof_energy(&u, &v, 0.25);
+            assert!(
+                e <= prev + 1e-9,
+                "energy should not increase: {prev} -> {e} at {iters} iterations"
+            );
+            prev = e;
+        }
+        assert!(
+            prev < 0.95 * e0,
+            "denoising should reduce energy materially"
+        );
+    }
+
+    #[test]
+    fn iterates_converge() {
+        // Chambolle's dual iteration converges like O(1/k); check the
+        // doubling-gap contracts and is already small at 400 iterations.
+        let v = noisy_step(16, 16, 7);
+        let gap = |a: u32, b: u32| {
+            let (u1, _) = chambolle_denoise(&v, &params(a));
+            let (u2, _) = chambolle_denoise(&v, &params(b));
+            u1.as_slice()
+                .iter()
+                .zip(u2.as_slice())
+                .map(|(&x, &y)| (x - y).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let g1 = gap(100, 200);
+        let g2 = gap(400, 800);
+        assert!(g2 < 0.01, "doubling gap should be small, got {g2}");
+        assert!(g2 < g1, "doubling gap should shrink: {g1} -> {g2}");
+    }
+
+    #[test]
+    fn solution_is_a_local_minimum() {
+        let v = noisy_step(12, 12, 11);
+        let (u, _) = chambolle_denoise(&v, &params(2000));
+        let e_star = rof_energy(&u, &v, 0.25);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let perturbed = Grid::from_fn(12, 12, |x, y| u[(x, y)] + rng.gen_range(-1e-3..1e-3));
+            let e = rof_energy(&perturbed, &v, 0.25);
+            assert!(
+                e >= e_star - 1e-9,
+                "perturbation decreased energy: {e_star} -> {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_norm_invariant() {
+        let v = noisy_step(20, 14, 5);
+        let mut p = DualField::zeros(20, 14);
+        for _ in 0..10 {
+            chambolle_iterate(&mut p, &v, &params(10), 10);
+            assert!(
+                p.max_norm() <= 1.0 + 1e-12,
+                "|p| must stay within the unit ball"
+            );
+        }
+    }
+
+    #[test]
+    fn denoising_smooths_noise_but_keeps_edges() {
+        let v = noisy_step(32, 16, 13);
+        let (u, _) = chambolle_denoise(&v, &params(300));
+        // Noise within flat halves shrinks...
+        let var = |g: &Grid<f64>, x0: usize, x1: usize| {
+            let mut vals = Vec::new();
+            for y in 2..14 {
+                for x in x0..x1 {
+                    vals.push(g[(x, y)]);
+                }
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64
+        };
+        assert!(var(&u, 2, 14) < 0.25 * var(&v, 2, 14));
+        // ...but the step edge survives.
+        let left: f64 = (4..12).map(|y| u[(4, y)]).sum::<f64>() / 8.0;
+        let right: f64 = (4..12).map(|y| u[(27, y)]).sum::<f64>() / 8.0;
+        assert!(right - left > 0.3, "edge should survive: {left} vs {right}");
+    }
+
+    #[test]
+    fn literal_prose_convention_diverges() {
+        // Running the dual update with the paper's literal ForwardX/ForwardY
+        // prose (z[x] − z[x+1]) ascends the dual objective: the resulting u
+        // has *higher* ROF energy than the start, while the standard
+        // convention lowers it. This documents the sign-convention erratum.
+        let v = noisy_step(16, 16, 21);
+        let pr = params(60);
+        let inv_theta = 1.0 / pr.theta as f64;
+        let step_ratio = pr.step_ratio() as f64;
+        let run = |conv: Convention| {
+            let mut p = DualField::zeros(16, 16);
+            let mut term = Grid::new(16, 16, 0.0f64);
+            for _ in 0..60 {
+                compute_term_into(&p, &v, inv_theta, &mut term);
+                update_p_inplace(&mut p, &term, step_ratio, conv);
+            }
+            rof_energy(&recover_u(&v, &p, pr.theta), &v, pr.theta)
+        };
+        let e_init = rof_energy(&v, &v, pr.theta);
+        let e_std = run(Convention::Standard);
+        let e_prose = run(Convention::PaperProse);
+        assert!(e_std < e_init, "standard convention must descend");
+        assert!(
+            e_prose > e_init,
+            "literal prose convention should fail to descend: init={e_init}, prose={e_prose}"
+        );
+    }
+
+    #[test]
+    fn f32_and_f64_agree_closely() {
+        let v64 = noisy_step(16, 12, 17);
+        let v32 = v64.map(|&x| x as f32);
+        let (u64_, _) = chambolle_denoise(&v64, &params(100));
+        let (u32_, _) = chambolle_denoise(&v32, &params(100));
+        for i in 0..u64_.len() {
+            let d = (u64_.as_slice()[i] - u32_.as_slice()[i] as f64).abs();
+            assert!(d < 1e-3, "f32/f64 divergence {d} at {i}");
+        }
+    }
+
+    #[test]
+    fn sequential_solver_trait_object() {
+        let v = Grid::new(8, 8, 0.25f32);
+        let solver: &dyn TvDenoiser = &SequentialSolver::new();
+        let u = solver.denoise(&v, &params(5));
+        assert_eq!(u.dims(), (8, 8));
+        assert_eq!(solver.name(), "sequential");
+    }
+
+    #[test]
+    fn single_pixel_and_single_row_images() {
+        // Degenerate shapes must not panic and must keep constants fixed.
+        for (w, h) in [(1usize, 1usize), (7, 1), (1, 9)] {
+            let v = Grid::new(w, h, 0.3f64);
+            let (u, _) = chambolle_denoise(&v, &params(20));
+            for &val in u.as_slice() {
+                assert!((val - 0.3).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn perturbation_travels_at_most_one_cell_per_iteration() {
+        // The dependency-cone analysis (crate::dependency) says a change at
+        // one cell can influence values at L-inf distance at most k after k
+        // iterations. Verify against the real iteration: perturb v at one
+        // cell and check where the dual field diverges.
+        let mut rng = StdRng::seed_from_u64(42);
+        let (w, h) = (21usize, 17usize);
+        let v = Grid::from_fn(w, h, |_, _| rng.gen_range(0.0f64..1.0));
+        let (cx, cy) = (10usize, 8usize);
+        let mut v2 = v.clone();
+        v2[(cx, cy)] += 0.5;
+        for k in [1u32, 2, 4] {
+            let mut pa = DualField::zeros(w, h);
+            let mut pb = DualField::zeros(w, h);
+            chambolle_iterate(&mut pa, &v, &params(k), k);
+            chambolle_iterate(&mut pb, &v2, &params(k), k);
+            let mut influenced_at_edge = false;
+            for y in 0..h {
+                for x in 0..w {
+                    let d = (x as i64 - cx as i64)
+                        .abs()
+                        .max((y as i64 - cy as i64).abs()) as u32;
+                    let changed = pa.px[(x, y)] != pb.px[(x, y)] || pa.py[(x, y)] != pb.py[(x, y)];
+                    if changed {
+                        assert!(d <= k, "influence at distance {d} after {k} iterations");
+                        if d == k {
+                            influenced_at_edge = true;
+                        }
+                    }
+                }
+            }
+            // The bound is tight: the cone edge actually moves.
+            assert!(influenced_at_edge, "cone should reach distance {k}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Cone containment for random perturbation sites and strengths.
+        #[test]
+        fn perturbation_cone_random(
+            seed in any::<u64>(),
+            cx in 0usize..15,
+            cy in 0usize..11,
+            delta in 0.1f64..2.0,
+            k in 1u32..5,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = Grid::from_fn(15, 11, |_, _| rng.gen_range(0.0f64..1.0));
+            let mut v2 = v.clone();
+            v2[(cx, cy)] += delta;
+            let mut pa = DualField::zeros(15, 11);
+            let mut pb = DualField::zeros(15, 11);
+            chambolle_iterate(&mut pa, &v, &params(k), k);
+            chambolle_iterate(&mut pb, &v2, &params(k), k);
+            for y in 0..11 {
+                for x in 0..15 {
+                    let d = (x as i64 - cx as i64).abs().max((y as i64 - cy as i64).abs()) as u32;
+                    if d > k {
+                        prop_assert_eq!(pa.px[(x, y)], pb.px[(x, y)]);
+                        prop_assert_eq!(pa.py[(x, y)], pb.py[(x, y)]);
+                    }
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// |p| ≤ 1 after any number of iterations from any bounded input.
+        #[test]
+        fn dual_ball_invariant_random(
+            w in 2usize..12,
+            h in 2usize..12,
+            iters in 1u32..40,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = Grid::from_fn(w, h, |_, _| rng.gen_range(-2.0f64..2.0));
+            let mut p = DualField::zeros(w, h);
+            chambolle_iterate(&mut p, &v, &params(iters), iters);
+            prop_assert!(p.max_norm() <= 1.0 + 1e-12);
+        }
+
+        /// The solve is translation-equivariant: denoise(v + c) = denoise(v) + c.
+        #[test]
+        fn shift_equivariance(
+            seed in any::<u64>(),
+            c in -1.0f64..1.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = Grid::from_fn(10, 8, |_, _| rng.gen_range(0.0f64..1.0));
+            let vc = v.map(|&x| x + c);
+            let (u, _) = chambolle_denoise(&v, &params(30));
+            let (uc, _) = chambolle_denoise(&vc, &params(30));
+            for i in 0..u.len() {
+                prop_assert!((uc.as_slice()[i] - (u.as_slice()[i] + c)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! Loop decomposition + sliding windows: the paper's parallelization of the
+//! Chambolle iteration (Section III).
+//!
+//! The frame is divided into overlapping sub-matrices. Each window runs
+//! `merge_factor` (K) iterations *locally*; by the dependency analysis in
+//! [`crate::dependency`], a K-iteration dependency cone has L∞ radius K, so
+//! cells far enough from any window edge that is *not* an image edge end up
+//! with exactly the value the global iteration would produce — the paper's
+//! **profitable elements**. "Far enough" is K cells on the leading (left/
+//! top) sides but K+1 on the trailing (right/bottom) sides: the divergence
+//! boundary rule corrupts `Term` on the window's last row/column, and that
+//! `Term` is consumed *within the same iteration* by the `p`-update of the
+//! neighbor one cell inward, so trailing-edge corruption travels one cell
+//! further per iteration than the data cone alone.
+//! The profitable regions are chosen to partition the frame, so stitching
+//! them back reconstructs the global state after K iterations, and the
+//! process repeats for ⌈N / K⌉ rounds. Windows are independent within a
+//! round and are processed by a pool of worker threads (the hardware's two
+//! concurrent sliding windows; here: any number of CPU threads).
+//!
+//! Because the per-cell arithmetic is shared with the sequential solver
+//! ([`crate::solver::compute_term_into`] / [`crate::solver::update_p_inplace`]),
+//! the tiled result is **bit-identical** to the sequential one — the paper's
+//! redundancy is extra *computation*, never a different *result*.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use chambolle_imaging::Grid;
+
+use crate::params::{ChambolleParams, InvalidParamsError};
+use crate::real::Real;
+use crate::solver::{
+    compute_term_into, recover_u, update_p_inplace, Convention, DualField, TvDenoiser,
+};
+
+/// Geometry and scheduling parameters of the tiled solver.
+///
+/// The defaults mirror the hardware: 92×88 sub-matrices (Section IV) and two
+/// concurrent windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Sub-matrix width in cells (the paper's 92 columns).
+    pub tile_width: usize,
+    /// Sub-matrix height in cells (the paper's 88 rows).
+    pub tile_height: usize,
+    /// Iterations merged per window pass (K). The halo is K cells on the
+    /// leading sides and K+1 on the trailing sides (see the module docs).
+    pub merge_factor: u32,
+    /// Worker threads processing windows concurrently (the hardware has 2
+    /// sliding windows).
+    pub threads: usize,
+}
+
+impl TileConfig {
+    /// Creates a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] if a dimension or the thread count is
+    /// zero, `merge_factor` is zero, or the halo leaves no profitable
+    /// interior (`2K + 1 >= tile dimension`).
+    pub fn new(
+        tile_width: usize,
+        tile_height: usize,
+        merge_factor: u32,
+        threads: usize,
+    ) -> Result<Self, InvalidParamsError> {
+        if tile_width == 0 || tile_height == 0 {
+            return Err(InvalidParamsError::new(
+                "tile dimensions must be positive".into(),
+            ));
+        }
+        if merge_factor == 0 {
+            return Err(InvalidParamsError::new(
+                "merge_factor must be at least 1".into(),
+            ));
+        }
+        if threads == 0 {
+            return Err(InvalidParamsError::new("threads must be at least 1".into()));
+        }
+        let halo = 2 * merge_factor as usize + 1;
+        if halo >= tile_width || halo >= tile_height {
+            return Err(InvalidParamsError::new(format!(
+                "halo 2K+1 = {halo} leaves no profitable interior in a {tile_width}x{tile_height} tile"
+            )));
+        }
+        Ok(TileConfig {
+            tile_width,
+            tile_height,
+            merge_factor,
+            threads,
+        })
+    }
+
+    /// The paper's hardware geometry: 92×88 windows, two of them, with the
+    /// given merge factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] if `merge_factor` is invalid for that
+    /// geometry.
+    pub fn paper_hardware(merge_factor: u32) -> Result<Self, InvalidParamsError> {
+        TileConfig::new(92, 88, merge_factor, 2)
+    }
+
+    /// Profitable interior width of an interior tile (K leading halo plus
+    /// K+1 trailing halo removed).
+    pub fn step_x(&self) -> usize {
+        self.tile_width - (2 * self.merge_factor as usize + 1)
+    }
+
+    /// Profitable interior height of an interior tile.
+    pub fn step_y(&self) -> usize {
+        self.tile_height - (2 * self.merge_factor as usize + 1)
+    }
+}
+
+impl Default for TileConfig {
+    /// 92×88 tiles, K = 2, two worker threads.
+    fn default() -> Self {
+        TileConfig::paper_hardware(2).expect("paper geometry is valid for K=2")
+    }
+}
+
+/// One window position: the source rectangle loaded into the window (output
+/// region plus halo, clipped to the frame) and the profitable output region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Source rectangle origin (includes halo).
+    pub src_x: usize,
+    /// Source rectangle origin (includes halo).
+    pub src_y: usize,
+    /// Source rectangle width.
+    pub src_w: usize,
+    /// Source rectangle height.
+    pub src_h: usize,
+    /// Profitable output rectangle origin (absolute frame coordinates).
+    pub out_x: usize,
+    /// Profitable output rectangle origin.
+    pub out_y: usize,
+    /// Profitable output rectangle width.
+    pub out_w: usize,
+    /// Profitable output rectangle height.
+    pub out_h: usize,
+}
+
+impl Tile {
+    /// Offset of the output region inside the source window (x).
+    pub fn local_out_x(&self) -> usize {
+        self.out_x - self.src_x
+    }
+
+    /// Offset of the output region inside the source window (y).
+    pub fn local_out_y(&self) -> usize {
+        self.out_y - self.src_y
+    }
+}
+
+/// The set of window positions covering a `width × height` frame.
+///
+/// Output regions partition the frame; each source window is the output
+/// region expanded by the halo (K cells leading, K+1 trailing) and clipped
+/// to the frame, so windows never exceed `tile_width × tile_height`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilePlan {
+    tiles: Vec<Tile>,
+    width: usize,
+    height: usize,
+    config: TileConfig,
+}
+
+impl TilePlan {
+    /// Plans the windows for a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is empty.
+    pub fn new(width: usize, height: usize, config: TileConfig) -> Self {
+        assert!(width > 0 && height > 0, "frame must be non-empty");
+        let k = config.merge_factor as usize;
+        let step_x = config.step_x();
+        let step_y = config.step_y();
+        let mut tiles = Vec::new();
+        let mut oy = 0;
+        while oy < height {
+            let out_h = step_y.min(height - oy);
+            let mut ox = 0;
+            while ox < width {
+                let out_w = step_x.min(width - ox);
+                let src_x = ox.saturating_sub(k);
+                let src_y = oy.saturating_sub(k);
+                let src_x1 = (ox + out_w + k + 1).min(width);
+                let src_y1 = (oy + out_h + k + 1).min(height);
+                tiles.push(Tile {
+                    src_x,
+                    src_y,
+                    src_w: src_x1 - src_x,
+                    src_h: src_y1 - src_y,
+                    out_x: ox,
+                    out_y: oy,
+                    out_w,
+                    out_h,
+                });
+                ox += out_w;
+            }
+            oy += out_h;
+        }
+        TilePlan {
+            tiles,
+            width,
+            height,
+            config,
+        }
+    }
+
+    /// The planned window positions.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Frame width the plan covers.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height the plan covers.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The configuration used to build the plan.
+    pub fn config(&self) -> &TileConfig {
+        &self.config
+    }
+
+    /// Total source cells processed per round, summed over windows.
+    pub fn source_cells(&self) -> usize {
+        self.tiles.iter().map(|t| t.src_w * t.src_h).sum()
+    }
+
+    /// Fraction of redundant computation per round:
+    /// `(source cells − frame cells) / frame cells` — the paper's "slight
+    /// memory/computation overhead" of Section III-B.
+    pub fn redundancy_fraction(&self) -> f64 {
+        let frame = self.width * self.height;
+        (self.source_cells() as f64 - frame as f64) / frame as f64
+    }
+}
+
+impl fmt::Display for TilePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} windows over {}x{} (K={}, redundancy {:.1}%)",
+            self.tiles.len(),
+            self.width,
+            self.height,
+            self.config.merge_factor,
+            100.0 * self.redundancy_fraction()
+        )
+    }
+}
+
+/// Runs `iterations` Chambolle iterations on `p` using the tiled parallel
+/// scheme; the result is bit-identical to
+/// [`crate::solver::chambolle_iterate`].
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_tiled<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+) {
+    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
+    let (w, h) = v.dims();
+    let plan = TilePlan::new(w, h, *config);
+    let inv_theta = R::ONE / R::from_f32(params.theta);
+    let step_ratio = R::from_f32(params.step_ratio());
+
+    let mut remaining = iterations;
+    while remaining > 0 {
+        let k = remaining.min(config.merge_factor);
+        let results = run_round(p, v, &plan, inv_theta, step_ratio, k, config.threads);
+        for (tile, lpx, lpy) in results {
+            blit_profitable(&mut p.px, &tile, &lpx);
+            blit_profitable(&mut p.py, &tile, &lpy);
+        }
+        remaining -= k;
+    }
+}
+
+/// One parallel round: every window runs `k` local iterations and returns
+/// its local dual field for stitching.
+/// A processed window: its position plus the locally updated dual grids.
+type WindowResult<R> = (Tile, Grid<R>, Grid<R>);
+
+fn run_round<R: Real>(
+    p: &DualField<R>,
+    v: &Grid<R>,
+    plan: &TilePlan,
+    inv_theta: R,
+    step_ratio: R,
+    k: u32,
+    threads: usize,
+) -> Vec<WindowResult<R>> {
+    let tiles = plan.tiles();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<WindowResult<R>>> = Vec::new();
+    results.resize_with(tiles.len(), || None);
+    let results_slots: Vec<std::sync::Mutex<Option<WindowResult<R>>>> =
+        results.into_iter().map(std::sync::Mutex::new).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(tiles.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tiles.len() {
+                    break;
+                }
+                let tile = tiles[i];
+                let out = process_window(p, v, &tile, plan, inv_theta, step_ratio, k);
+                *results_slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results_slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every window processed exactly once")
+        })
+        .collect()
+}
+
+/// Loads one window (source rect with halo), runs `k` local iterations, and
+/// returns the local dual components.
+///
+/// Image-border boundary rules apply automatically where the window edge
+/// coincides with the frame edge ("this side effect does not occur when the
+/// boundary elements also lie on the border of I1" — Section III-A); interior
+/// cuts produce wrong values only within the K-cell halo, which is never
+/// written back.
+fn process_window<R: Real>(
+    p: &DualField<R>,
+    v: &Grid<R>,
+    tile: &Tile,
+    plan: &TilePlan,
+    inv_theta: R,
+    step_ratio: R,
+    k: u32,
+) -> WindowResult<R> {
+    let mut local = DualField {
+        px: p.px.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h),
+        py: p.py.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h),
+    };
+    let local_v = v.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h);
+
+    // True frame borders keep their boundary rules automatically (the local
+    // window edge IS the frame edge there). Interior cuts apply the wrong
+    // rule at the window's outermost cells, but with a K-cell leading and
+    // (K+1)-cell trailing halo — which TilePlan guarantees; clipping only
+    // happens at true frame borders — the corruption never reaches the
+    // profitable region within K local iterations.
+    debug_assert!(window_halo_is_full(tile, plan));
+
+    let mut term = Grid::new(tile.src_w, tile.src_h, R::ZERO);
+    for _ in 0..k {
+        compute_term_into(&local, &local_v, inv_theta, &mut term);
+        update_p_inplace(&mut local, &term, step_ratio, Convention::Standard);
+    }
+    (*tile, local.px, local.py)
+}
+
+/// Checks that every non-frame-border side of the window has its full halo
+/// (K leading, K+1 trailing).
+fn window_halo_is_full(tile: &Tile, plan: &TilePlan) -> bool {
+    let k = plan.config().merge_factor as usize;
+    let left_ok = tile.src_x == 0 || tile.out_x - tile.src_x == k;
+    let top_ok = tile.src_y == 0 || tile.out_y - tile.src_y == k;
+    let right_ok = tile.src_x + tile.src_w == plan.width()
+        || (tile.src_x + tile.src_w) - (tile.out_x + tile.out_w) == k + 1;
+    let bottom_ok = tile.src_y + tile.src_h == plan.height()
+        || (tile.src_y + tile.src_h) - (tile.out_y + tile.out_h) == k + 1;
+    left_ok && top_ok && right_ok && bottom_ok
+}
+
+/// Writes a window's profitable region back into the global grid.
+fn blit_profitable<R: Real>(global: &mut Grid<R>, tile: &Tile, local: &Grid<R>) {
+    let lx = tile.local_out_x();
+    let ly = tile.local_out_y();
+    for y in 0..tile.out_h {
+        for x in 0..tile.out_w {
+            global[(tile.out_x + x, tile.out_y + y)] = local[(lx + x, ly + y)];
+        }
+    }
+}
+
+/// The tiled parallel Chambolle solver as a [`TvDenoiser`] backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TiledSolver {
+    config: TileConfig,
+}
+
+impl TiledSolver {
+    /// Creates a tiled solver with the given window configuration.
+    pub fn new(config: TileConfig) -> Self {
+        TiledSolver { config }
+    }
+
+    /// The window configuration in use.
+    pub fn config(&self) -> &TileConfig {
+        &self.config
+    }
+}
+
+impl TvDenoiser for TiledSolver {
+    fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
+        let mut p = DualField::zeros(v.width(), v.height());
+        chambolle_iterate_tiled(&mut p, v, params, params.iterations, &self.config);
+        recover_u(v, &p, params.theta)
+    }
+
+    fn name(&self) -> &str {
+        "tiled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::chambolle_iterate;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn params(iters: u32) -> ChambolleParams {
+        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+    }
+
+    fn random_image(w: usize, h: usize, seed: u64) -> Grid<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Grid::from_fn(w, h, |_, _| rng.gen_range(0.0f32..1.0))
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TileConfig::new(0, 10, 1, 1).is_err());
+        assert!(TileConfig::new(10, 10, 0, 1).is_err());
+        assert!(TileConfig::new(10, 10, 1, 0).is_err());
+        assert!(TileConfig::new(10, 10, 5, 1).is_err()); // halo swallows tile
+        assert!(TileConfig::new(10, 10, 4, 1).is_ok()); // 2K+1 = 9 < 10
+        assert!(TileConfig::paper_hardware(2).is_ok());
+    }
+
+    #[test]
+    fn plan_outputs_partition_frame() {
+        for (w, h) in [(30usize, 20usize), (92, 88), (100, 100), (7, 5), (1, 1)] {
+            let cfg = TileConfig::new(16, 12, 2, 1).unwrap();
+            let plan = TilePlan::new(w, h, cfg);
+            let mut covered = Grid::new(w, h, 0u32);
+            for t in plan.tiles() {
+                for y in t.out_y..t.out_y + t.out_h {
+                    for x in t.out_x..t.out_x + t.out_w {
+                        covered[(x, y)] += 1;
+                    }
+                }
+            }
+            assert!(
+                covered.as_slice().iter().all(|&c| c == 1),
+                "outputs must partition the {w}x{h} frame"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_windows_respect_tile_size_and_halo() {
+        let cfg = TileConfig::paper_hardware(3).unwrap();
+        let plan = TilePlan::new(512, 512, cfg);
+        for t in plan.tiles() {
+            assert!(t.src_w <= cfg.tile_width);
+            assert!(t.src_h <= cfg.tile_height);
+            assert!(window_halo_is_full(t, &plan), "halo missing on {t:?}");
+        }
+    }
+
+    #[test]
+    fn redundancy_is_small_for_paper_geometry() {
+        let cfg = TileConfig::paper_hardware(2).unwrap();
+        let plan = TilePlan::new(512, 512, cfg);
+        // "a negligible amount of redundant computation": ~1/10 at K=2.
+        assert!(
+            plan.redundancy_fraction() < 0.16,
+            "redundancy {} too large",
+            plan.redundancy_fraction()
+        );
+        assert!(plan.redundancy_fraction() > 0.0);
+    }
+
+    #[test]
+    fn tiled_matches_sequential_bit_exact() {
+        let v = random_image(61, 47, 9);
+        let pr = params(13);
+        let mut p_seq = DualField::zeros(61, 47);
+        chambolle_iterate(&mut p_seq, &v, &pr, 13);
+
+        for threads in [1usize, 2, 4] {
+            for k in [1u32, 2, 3, 5] {
+                let cfg = TileConfig::new(20, 16, k, threads).unwrap();
+                let mut p_tiled = DualField::zeros(61, 47);
+                chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 13, &cfg);
+                assert_eq!(
+                    p_seq.px.as_slice(),
+                    p_tiled.px.as_slice(),
+                    "px mismatch at K={k}, threads={threads}"
+                );
+                assert_eq!(p_seq.py.as_slice(), p_tiled.py.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_sequential_on_paper_geometry() {
+        // A frame larger than one 92x88 window, with the hardware's two
+        // workers.
+        let v = random_image(200, 150, 4);
+        let pr = params(8);
+        let mut p_seq = DualField::zeros(200, 150);
+        chambolle_iterate(&mut p_seq, &v, &pr, 8);
+        let cfg = TileConfig::paper_hardware(2).unwrap();
+        let mut p_tiled = DualField::zeros(200, 150);
+        chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 8, &cfg);
+        assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
+        assert_eq!(p_seq.py.as_slice(), p_tiled.py.as_slice());
+    }
+
+    #[test]
+    fn partial_last_round_handles_non_divisible_iterations() {
+        // 7 iterations with K=3 -> rounds of 3, 3, 1.
+        let v = random_image(40, 30, 14);
+        let pr = params(7);
+        let mut p_seq = DualField::zeros(40, 30);
+        chambolle_iterate(&mut p_seq, &v, &pr, 7);
+        let cfg = TileConfig::new(18, 14, 3, 2).unwrap();
+        let mut p_tiled = DualField::zeros(40, 30);
+        chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 7, &cfg);
+        assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
+    }
+
+    #[test]
+    fn frame_smaller_than_tile_works() {
+        let v = random_image(10, 8, 3);
+        let pr = params(5);
+        let mut p_seq = DualField::zeros(10, 8);
+        chambolle_iterate(&mut p_seq, &v, &pr, 5);
+        let cfg = TileConfig::paper_hardware(2).unwrap();
+        let mut p_tiled = DualField::zeros(10, 8);
+        chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 5, &cfg);
+        assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
+    }
+
+    #[test]
+    fn tiled_denoiser_matches_sequential_denoiser() {
+        use crate::solver::SequentialSolver;
+        let v = random_image(50, 40, 77);
+        let pr = params(10);
+        let seq = SequentialSolver::new().denoise(&v, &pr);
+        let tiled = TiledSolver::new(TileConfig::new(24, 20, 2, 2).unwrap()).denoise(&v, &pr);
+        assert_eq!(seq.as_slice(), tiled.as_slice());
+        assert_eq!(TiledSolver::default().name(), "tiled");
+    }
+
+    #[test]
+    fn redundancy_grows_with_merge_factor() {
+        let mut prev = 0.0;
+        for k in [1u32, 2, 4, 8] {
+            let cfg = TileConfig::new(92, 88, k, 1).unwrap();
+            let r = TilePlan::new(512, 512, cfg).redundancy_fraction();
+            assert!(r >= prev, "redundancy should grow with K: {prev} -> {r}");
+            prev = r;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Exactness of the sliding-window scheme for arbitrary geometry.
+        #[test]
+        fn tiled_equals_sequential_random(
+            w in 3usize..48,
+            h in 3usize..48,
+            tile_w in 8usize..24,
+            tile_h in 8usize..24,
+            k in 1u32..4,
+            iters in 1u32..10,
+            seed in any::<u64>(),
+        ) {
+            prop_assume!(2 * k as usize + 2 < tile_w && 2 * k as usize + 2 < tile_h);
+            let v = random_image(w, h, seed);
+            let pr = params(iters);
+            let mut p_seq = DualField::zeros(w, h);
+            chambolle_iterate(&mut p_seq, &v, &pr, iters);
+            let cfg = TileConfig::new(tile_w, tile_h, k, 2).unwrap();
+            let mut p_tiled = DualField::zeros(w, h);
+            chambolle_iterate_tiled(&mut p_tiled, &v, &pr, iters, &cfg);
+            prop_assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
+            prop_assert_eq!(p_seq.py.as_slice(), p_tiled.py.as_slice());
+        }
+    }
+}

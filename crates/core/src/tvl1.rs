@@ -1,0 +1,588 @@
+//! The TV-L1 optical-flow outer loop (Zach et al. 2007; the paper's
+//! references \[11\] and \[13\]) around a pluggable Chambolle inner solver.
+//!
+//! Coarse-to-fine over a Gaussian pyramid; at each level the data term is
+//! re-linearized (`warps` times) around the current flow, a pointwise
+//! *thresholding step* produces the auxiliary field `v`, and the coupled TV
+//! term is solved per component by the Chambolle algorithm — the part the
+//! paper accelerates and which dominates the runtime (the profiling claim of
+//! its introduction is reproduced by [`FlowStats::chambolle_fraction`]).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use chambolle_imaging::{upsample_flow_component, FlowField, Image, Pyramid, WarpLinearization};
+
+use crate::params::TvL1Params;
+use crate::solver::{SequentialSolver, TvDenoiser};
+
+/// TV-L1 optical-flow solver with a pluggable Chambolle backend.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_core::{TvL1Params, TvL1Solver};
+/// use chambolle_imaging::{render_pair, Motion, NoiseTexture};
+///
+/// let scene = NoiseTexture::new(1);
+/// let pair = render_pair(&scene, 64, 48, Motion::Translation { du: 1.0, dv: 0.0 });
+/// let solver = TvL1Solver::sequential(TvL1Params::default());
+/// let (flow, stats) = solver.flow(&pair.i0, &pair.i1)?;
+/// assert_eq!(flow.dims(), (64, 48));
+/// assert!(stats.chambolle_fraction() > 0.0);
+/// # Ok::<(), chambolle_core::FlowError>(())
+/// ```
+pub struct TvL1Solver<D> {
+    params: TvL1Params,
+    inner: D,
+}
+
+impl TvL1Solver<SequentialSolver> {
+    /// A solver using the sequential Algorithm-1 backend.
+    pub fn sequential(params: TvL1Params) -> Self {
+        TvL1Solver {
+            params,
+            inner: SequentialSolver::new(),
+        }
+    }
+}
+
+impl<D: TvDenoiser> TvL1Solver<D> {
+    /// Creates a solver around an arbitrary Chambolle backend (sequential,
+    /// tiled, or the FPGA cycle simulator).
+    pub fn with_backend(params: TvL1Params, inner: D) -> Self {
+        TvL1Solver { params, inner }
+    }
+
+    /// The outer-loop parameters.
+    pub fn params(&self) -> &TvL1Params {
+        &self.params
+    }
+
+    /// The inner Chambolle backend.
+    pub fn backend(&self) -> &D {
+        &self.inner
+    }
+
+    /// Estimates the optical flow from `i0` to `i1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] if the frames are empty or differ in size.
+    pub fn flow(&self, i0: &Image, i1: &Image) -> Result<(FlowField, FlowStats), FlowError> {
+        self.flow_with_init(i0, i1, None)
+    }
+
+    /// Like [`TvL1Solver::flow`], but warm-started from a prior estimate
+    /// (typically the previous frame pair's flow in a video) — the prior is
+    /// resampled to the coarsest pyramid level and refined from there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] if the frames are empty, differ in size, or
+    /// the prior's dimensions do not match the frames.
+    pub fn flow_with_init(
+        &self,
+        i0: &Image,
+        i1: &Image,
+        init: Option<&FlowField>,
+    ) -> Result<(FlowField, FlowStats), FlowError> {
+        if i0.dims() != i1.dims() {
+            return Err(FlowError::DimensionMismatch {
+                first: i0.dims(),
+                second: i1.dims(),
+            });
+        }
+        if i0.is_empty() {
+            return Err(FlowError::EmptyInput);
+        }
+        if let Some(prior) = init {
+            if prior.dims() != i0.dims() {
+                return Err(FlowError::DimensionMismatch {
+                    first: i0.dims(),
+                    second: prior.dims(),
+                });
+            }
+        }
+
+        let start = Instant::now();
+        let mut chambolle_time = Duration::ZERO;
+        let mut chambolle_calls = 0u32;
+
+        let pyr0 = Pyramid::build_scaled(i0, self.params.pyramid_levels, self.params.scale_factor);
+        let pyr1 = Pyramid::build_scaled(i1, self.params.pyramid_levels, self.params.scale_factor);
+        let levels = pyr0.len().min(pyr1.len());
+
+        let coarsest = &pyr0.levels()[levels - 1];
+        let mut u = match init {
+            Some(prior) => FlowField::from_components(
+                upsample_flow_component(&prior.u1, coarsest.width(), coarsest.height()),
+                upsample_flow_component(&prior.u2, coarsest.width(), coarsest.height()),
+            ),
+            None => FlowField::zeros(coarsest.width(), coarsest.height()),
+        };
+
+        for level in (0..levels).rev() {
+            let l0 = &pyr0.levels()[level];
+            let l1 = &pyr1.levels()[level];
+            if u.dims() != l0.dims() {
+                u = FlowField::from_components(
+                    upsample_flow_component(&u.u1, l0.width(), l0.height()),
+                    upsample_flow_component(&u.u2, l0.width(), l0.height()),
+                );
+            }
+            for _ in 0..self.params.warps {
+                let lin = WarpLinearization::new(l0, l1, &u);
+                for _ in 0..self.params.outer_iterations {
+                    let v = threshold_step(&lin, &u, self.params.lambda, self.params.inner.theta);
+                    let t0 = Instant::now();
+                    let u1 = self.inner.denoise(&v.u1, &self.params.inner);
+                    let u2 = self.inner.denoise(&v.u2, &self.params.inner);
+                    chambolle_time += t0.elapsed();
+                    chambolle_calls += 2;
+                    u = FlowField::from_components(u1, u2);
+                }
+                if self.params.median_filter {
+                    u = FlowField::from_components(
+                        chambolle_imaging::median3x3(&u.u1),
+                        chambolle_imaging::median3x3(&u.u2),
+                    );
+                }
+            }
+        }
+
+        Ok((
+            u,
+            FlowStats {
+                total_time: start.elapsed(),
+                chambolle_time,
+                chambolle_calls,
+                levels,
+                warps: self.params.warps,
+            },
+        ))
+    }
+}
+
+impl<D: fmt::Debug> fmt::Debug for TvL1Solver<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TvL1Solver")
+            .field("params", &self.params)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Tracks flow across a video: each new frame pair is warm-started from the
+/// previous pair's flow, which pays off whenever the motion is temporally
+/// coherent (the motion-estimation use case of the paper's introduction).
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_core::{TvL1Params, TvL1Solver, VideoFlowTracker};
+/// use chambolle_imaging::{render_sequence, Motion, NoiseTexture};
+///
+/// let frames = render_sequence(
+///     &NoiseTexture::new(1), 48, 40, Motion::Translation { du: 1.0, dv: 0.0 }, 3,
+/// );
+/// let mut tracker = VideoFlowTracker::new(TvL1Solver::sequential(TvL1Params::default()));
+/// let f01 = tracker.next_flow(&frames[0], &frames[1])?;
+/// let f12 = tracker.next_flow(&frames[1], &frames[2])?; // warm-started from f01
+/// assert_eq!(f01.dims(), f12.dims());
+/// # Ok::<(), chambolle_core::FlowError>(())
+/// ```
+#[derive(Debug)]
+pub struct VideoFlowTracker<D> {
+    solver: TvL1Solver<D>,
+    previous: Option<FlowField>,
+}
+
+impl<D: TvDenoiser> VideoFlowTracker<D> {
+    /// Creates a tracker around a configured solver.
+    pub fn new(solver: TvL1Solver<D>) -> Self {
+        VideoFlowTracker {
+            solver,
+            previous: None,
+        }
+    }
+
+    /// Estimates the flow for the next consecutive frame pair, warm-started
+    /// from the previous pair's result (if any and if the size matches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] for invalid frames.
+    pub fn next_flow(&mut self, i0: &Image, i1: &Image) -> Result<FlowField, FlowError> {
+        let init = self
+            .previous
+            .as_ref()
+            .filter(|prev| prev.dims() == i0.dims());
+        let (flow, _) = self.solver.flow_with_init(i0, i1, init)?;
+        self.previous = Some(flow.clone());
+        Ok(flow)
+    }
+
+    /// The most recent flow, if a pair has been processed.
+    pub fn last_flow(&self) -> Option<&FlowField> {
+        self.previous.as_ref()
+    }
+
+    /// Forgets the temporal state (e.g. at a scene cut).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+/// The pointwise TV-L1 thresholding step: given the linearized residual
+/// `rho(u)` and the gradient `g = ∇I1w`, the auxiliary field is
+///
+/// ```text
+/// v = u + ⎧  λθ·g            if rho(u) < −λθ·|g|²
+///         ⎨ −λθ·g            if rho(u) >  λθ·|g|²
+///         ⎩ −rho(u)·g/|g|²   otherwise
+/// ```
+///
+/// (Zach et al. 2007, eq. 15 — the paper's "support variable v ... defined
+/// using a thresholding function".)
+pub fn threshold_step(
+    lin: &WarpLinearization,
+    u: &FlowField,
+    lambda: f32,
+    theta: f32,
+) -> FlowField {
+    let lt = lambda * theta;
+    // Gradients numerically this small carry no data information; leave v=u.
+    const GRAD_FLOOR: f32 = 1e-9;
+    FlowField::from_fn(u.width(), u.height(), |x, y| {
+        let (u1, u2) = u.at(x, y);
+        let rho = lin.rho(x, y, u1, u2);
+        let g2 = lin.grad_sq(x, y);
+        let gx = lin.gx[(x, y)];
+        let gy = lin.gy[(x, y)];
+        let (d1, d2) = if rho < -lt * g2 {
+            (lt * gx, lt * gy)
+        } else if rho > lt * g2 {
+            (-lt * gx, -lt * gy)
+        } else if g2 > GRAD_FLOOR {
+            (-rho * gx / g2, -rho * gy / g2)
+        } else {
+            (0.0, 0.0)
+        };
+        (u1 + d1, u2 + d2)
+    })
+}
+
+/// Wall-time accounting of one flow estimation — reproduces the paper's
+/// profiling claim that "approximately 90% of the execution time is spent on
+/// the Chambolle iterative technique".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Total wall time of the flow estimation.
+    pub total_time: Duration,
+    /// Wall time inside the Chambolle inner solves.
+    pub chambolle_time: Duration,
+    /// Number of inner solves (2 per warp: one per flow component).
+    pub chambolle_calls: u32,
+    /// Pyramid levels actually used.
+    pub levels: usize,
+    /// Warps per level.
+    pub warps: u32,
+}
+
+impl FlowStats {
+    /// Fraction of the total time spent in the Chambolle inner solver.
+    pub fn chambolle_fraction(&self) -> f64 {
+        if self.total_time.is_zero() {
+            return 0.0;
+        }
+        self.chambolle_time.as_secs_f64() / self.total_time.as_secs_f64()
+    }
+}
+
+impl fmt::Display for FlowStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} ms total, {:.1} ms ({:.0}%) in Chambolle over {} solves ({} levels x {} warps)",
+            self.total_time.as_secs_f64() * 1e3,
+            self.chambolle_time.as_secs_f64() * 1e3,
+            100.0 * self.chambolle_fraction(),
+            self.chambolle_calls,
+            self.levels,
+            self.warps,
+        )
+    }
+}
+
+/// Error returned by [`TvL1Solver::flow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowError {
+    /// The two frames have different dimensions.
+    DimensionMismatch {
+        /// Dimensions of the first frame.
+        first: (usize, usize),
+        /// Dimensions of the second frame.
+        second: (usize, usize),
+    },
+    /// A frame has zero pixels.
+    EmptyInput,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::DimensionMismatch { first, second } => write!(
+                f,
+                "frame dimensions differ: {}x{} vs {}x{}",
+                first.0, first.1, second.0, second.1
+            ),
+            FlowError::EmptyInput => write!(f, "input frames are empty"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ChambolleParams;
+    use crate::tiling::{TileConfig, TiledSolver};
+    use chambolle_imaging::{
+        average_endpoint_error, render_pair, Grid, Motion, NoiseTexture, Scene,
+    };
+
+    fn fast_params() -> TvL1Params {
+        TvL1Params::new(38.0, ChambolleParams::with_iterations(20), 3, 5, 4).unwrap()
+    }
+
+    #[test]
+    fn recovers_small_translation() {
+        let scene = NoiseTexture::new(42);
+        let motion = Motion::Translation { du: 1.5, dv: -0.75 };
+        let pair = render_pair(&scene, 64, 48, motion);
+        let solver = TvL1Solver::sequential(fast_params());
+        let (flow, stats) = solver.flow(&pair.i0, &pair.i1).unwrap();
+        let aee = average_endpoint_error(&flow, &pair.truth);
+        assert!(aee < 0.35, "AEE {aee} too high; stats: {stats}");
+    }
+
+    #[test]
+    fn recovers_larger_translation_via_pyramid() {
+        let scene = NoiseTexture::new(5);
+        let motion = Motion::Translation { du: 4.0, dv: 2.0 };
+        let pair = render_pair(&scene, 96, 72, motion);
+        let solver = TvL1Solver::sequential(fast_params());
+        let (flow, _) = solver.flow(&pair.i0, &pair.i1).unwrap();
+        let aee = average_endpoint_error(&flow, &pair.truth);
+        assert!(aee < 0.8, "AEE {aee} too high for 4px motion");
+        // Mean flow should point the right way.
+        let (m1, m2) = flow.mean();
+        assert!(m1 > 2.0 && m2 > 1.0, "mean flow ({m1}, {m2})");
+    }
+
+    #[test]
+    fn zero_motion_gives_near_zero_flow() {
+        let scene = NoiseTexture::new(9);
+        let i0 = scene.render(48, 48);
+        let solver = TvL1Solver::sequential(fast_params());
+        let (flow, _) = solver.flow(&i0, &i0).unwrap();
+        assert!(
+            flow.max_magnitude() < 0.05,
+            "max |u| = {}",
+            flow.max_magnitude()
+        );
+    }
+
+    #[test]
+    fn chambolle_dominates_runtime() {
+        let scene = NoiseTexture::new(2);
+        let pair = render_pair(&scene, 96, 96, Motion::Translation { du: 1.0, dv: 0.5 });
+        let mut p = fast_params();
+        p.inner = ChambolleParams::with_iterations(100);
+        let solver = TvL1Solver::sequential(p);
+        let (_, stats) = solver.flow(&pair.i0, &pair.i1).unwrap();
+        // Paper: ~90% at their iteration counts. At 100 iterations the inner
+        // solver must clearly dominate.
+        assert!(
+            stats.chambolle_fraction() > 0.6,
+            "Chambolle fraction only {:.2}",
+            stats.chambolle_fraction()
+        );
+    }
+
+    #[test]
+    fn tiled_backend_is_bit_identical_to_sequential() {
+        let scene = NoiseTexture::new(30);
+        let pair = render_pair(&scene, 70, 50, Motion::Translation { du: 1.0, dv: 0.0 });
+        let p = fast_params();
+        let (f_seq, _) = TvL1Solver::sequential(p).flow(&pair.i0, &pair.i1).unwrap();
+        let tiled = TiledSolver::new(TileConfig::new(32, 24, 2, 2).unwrap());
+        let (f_tiled, _) = TvL1Solver::with_backend(p, tiled)
+            .flow(&pair.i0, &pair.i1)
+            .unwrap();
+        assert_eq!(f_seq.u1.as_slice(), f_tiled.u1.as_slice());
+        assert_eq!(f_seq.u2.as_slice(), f_tiled.u2.as_slice());
+    }
+
+    #[test]
+    fn rejects_mismatched_and_empty_inputs() {
+        let solver = TvL1Solver::sequential(fast_params());
+        let a = Grid::new(10, 10, 0.0f32);
+        let b = Grid::new(12, 10, 0.0f32);
+        let err = solver.flow(&a, &b).unwrap_err();
+        assert!(matches!(err, FlowError::DimensionMismatch { .. }));
+        assert!(err.to_string().contains("10x10"));
+    }
+
+    #[test]
+    fn threshold_step_cases() {
+        use chambolle_imaging::FlowField;
+        // Build a linearization with known gradient by hand: I1 = x ramp,
+        // I0 = I1 + c so residual is -c everywhere, gradient = (1, 0).
+        let i1 = Grid::from_fn(16, 8, |x, _| 0.1 * x as f32);
+        let lambda = 0.5;
+        let theta = 0.25;
+        let lt = lambda * theta;
+        // Case 1: large positive residual -> v = u - λθ·g.
+        let i0 = i1.map(|&v| v - 1.0); // residual = I1w - I0 = +1
+        let lin = WarpLinearization::new(&i0, &i1, &FlowField::zeros(16, 8));
+        let v = threshold_step(&lin, &FlowField::zeros(16, 8), lambda, theta);
+        let (v1, _) = v.at(8, 4);
+        assert!((v1 + lt * lin.gx[(8, 4)]).abs() < 1e-6);
+        // Case 2: small residual -> v = u - rho·g/|g|².
+        let i0b = i1.map(|&v| v - 1e-4);
+        let lin_b = WarpLinearization::new(&i0b, &i1, &FlowField::zeros(16, 8));
+        let vb = threshold_step(&lin_b, &FlowField::zeros(16, 8), lambda, theta);
+        let (v1b, _) = vb.at(8, 4);
+        let expect = -1e-4 * lin_b.gx[(8, 4)] / lin_b.grad_sq(8, 4);
+        assert!((v1b - expect).abs() < 1e-6);
+        // Case 3: zero gradient -> v = u.
+        let flat = Grid::new(16, 8, 0.5f32);
+        let lin_c = WarpLinearization::new(&flat, &flat, &FlowField::zeros(16, 8));
+        let vc = threshold_step(&lin_c, &FlowField::constant(16, 8, 2.0, 3.0), lambda, theta);
+        assert_eq!(vc.at(8, 4), (2.0, 3.0));
+    }
+
+    #[test]
+    fn warm_start_tracks_video() {
+        use chambolle_imaging::render_sequence;
+        let motion = Motion::Translation { du: 2.0, dv: 1.0 };
+        let frames = render_sequence(&NoiseTexture::new(71), 64, 48, motion, 7);
+        // A deliberately weak configuration: 1 warp and no pyramid can't
+        // recover 2px motion from scratch, but refines a good prior; over a
+        // coherent sequence the tracker converges to the true motion.
+        let weak = TvL1Params::new(38.0, ChambolleParams::with_iterations(15), 1, 2, 1).unwrap();
+        let truth = motion.ground_truth(64, 48);
+
+        // Cold: single weak solve on the last pair.
+        let (cold, _) = TvL1Solver::sequential(weak)
+            .flow(&frames[5], &frames[6])
+            .unwrap();
+        // Warm: track through the sequence with the same weak solver.
+        let mut tracker = VideoFlowTracker::new(TvL1Solver::sequential(weak));
+        let mut warm = None;
+        for t in 0..6 {
+            warm = Some(tracker.next_flow(&frames[t], &frames[t + 1]).unwrap());
+        }
+        let warm = warm.unwrap();
+        let e_cold = average_endpoint_error(&cold, &truth);
+        let e_warm = average_endpoint_error(&warm, &truth);
+        assert!(
+            e_warm < 0.6 * e_cold,
+            "warm start should help a weak solver: cold {e_cold} vs warm {e_warm}"
+        );
+        assert!(tracker.last_flow().is_some());
+        tracker.reset();
+        assert!(tracker.last_flow().is_none());
+    }
+
+    #[test]
+    fn flow_with_init_validates_prior_size() {
+        use chambolle_imaging::FlowField;
+        let scene = NoiseTexture::new(72);
+        let pair = render_pair(&scene, 40, 30, Motion::Translation { du: 1.0, dv: 0.0 });
+        let solver = TvL1Solver::sequential(fast_params());
+        let bad_prior = FlowField::zeros(41, 30);
+        assert!(solver
+            .flow_with_init(&pair.i0, &pair.i1, Some(&bad_prior))
+            .is_err());
+        let good_prior = FlowField::constant(40, 30, 1.0, 0.0);
+        assert!(solver
+            .flow_with_init(&pair.i0, &pair.i1, Some(&good_prior))
+            .is_ok());
+    }
+
+    #[test]
+    fn gentler_pyramid_helps_large_motion() {
+        let scene = NoiseTexture::new(61);
+        let motion = Motion::Translation { du: 7.0, dv: 0.0 };
+        let pair = render_pair(&scene, 128, 64, motion);
+        let coarse = fast_params();
+        let gentle = fast_params().with_scale_factor(0.75).unwrap();
+        let mut gentle = gentle;
+        gentle.pyramid_levels = 8;
+        let (f_half, _) = TvL1Solver::sequential(coarse)
+            .flow(&pair.i0, &pair.i1)
+            .unwrap();
+        let (f_gentle, _) = TvL1Solver::sequential(gentle)
+            .flow(&pair.i0, &pair.i1)
+            .unwrap();
+        let e_half = average_endpoint_error(&f_half, &pair.truth);
+        let e_gentle = average_endpoint_error(&f_gentle, &pair.truth);
+        assert!(e_gentle < 1.0, "gentle pyramid AEE {e_gentle}");
+        assert!(
+            e_gentle <= e_half * 1.5,
+            "gentle pyramid should not be much worse: {e_gentle} vs {e_half}"
+        );
+    }
+
+    #[test]
+    fn median_filter_variant_still_recovers_flow() {
+        let scene = NoiseTexture::new(55);
+        let motion = Motion::Translation { du: 1.5, dv: 0.5 };
+        let pair = render_pair(&scene, 64, 48, motion);
+        let p = fast_params().with_median_filter();
+        let solver = TvL1Solver::sequential(p);
+        let (flow, _) = solver.flow(&pair.i0, &pair.i1).unwrap();
+        let aee = average_endpoint_error(&flow, &pair.truth);
+        assert!(aee < 0.4, "median-filtered AEE {aee}");
+        // And the flag changes the result relative to the plain scheme.
+        let (plain, _) = TvL1Solver::sequential(fast_params())
+            .flow(&pair.i0, &pair.i1)
+            .unwrap();
+        assert_ne!(flow.u1.as_slice(), plain.u1.as_slice());
+    }
+
+
+    #[test]
+    fn stats_count_the_inner_solves() {
+        let scene = NoiseTexture::new(81);
+        let pair = render_pair(&scene, 64, 48, Motion::Translation { du: 0.5, dv: 0.0 });
+        let p = fast_params();
+        let (_, stats) = TvL1Solver::sequential(p).flow(&pair.i0, &pair.i1).unwrap();
+        // Two component solves per alternation, outer_iterations per warp,
+        // warps per level.
+        assert_eq!(
+            stats.chambolle_calls,
+            stats.levels as u32 * p.warps * p.outer_iterations * 2
+        );
+        assert_eq!(stats.warps, p.warps);
+        assert!(stats.levels <= p.pyramid_levels);
+    }
+
+    #[test]
+    fn stats_display_mentions_chambolle() {
+        let stats = FlowStats {
+            total_time: Duration::from_millis(100),
+            chambolle_time: Duration::from_millis(90),
+            chambolle_calls: 10,
+            levels: 3,
+            warps: 5,
+        };
+        let s = stats.to_string();
+        assert!(s.contains("90%"));
+        assert!((stats.chambolle_fraction() - 0.9).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,405 @@
+//! Signed Q-format fixed-point arithmetic on `i32`, modeling the FPGA
+//! datapath of the accelerator.
+//!
+//! The paper's BRAM word stores `v` as a 13-bit and `px`/`py` as 9-bit
+//! fixed-point values; the PE datapath widens to 32 bits (24 integer + 8
+//! fractional for the square-root input). All of those share an 8-bit
+//! fractional part, so a single const-generic [`Fixed`] type with `FRAC`
+//! fraction bits covers every signal in the design.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed fixed-point number with `FRAC` fractional bits stored in an
+/// `i32`.
+///
+/// Arithmetic saturates on overflow (the hardware's guard bits prevent
+/// overflow in practice; saturation makes out-of-range behaviour explicit
+/// instead of wrapping silently). Multiplication and division truncate
+/// toward negative infinity, matching two's-complement arithmetic right
+/// shifts in the RTL.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_fixed::Fixed;
+///
+/// type Q8 = Fixed<8>;
+/// let a = Q8::from_f32(1.5);
+/// let b = Q8::from_f32(0.25);
+/// assert_eq!((a * b).to_f32(), 0.375);
+/// assert_eq!((a + b).to_f32(), 1.75);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed<const FRAC: u32>(i32);
+
+/// Q24.8: the wide datapath format (square-root input, accumulators).
+pub type Q24_8 = Fixed<8>;
+
+impl<const FRAC: u32> Fixed<FRAC> {
+    /// The value `0`.
+    pub const ZERO: Self = Fixed(0);
+    /// The value `1`.
+    pub const ONE: Self = Fixed(1 << FRAC);
+    /// Smallest positive representable increment (`2^-FRAC`).
+    pub const EPSILON: Self = Fixed(1);
+    /// Largest representable value.
+    pub const MAX: Self = Fixed(i32::MAX);
+    /// Smallest (most negative) representable value.
+    pub const MIN: Self = Fixed(i32::MIN);
+
+    /// Creates a value from its raw two's-complement bit pattern.
+    pub const fn from_bits(bits: i32) -> Self {
+        Fixed(bits)
+    }
+
+    /// The raw two's-complement bit pattern.
+    pub const fn to_bits(self) -> i32 {
+        self.0
+    }
+
+    /// Converts from `f32`, rounding to the nearest representable value and
+    /// saturating out-of-range inputs (NaN maps to zero).
+    pub fn from_f32(v: f32) -> Self {
+        if v.is_nan() {
+            return Self::ZERO;
+        }
+        let scaled = (v as f64 * (1i64 << FRAC) as f64).round();
+        Fixed(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Converts from an integer, saturating on overflow.
+    pub fn from_int(v: i32) -> Self {
+        let wide = (v as i64) << FRAC;
+        Fixed(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// The exact `f32` value (always exact for `FRAC <= 8` magnitudes in
+    /// range).
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / (1i64 << FRAC) as f32
+    }
+
+    /// The exact `f64` value.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1i64 << FRAC) as f64
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Fixed(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Fixed(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Fixed-point multiplication: 64-bit product, arithmetic shift right by
+    /// `FRAC` (truncation toward −∞), then saturation to 32 bits.
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let wide = (self.0 as i64 * rhs.0 as i64) >> FRAC;
+        Fixed(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Fixed-point division: `(self << FRAC) / rhs` with 64-bit numerator,
+    /// truncating toward zero (the behaviour of a restoring divider).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    pub fn saturating_div(self, rhs: Self) -> Self {
+        assert!(rhs.0 != 0, "fixed-point division by zero");
+        let wide = ((self.0 as i64) << FRAC) / rhs.0 as i64;
+        Fixed(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Absolute value (saturates `MIN` to `MAX`).
+    pub fn abs(self) -> Self {
+        if self.0 == i32::MIN {
+            Self::MAX
+        } else {
+            Fixed(self.0.abs())
+        }
+    }
+
+    /// `true` if the value fits in a `bits`-wide two's-complement field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 32.
+    pub fn fits_in(self, bits: u32) -> bool {
+        assert!((1..=32).contains(&bits), "field width must be 1..=32 bits");
+        if bits == 32 {
+            return true;
+        }
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        (lo..=hi).contains(&self.0)
+    }
+
+    /// Clamps into a `bits`-wide two's-complement field, like a saturating
+    /// width reduction in the RTL.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 32.
+    pub fn saturate_to(self, bits: u32) -> Self {
+        assert!((1..=32).contains(&bits), "field width must be 1..=32 bits");
+        if bits == 32 {
+            return self;
+        }
+        let lo = -(1i32 << (bits - 1));
+        let hi = (1i32 << (bits - 1)) - 1;
+        Fixed(self.0.clamp(lo, hi))
+    }
+}
+
+impl<const FRAC: u32> Add for Fixed<FRAC> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Fixed<FRAC> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> Sub for Fixed<FRAC> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl<const FRAC: u32> SubAssign for Fixed<FRAC> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const FRAC: u32> Mul for Fixed<FRAC> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl<const FRAC: u32> Div for Fixed<FRAC> {
+    type Output = Self;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Self) -> Self {
+        self.saturating_div(rhs)
+    }
+}
+
+impl<const FRAC: u32> Neg for Fixed<FRAC> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fixed(0i32.saturating_sub(self.0))
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed<{}>({} = {})", FRAC, self.0, self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fixed<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> From<i16> for Fixed<FRAC> {
+    fn from(v: i16) -> Self {
+        Self::from_int(v as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q8 = Fixed<8>;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q8::ZERO.to_f32(), 0.0);
+        assert_eq!(Q8::ONE.to_f32(), 1.0);
+        assert_eq!(Q8::EPSILON.to_f32(), 1.0 / 256.0);
+    }
+
+    #[test]
+    fn f32_roundtrip_on_grid_values() {
+        for i in -1000..1000 {
+            let v = i as f32 / 256.0;
+            assert_eq!(Q8::from_f32(v).to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn from_f32_rounds_to_nearest() {
+        assert_eq!(Q8::from_f32(0.0019), Q8::from_bits(0)); // 0.486 LSB
+        assert_eq!(Q8::from_f32(0.0021), Q8::from_bits(1)); // 0.54 LSB
+        assert_eq!(Q8::from_f32(f32::NAN), Q8::ZERO);
+    }
+
+    #[test]
+    fn from_f32_saturates() {
+        assert_eq!(Q8::from_f32(1e12), Q8::MAX);
+        assert_eq!(Q8::from_f32(-1e12), Q8::MIN);
+    }
+
+    #[test]
+    fn mul_truncates_toward_neg_infinity() {
+        let a = Q8::from_bits(3); // 3/256
+        let b = Q8::from_bits(-1); // -1/256
+                                   // exact product = -3/65536 = -0.01171875/256; >> 8 floors to -1 bit
+        assert_eq!((a * b).to_bits(), -1);
+        let c = Q8::from_bits(1);
+        assert_eq!((a * c).to_bits(), 0);
+    }
+
+    #[test]
+    fn div_matches_float_within_one_lsb() {
+        let a = Q8::from_f32(3.0);
+        let b = Q8::from_f32(1.5);
+        assert_eq!((a / b).to_f32(), 2.0);
+        let c = Q8::from_f32(1.0) / Q8::from_f32(3.0);
+        assert!((c.to_f32() - 1.0 / 3.0).abs() <= 1.0 / 256.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = Q8::ONE / Q8::ZERO;
+    }
+
+    #[test]
+    fn saturation_on_add() {
+        assert_eq!(Q8::MAX + Q8::ONE, Q8::MAX);
+        assert_eq!(Q8::MIN - Q8::ONE, Q8::MIN);
+    }
+
+    #[test]
+    fn neg_and_abs() {
+        let v = Q8::from_f32(-2.5);
+        assert_eq!((-v).to_f32(), 2.5);
+        assert_eq!(v.abs().to_f32(), 2.5);
+        assert_eq!(Q8::MIN.abs(), Q8::MAX);
+        assert_eq!(-Q8::MIN, Q8::MAX);
+    }
+
+    #[test]
+    fn field_width_checks() {
+        let v = Q8::from_bits(255);
+        assert!(v.fits_in(9));
+        let w = Q8::from_bits(256);
+        assert!(!w.fits_in(9));
+        assert!(w.fits_in(10));
+        assert_eq!(w.saturate_to(9).to_bits(), 255);
+        assert_eq!(Q8::from_bits(-257).saturate_to(9).to_bits(), -256);
+        assert!(Q8::from_bits(-256).fits_in(9));
+    }
+
+    #[test]
+    fn from_int_and_i16() {
+        assert_eq!(Q8::from_int(3).to_f32(), 3.0);
+        assert_eq!(Q8::from(-2i16).to_f32(), -2.0);
+        // i32::MAX << 8 must saturate rather than wrap.
+        assert_eq!(Q8::from_int(i32::MAX), Q8::MAX);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let v = Q8::from_f32(1.25);
+        assert_eq!(format!("{v}"), "1.25");
+        assert!(format!("{v:?}").contains("Fixed<8>"));
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Q8::from_f32(-1.0) < Q8::ZERO);
+        assert!(Q8::from_f32(0.5) < Q8::ONE);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Exact rational value of a Q8 number: bits / 256.
+        fn exact(v: Q8) -> i64 {
+            v.to_bits() as i64
+        }
+
+        proptest! {
+            /// Addition is exact whenever it does not saturate.
+            #[test]
+            fn add_is_exact_without_saturation(a in -1_000_000i32..1_000_000, b in -1_000_000i32..1_000_000) {
+                let fa = Q8::from_bits(a);
+                let fb = Q8::from_bits(b);
+                prop_assert_eq!(exact(fa + fb), a as i64 + b as i64);
+            }
+
+            /// Multiplication truncates toward negative infinity by at most
+            /// one LSB: floor(a*b/256) exactly.
+            #[test]
+            fn mul_is_floor_of_exact_product(a in -60_000i32..60_000, b in -60_000i32..60_000) {
+                let fa = Q8::from_bits(a);
+                let fb = Q8::from_bits(b);
+                let exact_bits = (a as i64 * b as i64) >> 8; // arithmetic shift = floor
+                prop_assert_eq!(exact(fa * fb), exact_bits);
+            }
+
+            /// Division truncates toward zero: trunc((a<<8)/b).
+            #[test]
+            fn div_is_trunc_of_exact_quotient(a in -1_000_000i32..1_000_000, b in 1i32..100_000) {
+                let fa = Q8::from_bits(a);
+                let fb = Q8::from_bits(b);
+                prop_assert_eq!(exact(fa / fb), ((a as i64) << 8) / b as i64);
+            }
+
+            /// Negation is an involution away from the saturation rail.
+            #[test]
+            fn neg_involution(a in (i32::MIN + 1)..i32::MAX) {
+                let f = Q8::from_bits(a);
+                prop_assert_eq!(-(-f), f);
+            }
+
+            /// abs is non-negative and |x|^2 == x^2 in the fixed arithmetic.
+            #[test]
+            fn abs_square_identity(a in -40_000i32..40_000) {
+                let f = Q8::from_bits(a);
+                prop_assert!(f.abs() >= Q8::ZERO);
+                prop_assert_eq!(f * f, f.abs() * f.abs());
+            }
+
+            /// Saturating width reduction is idempotent and order-preserving.
+            #[test]
+            fn saturate_to_is_monotone(a in any::<i32>(), b in any::<i32>()) {
+                let fa = Q8::from_bits(a).saturate_to(9);
+                let fb = Q8::from_bits(b).saturate_to(9);
+                prop_assert_eq!(fa.saturate_to(9), fa);
+                if a <= b {
+                    prop_assert!(fa <= fb);
+                }
+                prop_assert!(fa.fits_in(9));
+            }
+
+            /// Round-trip through f64 is exact for in-range values.
+            #[test]
+            fn f64_roundtrip(a in -1_000_000i32..1_000_000) {
+                let f = Q8::from_bits(a);
+                prop_assert_eq!(Q8::from_f32(f.to_f64() as f32), f);
+            }
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! The top-level accelerator (Figure 2): two concurrent sliding windows,
+//! each with one PE array per flow component, driven by a frame scheduler
+//! that implements the loop-decomposition + sliding-window scheme over
+//! arbitrarily large frames.
+//!
+//! A frame round loads each 92×88 window (profitable region plus halo), runs
+//! `merge_factor` (K) iterations on chip, and writes the profitable `p` back;
+//! after ⌈N/K⌉ rounds a final u-round sweeps `u = v − θ·div p` out of the
+//! PE-Ts. Windows within a round are independent and are assigned
+//! round-robin to the sliding windows; the frame latency is the larger of
+//! the two windows' cycle totals.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use chambolle_core::{ChambolleParams, InvalidParamsError, TileConfig, TilePlan, TvDenoiser};
+use chambolle_fixed::{PackedWord, SqrtUnit, WordFixed};
+use chambolle_imaging::{Grid, Image};
+
+use crate::array::{ArrayConfig, ArrayStats, PeArray, WindowRun};
+use crate::params::HwParams;
+use crate::reference::dequantize;
+
+/// Which square-root hardware the PE-Vs instantiate (Section V-C trade).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SqrtKind {
+    /// The paper's 256-entry LUT (1 cycle, ≈70 LUTs, ≈1% error).
+    #[default]
+    Lut,
+    /// Iterative non-restoring square root (exact, 20 pipeline stages).
+    NonRestoring,
+}
+
+impl SqrtKind {
+    /// Instantiates the corresponding functional unit.
+    pub fn unit(self) -> SqrtUnit {
+        match self {
+            SqrtKind::Lut => SqrtUnit::lut(),
+            SqrtKind::NonRestoring => SqrtUnit::non_restoring(),
+        }
+    }
+}
+
+/// Configuration of the accelerator instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// Geometry of each PE array (default: the paper's 92×88).
+    pub array: ArrayConfig,
+    /// Iterations merged per window load (K of the sliding-window scheme).
+    pub merge_factor: u32,
+    /// Number of concurrent sliding windows (the paper instantiates 2).
+    pub sliding_windows: usize,
+    /// Post-place-and-route clock (221 MHz in the paper).
+    pub clock_mhz: f64,
+    /// Square-root unit of the PE-V datapath.
+    pub sqrt: SqrtKind,
+}
+
+impl AccelConfig {
+    /// The paper's configuration with the given merge factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] if `merge_factor` leaves no profitable
+    /// interior in a 92×88 window.
+    pub fn paper(merge_factor: u32) -> Result<Self, InvalidParamsError> {
+        // Validate against the same rules the tiler enforces (positive K,
+        // profitable interior left after the halo).
+        TileConfig::new(92, 88, merge_factor, 2)?;
+        Ok(AccelConfig {
+            array: ArrayConfig::paper(),
+            merge_factor,
+            sliding_windows: 2,
+            clock_mhz: 221.0,
+            sqrt: SqrtKind::Lut,
+        })
+    }
+
+    pub(crate) fn tile_config(&self, k: u32) -> TileConfig {
+        TileConfig::new(
+            self.array.stride,
+            self.array.max_rows,
+            k,
+            self.sliding_windows,
+        )
+        .expect("accelerator geometry was validated at construction")
+    }
+}
+
+impl Default for AccelConfig {
+    /// Paper geometry, K = 2, two sliding windows, 221 MHz.
+    fn default() -> Self {
+        AccelConfig::paper(2).expect("K = 2 is valid for the paper geometry")
+    }
+}
+
+/// One sliding window: two PE arrays updating `u1` and `u2` of the same
+/// sub-matrix completely in parallel (Figure 2).
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    array_u1: PeArray,
+    array_u2: PeArray,
+    cycles: u64,
+}
+
+impl SlidingWindow {
+    /// Creates a window with two arrays of the given geometry.
+    pub fn new(config: ArrayConfig) -> Self {
+        SlidingWindow::with_sqrt(config, SqrtKind::Lut)
+    }
+
+    /// Creates a window with an explicit square-root unit.
+    pub fn with_sqrt(config: ArrayConfig, sqrt: SqrtKind) -> Self {
+        SlidingWindow {
+            array_u1: PeArray::with_sqrt(config, sqrt.unit()),
+            array_u2: PeArray::with_sqrt(config, sqrt.unit()),
+            cycles: 0,
+        }
+    }
+
+    /// Processes one sub-matrix: `u1` on the first array and (optionally)
+    /// `u2` on the second, concurrently — the window's cycle cost is the
+    /// maximum of the two, which is the first array's count since both
+    /// arrays run the identical schedule.
+    pub fn process(
+        &mut self,
+        words1: &Grid<PackedWord>,
+        words2: Option<&Grid<PackedWord>>,
+        params: &HwParams,
+        emit_u: bool,
+    ) -> (WindowRun, Option<WindowRun>) {
+        let run1 = self.array_u1.process_window_with(words1, params, emit_u);
+        let run2 = words2.map(|w| self.array_u2.process_window_with(w, params, emit_u));
+        let c2 = run2.as_ref().map_or(0, |r| r.stats.cycles);
+        self.cycles += run1.stats.cycles.max(c2);
+        (run1, run2)
+    }
+
+    /// Cycles this window has been busy since construction.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Combined statistics of the two arrays.
+    pub fn stats(&self) -> (ArrayStats, ArrayStats) {
+        (self.array_u1.stats(), self.array_u2.stats())
+    }
+}
+
+/// Frame-level execution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameStats {
+    /// Frame latency in cycles: the busiest sliding window's total.
+    pub cycles: u64,
+    /// Cycles consumed by each sliding window.
+    pub per_window_cycles: Vec<u64>,
+    /// Window loads executed (across all rounds, including the u-round).
+    pub window_loads: u64,
+    /// Iteration rounds (⌈N / K⌉).
+    pub rounds: u32,
+    /// Clock frequency used for the rate conversions.
+    pub clock_mhz: f64,
+}
+
+impl FrameStats {
+    /// Frame latency in seconds at the configured clock.
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Frames per second at the configured clock (the Table II metric).
+    pub fn fps(&self) -> f64 {
+        1.0 / self.seconds()
+    }
+}
+
+impl fmt::Display for FrameStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles ({} rounds, {} window loads) -> {:.1} fps @ {} MHz",
+            self.cycles,
+            self.rounds,
+            self.window_loads,
+            self.fps(),
+            self.clock_mhz
+        )
+    }
+}
+
+/// The full accelerator: sliding windows plus the frame scheduler.
+#[derive(Debug)]
+pub struct ChambolleAccel {
+    config: AccelConfig,
+    windows: Vec<SlidingWindow>,
+}
+
+impl ChambolleAccel {
+    /// Instantiates the accelerator.
+    pub fn new(config: AccelConfig) -> Self {
+        let windows = (0..config.sliding_windows.max(1))
+            .map(|_| SlidingWindow::with_sqrt(config.array, config.sqrt))
+            .collect();
+        ChambolleAccel { config, windows }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// Denoises a pair of fields (`v1`, `v2`) — the two flow components of
+    /// one TV-L1 inner solve — returning the primal outputs and the frame
+    /// statistics.
+    ///
+    /// Pass `None` for `v2` to denoise a single field (the second PE array
+    /// of each window idles; cycle counts are unchanged, exactly as in the
+    /// hardware).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwParamsError`](crate::HwParamsError) via
+    /// [`InvalidParamsError`] conversion if `params` cannot be encoded for
+    /// the fixed-point datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v2` is given with different dimensions from `v1`, or the
+    /// frame is empty.
+    pub fn denoise_pair(
+        &mut self,
+        v1: &Image,
+        v2: Option<&Image>,
+        params: &ChambolleParams,
+    ) -> Result<(Image, Option<Image>, FrameStats), crate::HwParamsError> {
+        let hw = HwParams::try_from(*params)?;
+        if let Some(v2) = v2 {
+            assert_eq!(v1.dims(), v2.dims(), "component fields must match in size");
+        }
+        let (w, h) = v1.dims();
+        assert!(w > 0 && h > 0, "frame must be non-empty");
+
+        let n_windows = self.windows.len();
+        let start_cycles: Vec<u64> = self.windows.iter().map(|sw| sw.cycles()).collect();
+        let mut state1 = crate::reference::quantize_input(v1);
+        let mut state2 = v2.map(crate::reference::quantize_input);
+        let mut window_loads = 0u64;
+        let mut rounds = 0u32;
+
+        // Iteration rounds: K iterations per window load.
+        let mut remaining = params.iterations;
+        let mut next_window = 0usize;
+        while remaining > 0 {
+            let k = remaining.min(self.config.merge_factor);
+            let plan = TilePlan::new(w, h, self.config.tile_config(k));
+            let round_params = HwParams {
+                iterations: k,
+                ..hw
+            };
+            // Snapshot semantics: every window of a round reads the state at
+            // round start; write-backs target the next round's state (the
+            // hardware's windows run concurrently on the same input frame).
+            let mut next1 = state1.clone();
+            let mut next2 = state2.clone();
+            for tile in plan.tiles() {
+                let sub1 = state1.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h);
+                let sub2 = state2
+                    .as_ref()
+                    .map(|s| s.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h));
+                let sw = &mut self.windows[next_window];
+                next_window = (next_window + 1) % n_windows;
+                let (run1, run2) = sw.process(&sub1, sub2.as_ref(), &round_params, false);
+                window_loads += 1;
+                blit_profitable_words(&mut next1, tile, &run1.words);
+                if let (Some(next2), Some(run2)) = (next2.as_mut(), run2) {
+                    blit_profitable_words(next2, tile, &run2.words);
+                }
+            }
+            state1 = next1;
+            state2 = next2;
+            remaining -= k;
+            rounds += 1;
+        }
+
+        // Final u-round: PE-T sweeps with a one-cell leading halo.
+        let mut u1 = Grid::new(w, h, WordFixed::ZERO);
+        let mut u2 = v2.map(|_| Grid::new(w, h, WordFixed::ZERO));
+        let sweep_params = HwParams {
+            iterations: 0,
+            ..hw
+        };
+        for tile in u_round_tiles(w, h, &self.config.array) {
+            let sub1 = state1.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h);
+            let sub2 = state2
+                .as_ref()
+                .map(|s| s.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h));
+            let sw = &mut self.windows[next_window];
+            next_window = (next_window + 1) % n_windows;
+            let (run1, run2) = sw.process(&sub1, sub2.as_ref(), &sweep_params, true);
+            window_loads += 1;
+            blit_profitable_u(&mut u1, &tile, &run1.u);
+            if let (Some(u2), Some(run2)) = (u2.as_mut(), run2) {
+                blit_profitable_u(u2, &tile, &run2.u);
+            }
+        }
+
+        let per_window_cycles: Vec<u64> = self
+            .windows
+            .iter()
+            .zip(&start_cycles)
+            .map(|(sw, &s)| sw.cycles() - s)
+            .collect();
+        let stats = FrameStats {
+            cycles: per_window_cycles.iter().copied().max().unwrap_or(0),
+            per_window_cycles,
+            window_loads,
+            rounds,
+            clock_mhz: self.config.clock_mhz,
+        };
+        Ok((dequantize(&u1), u2.as_ref().map(dequantize), stats))
+    }
+}
+
+/// A window position of the u-round: output block plus a one-cell
+/// leading (left/top) halo — `u` at a cell reads `p` at itself and its
+/// left/up neighbors only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct UTile {
+    pub(crate) src_x: usize,
+    pub(crate) src_y: usize,
+    pub(crate) src_w: usize,
+    pub(crate) src_h: usize,
+    pub(crate) out_x: usize,
+    pub(crate) out_y: usize,
+    pub(crate) out_w: usize,
+    pub(crate) out_h: usize,
+}
+
+pub(crate) fn u_round_tiles(w: usize, h: usize, array: &ArrayConfig) -> Vec<UTile> {
+    let step_x = array.stride - 1;
+    let step_y = array.max_rows - 1;
+    let mut tiles = Vec::new();
+    let mut oy = 0;
+    while oy < h {
+        let out_h = step_y.min(h - oy);
+        let mut ox = 0;
+        while ox < w {
+            let out_w = step_x.min(w - ox);
+            let src_x = ox.saturating_sub(1);
+            let src_y = oy.saturating_sub(1);
+            tiles.push(UTile {
+                src_x,
+                src_y,
+                src_w: ox + out_w - src_x,
+                src_h: oy + out_h - src_y,
+                out_x: ox,
+                out_y: oy,
+                out_w,
+                out_h,
+            });
+            ox += out_w;
+        }
+        oy += out_h;
+    }
+    tiles
+}
+
+fn blit_profitable_words(
+    global: &mut Grid<PackedWord>,
+    tile: &chambolle_core::Tile,
+    local: &Grid<PackedWord>,
+) {
+    let lx = tile.local_out_x();
+    let ly = tile.local_out_y();
+    for y in 0..tile.out_h {
+        for x in 0..tile.out_w {
+            global[(tile.out_x + x, tile.out_y + y)] = local[(lx + x, ly + y)];
+        }
+    }
+}
+
+fn blit_profitable_u(global: &mut Grid<WordFixed>, tile: &UTile, local: &Grid<WordFixed>) {
+    let lx = tile.out_x - tile.src_x;
+    let ly = tile.out_y - tile.src_y;
+    for y in 0..tile.out_h {
+        for x in 0..tile.out_w {
+            global[(tile.out_x + x, tile.out_y + y)] = local[(lx + x, ly + y)];
+        }
+    }
+}
+
+/// [`TvDenoiser`] adapter so the accelerator can back the TV-L1 outer loop.
+///
+/// The trait takes `&self`, so the mutable accelerator lives behind a mutex.
+#[derive(Debug)]
+pub struct AccelDenoiser {
+    accel: Mutex<ChambolleAccel>,
+}
+
+impl AccelDenoiser {
+    /// Wraps an accelerator instance.
+    pub fn new(accel: ChambolleAccel) -> Self {
+        AccelDenoiser {
+            accel: Mutex::new(accel),
+        }
+    }
+
+    /// Consumes the adapter, returning the accelerator (e.g. to read
+    /// cumulative cycle counts after a flow estimation).
+    pub fn into_inner(self) -> ChambolleAccel {
+        self.accel.into_inner().expect("accelerator mutex poisoned")
+    }
+}
+
+impl TvDenoiser for AccelDenoiser {
+    /// # Panics
+    ///
+    /// Panics if `params` cannot be encoded for the fixed-point datapath
+    /// (use exactly representable Q8.8 values such as θ = 0.25, τ = θ/4).
+    fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
+        let mut accel = self.accel.lock().expect("accelerator mutex poisoned");
+        let (u, _, _) = accel
+            .denoise_pair(v, None, params)
+            .expect("parameters must be hardware-representable");
+        u
+    }
+
+    fn name(&self) -> &str {
+        "fpga-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{fixed_chambolle_reference, quantize_input};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_image(w: usize, h: usize, seed: u64) -> Image {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Grid::from_fn(w, h, |_, _| rng.gen_range(0.0f32..1.0))
+    }
+
+    fn params(iters: u32) -> ChambolleParams {
+        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+    }
+
+    #[test]
+    fn frame_matches_monolithic_reference() {
+        // A frame larger than one window, denoised through the sliding
+        // windows, must equal the monolithic fixed-point reference exactly.
+        let v = random_image(150, 120, 1);
+        let p = params(6);
+        let mut accel = ChambolleAccel::new(AccelConfig::paper(2).unwrap());
+        let (u, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
+        let reference = fixed_chambolle_reference(&quantize_input(&v), &HwParams::standard(6));
+        for y in 0..120 {
+            for x in 0..150 {
+                assert_eq!(
+                    WordFixed::from_f32(u[(x, y)]),
+                    reference.u[(x, y)],
+                    "u mismatch at ({x},{y})"
+                );
+            }
+        }
+        assert!(stats.cycles > 0);
+        assert!(stats.rounds == 3);
+    }
+
+    #[test]
+    fn small_frame_single_window() {
+        let v = random_image(40, 30, 2);
+        let p = params(5);
+        let mut accel = ChambolleAccel::new(AccelConfig::default());
+        let (u, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
+        let reference = fixed_chambolle_reference(&quantize_input(&v), &HwParams::standard(5));
+        assert_eq!(u.map(|&v| WordFixed::from_f32(v)), reference.u.map(|&x| x));
+        // 3 iteration rounds (2+2+1) plus one u-round window each.
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.window_loads, 4);
+    }
+
+    #[test]
+    fn pair_components_are_independent() {
+        let v1 = random_image(50, 40, 3);
+        let v2 = random_image(50, 40, 4);
+        let p = params(4);
+        let mut accel = ChambolleAccel::new(AccelConfig::default());
+        let (u1, u2, _) = accel.denoise_pair(&v1, Some(&v2), &p).unwrap();
+        let u2 = u2.expect("second component requested");
+        let r1 = fixed_chambolle_reference(&quantize_input(&v1), &HwParams::standard(4));
+        let r2 = fixed_chambolle_reference(&quantize_input(&v2), &HwParams::standard(4));
+        assert_eq!(u1.map(|&v| WordFixed::from_f32(v)), r1.u.map(|&x| x));
+        assert_eq!(u2.map(|&v| WordFixed::from_f32(v)), r2.u.map(|&x| x));
+    }
+
+    #[test]
+    fn pair_costs_no_extra_cycles() {
+        let v1 = random_image(60, 50, 5);
+        let v2 = random_image(60, 50, 6);
+        let p = params(3);
+        let mut a = ChambolleAccel::new(AccelConfig::default());
+        let (_, _, s_single) = a.denoise_pair(&v1, None, &p).unwrap();
+        let mut b = ChambolleAccel::new(AccelConfig::default());
+        let (_, _, s_pair) = b.denoise_pair(&v1, Some(&v2), &p).unwrap();
+        assert_eq!(s_single.cycles, s_pair.cycles, "u2 array runs in parallel");
+    }
+
+    #[test]
+    fn two_windows_split_the_work() {
+        // A frame of many tiles: the two sliding windows should end up with
+        // near-equal cycle shares.
+        let v = random_image(300, 180, 7);
+        let p = params(2);
+        let mut accel = ChambolleAccel::new(AccelConfig::default());
+        let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
+        assert_eq!(stats.per_window_cycles.len(), 2);
+        let (a, b) = (stats.per_window_cycles[0], stats.per_window_cycles[1]);
+        let imbalance = (a as f64 - b as f64).abs() / a.max(b) as f64;
+        assert!(imbalance < 0.5, "windows too imbalanced: {a} vs {b}");
+    }
+
+    #[test]
+    fn fps_accounting() {
+        let stats = FrameStats {
+            cycles: 2_210_000,
+            per_window_cycles: vec![2_210_000],
+            window_loads: 10,
+            rounds: 5,
+            clock_mhz: 221.0,
+        };
+        assert!((stats.seconds() - 0.01).abs() < 1e-12);
+        assert!((stats.fps() - 100.0).abs() < 1e-9);
+        assert!(stats.to_string().contains("fps"));
+    }
+
+    #[test]
+    fn denoiser_adapter_matches_reference() {
+        let v = random_image(30, 20, 8);
+        let p = params(4);
+        let adapter = AccelDenoiser::new(ChambolleAccel::new(AccelConfig::default()));
+        let u = adapter.denoise(&v, &p);
+        let reference = fixed_chambolle_reference(&quantize_input(&v), &HwParams::standard(4));
+        assert_eq!(u.map(|&v| WordFixed::from_f32(v)), reference.u.map(|&x| x));
+        assert_eq!(adapter.name(), "fpga-sim");
+        let accel = adapter.into_inner();
+        assert!(accel.windows[0].cycles() > 0);
+    }
+
+    #[test]
+    fn non_restoring_sqrt_is_bit_exact_vs_its_reference() {
+        use crate::reference::fixed_chambolle_reference_with;
+        use chambolle_fixed::SqrtUnit;
+        let v = random_image(60, 40, 9);
+        let p = params(5);
+        let config = AccelConfig {
+            sqrt: SqrtKind::NonRestoring,
+            ..AccelConfig::default()
+        };
+        let mut accel = ChambolleAccel::new(config);
+        let (u, _, _) = accel.denoise_pair(&v, None, &p).unwrap();
+        let reference = fixed_chambolle_reference_with(
+            &quantize_input(&v),
+            &HwParams::standard(5),
+            &SqrtUnit::non_restoring(),
+        );
+        assert_eq!(u.map(|&v| WordFixed::from_f32(v)), reference.u.map(|&x| x));
+    }
+
+    #[test]
+    fn non_restoring_sqrt_changes_the_result_and_costs_cycles() {
+        let v = random_image(50, 40, 10);
+        let p = params(10);
+        let mut lut_accel = ChambolleAccel::new(AccelConfig::default());
+        let (u_lut, _, s_lut) = lut_accel.denoise_pair(&v, None, &p).unwrap();
+        let config = AccelConfig {
+            sqrt: SqrtKind::NonRestoring,
+            ..AccelConfig::default()
+        };
+        let mut nr_accel = ChambolleAccel::new(config);
+        let (u_nr, _, s_nr) = nr_accel.denoise_pair(&v, None, &p).unwrap();
+        assert_ne!(u_lut.as_slice(), u_nr.as_slice(), "sqrt unit must matter");
+        assert!(
+            s_nr.cycles > s_lut.cycles,
+            "20-stage sqrt lengthens every pass: {} vs {}",
+            s_nr.cycles,
+            s_lut.cycles
+        );
+    }
+
+
+    #[test]
+    fn single_pixel_frame_survives_the_full_stack() {
+        let v = Grid::new(1, 1, 0.625f32);
+        let mut accel = ChambolleAccel::new(AccelConfig::default());
+        let (u, _, stats) = accel.denoise_pair(&v, None, &params(5)).unwrap();
+        // A lone pixel has no gradient: u == v exactly (quantized).
+        assert_eq!(u[(0, 0)], 0.625);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn invalid_merge_factor_rejected() {
+        assert!(AccelConfig::paper(0).is_err());
+        assert!(AccelConfig::paper(44).is_err()); // 2*44+1 = 89 > 88
+        assert!(AccelConfig::paper(43).is_ok());
+    }
+
+    #[test]
+    fn u_round_tiles_partition_with_leading_halo() {
+        let tiles = u_round_tiles(200, 100, &ArrayConfig::paper());
+        let mut covered = Grid::new(200, 100, 0u32);
+        for t in &tiles {
+            assert!(t.src_w <= 92 && t.src_h <= 88);
+            assert!(t.out_x == 0 || t.out_x - t.src_x == 1);
+            assert!(t.out_y == 0 || t.out_y - t.src_y == 1);
+            for y in t.out_y..t.out_y + t.out_h {
+                for x in t.out_x..t.out_x + t.out_w {
+                    covered[(x, y)] += 1;
+                }
+            }
+        }
+        assert!(covered.as_slice().iter().all(|&c| c == 1));
+    }
+}

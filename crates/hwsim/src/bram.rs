@@ -1,0 +1,291 @@
+//! Dual-port synchronous block-RAM model.
+//!
+//! Virtex-5 BRAMs have two independent ports; reads are synchronous (data
+//! appears one clock after the address). The simulator enforces the port
+//! discipline the design relies on — at most one access per port per cycle —
+//! and counts accesses so the paper's data-reuse claims (15 vs. 28 operand
+//! reads, Section V-B) can be checked quantitatively.
+
+use std::fmt;
+
+use crate::trace::{AccessKind, BramAccess, SharedRecorder};
+
+/// Which of the two ports an access uses. The design reads on port 1 and
+/// writes updated `px`/`py` on port 2 (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// Read port (port 1 in Figure 3).
+    One,
+    /// Write port (port 2 in Figure 3).
+    Two,
+}
+
+/// A dual-port synchronous RAM of 32-bit words.
+///
+/// Drive it like hardware: issue reads/writes during a cycle, then call
+/// [`Bram::clock`] to advance. Read data issued in cycle `t` is visible via
+/// [`Bram::data_out`] during cycle `t + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_hwsim::bram::{Bram, Port};
+///
+/// let mut ram = Bram::new("demo", 16);
+/// ram.write(Port::Two, 3, 0xABCD);
+/// ram.clock();
+/// ram.issue_read(Port::One, 3);
+/// ram.clock();
+/// assert_eq!(ram.data_out(Port::One), Some(0xABCD));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bram {
+    name: String,
+    words: Vec<u32>,
+    // Per-port in-flight state for the current cycle.
+    pending_read: [Option<usize>; 2],
+    pending_write: [Option<(usize, u32)>; 2],
+    data_out: [Option<u32>; 2],
+    stats: BramStats,
+    recorder: Option<SharedRecorder>,
+}
+
+/// Access counters of one BRAM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BramStats {
+    /// Total read accesses.
+    pub reads: u64,
+    /// Total write accesses.
+    pub writes: u64,
+    /// Clock cycles elapsed.
+    pub cycles: u64,
+}
+
+impl Bram {
+    /// Creates a zero-initialized RAM with `capacity` 32-bit words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "BRAM capacity must be positive");
+        Bram {
+            name: name.into(),
+            words: vec![0; capacity],
+            pending_read: [None, None],
+            pending_write: [None, None],
+            data_out: [None, None],
+            stats: BramStats::default(),
+            recorder: None,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) an access recorder for waveform
+    /// dumps — see [`crate::trace`].
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The instance name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Word capacity.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> BramStats {
+        self.stats
+    }
+
+    fn port_index(port: Port) -> usize {
+        match port {
+            Port::One => 0,
+            Port::Two => 1,
+        }
+    }
+
+    /// Issues a synchronous read; the word becomes visible after the next
+    /// [`Bram::clock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the port is already busy
+    /// this cycle — a real dual-port BRAM cannot do two operations on one
+    /// port, so a violation means the simulated schedule is wrong.
+    pub fn issue_read(&mut self, port: Port, addr: usize) {
+        assert!(
+            addr < self.words.len(),
+            "{}: read address {addr} out of range (capacity {})",
+            self.name,
+            self.words.len()
+        );
+        let i = Self::port_index(port);
+        assert!(
+            self.pending_read[i].is_none() && self.pending_write[i].is_none(),
+            "{}: port {port:?} used twice in one cycle",
+            self.name
+        );
+        self.pending_read[i] = Some(addr);
+        self.stats.reads += 1;
+    }
+
+    /// Issues a write, committed at the next [`Bram::clock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or the port is already busy
+    /// this cycle.
+    pub fn write(&mut self, port: Port, addr: usize, data: u32) {
+        assert!(
+            addr < self.words.len(),
+            "{}: write address {addr} out of range (capacity {})",
+            self.name,
+            self.words.len()
+        );
+        let i = Self::port_index(port);
+        assert!(
+            self.pending_read[i].is_none() && self.pending_write[i].is_none(),
+            "{}: port {port:?} used twice in one cycle",
+            self.name
+        );
+        self.pending_write[i] = Some((addr, data));
+        self.stats.writes += 1;
+    }
+
+    /// Advances one clock: commits writes, then latches read data
+    /// (write-before-read on address collisions, the Virtex-5
+    /// `WRITE_FIRST` mode).
+    pub fn clock(&mut self) {
+        for i in 0..2 {
+            if let Some((addr, data)) = self.pending_write[i].take() {
+                self.words[addr] = data;
+                if let Some(rec) = &self.recorder {
+                    rec.borrow_mut().record(BramAccess {
+                        cycle: self.stats.cycles,
+                        bram: self.name.clone(),
+                        kind: AccessKind::Write,
+                        port: if i == 0 { Port::One } else { Port::Two },
+                        addr,
+                        data,
+                    });
+                }
+            }
+        }
+        for i in 0..2 {
+            self.data_out[i] = self.pending_read[i].take().map(|addr| {
+                let data = self.words[addr];
+                if let Some(rec) = &self.recorder {
+                    rec.borrow_mut().record(BramAccess {
+                        cycle: self.stats.cycles,
+                        bram: self.name.clone(),
+                        kind: AccessKind::Read,
+                        port: if i == 0 { Port::One } else { Port::Two },
+                        addr,
+                        data,
+                    });
+                }
+                data
+            });
+        }
+        self.stats.cycles += 1;
+    }
+
+    /// The word latched by the read issued in the previous cycle, if any.
+    pub fn data_out(&self, port: Port) -> Option<u32> {
+        self.data_out[Self::port_index(port)]
+    }
+
+    /// Direct backdoor read (initialization/verification, not a port access).
+    pub fn peek(&self, addr: usize) -> u32 {
+        self.words[addr]
+    }
+
+    /// Direct backdoor write (initial loading "through the FPGA input pins",
+    /// Section IV — not counted as a port access).
+    pub fn poke(&mut self, addr: usize, data: u32) {
+        self.words[addr] = data;
+    }
+}
+
+impl fmt::Display for Bram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} words, {} reads, {} writes)",
+            self.name,
+            self.words.len(),
+            self.stats.reads,
+            self.stats.writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_has_one_cycle_latency() {
+        let mut ram = Bram::new("t", 8);
+        ram.poke(5, 42);
+        ram.issue_read(Port::One, 5);
+        assert_eq!(ram.data_out(Port::One), None, "data not visible same cycle");
+        ram.clock();
+        assert_eq!(ram.data_out(Port::One), Some(42));
+        ram.clock();
+        assert_eq!(ram.data_out(Port::One), None, "data valid for one cycle");
+    }
+
+    #[test]
+    fn ports_are_independent() {
+        let mut ram = Bram::new("t", 8);
+        ram.poke(1, 11);
+        ram.issue_read(Port::One, 1);
+        ram.write(Port::Two, 2, 22);
+        ram.clock();
+        assert_eq!(ram.data_out(Port::One), Some(11));
+        assert_eq!(ram.peek(2), 22);
+    }
+
+    #[test]
+    fn write_first_on_same_address() {
+        let mut ram = Bram::new("t", 8);
+        ram.poke(3, 1);
+        ram.issue_read(Port::One, 3);
+        ram.write(Port::Two, 3, 99);
+        ram.clock();
+        assert_eq!(ram.data_out(Port::One), Some(99), "WRITE_FIRST semantics");
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn double_use_of_port_panics() {
+        let mut ram = Bram::new("t", 8);
+        ram.issue_read(Port::One, 0);
+        ram.issue_read(Port::One, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut ram = Bram::new("t", 8);
+        ram.issue_read(Port::One, 8);
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut ram = Bram::new("t", 4);
+        ram.issue_read(Port::One, 0);
+        ram.write(Port::Two, 1, 5);
+        ram.clock();
+        ram.clock();
+        let s = ram.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.cycles, 2);
+    }
+}

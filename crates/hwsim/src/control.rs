@@ -1,0 +1,329 @@
+//! The control unit (Figures 2 and 3): address and enable generation for
+//! one PE array, as an explicit schedule generator.
+//!
+//! The paper's control unit produces "read addresses for BRAMs, write
+//! addresses for px and py, \[and\] read and write addresses for BRAM-Term"
+//! every cycle. [`ControlUnit::window_schedule`] emits exactly that command
+//! stream for a whole window run. It is written *independently* of the
+//! datapath simulator in [`crate::array`] — the two encode the same schedule
+//! twice, and `tests::schedule_matches_simulated_trace` proves them
+//! identical command-for-command against the recorded BRAM trace. That makes
+//! the schedule auditable as a specification, not just as emergent simulator
+//! behaviour.
+
+use crate::array::{ArrayConfig, DATA_BRAMS};
+
+/// One command the control unit issues to the memories of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Command {
+    /// Read `addr` of data BRAM `bank` (port 1).
+    DataRead {
+        /// BRAM index (`row mod 8`).
+        bank: usize,
+        /// Word address.
+        addr: usize,
+    },
+    /// Write `addr` of data BRAM `bank` (port 2; the data comes from a
+    /// PE-V).
+    DataWrite {
+        /// BRAM index (`row mod 8`).
+        bank: usize,
+        /// Word address.
+        addr: usize,
+    },
+    /// Read `addr` of the BRAM-Term (port 1).
+    TermRead {
+        /// Word address (including the ping-pong offset).
+        addr: usize,
+    },
+    /// Write `addr` of the BRAM-Term (port 2; the data comes from the last
+    /// active PE-T).
+    TermWrite {
+        /// Word address (including the ping-pong offset).
+        addr: usize,
+    },
+}
+
+/// A timestamped command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TimedCommand {
+    /// Global wavefront step (BRAM clock) the command is issued in.
+    pub step: u64,
+    /// The command.
+    pub command: Command,
+}
+
+/// Address/enable generator for one array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlUnit {
+    config: ArrayConfig,
+}
+
+impl ControlUnit {
+    /// Control unit for the given array geometry.
+    pub fn new(config: ArrayConfig) -> Self {
+        ControlUnit { config }
+    }
+
+    fn addr(&self, row: usize, col: usize) -> usize {
+        (row / DATA_BRAMS) * self.config.stride + col
+    }
+
+    /// The full command stream for processing a `w × h` window for
+    /// `iterations` Chambolle iterations (plus the u-sweep if `emit_u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or exceeds the configured geometry.
+    pub fn window_schedule(
+        &self,
+        w: usize,
+        h: usize,
+        iterations: u32,
+        emit_u: bool,
+    ) -> Vec<TimedCommand> {
+        assert!(w > 0 && h > 0, "window must be non-empty");
+        assert!(
+            w <= self.config.stride && h <= self.config.max_rows,
+            "window {w}x{h} exceeds geometry"
+        );
+        let ladder = self.config.rows_per_region;
+        let regions = h.div_ceil(ladder);
+        let mut out = Vec::new();
+        let mut step = 0u64;
+
+        for _ in 0..iterations {
+            for r in 0..regions {
+                let r0 = r * ladder;
+                let nr = ladder.min(h - r0);
+                self.region_pass(&mut out, &mut step, r0, nr, w, r % 2, true);
+            }
+            self.flush_pass(&mut out, &mut step, w, h, (regions + 1) % 2);
+        }
+        if emit_u {
+            for r in 0..regions {
+                let r0 = r * ladder;
+                let nr = ladder.min(h - r0);
+                self.region_pass(&mut out, &mut step, r0, nr, w, r % 2, false);
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn region_pass(
+        &self,
+        out: &mut Vec<TimedCommand>,
+        step: &mut u64,
+        r0: usize,
+        nr: usize,
+        w: usize,
+        parity: usize,
+        pe_v_active: bool,
+    ) {
+        let stride = self.config.stride;
+        let has_aux = r0 > 0;
+        let total_steps = w + nr + 1;
+        for s in 0..total_steps {
+            let t = *step + s as u64;
+            let mut push = |command| out.push(TimedCommand { step: t, command });
+
+            // Port-1 reads issued this step (consumed next step).
+            for i in 0..nr {
+                let col = s as i64 - i as i64;
+                if (0..w as i64).contains(&col) {
+                    push(Command::DataRead {
+                        bank: (r0 + i) % DATA_BRAMS,
+                        addr: self.addr(r0 + i, col as usize),
+                    });
+                }
+            }
+            if has_aux {
+                let col = s as i64;
+                if (0..w as i64).contains(&col) {
+                    push(Command::DataRead {
+                        bank: (r0 - 1) % DATA_BRAMS,
+                        addr: self.addr(r0 - 1, col as usize),
+                    });
+                }
+            }
+            if pe_v_active && has_aux && s < w {
+                push(Command::TermRead {
+                    addr: (1 - parity) * stride + s,
+                });
+            }
+
+            if pe_v_active {
+                // PE-V_i (i >= 1) write-backs of rows r0..r0+nr-2.
+                for i in 1..nr {
+                    let col = s as i64 - 1 - i as i64;
+                    if (0..w as i64).contains(&col) {
+                        push(Command::DataWrite {
+                            bank: (r0 + i - 1) % DATA_BRAMS,
+                            addr: self.addr(r0 + i - 1, col as usize),
+                        });
+                    }
+                }
+                // PE-V_0 write-back of row r0-1.
+                if has_aux {
+                    let col = s as i64 - 2;
+                    if (0..w as i64).contains(&col) {
+                        push(Command::DataWrite {
+                            bank: (r0 - 1) % DATA_BRAMS,
+                            addr: self.addr(r0 - 1, col as usize),
+                        });
+                    }
+                }
+                // Last active PE-T bridges its Term row to the next region.
+                let col = s as i64 - 1 - (nr as i64 - 1);
+                if (0..w as i64).contains(&col) {
+                    push(Command::TermWrite {
+                        addr: parity * stride + col as usize,
+                    });
+                }
+            }
+        }
+        *step += total_steps as u64;
+    }
+
+    fn flush_pass(
+        &self,
+        out: &mut Vec<TimedCommand>,
+        step: &mut u64,
+        w: usize,
+        h: usize,
+        parity: usize,
+    ) {
+        let stride = self.config.stride;
+        let row = h - 1;
+        let total_steps = w + 2;
+        for s in 0..total_steps {
+            let t = *step + s as u64;
+            let mut push = |command| out.push(TimedCommand { step: t, command });
+            if s < w {
+                push(Command::DataRead {
+                    bank: row % DATA_BRAMS,
+                    addr: self.addr(row, s),
+                });
+                push(Command::TermRead {
+                    addr: parity * stride + s,
+                });
+            }
+            if s >= 2 && s - 2 < w {
+                push(Command::DataWrite {
+                    bank: row % DATA_BRAMS,
+                    addr: self.addr(row, s - 2),
+                });
+            }
+        }
+        *step += total_steps as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PeArray;
+    use crate::params::HwParams;
+    use crate::reference::quantize_input;
+    use crate::trace::{AccessKind, TraceRecorder};
+    use chambolle_imaging::Grid;
+
+    /// Converts a recorded trace into (step, command) pairs.
+    fn trace_commands(trace: &TraceRecorder) -> Vec<TimedCommand> {
+        trace
+            .accesses()
+            .iter()
+            .map(|a| {
+                let command = if a.bram == "term" {
+                    match a.kind {
+                        AccessKind::Read => Command::TermRead { addr: a.addr },
+                        AccessKind::Write => Command::TermWrite { addr: a.addr },
+                    }
+                } else {
+                    let bank: usize = a
+                        .bram
+                        .strip_prefix("data")
+                        .expect("data bank")
+                        .parse()
+                        .expect("bank index");
+                    match a.kind {
+                        AccessKind::Read => Command::DataRead { bank, addr: a.addr },
+                        AccessKind::Write => Command::DataWrite { bank, addr: a.addr },
+                    }
+                };
+                TimedCommand {
+                    step: a.cycle,
+                    command,
+                }
+            })
+            .collect()
+    }
+
+    fn check(w: usize, h: usize, iterations: u32) {
+        let mut array = PeArray::new(ArrayConfig::paper());
+        let recorder = TraceRecorder::shared();
+        array.attach_recorder(&recorder);
+        let v = Grid::from_fn(w, h, |x, y| ((x + 2 * y) % 9) as f32 / 9.0);
+        array.process_window(&quantize_input(&v), &HwParams::standard(iterations));
+
+        let mut simulated = trace_commands(&recorder.borrow());
+        let mut specified =
+            ControlUnit::new(ArrayConfig::paper()).window_schedule(w, h, iterations, true);
+        simulated.sort();
+        specified.sort();
+        assert_eq!(
+            specified.len(),
+            simulated.len(),
+            "command counts differ for {w}x{h}x{iterations}"
+        );
+        assert_eq!(
+            specified, simulated,
+            "schedules differ for {w}x{h}x{iterations}"
+        );
+    }
+
+    #[test]
+    fn schedule_matches_simulated_trace() {
+        check(10, 9, 2);
+        check(24, 20, 1);
+        check(5, 7, 3);
+        check(13, 25, 2);
+    }
+
+    #[test]
+    fn schedule_matches_on_paper_window() {
+        check(92, 88, 1);
+    }
+
+    #[test]
+    fn schedule_matches_degenerate_shapes() {
+        for &(w, h) in &[(1usize, 1usize), (4, 1), (1, 9), (8, 8)] {
+            check(w, h, 2);
+        }
+    }
+
+    #[test]
+    fn one_term_access_per_kind_per_step() {
+        // The dual-port law at the specification level: the BRAM-Term never
+        // sees two reads or two writes in one step.
+        let cmds = ControlUnit::new(ArrayConfig::paper()).window_schedule(30, 22, 2, true);
+        let mut seen = std::collections::HashSet::new();
+        for c in &cmds {
+            let key = match c.command {
+                Command::TermRead { .. } => Some((c.step, 0u8)),
+                Command::TermWrite { .. } => Some((c.step, 1)),
+                _ => None,
+            };
+            if let Some(key) = key {
+                assert!(seen.insert(key), "duplicate Term access at step {}", c.step);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds geometry")]
+    fn oversized_window_rejected() {
+        ControlUnit::new(ArrayConfig::paper()).window_schedule(93, 10, 1, true);
+    }
+}

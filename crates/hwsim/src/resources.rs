@@ -1,0 +1,431 @@
+//! FPGA resource model regenerating Table I.
+//!
+//! The block-RAM count is purely structural (4 arrays × 9 BRAMs). The
+//! flip-flop, LUT and DSP costs of each block are *calibrated constants*:
+//! per-unit budgets chosen to be architecturally plausible (squares on
+//! DSP48E slices, ≈70 LUTs per square-root table as the paper states,
+//! restoring dividers in fabric, wide address generation for 36 BRAMs) and
+//! normalized so that the structural sum reproduces the paper's post-place-
+//! and-route totals exactly. The value of the model is the *structure* —
+//! how usage scales if PEs, arrays or windows are added — not the per-block
+//! constants themselves.
+
+use std::fmt;
+use std::ops::Add;
+
+use crate::accel::SqrtKind;
+
+/// One resource vector (flip-flops, LUTs, BRAMs, DSP48E slices).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Slice flip-flops.
+    pub flipflops: u32,
+    /// Slice LUTs.
+    pub luts: u32,
+    /// 36-kbit block RAMs.
+    pub brams: u32,
+    /// DSP48E slices.
+    pub dsps: u32,
+}
+
+impl ResourceUsage {
+    /// A zero vector.
+    pub const ZERO: ResourceUsage = ResourceUsage {
+        flipflops: 0,
+        luts: 0,
+        brams: 0,
+        dsps: 0,
+    };
+
+    /// Scales every component (`n` identical instances).
+    pub fn times(self, n: u32) -> ResourceUsage {
+        ResourceUsage {
+            flipflops: self.flipflops * n,
+            luts: self.luts * n,
+            brams: self.brams * n,
+            dsps: self.dsps * n,
+        }
+    }
+
+    /// Utilization percentages against a device, floored to the precision
+    /// Table I uses (whole percent for FF/LUT/BRAM, one decimal for DSP).
+    pub fn utilization(&self, device: &DeviceCapacity) -> Utilization {
+        Utilization {
+            flipflops_pct: (self.flipflops as f64 / device.flipflops as f64 * 100.0).floor(),
+            luts_pct: (self.luts as f64 / device.luts as f64 * 100.0).floor(),
+            brams_pct: (self.brams as f64 / device.brams as f64 * 100.0).floor(),
+            dsps_pct: (self.dsps as f64 / device.dsps as f64 * 1000.0).floor() / 10.0,
+        }
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            flipflops: self.flipflops + rhs.flipflops,
+            luts: self.luts + rhs.luts,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} FF, {} LUT, {} BRAM, {} DSP",
+            self.flipflops, self.luts, self.brams, self.dsps
+        )
+    }
+}
+
+/// Utilization percentages (Table I's third row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// Flip-flop utilization, percent (floored).
+    pub flipflops_pct: f64,
+    /// LUT utilization, percent (floored).
+    pub luts_pct: f64,
+    /// BRAM utilization, percent (floored).
+    pub brams_pct: f64,
+    /// DSP utilization, percent (one decimal).
+    pub dsps_pct: f64,
+}
+
+/// Device capacity (Table I's "Total" row for the XC5VLX110T).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceCapacity {
+    /// Slice flip-flops available.
+    pub flipflops: u32,
+    /// Slice LUTs available.
+    pub luts: u32,
+    /// Block RAMs available.
+    pub brams: u32,
+    /// DSP48E slices available.
+    pub dsps: u32,
+}
+
+impl DeviceCapacity {
+    /// The Xilinx Virtex-5 XC5VLX110T as Table I reports it.
+    pub const XC5VLX110T: DeviceCapacity = DeviceCapacity {
+        flipflops: 69120,
+        luts: 69120,
+        brams: 128,
+        dsps: 64,
+    };
+}
+
+/// Structural description of a Chambolle-core instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceModel {
+    /// PE arrays (2 sliding windows × 2 components = 4 in the paper).
+    pub pe_arrays: u32,
+    /// PE-Ts per array (7).
+    pub pe_t_per_array: u32,
+    /// PE-Vs per array (7).
+    pub pe_v_per_array: u32,
+    /// Data BRAMs per array (8).
+    pub data_brams_per_array: u32,
+    /// Term BRAMs per array (1).
+    pub term_brams_per_array: u32,
+    /// Square-root unit instantiated in each PE-V.
+    pub sqrt: SqrtKind,
+    /// Map the PE-V squaring multipliers onto fabric LUTs instead of
+    /// DSP48Es — the paper's remark that "the number of required DSPs can
+    /// be reduced by mapping part of the multiplications on the LUTs".
+    pub lut_multipliers: bool,
+    /// Loop-decomposition depth realized as cascaded PE stages: each row of
+    /// the ladder carries `cascade_depth` successive (PE-T, PE-V) pairs, so
+    /// one pass advances that many iterations (Fig. 1.c in hardware).
+    pub cascade_depth: u32,
+}
+
+/// Per-block calibrated cost constants (see the module docs).
+mod cost {
+    use super::ResourceUsage;
+
+    /// One PE-T: four 32-bit add/sub stages, the `v·(1/θ)` scaling and the
+    /// `u` output path, plus its pipeline registers.
+    pub const PE_T: ResourceUsage = ResourceUsage {
+        flipflops: 160,
+        luts: 180,
+        brams: 0,
+        dsps: 0,
+    };
+    /// One PE-V excluding its square-root unit: two squares on DSP48Es, two
+    /// restoring dividers in fabric and the update adders, plus a deep
+    /// pipeline register file.
+    pub const PE_V_BASE: ResourceUsage = ResourceUsage {
+        flipflops: 360,
+        luts: 280 + 150,
+        brams: 0,
+        dsps: 2,
+    };
+    /// A 32-bit squaring multiplier built from fabric LUTs (replaces one
+    /// DSP48E when `lut_multipliers` is set).
+    pub const LUT_MULTIPLIER: ResourceUsage = ResourceUsage {
+        flipflops: 60,
+        luts: 350,
+        brams: 0,
+        dsps: 0,
+    };
+    /// The 256-entry sqrt LUT (≈70 LUTs, Section V-C; its output register is
+    /// part of the PE-V pipeline above).
+    pub const SQRT_LUT: ResourceUsage = ResourceUsage {
+        flipflops: 0,
+        luts: 70,
+        brams: 0,
+        dsps: 0,
+    };
+    /// An iterative non-restoring sqrt: 20 pipeline stages of a ~40-bit
+    /// add/sub + mux datapath — roughly 22 LUTs and 26 FFs per stage.
+    pub const SQRT_NON_RESTORING: ResourceUsage = ResourceUsage {
+        flipflops: 520,
+        luts: 440,
+        brams: 0,
+        dsps: 0,
+    };
+    /// Per-array overhead: the operand-reuse flip-flop network (Figure 5),
+    /// the vertical rotator, BRAM address generation, and the shared
+    /// `θ`-scaling multiplier for the u output.
+    pub const ARRAY_OVERHEAD: ResourceUsage = ResourceUsage {
+        flipflops: 500 + 400,
+        luts: 450 + 320 + 1900,
+        brams: 0,
+        dsps: 1,
+    };
+    /// Top-level control unit, scheduling and external I/O, including two
+    /// DSPs for frame-address arithmetic.
+    pub const CONTROL: ResourceUsage = ResourceUsage {
+        flipflops: 4983,
+        luts: 3109,
+        brams: 0,
+        dsps: 2,
+    };
+}
+
+impl ResourceModel {
+    /// The paper's instance: 2 sliding windows × 2 components, 7+7 PEs per
+    /// array, 8+1 BRAMs per array.
+    pub fn paper() -> Self {
+        ResourceModel {
+            pe_arrays: 4,
+            pe_t_per_array: 7,
+            pe_v_per_array: 7,
+            data_brams_per_array: 8,
+            term_brams_per_array: 1,
+            sqrt: SqrtKind::Lut,
+            lut_multipliers: false,
+            cascade_depth: 1,
+        }
+    }
+
+    /// The paper's instance with `depth` cascaded PE stages per row (the
+    /// loop-decomposition throughput multiplier).
+    pub fn paper_with_cascade(depth: u32) -> Self {
+        ResourceModel {
+            cascade_depth: depth.max(1),
+            ..ResourceModel::paper()
+        }
+    }
+
+    /// The paper's instance with the PE-V multipliers in fabric instead of
+    /// DSP48Es (Section VI's scaling remark).
+    pub fn paper_with_lut_multipliers() -> Self {
+        ResourceModel {
+            lut_multipliers: true,
+            ..ResourceModel::paper()
+        }
+    }
+
+    /// The paper's instance with the iterative square root instead of the
+    /// LUT — the alternative Section V-C rejects on speed grounds.
+    pub fn paper_with_non_restoring_sqrt() -> Self {
+        ResourceModel {
+            sqrt: SqrtKind::NonRestoring,
+            ..ResourceModel::paper()
+        }
+    }
+
+    /// Total usage of the instance.
+    pub fn usage(&self) -> ResourceUsage {
+        self.breakdown()
+            .into_iter()
+            .fold(ResourceUsage::ZERO, |acc, (_, u)| acc + u)
+    }
+
+    /// Itemized usage per block kind.
+    pub fn breakdown(&self) -> Vec<(&'static str, ResourceUsage)> {
+        let pe_t_total = self.pe_arrays * self.pe_t_per_array * self.cascade_depth;
+        let pe_v_total = self.pe_arrays * self.pe_v_per_array * self.cascade_depth;
+        let bram_total = self.pe_arrays * (self.data_brams_per_array + self.term_brams_per_array);
+        let sqrt_cost = match self.sqrt {
+            SqrtKind::Lut => cost::SQRT_LUT,
+            SqrtKind::NonRestoring => cost::SQRT_NON_RESTORING,
+        };
+        let mut pe_v = cost::PE_V_BASE;
+        if self.lut_multipliers {
+            // Two squaring DSPs per PE-V move into fabric.
+            pe_v.dsps = 0;
+            pe_v = pe_v + cost::LUT_MULTIPLIER.times(2);
+        }
+        vec![
+            ("PE-T battery", cost::PE_T.times(pe_t_total)),
+            ("PE-V battery", pe_v.times(pe_v_total)),
+            ("square-root units", sqrt_cost.times(pe_v_total)),
+            (
+                "array reuse/rotator/addressing",
+                cost::ARRAY_OVERHEAD.times(self.pe_arrays),
+            ),
+            (
+                "block RAMs",
+                ResourceUsage {
+                    brams: bram_total,
+                    ..ResourceUsage::ZERO
+                },
+            ),
+            ("control unit + I/O", cost::CONTROL),
+        ]
+    }
+
+    /// Total PE count (56 in the paper).
+    pub fn pe_count(&self) -> u32 {
+        self.pe_arrays * (self.pe_t_per_array + self.pe_v_per_array) * self.cascade_depth
+    }
+}
+
+impl Default for ResourceModel {
+    fn default() -> Self {
+        ResourceModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_1_totals() {
+        let usage = ResourceModel::paper().usage();
+        assert_eq!(usage.flipflops, 23143);
+        assert_eq!(usage.luts, 32829);
+        assert_eq!(usage.brams, 36);
+        assert_eq!(usage.dsps, 62);
+    }
+
+    #[test]
+    fn reproduces_table_1_percentages() {
+        let util = ResourceModel::paper()
+            .usage()
+            .utilization(&DeviceCapacity::XC5VLX110T);
+        assert_eq!(util.flipflops_pct, 33.0);
+        assert_eq!(util.luts_pct, 47.0);
+        assert_eq!(util.brams_pct, 28.0);
+        assert_eq!(util.dsps_pct, 96.8);
+    }
+
+    #[test]
+    fn design_fits_the_device() {
+        let usage = ResourceModel::paper().usage();
+        let dev = DeviceCapacity::XC5VLX110T;
+        assert!(usage.flipflops <= dev.flipflops);
+        assert!(usage.luts <= dev.luts);
+        assert!(usage.brams <= dev.brams);
+        assert!(usage.dsps <= dev.dsps);
+    }
+
+    #[test]
+    fn fifty_six_pes() {
+        assert_eq!(ResourceModel::paper().pe_count(), 56);
+    }
+
+    #[test]
+    fn dsps_are_the_binding_constraint() {
+        // The paper notes DSP usage at 96.8% and suggests mapping
+        // multiplications to LUTs if more are needed; a third sliding window
+        // would not fit.
+        let mut bigger = ResourceModel::paper();
+        bigger.pe_arrays = 6; // 3 sliding windows
+        let usage = bigger.usage();
+        assert!(usage.dsps > DeviceCapacity::XC5VLX110T.dsps);
+        assert!(usage.luts < DeviceCapacity::XC5VLX110T.luts);
+    }
+
+    #[test]
+    fn lut_multipliers_free_the_dsps() {
+        let base = ResourceModel::paper().usage();
+        let lutmul = ResourceModel::paper_with_lut_multipliers().usage();
+        assert_eq!(
+            lutmul.dsps,
+            base.dsps - 56,
+            "2 DSPs per PE-V move to fabric"
+        );
+        assert!(lutmul.luts > base.luts);
+        // The paper's scaling remark relieves the DSP constraint, but a
+        // third sliding window still does not fit this device: the fabric
+        // multipliers push the LUT count past the XC5VLX110T's capacity —
+        // the binding constraint merely moves from DSPs to LUTs.
+        let mut three_sw = ResourceModel::paper_with_lut_multipliers();
+        three_sw.pe_arrays = 6;
+        let usage = three_sw.usage();
+        let dev = DeviceCapacity::XC5VLX110T;
+        assert!(usage.dsps <= dev.dsps, "DSPs: {}", usage.dsps);
+        assert!(usage.luts > dev.luts, "LUTs now bind: {}", usage.luts);
+    }
+
+    #[test]
+    fn cascading_outgrows_the_device_immediately() {
+        // The loop-decomposition throughput the paper's 99.1 fps implies
+        // (about 3 iterations per pass) triples the PE fabric: under this
+        // area model even depth 2 exceeds the XC5VLX110T's DSPs, and with
+        // fabric multipliers it exceeds the LUTs instead.
+        let dev = DeviceCapacity::XC5VLX110T;
+        assert!(ResourceModel::paper_with_cascade(1).usage().dsps <= dev.dsps);
+        let d2 = ResourceModel::paper_with_cascade(2).usage();
+        assert!(d2.dsps > dev.dsps, "depth 2 DSPs: {}", d2.dsps);
+        let mut d2_lut = ResourceModel::paper_with_cascade(2);
+        d2_lut.lut_multipliers = true;
+        let usage = d2_lut.usage();
+        assert!(usage.dsps <= dev.dsps);
+        assert!(usage.luts > dev.luts, "depth 2 fabric LUTs: {}", usage.luts);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let model = ResourceModel::paper();
+        let sum = model
+            .breakdown()
+            .into_iter()
+            .fold(ResourceUsage::ZERO, |a, (_, u)| a + u);
+        assert_eq!(sum, model.usage());
+    }
+
+    #[test]
+    fn scaling_helpers() {
+        let u = ResourceUsage {
+            flipflops: 1,
+            luts: 2,
+            brams: 3,
+            dsps: 4,
+        }
+        .times(3);
+        assert_eq!(u.flipflops, 3);
+        assert_eq!(u.dsps, 12);
+        assert!(u.to_string().contains("12 DSP"));
+    }
+
+    #[test]
+    fn non_restoring_sqrt_costs_more_fabric_and_no_speed() {
+        let lut = ResourceModel::paper().usage();
+        let nr = ResourceModel::paper_with_non_restoring_sqrt().usage();
+        assert!(
+            nr.luts > lut.luts + 28 * 300,
+            "iterative sqrt is much larger"
+        );
+        assert!(nr.flipflops > lut.flipflops);
+        assert_eq!(nr.dsps, lut.dsps);
+        assert_eq!(nr.brams, lut.brams);
+    }
+}

@@ -1,0 +1,366 @@
+//! Closed-form throughput model of the accelerator.
+//!
+//! Large frames at 200 iterations take billions of simulated PE evaluations;
+//! Table II therefore uses this analytic model, which reproduces the cycle
+//! counter of the event simulator *exactly* (asserted by the tests below and
+//! by `tests/hwsim_consistency.rs`), so running the model is equivalent to
+//! running the simulator.
+//!
+//! Cycle inventory per window pass (see [`crate::array`]):
+//!
+//! - region pass over `nr` rows of a `w`-wide window: `w + nr + 1` wavefront
+//!   steps plus the fill (1 control + 1 BRAM + 1 rotator + the PE pipeline;
+//!   18 cycles with the 1-cycle LUT square root);
+//! - flush pass (last row): `w + 2` steps plus the fill;
+//! - a window of height `h` has `⌈h / rows_per_region⌉` regions (7 rows per
+//!   region in the paper's ladder).
+
+use chambolle_core::TilePlan;
+
+use crate::accel::AccelConfig;
+use crate::array::pass_fill_cycles;
+
+/// Analytic cycle/throughput model, exactly matching [`crate::ChambolleAccel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputModel {
+    /// The accelerator configuration being modeled.
+    pub config: AccelConfig,
+}
+
+impl ThroughputModel {
+    /// Model for the given configuration.
+    pub fn new(config: AccelConfig) -> Self {
+        ThroughputModel { config }
+    }
+
+    /// Cycles for one array to run `iterations` iterations (plus the
+    /// optional u-sweep) on a `w × h` window.
+    pub fn window_cycles(&self, w: usize, h: usize, iterations: u32, emit_u: bool) -> u64 {
+        assert!(w > 0 && h > 0, "window must be non-empty");
+        let fill = pass_fill_cycles(self.config.sqrt.unit().latency_cycles());
+        let regions = h.div_ceil(self.config.array.rows_per_region) as u64;
+        // Σ over regions of (w + nr + 1 + FILL) = R(w + 1 + FILL) + h.
+        let sweep = regions * (w as u64 + 1 + fill) + h as u64;
+        let flush = w as u64 + 2 + fill;
+        let mut cycles = iterations as u64 * (sweep + flush);
+        if emit_u {
+            cycles += sweep;
+        }
+        cycles
+    }
+
+    /// Frame latency in cycles for `iterations` Chambolle iterations on a
+    /// `frame_w × frame_h` frame: replays the scheduler of
+    /// [`crate::ChambolleAccel::denoise_pair`] (rounds of `merge_factor`
+    /// iterations, windows round-robin over the sliding windows, final
+    /// u-round) without executing the datapath.
+    pub fn frame_cycles(&self, frame_w: usize, frame_h: usize, iterations: u32) -> u64 {
+        assert!(frame_w > 0 && frame_h > 0, "frame must be non-empty");
+        let n = self.config.sliding_windows.max(1);
+        let mut per_window = vec![0u64; n];
+        let mut next = 0usize;
+
+        let mut remaining = iterations;
+        while remaining > 0 {
+            let k = remaining.min(self.config.merge_factor);
+            let plan = TilePlan::new(frame_w, frame_h, self.config.tile_config(k));
+            for tile in plan.tiles() {
+                per_window[next] += self.window_cycles(tile.src_w, tile.src_h, k, false);
+                next = (next + 1) % n;
+            }
+            remaining -= k;
+        }
+        for tile in crate::accel::u_round_tiles(frame_w, frame_h, &self.config.array) {
+            per_window[next] += self.window_cycles(tile.src_w, tile.src_h, 0, true);
+            next = (next + 1) % n;
+        }
+        per_window.into_iter().max().unwrap_or(0)
+    }
+
+    /// Frame latency in seconds at the configured clock.
+    pub fn frame_seconds(&self, frame_w: usize, frame_h: usize, iterations: u32) -> f64 {
+        self.frame_cycles(frame_w, frame_h, iterations) as f64 / (self.config.clock_mhz * 1e6)
+    }
+
+    /// Frames per second — the Table II metric.
+    pub fn fps(&self, frame_w: usize, frame_h: usize, iterations: u32) -> f64 {
+        1.0 / self.frame_seconds(frame_w, frame_h, iterations)
+    }
+
+    /// Frame cycles including off-chip transfer, which the paper's numbers
+    /// exclude ("we assumed that the images to be processed are pre-loaded
+    /// in the device memory"). Each window load moves its source rectangle
+    /// in and its profitable rectangle (plus the final `u`) out at
+    /// `words_per_cycle` 32-bit words per cycle; transfers are serialized
+    /// with compute (worst case — no double buffering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_cycle <= 0`.
+    pub fn frame_cycles_with_transfer(
+        &self,
+        frame_w: usize,
+        frame_h: usize,
+        iterations: u32,
+        words_per_cycle: f64,
+    ) -> u64 {
+        assert!(words_per_cycle > 0.0, "transfer rate must be positive");
+        let compute = self.frame_cycles(frame_w, frame_h, iterations);
+        let mut words_moved = 0u64;
+        let mut remaining = iterations;
+        while remaining > 0 {
+            let k = remaining.min(self.config.merge_factor);
+            let plan = TilePlan::new(frame_w, frame_h, self.config.tile_config(k));
+            for tile in plan.tiles() {
+                // In: source rectangle; out: updated profitable p.
+                words_moved += (tile.src_w * tile.src_h + tile.out_w * tile.out_h) as u64;
+            }
+            remaining -= k;
+        }
+        for tile in crate::accel::u_round_tiles(frame_w, frame_h, &self.config.array) {
+            words_moved += (tile.src_w * tile.src_h + tile.out_w * tile.out_h) as u64;
+        }
+        // Transfers split across the sliding windows like the compute does.
+        let per_window = words_moved as f64 / self.config.sliding_windows.max(1) as f64;
+        compute + (per_window / words_per_cycle).ceil() as u64
+    }
+
+    /// Sustained frame cycles with double-buffered transfers: compute and
+    /// DMA overlap, so a steady video stream is bound by the slower of the
+    /// two instead of their sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words_per_cycle <= 0`.
+    pub fn sustained_frame_cycles_with_transfer(
+        &self,
+        frame_w: usize,
+        frame_h: usize,
+        iterations: u32,
+        words_per_cycle: f64,
+    ) -> u64 {
+        assert!(words_per_cycle > 0.0, "transfer rate must be positive");
+        let compute = self.frame_cycles(frame_w, frame_h, iterations);
+        let serialized =
+            self.frame_cycles_with_transfer(frame_w, frame_h, iterations, words_per_cycle);
+        let transfer = serialized - compute;
+        compute.max(transfer)
+    }
+
+    /// Frames per second when each hardware pass advances
+    /// `iterations_per_pass` logical iterations via the loop-decomposition
+    /// formulas of Figure 1.c (computing iteration `n + x` directly from
+    /// iteration `n`).
+    ///
+    /// The event simulator implements `iterations_per_pass = 1`; the paper's
+    /// reported 99.1 fps at 512×512/200 iterations implies the fabricated
+    /// design evaluates a deeper formula per pass (≈3 iterations). This is
+    /// the calibration knob discussed in `DESIGN.md` deviation 2 and
+    /// `EXPERIMENTS.md`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations_per_pass == 0`.
+    pub fn fps_with_loop_decomposition(
+        &self,
+        frame_w: usize,
+        frame_h: usize,
+        iterations: u32,
+        iterations_per_pass: u32,
+    ) -> f64 {
+        assert!(
+            iterations_per_pass > 0,
+            "iterations_per_pass must be positive"
+        );
+        let passes_needed = iterations.div_ceil(iterations_per_pass);
+        self.fps(frame_w, frame_h, passes_needed.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::ChambolleAccel;
+    use crate::array::{ArrayConfig, PeArray};
+    use crate::params::HwParams;
+    use crate::reference::quantize_input;
+    use chambolle_core::ChambolleParams;
+    use chambolle_imaging::Grid;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_image(w: usize, h: usize, seed: u64) -> Grid<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Grid::from_fn(w, h, |_, _| rng.gen_range(0.0f32..1.0))
+    }
+
+    #[test]
+    fn window_cycles_match_simulator() {
+        let model = ThroughputModel::new(AccelConfig::default());
+        for &(w, h, iters) in &[
+            (12usize, 10usize, 3u32),
+            (92, 88, 2),
+            (30, 7, 1),
+            (5, 25, 4),
+        ] {
+            let mut array = PeArray::new(ArrayConfig::paper());
+            let run = array.process_window(
+                &quantize_input(&random_image(w, h, 1)),
+                &HwParams::standard(iters),
+            );
+            assert_eq!(
+                model.window_cycles(w, h, iters, true),
+                run.stats.cycles,
+                "window {w}x{h} iters {iters}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_cycles_match_simulator() {
+        for &(w, h, iters, k) in &[
+            (150usize, 120usize, 6u32, 2u32),
+            (100, 90, 5, 3),
+            (60, 40, 4, 2),
+        ] {
+            let config = AccelConfig::paper(k).unwrap();
+            let model = ThroughputModel::new(config);
+            let mut accel = ChambolleAccel::new(config);
+            let v = random_image(w, h, 9);
+            let p = ChambolleParams::new(0.25, 0.0625, iters).unwrap();
+            let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
+            assert_eq!(
+                model.frame_cycles(w, h, iters),
+                stats.cycles,
+                "frame {w}x{h} iters {iters} K {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn fps_scales_inversely_with_iterations() {
+        let model = ThroughputModel::new(AccelConfig::default());
+        let f50 = model.fps(512, 512, 50);
+        let f200 = model.fps(512, 512, 200);
+        let ratio = f50 / f200;
+        assert!(
+            (3.2..=4.2).contains(&ratio),
+            "iteration scaling ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn fps_scales_roughly_with_pixels() {
+        let model = ThroughputModel::new(AccelConfig::default());
+        let f_small = model.fps(512, 512, 200);
+        let f_large = model.fps(1024, 768, 200);
+        let ratio = f_small / f_large;
+        let pixels = (1024.0 * 768.0) / (512.0 * 512.0);
+        assert!(
+            (ratio / pixels - 1.0).abs() < 0.2,
+            "pixel scaling ratio {ratio} vs {pixels}"
+        );
+    }
+
+    #[test]
+    fn loop_decomposition_knob_multiplies_throughput() {
+        let model = ThroughputModel::new(AccelConfig::default());
+        let f1 = model.fps_with_loop_decomposition(512, 512, 200, 1);
+        let f3 = model.fps_with_loop_decomposition(512, 512, 200, 3);
+        assert!(
+            (f3 / f1 - 3.0).abs() < 0.15,
+            "m=3 should triple fps, got {}",
+            f3 / f1
+        );
+        assert_eq!(f1, model.fps(512, 512, 200));
+    }
+
+    #[test]
+    fn timing_model_tracks_sqrt_latency() {
+        use crate::accel::SqrtKind;
+        let nr_config = AccelConfig {
+            sqrt: SqrtKind::NonRestoring,
+            ..AccelConfig::default()
+        };
+        // Model vs simulator with the iterative sqrt.
+        let model = ThroughputModel::new(nr_config);
+        let mut accel = ChambolleAccel::new(nr_config);
+        let v = random_image(100, 60, 3);
+        let p = ChambolleParams::new(0.25, 0.0625, 4).unwrap();
+        let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
+        assert_eq!(model.frame_cycles(100, 60, 4), stats.cycles);
+        // And it must be slower than the LUT design.
+        let lut_model = ThroughputModel::new(AccelConfig::default());
+        assert!(model.frame_cycles(100, 60, 4) > lut_model.frame_cycles(100, 60, 4));
+    }
+
+    #[test]
+    fn transfer_model_reduces_fps_and_scales_with_bandwidth() {
+        let model = ThroughputModel::new(AccelConfig::default());
+        let base = model.frame_cycles(512, 512, 200);
+        let slow = model.frame_cycles_with_transfer(512, 512, 200, 1.0);
+        let fast = model.frame_cycles_with_transfer(512, 512, 200, 8.0);
+        assert!(slow > base);
+        assert!(fast > base);
+        assert!(fast < slow);
+        // Finding: at K = 2 every round reloads the frame, so even 8 words/
+        // cycle costs >30% — the paper's pre-loaded-memory assumption is
+        // load-bearing at small K...
+        let overhead = |k: u32| {
+            let m = ThroughputModel::new(AccelConfig::paper(k).unwrap());
+            let base = m.frame_cycles(512, 512, 200);
+            let with = m.frame_cycles_with_transfer(512, 512, 200, 8.0);
+            (with - base) as f64 / base as f64
+        };
+        assert!(overhead(2) > 0.3, "K=2 transfer overhead {}", overhead(2));
+        // ...and merging more iterations per load amortizes the traffic.
+        assert!(
+            overhead(16) < 0.5 * overhead(2),
+            "K=16 should amortize transfers: {} vs {}",
+            overhead(16),
+            overhead(2)
+        );
+    }
+
+    #[test]
+    fn ladder_depth_flows_through_the_model() {
+        use crate::array::ArrayConfig;
+        let shallow_cfg = AccelConfig {
+            array: ArrayConfig::paper_with_ladder(3),
+            ..AccelConfig::default()
+        };
+        let shallow = ThroughputModel::new(shallow_cfg);
+        let deep = ThroughputModel::new(AccelConfig::default());
+        assert!(shallow.frame_cycles(256, 256, 50) > deep.frame_cycles(256, 256, 50));
+        // And the model still matches the simulator at depth 3.
+        let mut accel = ChambolleAccel::new(shallow_cfg);
+        let v = random_image(100, 60, 21);
+        let p = ChambolleParams::new(0.25, 0.0625, 3).unwrap();
+        let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
+        assert_eq!(shallow.frame_cycles(100, 60, 3), stats.cycles);
+    }
+
+    #[test]
+    fn double_buffering_hides_transfer_up_to_the_bandwidth_bound() {
+        let model = ThroughputModel::new(AccelConfig::default());
+        let compute = model.frame_cycles(512, 512, 200);
+        let serialized = model.frame_cycles_with_transfer(512, 512, 200, 8.0);
+        let sustained = model.sustained_frame_cycles_with_transfer(512, 512, 200, 8.0);
+        assert!(sustained <= serialized);
+        assert!(sustained >= compute);
+        // At 8 words/cycle the compute dominates: double buffering recovers
+        // the full pre-loaded frame rate.
+        assert_eq!(sustained, compute);
+        // At a crawling 0.05 words/cycle the DMA dominates instead.
+        let slow = model.sustained_frame_cycles_with_transfer(512, 512, 200, 0.05);
+        assert!(slow > compute);
+    }
+
+    #[test]
+    fn real_time_at_high_resolution() {
+        // The headline claim: real-time frame rates even at 1024x768. Even
+        // the un-calibrated (m = 1) model must clear real time at K = 2.
+        let model = ThroughputModel::new(AccelConfig::default());
+        assert!(model.fps(1024, 768, 200) > 10.0);
+        assert!(model.fps(512, 512, 200) > 25.0);
+    }
+}

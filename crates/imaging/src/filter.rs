@@ -1,0 +1,105 @@
+//! Small spatial filters used by the flow pipeline.
+
+use crate::grid::Grid;
+use crate::image::Image;
+
+/// 3×3 median filter with clamp-to-edge boundary handling.
+///
+/// The standard TV-L1 robustification (Wedel et al. 2009) applies this to
+/// each flow component between warps to reject outliers without blurring
+/// motion boundaries.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_imaging::{median3x3, Grid};
+/// let mut img = Grid::new(5, 5, 0.0f32);
+/// img[(2, 2)] = 100.0; // single outlier
+/// let filtered = median3x3(&img);
+/// assert_eq!(filtered[(2, 2)], 0.0);
+/// ```
+pub fn median3x3(img: &Image) -> Image {
+    let (w, h) = img.dims();
+    Grid::from_fn(w, h, |x, y| {
+        let mut vals = [0.0f32; 9];
+        let mut i = 0;
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let xs = (x as i64 + dx).clamp(0, w as i64 - 1) as usize;
+                let ys = (y as i64 + dy).clamp(0, h as i64 - 1) as usize;
+                vals[i] = img[(xs, ys)];
+                i += 1;
+            }
+        }
+        median9(vals)
+    })
+}
+
+/// Median of exactly nine values (partial sort up to the middle).
+fn median9(mut vals: [f32; 9]) -> f32 {
+    // Selection up to index 4 is enough; nine elements keep this trivial.
+    for i in 0..=4 {
+        let mut min_idx = i;
+        for j in (i + 1)..9 {
+            if vals[j] < vals[min_idx] {
+                min_idx = j;
+            }
+        }
+        vals.swap(i, min_idx);
+    }
+    vals[4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median9_of_known_sets() {
+        assert_eq!(median9([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]), 5.0);
+        assert_eq!(median9([9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]), 5.0);
+        assert_eq!(median9([1.0; 9]), 1.0);
+        assert_eq!(
+            median9([0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 100.0]),
+            1.0
+        );
+    }
+
+    #[test]
+    fn removes_isolated_outliers() {
+        let mut img = Grid::new(7, 7, 1.0f32);
+        img[(3, 3)] = -50.0;
+        img[(0, 0)] = 50.0; // corner outlier
+        let f = median3x3(&img);
+        assert!(f.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn preserves_constant_and_step() {
+        let img = Grid::from_fn(8, 8, |x, _| if x < 4 { 0.0f32 } else { 1.0 });
+        let f = median3x3(&img);
+        assert_eq!(
+            f.as_slice(),
+            img.as_slice(),
+            "a straight edge is median-invariant"
+        );
+    }
+
+    #[test]
+    fn idempotent_on_smooth_data() {
+        let img = Grid::from_fn(9, 9, |x, y| (x + y) as f32);
+        let once = median3x3(&img);
+        let twice = median3x3(&once);
+        assert_eq!(once.as_slice(), twice.as_slice());
+    }
+
+    #[test]
+    fn single_row_and_column_do_not_panic() {
+        let row = Grid::from_fn(5, 1, |x, _| x as f32);
+        let col = Grid::from_fn(1, 5, |_, y| y as f32);
+        assert_eq!(median3x3(&row).dims(), (5, 1));
+        assert_eq!(median3x3(&col).dims(), (1, 5));
+        let one = Grid::new(1, 1, 3.0f32);
+        assert_eq!(median3x3(&one)[(0, 0)], 3.0);
+    }
+}

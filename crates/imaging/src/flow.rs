@@ -1,0 +1,341 @@
+//! Optical-flow fields, error metrics and Middlebury-style visualization.
+
+use crate::grid::Grid;
+use crate::image::Image;
+
+/// A dense 2-D optical-flow field `u = (u1, u2)`.
+///
+/// `u1` is the horizontal displacement (pixels, positive right) and `u2` the
+/// vertical displacement (positive down), matching the paper's
+/// `u = (u1, u2)` output.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_imaging::FlowField;
+/// let flow = FlowField::constant(8, 8, 1.5, -0.5);
+/// assert_eq!(flow.at(3, 3), (1.5, -0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowField {
+    /// Horizontal displacement component.
+    pub u1: Image,
+    /// Vertical displacement component.
+    pub u2: Image,
+}
+
+impl FlowField {
+    /// Creates a zero flow field.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        FlowField {
+            u1: Grid::new(width, height, 0.0),
+            u2: Grid::new(width, height, 0.0),
+        }
+    }
+
+    /// Creates a flow field with the same displacement everywhere.
+    pub fn constant(width: usize, height: usize, du: f32, dv: f32) -> Self {
+        FlowField {
+            u1: Grid::new(width, height, du),
+            u2: Grid::new(width, height, dv),
+        }
+    }
+
+    /// Creates a flow field by evaluating `f(x, y) -> (u1, u2)`.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> (f32, f32),
+    ) -> Self {
+        let mut u1 = Grid::new(width, height, 0.0);
+        let mut u2 = Grid::new(width, height, 0.0);
+        for y in 0..height {
+            for x in 0..width {
+                let (a, b) = f(x, y);
+                u1[(x, y)] = a;
+                u2[(x, y)] = b;
+            }
+        }
+        FlowField { u1, u2 }
+    }
+
+    /// Wraps two equally-sized component images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn from_components(u1: Image, u2: Image) -> Self {
+        assert_eq!(u1.dims(), u2.dims(), "flow components must match in size");
+        FlowField { u1, u2 }
+    }
+
+    /// Field width.
+    pub fn width(&self) -> usize {
+        self.u1.width()
+    }
+
+    /// Field height.
+    pub fn height(&self) -> usize {
+        self.u1.height()
+    }
+
+    /// `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.u1.dims()
+    }
+
+    /// The displacement vector at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, x: usize, y: usize) -> (f32, f32) {
+        (self.u1[(x, y)], self.u2[(x, y)])
+    }
+
+    /// The largest displacement magnitude in the field.
+    pub fn max_magnitude(&self) -> f32 {
+        self.u1
+            .as_slice()
+            .iter()
+            .zip(self.u2.as_slice())
+            .map(|(&a, &b)| (a * a + b * b).sqrt())
+            .fold(0.0, f32::max)
+    }
+
+    /// Mean displacement vector over the whole field.
+    pub fn mean(&self) -> (f32, f32) {
+        if self.u1.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.u1.len() as f64;
+        let s1: f64 = self.u1.as_slice().iter().map(|&v| v as f64).sum();
+        let s2: f64 = self.u2.as_slice().iter().map(|&v| v as f64).sum();
+        ((s1 / n) as f32, (s2 / n) as f32)
+    }
+}
+
+/// Average endpoint error (AEE) between an estimate and the ground truth:
+/// the mean Euclidean distance between flow vectors.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn average_endpoint_error(estimate: &FlowField, truth: &FlowField) -> f64 {
+    assert_eq!(
+        estimate.dims(),
+        truth.dims(),
+        "flow fields must match in size"
+    );
+    if estimate.u1.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for i in 0..estimate.u1.len() {
+        let d1 = (estimate.u1.as_slice()[i] - truth.u1.as_slice()[i]) as f64;
+        let d2 = (estimate.u2.as_slice()[i] - truth.u2.as_slice()[i]) as f64;
+        sum += (d1 * d1 + d2 * d2).sqrt();
+    }
+    sum / estimate.u1.len() as f64
+}
+
+/// Average angular error (AAE, radians) between an estimate and the ground
+/// truth, using the standard 3-D augmented-vector formulation of Barron et al.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn average_angular_error(estimate: &FlowField, truth: &FlowField) -> f64 {
+    assert_eq!(
+        estimate.dims(),
+        truth.dims(),
+        "flow fields must match in size"
+    );
+    if estimate.u1.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for i in 0..estimate.u1.len() {
+        let (e1, e2) = (
+            estimate.u1.as_slice()[i] as f64,
+            estimate.u2.as_slice()[i] as f64,
+        );
+        let (t1, t2) = (truth.u1.as_slice()[i] as f64, truth.u2.as_slice()[i] as f64);
+        let num = e1 * t1 + e2 * t2 + 1.0;
+        let den = ((e1 * e1 + e2 * e2 + 1.0) * (t1 * t1 + t2 * t2 + 1.0)).sqrt();
+        sum += (num / den).clamp(-1.0, 1.0).acos();
+    }
+    sum / estimate.u1.len() as f64
+}
+
+/// An 8-bit RGB raster, used for flow visualization output.
+pub type RgbImage = Grid<[u8; 3]>;
+
+/// Renders a flow field with the Middlebury color wheel: hue encodes flow
+/// direction and saturation encodes magnitude relative to `max_magnitude`
+/// (pass `None` to normalize by the field's own maximum).
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_imaging::{colorize_flow, FlowField};
+/// let flow = FlowField::constant(4, 4, 1.0, 0.0);
+/// let rgb = colorize_flow(&flow, None);
+/// assert_eq!(rgb.dims(), (4, 4));
+/// ```
+pub fn colorize_flow(flow: &FlowField, max_magnitude: Option<f32>) -> RgbImage {
+    let max_mag = match max_magnitude {
+        Some(m) if m > 0.0 => m,
+        _ => flow.max_magnitude().max(f32::MIN_POSITIVE),
+    };
+    let wheel = ColorWheel::middlebury();
+    Grid::from_fn(flow.width(), flow.height(), |x, y| {
+        let (u, v) = flow.at(x, y);
+        wheel.color(u / max_mag, v / max_mag)
+    })
+}
+
+/// The Middlebury flow color wheel (55 hues across 6 color arcs).
+#[derive(Debug, Clone)]
+pub struct ColorWheel {
+    colors: Vec<[f32; 3]>,
+}
+
+impl ColorWheel {
+    /// Builds the canonical 55-entry Middlebury wheel
+    /// (RY 15, YG 6, GC 4, CB 11, BM 13, MR 6).
+    pub fn middlebury() -> Self {
+        const ARCS: [(usize, [f32; 3], [f32; 3]); 6] = [
+            (15, [1.0, 0.0, 0.0], [1.0, 1.0, 0.0]),
+            (6, [1.0, 1.0, 0.0], [0.0, 1.0, 0.0]),
+            (4, [0.0, 1.0, 0.0], [0.0, 1.0, 1.0]),
+            (11, [0.0, 1.0, 1.0], [0.0, 0.0, 1.0]),
+            (13, [0.0, 0.0, 1.0], [1.0, 0.0, 1.0]),
+            (6, [1.0, 0.0, 1.0], [1.0, 0.0, 0.0]),
+        ];
+        let mut colors = Vec::with_capacity(55);
+        for (count, from, to) in ARCS {
+            for i in 0..count {
+                let t = i as f32 / count as f32;
+                colors.push([
+                    from[0] + t * (to[0] - from[0]),
+                    from[1] + t * (to[1] - from[1]),
+                    from[2] + t * (to[2] - from[2]),
+                ]);
+            }
+        }
+        ColorWheel { colors }
+    }
+
+    /// Number of discrete hues on the wheel.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the wheel is empty (never true for a built wheel).
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Color for a normalized flow vector (`|(u,v)| <= 1` maps inside the
+    /// wheel; larger magnitudes saturate).
+    pub fn color(&self, u: f32, v: f32) -> [u8; 3] {
+        let mag = (u * u + v * v).sqrt().min(1.0);
+        if !u.is_finite() || !v.is_finite() {
+            return [0, 0, 0];
+        }
+        let angle = (-v).atan2(-u) / std::f32::consts::PI; // [-1, 1]
+        let fk = (angle + 1.0) / 2.0 * (self.len() as f32 - 1.0);
+        let k0 = fk.floor() as usize % self.len();
+        let k1 = (k0 + 1) % self.len();
+        let t = fk - fk.floor();
+        let mut rgb = [0u8; 3];
+        for (channel, out) in rgb.iter_mut().enumerate() {
+            let col = self.colors[k0][channel]
+                + t * (self.colors[k1][channel] - self.colors[k0][channel]);
+            // Blend toward white at low magnitude, darken out-of-range.
+            let col = 1.0 - mag * (1.0 - col);
+            *out = (col.clamp(0.0, 1.0) * 255.0).round() as u8;
+        }
+        rgb
+    }
+}
+
+impl Default for ColorWheel {
+    fn default() -> Self {
+        ColorWheel::middlebury()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_flow_basics() {
+        let f = FlowField::constant(5, 4, 2.0, -1.0);
+        assert_eq!(f.dims(), (5, 4));
+        assert_eq!(f.at(4, 3), (2.0, -1.0));
+        let m = f.max_magnitude();
+        assert!((m - 5.0f32.sqrt()).abs() < 1e-6);
+        let (m1, m2) = f.mean();
+        assert!((m1 - 2.0).abs() < 1e-6 && (m2 + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn endpoint_error_zero_for_identical() {
+        let f = FlowField::from_fn(6, 6, |x, y| (x as f32, y as f32));
+        assert_eq!(average_endpoint_error(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn endpoint_error_of_unit_offset_is_one() {
+        let a = FlowField::constant(6, 6, 0.0, 0.0);
+        let b = FlowField::constant(6, 6, 1.0, 0.0);
+        assert!((average_endpoint_error(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angular_error_symmetric_and_zero_on_match() {
+        let a = FlowField::constant(4, 4, 1.0, 0.0);
+        let b = FlowField::constant(4, 4, 0.0, 1.0);
+        assert!(average_angular_error(&a, &a) < 1e-9);
+        let ab = average_angular_error(&a, &b);
+        let ba = average_angular_error(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.5); // roughly 60 degrees for these vectors
+    }
+
+    #[test]
+    fn wheel_has_55_hues_and_zero_flow_is_white() {
+        let wheel = ColorWheel::middlebury();
+        assert_eq!(wheel.len(), 55);
+        assert_eq!(wheel.color(0.0, 0.0), [255, 255, 255]);
+    }
+
+    #[test]
+    fn distinct_directions_get_distinct_colors() {
+        let wheel = ColorWheel::middlebury();
+        let right = wheel.color(1.0, 0.0);
+        let left = wheel.color(-1.0, 0.0);
+        let up = wheel.color(0.0, -1.0);
+        assert_ne!(right, left);
+        assert_ne!(right, up);
+        assert_ne!(left, up);
+    }
+
+    #[test]
+    fn colorize_produces_matching_dims() {
+        let f = FlowField::from_fn(9, 7, |x, _| (x as f32 - 4.0, 0.0));
+        let rgb = colorize_flow(&f, None);
+        assert_eq!(rgb.dims(), (9, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_metric_panics() {
+        let a = FlowField::zeros(3, 3);
+        let b = FlowField::zeros(4, 3);
+        average_endpoint_error(&a, &b);
+    }
+}

@@ -1,0 +1,413 @@
+//! Minimal Netpbm I/O: binary PGM (P5) for grayscale images and binary PPM
+//! (P6) for RGB rasters such as colorized flow fields.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::flow::RgbImage;
+use crate::grid::Grid;
+use crate::image::Image;
+
+/// Error raised while reading or writing Netpbm files.
+#[derive(Debug)]
+pub enum PnmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a valid PGM/PPM of the expected kind.
+    Format(String),
+}
+
+impl fmt::Display for PnmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnmError::Io(e) => write!(f, "i/o error: {e}"),
+            PnmError::Format(msg) => write!(f, "invalid netpbm data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PnmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PnmError::Io(e) => Some(e),
+            PnmError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PnmError {
+    fn from(e: io::Error) -> Self {
+        PnmError::Io(e)
+    }
+}
+
+/// Writes a grayscale image as binary PGM (P5), mapping `[0, 1]` to `0..=255`.
+///
+/// Out-of-range intensities are clamped.
+///
+/// # Errors
+///
+/// Returns [`PnmError::Io`] on filesystem failures.
+pub fn write_pgm(path: impl AsRef<Path>, img: &Image) -> Result<(), PnmError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let bytes: Vec<u8> = img
+        .as_slice()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a binary PGM (P5) file into an image with intensities in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`PnmError::Format`] for non-P5 data or truncated pixel payloads,
+/// and [`PnmError::Io`] on filesystem failures.
+pub fn read_pgm(path: impl AsRef<Path>) -> Result<Image, PnmError> {
+    read_pgm_from(BufReader::new(File::open(path)?))
+}
+
+/// Reads a binary PGM (P5) from any reader (a `&mut R` works too, thanks to
+/// the blanket `BufRead` impl for mutable references).
+///
+/// # Errors
+///
+/// Returns [`PnmError::Format`] for non-P5 data or truncated pixel payloads.
+pub fn read_pgm_from<R: BufRead>(mut r: R) -> Result<Image, PnmError> {
+    let magic = read_token(&mut r)?;
+    if magic != "P5" {
+        return Err(PnmError::Format(format!(
+            "expected P5 magic, got {magic:?}"
+        )));
+    }
+    let width: usize = parse_token(&mut r, "width")?;
+    let height: usize = parse_token(&mut r, "height")?;
+    let maxval: usize = parse_token(&mut r, "maxval")?;
+    if maxval == 0 || maxval > 255 {
+        return Err(PnmError::Format(format!(
+            "unsupported maxval {maxval} (only 8-bit PGM is supported)"
+        )));
+    }
+    const MAX_PIXELS: usize = 1 << 28; // 256 Mpx guards absurd headers
+    let pixels = width
+        .checked_mul(height)
+        .filter(|&p| p <= MAX_PIXELS)
+        .ok_or_else(|| PnmError::Format(format!("unreasonable dimensions {width}x{height}")))?;
+    let mut bytes = vec![0u8; pixels];
+    r.read_exact(&mut bytes)
+        .map_err(|e| PnmError::Format(format!("truncated pixel data: {e}")))?;
+    let scale = 1.0 / maxval as f32;
+    let data = bytes.into_iter().map(|b| b as f32 * scale).collect();
+    Grid::from_vec(width, height, data).map_err(|e| PnmError::Format(e.to_string()))
+}
+
+/// Writes an RGB raster as binary PPM (P6).
+///
+/// # Errors
+///
+/// Returns [`PnmError::Io`] on filesystem failures.
+pub fn write_ppm(path: impl AsRef<Path>, img: &RgbImage) -> Result<(), PnmError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    let mut bytes = Vec::with_capacity(img.len() * 3);
+    for px in img.as_slice() {
+        bytes.extend_from_slice(px);
+    }
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Magic tag of the Middlebury `.flo` format ("PIEH" as a little-endian
+/// float).
+const FLO_MAGIC: f32 = 202021.25;
+
+/// Writes a flow field in the Middlebury `.flo` format (little-endian:
+/// the magic float 202021.25, width and height as `i32`, then interleaved
+/// `(u, v)` pairs row-major).
+///
+/// # Errors
+///
+/// Returns [`PnmError::Io`] on filesystem failures.
+pub fn write_flo(path: impl AsRef<Path>, flow: &crate::flow::FlowField) -> Result<(), PnmError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&FLO_MAGIC.to_le_bytes())?;
+    w.write_all(&(flow.width() as i32).to_le_bytes())?;
+    w.write_all(&(flow.height() as i32).to_le_bytes())?;
+    for y in 0..flow.height() {
+        for x in 0..flow.width() {
+            let (u, v) = flow.at(x, y);
+            w.write_all(&u.to_le_bytes())?;
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a Middlebury `.flo` flow file.
+///
+/// # Errors
+///
+/// Returns [`PnmError::Format`] for a wrong magic, non-positive dimensions
+/// or truncated payload, and [`PnmError::Io`] on filesystem failures.
+pub fn read_flo(path: impl AsRef<Path>) -> Result<crate::flow::FlowField, PnmError> {
+    read_flo_from(&std::fs::read(path)?)
+}
+
+/// Decodes a Middlebury `.flo` payload from memory.
+///
+/// # Errors
+///
+/// Returns [`PnmError::Format`] for a wrong magic, non-positive dimensions
+/// or truncated payload.
+pub fn read_flo_from(bytes: &[u8]) -> Result<crate::flow::FlowField, PnmError> {
+    if bytes.len() < 12 {
+        return Err(PnmError::Format("flo header truncated".into()));
+    }
+    let magic = f32::from_le_bytes(bytes[0..4].try_into().expect("slice is 4 bytes"));
+    if magic != FLO_MAGIC {
+        return Err(PnmError::Format(format!(
+            "bad flo magic {magic} (expected {FLO_MAGIC})"
+        )));
+    }
+    let width = i32::from_le_bytes(bytes[4..8].try_into().expect("slice is 4 bytes"));
+    let height = i32::from_le_bytes(bytes[8..12].try_into().expect("slice is 4 bytes"));
+    if width <= 0 || height <= 0 {
+        return Err(PnmError::Format(format!(
+            "invalid flo dimensions {width}x{height}"
+        )));
+    }
+    let (width, height) = (width as usize, height as usize);
+    let need = width
+        .checked_mul(height)
+        .and_then(|c| c.checked_mul(8))
+        .and_then(|c| c.checked_add(12))
+        .ok_or_else(|| PnmError::Format(format!("flo dimensions {width}x{height} overflow")))?;
+    if bytes.len() < need {
+        return Err(PnmError::Format(format!(
+            "flo payload truncated: {} of {need} bytes",
+            bytes.len()
+        )));
+    }
+    let mut off = 12;
+    let mut read_f32 = || {
+        let v = f32::from_le_bytes(bytes[off..off + 4].try_into().expect("slice is 4 bytes"));
+        off += 4;
+        v
+    };
+    Ok(crate::flow::FlowField::from_fn(width, height, |_, _| {
+        let u = read_f32();
+        let v = read_f32();
+        (u, v)
+    }))
+}
+
+/// Reads one whitespace-delimited header token, skipping `#` comments.
+fn read_token<R: BufRead>(r: &mut R) -> Result<String, PnmError> {
+    let mut token = String::new();
+    let mut in_comment = false;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                if token.is_empty() {
+                    return Err(PnmError::Format("unexpected end of header".into()));
+                }
+                return Ok(token);
+            }
+            _ => {
+                let c = byte[0] as char;
+                if in_comment {
+                    if c == '\n' {
+                        in_comment = false;
+                    }
+                } else if c == '#' {
+                    in_comment = true;
+                } else if c.is_ascii_whitespace() {
+                    if !token.is_empty() {
+                        return Ok(token);
+                    }
+                } else {
+                    token.push(c);
+                }
+            }
+        }
+    }
+}
+
+fn parse_token<R: BufRead, T: std::str::FromStr>(r: &mut R, what: &str) -> Result<T, PnmError> {
+    let tok = read_token(r)?;
+    tok.parse()
+        .map_err(|_| PnmError::Format(format!("invalid {what}: {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("chambolle_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = Grid::from_fn(7, 5, |x, y| ((x * 37 + y * 11) % 256) as f32 / 255.0);
+        let path = tmp("roundtrip.pgm");
+        write_pgm(&path, &img).unwrap();
+        let back = read_pgm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.dims(), (7, 5));
+        for (x, y, &v) in img.iter() {
+            assert!((v - back[(x, y)]).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn pgm_clamps_out_of_range() {
+        let img = Grid::from_vec(2, 1, vec![-1.0f32, 2.0]).unwrap();
+        let path = tmp("clamp.pgm");
+        write_pgm(&path, &img).unwrap();
+        let back = read_pgm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back[(0, 0)], 0.0);
+        assert_eq!(back[(1, 0)], 1.0);
+    }
+
+    #[test]
+    fn read_rejects_bad_magic() {
+        let path = tmp("bad.pgm");
+        std::fs::write(&path, b"P2\n1 1\n255\n0").unwrap();
+        let err = read_pgm(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("P5"));
+    }
+
+    #[test]
+    fn read_rejects_truncated_pixels() {
+        let path = tmp("trunc.pgm");
+        std::fs::write(&path, b"P5\n4 4\n255\nxx").unwrap();
+        let err = read_pgm(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PnmError::Format(_)));
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let mut cur = Cursor::new(b"P5 # comment\n# another\n 3\n".to_vec());
+        assert_eq!(read_token(&mut cur).unwrap(), "P5");
+        assert_eq!(read_token(&mut cur).unwrap(), "3");
+    }
+
+    #[test]
+    fn ppm_writes_expected_header_and_size() {
+        let img: RgbImage = Grid::new(3, 2, [1u8, 2, 3]);
+        let path = tmp("rgb.ppm");
+        write_ppm(&path, &img).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n3 2\n255\n".len() + 18);
+    }
+
+    #[test]
+    fn flo_roundtrip() {
+        use crate::flow::FlowField;
+        let flow = FlowField::from_fn(9, 6, |x, y| (x as f32 * 0.5 - 1.0, y as f32 * -0.25));
+        let path = tmp("roundtrip.flo");
+        write_flo(&path, &flow).unwrap();
+        let back = read_flo(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, flow, ".flo must round-trip exactly (f32 bits)");
+    }
+
+    #[test]
+    fn flo_rejects_bad_magic_and_truncation() {
+        let path = tmp("bad.flo");
+        std::fs::write(&path, b"PIEHxxxxxxxx").unwrap();
+        assert!(read_flo(&path).is_err());
+        std::fs::write(&path, 202021.25f32.to_le_bytes()).unwrap();
+        assert!(matches!(read_flo(&path), Err(PnmError::Format(_))));
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&202021.25f32.to_le_bytes());
+        hdr.extend_from_slice(&4i32.to_le_bytes());
+        hdr.extend_from_slice(&4i32.to_le_bytes());
+        std::fs::write(&path, &hdr).unwrap(); // no payload
+        assert!(matches!(read_flo(&path), Err(PnmError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flo_rejects_negative_dims() {
+        let path = tmp("negdims.flo");
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&202021.25f32.to_le_bytes());
+        hdr.extend_from_slice(&(-3i32).to_le_bytes());
+        hdr.extend_from_slice(&4i32.to_le_bytes());
+        std::fs::write(&path, &hdr).unwrap();
+        let err = read_flo(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(err.to_string().contains("dimensions"));
+    }
+
+    #[test]
+    fn reader_based_pgm_parses_in_memory() {
+        let mut payload = b"P5\n2 2\n255\n".to_vec();
+        payload.extend_from_slice(&[0, 64, 128, 255]);
+        let img = read_pgm_from(Cursor::new(payload)).unwrap();
+        assert_eq!(img.dims(), (2, 2));
+        assert_eq!(img[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn pgm_rejects_absurd_headers_without_allocating() {
+        let payload = b"P5\n999999999 999999999\n255\n".to_vec();
+        let err = read_pgm_from(Cursor::new(payload)).unwrap_err();
+        assert!(err.to_string().contains("unreasonable"));
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary bytes must never panic the PGM parser.
+            #[test]
+            fn pgm_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = read_pgm_from(Cursor::new(bytes));
+            }
+
+            /// Arbitrary bytes must never panic the flo parser.
+            #[test]
+            fn flo_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = read_flo_from(&bytes);
+            }
+
+            /// Bytes that *start* like a valid header but are cut anywhere
+            /// must produce an error, not a panic or a bogus image.
+            #[test]
+            fn truncated_valid_pgm_is_an_error(cut in 0usize..16) {
+                let mut payload = b"P5\n3 2\n255\n".to_vec();
+                payload.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+                payload.truncate(payload.len().saturating_sub(cut));
+                let result = read_pgm_from(Cursor::new(payload));
+                if cut == 0 {
+                    prop_assert!(result.is_ok());
+                } else {
+                    prop_assert!(result.is_err());
+                }
+            }
+        }
+    }
+}

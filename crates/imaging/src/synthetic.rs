@@ -1,0 +1,538 @@
+//! Synthetic scenes with analytic ground-truth motion.
+//!
+//! The paper evaluates on pre-loaded frames whose content is irrelevant to
+//! the cycle counts; for accuracy experiments we need pairs of frames with a
+//! *known* flow field. A [`Scene`] is a continuous intensity function that can
+//! be sampled at any real coordinate, so frames under any smooth motion model
+//! (and rolling-shutter capture) can be rendered without resampling error.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flow::FlowField;
+use crate::grid::Grid;
+use crate::image::Image;
+
+/// A continuous grayscale scene: intensity as a function of real coordinates.
+///
+/// Implementations should return values in `[0, 1]` and be smooth enough to
+/// sample without aliasing at unit pixel pitch.
+pub trait Scene {
+    /// Intensity at the continuous position `(x, y)`.
+    fn sample(&self, x: f32, y: f32) -> f32;
+
+    /// Renders a `width × height` frame of the scene, with the pixel `(i, j)`
+    /// sampling the scene at `(i, j)`.
+    fn render(&self, width: usize, height: usize) -> Image
+    where
+        Self: Sized,
+    {
+        Grid::from_fn(width, height, |x, y| self.sample(x as f32, y as f32))
+    }
+}
+
+/// Multi-octave value noise: smooth random texture with content at several
+/// spatial frequencies, so the optical-flow data term is well conditioned
+/// everywhere.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_imaging::{NoiseTexture, Scene};
+/// let tex = NoiseTexture::new(42);
+/// let img = tex.render(32, 32);
+/// assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoiseTexture {
+    lattices: Vec<(f32, Grid<f32>)>, // (cell size, lattice values)
+    amplitude_sum: f32,
+}
+
+impl NoiseTexture {
+    /// Lattice extent per octave; coordinates wrap, so the texture is
+    /// periodic with period `cell_size * LATTICE` pixels.
+    const LATTICE: usize = 64;
+
+    /// Builds a three-octave texture (cell sizes 16, 8, 4 px) from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_octaves(seed, &[(16.0, 1.0), (8.0, 0.5), (4.0, 0.25)])
+    }
+
+    /// Builds a texture from explicit `(cell_size_px, amplitude)` octaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `octaves` is empty or a cell size is not positive.
+    pub fn with_octaves(seed: u64, octaves: &[(f32, f32)]) -> Self {
+        assert!(!octaves.is_empty(), "need at least one octave");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lattices = Vec::with_capacity(octaves.len());
+        let mut amplitude_sum = 0.0;
+        for &(cell, amp) in octaves {
+            assert!(cell > 0.0, "octave cell size must be positive");
+            let lattice =
+                Grid::from_fn(Self::LATTICE, Self::LATTICE, |_, _| rng.gen::<f32>() * amp);
+            amplitude_sum += amp;
+            lattices.push((cell, lattice));
+        }
+        NoiseTexture {
+            lattices,
+            amplitude_sum,
+        }
+    }
+
+    fn octave(&self, lattice: &Grid<f32>, cell: f32, x: f32, y: f32) -> f32 {
+        let n = Self::LATTICE as i64;
+        let gx = x / cell;
+        let gy = y / cell;
+        let x0 = gx.floor();
+        let y0 = gy.floor();
+        let fx = gx - x0;
+        let fy = gy - y0;
+        // Smoothstep weights remove lattice-aligned gradient discontinuities.
+        let sx = fx * fx * (3.0 - 2.0 * fx);
+        let sy = fy * fy * (3.0 - 2.0 * fy);
+        let wrap = |v: i64| (v.rem_euclid(n)) as usize;
+        let x0 = x0 as i64;
+        let y0 = y0 as i64;
+        let v00 = lattice[(wrap(x0), wrap(y0))];
+        let v10 = lattice[(wrap(x0 + 1), wrap(y0))];
+        let v01 = lattice[(wrap(x0), wrap(y0 + 1))];
+        let v11 = lattice[(wrap(x0 + 1), wrap(y0 + 1))];
+        let top = v00 + sx * (v10 - v00);
+        let bot = v01 + sx * (v11 - v01);
+        top + sy * (bot - top)
+    }
+}
+
+impl Scene for NoiseTexture {
+    fn sample(&self, x: f32, y: f32) -> f32 {
+        let mut acc = 0.0;
+        for (cell, lattice) in &self.lattices {
+            acc += self.octave(lattice, *cell, x, y);
+        }
+        acc / self.amplitude_sum
+    }
+}
+
+/// A smooth pseudo-checkerboard (product of sinusoids), useful when a strictly
+/// periodic, analytically differentiable scene is wanted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SineBoard {
+    /// Spatial period in pixels.
+    pub period: f32,
+}
+
+impl SineBoard {
+    /// Creates a board with the given period (pixels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive.
+    pub fn new(period: f32) -> Self {
+        assert!(period > 0.0, "period must be positive");
+        SineBoard { period }
+    }
+}
+
+impl Scene for SineBoard {
+    fn sample(&self, x: f32, y: f32) -> f32 {
+        let k = std::f32::consts::TAU / self.period;
+        0.5 + 0.25 * ((k * x).sin() + (k * y).sin())
+    }
+}
+
+/// A textured background with a brighter moving disk — the "object moving over
+/// a scene" workload that motivates motion estimation in the paper's intro.
+#[derive(Debug, Clone)]
+pub struct DiskScene {
+    background: NoiseTexture,
+    /// Disk center.
+    pub cx: f32,
+    /// Disk center.
+    pub cy: f32,
+    /// Disk radius in pixels.
+    pub radius: f32,
+}
+
+impl DiskScene {
+    /// Creates a disk of `radius` centered at `(cx, cy)` over a seeded
+    /// noise background.
+    pub fn new(seed: u64, cx: f32, cy: f32, radius: f32) -> Self {
+        DiskScene {
+            background: NoiseTexture::new(seed),
+            cx,
+            cy,
+            radius,
+        }
+    }
+}
+
+impl Scene for DiskScene {
+    fn sample(&self, x: f32, y: f32) -> f32 {
+        let base = 0.6 * self.background.sample(x, y);
+        let d = ((x - self.cx).powi(2) + (y - self.cy).powi(2)).sqrt();
+        // Soft 1.5 px edge keeps the scene band-limited.
+        let edge = ((self.radius - d) / 1.5).clamp(0.0, 1.0);
+        base + edge * (1.0 - base) * 0.9
+    }
+}
+
+/// A smooth parametric motion model with an exact inverse, used to render
+/// frame pairs and their ground-truth flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Motion {
+    /// Uniform translation by `(du, dv)` pixels per frame.
+    Translation {
+        /// Horizontal displacement.
+        du: f32,
+        /// Vertical displacement.
+        dv: f32,
+    },
+    /// Rotation by `angle` radians about `(cx, cy)` combined with scaling by
+    /// `scale` (1.0 = none) — a similarity transform, exactly invertible.
+    Similarity {
+        /// Center of rotation/zoom.
+        cx: f32,
+        /// Center of rotation/zoom.
+        cy: f32,
+        /// Rotation angle per frame (radians).
+        angle: f32,
+        /// Zoom factor per frame.
+        scale: f32,
+    },
+}
+
+impl Motion {
+    /// Where the scene point at `(x, y)` in frame 0 appears in frame 1.
+    pub fn forward(&self, x: f32, y: f32) -> (f32, f32) {
+        match *self {
+            Motion::Translation { du, dv } => (x + du, y + dv),
+            Motion::Similarity {
+                cx,
+                cy,
+                angle,
+                scale,
+            } => {
+                let (s, c) = angle.sin_cos();
+                let rx = x - cx;
+                let ry = y - cy;
+                (
+                    cx + scale * (c * rx - s * ry),
+                    cy + scale * (s * rx + c * ry),
+                )
+            }
+        }
+    }
+
+    /// Exact inverse of [`Motion::forward`].
+    pub fn inverse(&self, x: f32, y: f32) -> (f32, f32) {
+        match *self {
+            Motion::Translation { du, dv } => (x - du, y - dv),
+            Motion::Similarity {
+                cx,
+                cy,
+                angle,
+                scale,
+            } => {
+                let (s, c) = angle.sin_cos();
+                let rx = (x - cx) / scale;
+                let ry = (y - cy) / scale;
+                (cx + c * rx + s * ry, cy + (-s) * rx + c * ry)
+            }
+        }
+    }
+
+    /// The motion applied `k` times (translations add, same-center
+    /// similarities compose their angles and scales).
+    pub fn iterate(&self, k: u32) -> Motion {
+        match *self {
+            Motion::Translation { du, dv } => Motion::Translation {
+                du: du * k as f32,
+                dv: dv * k as f32,
+            },
+            Motion::Similarity {
+                cx,
+                cy,
+                angle,
+                scale,
+            } => Motion::Similarity {
+                cx,
+                cy,
+                angle: angle * k as f32,
+                scale: scale.powi(k as i32),
+            },
+        }
+    }
+
+    /// Ground-truth TV-L1 flow for this motion on a `width × height` frame.
+    ///
+    /// TV-L1's data term matches `I1(x + u(x)) = I0(x)`; since
+    /// `I1(q) = scene(inverse(q))` and `I0(p) = scene(p)`, the true flow is
+    /// `u(x) = forward(x) - x`.
+    pub fn ground_truth(&self, width: usize, height: usize) -> FlowField {
+        FlowField::from_fn(width, height, |x, y| {
+            let (fx, fy) = self.forward(x as f32, y as f32);
+            (fx - x as f32, fy - y as f32)
+        })
+    }
+}
+
+/// A rendered frame pair with its analytic ground-truth flow.
+#[derive(Debug, Clone)]
+pub struct FramePair {
+    /// Frame at time 0.
+    pub i0: Image,
+    /// Frame at time 1.
+    pub i1: Image,
+    /// Ground-truth flow satisfying `i1(x + u) = i0(x)` (up to sampling).
+    pub truth: FlowField,
+}
+
+/// Renders two frames of `scene` under `motion` plus the exact flow field.
+///
+/// Frame 0 samples the scene directly; frame 1 samples the scene through the
+/// inverse motion, so brightness constancy holds exactly (no resampling
+/// blur is introduced).
+pub fn render_pair(scene: &impl Scene, width: usize, height: usize, motion: Motion) -> FramePair {
+    let i0 = scene.render(width, height);
+    let i1 = Grid::from_fn(width, height, |x, y| {
+        let (sx, sy) = motion.inverse(x as f32, y as f32);
+        scene.sample(sx, sy)
+    });
+    FramePair {
+        i0,
+        i1,
+        truth: motion.ground_truth(width, height),
+    }
+}
+
+/// Renders `frames` consecutive frames of a scene under a constant motion:
+/// frame `t` samples the scene through the inverse of `motion` applied `t`
+/// times, so the ground-truth flow between *any* two consecutive frames is
+/// `motion.ground_truth(..)`.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn render_sequence(
+    scene: &impl Scene,
+    width: usize,
+    height: usize,
+    motion: Motion,
+    frames: usize,
+) -> Vec<Image> {
+    assert!(frames > 0, "need at least one frame");
+    (0..frames)
+        .map(|t| {
+            let m = motion.iterate(t as u32);
+            Grid::from_fn(width, height, |x, y| {
+                let (sx, sy) = m.inverse(x as f32, y as f32);
+                scene.sample(sx, sy)
+            })
+        })
+        .collect()
+}
+
+/// Rolling-shutter capture of a scene translating at `(vx, vy)` pixels per
+/// frame time: row `y` is exposed at time `t0 + y * row_delay` (frame times),
+/// so each row samples the scene at a different phase of the motion.
+///
+/// `row_delay = 1 / height` models a shutter that takes one full frame time
+/// to sweep the sensor.
+pub fn rolling_shutter_frame(
+    scene: &impl Scene,
+    width: usize,
+    height: usize,
+    vx: f32,
+    vy: f32,
+    row_delay: f32,
+    t0: f32,
+) -> Image {
+    Grid::from_fn(width, height, |x, y| {
+        let t = t0 + y as f32 * row_delay;
+        scene.sample(x as f32 - vx * t, y as f32 - vy * t)
+    })
+}
+
+/// Global-shutter capture of the same translating scene at time `t0`
+/// (the distortion-free reference for rolling-shutter correction).
+pub fn global_shutter_frame(
+    scene: &impl Scene,
+    width: usize,
+    height: usize,
+    vx: f32,
+    vy: f32,
+    t0: f32,
+) -> Image {
+    Grid::from_fn(width, height, |x, y| {
+        scene.sample(x as f32 - vx * t0, y as f32 - vy * t0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let a = NoiseTexture::new(7).render(16, 16);
+        let b = NoiseTexture::new(7).render(16, 16);
+        let c = NoiseTexture::new(8).render(16, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_in_unit_range_and_non_constant() {
+        let img = NoiseTexture::new(1).render(64, 64);
+        assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let (lo, hi) = crate::image::min_max(&img);
+        assert!(
+            hi - lo > 0.1,
+            "texture should have contrast, got {lo}..{hi}"
+        );
+    }
+
+    #[test]
+    fn noise_is_smooth_at_pixel_pitch() {
+        let tex = NoiseTexture::new(3);
+        for i in 0..50 {
+            let x = i as f32 * 1.3 + 0.2;
+            let d = (tex.sample(x + 0.5, 10.0) - tex.sample(x, 10.0)).abs();
+            assert!(d < 0.5, "jump of {d} at x={x}");
+        }
+    }
+
+    #[test]
+    fn motion_inverse_roundtrip() {
+        let motions = [
+            Motion::Translation { du: 3.25, dv: -1.5 },
+            Motion::Similarity {
+                cx: 10.0,
+                cy: 20.0,
+                angle: 0.3,
+                scale: 1.1,
+            },
+        ];
+        for m in motions {
+            for &(x, y) in &[(0.0, 0.0), (5.5, -2.0), (31.0, 17.0)] {
+                let (fx, fy) = m.forward(x, y);
+                let (bx, by) = m.inverse(fx, fy);
+                assert!((bx - x).abs() < 1e-4 && (by - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn translation_ground_truth_is_constant() {
+        let gt = Motion::Translation { du: 2.0, dv: -1.0 }.ground_truth(8, 8);
+        assert!(gt.u1.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(gt.u2.as_slice().iter().all(|&v| (v + 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn render_pair_satisfies_brightness_constancy() {
+        let scene = NoiseTexture::new(11);
+        let motion = Motion::Translation { du: 1.5, dv: 0.75 };
+        let pair = render_pair(&scene, 32, 32, motion);
+        // I1(x + u) == I0(x) exactly, because both sample the same continuous
+        // scene point (check via direct scene evaluation at warped coords).
+        for y in (0..32).step_by(5) {
+            for x in (0..32).step_by(5) {
+                let (u, v) = pair.truth.at(x, y);
+                let i1_at = scene.sample(x as f32 + u - 1.5, y as f32 + v - 0.75);
+                assert!((i1_at - pair.i0[(x, y)]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_flow_is_zero_at_center() {
+        let m = Motion::Similarity {
+            cx: 16.0,
+            cy: 16.0,
+            angle: 0.1,
+            scale: 1.0,
+        };
+        let gt = m.ground_truth(33, 33);
+        let (u, v) = gt.at(16, 16);
+        assert!(u.abs() < 1e-5 && v.abs() < 1e-5);
+        // Off-center the rotation induces motion.
+        let (u, v) = gt.at(30, 16);
+        assert!((u * u + v * v).sqrt() > 0.5);
+    }
+
+    #[test]
+    fn motion_iterate_composes() {
+        let t = Motion::Translation { du: 1.5, dv: -0.5 };
+        assert_eq!(t.iterate(3), Motion::Translation { du: 4.5, dv: -1.5 });
+        let s = Motion::Similarity {
+            cx: 4.0,
+            cy: 4.0,
+            angle: 0.1,
+            scale: 1.1,
+        };
+        let s2 = s.iterate(2);
+        // iterate(2) must equal forward twice.
+        let (x1, y1) = s.forward(7.0, 2.0);
+        let (x2, y2) = s.forward(x1, y1);
+        let (xi, yi) = s2.forward(7.0, 2.0);
+        assert!((x2 - xi).abs() < 1e-4 && (y2 - yi).abs() < 1e-4);
+        assert_eq!(s.iterate(0).forward(3.0, 9.0), (3.0, 9.0));
+    }
+
+    #[test]
+    fn sequence_has_time_invariant_flow() {
+        let scene = NoiseTexture::new(6);
+        let motion = Motion::Translation { du: 1.0, dv: 0.5 };
+        let seq = render_sequence(&scene, 24, 24, motion, 4);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq[0], scene.render(24, 24));
+        // frame_{t+1}(x + u) == frame_t(x): check via direct scene sampling.
+        for (t, frame) in seq.iter().enumerate().take(3) {
+            for &(x, y) in &[(5usize, 5usize), (12, 18)] {
+                let expect = frame[(x, y)];
+                let m_next = motion.iterate(t as u32 + 1);
+                let (sx, sy) = m_next.inverse(x as f32 + 1.0, y as f32 + 0.5);
+                assert!((scene.sample(sx, sy) - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn rolling_shutter_skews_rows() {
+        let scene = SineBoard::new(16.0);
+        let rs = rolling_shutter_frame(&scene, 32, 32, 8.0, 0.0, 1.0 / 32.0, 0.0);
+        let gs = global_shutter_frame(&scene, 32, 32, 8.0, 0.0, 0.0);
+        // Row 0 is captured at t=0 -> identical to global shutter.
+        assert_eq!(rs.row(0), gs.row(0));
+        // The last row is captured almost a frame later -> differs.
+        let diff: f32 = rs
+            .row(31)
+            .iter()
+            .zip(gs.row(31))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1.0, "expected skew on late rows, diff={diff}");
+    }
+
+    #[test]
+    fn disk_scene_brightens_center() {
+        let scene = DiskScene::new(5, 16.0, 16.0, 6.0);
+        let inside = scene.sample(16.0, 16.0);
+        let outside = scene.sample(2.0, 2.0);
+        assert!(inside > 0.8);
+        assert!(inside > outside);
+    }
+
+    #[test]
+    fn sineboard_range() {
+        let s = SineBoard::new(8.0);
+        for i in 0..100 {
+            let v = s.sample(i as f32 * 0.37, i as f32 * 0.61);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

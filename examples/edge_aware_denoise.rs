@@ -1,0 +1,63 @@
+//! Edge-aware denoising with *weighted* total variation — the natural
+//! extension of the Chambolle projection the accelerator implements
+//! (`w ≡ 1` in hardware; spatially varying `w` here).
+//!
+//! The weight field is derived from the input's own gradients
+//! (`w = 1 / (1 + s·|∇v|)`), so strong edges receive almost no smoothing
+//! while flat regions are denoised aggressively.
+//!
+//! ```text
+//! cargo run --example edge_aware_denoise --release
+//! ```
+
+use std::error::Error;
+
+use chambolle::core::{
+    chambolle_denoise, chambolle_denoise_weighted, edge_stopping_weights, ChambolleParams,
+};
+use chambolle::imaging::{psnr, write_pgm, Grid, Image};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A cartoon image: flat regions separated by strong edges — the case
+    // where uniform TV rounds corners and loses contrast.
+    let (w, h) = (128usize, 96usize);
+    let clean: Image = Grid::from_fn(w, h, |x, y| {
+        let in_box = (20..60).contains(&x) && (20..70).contains(&y);
+        let in_disk = ((x as f32 - 92.0).powi(2) + (y as f32 - 48.0).powi(2)).sqrt() < 24.0;
+        if in_box {
+            0.85
+        } else if in_disk {
+            0.55
+        } else {
+            0.2
+        }
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let noisy = clean.map(|&v| (v + rng.gen_range(-0.12f32..0.12)).clamp(0.0, 1.0));
+
+    let params = ChambolleParams::with_iterations(200);
+
+    // Uniform TV (what the paper's hardware computes).
+    let (uniform, _) = chambolle_denoise(&noisy, &params);
+
+    // Weighted TV: weights from the noisy input's blurred gradients.
+    let weights = edge_stopping_weights(&chambolle::imaging::blur_binomial5(&noisy), 12.0);
+    let (weighted, _) = chambolle_denoise_weighted(&noisy, &weights, &params)?;
+
+    println!("PSNR vs clean:");
+    println!("  noisy input: {:.2} dB", psnr(&noisy, &clean));
+    println!("  uniform TV:  {:.2} dB", psnr(&uniform, &clean));
+    println!("  weighted TV: {:.2} dB", psnr(&weighted, &clean));
+
+    std::fs::create_dir_all("target/examples-output")?;
+    write_pgm("target/examples-output/edge_noisy.pgm", &noisy)?;
+    write_pgm("target/examples-output/edge_uniform.pgm", &uniform)?;
+    write_pgm("target/examples-output/edge_weighted.pgm", &weighted)?;
+    println!("images written to target/examples-output/edge_*.pgm");
+
+    if psnr(&weighted, &clean) <= psnr(&noisy, &clean) {
+        return Err("weighted TV failed to denoise".into());
+    }
+    Ok(())
+}

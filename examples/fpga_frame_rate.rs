@@ -1,0 +1,60 @@
+//! Run the Chambolle inner solve on the simulated FPGA accelerator and
+//! project the frame rates of Table II.
+//!
+//! The cycle simulator executes the real datapath, so this example keeps the
+//! simulated frame small; the closed-form [`ThroughputModel`] (tested to
+//! match the simulator cycle-for-cycle) then projects the paper's frame
+//! sizes.
+//!
+//! ```text
+//! cargo run --example fpga_frame_rate --release
+//! ```
+
+use std::error::Error;
+
+use chambolle::core::ChambolleParams;
+use chambolle::hwsim::{AccelConfig, ChambolleAccel, ResourceModel, ThroughputModel};
+use chambolle::imaging::{NoiseTexture, Scene};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Simulate a real (small) frame on the accelerator: 2 sliding
+    //    windows x 2 PE arrays, 92x88 windows, K = 2 iterations per load.
+    let config = AccelConfig::default();
+    let mut accel = ChambolleAccel::new(config);
+    let v = NoiseTexture::new(5).render(184, 120);
+    let params = ChambolleParams::with_iterations(20);
+    let (u, _, stats) = accel.denoise_pair(&v, None, &params)?;
+    println!("simulated 184x120 @ 20 iterations: {stats}");
+    println!("  output range: {:?}", chambolle::imaging::min_max(&u));
+
+    // 2. Project Table II's frame sizes with the analytic cycle model.
+    let model = ThroughputModel::new(config);
+    println!();
+    println!(
+        "projected frame rates at {} MHz (m = 1 structural):",
+        config.clock_mhz
+    );
+    for &(w, h, iters) in &[
+        (128usize, 128usize, 200u32),
+        (256, 256, 200),
+        (512, 512, 200),
+        (1024, 768, 200),
+    ] {
+        println!(
+            "  {w:>4}x{h:<4} @ {iters} iterations: {:>7.1} fps  (m=3 calibrated: {:>7.1} fps)",
+            model.fps(w, h, iters),
+            model.fps_with_loop_decomposition(w, h, iters, 3),
+        );
+    }
+    println!();
+    println!("paper reports 99.1 fps at 512x512 and 38.1 fps at 1024x768 (200 iters).");
+
+    // 3. Area summary (Table I).
+    let usage = ResourceModel::paper().usage();
+    println!();
+    println!(
+        "resource model: {usage} ({} PEs)",
+        ResourceModel::paper().pe_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: estimate TV-L1 optical flow between two synthetic frames,
+//! check it against the analytic ground truth, and write a Middlebury-style
+//! flow visualization.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use std::error::Error;
+
+use chambolle::core::{TvL1Params, TvL1Solver};
+use chambolle::imaging::{
+    average_endpoint_error, colorize_flow, render_pair, write_ppm, Motion, NoiseTexture,
+};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Render a textured scene moving by (2.0, -1.0) pixels per frame.
+    let scene = NoiseTexture::new(42);
+    let motion = Motion::Translation { du: 2.0, dv: -1.0 };
+    let pair = render_pair(&scene, 128, 96, motion);
+
+    // 2. Estimate the flow with the TV-L1 solver (sequential Chambolle
+    //    backend; see the `fpga_frame_rate` example for the simulated
+    //    accelerator backend).
+    let solver = TvL1Solver::sequential(TvL1Params::default());
+    let (flow, stats) = solver.flow(&pair.i0, &pair.i1)?;
+
+    // 3. Compare against the ground truth.
+    let aee = average_endpoint_error(&flow, &pair.truth);
+    let (mu, mv) = flow.mean();
+    println!("true motion:      (2.00, -1.00) px");
+    println!("mean estimate:    ({mu:.2}, {mv:.2}) px");
+    println!("avg endpoint err: {aee:.3} px");
+    println!("solver profile:   {stats}");
+
+    // 4. Visualize.
+    std::fs::create_dir_all("target/examples-output")?;
+    let rgb = colorize_flow(&flow, None);
+    let path = "target/examples-output/quickstart_flow.ppm";
+    write_ppm(path, &rgb)?;
+    println!("flow visualization written to {path}");
+
+    if aee > 0.5 {
+        return Err(format!("flow quality regressed: AEE = {aee:.3}").into());
+    }
+    Ok(())
+}

@@ -1,0 +1,183 @@
+//! `chambolle_denoise` — ROF/TV denoising of a PGM image with the Chambolle
+//! solver (the exact computation the DATE'11 accelerator performs).
+//!
+//! ```text
+//! chambolle_denoise IN.pgm OUT.pgm [options]
+//!   --iterations N   Chambolle iterations                  [100]
+//!   --theta T        coupling constant θ                   [0.25]
+//!   --backend B      seq | tiled | fpga                    [tiled]
+//!   --gap-tol G      stop early once the duality gap < G (seq backend only)
+//! ```
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use chambolle::core::{
+    chambolle_denoise_monitored, rof_energy, ChambolleParams, SequentialSolver, TileConfig,
+    TiledSolver, TvDenoiser,
+};
+use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
+use chambolle::imaging::{read_pgm, write_pgm};
+
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    input: String,
+    output: String,
+    iterations: u32,
+    theta: f32,
+    backend: String,
+    gap_tol: Option<f64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut positional = Vec::new();
+    let mut opts = Options {
+        input: String::new(),
+        output: String::new(),
+        iterations: 100,
+        theta: 0.25,
+        backend: "tiled".into(),
+        gap_tol: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--iterations" => {
+                opts.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|_| "invalid --iterations".to_string())?
+            }
+            "--theta" => {
+                opts.theta = value("--theta")?
+                    .parse()
+                    .map_err(|_| "invalid --theta".to_string())?
+            }
+            "--backend" => opts.backend = value("--backend")?,
+            "--gap-tol" => {
+                opts.gap_tol = Some(
+                    value("--gap-tol")?
+                        .parse()
+                        .map_err(|_| "invalid --gap-tol".to_string())?,
+                )
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(format!(
+            "expected input and output paths, got {} positionals",
+            positional.len()
+        ));
+    }
+    opts.input = positional.remove(0);
+    opts.output = positional.remove(0);
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
+    let v = read_pgm(&opts.input)?;
+    let params = ChambolleParams::new(opts.theta, opts.theta / 4.0, opts.iterations)?;
+
+    let u = if let Some(tol) = opts.gap_tol {
+        let report = chambolle_denoise_monitored(&v, &params, 10, tol);
+        eprintln!(
+            "converged in {} iterations (duality gap {:.4})",
+            report.iterations_run,
+            report.final_gap()
+        );
+        report.u
+    } else {
+        let backend: Box<dyn TvDenoiser> = match opts.backend.as_str() {
+            "seq" => Box::new(SequentialSolver::new()),
+            "tiled" => Box::new(TiledSolver::new(TileConfig::default())),
+            "fpga" => Box::new(AccelDenoiser::new(ChambolleAccel::new(
+                AccelConfig::default(),
+            ))),
+            other => return Err(format!("unknown backend {other:?}").into()),
+        };
+        backend.denoise(&v, &params)
+    };
+
+    eprintln!(
+        "ROF energy: {:.2} -> {:.2}",
+        rof_energy(&v, &v, params.theta),
+        rof_energy(&u, &v, params.theta)
+    );
+    write_pgm(&opts.output, &u)?;
+    eprintln!("wrote {}", opts.output);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--gap-tol G]");
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_defaults_and_options() {
+        let o = parse_args(&args(&["in.pgm", "out.pgm"])).unwrap();
+        assert_eq!(o.iterations, 100);
+        assert_eq!(o.backend, "tiled");
+        assert_eq!(o.gap_tol, None);
+
+        let o = parse_args(&args(&[
+            "in.pgm",
+            "out.pgm",
+            "--iterations",
+            "50",
+            "--theta",
+            "0.5",
+            "--backend",
+            "fpga",
+            "--gap-tol",
+            "0.1",
+        ]))
+        .unwrap();
+        assert_eq!(o.iterations, 50);
+        assert_eq!(o.theta, 0.5);
+        assert_eq!(o.backend, "fpga");
+        assert_eq!(o.gap_tol, Some(0.1));
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&args(&["only-one"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--theta", "abc"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--bogus"])).is_err());
+    }
+}

@@ -1,0 +1,298 @@
+//! `chambolle_flow` — TV-L1 optical flow between two PGM frames.
+//!
+//! ```text
+//! chambolle_flow I0.pgm I1.pgm [options]
+//!   --out FILE.flo      write the flow in Middlebury .flo format
+//!   --vis FILE.ppm      write a Middlebury color visualization
+//!   --iterations N      Chambolle iterations per inner solve [30]
+//!   --lambda L          data weight (unit-intensity scale)   [38]
+//!   --warps N           warps per pyramid level              [5]
+//!   --levels N          pyramid levels                       [5]
+//!   --backend B         seq | tiled | fpga (TV-L1 inner)     [seq]
+//!   --method M          tvl1 | hs | bm (estimator)           [tvl1]
+//!   --median            3x3 median filter between warps
+//! ```
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use chambolle::core::{
+    block_matching_flow, BlockMatchingParams, ChambolleParams, HornSchunck, HornSchunckParams,
+    SequentialSolver, TileConfig, TiledSolver, TvDenoiser, TvL1Params, TvL1Solver,
+};
+use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
+use chambolle::imaging::FlowField;
+use chambolle::imaging::{colorize_flow, read_pgm, write_flo, write_ppm};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    input0: String,
+    input1: String,
+    out: Option<String>,
+    vis: Option<String>,
+    iterations: u32,
+    lambda: f32,
+    warps: u32,
+    levels: usize,
+    backend: Backend,
+    method: Method,
+    median: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Method {
+    TvL1,
+    HornSchunck,
+    BlockMatching,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Sequential,
+    Tiled,
+    Fpga,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut positional = Vec::new();
+    let mut opts = Options {
+        input0: String::new(),
+        input1: String::new(),
+        out: None,
+        vis: None,
+        iterations: 30,
+        lambda: 38.0,
+        warps: 5,
+        levels: 5,
+        backend: Backend::Sequential,
+        method: Method::TvL1,
+        median: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => opts.out = Some(value("--out")?),
+            "--vis" => opts.vis = Some(value("--vis")?),
+            "--iterations" => {
+                opts.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|_| "invalid --iterations".to_string())?
+            }
+            "--lambda" => {
+                opts.lambda = value("--lambda")?
+                    .parse()
+                    .map_err(|_| "invalid --lambda".to_string())?
+            }
+            "--warps" => {
+                opts.warps = value("--warps")?
+                    .parse()
+                    .map_err(|_| "invalid --warps".to_string())?
+            }
+            "--levels" => {
+                opts.levels = value("--levels")?
+                    .parse()
+                    .map_err(|_| "invalid --levels".to_string())?
+            }
+            "--backend" => {
+                opts.backend = match value("--backend")?.as_str() {
+                    "seq" => Backend::Sequential,
+                    "tiled" => Backend::Tiled,
+                    "fpga" => Backend::Fpga,
+                    other => return Err(format!("unknown backend {other:?}")),
+                }
+            }
+            "--method" => {
+                opts.method = match value("--method")?.as_str() {
+                    "tvl1" => Method::TvL1,
+                    "hs" => Method::HornSchunck,
+                    "bm" => Method::BlockMatching,
+                    other => return Err(format!("unknown method {other:?}")),
+                }
+            }
+            "--median" => opts.median = true,
+            "--help" | "-h" => return Err("help".into()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(format!(
+            "expected exactly two input frames, got {}",
+            positional.len()
+        ));
+    }
+    opts.input0 = positional.remove(0);
+    opts.input1 = positional.remove(0);
+    Ok(opts)
+}
+
+fn estimate(
+    opts: &Options,
+    i0: &chambolle::imaging::Image,
+    i1: &chambolle::imaging::Image,
+) -> Result<FlowField, Box<dyn Error>> {
+    match opts.method {
+        Method::TvL1 => {
+            let mut params = TvL1Params::new(
+                opts.lambda,
+                ChambolleParams::with_iterations(opts.iterations),
+                opts.warps,
+                5,
+                opts.levels,
+            )?;
+            if opts.median {
+                params = params.with_median_filter();
+            }
+            let backend: Box<dyn TvDenoiser> = match opts.backend {
+                Backend::Sequential => Box::new(SequentialSolver::new()),
+                Backend::Tiled => Box::new(TiledSolver::new(TileConfig::default())),
+                Backend::Fpga => Box::new(AccelDenoiser::new(ChambolleAccel::new(
+                    AccelConfig::default(),
+                ))),
+            };
+            let solver = TvL1Solver::with_backend(params, backend);
+            let (flow, stats) = solver.flow(i0, i1)?;
+            eprintln!("{stats}");
+            Ok(flow)
+        }
+        Method::HornSchunck => {
+            let params = HornSchunckParams::new(0.05, opts.iterations, opts.warps, opts.levels)?;
+            Ok(HornSchunck::new(params).flow(i0, i1)?)
+        }
+        Method::BlockMatching => Ok(block_matching_flow(
+            i0,
+            i1,
+            &BlockMatchingParams::default(),
+        )?),
+    }
+}
+
+fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
+    let i0 = read_pgm(&opts.input0)?;
+    let i1 = read_pgm(&opts.input1)?;
+    let flow = estimate(opts, &i0, &i1)?;
+
+    let (mu, mv) = flow.mean();
+    eprintln!(
+        "flow {}x{}: mean ({mu:.3}, {mv:.3}) px, max |u| {:.3} px",
+        flow.width(),
+        flow.height(),
+        flow.max_magnitude()
+    );
+    if let Some(path) = &opts.out {
+        write_flo(path, &flow)?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &opts.vis {
+        write_ppm(path, &colorize_flow(&flow, None))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--method tvl1|hs|bm] [--median]");
+            return if msg == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_minimal_invocation() {
+        let o = parse_args(&args(&["a.pgm", "b.pgm"])).unwrap();
+        assert_eq!(o.input0, "a.pgm");
+        assert_eq!(o.input1, "b.pgm");
+        assert_eq!(o.iterations, 30);
+        assert_eq!(o.backend, Backend::Sequential);
+        assert!(!o.median);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let o = parse_args(&args(&[
+            "a.pgm",
+            "--out",
+            "f.flo",
+            "b.pgm",
+            "--vis",
+            "f.ppm",
+            "--iterations",
+            "100",
+            "--lambda",
+            "50",
+            "--warps",
+            "3",
+            "--levels",
+            "4",
+            "--backend",
+            "fpga",
+            "--median",
+        ]))
+        .unwrap();
+        assert_eq!(o.out.as_deref(), Some("f.flo"));
+        assert_eq!(o.vis.as_deref(), Some("f.ppm"));
+        assert_eq!(o.iterations, 100);
+        assert_eq!(o.lambda, 50.0);
+        assert_eq!(o.warps, 3);
+        assert_eq!(o.levels, 4);
+        assert_eq!(o.backend, Backend::Fpga);
+        assert!(o.median);
+        assert_eq!(o.method, Method::TvL1);
+    }
+
+    #[test]
+    fn parses_methods() {
+        for (name, want) in [
+            ("tvl1", Method::TvL1),
+            ("hs", Method::HornSchunck),
+            ("bm", Method::BlockMatching),
+        ] {
+            let o = parse_args(&args(&["a", "b", "--method", name])).unwrap();
+            assert_eq!(o.method, want);
+        }
+        assert!(parse_args(&args(&["a", "b", "--method", "sift"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&args(&["a.pgm"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--backend", "gpu"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--iterations", "x"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--frob"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--out"])).is_err());
+        assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "help");
+    }
+}

@@ -1,0 +1,40 @@
+//! Facade crate for the reproduction of *"A High-Performance Parallel
+//! Implementation of the Chambolle Algorithm"* (Akin et al., DATE 2011).
+//!
+//! Re-exports the whole workspace under one roof:
+//!
+//! - [`imaging`] — grids, pyramids, warping, synthetic ground-truth scenes,
+//!   flow metrics and I/O;
+//! - [`fixed`] — the accelerator's Q-format datapath and LUT square root;
+//! - [`core`] — the Chambolle solver (sequential and the paper's tiled
+//!   parallel scheme), TV-L1, baselines and diagnostics;
+//! - [`hwsim`] — the bit- and cycle-faithful simulator of the FPGA
+//!   architecture with its timing and area models.
+//!
+//! The binaries `chambolle_flow` and `chambolle_denoise` and the
+//! `examples/` directory are built from this crate; the workspace-level
+//! integration tests live in `tests/`.
+//!
+//! # Examples
+//!
+//! Estimate optical flow on a synthetic scene and check it against the
+//! analytic ground truth:
+//!
+//! ```
+//! use chambolle::core::{TvL1Params, TvL1Solver};
+//! use chambolle::imaging::{average_endpoint_error, render_pair, Motion, NoiseTexture};
+//!
+//! let scene = NoiseTexture::new(42);
+//! let pair = render_pair(&scene, 64, 48, Motion::Translation { du: 1.0, dv: 0.5 });
+//! let solver = TvL1Solver::sequential(TvL1Params::default());
+//! let (flow, _) = solver.flow(&pair.i0, &pair.i1)?;
+//! assert!(average_endpoint_error(&flow, &pair.truth) < 0.25);
+//! # Ok::<(), chambolle::core::FlowError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use chambolle_core as core;
+pub use chambolle_fixed as fixed;
+pub use chambolle_hwsim as hwsim;
+pub use chambolle_imaging as imaging;

@@ -1,0 +1,122 @@
+//! End-to-end tests of the command-line tools (run as real subprocesses).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use chambolle::imaging::{read_flo, read_pgm, render_pair, write_pgm, Motion, NoiseTexture};
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("chambolle_cli_{}_{name}", std::process::id()));
+    p
+}
+
+fn write_test_pair() -> (PathBuf, PathBuf) {
+    let scene = NoiseTexture::new(77);
+    let pair = render_pair(&scene, 64, 48, Motion::Translation { du: 1.5, dv: -0.5 });
+    let p0 = tmp("i0.pgm");
+    let p1 = tmp("i1.pgm");
+    write_pgm(&p0, &pair.i0).expect("write i0");
+    write_pgm(&p1, &pair.i1).expect("write i1");
+    (p0, p1)
+}
+
+#[test]
+fn flow_cli_produces_flo_and_ppm() {
+    let (p0, p1) = write_test_pair();
+    let flo = tmp("out.flo");
+    let ppm = tmp("out.ppm");
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_flow"))
+        .args([
+            p0.to_str().unwrap(),
+            p1.to_str().unwrap(),
+            "--out",
+            flo.to_str().unwrap(),
+            "--vis",
+            ppm.to_str().unwrap(),
+            "--iterations",
+            "15",
+            "--warps",
+            "3",
+            "--levels",
+            "3",
+        ])
+        .status()
+        .expect("spawn chambolle_flow");
+    assert!(status.success());
+
+    let flow = read_flo(&flo).expect("read back .flo");
+    assert_eq!(flow.dims(), (64, 48));
+    // PGM quantization costs accuracy; the motion direction must survive.
+    let (mu, mv) = flow.mean();
+    assert!(mu > 0.8 && mu < 2.2, "mean u1 = {mu}");
+    assert!(mv < 0.0, "mean u2 = {mv}");
+
+    let vis = std::fs::read(&ppm).expect("read ppm");
+    assert!(vis.starts_with(b"P6\n64 48\n255\n"));
+
+    for f in [p0, p1, flo, ppm] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn flow_cli_rejects_bad_usage() {
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_flow"))
+        .arg("only-one.pgm")
+        .status()
+        .expect("spawn chambolle_flow");
+    assert_eq!(status.code(), Some(2));
+
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_flow"))
+        .args(["a.pgm", "b.pgm", "--backend", "quantum"])
+        .status()
+        .expect("spawn chambolle_flow");
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn flow_cli_reports_missing_files() {
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_flow"))
+        .args(["/nonexistent/a.pgm", "/nonexistent/b.pgm"])
+        .status()
+        .expect("spawn chambolle_flow");
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn denoise_cli_roundtrip() {
+    let scene = NoiseTexture::new(78);
+    let pair = render_pair(&scene, 48, 40, Motion::Translation { du: 0.0, dv: 0.0 });
+    let input = tmp("noisy.pgm");
+    write_pgm(&input, &pair.i0).expect("write input");
+    let output = tmp("denoised.pgm");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_denoise"))
+        .args([
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--iterations",
+            "40",
+        ])
+        .status()
+        .expect("spawn chambolle_denoise");
+    assert!(status.success());
+    let u = read_pgm(&output).expect("read output");
+    assert_eq!(u.dims(), (48, 40));
+
+    // Early-stopping variant also works.
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_denoise"))
+        .args([
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--gap-tol",
+            "5.0",
+        ])
+        .status()
+        .expect("spawn chambolle_denoise");
+    assert!(status.success());
+
+    std::fs::remove_file(input).ok();
+    std::fs::remove_file(output).ok();
+}

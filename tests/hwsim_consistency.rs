@@ -1,0 +1,108 @@
+//! Cross-crate consistency of the FPGA simulator stack: event simulation,
+//! fixed-point reference, analytic timing model and the float solver.
+
+use chambolle::core::{chambolle_denoise, ChambolleParams};
+use chambolle::fixed::WordFixed;
+use chambolle::hwsim::{
+    fixed_chambolle_reference, quantize_input, AccelConfig, ChambolleAccel, HwParams,
+    ThroughputModel,
+};
+use chambolle::imaging::{Grid, NoiseTexture, Scene};
+
+#[test]
+fn accel_frame_equals_monolithic_fixed_reference() {
+    let v = NoiseTexture::new(11).render(200, 100);
+    let params = ChambolleParams::new(0.25, 0.0625, 7).expect("valid params");
+    let mut accel = ChambolleAccel::new(AccelConfig::paper(3).expect("valid config"));
+    let (u, _, stats) = accel.denoise_pair(&v, None, &params).expect("hw-encodable");
+    let reference = fixed_chambolle_reference(&quantize_input(&v), &HwParams::standard(7));
+    for (x, y, &val) in u.iter() {
+        assert_eq!(
+            WordFixed::from_f32(val),
+            reference.u[(x, y)],
+            "mismatch at ({x},{y})"
+        );
+    }
+    assert!(stats.cycles > 0);
+}
+
+#[test]
+fn timing_model_matches_event_simulation() {
+    let v = NoiseTexture::new(12).render(130, 95);
+    let params = ChambolleParams::new(0.25, 0.0625, 5).expect("valid params");
+    for k in [1u32, 2, 4] {
+        let config = AccelConfig::paper(k).expect("valid config");
+        let mut accel = ChambolleAccel::new(config);
+        let (_, _, stats) = accel.denoise_pair(&v, None, &params).expect("hw-encodable");
+        let model = ThroughputModel::new(config);
+        assert_eq!(
+            model.frame_cycles(130, 95, 5),
+            stats.cycles,
+            "analytic model diverged from the simulator at K={k}"
+        );
+    }
+}
+
+#[test]
+fn fixed_point_tracks_float_solver() {
+    let v = NoiseTexture::new(13).render(96, 88);
+    let params = ChambolleParams::new(0.25, 0.0625, 40).expect("valid params");
+    let mut accel = ChambolleAccel::new(AccelConfig::default());
+    let (u_hw, _, _) = accel.denoise_pair(&v, None, &params).expect("hw-encodable");
+    let (u_float, _) = chambolle_denoise(&v, &params);
+    let mut max_err = 0.0f32;
+    for i in 0..u_hw.len() {
+        max_err = max_err.max((u_hw.as_slice()[i] - u_float.as_slice()[i]).abs());
+    }
+    assert!(
+        max_err < 0.05,
+        "13/9-bit datapath should stay within a few percent of float, got {max_err}"
+    );
+}
+
+#[test]
+fn table2_shape_holds() {
+    // The qualitative claims of Table II, independent of calibration:
+    // (a) fps falls roughly linearly with iteration count,
+    // (b) fps falls roughly linearly with pixel count,
+    // (c) the accelerator model beats every published GPU row,
+    // (d) 1024x768 at 200 iterations stays above 10 fps ("real-time frame
+    //     rates even at high resolutions").
+    let model = ThroughputModel::new(AccelConfig::default());
+    let f = |w, h, n| model.fps(w, h, n);
+    assert!(f(512, 512, 50) > 3.0 * f(512, 512, 200));
+    assert!(f(128, 128, 200) > 8.0 * f(512, 512, 200));
+    assert!(
+        f(512, 512, 200) > 9.3,
+        "must beat the best published 512x512 GPU row"
+    );
+    assert!(f(1024, 768, 200) > 10.0);
+}
+
+#[test]
+fn window_state_is_isolated_between_frames() {
+    // Re-using one accelerator across frames must not leak dual state.
+    let params = ChambolleParams::new(0.25, 0.0625, 4).expect("valid params");
+    let v1 = NoiseTexture::new(14).render(60, 50);
+    let v2 = NoiseTexture::new(15).render(60, 50);
+    let mut shared = ChambolleAccel::new(AccelConfig::default());
+    let (_, _, _) = shared
+        .denoise_pair(&v1, None, &params)
+        .expect("hw-encodable");
+    let (u2_shared, _, _) = shared
+        .denoise_pair(&v2, None, &params)
+        .expect("hw-encodable");
+    let mut fresh = ChambolleAccel::new(AccelConfig::default());
+    let (u2_fresh, _, _) = fresh
+        .denoise_pair(&v2, None, &params)
+        .expect("hw-encodable");
+    assert_eq!(u2_shared.as_slice(), u2_fresh.as_slice());
+}
+
+#[test]
+fn rejects_non_representable_parameters() {
+    let v = Grid::new(16, 16, 0.5f32);
+    let params = ChambolleParams::new(0.3, 0.05, 4).expect("valid float params");
+    let mut accel = ChambolleAccel::new(AccelConfig::default());
+    assert!(accel.denoise_pair(&v, None, &params).is_err());
+}
