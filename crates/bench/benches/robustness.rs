@@ -1,0 +1,54 @@
+//! Cost of the guarded frame scheduler: the fault-free guard overhead
+//! (checksums + feasibility monitors) and the price of recovery at
+//! increasing upset rates.
+
+use chambolle_bench::robustness::sweep_fault_rates;
+use chambolle_bench::workloads::timing_frame;
+use chambolle_core::ChambolleParams;
+use chambolle_hwsim::{AccelConfig, AccelGuardConfig, ChambolleAccel, FaultConfig, FaultInjector};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_robustness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("robustness");
+    group.sample_size(10);
+    let v = timing_frame(96, 80);
+    let params = ChambolleParams::with_iterations(5);
+
+    group.bench_function("unguarded_96x80_5iter", |b| {
+        b.iter(|| {
+            let mut accel = ChambolleAccel::new(AccelConfig::default());
+            accel.denoise_pair(&v, None, &params).unwrap()
+        })
+    });
+
+    for (label, rate) in [("guarded_clean", 0.0), ("guarded_faulty_1e-3", 1e-3)] {
+        group.bench_function(format!("{label}_96x80_5iter"), |b| {
+            b.iter(|| {
+                let mut accel = ChambolleAccel::new(AccelConfig::default());
+                let mut injector = FaultInjector::new(FaultConfig {
+                    seed: 2011,
+                    bram_flip_rate: rate,
+                    lut_rate: rate / 8.0,
+                    datapath_rate: rate / 8.0,
+                });
+                accel
+                    .denoise_pair_guarded(
+                        &v,
+                        None,
+                        &params,
+                        &mut injector,
+                        &AccelGuardConfig::default(),
+                    )
+                    .unwrap()
+            })
+        });
+    }
+
+    group.bench_function("sweep_3_rates_72x60", |b| {
+        b.iter(|| sweep_fault_rates(72, 60, 3, 2011, &[0.0, 5e-4, 2e-3]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_robustness);
+criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! the Chambolle Algorithm"* (Akin et al., DATE 2011).
 //!
 //! - [`baselines`] — the published Table II rows (GPU state of the art);
+//! - [`robustness`] — fault-injection sweeps over the guarded accelerator;
 //! - [`tables`] — text-table rendering;
 //! - [`workloads`] — deterministic frames and host timing helpers;
 //! - the `repro` binary regenerates every table and figure (see
@@ -11,5 +12,6 @@
 
 pub mod baselines;
 pub mod dataset;
+pub mod robustness;
 pub mod tables;
 pub mod workloads;

@@ -1,0 +1,181 @@
+//! Robustness workload: sweeps fault-injection rates through the guarded
+//! accelerator and records detection and recovery statistics.
+//!
+//! The sweep answers the reliability question the DATE'11 paper leaves open:
+//! an FPGA deployment of the Chambolle accelerator faces single-event
+//! upsets, and the guarded frame scheduler
+//! ([`ChambolleAccel::denoise_pair_guarded`]) claims to detect every upset
+//! in a profitable region and repair it exactly. Each sweep point runs the
+//! same deterministic frame with faults at one rate and checks the output
+//! bit-for-bit against the fault-free reference.
+
+use chambolle_core::ChambolleParams;
+use chambolle_hwsim::{AccelConfig, AccelGuardConfig, ChambolleAccel, FaultConfig, FaultInjector};
+use chambolle_imaging::Image;
+
+use crate::workloads::timing_frame;
+
+/// One sweep point: what happened at a single fault rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessPoint {
+    /// The per-word-per-round BRAM upset probability used.
+    pub bram_flip_rate: f64,
+    /// Faults actually injected by the scheduler.
+    pub injected: usize,
+    /// Corruptions the guard detected (checksums, feasibility monitors,
+    /// LUT scrubbing, DMR arbitration).
+    pub detected: u32,
+    /// Whether the output matched the fault-free run bit-for-bit.
+    pub recovered_exactly: bool,
+    /// Whether the run had to degrade to the sequential reference.
+    pub degraded: bool,
+    /// Window loads consumed (recovery work shows up here).
+    pub window_loads: u64,
+}
+
+impl RobustnessPoint {
+    /// Detections per injected fault (1.0 means nothing slipped through;
+    /// can exceed 1.0 because one fault may trip several monitors).
+    pub fn detection_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.injected as f64
+        }
+    }
+}
+
+/// Runs the guarded accelerator once at each BRAM fault rate over the
+/// deterministic `width × height` timing frame and compares every run with
+/// the fault-free output of the same frame.
+///
+/// LUT and datapath rates ride along at `rate / 8` so the sweep exercises
+/// all three fault classes without letting the (more expensive) recovery
+/// paths dominate.
+///
+/// # Panics
+///
+/// Panics if the frame is too small for the accelerator configuration.
+pub fn sweep_fault_rates(
+    width: usize,
+    height: usize,
+    iterations: u32,
+    seed: u64,
+    rates: &[f64],
+) -> Vec<RobustnessPoint> {
+    let v = timing_frame(width, height);
+    let params = ChambolleParams::with_iterations(iterations);
+    let clean = run_guarded(&v, &params, seed, 0.0).0;
+    rates
+        .iter()
+        .map(|&rate| {
+            let (u, injected, report, loads) = run_guarded_full(&v, &params, seed, rate);
+            RobustnessPoint {
+                bram_flip_rate: rate,
+                injected,
+                detected: report.detections,
+                recovered_exactly: u.as_slice() == clean.as_slice(),
+                degraded: report.degraded,
+                window_loads: loads,
+            }
+        })
+        .collect()
+}
+
+fn run_guarded(v: &Image, params: &ChambolleParams, seed: u64, rate: f64) -> (Image, usize) {
+    let (u, injected, _, _) = run_guarded_full(v, params, seed, rate);
+    (u, injected)
+}
+
+fn run_guarded_full(
+    v: &Image,
+    params: &ChambolleParams,
+    seed: u64,
+    rate: f64,
+) -> (Image, usize, chambolle_core::RecoveryReport, u64) {
+    let mut accel = ChambolleAccel::new(AccelConfig::default());
+    let mut injector = FaultInjector::new(FaultConfig {
+        seed,
+        bram_flip_rate: rate,
+        lut_rate: rate / 8.0,
+        datapath_rate: rate / 8.0,
+    });
+    let out = accel
+        .denoise_pair_guarded(v, None, params, &mut injector, &AccelGuardConfig::default())
+        .expect("guarded denoise failed");
+    (
+        out.u1,
+        injector.injected(),
+        out.report,
+        out.stats.window_loads,
+    )
+}
+
+/// Renders a sweep as a text table (one row per rate).
+pub fn render_sweep(points: &[RobustnessPoint]) -> String {
+    let mut out =
+        String::from("rate        injected  detected  det/inj  exact  degraded  window loads\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<10.1e}  {:>8}  {:>8}  {:>7.2}  {:>5}  {:>8}  {:>12}\n",
+            p.bram_flip_rate,
+            p.injected,
+            p.detected,
+            p.detection_ratio(),
+            p.recovered_exactly,
+            p.degraded,
+            p.window_loads,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_point_is_clean_and_exact() {
+        let pts = sweep_fault_rates(72, 60, 4, 11, &[0.0]);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].injected, 0);
+        assert_eq!(pts[0].detected, 0);
+        assert!(pts[0].recovered_exactly);
+        assert!(!pts[0].degraded);
+    }
+
+    #[test]
+    fn nonzero_rates_inject_detect_and_recover() {
+        let pts = sweep_fault_rates(96, 80, 5, 23, &[2e-4, 1e-3]);
+        let total_injected: usize = pts.iter().map(|p| p.injected).sum();
+        assert!(total_injected > 0, "sweep rates too low to fire");
+        for p in &pts {
+            assert!(
+                p.recovered_exactly,
+                "rate {} failed to recover exactly: {p:?}",
+                p.bram_flip_rate
+            );
+            if p.injected > 0 {
+                assert!(p.detected > 0, "faults fired but none detected: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_work_shows_up_in_window_loads() {
+        let pts = sweep_fault_rates(96, 80, 5, 37, &[0.0, 2e-3]);
+        assert!(pts[1].injected > 0);
+        assert!(
+            pts[1].window_loads > pts[0].window_loads,
+            "recovery at rate 2e-3 should cost extra loads: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn render_sweep_mentions_every_rate() {
+        let pts = sweep_fault_rates(72, 60, 3, 5, &[0.0, 1e-3]);
+        let table = render_sweep(&pts);
+        assert!(table.contains("detected"));
+        assert_eq!(table.lines().count(), 3);
+    }
+}

@@ -11,7 +11,7 @@
 use chambolle_imaging::Grid;
 
 use crate::ops::{divergence, forward_diff_x, forward_diff_y, inner_product, total_variation};
-use crate::params::ChambolleParams;
+use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
 use crate::solver::{chambolle_iterate, recover_u, rof_energy, DualField};
 
@@ -22,17 +22,43 @@ use crate::solver::{chambolle_iterate, recover_u, rof_energy, DualField};
 ///
 /// # Panics
 ///
-/// Panics if dimensions differ or `theta <= 0`.
+/// Panics if dimensions differ or `theta <= 0`; [`try_rof_dual_energy`] is
+/// the non-panicking form.
 pub fn rof_dual_energy<R: Real>(p: &DualField<R>, v: &Grid<R>, theta: f32) -> f64 {
-    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
-    assert!(theta > 0.0, "theta must be positive");
+    try_rof_dual_energy(p, v, theta).expect("invalid rof_dual_energy input")
+}
+
+/// [`rof_dual_energy`] with validated preconditions instead of panics.
+///
+/// # Errors
+///
+/// Returns [`InvalidParamsError`] if dimensions differ or `theta` is not
+/// positive (NaN included).
+pub fn try_rof_dual_energy<R: Real>(
+    p: &DualField<R>,
+    v: &Grid<R>,
+    theta: f32,
+) -> Result<f64, InvalidParamsError> {
+    if p.dims() != v.dims() {
+        return Err(InvalidParamsError::new(format!(
+            "dual field {:?} and v {:?} must match in size",
+            p.dims(),
+            v.dims()
+        )));
+    }
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+    if !(theta > 0.0) {
+        return Err(InvalidParamsError::new(format!(
+            "theta must be positive, got {theta}"
+        )));
+    }
     let div = divergence(&p.px, &p.py);
     let norm_sq: f64 = div
         .as_slice()
         .iter()
         .map(|&d| d.to_f64() * d.to_f64())
         .sum();
-    inner_product(v, &div) - 0.5 * theta as f64 * norm_sq
+    Ok(inner_product(v, &div) - 0.5 * theta as f64 * norm_sq)
 }
 
 /// Duality gap of a primal/dual pair: `E(u) − D(p)`.
@@ -41,9 +67,25 @@ pub fn rof_dual_energy<R: Real>(p: &DualField<R>, v: &Grid<R>, theta: f32) -> f6
 ///
 /// # Panics
 ///
-/// Panics if dimensions differ or `theta <= 0`.
+/// Panics if dimensions differ or `theta <= 0`; [`try_duality_gap`] is the
+/// non-panicking form.
 pub fn duality_gap<R: Real>(u: &Grid<R>, p: &DualField<R>, v: &Grid<R>, theta: f32) -> f64 {
-    rof_energy(u, v, theta) - rof_dual_energy(p, v, theta)
+    try_duality_gap(u, p, v, theta).expect("invalid duality_gap input")
+}
+
+/// [`duality_gap`] with validated preconditions instead of panics.
+///
+/// # Errors
+///
+/// Returns [`InvalidParamsError`] if any dimensions differ or `theta` is not
+/// positive (NaN included).
+pub fn try_duality_gap<R: Real>(
+    u: &Grid<R>,
+    p: &DualField<R>,
+    v: &Grid<R>,
+    theta: f32,
+) -> Result<f64, InvalidParamsError> {
+    Ok(crate::solver::try_rof_energy(u, v, theta)? - try_rof_dual_energy(p, v, theta)?)
 }
 
 /// The algebraically simplified gap for `u = v − θ·div p`:
@@ -51,12 +93,31 @@ pub fn duality_gap<R: Real>(u: &Grid<R>, p: &DualField<R>, v: &Grid<R>, theta: f
 ///
 /// # Panics
 ///
-/// Panics if dimensions differ.
+/// Panics if dimensions differ; [`try_duality_gap_compact`] is the
+/// non-panicking form.
 pub fn duality_gap_compact<R: Real>(u: &Grid<R>, p: &DualField<R>) -> f64 {
-    assert_eq!(u.dims(), p.dims(), "u and dual field must match in size");
+    try_duality_gap_compact(u, p).expect("invalid duality_gap_compact input")
+}
+
+/// [`duality_gap_compact`] with validated preconditions instead of panics.
+///
+/// # Errors
+///
+/// Returns [`InvalidParamsError`] if `u` and the dual field differ in size.
+pub fn try_duality_gap_compact<R: Real>(
+    u: &Grid<R>,
+    p: &DualField<R>,
+) -> Result<f64, InvalidParamsError> {
+    if u.dims() != p.dims() {
+        return Err(InvalidParamsError::new(format!(
+            "u {:?} and dual field {:?} must match in size",
+            u.dims(),
+            p.dims()
+        )));
+    }
     let gx = forward_diff_x(u);
     let gy = forward_diff_y(u);
-    total_variation(u) + inner_product(&gx, &p.px) + inner_product(&gy, &p.py)
+    Ok(total_variation(u) + inner_product(&gx, &p.px) + inner_product(&gy, &p.py))
 }
 
 /// One sampled point of a monitored solve.
@@ -221,6 +282,56 @@ mod tests {
         assert_eq!(rof_dual_energy(&p, &v, 0.25), 0.0);
     }
 
+    #[test]
+    fn try_variants_accept_valid_inputs() {
+        let v = noisy(12, 10, 9);
+        let mut p = DualField::zeros(12, 10);
+        chambolle_iterate(&mut p, &v, &params(15), 15);
+        let u = recover_u(&v, &p, 0.25);
+        assert_eq!(
+            try_rof_dual_energy(&p, &v, 0.25).unwrap(),
+            rof_dual_energy(&p, &v, 0.25)
+        );
+        assert_eq!(
+            try_duality_gap(&u, &p, &v, 0.25).unwrap(),
+            duality_gap(&u, &p, &v, 0.25)
+        );
+        assert_eq!(
+            try_duality_gap_compact(&u, &p).unwrap(),
+            duality_gap_compact(&u, &p)
+        );
+    }
+
+    #[test]
+    fn try_variants_reject_mismatched_dims() {
+        let v = noisy(12, 10, 10);
+        let p = DualField::<f64>::zeros(11, 10);
+        let u = Grid::<f64>::new(12, 10, 0.0);
+        assert!(try_rof_dual_energy(&p, &v, 0.25).is_err());
+        assert!(try_duality_gap(&u, &p, &v, 0.25).is_err());
+        assert!(try_duality_gap_compact(&u, &p).is_err());
+        let u_bad = Grid::<f64>::new(12, 9, 0.0);
+        assert!(try_duality_gap(&u_bad, &DualField::zeros(12, 10), &v, 0.25).is_err());
+    }
+
+    #[test]
+    fn try_variants_reject_bad_theta() {
+        let v = noisy(8, 8, 11);
+        let p = DualField::<f64>::zeros(8, 8);
+        let u = Grid::<f64>::new(8, 8, 0.0);
+        for theta in [0.0, -1.0, f32::NAN] {
+            assert!(try_rof_dual_energy(&p, &v, theta).is_err(), "theta={theta}");
+            assert!(try_duality_gap(&u, &p, &v, theta).is_err(), "theta={theta}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rof_dual_energy input")]
+    fn panicking_form_still_panics_on_bad_dims() {
+        let v = Grid::<f64>::new(8, 8, 0.0);
+        let p = DualField::<f64>::zeros(7, 8);
+        rof_dual_energy(&p, &v, 0.25);
+    }
 
     #[test]
     fn monitoring_works_in_f32_too() {

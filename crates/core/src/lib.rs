@@ -13,7 +13,10 @@
 //!   sliding-window parallel solver ([`chambolle_iterate_tiled`],
 //!   [`TiledSolver`]), bit-identical to the sequential solver;
 //! - [`tvl1`] — the TV-L1 optical-flow outer loop ([`TvL1Solver`]) with
-//!   profiling that reproduces the "~90% of time in Chambolle" claim.
+//!   profiling that reproduces the "~90% of time in Chambolle" claim;
+//! - [`guard`] — the guarded solver pipeline: input scrubbing, divergence
+//!   detection over the duality gap, and graceful degradation to the
+//!   sequential reference with a structured [`RecoveryReport`].
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@ pub mod block_matching;
 pub mod decomposition;
 pub mod dependency;
 pub mod diagnostics;
+pub mod guard;
 pub mod horn_schunck;
 pub mod ops;
 mod params;
@@ -52,14 +56,19 @@ pub mod weighted;
 pub use block_matching::{block_matching_flow, BlockMatchingParams};
 pub use decomposition::{compute_group_decomposed, DecomposedStats, GroupRect};
 pub use diagnostics::{
-    chambolle_denoise_monitored, duality_gap, rof_dual_energy, ConvergencePoint, SolveReport,
+    chambolle_denoise_monitored, duality_gap, duality_gap_compact, rof_dual_energy,
+    try_duality_gap, try_duality_gap_compact, try_rof_dual_energy, ConvergencePoint, SolveReport,
+};
+pub use guard::{
+    guarded_denoise_monitored, output_is_valid, scrub_non_finite, validate_solvable, GuardError,
+    GuardedDenoiser, RecoveryAction, RecoveryPolicy, RecoveryReport,
 };
 pub use horn_schunck::{HornSchunck, HornSchunckParams};
 pub use params::{ChambolleParams, InvalidParamsError, TvL1Params};
 pub use real::Real;
 pub use solver::{
-    chambolle_denoise, chambolle_iterate, recover_u, rof_energy, Convention, DualField,
-    SequentialSolver, TvDenoiser,
+    chambolle_denoise, chambolle_iterate, recover_u, rof_energy, try_rof_energy, Convention,
+    DualField, SequentialSolver, TvDenoiser,
 };
 pub use tiling::{chambolle_iterate_tiled, Tile, TileConfig, TilePlan, TiledSolver};
 pub use tvl1::{threshold_step, FlowError, FlowStats, TvL1Solver, VideoFlowTracker};

@@ -19,7 +19,7 @@
 use chambolle_imaging::Grid;
 
 use crate::ops::{div_x_at, div_y_at, total_variation};
-use crate::params::ChambolleParams;
+use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
 
 /// The dual variable `p = (px, py)` of the Chambolle iteration
@@ -193,10 +193,36 @@ pub fn chambolle_denoise<R: Real>(
 ///
 /// # Panics
 ///
-/// Panics if dimensions differ or `theta <= 0`.
+/// Panics if dimensions differ or `theta <= 0`; [`try_rof_energy`] is the
+/// non-panicking form.
 pub fn rof_energy<R: Real>(u: &Grid<R>, v: &Grid<R>, theta: f32) -> f64 {
-    assert_eq!(u.dims(), v.dims(), "u and v must match in size");
-    assert!(theta > 0.0, "theta must be positive");
+    try_rof_energy(u, v, theta).expect("invalid rof_energy input")
+}
+
+/// [`rof_energy`] with validated preconditions instead of panics.
+///
+/// # Errors
+///
+/// Returns [`InvalidParamsError`] if `u` and `v` differ in size or `theta`
+/// is not positive (NaN included).
+pub fn try_rof_energy<R: Real>(
+    u: &Grid<R>,
+    v: &Grid<R>,
+    theta: f32,
+) -> Result<f64, InvalidParamsError> {
+    if u.dims() != v.dims() {
+        return Err(InvalidParamsError::new(format!(
+            "u {:?} and v {:?} must match in size",
+            u.dims(),
+            v.dims()
+        )));
+    }
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must be rejected too
+    if !(theta > 0.0) {
+        return Err(InvalidParamsError::new(format!(
+            "theta must be positive, got {theta}"
+        )));
+    }
     let quad: f64 = u
         .as_slice()
         .iter()
@@ -206,7 +232,7 @@ pub fn rof_energy<R: Real>(u: &Grid<R>, v: &Grid<R>, theta: f32) -> f64 {
             d * d
         })
         .sum();
-    total_variation(u) + quad / (2.0 * theta as f64)
+    Ok(total_variation(u) + quad / (2.0 * theta as f64))
 }
 
 /// Something that can run the Chambolle inner solve of TV-L1: the sequential

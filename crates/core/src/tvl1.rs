@@ -555,7 +555,6 @@ mod tests {
         assert_ne!(flow.u1.as_slice(), plain.u1.as_slice());
     }
 
-
     #[test]
     fn stats_count_the_inner_solves() {
         let scene = NoiseTexture::new(81);

@@ -102,6 +102,43 @@ impl SqrtLut {
         let got = self.sqrt_q24_8(x) as f64;
         (got - exact).abs() / exact
     }
+
+    /// FNV-1a checksum of the table contents — the integrity word a
+    /// BRAM-scrubbing controller would keep beside the ROM.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.table {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Checksum of a pristine table. The table contents are fixed by the
+    /// generator, so this is a compile-independent golden reference.
+    pub fn golden_checksum() -> u64 {
+        SqrtLut::new().checksum()
+    }
+
+    /// True when the table matches the golden checksum.
+    pub fn is_intact(&self) -> bool {
+        self.checksum() == Self::golden_checksum()
+    }
+
+    /// Fault-injection backdoor: XORs `xor` into entry `index`, modelling an
+    /// upset in the ROM's backing BRAM. A zero `xor` is a no-op.
+    pub fn corrupt_entry(&mut self, index: u8, xor: u8) {
+        self.table[index as usize] ^= xor;
+    }
+
+    /// Rebuilds the table from the generator, returning `true` when any
+    /// entry actually changed (i.e. the table had been corrupted).
+    pub fn repair(&mut self) -> bool {
+        let fresh = SqrtLut::new();
+        let changed = self.table != fresh.table;
+        self.table = fresh.table;
+        changed
+    }
 }
 
 impl Default for SqrtLut {
@@ -196,6 +233,37 @@ impl SqrtUnit {
         match self {
             SqrtUnit::Lut(_) => "lut",
             SqrtUnit::NonRestoring => "non-restoring",
+        }
+    }
+
+    /// Fault-injection backdoor: corrupts one LUT entry. Returns `true` when
+    /// the unit has a table to corrupt (the non-restoring unit is pure
+    /// combinational logic and has no state to upset).
+    pub fn corrupt_lut_entry(&mut self, index: u8, xor: u8) -> bool {
+        match self {
+            SqrtUnit::Lut(lut) => {
+                lut.corrupt_entry(index, xor);
+                true
+            }
+            SqrtUnit::NonRestoring => false,
+        }
+    }
+
+    /// True when the unit's state matches its golden reference (trivially
+    /// true for the stateless non-restoring unit).
+    pub fn lut_intact(&self) -> bool {
+        match self {
+            SqrtUnit::Lut(lut) => lut.is_intact(),
+            SqrtUnit::NonRestoring => true,
+        }
+    }
+
+    /// Restores the unit's state from the golden generator; returns `true`
+    /// when a repair actually changed anything.
+    pub fn repair_lut(&mut self) -> bool {
+        match self {
+            SqrtUnit::Lut(lut) => lut.repair(),
+            SqrtUnit::NonRestoring => false,
         }
     }
 }
@@ -380,6 +448,47 @@ mod tests {
         assert_eq!(lut.sqrt_q24_8(1024), 512);
         assert_eq!(nr.sqrt_q24_8(1024), 512);
         assert_eq!(SqrtUnit::default().name(), "lut");
+    }
+
+    #[test]
+    fn checksum_detects_any_single_entry_corruption() {
+        let golden = SqrtLut::golden_checksum();
+        assert!(SqrtLut::new().is_intact());
+        for index in [0u8, 1, 77, 255] {
+            for xor in [1u8, 0x80, 0xFF] {
+                let mut lut = SqrtLut::new();
+                lut.corrupt_entry(index, xor);
+                assert_ne!(lut.checksum(), golden, "index={index} xor={xor}");
+                assert!(!lut.is_intact());
+                assert!(lut.repair());
+                assert!(lut.is_intact());
+                assert!(!lut.repair(), "second repair must be a no-op");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_lut_changes_results() {
+        let mut lut = SqrtLut::new();
+        // Input 1024 aligns to the 8-bit block 1024 >> 4 = 64, so entry 64
+        // serves sqrt(4.0): table[64] << 2 = 128 << 2 = 512.
+        lut.corrupt_entry(64, 0xFF);
+        assert_ne!(lut.sqrt_q24_8(1024), 512);
+    }
+
+    #[test]
+    fn unit_integrity_dispatch() {
+        let mut lut = SqrtUnit::lut();
+        assert!(lut.lut_intact());
+        assert!(lut.corrupt_lut_entry(9, 0x10));
+        assert!(!lut.lut_intact());
+        assert!(lut.repair_lut());
+        assert!(lut.lut_intact());
+
+        let mut nr = SqrtUnit::non_restoring();
+        assert!(!nr.corrupt_lut_entry(9, 0x10), "no table to corrupt");
+        assert!(nr.lut_intact());
+        assert!(!nr.repair_lut());
     }
 
     #[test]

@@ -145,6 +145,34 @@ impl SlidingWindow {
     pub fn stats(&self) -> (ArrayStats, ArrayStats) {
         (self.array_u1.stats(), self.array_u2.stats())
     }
+
+    /// Fault-injection backdoor: corrupts one sqrt-LUT entry in one of the
+    /// window's arrays (`0` = the `u1` array, `1` = the `u2` array). Returns
+    /// `false` when the configured sqrt unit has no table to corrupt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array > 1`.
+    pub fn corrupt_sqrt_entry(&mut self, array: u8, index: u8, xor: u8) -> bool {
+        let unit = match array {
+            0 => self.array_u1.sqrt_unit_mut(),
+            1 => self.array_u2.sqrt_unit_mut(),
+            other => panic!("window has two arrays, got index {other}"),
+        };
+        unit.corrupt_lut_entry(index, xor)
+    }
+
+    /// True when both arrays' sqrt units match their golden tables.
+    pub fn sqrt_units_intact(&self) -> bool {
+        self.array_u1.sqrt_unit().lut_intact() && self.array_u2.sqrt_unit().lut_intact()
+    }
+
+    /// Scrubs both arrays' sqrt units against the golden generator,
+    /// returning how many tables actually needed repair.
+    pub fn repair_sqrt_units(&mut self) -> u32 {
+        self.array_u1.sqrt_unit_mut().repair_lut() as u32
+            + self.array_u2.sqrt_unit_mut().repair_lut() as u32
+    }
 }
 
 /// Frame-level execution statistics.
@@ -192,7 +220,7 @@ impl fmt::Display for FrameStats {
 #[derive(Debug)]
 pub struct ChambolleAccel {
     config: AccelConfig,
-    windows: Vec<SlidingWindow>,
+    pub(crate) windows: Vec<SlidingWindow>,
 }
 
 impl ChambolleAccel {
@@ -365,7 +393,7 @@ pub(crate) fn u_round_tiles(w: usize, h: usize, array: &ArrayConfig) -> Vec<UTil
     tiles
 }
 
-fn blit_profitable_words(
+pub(crate) fn blit_profitable_words(
     global: &mut Grid<PackedWord>,
     tile: &chambolle_core::Tile,
     local: &Grid<PackedWord>,
@@ -379,7 +407,11 @@ fn blit_profitable_words(
     }
 }
 
-fn blit_profitable_u(global: &mut Grid<WordFixed>, tile: &UTile, local: &Grid<WordFixed>) {
+pub(crate) fn blit_profitable_u(
+    global: &mut Grid<WordFixed>,
+    tile: &UTile,
+    local: &Grid<WordFixed>,
+) {
     let lx = tile.out_x - tile.src_x;
     let ly = tile.out_y - tile.src_y;
     for y in 0..tile.out_h {
@@ -587,7 +619,6 @@ mod tests {
             s_lut.cycles
         );
     }
-
 
     #[test]
     fn single_pixel_frame_survives_the_full_stack() {

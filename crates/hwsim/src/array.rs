@@ -237,6 +237,18 @@ impl PeArray {
         &self.config
     }
 
+    /// The PE-V square-root unit (for integrity inspection).
+    pub fn sqrt_unit(&self) -> &SqrtUnit {
+        &self.sqrt
+    }
+
+    /// Mutable access to the PE-V square-root unit — the fault-injection and
+    /// scrubbing surface (corrupting or repairing a LUT does not change the
+    /// unit's latency class, so the fill schedule stays valid).
+    pub fn sqrt_unit_mut(&mut self) -> &mut SqrtUnit {
+        &mut self.sqrt
+    }
+
     /// Cumulative statistics across all windows processed so far.
     pub fn stats(&self) -> ArrayStats {
         self.stats

@@ -209,6 +209,23 @@ impl Bram {
     pub fn poke(&mut self, addr: usize, data: u32) {
         self.words[addr] = data;
     }
+
+    /// Fault-injection backdoor: flips one bit of the stored word, modelling
+    /// a single-event upset in the BRAM cell array (not a port access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range or `bit >= 32`.
+    pub fn flip_bit(&mut self, addr: usize, bit: u32) {
+        assert!(
+            addr < self.words.len(),
+            "{}: fault address {addr} out of range (capacity {})",
+            self.name,
+            self.words.len()
+        );
+        assert!(bit < 32, "{}: bit index {bit} out of range", self.name);
+        self.words[addr] ^= 1 << bit;
+    }
 }
 
 impl fmt::Display for Bram {
@@ -274,6 +291,29 @@ mod tests {
     fn out_of_range_panics() {
         let mut ram = Bram::new("t", 8);
         ram.issue_read(Port::One, 8);
+    }
+
+    #[test]
+    fn flip_bit_is_a_single_bit_xor() {
+        let mut ram = Bram::new("t", 4);
+        ram.poke(2, 0b1010);
+        ram.flip_bit(2, 0);
+        assert_eq!(ram.peek(2), 0b1011);
+        ram.flip_bit(2, 31);
+        assert_eq!(ram.peek(2), 0b1011 | (1 << 31));
+        ram.flip_bit(2, 31);
+        ram.flip_bit(2, 0);
+        assert_eq!(ram.peek(2), 0b1010, "double flip restores the word");
+        let before = ram.stats();
+        assert_eq!(before.reads, 0);
+        assert_eq!(before.writes, 0, "backdoor faults are not port accesses");
+    }
+
+    #[test]
+    #[should_panic(expected = "bit index")]
+    fn flip_bit_rejects_bad_bit() {
+        let mut ram = Bram::new("t", 4);
+        ram.flip_bit(0, 32);
     }
 
     #[test]

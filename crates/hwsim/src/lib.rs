@@ -14,6 +14,10 @@
 //!   (Fig. 2), usable as a TV-L1 backend via [`AccelDenoiser`];
 //! - [`reference`](mod@reference) — a structure-free fixed-point model the simulator is
 //!   tested bit-exact against;
+//! - [`fault`] — deterministic fault injection (BRAM upsets, sqrt-LUT
+//!   corruption, datapath glitches) and the guarded frame scheduler
+//!   ([`ChambolleAccel::denoise_pair_guarded`]) that detects and recovers
+//!   from them;
 //! - [`timing`] — the closed-form cycle model behind Table II;
 //! - [`resources`] — the area model behind Table I.
 //!
@@ -43,6 +47,7 @@ pub mod array;
 pub mod bram;
 pub mod control;
 pub mod datapath;
+pub mod fault;
 mod params;
 pub mod reference;
 pub mod resources;
@@ -53,6 +58,10 @@ pub mod trace;
 pub use accel::{AccelConfig, AccelDenoiser, ChambolleAccel, FrameStats, SlidingWindow, SqrtKind};
 pub use array::{ArrayConfig, ArrayStats, PeArray, WindowRun};
 pub use control::{Command, ControlUnit, TimedCommand};
+pub use fault::{
+    check_dual_feasibility, region_checksum, state_checksum, AccelGuardConfig, FaultConfig,
+    FaultEvent, FaultInjector, FaultKind, GuardedFrame, InvariantViolation,
+};
 pub use params::{HwParams, HwParamsError};
 pub use reference::{
     dequantize, fixed_chambolle_reference, fixed_chambolle_reference_with, quantize_input,

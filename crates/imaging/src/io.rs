@@ -94,11 +94,7 @@ pub fn read_pgm_from<R: BufRead>(mut r: R) -> Result<Image, PnmError> {
             "unsupported maxval {maxval} (only 8-bit PGM is supported)"
         )));
     }
-    const MAX_PIXELS: usize = 1 << 28; // 256 Mpx guards absurd headers
-    let pixels = width
-        .checked_mul(height)
-        .filter(|&p| p <= MAX_PIXELS)
-        .ok_or_else(|| PnmError::Format(format!("unreasonable dimensions {width}x{height}")))?;
+    let pixels = checked_pixel_count(width, height)?;
     let mut bytes = vec![0u8; pixels];
     r.read_exact(&mut bytes)
         .map_err(|e| PnmError::Format(format!("truncated pixel data: {e}")))?;
@@ -122,6 +118,63 @@ pub fn write_ppm(path: impl AsRef<Path>, img: &RgbImage) -> Result<(), PnmError>
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(())
+}
+
+/// Reads a binary PPM (P6) file into an RGB raster.
+///
+/// # Errors
+///
+/// Returns [`PnmError::Format`] for non-P6 data or truncated pixel payloads,
+/// and [`PnmError::Io`] on filesystem failures.
+pub fn read_ppm(path: impl AsRef<Path>) -> Result<RgbImage, PnmError> {
+    read_ppm_from(BufReader::new(File::open(path)?))
+}
+
+/// Reads a binary PPM (P6) from any reader.
+///
+/// Shares the PGM reader's guards: `#` comments anywhere in the header,
+/// 8-bit maxval only, zero or absurd dimensions rejected before any pixel
+/// allocation, and truncated payloads reported as [`PnmError::Format`].
+///
+/// # Errors
+///
+/// Returns [`PnmError::Format`] for non-P6 data or truncated pixel payloads.
+pub fn read_ppm_from<R: BufRead>(mut r: R) -> Result<RgbImage, PnmError> {
+    let magic = read_token(&mut r)?;
+    if magic != "P6" {
+        return Err(PnmError::Format(format!(
+            "expected P6 magic, got {magic:?}"
+        )));
+    }
+    let width: usize = parse_token(&mut r, "width")?;
+    let height: usize = parse_token(&mut r, "height")?;
+    let maxval: usize = parse_token(&mut r, "maxval")?;
+    if maxval != 255 {
+        return Err(PnmError::Format(format!(
+            "unsupported maxval {maxval} (only 8-bit PPM is supported)"
+        )));
+    }
+    let pixels = checked_pixel_count(width, height)?;
+    let mut bytes = vec![0u8; pixels * 3];
+    r.read_exact(&mut bytes)
+        .map_err(|e| PnmError::Format(format!("truncated pixel data: {e}")))?;
+    let data = bytes.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+    Grid::from_vec(width, height, data).map_err(|e| PnmError::Format(e.to_string()))
+}
+
+/// Validates Netpbm raster dimensions: rejects zero-sized and absurdly large
+/// frames before any pixel buffer is allocated.
+fn checked_pixel_count(width: usize, height: usize) -> Result<usize, PnmError> {
+    const MAX_PIXELS: usize = 1 << 28; // 256 Mpx guards absurd headers
+    if width == 0 || height == 0 {
+        return Err(PnmError::Format(format!(
+            "zero-sized image {width}x{height}"
+        )));
+    }
+    width
+        .checked_mul(height)
+        .filter(|&p| p <= MAX_PIXELS)
+        .ok_or_else(|| PnmError::Format(format!("unreasonable dimensions {width}x{height}")))
 }
 
 /// Magic tag of the Middlebury `.flo` format ("PIEH" as a little-endian
@@ -320,6 +373,55 @@ mod tests {
     }
 
     #[test]
+    fn ppm_roundtrip() {
+        let img: RgbImage =
+            Grid::from_fn(5, 4, |x, y| [(x * 40) as u8, (y * 60) as u8, (x + y) as u8]);
+        let path = tmp("roundtrip.ppm");
+        write_ppm(&path, &img).unwrap();
+        let back = read_ppm(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, img, "P6 must round-trip exactly");
+    }
+
+    #[test]
+    fn ppm_read_rejects_bad_magic_and_maxval() {
+        let err = read_ppm_from(Cursor::new(b"P5\n1 1\n255\n\0".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("P6"));
+        let err = read_ppm_from(Cursor::new(b"P6\n1 1\n65535\n\0\0\0\0\0\0".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("maxval"));
+    }
+
+    #[test]
+    fn ppm_read_rejects_truncated_pixels() {
+        let err = read_ppm_from(Cursor::new(b"P6\n2 2\n255\nxxxxx".to_vec())).unwrap_err();
+        assert!(matches!(err, PnmError::Format(_)));
+    }
+
+    #[test]
+    fn ppm_read_skips_header_comments() {
+        let mut payload = b"P6 # rgb\n2 # width\n1\n255\n".to_vec();
+        payload.extend_from_slice(&[10, 20, 30, 40, 50, 60]);
+        let img = read_ppm_from(Cursor::new(payload)).unwrap();
+        assert_eq!(img.dims(), (2, 1));
+        assert_eq!(img[(1, 0)], [40, 50, 60]);
+    }
+
+    #[test]
+    fn readers_reject_zero_dimensions() {
+        let err = read_pgm_from(Cursor::new(b"P5\n0 5\n255\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("zero-sized"));
+        let err = read_ppm_from(Cursor::new(b"P6\n3 0\n255\n".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("zero-sized"));
+    }
+
+    #[test]
+    fn ppm_rejects_absurd_headers_without_allocating() {
+        let payload = b"P6\n999999999 999999999\n255\n".to_vec();
+        let err = read_ppm_from(Cursor::new(payload)).unwrap_err();
+        assert!(err.to_string().contains("unreasonable"));
+    }
+
+    #[test]
     fn flo_roundtrip() {
         use crate::flow::FlowField;
         let flow = FlowField::from_fn(9, 6, |x, y| (x as f32 * 0.5 - 1.0, y as f32 * -0.25));
@@ -386,6 +488,12 @@ mod tests {
             #[test]
             fn pgm_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
                 let _ = read_pgm_from(Cursor::new(bytes));
+            }
+
+            /// Arbitrary bytes must never panic the PPM parser.
+            #[test]
+            fn ppm_parser_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+                let _ = read_ppm_from(Cursor::new(bytes));
             }
 
             /// Arbitrary bytes must never panic the flo parser.

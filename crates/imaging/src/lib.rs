@@ -48,7 +48,8 @@ pub use image::{
     gradient_central, min_max, mse, normalize, psnr, sample_bilinear, sample_clamped, ssim, Image,
 };
 pub use io::{
-    read_flo, read_flo_from, read_pgm, read_pgm_from, write_flo, write_pgm, write_ppm, PnmError,
+    read_flo, read_flo_from, read_pgm, read_pgm_from, read_ppm, read_ppm_from, write_flo,
+    write_pgm, write_ppm, PnmError,
 };
 pub use pyramid::{
     blur_binomial5, downsample_half, resize_bilinear, upsample_flow_component, Pyramid,

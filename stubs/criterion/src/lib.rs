@@ -1,0 +1,182 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the slice of criterion the benches use: `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of statistical sampling it times a small fixed number of
+//! iterations per benchmark and prints one line each. That keeps
+//! `cargo test` fast (the workspace benches are built with `harness =
+//! false` and `test = true`, so the bench mains run during the test
+//! suite) while still exercising every bench body end to end.
+
+use std::time::Instant;
+
+/// Iterations timed per benchmark. One warms up, the rest are averaged.
+const RUNS: u32 = 3;
+
+/// Top-level benchmark driver (stands in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; this runner's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this runner's timing is fixed.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().label, |b| f(b));
+        self
+    }
+
+    /// Times `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark label, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to benchmark closures to time the measured body.
+#[derive(Debug)]
+pub struct Bencher {
+    nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` [`RUNS`] times and records the average wall-clock time of
+    /// all runs after the first (warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 1..RUNS {
+            black_box(f());
+        }
+        self.nanos = start.elapsed().as_nanos();
+        self.iters = RUNS - 1;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, label: &str, mut f: F) {
+    let mut b = Bencher { nanos: 0, iters: 1 };
+    f(&mut b);
+    let avg = b.nanos / u128::from(b.iters.max(1));
+    println!("bench {group}/{label}: {avg} ns/iter (avg of {})", b.iters);
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// measured computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects benchmark functions into a runner invoked by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Defines `main` running each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..100u64).map(|v| v * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn groups_run_every_target() {
+        benches();
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline drop-in subset of the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this tiny crate provides the exact API surface the workspace uses from
+//! `rand` 0.8 — `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer and float ranges, and `Rng::gen` — backed
+//! by a deterministic SplitMix64 generator.
+//!
+//! The stream is *not* bit-compatible with the real `StdRng` (ChaCha12);
+//! everything in this workspace only relies on seeded determinism, never on
+//! a specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random generator constructors (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that `Rng::gen` can produce (subset of the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+/// Ranges that `Rng::gen_range` can sample from (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Element types uniform ranges can be built over (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+///
+/// `SampleRange` is blanket-implemented over this trait rather than per
+/// concrete range type so that type inference flows from the surrounding
+/// expression into untyped literals (`rng.gen_range(-0.1..0.1)` in an `f32`
+/// context), exactly as with the real crate.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// A uniform sample from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    /// A uniform sample from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Core entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generator methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A sample of `T` from its standard distribution (unit interval for
+    /// floats, full range for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// A bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64). Stands in for the real
+    /// `StdRng`; see the crate docs for the compatibility caveat.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014) — passes BigCrush, one
+            // addition + two xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        // 24 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        lo + (hi - lo) * unit_f64(rng)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        Self::sample_half_open(lo, hi, rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        lo + (hi - lo) * f32::draw(rng)
+    }
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        Self::sample_half_open(lo, hi, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u32> = (0..8).map(|_| a.gen_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.gen_range(0u32..1000)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i32..5);
+            assert!((-3..5).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(-0.1f32..0.1);
+            assert!((-0.1..0.1).contains(&g));
+            let u = rng.gen_range(1usize..=7);
+            assert!((1..=7).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn mean_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}
