@@ -7,6 +7,12 @@
 //!
 //! Subcommands: `table1`, `table2`, `fig1`, `overhead`, `sqrt`, `profile`,
 //! `arch`, `all`. See `EXPERIMENTS.md` for the experiment index.
+//!
+//! With `--json`, the selected reproduction is emitted as a machine-readable
+//! [`RunReport`] on stdout instead of text tables: `--json` alone runs a fast
+//! instrumented suite (solver trajectory, tiling redundancy, accelerator
+//! cycle/BRAM counters, fault-recovery counters, Table I/II records), while
+//! `--json table1` / `--json table2` restrict the report to that table.
 
 use std::env;
 
@@ -18,18 +24,37 @@ use chambolle_bench::tables::{fps_cell, TextTable};
 use chambolle_bench::workloads::{measure_host_chambolle, timing_frame};
 use chambolle_core::dependency::{best_group_shape, cone_stats};
 use chambolle_core::{
-    chambolle_denoise, chambolle_denoise_monitored, ChambolleParams, TileConfig, TilePlan,
-    TvL1Params, TvL1Solver,
+    chambolle_denoise, chambolle_denoise_monitored, chambolle_denoise_monitored_with_telemetry,
+    ChambolleParams, TileConfig, TilePlan, TiledSolver, TvDenoiser, TvL1Params, TvL1Solver,
 };
 use chambolle_fixed::{sqrt_accuracy, SqrtLut};
 use chambolle_hwsim::{
-    fixed_chambolle_reference_with, quantize_input, AccelConfig, ArrayConfig, DeviceCapacity,
-    HwParams, PeArray, ResourceModel, SqrtKind, ThroughputModel,
+    fixed_chambolle_reference_with, quantize_input, AccelConfig, AccelGuardConfig, ArrayConfig,
+    ChambolleAccel, DeviceCapacity, FaultConfig, FaultInjector, HwParams, PeArray, ResourceModel,
+    SqrtKind, ThroughputModel,
 };
+use chambolle_telemetry::json::JsonValue;
+use chambolle_telemetry::report::RunReport;
+use chambolle_telemetry::Telemetry;
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    let json_mode = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let cmd = args.first().map(String::as_str).unwrap_or("all");
+    if json_mode {
+        let report = match cmd {
+            "all" | "report" => json_full_report(),
+            "table1" => json_table_report("repro.table1", "table1", table1_json()),
+            "table2" => json_table_report("repro.table2", "table2", table2_json()),
+            other => {
+                eprintln!("unknown --json experiment {other:?}; use one of: table1 table2 all");
+                std::process::exit(2);
+            }
+        };
+        println!("{}", report.to_json().to_string_pretty());
+        return;
+    }
     match cmd {
         "table1" => table1(),
         "table2" => table2(),
@@ -62,6 +87,217 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
+
+/// A [`RunReport`] holding a single table section (for `--json table1|2`).
+fn json_table_report(tool: &str, section: &str, value: JsonValue) -> RunReport {
+    let mut report = RunReport::new(tool);
+    report.add_section(section, value);
+    report
+}
+
+/// The default `--json` suite: runs instrumented versions of the fast
+/// experiments and collects every cross-crate metric the telemetry layer
+/// exposes — solver iterations and duality-gap trajectory, tiling redundancy,
+/// accelerator cycle and per-port BRAM counters, throughput-model gauges, and
+/// fault-recovery counters — into one schema-versioned report.
+fn json_full_report() -> RunReport {
+    let telemetry = Telemetry::null();
+
+    // Solver: monitored convergence on the standard timing frame.
+    let v = timing_frame(128, 128).map(|&x| f64::from(x));
+    let solver_iters = 200u32;
+    let solve = chambolle_denoise_monitored_with_telemetry(
+        &v,
+        &ChambolleParams::with_iterations(solver_iters),
+        50,
+        0.0,
+        &telemetry,
+    );
+    let trajectory = JsonValue::Array(
+        solve
+            .history
+            .iter()
+            .map(|p| {
+                JsonValue::Object(vec![
+                    ("iteration".into(), u64::from(p.iteration).into()),
+                    ("energy".into(), p.energy.into()),
+                    ("gap".into(), p.gap.into()),
+                ])
+            })
+            .collect(),
+    );
+
+    // Tiling: the sliding-window solver on a multi-window frame (records
+    // rounds, window loads, and the halo-redundancy ratio).
+    let v32 = timing_frame(256, 256);
+    let tiled = TiledSolver::new(TileConfig::new(92, 88, 2, 2).expect("valid config"))
+        .with_telemetry(telemetry.clone());
+    let _ = tiled.denoise(&v32, &ChambolleParams::paper(6));
+
+    // Accelerator: a cycle-level two-window frame (cycle totals, per-port
+    // BRAM access/idle counts, sqrt-LUT usage).
+    let frame = timing_frame(150, 120);
+    let mut accel = ChambolleAccel::new(AccelConfig::paper(2).expect("valid config"));
+    accel.attach_telemetry(telemetry.clone());
+    accel
+        .denoise_pair(&frame, None, &ChambolleParams::paper(6))
+        .expect("paper params are hardware-representable");
+
+    // Guarded accelerator under a deterministic SEU schedule (detection /
+    // recovery / fallback counters).
+    let mut guarded = ChambolleAccel::new(AccelConfig::paper(2).expect("valid config"));
+    guarded.attach_telemetry(telemetry.clone());
+    let mut injector = FaultInjector::new(FaultConfig {
+        seed: 2011,
+        bram_flip_rate: 5e-4,
+        lut_rate: 0.0,
+        datapath_rate: 0.0,
+    });
+    guarded
+        .denoise_pair_guarded(
+            &frame,
+            None,
+            &ChambolleParams::paper(6),
+            &mut injector,
+            &AccelGuardConfig::default(),
+        )
+        .expect("paper params are hardware-representable");
+
+    // Throughput model at the Table II flagship shape.
+    let model = ThroughputModel::new(AccelConfig::paper(2).expect("valid config"));
+    model.record_telemetry(&telemetry, 512, 512, 200);
+
+    let mut report = RunReport::from_telemetry("repro", &telemetry);
+    report.add_section(
+        "solver",
+        JsonValue::Object(vec![
+            ("iterations".into(), u64::from(solver_iters).into()),
+            ("trajectory".into(), trajectory),
+        ]),
+    );
+    report.add_section("table1", table1_json());
+    report.add_section("table2", table2_json());
+    report
+}
+
+/// Table I as structured records (shares `table1()`'s resource model).
+fn table1_json() -> JsonValue {
+    let model = ResourceModel::paper();
+    let usage = model.usage();
+    let dev = DeviceCapacity::XC5VLX110T;
+    let util = usage.utilization(&dev);
+    let resources = JsonValue::Object(vec![
+        (
+            "used".into(),
+            JsonValue::Object(vec![
+                ("flipflops".into(), u64::from(usage.flipflops).into()),
+                ("luts".into(), u64::from(usage.luts).into()),
+                ("brams".into(), u64::from(usage.brams).into()),
+                ("dsps".into(), u64::from(usage.dsps).into()),
+            ]),
+        ),
+        (
+            "total".into(),
+            JsonValue::Object(vec![
+                ("flipflops".into(), u64::from(dev.flipflops).into()),
+                ("luts".into(), u64::from(dev.luts).into()),
+                ("brams".into(), u64::from(dev.brams).into()),
+                ("dsps".into(), u64::from(dev.dsps).into()),
+            ]),
+        ),
+        (
+            "percent".into(),
+            JsonValue::Object(vec![
+                ("flipflops".into(), util.flipflops_pct.into()),
+                ("luts".into(), util.luts_pct.into()),
+                ("brams".into(), util.brams_pct.into()),
+                ("dsps".into(), util.dsps_pct.into()),
+            ]),
+        ),
+    ]);
+    let breakdown = JsonValue::Array(
+        model
+            .breakdown()
+            .into_iter()
+            .map(|(name, u)| {
+                JsonValue::Object(vec![
+                    ("block".into(), name.into()),
+                    ("flipflops".into(), u64::from(u.flipflops).into()),
+                    ("luts".into(), u64::from(u.luts).into()),
+                    ("brams".into(), u64::from(u.brams).into()),
+                    ("dsps".into(), u64::from(u.dsps).into()),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::Object(vec![
+        ("device".into(), "XC5VLX110T".into()),
+        ("pe_count".into(), u64::from(model.pe_count()).into()),
+        ("resources".into(), resources),
+        ("breakdown".into(), breakdown),
+    ])
+}
+
+/// Table II as structured records: literature baselines plus the analytic
+/// cycle model of the simulated accelerator (the slow measured host-CPU rows
+/// of the text table are skipped so `--json` stays fast).
+fn table2_json() -> JsonValue {
+    let row = |reference: &str, device: &str, iters: u32, w: usize, h: usize, lo: f64, hi: f64| {
+        JsonValue::Object(vec![
+            ("reference".into(), reference.into()),
+            ("device".into(), device.into()),
+            ("iterations".into(), u64::from(iters).into()),
+            ("width".into(), (w as u64).into()),
+            ("height".into(), (h as u64).into()),
+            ("fps_lo".into(), lo.into()),
+            ("fps_hi".into(), hi.into()),
+        ])
+    };
+    let mut rows = Vec::new();
+    for r in TABLE2_BASELINES.iter().chain(TABLE2_PROPOSED) {
+        rows.push(row(
+            r.reference,
+            r.device,
+            r.iterations,
+            r.width,
+            r.height,
+            r.fps_lo,
+            r.fps_hi,
+        ));
+    }
+    let model = ThroughputModel::new(AccelConfig::paper(2).expect("valid config"));
+    let shapes: &[(usize, usize, &[u32])] = &[
+        (128, 128, &[50, 100, 200]),
+        (256, 256, &[50, 100, 200]),
+        (512, 512, &[50, 100, 200]),
+        (1024, 768, &[200]),
+    ];
+    for &(w, h, iters) in shapes {
+        for &n in iters {
+            let f1 = model.fps(w, h, n);
+            let f3 = model.fps_with_loop_decomposition(w, h, n, 3);
+            rows.push(row(
+                "ours",
+                "simulated FPGA @221 MHz (m=1)",
+                n,
+                w,
+                h,
+                f1,
+                f1,
+            ));
+            rows.push(row(
+                "ours",
+                "simulated FPGA @221 MHz (m=3)",
+                n,
+                w,
+                h,
+                f3,
+                f3,
+            ));
+        }
+    }
+    JsonValue::Object(vec![("rows".into(), JsonValue::Array(rows))])
 }
 
 fn banner(title: &str) {

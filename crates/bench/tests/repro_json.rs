@@ -1,0 +1,145 @@
+//! End-to-end check of `repro --json`: spawns the real binary, parses its
+//! stdout with the telemetry JSON parser, and asserts the report carries
+//! every field the run-report schema promises — solver iteration counts and
+//! duality-gap trajectory, accelerator cycle totals, per-port BRAM access
+//! counts, the halo-redundancy ratio, and the fault-recovery counters.
+
+use std::process::Command;
+
+use chambolle_telemetry::json::JsonValue;
+use chambolle_telemetry::report::RunReport;
+
+fn run_repro(args: &[&str]) -> JsonValue {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary must spawn");
+    assert!(
+        output.status.success(),
+        "repro {args:?} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("stdout must be UTF-8");
+    assert!(!stdout.trim().is_empty(), "repro {args:?} printed nothing");
+    JsonValue::parse(&stdout).expect("stdout must be valid JSON")
+}
+
+fn metric_value(doc: &JsonValue, name: &str) -> f64 {
+    doc.get_path(&format!("metrics.{name}.value"))
+        .and_then(JsonValue::as_f64)
+        .unwrap_or_else(|| panic!("metric {name} missing from report"))
+}
+
+#[test]
+fn json_report_contains_every_promised_field() {
+    let doc = run_repro(&["--json"]);
+    RunReport::validate(&doc).expect("schema-valid run report");
+    assert_eq!(doc.get("tool").and_then(JsonValue::as_str), Some("repro"));
+
+    // Solver: iteration count (metric and section) and the gap trajectory.
+    assert_eq!(metric_value(&doc, "solver.iterations"), 200.0);
+    assert_eq!(
+        doc.get_path("sections.solver.iterations")
+            .and_then(JsonValue::as_f64),
+        Some(200.0)
+    );
+    let trajectory = doc
+        .get_path("sections.solver.trajectory")
+        .and_then(JsonValue::as_array)
+        .expect("trajectory array");
+    assert!(!trajectory.is_empty(), "trajectory must have samples");
+    let mut last_gap = f64::INFINITY;
+    for point in trajectory {
+        for field in ["iteration", "energy", "gap"] {
+            assert!(
+                point.get(field).and_then(JsonValue::as_f64).is_some(),
+                "trajectory point missing {field}"
+            );
+        }
+        let gap = point.get("gap").and_then(JsonValue::as_f64).unwrap();
+        assert!(gap < last_gap, "duality gap must shrink monotonically");
+        last_gap = gap;
+    }
+
+    // Tiling: halo-redundancy ratio in (0, 1).
+    let redundancy = metric_value(&doc, "tiling.redundancy_ratio");
+    assert!(
+        redundancy > 0.0 && redundancy < 1.0,
+        "redundancy ratio {redundancy} out of range"
+    );
+
+    // Accelerator: cycle totals and per-port BRAM access counts.
+    assert!(metric_value(&doc, "hwsim.cycles") > 0.0);
+    assert!(metric_value(&doc, "hwsim.frames") >= 2.0);
+    for name in [
+        "hwsim.bram.port1.reads",
+        "hwsim.bram.port2.reads",
+        "hwsim.bram.port1.writes",
+        "hwsim.bram.port2.writes",
+        "hwsim.bram.port1.idle_cycles",
+        "hwsim.bram.port2.idle_cycles",
+    ] {
+        let _ = metric_value(&doc, name);
+    }
+    // Figure 3's port discipline: reads on port 1, state writes on port 2.
+    assert!(metric_value(&doc, "hwsim.bram.port1.reads") > 0.0);
+    assert!(metric_value(&doc, "hwsim.bram.port2.writes") > 0.0);
+    assert!(metric_value(&doc, "hwsim.sqrt.lut_lookups") > 0.0);
+
+    // Fault-recovery counters from the guarded run (the deterministic seed
+    // fires at least one upset).
+    assert!(metric_value(&doc, "guard.detections") > 0.0);
+    assert!(metric_value(&doc, "guard.recoveries") > 0.0);
+    assert_eq!(metric_value(&doc, "guard.fallbacks"), 0.0);
+
+    // Throughput-model gauges.
+    assert!(metric_value(&doc, "timing.model.fps") > 0.0);
+    assert!(metric_value(&doc, "timing.model.frame_cycles") > 0.0);
+
+    // Embedded Table I / Table II records.
+    assert_eq!(
+        doc.get_path("sections.table1.resources.used.dsps")
+            .and_then(JsonValue::as_f64),
+        Some(62.0)
+    );
+    let rows = doc
+        .get_path("sections.table2.rows")
+        .and_then(JsonValue::as_array)
+        .expect("table2 rows");
+    assert!(rows.len() > 10, "table2 must include baselines + our rows");
+}
+
+#[test]
+fn json_single_table_reports_are_schema_valid() {
+    let t1 = run_repro(&["--json", "table1"]);
+    RunReport::validate(&t1).expect("table1 report");
+    assert!(t1.get_path("sections.table1.breakdown").is_some());
+    assert!(
+        t1.get_path("sections.solver").is_none(),
+        "table1 report must not run the solver suite"
+    );
+
+    let t2 = run_repro(&["--json", "table2"]);
+    RunReport::validate(&t2).expect("table2 report");
+    let rows = t2
+        .get_path("sections.table2.rows")
+        .and_then(JsonValue::as_array)
+        .expect("rows");
+    for row in rows {
+        for field in ["reference", "device", "iterations", "fps_hi"] {
+            assert!(row.get(field).is_some(), "table2 row missing {field}");
+        }
+    }
+}
+
+#[test]
+fn json_mode_rejects_unknown_experiments() {
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--json", "fig1"])
+        .output()
+        .expect("repro binary must spawn");
+    assert!(
+        !output.status.success(),
+        "unsupported --json mode must fail"
+    );
+}

@@ -172,7 +172,7 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn params() -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, 10).unwrap()
+        ChambolleParams::paper(10)
     }
 
     fn random_state(w: usize, h: usize, seed: u64) -> (DualField<f64>, Grid<f64>) {

@@ -9,6 +9,7 @@
 //! as `u = v − θ·div p` the gap simplifies to `TV(u) + ⟨∇u, p⟩`.
 
 use chambolle_imaging::Grid;
+use chambolle_telemetry::{names, Telemetry};
 
 use crate::ops::{divergence, forward_diff_x, forward_diff_y, inner_product, total_variation};
 use crate::params::{ChambolleParams, InvalidParamsError};
@@ -167,7 +168,38 @@ pub fn chambolle_denoise_monitored<R: Real>(
     check_every: u32,
     gap_tolerance: f64,
 ) -> SolveReport<R> {
+    chambolle_denoise_monitored_with_telemetry(
+        v,
+        params,
+        check_every,
+        gap_tolerance,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`chambolle_denoise_monitored`] with instrumentation: the whole solve is
+/// wrapped in a `solver.monitored_denoise` span, every gap check emits a
+/// `solver.convergence_point` event (iteration/energy/gap payload), and on
+/// return the registry holds `solver.iterations`, `solver.gap_checks`, and
+/// the final energy/gap gauges.
+///
+/// With a disabled [`Telemetry`] handle this is the exact code path of the
+/// plain function — every hook is a single branch on an empty `Option` —
+/// so the output is bit-identical to an uninstrumented solve (asserted by
+/// `tests/telemetry_noop.rs`).
+///
+/// # Panics
+///
+/// Panics if `check_every == 0`.
+pub fn chambolle_denoise_monitored_with_telemetry<R: Real>(
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    check_every: u32,
+    gap_tolerance: f64,
+    telemetry: &Telemetry,
+) -> SolveReport<R> {
     assert!(check_every > 0, "check interval must be positive");
+    let _solve_span = telemetry.span("solver.monitored_denoise");
     let mut p = DualField::zeros(v.width(), v.height());
     let mut history = Vec::new();
     let mut done = 0u32;
@@ -177,9 +209,19 @@ pub fn chambolle_denoise_monitored<R: Real>(
         done += chunk;
         let u = recover_u(v, &p, params.theta);
         let gap = duality_gap(&u, &p, v, params.theta);
+        let energy = rof_energy(&u, v, params.theta);
+        telemetry.counter_add(names::SOLVER_GAP_CHECKS, 1);
+        telemetry.event(
+            names::SOLVER_CONVERGENCE_POINT,
+            vec![
+                ("iteration".into(), done.into()),
+                ("energy".into(), energy.into()),
+                ("gap".into(), gap.into()),
+            ],
+        );
         history.push(ConvergencePoint {
             iteration: done,
-            energy: rof_energy(&u, v, params.theta),
+            energy,
             gap,
         });
         if gap <= gap_tolerance {
@@ -187,6 +229,11 @@ pub fn chambolle_denoise_monitored<R: Real>(
         }
     }
     let u = recover_u(v, &p, params.theta);
+    telemetry.counter_add(names::SOLVER_ITERATIONS, u64::from(done));
+    if let Some(last) = history.last() {
+        telemetry.gauge_set(names::SOLVER_FINAL_ENERGY, last.energy);
+        telemetry.gauge_set(names::SOLVER_FINAL_GAP, last.gap);
+    }
     SolveReport {
         u,
         p,
@@ -208,7 +255,33 @@ mod tests {
     }
 
     fn params(iters: u32) -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+        ChambolleParams::paper(iters)
+    }
+
+    #[test]
+    fn telemetry_records_convergence_trajectory() {
+        use chambolle_telemetry::sink::EventKind;
+
+        let v = noisy(12, 10, 20);
+        let (tele, events) = Telemetry::memory();
+        let report = chambolle_denoise_monitored_with_telemetry(&v, &params(45), 20, 0.0, &tele);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter(names::SOLVER_ITERATIONS), Some(45));
+        assert_eq!(
+            snap.counter(names::SOLVER_GAP_CHECKS),
+            Some(report.history.len() as u64)
+        );
+        assert_eq!(
+            snap.gauge(names::SOLVER_FINAL_GAP),
+            Some(report.final_gap())
+        );
+        let points = events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Instant(_)))
+            .count();
+        assert_eq!(points, report.history.len());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use std::fmt;
 
 use chambolle_imaging::Grid;
+use chambolle_telemetry::{names, Telemetry};
 
 use crate::diagnostics::{chambolle_denoise_monitored, SolveReport};
 use crate::params::{ChambolleParams, InvalidParamsError};
@@ -85,6 +86,24 @@ pub enum RecoveryAction {
     SequentialFallback,
 }
 
+impl RecoveryAction {
+    /// Stable snake-case identifier of the action kind, used as the suffix
+    /// of the per-action telemetry counters
+    /// (`guard.action.<metric_suffix>`).
+    pub fn metric_suffix(&self) -> &'static str {
+        match self {
+            RecoveryAction::ScrubbedInput { .. } => "scrubbed_input",
+            RecoveryAction::Retry { .. } => "retry",
+            RecoveryAction::TileRecompute { .. } => "tile_recompute",
+            RecoveryAction::RoundRecompute { .. } => "round_recompute",
+            RecoveryAction::LutRepair { .. } => "lut_repair",
+            RecoveryAction::DatapathArbitration { .. } => "datapath_arbitration",
+            RecoveryAction::StepBackoff { .. } => "step_backoff",
+            RecoveryAction::SequentialFallback => "sequential_fallback",
+        }
+    }
+}
+
 impl fmt::Display for RecoveryAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -137,6 +156,38 @@ impl RecoveryReport {
             .iter()
             .filter(|a| matches!(a, RecoveryAction::TileRecompute { .. }))
             .count()
+    }
+
+    /// Folds the report into a telemetry registry: `guard.detections`,
+    /// `guard.recoveries` (corrective actions other than the fallback),
+    /// `guard.fallbacks`, `guard.degraded`, plus one
+    /// `guard.action.<kind>` counter per action
+    /// ([`RecoveryAction::metric_suffix`]).
+    ///
+    /// Reports accumulate — call this once per solve and the registry holds
+    /// run totals, the same shape `chambolle-hwsim`'s fault harness feeds.
+    pub fn record_telemetry(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.counter_add(names::GUARD_DETECTIONS, u64::from(self.detections));
+        let fallbacks = self
+            .actions
+            .iter()
+            .filter(|a| matches!(a, RecoveryAction::SequentialFallback))
+            .count() as u64;
+        telemetry.counter_add(
+            names::GUARD_RECOVERIES,
+            self.actions.len() as u64 - fallbacks,
+        );
+        telemetry.counter_add(names::GUARD_FALLBACKS, fallbacks);
+        telemetry.counter_add(names::GUARD_DEGRADED, u64::from(self.degraded));
+        for action in &self.actions {
+            telemetry.counter_add(
+                &format!("{}{}", names::GUARD_ACTION_PREFIX, action.metric_suffix()),
+                1,
+            );
+        }
     }
 }
 
@@ -539,7 +590,37 @@ mod tests {
     }
 
     fn params(iters: u32) -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+        ChambolleParams::paper(iters)
+    }
+
+    #[test]
+    fn report_telemetry_counts_actions_by_kind() {
+        let mut report = RecoveryReport {
+            detections: 3,
+            ..Default::default()
+        };
+        report
+            .actions
+            .push(RecoveryAction::ScrubbedInput { cells: 2 });
+        report.actions.push(RecoveryAction::Retry { attempt: 1 });
+        report
+            .actions
+            .push(RecoveryAction::TileRecompute { round: 0, tile: 4 });
+        report.actions.push(RecoveryAction::SequentialFallback);
+        report.degraded = true;
+        let tele = Telemetry::null();
+        report.record_telemetry(&tele);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter(names::GUARD_DETECTIONS), Some(3));
+        assert_eq!(snap.counter(names::GUARD_RECOVERIES), Some(3));
+        assert_eq!(snap.counter(names::GUARD_FALLBACKS), Some(1));
+        assert_eq!(snap.counter(names::GUARD_DEGRADED), Some(1));
+        assert_eq!(snap.counter("guard.action.retry"), Some(1));
+        assert_eq!(snap.counter("guard.action.sequential_fallback"), Some(1));
+        // Disabled handles record nothing.
+        let off = Telemetry::disabled();
+        report.record_telemetry(&off);
+        assert!(off.snapshot().is_empty());
     }
 
     #[test]

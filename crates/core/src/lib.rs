@@ -56,8 +56,9 @@ pub mod weighted;
 pub use block_matching::{block_matching_flow, BlockMatchingParams};
 pub use decomposition::{compute_group_decomposed, DecomposedStats, GroupRect};
 pub use diagnostics::{
-    chambolle_denoise_monitored, duality_gap, duality_gap_compact, rof_dual_energy,
-    try_duality_gap, try_duality_gap_compact, try_rof_dual_energy, ConvergencePoint, SolveReport,
+    chambolle_denoise_monitored, chambolle_denoise_monitored_with_telemetry, duality_gap,
+    duality_gap_compact, rof_dual_energy, try_duality_gap, try_duality_gap_compact,
+    try_rof_dual_energy, ConvergencePoint, SolveReport,
 };
 pub use guard::{
     guarded_denoise_monitored, output_is_valid, scrub_non_finite, validate_solvable, GuardError,
@@ -70,6 +71,9 @@ pub use solver::{
     chambolle_denoise, chambolle_iterate, recover_u, rof_energy, try_rof_energy, Convention,
     DualField, SequentialSolver, TvDenoiser,
 };
-pub use tiling::{chambolle_iterate_tiled, Tile, TileConfig, TilePlan, TiledSolver};
+pub use tiling::{
+    chambolle_iterate_tiled, chambolle_iterate_tiled_with_telemetry, Tile, TileConfig, TilePlan,
+    TiledSolver,
+};
 pub use tvl1::{threshold_step, FlowError, FlowStats, TvL1Solver, VideoFlowTracker};
 pub use weighted::{chambolle_denoise_weighted, edge_stopping_weights, weighted_rof_energy};

@@ -80,6 +80,22 @@ impl ChambolleParams {
             .expect("default ratio is always valid for positive iteration counts")
     }
 
+    /// The paper's evaluation settings: θ = 0.25 with the maximal stable
+    /// step τ = θ/4 = 0.0625, and the given iteration count (clamped up to
+    /// 1 so the result is always valid).
+    ///
+    /// Infallible by construction — the fixed θ/τ pair satisfies every
+    /// invariant [`ChambolleParams::new`] checks — so call sites that only
+    /// vary the iteration knob (Table II sweeps, tests, examples) need
+    /// neither `unwrap` nor error plumbing.
+    pub const fn paper(iterations: u32) -> Self {
+        ChambolleParams {
+            theta: 0.25,
+            tau: 0.25 * Self::MAX_STEP_RATIO,
+            iterations: if iterations == 0 { 1 } else { iterations },
+        }
+    }
+
     /// The step ratio `tau / theta` used inside the update.
     pub fn step_ratio(&self) -> f32 {
         self.tau / self.theta
@@ -243,6 +259,13 @@ mod tests {
         assert!(ChambolleParams::new(0.25, 0.25, 10).is_err()); // ratio 1 > 1/4
         assert!(ChambolleParams::new(0.25, 0.0625, 0).is_err());
         assert!(ChambolleParams::new(f32::NAN, 0.1, 10).is_err());
+    }
+
+    #[test]
+    fn paper_params_are_valid_and_clamped() {
+        let p = ChambolleParams::paper(50);
+        assert_eq!(p, ChambolleParams::new(0.25, 0.0625, 50).unwrap());
+        assert_eq!(ChambolleParams::paper(0).iterations, 1);
     }
 
     #[test]

@@ -306,7 +306,7 @@ mod tests {
     }
 
     fn params(iters: u32) -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+        ChambolleParams::paper(iters)
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use chambolle_imaging::Grid;
+use chambolle_telemetry::{names, Telemetry};
 
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
@@ -276,20 +277,56 @@ pub fn chambolle_iterate_tiled<R: Real>(
     iterations: u32,
     config: &TileConfig,
 ) {
+    chambolle_iterate_tiled_with_telemetry(
+        p,
+        v,
+        params,
+        iterations,
+        config,
+        &Telemetry::disabled(),
+    );
+}
+
+/// [`chambolle_iterate_tiled`] with instrumentation: records the plan's
+/// redundant-halo ratio (`tiling.redundancy_ratio`), counts rounds and
+/// window loads, observes windows-per-round, and wraps each round in a
+/// `tiling.round` span.
+///
+/// With a disabled [`Telemetry`] handle every hook is one branch on an
+/// empty `Option`, and the numerical path is exactly the plain function's —
+/// the tiled result stays bit-identical to the sequential solver.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_tiled_with_telemetry<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+    telemetry: &Telemetry,
+) {
     assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
     let (w, h) = v.dims();
     let plan = TilePlan::new(w, h, *config);
+    telemetry.gauge_set(names::TILING_REDUNDANCY_RATIO, plan.redundancy_fraction());
     let inv_theta = R::ONE / R::from_f32(params.theta);
     let step_ratio = R::from_f32(params.step_ratio());
 
     let mut remaining = iterations;
     while remaining > 0 {
         let k = remaining.min(config.merge_factor);
+        let round_span = telemetry.span("tiling.round");
         let results = run_round(p, v, &plan, inv_theta, step_ratio, k, config.threads);
         for (tile, lpx, lpy) in results {
             blit_profitable(&mut p.px, &tile, &lpx);
             blit_profitable(&mut p.py, &tile, &lpy);
         }
+        drop(round_span);
+        telemetry.counter_add(names::TILING_ROUNDS, 1);
+        telemetry.counter_add(names::TILING_WINDOW_LOADS, plan.tiles().len() as u64);
+        telemetry.observe(names::TILING_WINDOWS_PER_ROUND, plan.tiles().len() as f64);
         remaining -= k;
     }
 }
@@ -403,15 +440,26 @@ fn blit_profitable<R: Real>(global: &mut Grid<R>, tile: &Tile, local: &Grid<R>) 
 }
 
 /// The tiled parallel Chambolle solver as a [`TvDenoiser`] backend.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TiledSolver {
     config: TileConfig,
+    telemetry: Telemetry,
 }
 
 impl TiledSolver {
     /// Creates a tiled solver with the given window configuration.
     pub fn new(config: TileConfig) -> Self {
-        TiledSolver { config }
+        TiledSolver {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Copy of the solver emitting metrics and round spans into `telemetry`
+    /// on every [`TvDenoiser::denoise`] call.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The window configuration in use.
@@ -422,8 +470,16 @@ impl TiledSolver {
 
 impl TvDenoiser for TiledSolver {
     fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
+        let _span = self.telemetry.span("tiling.denoise");
         let mut p = DualField::zeros(v.width(), v.height());
-        chambolle_iterate_tiled(&mut p, v, params, params.iterations, &self.config);
+        chambolle_iterate_tiled_with_telemetry(
+            &mut p,
+            v,
+            params,
+            params.iterations,
+            &self.config,
+            &self.telemetry,
+        );
         recover_u(v, &p, params.theta)
     }
 
@@ -440,7 +496,33 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn params(iters: u32) -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+        ChambolleParams::paper(iters)
+    }
+
+    #[test]
+    fn telemetry_counts_rounds_and_window_loads() {
+        let v = random_image(40, 30, 21);
+        let pr = params(7); // K=3 -> rounds of 3, 3, 1
+        let cfg = TileConfig::new(18, 14, 3, 2).unwrap();
+        let plan = TilePlan::new(40, 30, cfg);
+        let tele = Telemetry::null();
+        let mut p = DualField::zeros(40, 30);
+        chambolle_iterate_tiled_with_telemetry(&mut p, &v, &pr, 7, &cfg, &tele);
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter(names::TILING_ROUNDS), Some(3));
+        assert_eq!(
+            snap.counter(names::TILING_WINDOW_LOADS),
+            Some(3 * plan.tiles().len() as u64)
+        );
+        assert_eq!(
+            snap.gauge(names::TILING_REDUNDANCY_RATIO),
+            Some(plan.redundancy_fraction())
+        );
+        let spans = snap
+            .get(chambolle_telemetry::span::span_metric_name("tiling.round").as_str())
+            .and_then(|m| m.as_histogram())
+            .map(|h| h.count());
+        assert_eq!(spans, Some(3));
     }
 
     fn random_image(w: usize, h: usize, seed: u64) -> Grid<f32> {

@@ -174,7 +174,7 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn params(iters: u32) -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+        ChambolleParams::paper(iters)
     }
 
     fn noisy_step(w: usize, h: usize, seed: u64) -> Grid<f64> {

@@ -26,6 +26,11 @@
 #[derive(Debug, Clone)]
 pub struct SqrtLut {
     table: [u8; 256],
+    /// Table accesses served so far ([`SqrtLut::lookups`]). Interior
+    /// mutability keeps [`SqrtLut::sqrt_q24_8`] a `&self` method — the
+    /// counter is observability state, not datapath state (`Cell` stays
+    /// `Send`, which the tiled solver's worker threads rely on).
+    lookups: std::cell::Cell<u64>,
 }
 
 impl SqrtLut {
@@ -42,7 +47,21 @@ impl SqrtLut {
             debug_assert!(v <= 255.0);
             *slot = v as u8;
         }
-        SqrtLut { table }
+        SqrtLut {
+            table,
+            lookups: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of table accesses [`SqrtLut::sqrt_q24_8`] has served (the
+    /// `x == 0` early-out never reads the table and is not counted).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Resets the access counter (e.g. between measured frames).
+    pub fn reset_lookups(&self) {
+        self.lookups.set(0);
     }
 
     /// Raw table entry `round(16·sqrt(m))` for an 8-bit index.
@@ -74,6 +93,7 @@ impl SqrtLut {
         let shift = 25i32 - start as i32;
         debug_assert!(shift % 2 == 0, "block must end at an even LSB index");
         let k = shift / 2;
+        self.lookups.set(self.lookups.get() + 1);
         if shift >= 0 {
             let m = (x >> shift) as usize & 0xFF;
             (self.table[m] as u32) << k
@@ -266,6 +286,15 @@ impl SqrtUnit {
             SqrtUnit::NonRestoring => false,
         }
     }
+
+    /// Table accesses the unit has served ([`SqrtLut::lookups`]); always 0
+    /// for the table-free non-restoring unit.
+    pub fn lut_lookups(&self) -> u64 {
+        match self {
+            SqrtUnit::Lut(lut) => lut.lookups(),
+            SqrtUnit::NonRestoring => 0,
+        }
+    }
 }
 
 impl Default for SqrtUnit {
@@ -322,6 +351,26 @@ mod tests {
     #[test]
     fn zero_maps_to_zero() {
         assert_eq!(SqrtLut::new().sqrt_q24_8(0), 0);
+    }
+
+    #[test]
+    fn lookup_counter_tracks_table_accesses() {
+        let lut = SqrtLut::new();
+        assert_eq!(lut.lookups(), 0);
+        lut.sqrt_q24_8(0); // early-out, no table access
+        assert_eq!(lut.lookups(), 0);
+        lut.sqrt_q24_8(1024);
+        lut.sqrt_q24_8(7);
+        assert_eq!(lut.lookups(), 2);
+        lut.reset_lookups();
+        assert_eq!(lut.lookups(), 0);
+
+        let unit = SqrtUnit::lut();
+        unit.sqrt_q24_8(1024);
+        assert_eq!(unit.lut_lookups(), 1);
+        let nr = SqrtUnit::non_restoring();
+        nr.sqrt_q24_8(1024);
+        assert_eq!(nr.lut_lookups(), 0, "no table behind the iterative unit");
     }
 
     #[test]

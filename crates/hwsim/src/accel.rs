@@ -16,10 +16,13 @@ use std::sync::Mutex;
 use chambolle_core::{ChambolleParams, InvalidParamsError, TileConfig, TilePlan, TvDenoiser};
 use chambolle_fixed::{PackedWord, SqrtUnit, WordFixed};
 use chambolle_imaging::{Grid, Image};
+use chambolle_telemetry::{names, Telemetry};
 
 use crate::array::{ArrayConfig, ArrayStats, PeArray, WindowRun};
+use crate::bram::BramStats;
 use crate::params::HwParams;
 use crate::reference::dequantize;
+use crate::trace::SharedRecorder;
 
 /// Which square-root hardware the PE-Vs instantiate (Section V-C trade).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -146,6 +149,25 @@ impl SlidingWindow {
         (self.array_u1.stats(), self.array_u2.stats())
     }
 
+    /// Aggregated per-port BRAM counters over both arrays' memories.
+    pub fn bram_stats(&self) -> BramStats {
+        let mut total = self.array_u1.bram_stats();
+        total.merge(&self.array_u2.bram_stats());
+        total
+    }
+
+    /// Square-root table accesses served by both arrays combined.
+    pub fn sqrt_lookups(&self) -> u64 {
+        self.array_u1.sqrt_lookups() + self.array_u2.sqrt_lookups()
+    }
+
+    /// Attaches an access recorder to every memory of both arrays for
+    /// waveform dumps (see [`crate::trace`]).
+    pub fn attach_recorder(&mut self, recorder: &SharedRecorder) {
+        self.array_u1.attach_recorder(recorder);
+        self.array_u2.attach_recorder(recorder);
+    }
+
     /// Fault-injection backdoor: corrupts one sqrt-LUT entry in one of the
     /// window's arrays (`0` = the `u1` array, `1` = the `u2` array). Returns
     /// `false` when the configured sqrt unit has no table to corrupt.
@@ -221,6 +243,7 @@ impl fmt::Display for FrameStats {
 pub struct ChambolleAccel {
     config: AccelConfig,
     pub(crate) windows: Vec<SlidingWindow>,
+    pub(crate) telemetry: Telemetry,
 }
 
 impl ChambolleAccel {
@@ -229,12 +252,49 @@ impl ChambolleAccel {
         let windows = (0..config.sliding_windows.max(1))
             .map(|_| SlidingWindow::with_sqrt(config.array, config.sqrt))
             .collect();
-        ChambolleAccel { config, windows }
+        ChambolleAccel {
+            config,
+            windows,
+            telemetry: Telemetry::disabled(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &AccelConfig {
         &self.config
+    }
+
+    /// Attaches a telemetry handle: every subsequent
+    /// [`ChambolleAccel::denoise_pair`] records frame/cycle/round counters,
+    /// per-port BRAM access and idle tallies, and sqrt-LUT usage.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Attaches an access recorder to every memory of every sliding window,
+    /// so a full two-window accelerator run can be dumped to VCD (see
+    /// [`crate::trace::TraceRecorder`]) — previously only possible on a bare
+    /// [`PeArray`].
+    pub fn attach_recorder(&mut self, recorder: &SharedRecorder) {
+        for window in &mut self.windows {
+            window.attach_recorder(recorder);
+        }
+    }
+
+    /// Aggregated per-port BRAM counters over every window's memories,
+    /// cumulative since construction.
+    pub fn bram_stats(&self) -> BramStats {
+        let mut total = BramStats::default();
+        for window in &self.windows {
+            total.merge(&window.bram_stats());
+        }
+        total
+    }
+
+    /// Square-root table accesses served by all arrays, cumulative since
+    /// construction.
+    pub fn sqrt_lookups(&self) -> u64 {
+        self.windows.iter().map(SlidingWindow::sqrt_lookups).sum()
     }
 
     /// Denoises a pair of fields (`v1`, `v2`) — the two flow components of
@@ -268,6 +328,12 @@ impl ChambolleAccel {
         let (w, h) = v1.dims();
         assert!(w > 0 && h > 0, "frame must be non-empty");
 
+        let frame_span = self.telemetry.span("hwsim.denoise_pair");
+        let start_bram = if self.telemetry.is_enabled() {
+            Some((self.bram_stats(), self.sqrt_lookups()))
+        } else {
+            None
+        };
         let n_windows = self.windows.len();
         let start_cycles: Vec<u64> = self.windows.iter().map(|sw| sw.cycles()).collect();
         let mut state1 = crate::reference::quantize_input(v1);
@@ -345,7 +411,47 @@ impl ChambolleAccel {
             rounds,
             clock_mhz: self.config.clock_mhz,
         };
+        if let Some((bram0, sqrt0)) = start_bram {
+            self.record_frame_telemetry(&stats, &bram0, sqrt0);
+        }
+        drop(frame_span);
         Ok((dequantize(&u1), u2.as_ref().map(dequantize), stats))
+    }
+
+    /// Emits this frame's counters: the deltas of the cumulative BRAM and
+    /// sqrt tallies against the pre-frame snapshot, plus the frame stats.
+    pub(crate) fn record_frame_telemetry(&self, stats: &FrameStats, bram0: &BramStats, sqrt0: u64) {
+        let tele = &self.telemetry;
+        tele.counter_add(names::HWSIM_FRAMES, 1);
+        tele.counter_add(names::HWSIM_CYCLES, stats.cycles);
+        tele.counter_add(names::HWSIM_WINDOW_LOADS, stats.window_loads);
+        tele.counter_add(names::HWSIM_ROUNDS, u64::from(stats.rounds));
+        let bram = self.bram_stats();
+        tele.counter_add(
+            names::HWSIM_BRAM_PORT1_READS,
+            bram.port_reads[0] - bram0.port_reads[0],
+        );
+        tele.counter_add(
+            names::HWSIM_BRAM_PORT2_READS,
+            bram.port_reads[1] - bram0.port_reads[1],
+        );
+        tele.counter_add(
+            names::HWSIM_BRAM_PORT1_WRITES,
+            bram.port_writes[0] - bram0.port_writes[0],
+        );
+        tele.counter_add(
+            names::HWSIM_BRAM_PORT2_WRITES,
+            bram.port_writes[1] - bram0.port_writes[1],
+        );
+        tele.counter_add(
+            names::HWSIM_BRAM_PORT1_IDLE,
+            bram.port_idle_cycles(0) - bram0.port_idle_cycles(0),
+        );
+        tele.counter_add(
+            names::HWSIM_BRAM_PORT2_IDLE,
+            bram.port_idle_cycles(1) - bram0.port_idle_cycles(1),
+        );
+        tele.counter_add(names::HWSIM_SQRT_LOOKUPS, self.sqrt_lookups() - sqrt0);
     }
 }
 
@@ -474,7 +580,7 @@ mod tests {
     }
 
     fn params(iters: u32) -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+        ChambolleParams::paper(iters)
     }
 
     #[test]
@@ -635,6 +741,87 @@ mod tests {
         assert!(AccelConfig::paper(0).is_err());
         assert!(AccelConfig::paper(44).is_err()); // 2*44+1 = 89 > 88
         assert!(AccelConfig::paper(43).is_ok());
+    }
+
+    #[test]
+    fn telemetry_counters_track_a_frame() {
+        use chambolle_telemetry::{names, Telemetry};
+        let v = random_image(100, 90, 11);
+        let p = params(5);
+        let mut accel = ChambolleAccel::new(AccelConfig::paper(2).unwrap());
+        let telemetry = Telemetry::null();
+        accel.attach_telemetry(telemetry.clone());
+        let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(names::HWSIM_FRAMES), Some(1));
+        assert_eq!(snap.counter(names::HWSIM_CYCLES), Some(stats.cycles));
+        assert_eq!(
+            snap.counter(names::HWSIM_WINDOW_LOADS),
+            Some(stats.window_loads)
+        );
+        assert_eq!(
+            snap.counter(names::HWSIM_ROUNDS),
+            Some(u64::from(stats.rounds))
+        );
+        // Per-port counters must match the accelerator's own BRAM tallies.
+        let bram = accel.bram_stats();
+        assert_eq!(
+            snap.counter(names::HWSIM_BRAM_PORT1_READS),
+            Some(bram.port_reads[0])
+        );
+        assert_eq!(
+            snap.counter(names::HWSIM_BRAM_PORT2_WRITES),
+            Some(bram.port_writes[1])
+        );
+        assert_eq!(
+            snap.counter(names::HWSIM_BRAM_PORT1_IDLE),
+            Some(bram.port_idle_cycles(0))
+        );
+        // The LUT sqrt design looks up the table on every wavefront step.
+        let lookups = snap.counter(names::HWSIM_SQRT_LOOKUPS).unwrap();
+        assert_eq!(lookups, accel.sqrt_lookups());
+        assert!(lookups > 0, "LUT sqrt must record lookups");
+        // The span histogram recorded exactly one frame.
+        let span_name = chambolle_telemetry::span::span_metric_name("hwsim.denoise_pair");
+        let frames = snap
+            .get(span_name.as_str())
+            .and_then(|m| m.as_histogram())
+            .map(|h| h.count());
+        assert_eq!(frames, Some(1));
+    }
+
+    #[test]
+    fn telemetry_attachment_does_not_change_the_output() {
+        let v = random_image(60, 50, 12);
+        let p = params(4);
+        let mut plain = ChambolleAccel::new(AccelConfig::default());
+        let (u_plain, _, s_plain) = plain.denoise_pair(&v, None, &p).unwrap();
+        let mut instrumented = ChambolleAccel::new(AccelConfig::default());
+        instrumented.attach_telemetry(chambolle_telemetry::Telemetry::null());
+        let (u_inst, _, s_inst) = instrumented.denoise_pair(&v, None, &p).unwrap();
+        assert_eq!(u_plain.as_slice(), u_inst.as_slice());
+        assert_eq!(s_plain.cycles, s_inst.cycles);
+    }
+
+    #[test]
+    fn recorder_attaches_to_the_full_accelerator() {
+        // Satellite check: VCD recording now works through ChambolleAccel,
+        // not just a bare PeArray.
+        use crate::trace::{write_vcd, TraceRecorder};
+        let recorder = TraceRecorder::shared();
+        let mut accel = ChambolleAccel::new(AccelConfig::default());
+        accel.attach_recorder(&recorder);
+        let v = random_image(20, 15, 13);
+        accel.denoise_pair(&v, None, &params(2)).unwrap();
+        let rec = recorder.borrow();
+        assert!(
+            !rec.accesses().is_empty(),
+            "full-accel run must record BRAM accesses"
+        );
+        let mut vcd = Vec::new();
+        write_vcd(&mut vcd, &rec).unwrap();
+        let vcd = String::from_utf8(vcd).unwrap();
+        assert!(vcd.contains("$enddefinitions"), "VCD header present");
     }
 
     #[test]

@@ -254,6 +254,23 @@ impl PeArray {
         self.stats
     }
 
+    /// Aggregated per-port BRAM counters over the array's memories (the
+    /// eight data BRAMs plus the BRAM-Term), cumulative since construction.
+    pub fn bram_stats(&self) -> crate::bram::BramStats {
+        let mut total = crate::bram::BramStats::default();
+        for bram in &self.data {
+            total.merge(&bram.stats());
+        }
+        total.merge(&self.bram_term.stats());
+        total
+    }
+
+    /// Square-root table accesses the PE-V ladder has served, cumulative
+    /// since construction (0 for the non-restoring unit).
+    pub fn sqrt_lookups(&self) -> u64 {
+        self.sqrt.lut_lookups()
+    }
+
     /// Attaches an access recorder to every memory of this array for
     /// waveform dumps (see [`crate::trace`]).
     pub fn attach_recorder(&mut self, recorder: &crate::trace::SharedRecorder) {

@@ -59,6 +59,31 @@ pub struct BramStats {
     pub writes: u64,
     /// Clock cycles elapsed.
     pub cycles: u64,
+    /// Read accesses per port (`[Port::One, Port::Two]`).
+    pub port_reads: [u64; 2],
+    /// Write accesses per port (`[Port::One, Port::Two]`).
+    pub port_writes: [u64; 2],
+}
+
+impl BramStats {
+    /// Cycles in which the given port (0 = [`Port::One`], 1 = [`Port::Two`])
+    /// issued no access — the port's stall/idle tally. Each port admits at
+    /// most one access per cycle, so this is exact, not an estimate.
+    pub fn port_idle_cycles(&self, port: usize) -> u64 {
+        self.cycles
+            .saturating_sub(self.port_reads[port] + self.port_writes[port])
+    }
+
+    /// Element-wise accumulation of another BRAM's counters.
+    pub fn merge(&mut self, other: &BramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.cycles += other.cycles;
+        for i in 0..2 {
+            self.port_reads[i] += other.port_reads[i];
+            self.port_writes[i] += other.port_writes[i];
+        }
+    }
 }
 
 impl Bram {
@@ -131,6 +156,7 @@ impl Bram {
         );
         self.pending_read[i] = Some(addr);
         self.stats.reads += 1;
+        self.stats.port_reads[i] += 1;
     }
 
     /// Issues a write, committed at the next [`Bram::clock`].
@@ -154,6 +180,7 @@ impl Bram {
         );
         self.pending_write[i] = Some((addr, data));
         self.stats.writes += 1;
+        self.stats.port_writes[i] += 1;
     }
 
     /// Advances one clock: commits writes, then latches read data
@@ -327,5 +354,27 @@ mod tests {
         assert_eq!(s.reads, 1);
         assert_eq!(s.writes, 1);
         assert_eq!(s.cycles, 2);
+    }
+
+    #[test]
+    fn stats_split_accesses_by_port() {
+        let mut ram = Bram::new("t", 4);
+        ram.issue_read(Port::One, 0);
+        ram.write(Port::Two, 1, 5);
+        ram.clock();
+        ram.issue_read(Port::One, 1);
+        ram.clock();
+        ram.clock();
+        let s = ram.stats();
+        assert_eq!(s.port_reads, [2, 0]);
+        assert_eq!(s.port_writes, [0, 1]);
+        assert_eq!(s.port_idle_cycles(0), 1);
+        assert_eq!(s.port_idle_cycles(1), 2);
+        let mut total = BramStats::default();
+        total.merge(&s);
+        total.merge(&s);
+        assert_eq!(total.reads, 4);
+        assert_eq!(total.port_reads, [4, 0]);
+        assert_eq!(total.port_writes, [0, 2]);
     }
 }

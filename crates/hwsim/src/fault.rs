@@ -457,6 +457,12 @@ impl ChambolleAccel {
         let (w, h) = v1.dims();
         assert!(w > 0 && h > 0, "frame must be non-empty");
 
+        let frame_span = self.telemetry.span("hwsim.denoise_pair_guarded");
+        let start_bram = if self.telemetry.is_enabled() {
+            Some((self.bram_stats(), self.sqrt_lookups()))
+        } else {
+            None
+        };
         let config = *self.config();
         let dmr = guard.dmr || injector.config().datapath_rate > 0.0;
         let start_cycles: Vec<u64> = self.windows.iter().map(|sw| sw.cycles()).collect();
@@ -713,6 +719,11 @@ impl ChambolleAccel {
             rounds,
             clock_mhz: config.clock_mhz,
         };
+        if let Some((bram0, sqrt0)) = start_bram {
+            self.record_frame_telemetry(&stats, &bram0, sqrt0);
+            report.record_telemetry(&self.telemetry);
+        }
+        drop(frame_span);
         Ok(GuardedFrame {
             u1,
             u2,
@@ -736,7 +747,7 @@ mod tests {
     }
 
     fn params(iters: u32) -> ChambolleParams {
-        ChambolleParams::new(0.25, 0.0625, iters).unwrap()
+        ChambolleParams::paper(iters)
     }
 
     fn reference_u(v: &Image, iters: u32) -> Grid<f32> {
@@ -861,6 +872,41 @@ mod tests {
         assert!(!frame.report.degraded);
         // Exact recovery: bit-identical to the fault-free reference.
         assert_eq!(frame.u1.as_slice(), reference_u(&v, 6).as_slice());
+    }
+
+    #[test]
+    fn guarded_frame_reports_fault_counters_via_telemetry() {
+        use chambolle_telemetry::{names, Telemetry};
+        let v = random_image(150, 120, 8);
+        let p = params(6);
+        let mut accel = ChambolleAccel::new(AccelConfig::paper(2).unwrap());
+        let telemetry = Telemetry::null();
+        accel.attach_telemetry(telemetry.clone());
+        let mut inj = FaultInjector::new(FaultConfig {
+            seed: 42,
+            bram_flip_rate: 5e-4,
+            lut_rate: 0.0,
+            datapath_rate: 0.0,
+        });
+        let frame = accel
+            .denoise_pair_guarded(&v, None, &p, &mut inj, &AccelGuardConfig::default())
+            .unwrap();
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter(names::GUARD_DETECTIONS),
+            Some(u64::from(frame.report.detections))
+        );
+        assert_eq!(
+            snap.counter(names::GUARD_RECOVERIES),
+            Some(frame.report.actions.len() as u64)
+        );
+        assert_eq!(snap.counter(names::GUARD_FALLBACKS), Some(0));
+        assert_eq!(
+            snap.counter(&format!("{}tile_recompute", names::GUARD_ACTION_PREFIX)),
+            Some(frame.report.tile_recomputes() as u64)
+        );
+        assert_eq!(snap.counter(names::HWSIM_FRAMES), Some(1));
+        assert_eq!(snap.counter(names::HWSIM_CYCLES), Some(frame.stats.cycles));
     }
 
     #[test]

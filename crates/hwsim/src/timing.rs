@@ -87,6 +87,27 @@ impl ThroughputModel {
         1.0 / self.frame_seconds(frame_w, frame_h, iterations)
     }
 
+    /// Publishes the model's frame latency and throughput for this shape as
+    /// telemetry gauges ([`names::MODEL_FRAME_CYCLES`], [`names::MODEL_FPS`]).
+    ///
+    /// [`names::MODEL_FRAME_CYCLES`]: chambolle_telemetry::names::MODEL_FRAME_CYCLES
+    /// [`names::MODEL_FPS`]: chambolle_telemetry::names::MODEL_FPS
+    pub fn record_telemetry(
+        &self,
+        telemetry: &chambolle_telemetry::Telemetry,
+        frame_w: usize,
+        frame_h: usize,
+        iterations: u32,
+    ) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        use chambolle_telemetry::names;
+        let cycles = self.frame_cycles(frame_w, frame_h, iterations);
+        telemetry.gauge_set(names::MODEL_FRAME_CYCLES, cycles as f64);
+        telemetry.gauge_set(names::MODEL_FPS, self.fps(frame_w, frame_h, iterations));
+    }
+
     /// Frame cycles including off-chip transfer, which the paper's numbers
     /// exclude ("we assumed that the images to be processed are pre-loaded
     /// in the device memory"). Each window load moves its source rectangle
@@ -226,7 +247,7 @@ mod tests {
             let model = ThroughputModel::new(config);
             let mut accel = ChambolleAccel::new(config);
             let v = random_image(w, h, 9);
-            let p = ChambolleParams::new(0.25, 0.0625, iters).unwrap();
+            let p = ChambolleParams::paper(iters);
             let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
             assert_eq!(
                 model.frame_cycles(w, h, iters),
@@ -285,7 +306,7 @@ mod tests {
         let model = ThroughputModel::new(nr_config);
         let mut accel = ChambolleAccel::new(nr_config);
         let v = random_image(100, 60, 3);
-        let p = ChambolleParams::new(0.25, 0.0625, 4).unwrap();
+        let p = ChambolleParams::paper(4);
         let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
         assert_eq!(model.frame_cycles(100, 60, 4), stats.cycles);
         // And it must be slower than the LUT design.
@@ -334,7 +355,7 @@ mod tests {
         // And the model still matches the simulator at depth 3.
         let mut accel = ChambolleAccel::new(shallow_cfg);
         let v = random_image(100, 60, 21);
-        let p = ChambolleParams::new(0.25, 0.0625, 3).unwrap();
+        let p = ChambolleParams::paper(3);
         let (_, _, stats) = accel.denoise_pair(&v, None, &p).unwrap();
         assert_eq!(shallow.frame_cycles(100, 60, 3), stats.cycles);
     }
@@ -353,6 +374,21 @@ mod tests {
         // At a crawling 0.05 words/cycle the DMA dominates instead.
         let slow = model.sustained_frame_cycles_with_transfer(512, 512, 200, 0.05);
         assert!(slow > compute);
+    }
+
+    #[test]
+    fn record_telemetry_publishes_model_gauges() {
+        use chambolle_telemetry::{names, Telemetry};
+        let model = ThroughputModel::new(AccelConfig::default());
+        let telemetry = Telemetry::null();
+        model.record_telemetry(&telemetry, 512, 512, 200);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.gauge(names::MODEL_FRAME_CYCLES),
+            Some(model.frame_cycles(512, 512, 200) as f64)
+        );
+        let fps = snap.gauge(names::MODEL_FPS).expect("fps gauge");
+        assert!((fps - model.fps(512, 512, 200)).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Cross-crate telemetry for the Chambolle reproduction: a metric registry
+//! (counters, gauges, fixed-bucket histograms with p50/p90/p99), RAII span
+//! timers, pluggable event sinks (no-op, in-memory, JSON-lines, Chrome
+//! `trace_event`), and a serializable [`report::RunReport`].
+//!
+//! Zero external dependencies — the workspace builds fully offline, and the
+//! instrumentation must never pull weight the kernels it observes don't.
+//!
+//! # Design
+//!
+//! A [`Telemetry`] handle is a cheap `Clone` (an `Arc` around the registry
+//! and sink). Instrumented code holds an `Option<Telemetry>` or a
+//! [`Telemetry::disabled`] handle; every recording method starts with a
+//! single branch on that option, so the disabled path costs one predictable
+//! branch and touches no locks, clocks, or allocations — the "measurable
+//! no-op" contract (`tests/telemetry_noop.rs` at the workspace root pins the
+//! bit-identical-output half of it).
+//!
+//! Aggregation happens in [`metrics::Metrics`]; the configured
+//! [`sink::Sink`] additionally sees the raw ordered event stream, which is
+//! how the JSON-lines log and the `about://tracing` export are produced.
+//! Cycle-accurate waveforms stay in `hwsim::trace` (VCD) — the two layers
+//! complement each other: VCD answers "what did the BRAM schedule do each
+//! cycle", telemetry answers "what did this run do end to end".
+//!
+//! # Examples
+//!
+//! ```
+//! use chambolle_telemetry::{names, Telemetry};
+//!
+//! let tele = Telemetry::null(); // metrics on, event stream discarded
+//! {
+//!     let _solve = tele.span("solve");
+//!     tele.counter_add(names::SOLVER_ITERATIONS, 100);
+//!     tele.gauge_set(names::SOLVER_FINAL_GAP, 0.034);
+//! }
+//! let snapshot = tele.snapshot();
+//! assert_eq!(snapshot.counter(names::SOLVER_ITERATIONS), Some(100));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use json::JsonValue;
+use metrics::Metrics;
+use sink::{Event, EventKind, MemorySink, NullSink, Sink};
+use span::Span;
+
+pub use report::{RunReport, RUN_REPORT_SCHEMA};
+
+/// The metric name registry.
+///
+/// Every instrumented subsystem publishes under a fixed dotted prefix so
+/// reports stay schema-stable; see DESIGN.md § Observability for the prose
+/// version of this table.
+pub mod names {
+    /// Counter: Chambolle iterations actually executed.
+    pub const SOLVER_ITERATIONS: &str = "solver.iterations";
+    /// Counter: duality-gap checkpoints evaluated.
+    pub const SOLVER_GAP_CHECKS: &str = "solver.gap_checks";
+    /// Gauge: last observed primal ROF energy.
+    pub const SOLVER_FINAL_ENERGY: &str = "solver.final_energy";
+    /// Gauge: last observed duality gap.
+    pub const SOLVER_FINAL_GAP: &str = "solver.final_gap";
+    /// Instant event: one convergence checkpoint (iteration, energy, gap).
+    pub const SOLVER_CONVERGENCE_POINT: &str = "solver.convergence_point";
+
+    /// Counter: tile-solver rounds executed (⌈N/K⌉ per denoise).
+    pub const TILING_ROUNDS: &str = "tiling.rounds";
+    /// Counter: window (tile) computations executed.
+    pub const TILING_WINDOW_LOADS: &str = "tiling.window_loads";
+    /// Gauge: windows per round of the active plan.
+    pub const TILING_WINDOWS_PER_ROUND: &str = "tiling.windows_per_round";
+    /// Gauge: redundant-halo compute fraction of the active plan.
+    pub const TILING_REDUNDANCY_RATIO: &str = "tiling.redundancy_ratio";
+
+    /// Counter: simulated accelerator cycles (busiest window per frame).
+    pub const HWSIM_CYCLES: &str = "hwsim.cycles";
+    /// Counter: accelerator window loads (including u-rounds).
+    pub const HWSIM_WINDOW_LOADS: &str = "hwsim.window_loads";
+    /// Counter: accelerator iteration rounds.
+    pub const HWSIM_ROUNDS: &str = "hwsim.rounds";
+    /// Counter: frames pushed through the accelerator.
+    pub const HWSIM_FRAMES: &str = "hwsim.frames";
+    /// Counter: BRAM reads issued on port 1 (the design's read port).
+    pub const HWSIM_BRAM_PORT1_READS: &str = "hwsim.bram.port1.reads";
+    /// Counter: BRAM reads issued on port 2.
+    pub const HWSIM_BRAM_PORT2_READS: &str = "hwsim.bram.port2.reads";
+    /// Counter: BRAM writes issued on port 1.
+    pub const HWSIM_BRAM_PORT1_WRITES: &str = "hwsim.bram.port1.writes";
+    /// Counter: BRAM writes issued on port 2 (the design's write port).
+    pub const HWSIM_BRAM_PORT2_WRITES: &str = "hwsim.bram.port2.writes";
+    /// Counter: port-1 cycles with no access (stall/idle tally).
+    pub const HWSIM_BRAM_PORT1_IDLE: &str = "hwsim.bram.port1.idle_cycles";
+    /// Counter: port-2 cycles with no access (stall/idle tally).
+    pub const HWSIM_BRAM_PORT2_IDLE: &str = "hwsim.bram.port2.idle_cycles";
+    /// Counter: sqrt-LUT table lookups performed by the PE-V datapaths.
+    pub const HWSIM_SQRT_LOOKUPS: &str = "hwsim.sqrt.lut_lookups";
+
+    /// Gauge: closed-form model cycles for the last projected frame.
+    pub const MODEL_FRAME_CYCLES: &str = "timing.model.frame_cycles";
+    /// Gauge: closed-form model fps for the last projected frame.
+    pub const MODEL_FPS: &str = "timing.model.fps";
+
+    /// Counter: guard-layer fault detections.
+    pub const GUARD_DETECTIONS: &str = "guard.detections";
+    /// Counter: recovery actions taken (all kinds).
+    pub const GUARD_RECOVERIES: &str = "guard.recoveries";
+    /// Counter: falls back to the sequential reference path.
+    pub const GUARD_FALLBACKS: &str = "guard.fallbacks";
+    /// Counter: runs that finished in degraded mode.
+    pub const GUARD_DEGRADED: &str = "guard.degraded";
+    /// Prefix for per-kind recovery-action counters
+    /// (e.g. `guard.action.step_backoff`).
+    pub const GUARD_ACTION_PREFIX: &str = "guard.action.";
+}
+
+struct Inner {
+    metrics: Metrics,
+    sink: Box<dyn Sink>,
+    depth: u32,
+}
+
+/// A shareable telemetry handle.
+///
+/// Cloning shares the underlying registry and sink. A disabled handle
+/// ([`Telemetry::disabled`]) makes every operation a single branch.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Inner>>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A handle that records nothing and costs one branch per call.
+    pub fn disabled() -> Self {
+        Telemetry {
+            inner: None,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// An enabled handle feeding `sink`.
+    pub fn new(sink: Box<dyn Sink>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                metrics: Metrics::new(),
+                sink,
+                depth: 0,
+            }))),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Metrics on, event stream discarded ([`sink::NullSink`]).
+    pub fn null() -> Self {
+        Telemetry::new(Box::new(NullSink))
+    }
+
+    /// Metrics on, events buffered in memory; returns the handle plus the
+    /// shared event buffer.
+    pub fn memory() -> (Self, Arc<Mutex<Vec<Event>>>) {
+        let sink = MemorySink::new();
+        let events = sink.events();
+        (Telemetry::new(Box::new(sink)), events)
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn emit(&self, name: &str, kind: EventKind) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let micros = self.now_micros();
+        let mut inner = inner.lock().expect("telemetry poisoned");
+        match &kind {
+            EventKind::CounterAdd(delta) => inner.metrics.counter_add(name, *delta),
+            EventKind::GaugeSet(value) => inner.metrics.gauge_set(name, *value),
+            EventKind::Observe(value) => inner.metrics.observe(name, *value),
+            _ => {}
+        }
+        let event = Event {
+            micros,
+            name: name.to_string(),
+            kind,
+            depth: inner.depth,
+        };
+        inner.sink.record(&event);
+    }
+
+    /// Adds to a counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.emit(name, EventKind::CounterAdd(delta));
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.emit(name, EventKind::GaugeSet(value));
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&self, name: &str, value: f64) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.emit(name, EventKind::Observe(value));
+    }
+
+    /// Emits a point-in-time event with a free-form payload.
+    pub fn event(&self, name: &str, fields: Vec<(String, JsonValue)>) {
+        if self.inner.is_none() {
+            return;
+        }
+        self.emit(name, EventKind::Instant(fields));
+    }
+
+    /// Opens a RAII span; the returned guard times its own scope.
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                telemetry: Telemetry::disabled(),
+                name: name.to_string(),
+                begin_micros: None,
+            };
+        };
+        let micros = self.now_micros();
+        {
+            let mut inner = inner.lock().expect("telemetry poisoned");
+            let event = Event {
+                micros,
+                name: name.to_string(),
+                kind: EventKind::SpanBegin,
+                depth: inner.depth,
+            };
+            inner.sink.record(&event);
+            inner.depth += 1;
+        }
+        Span {
+            telemetry: self.clone(),
+            name: name.to_string(),
+            begin_micros: Some(micros),
+        }
+    }
+
+    pub(crate) fn close_span(&self, name: &str, begin_micros: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let now = self.now_micros();
+        let elapsed = now.saturating_sub(begin_micros);
+        let mut inner = inner.lock().expect("telemetry poisoned");
+        inner.depth = inner.depth.saturating_sub(1);
+        inner
+            .metrics
+            .observe(&span::span_metric_name(name), elapsed as f64);
+        let event = Event {
+            micros: now,
+            name: name.to_string(),
+            kind: EventKind::SpanEnd {
+                elapsed_micros: elapsed,
+            },
+            depth: inner.depth,
+        };
+        inner.sink.record(&event);
+    }
+
+    /// A clone of the current metric registry.
+    pub fn snapshot(&self) -> Metrics {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("telemetry poisoned").metrics.clone(),
+            None => Metrics::new(),
+        }
+    }
+
+    /// Flushes the sink (closes the Chrome trace array, flushes writers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's first buffered I/O error, if any.
+    pub fn flush(&self) -> io::Result<()> {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("telemetry poisoned").sink.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    /// The disabled handle.
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tele = Telemetry::disabled();
+        tele.counter_add("c", 5);
+        tele.gauge_set("g", 1.0);
+        tele.observe("h", 2.0);
+        tele.event("e", vec![]);
+        drop(tele.span("s"));
+        assert!(!tele.is_enabled());
+        assert!(tele.snapshot().is_empty());
+        tele.flush().unwrap();
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let tele = Telemetry::null();
+        let other = tele.clone();
+        tele.counter_add("c", 1);
+        other.counter_add("c", 2);
+        assert_eq!(tele.snapshot().counter("c"), Some(3));
+    }
+
+    #[test]
+    fn memory_handle_captures_the_stream() {
+        let (tele, events) = Telemetry::memory();
+        tele.counter_add("a", 1);
+        tele.event("point", vec![("k".into(), JsonValue::from(9u64))]);
+        let events = events.lock().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[1].name, "point");
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().is_enabled());
+    }
+}

@@ -1,0 +1,205 @@
+//! The machine-readable run report.
+//!
+//! A [`RunReport`] is the single JSON artifact a run leaves behind: which
+//! tool ran, the final metric registry, and free-form named sections for
+//! structured experiment records (the `repro --json` tables, CLI run
+//! summaries, …). The schema string is versioned so downstream consumers can
+//! reject reports they do not understand.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::JsonValue;
+use crate::metrics::Metrics;
+use crate::Telemetry;
+
+/// Schema identifier of the current report layout.
+///
+/// Layout (`v1`):
+///
+/// ```json
+/// {
+///   "schema": "chambolle.run_report.v1",
+///   "tool": "<producer>",
+///   "sections": { "<name>": <free-form JSON>, ... },
+///   "metrics": { "<metric>": {"type": "...", "value": ...}, ... }
+/// }
+/// ```
+pub const RUN_REPORT_SCHEMA: &str = "chambolle.run_report.v1";
+
+/// A serializable summary of one run.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_telemetry::{json::JsonValue, report::RunReport, Telemetry};
+///
+/// let tele = Telemetry::null();
+/// tele.counter_add("solver.iterations", 100);
+/// let mut report = RunReport::from_telemetry("demo", &tele);
+/// report.add_section("params", JsonValue::Object(vec![("k".into(), 2u64.into())]));
+/// let json = report.to_json();
+/// assert_eq!(json.get_path("metrics.solver.iterations.value").unwrap().as_f64(), Some(100.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Producing tool (binary or harness name).
+    pub tool: String,
+    /// Named free-form sections, in insertion order.
+    pub sections: Vec<(String, JsonValue)>,
+    /// Final metric registry snapshot.
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// An empty report for `tool`.
+    pub fn new(tool: &str) -> Self {
+        RunReport {
+            tool: tool.to_string(),
+            sections: Vec::new(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// A report seeded with a snapshot of `telemetry`'s metrics.
+    pub fn from_telemetry(tool: &str, telemetry: &Telemetry) -> Self {
+        RunReport {
+            tool: tool.to_string(),
+            sections: Vec::new(),
+            metrics: telemetry.snapshot(),
+        }
+    }
+
+    /// Appends (or replaces) a named section.
+    pub fn add_section(&mut self, name: &str, value: JsonValue) {
+        if let Some(slot) = self.sections.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.sections.push((name.to_string(), value));
+        }
+    }
+
+    /// Looks up a section by name.
+    pub fn section(&self, name: &str) -> Option<&JsonValue> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes the report.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("schema".into(), RUN_REPORT_SCHEMA.into()),
+            ("tool".into(), self.tool.as_str().into()),
+            ("sections".into(), JsonValue::Object(self.sections.clone())),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
+    }
+
+    /// Writes the pretty-printed report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        writer.write_all(self.to_json().to_string_pretty().as_bytes())
+    }
+
+    /// Writes the pretty-printed report to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        self.write_to(&mut file)
+    }
+
+    /// Parses a serialized report back into (tool, sections, metrics-JSON),
+    /// verifying the schema string.
+    ///
+    /// The metric registry is returned as JSON rather than re-hydrated into
+    /// [`Metrics`]: consumers only read reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not a `v1` run report.
+    pub fn validate(document: &JsonValue) -> Result<(), String> {
+        match document.get("schema").and_then(JsonValue::as_str) {
+            Some(RUN_REPORT_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported report schema {other:?}")),
+            None => return Err("missing schema field".into()),
+        }
+        if document.get("tool").and_then(JsonValue::as_str).is_none() {
+            return Err("missing tool field".into());
+        }
+        if document
+            .get("sections")
+            .and_then(JsonValue::as_object)
+            .is_none()
+        {
+            return Err("missing sections object".into());
+        }
+        if document
+            .get("metrics")
+            .and_then(JsonValue::as_object)
+            .is_none()
+        {
+            return Err("missing metrics object".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let tele = Telemetry::null();
+        tele.counter_add("hwsim.cycles", 12345);
+        tele.gauge_set("tiling.redundancy_ratio", 0.109);
+        let mut report = RunReport::from_telemetry("unit-test", &tele);
+        report.add_section(
+            "frame",
+            JsonValue::Object(vec![
+                ("width".into(), 512u64.into()),
+                ("height".into(), 512u64.into()),
+            ]),
+        );
+        let mut buffer = Vec::new();
+        report.write_to(&mut buffer).unwrap();
+        let parsed = JsonValue::parse(std::str::from_utf8(&buffer).unwrap()).unwrap();
+        RunReport::validate(&parsed).unwrap();
+        assert_eq!(
+            parsed.get_path("sections.frame.width").unwrap().as_f64(),
+            Some(512.0)
+        );
+        assert_eq!(
+            parsed
+                .get_path("metrics.hwsim.cycles.value")
+                .unwrap()
+                .as_f64(),
+            Some(12345.0)
+        );
+        assert_eq!(parsed.get("tool").unwrap().as_str(), Some("unit-test"));
+    }
+
+    #[test]
+    fn add_section_replaces_by_name() {
+        let mut report = RunReport::new("t");
+        report.add_section("a", 1u64.into());
+        report.add_section("a", 2u64.into());
+        assert_eq!(report.sections.len(), 1);
+        assert_eq!(report.section("a").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        let doc = JsonValue::parse(r#"{"schema":"something.else","tool":"x"}"#).unwrap();
+        assert!(RunReport::validate(&doc).is_err());
+        assert!(RunReport::validate(&JsonValue::Null).is_err());
+    }
+}

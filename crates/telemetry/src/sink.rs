@@ -1,0 +1,409 @@
+//! Pluggable event sinks: no-op, in-memory, JSON-lines, and Chrome
+//! `trace_event`.
+//!
+//! Every telemetry operation produces an [`Event`]; the configured sink sees
+//! them in order. Sinks are deliberately dumb — aggregation lives in the
+//! [`crate::metrics::Metrics`] registry, the sink only captures the stream
+//! (for debugging, machine-readable logs, or `about://tracing`
+//! visualization, complementing the cycle-accurate VCD path in
+//! `hwsim::trace`).
+
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+
+/// What an [`Event`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A counter increment.
+    CounterAdd(u64),
+    /// A gauge write.
+    GaugeSet(f64),
+    /// A histogram observation.
+    Observe(f64),
+    /// A span opened.
+    SpanBegin,
+    /// A span closed after `elapsed_micros`.
+    SpanEnd {
+        /// Wall time between begin and end, in microseconds.
+        elapsed_micros: u64,
+    },
+    /// A point-in-time event with free-form payload fields.
+    Instant(Vec<(String, JsonValue)>),
+}
+
+impl EventKind {
+    fn tag(&self) -> &'static str {
+        match self {
+            EventKind::CounterAdd(_) => "counter",
+            EventKind::GaugeSet(_) => "gauge",
+            EventKind::Observe(_) => "observe",
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd { .. } => "span_end",
+            EventKind::Instant(_) => "instant",
+        }
+    }
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the owning [`crate::Telemetry`] was created.
+    pub micros: u64,
+    /// Metric / span / event name (see [`crate::names`]).
+    pub name: String,
+    /// Payload.
+    pub kind: EventKind,
+    /// Span nesting depth at which the event was emitted (0 = top level).
+    pub depth: u32,
+}
+
+impl Event {
+    /// Serializes the event as one JSON object (the JSON-lines record).
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("ts_us".into(), self.micros.into()),
+            ("name".into(), self.name.as_str().into()),
+            ("kind".into(), self.kind.tag().into()),
+            ("depth".into(), u64::from(self.depth).into()),
+        ];
+        match &self.kind {
+            EventKind::CounterAdd(delta) => fields.push(("delta".into(), (*delta).into())),
+            EventKind::GaugeSet(value) | EventKind::Observe(value) => {
+                fields.push(("value".into(), (*value).into()))
+            }
+            EventKind::SpanBegin => {}
+            EventKind::SpanEnd { elapsed_micros } => {
+                fields.push(("elapsed_us".into(), (*elapsed_micros).into()))
+            }
+            EventKind::Instant(payload) => {
+                fields.push(("fields".into(), JsonValue::Object(payload.clone())))
+            }
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Parses an event back from its [`Event::to_json`] record.
+    pub fn from_json(value: &JsonValue) -> Option<Event> {
+        let micros = value.get("ts_us")?.as_f64()? as u64;
+        let name = value.get("name")?.as_str()?.to_string();
+        let depth = value.get("depth")?.as_f64()? as u32;
+        let kind = match value.get("kind")?.as_str()? {
+            "counter" => EventKind::CounterAdd(value.get("delta")?.as_f64()? as u64),
+            "gauge" => EventKind::GaugeSet(value.get("value")?.as_f64()?),
+            "observe" => EventKind::Observe(value.get("value")?.as_f64()?),
+            "span_begin" => EventKind::SpanBegin,
+            "span_end" => EventKind::SpanEnd {
+                elapsed_micros: value.get("elapsed_us")?.as_f64()? as u64,
+            },
+            "instant" => EventKind::Instant(value.get("fields")?.as_object()?.to_vec()),
+            _ => return None,
+        };
+        Some(Event {
+            micros,
+            name,
+            kind,
+            depth,
+        })
+    }
+}
+
+/// An event consumer.
+pub trait Sink: Send {
+    /// Receives one event, in emission order.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes buffered output (e.g. closes the Chrome trace array).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink encountered, if any.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards every event (the enabled-metrics/no-stream configuration).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Buffers events in memory behind a shared handle.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_telemetry::sink::{MemorySink, Sink};
+///
+/// let sink = MemorySink::new();
+/// let events = sink.events();
+/// // ... hand `sink` to a Telemetry instance, run, then:
+/// assert!(events.lock().unwrap().is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// The shared buffer handle (clone it before boxing the sink).
+    pub fn events(&self) -> Arc<Mutex<Vec<Event>>> {
+        Arc::clone(&self.events)
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line — the grep-able machine log format.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer,
+            error: None,
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonLinesSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json().to_string();
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+/// Emits the Chrome `trace_event` JSON array format: load the output in
+/// `about://tracing` (or Perfetto) to see spans as nested slices and
+/// counters as tracks.
+///
+/// Span begin/end map to phases `B`/`E`, counters and gauges to `C`,
+/// instants to `i`. Everything runs on one synthetic pid/tid since the
+/// instrumented pipeline is single-threaded per telemetry handle.
+#[derive(Debug)]
+pub struct ChromeTraceSink<W: Write + Send> {
+    writer: W,
+    wrote_any: bool,
+    closed: bool,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + Send> ChromeTraceSink<W> {
+    /// Wraps a writer; the JSON array opens lazily on the first event.
+    pub fn new(writer: W) -> Self {
+        ChromeTraceSink {
+            writer,
+            wrote_any: false,
+            closed: false,
+            error: None,
+        }
+    }
+
+    fn phase_records(event: &Event) -> Vec<JsonValue> {
+        let base = |ph: &str, args: Vec<(String, JsonValue)>| {
+            let mut fields: Vec<(String, JsonValue)> = vec![
+                ("name".into(), event.name.as_str().into()),
+                ("ph".into(), ph.into()),
+                ("ts".into(), event.micros.into()),
+                ("pid".into(), 1u64.into()),
+                ("tid".into(), 1u64.into()),
+            ];
+            if ph == "i" {
+                fields.push(("s".into(), "t".into()));
+            }
+            if !args.is_empty() {
+                fields.push(("args".into(), JsonValue::Object(args)));
+            }
+            JsonValue::Object(fields)
+        };
+        match &event.kind {
+            EventKind::SpanBegin => vec![base("B", Vec::new())],
+            EventKind::SpanEnd { .. } => vec![base("E", Vec::new())],
+            EventKind::CounterAdd(delta) => {
+                vec![base("C", vec![(event.name.clone(), (*delta).into())])]
+            }
+            EventKind::GaugeSet(value) | EventKind::Observe(value) => {
+                vec![base("C", vec![(event.name.clone(), (*value).into())])]
+            }
+            EventKind::Instant(payload) => vec![base("i", payload.clone())],
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for ChromeTraceSink<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() || self.closed {
+            return;
+        }
+        for record in Self::phase_records(event) {
+            let prefix = if self.wrote_any { ",\n" } else { "[\n" };
+            self.wrote_any = true;
+            if let Err(e) = write!(self.writer, "{prefix}{}", record.to_string()) {
+                self.error = Some(e);
+                return;
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if !self.closed {
+            self.closed = true;
+            if self.wrote_any {
+                writeln!(self.writer, "\n]")?;
+            } else {
+                writeln!(self.writer, "[]")?;
+            }
+        }
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                micros: 1,
+                name: "span.solve".into(),
+                kind: EventKind::SpanBegin,
+                depth: 0,
+            },
+            Event {
+                micros: 2,
+                name: "solver.iterations".into(),
+                kind: EventKind::CounterAdd(100),
+                depth: 1,
+            },
+            Event {
+                micros: 3,
+                name: "tiling.redundancy_ratio".into(),
+                kind: EventKind::GaugeSet(0.11),
+                depth: 1,
+            },
+            Event {
+                micros: 4,
+                name: "span.window".into(),
+                kind: EventKind::Observe(17.0),
+                depth: 1,
+            },
+            Event {
+                micros: 5,
+                name: "solver.convergence_point".into(),
+                kind: EventKind::Instant(vec![
+                    ("iteration".into(), 50u64.into()),
+                    ("gap".into(), 0.25.into()),
+                ]),
+                depth: 1,
+            },
+            Event {
+                micros: 9,
+                name: "span.solve".into(),
+                kind: EventKind::SpanEnd { elapsed_micros: 8 },
+                depth: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        let events = sample_events();
+        for e in &events {
+            sink.record(e);
+        }
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.writer).unwrap();
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|line| {
+                Event::from_json(&JsonValue::parse(line).expect("line parses")).expect("round-trip")
+            })
+            .collect();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_phases() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        for e in &sample_events() {
+            sink.record(e);
+        }
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.writer).unwrap();
+        let doc = JsonValue::parse(&text).expect("valid trace_event JSON");
+        let records = doc.as_array().unwrap();
+        let phases: Vec<&str> = records
+            .iter()
+            .map(|r| r.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, ["B", "C", "C", "C", "i", "E"]);
+        assert!(records
+            .iter()
+            .all(|r| r.get("ts").is_some() && r.get("pid").is_some()));
+    }
+
+    #[test]
+    fn empty_chrome_trace_closes_to_an_empty_array() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.flush().unwrap();
+        let text = String::from_utf8(sink.writer).unwrap();
+        assert_eq!(JsonValue::parse(&text).unwrap(), JsonValue::Array(vec![]));
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let mut sink = MemorySink::new();
+        let handle = sink.events();
+        for e in &sample_events() {
+            sink.record(e);
+        }
+        assert_eq!(*handle.lock().unwrap(), sample_events());
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        for e in &sample_events() {
+            sink.record(e);
+        }
+        sink.flush().unwrap();
+    }
+}

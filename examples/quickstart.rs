@@ -1,6 +1,6 @@
 //! Quickstart: estimate TV-L1 optical flow between two synthetic frames,
-//! check it against the analytic ground truth, and write a Middlebury-style
-//! flow visualization.
+//! check it against the analytic ground truth, write a Middlebury-style
+//! flow visualization, and leave a machine-readable telemetry run report.
 //!
 //! ```text
 //! cargo run --example quickstart --release
@@ -8,10 +8,13 @@
 
 use std::error::Error;
 
-use chambolle::core::{TvL1Params, TvL1Solver};
+use chambolle::core::{TileConfig, TiledSolver, TvL1Params, TvL1Solver};
 use chambolle::imaging::{
     average_endpoint_error, colorize_flow, render_pair, write_ppm, Motion, NoiseTexture,
 };
+use chambolle::telemetry::json::JsonValue;
+use chambolle::telemetry::report::RunReport;
+use chambolle::telemetry::Telemetry;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // 1. Render a textured scene moving by (2.0, -1.0) pixels per frame.
@@ -19,10 +22,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let motion = Motion::Translation { du: 2.0, dv: -1.0 };
     let pair = render_pair(&scene, 128, 96, motion);
 
-    // 2. Estimate the flow with the TV-L1 solver (sequential Chambolle
-    //    backend; see the `fpga_frame_rate` example for the simulated
-    //    accelerator backend).
-    let solver = TvL1Solver::sequential(TvL1Params::default());
+    // 2. Estimate the flow with the TV-L1 solver. The inner Chambolle
+    //    backend is the paper's tiled sliding-window solver, instrumented
+    //    with a telemetry handle so the run leaves a metrics report (see
+    //    the `fpga_frame_rate` example for the simulated accelerator
+    //    backend).
+    let telemetry = Telemetry::null();
+    let backend = TiledSolver::new(TileConfig::default()).with_telemetry(telemetry.clone());
+    let solver = TvL1Solver::with_backend(TvL1Params::default(), backend);
     let (flow, stats) = solver.flow(&pair.i0, &pair.i1)?;
 
     // 3. Compare against the ground truth.
@@ -39,6 +46,22 @@ fn main() -> Result<(), Box<dyn Error>> {
     let path = "target/examples-output/quickstart_flow.ppm";
     write_ppm(path, &rgb)?;
     println!("flow visualization written to {path}");
+
+    // 5. Leave a machine-readable run report: every solver-level metric the
+    //    telemetry layer collected (tiling rounds, window loads, the halo
+    //    redundancy ratio, span timings) plus a free-form result section.
+    let mut report = RunReport::from_telemetry("quickstart", &telemetry);
+    report.add_section(
+        "result",
+        JsonValue::Object(vec![
+            ("mean_u".into(), f64::from(mu).into()),
+            ("mean_v".into(), f64::from(mv).into()),
+            ("aee_px".into(), aee.into()),
+        ]),
+    );
+    let report_path = "target/examples-output/quickstart_telemetry.json";
+    report.save(report_path)?;
+    println!("telemetry report written to {report_path}");
 
     if aee > 0.5 {
         return Err(format!("flow quality regressed: AEE = {aee:.3}").into());

@@ -10,9 +10,12 @@
 
 use std::error::Error;
 
+use chambolle::core::ChambolleParams;
 use chambolle::fixed::PackedWord;
 use chambolle::hwsim::trace::{write_vcd, AccessKind, TraceRecorder};
-use chambolle::hwsim::{quantize_input, ArrayConfig, HwParams, PeArray};
+use chambolle::hwsim::{
+    quantize_input, AccelConfig, ArrayConfig, ChambolleAccel, HwParams, PeArray,
+};
 use chambolle::imaging::{NoiseTexture, Scene};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -56,5 +59,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut file = std::fs::File::create(path)?;
     write_vcd(&mut file, &trace)?;
     println!("VCD written to {path}");
+    drop(trace);
+
+    // The same capability at frame scale: a recorder attached to the full
+    // two-window accelerator captures every BRAM of every window across a
+    // whole frame solve, so the inter-window schedule is visible too.
+    let mut accel = ChambolleAccel::new(AccelConfig::paper(2)?);
+    let frame_recorder = TraceRecorder::shared();
+    accel.attach_recorder(&frame_recorder);
+    let frame = NoiseTexture::new(12).render(150, 120);
+    let (_u, _, stats) = accel.denoise_pair(&frame, None, &ChambolleParams::paper(2))?;
+
+    let frame_trace = frame_recorder.borrow();
+    println!(
+        "full accelerator frame: {} cycles over {} window loads, {} accesses recorded",
+        stats.cycles,
+        stats.window_loads,
+        frame_trace.len()
+    );
+    let frame_path = "target/examples-output/frame.vcd";
+    let mut frame_file = std::fs::File::create(frame_path)?;
+    write_vcd(&mut frame_file, &frame_trace)?;
+    println!("frame-level VCD written to {frame_path}");
     Ok(())
 }

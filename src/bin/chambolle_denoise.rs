@@ -7,17 +7,21 @@
 //!   --theta T        coupling constant θ                   [0.25]
 //!   --backend B      seq | tiled | fpga                    [tiled]
 //!   --gap-tol G      stop early once the duality gap < G (seq backend only)
+//!   --telemetry P    write a JSON run report (metrics + run summary) to P
 //! ```
 
 use std::error::Error;
 use std::process::ExitCode;
 
 use chambolle::core::{
-    chambolle_denoise_monitored, rof_energy, ChambolleParams, SequentialSolver, TileConfig,
-    TiledSolver, TvDenoiser,
+    chambolle_denoise_monitored_with_telemetry, rof_energy, ChambolleParams, SequentialSolver,
+    TileConfig, TiledSolver, TvDenoiser,
 };
 use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
 use chambolle::imaging::{read_pgm, write_pgm};
+use chambolle::telemetry::json::JsonValue;
+use chambolle::telemetry::report::RunReport;
+use chambolle::telemetry::Telemetry;
 
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
@@ -27,6 +31,7 @@ struct Options {
     theta: f32,
     backend: String,
     gap_tol: Option<f64>,
+    telemetry: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -38,6 +43,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         theta: 0.25,
         backend: "tiled".into(),
         gap_tol: None,
+        telemetry: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -65,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "invalid --gap-tol".to_string())?,
                 )
             }
+            "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => positional.push(other.to_string()),
@@ -84,9 +91,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
     let v = read_pgm(&opts.input)?;
     let params = ChambolleParams::new(opts.theta, opts.theta / 4.0, opts.iterations)?;
+    let telemetry = if opts.telemetry.is_some() {
+        Telemetry::null()
+    } else {
+        Telemetry::disabled()
+    };
 
     let u = if let Some(tol) = opts.gap_tol {
-        let report = chambolle_denoise_monitored(&v, &params, 10, tol);
+        let report = chambolle_denoise_monitored_with_telemetry(&v, &params, 10, tol, &telemetry);
         eprintln!(
             "converged in {} iterations (duality gap {:.4})",
             report.iterations_run,
@@ -96,22 +108,45 @@ fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
     } else {
         let backend: Box<dyn TvDenoiser> = match opts.backend.as_str() {
             "seq" => Box::new(SequentialSolver::new()),
-            "tiled" => Box::new(TiledSolver::new(TileConfig::default())),
-            "fpga" => Box::new(AccelDenoiser::new(ChambolleAccel::new(
-                AccelConfig::default(),
-            ))),
+            "tiled" => {
+                Box::new(TiledSolver::new(TileConfig::default()).with_telemetry(telemetry.clone()))
+            }
+            "fpga" => {
+                let mut accel = ChambolleAccel::new(AccelConfig::default());
+                accel.attach_telemetry(telemetry.clone());
+                Box::new(AccelDenoiser::new(accel))
+            }
             other => return Err(format!("unknown backend {other:?}").into()),
         };
         backend.denoise(&v, &params)
     };
 
-    eprintln!(
-        "ROF energy: {:.2} -> {:.2}",
-        rof_energy(&v, &v, params.theta),
-        rof_energy(&u, &v, params.theta)
-    );
+    let energy_in = rof_energy(&v, &v, params.theta);
+    let energy_out = rof_energy(&u, &v, params.theta);
+    eprintln!("ROF energy: {energy_in:.2} -> {energy_out:.2}");
     write_pgm(&opts.output, &u)?;
     eprintln!("wrote {}", opts.output);
+
+    if let Some(path) = &opts.telemetry {
+        let (w, h) = v.dims();
+        let mut report = RunReport::from_telemetry("chambolle_denoise", &telemetry);
+        report.add_section(
+            "run",
+            JsonValue::Object(vec![
+                ("input".into(), opts.input.as_str().into()),
+                ("output".into(), opts.output.as_str().into()),
+                ("backend".into(), opts.backend.as_str().into()),
+                ("width".into(), (w as u64).into()),
+                ("height".into(), (h as u64).into()),
+                ("iterations".into(), u64::from(params.iterations).into()),
+                ("theta".into(), f64::from(params.theta).into()),
+                ("energy_in".into(), energy_in.into()),
+                ("energy_out".into(), energy_out.into()),
+            ]),
+        );
+        report.save(path)?;
+        eprintln!("wrote telemetry report {path}");
+    }
     Ok(())
 }
 
@@ -123,7 +158,7 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--gap-tol G]");
+            eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--gap-tol G] [--telemetry REPORT.json]");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -166,12 +201,15 @@ mod tests {
             "fpga",
             "--gap-tol",
             "0.1",
+            "--telemetry",
+            "report.json",
         ]))
         .unwrap();
         assert_eq!(o.iterations, 50);
         assert_eq!(o.theta, 0.5);
         assert_eq!(o.backend, "fpga");
         assert_eq!(o.gap_tol, Some(0.1));
+        assert_eq!(o.telemetry.as_deref(), Some("report.json"));
     }
 
     #[test]

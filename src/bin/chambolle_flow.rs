@@ -11,6 +11,7 @@
 //!   --backend B         seq | tiled | fpga (TV-L1 inner)     [seq]
 //!   --method M          tvl1 | hs | bm (estimator)           [tvl1]
 //!   --median            3x3 median filter between warps
+//!   --telemetry P       write a JSON run report (metrics + run summary) to P
 //! ```
 
 use std::error::Error;
@@ -23,6 +24,9 @@ use chambolle::core::{
 use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
 use chambolle::imaging::FlowField;
 use chambolle::imaging::{colorize_flow, read_pgm, write_flo, write_ppm};
+use chambolle::telemetry::json::JsonValue;
+use chambolle::telemetry::report::RunReport;
+use chambolle::telemetry::Telemetry;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +42,7 @@ struct Options {
     backend: Backend,
     method: Method,
     median: bool,
+    telemetry: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +73,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         backend: Backend::Sequential,
         method: Method::TvL1,
         median: false,
+        telemetry: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -116,6 +122,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--median" => opts.median = true,
+            "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => positional.push(other.to_string()),
@@ -136,6 +143,7 @@ fn estimate(
     opts: &Options,
     i0: &chambolle::imaging::Image,
     i1: &chambolle::imaging::Image,
+    telemetry: &Telemetry,
 ) -> Result<FlowField, Box<dyn Error>> {
     match opts.method {
         Method::TvL1 => {
@@ -151,10 +159,14 @@ fn estimate(
             }
             let backend: Box<dyn TvDenoiser> = match opts.backend {
                 Backend::Sequential => Box::new(SequentialSolver::new()),
-                Backend::Tiled => Box::new(TiledSolver::new(TileConfig::default())),
-                Backend::Fpga => Box::new(AccelDenoiser::new(ChambolleAccel::new(
-                    AccelConfig::default(),
-                ))),
+                Backend::Tiled => Box::new(
+                    TiledSolver::new(TileConfig::default()).with_telemetry(telemetry.clone()),
+                ),
+                Backend::Fpga => {
+                    let mut accel = ChambolleAccel::new(AccelConfig::default());
+                    accel.attach_telemetry(telemetry.clone());
+                    Box::new(AccelDenoiser::new(accel))
+                }
             };
             let solver = TvL1Solver::with_backend(params, backend);
             let (flow, stats) = solver.flow(i0, i1)?;
@@ -176,7 +188,12 @@ fn estimate(
 fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
     let i0 = read_pgm(&opts.input0)?;
     let i1 = read_pgm(&opts.input1)?;
-    let flow = estimate(opts, &i0, &i1)?;
+    let telemetry = if opts.telemetry.is_some() {
+        Telemetry::null()
+    } else {
+        Telemetry::disabled()
+    };
+    let flow = estimate(opts, &i0, &i1, &telemetry)?;
 
     let (mu, mv) = flow.mean();
     eprintln!(
@@ -193,6 +210,27 @@ fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
         write_ppm(path, &colorize_flow(&flow, None))?;
         eprintln!("wrote {path}");
     }
+    if let Some(path) = &opts.telemetry {
+        let mut report = RunReport::from_telemetry("chambolle_flow", &telemetry);
+        report.add_section(
+            "run",
+            JsonValue::Object(vec![
+                ("input0".into(), opts.input0.as_str().into()),
+                ("input1".into(), opts.input1.as_str().into()),
+                ("width".into(), (flow.width() as u64).into()),
+                ("height".into(), (flow.height() as u64).into()),
+                ("iterations".into(), u64::from(opts.iterations).into()),
+                ("mean_u".into(), f64::from(mu).into()),
+                ("mean_v".into(), f64::from(mv).into()),
+                (
+                    "max_magnitude".into(),
+                    f64::from(flow.max_magnitude()).into(),
+                ),
+            ]),
+        );
+        report.save(path)?;
+        eprintln!("wrote telemetry report {path}");
+    }
     Ok(())
 }
 
@@ -204,7 +242,7 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--method tvl1|hs|bm] [--median]");
+            eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--method tvl1|hs|bm] [--median] [--telemetry REPORT.json]");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -259,6 +297,8 @@ mod tests {
             "--backend",
             "fpga",
             "--median",
+            "--telemetry",
+            "flow.json",
         ]))
         .unwrap();
         assert_eq!(o.out.as_deref(), Some("f.flo"));
@@ -270,6 +310,7 @@ mod tests {
         assert_eq!(o.backend, Backend::Fpga);
         assert!(o.median);
         assert_eq!(o.method, Method::TvL1);
+        assert_eq!(o.telemetry.as_deref(), Some("flow.json"));
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! - [`core`] — the Chambolle solver (sequential and the paper's tiled
 //!   parallel scheme), TV-L1, baselines and diagnostics;
 //! - [`hwsim`] — the bit- and cycle-faithful simulator of the FPGA
-//!   architecture with its timing and area models.
+//!   architecture with its timing and area models;
+//! - [`telemetry`] — the dependency-free observability layer: metric
+//!   registry, span timers, event sinks (JSON lines, Chrome trace) and the
+//!   machine-readable [`telemetry::RunReport`].
 //!
 //! The binaries `chambolle_flow` and `chambolle_denoise` and the
 //! `examples/` directory are built from this crate; the workspace-level
@@ -38,3 +41,4 @@ pub use chambolle_core as core;
 pub use chambolle_fixed as fixed;
 pub use chambolle_hwsim as hwsim;
 pub use chambolle_imaging as imaging;
+pub use chambolle_telemetry as telemetry;

@@ -61,6 +61,58 @@ fn flow_cli_produces_flo_and_ppm() {
 }
 
 #[test]
+fn denoise_cli_writes_telemetry_report() {
+    use chambolle::telemetry::json::JsonValue;
+    use chambolle::telemetry::report::RunReport;
+
+    let scene = NoiseTexture::new(79);
+    let pair = render_pair(&scene, 48, 40, Motion::Translation { du: 0.0, dv: 0.0 });
+    let input = tmp("tele_in.pgm");
+    write_pgm(&input, &pair.i0).expect("write input");
+    let output = tmp("tele_out.pgm");
+    let report_path = tmp("tele_report.json");
+
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_denoise"))
+        .args([
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--iterations",
+            "20",
+            "--backend",
+            "fpga",
+            "--telemetry",
+            report_path.to_str().unwrap(),
+        ])
+        .status()
+        .expect("spawn chambolle_denoise");
+    assert!(status.success());
+
+    let text = std::fs::read_to_string(&report_path).expect("report written");
+    let doc = JsonValue::parse(&text).expect("valid JSON report");
+    RunReport::validate(&doc).expect("schema-valid report");
+    assert_eq!(
+        doc.get("tool").and_then(JsonValue::as_str),
+        Some("chambolle_denoise")
+    );
+    assert_eq!(
+        doc.get_path("sections.run.backend")
+            .and_then(JsonValue::as_str),
+        Some("fpga")
+    );
+    // The fpga backend must have reported cycle-level counters.
+    assert!(
+        doc.get_path("metrics.hwsim.cycles.value")
+            .and_then(JsonValue::as_f64)
+            .is_some_and(|c| c > 0.0),
+        "accelerator cycles missing from report"
+    );
+
+    for f in [input, output, report_path] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
 fn flow_cli_rejects_bad_usage() {
     let status = Command::new(env!("CARGO_BIN_EXE_chambolle_flow"))
         .arg("only-one.pgm")

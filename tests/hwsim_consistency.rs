@@ -12,7 +12,7 @@ use chambolle::imaging::{Grid, NoiseTexture, Scene};
 #[test]
 fn accel_frame_equals_monolithic_fixed_reference() {
     let v = NoiseTexture::new(11).render(200, 100);
-    let params = ChambolleParams::new(0.25, 0.0625, 7).expect("valid params");
+    let params = ChambolleParams::paper(7);
     let mut accel = ChambolleAccel::new(AccelConfig::paper(3).expect("valid config"));
     let (u, _, stats) = accel.denoise_pair(&v, None, &params).expect("hw-encodable");
     let reference = fixed_chambolle_reference(&quantize_input(&v), &HwParams::standard(7));
@@ -29,7 +29,7 @@ fn accel_frame_equals_monolithic_fixed_reference() {
 #[test]
 fn timing_model_matches_event_simulation() {
     let v = NoiseTexture::new(12).render(130, 95);
-    let params = ChambolleParams::new(0.25, 0.0625, 5).expect("valid params");
+    let params = ChambolleParams::paper(5);
     for k in [1u32, 2, 4] {
         let config = AccelConfig::paper(k).expect("valid config");
         let mut accel = ChambolleAccel::new(config);
@@ -46,7 +46,7 @@ fn timing_model_matches_event_simulation() {
 #[test]
 fn fixed_point_tracks_float_solver() {
     let v = NoiseTexture::new(13).render(96, 88);
-    let params = ChambolleParams::new(0.25, 0.0625, 40).expect("valid params");
+    let params = ChambolleParams::paper(40);
     let mut accel = ChambolleAccel::new(AccelConfig::default());
     let (u_hw, _, _) = accel.denoise_pair(&v, None, &params).expect("hw-encodable");
     let (u_float, _) = chambolle_denoise(&v, &params);
@@ -82,7 +82,7 @@ fn table2_shape_holds() {
 #[test]
 fn window_state_is_isolated_between_frames() {
     // Re-using one accelerator across frames must not leak dual state.
-    let params = ChambolleParams::new(0.25, 0.0625, 4).expect("valid params");
+    let params = ChambolleParams::paper(4);
     let v1 = NoiseTexture::new(14).render(60, 50);
     let v2 = NoiseTexture::new(15).render(60, 50);
     let mut shared = ChambolleAccel::new(AccelConfig::default());

@@ -12,7 +12,7 @@ use chambolle::imaging::{NoiseTexture, Scene};
 #[test]
 fn paper_geometry_exact_on_vga_like_frame() {
     let v = NoiseTexture::new(31).render(320, 200);
-    let params = ChambolleParams::new(0.25, 0.0625, 9).expect("valid params");
+    let params = ChambolleParams::paper(9);
     let mut p_seq = DualField::zeros(320, 200);
     chambolle_iterate(&mut p_seq, &v, &params, 9);
     for k in [1u32, 2, 3] {
@@ -27,7 +27,7 @@ fn paper_geometry_exact_on_vga_like_frame() {
 #[test]
 fn many_threads_agree() {
     let v = NoiseTexture::new(32).render(150, 110);
-    let params = ChambolleParams::new(0.25, 0.0625, 6).expect("valid params");
+    let params = ChambolleParams::paper(6);
     let reference =
         TiledSolver::new(TileConfig::new(48, 40, 2, 1).expect("cfg")).denoise(&v, &params);
     for threads in [2usize, 3, 8] {
