@@ -1,0 +1,274 @@
+//! Wall-time benchmark of the persistent parallel execution layer.
+//!
+//! Measures the pooled tiled solver against the per-round-spawn baseline
+//! (the PR's headline comparison), the fused [`ParallelSolver`] across
+//! thread counts, and the pooled TV-L1 pipeline, then writes a
+//! schema-stable `BENCH_pr3.json` report.
+//!
+//! ```text
+//! cargo run --release -p chambolle-bench --bin perf              # full run
+//! cargo run --release -p chambolle-bench --bin perf -- --smoke  # CI smoke
+//! cargo run --release -p chambolle-bench --bin perf -- --out x.json
+//! ```
+//!
+//! `--smoke` shrinks every workload so the binary finishes in seconds,
+//! then self-validates the emitted JSON against the schema; CI runs it on
+//! every push.
+
+use std::env;
+use std::sync::Arc;
+use std::time::Instant;
+
+use chambolle_bench::workloads::timing_frame;
+use chambolle_core::{
+    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_with_pool, ChambolleParams,
+    DualField, ParallelSolver, SequentialSolver, TileConfig, TvDenoiser, TvL1Params, TvL1Solver,
+};
+use chambolle_imaging::Image;
+use chambolle_par::ThreadPool;
+use chambolle_telemetry::json::JsonValue;
+use chambolle_telemetry::Telemetry;
+
+/// Schema identifier checked by the smoke validation and downstream tools.
+const SCHEMA: &str = "chambolle.bench.v1";
+/// Benchmark identifier within the schema.
+const BENCH: &str = "pr3";
+
+struct Workload {
+    name: String,
+    width: usize,
+    height: usize,
+    iterations: u32,
+    threads: usize,
+    wall_ms: f64,
+}
+
+impl Workload {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), self.name.as_str().into()),
+            ("width".into(), (self.width as u64).into()),
+            ("height".into(), (self.height as u64).into()),
+            ("iterations".into(), u64::from(self.iterations).into()),
+            ("threads".into(), (self.threads as u64).into()),
+            ("wall_ms".into(), self.wall_ms.into()),
+        ])
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds.
+fn time_ms<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+
+    // Smoke keeps CI fast; the full run uses the paper's 512x512 frame and
+    // a best-of-3 to damp scheduler noise.
+    let (size, iters, tvl1_size, reps) = if smoke {
+        (128usize, 20u32, (64usize, 48usize), 1u32)
+    } else {
+        (512, 100, (192, 144), 3)
+    };
+    let threads = 4usize;
+    let v: Image = timing_frame(size, size);
+    let params = ChambolleParams::with_iterations(iters);
+    let config = TileConfig::new(92, 88, 2, threads).expect("valid tile config");
+
+    let mut workloads: Vec<Workload> = Vec::new();
+    let mut push = |name: &str, w: usize, h: usize, n: u32, t: usize, ms: f64| {
+        eprintln!("  {name:<28} {w}x{h} @{n} iters, {t} thread(s): {ms:>9.2} ms");
+        workloads.push(Workload {
+            name: name.into(),
+            width: w,
+            height: h,
+            iterations: n,
+            threads: t,
+            wall_ms: ms,
+        });
+    };
+
+    eprintln!(
+        "perf: tiled denoise, pooled vs per-round spawn ({} mode)",
+        mode(smoke)
+    );
+
+    // Headline comparison: identical tile plan and merge factor, one
+    // persistent pool vs fresh scoped threads every round. Outputs must be
+    // bit-identical — the schedulers only move work, never change it.
+    let mut p_base = DualField::<f32>::zeros(size, size);
+    let baseline_ms = time_ms(reps, || {
+        p_base = DualField::zeros(size, size);
+        chambolle_iterate_tiled_spawn_baseline(&mut p_base, &v, &params, iters, &config);
+    });
+    push(
+        "tiled.spawn_baseline",
+        size,
+        size,
+        iters,
+        threads,
+        baseline_ms,
+    );
+
+    let pool = ThreadPool::new(threads);
+    let mut p_pool = DualField::<f32>::zeros(size, size);
+    let pooled_ms = time_ms(reps, || {
+        p_pool = DualField::zeros(size, size);
+        chambolle_iterate_tiled_with_pool(
+            &mut p_pool,
+            &v,
+            &params,
+            iters,
+            &config,
+            &pool,
+            &Telemetry::disabled(),
+        );
+    });
+    push("tiled.pooled", size, size, iters, threads, pooled_ms);
+    let bit_identical = p_base.px.as_slice() == p_pool.px.as_slice()
+        && p_base.py.as_slice() == p_pool.py.as_slice();
+    assert!(
+        bit_identical,
+        "pooled and baseline dual fields must match exactly"
+    );
+    let speedup = baseline_ms / pooled_ms;
+    eprintln!("  speedup: {speedup:.2}x (bit-identical: {bit_identical})");
+
+    // Whole-frame solvers: the sequential reference and the fused banded
+    // ParallelSolver at increasing pool sizes.
+    let seq_ms = time_ms(reps, || {
+        let _ = SequentialSolver::new().denoise(&v, &params);
+    });
+    push("denoise.sequential", size, size, iters, 1, seq_ms);
+    for t in [2usize, 4] {
+        let solver = ParallelSolver::new(t);
+        let ms = time_ms(reps, || {
+            let _ = solver.denoise(&v, &params);
+        });
+        push("denoise.parallel", size, size, iters, t, ms);
+    }
+
+    // TV-L1: the full outer loop, sequential vs one shared pool driving the
+    // pyramid, the warps, and the inner Chambolle solves.
+    let (tw, th) = tvl1_size;
+    let frame = timing_frame(tw, th);
+    let tvl1_params = TvL1Params::new(38.0, ChambolleParams::with_iterations(30), 2, 3, 3)
+        .expect("valid TV-L1 params");
+    let tvl1_seq_ms = time_ms(reps, || {
+        let _ = TvL1Solver::sequential(tvl1_params)
+            .flow(&frame, &frame)
+            .expect("equal-size frames are valid");
+    });
+    push("tvl1.sequential", tw, th, 30, 1, tvl1_seq_ms);
+    let shared = Arc::new(ThreadPool::new(threads));
+    let tvl1_pool_ms = time_ms(reps, || {
+        let solver =
+            TvL1Solver::with_backend(tvl1_params, ParallelSolver::with_pool(Arc::clone(&shared)))
+                .with_pool(Arc::clone(&shared));
+        let _ = solver
+            .flow(&frame, &frame)
+            .expect("equal-size frames are valid");
+    });
+    push("tvl1.pooled", tw, th, 30, threads, tvl1_pool_ms);
+
+    let report = JsonValue::Object(vec![
+        ("schema".into(), SCHEMA.into()),
+        ("bench".into(), BENCH.into()),
+        ("mode".into(), mode(smoke).into()),
+        ("threads".into(), (threads as u64).into()),
+        (
+            "workloads".into(),
+            JsonValue::Array(workloads.iter().map(Workload::to_json).collect()),
+        ),
+        (
+            "speedup".into(),
+            JsonValue::Object(vec![
+                ("baseline_ms".into(), baseline_ms.into()),
+                ("pooled_ms".into(), pooled_ms.into()),
+                ("speedup".into(), speedup.into()),
+                ("bit_identical".into(), JsonValue::Bool(bit_identical)),
+            ]),
+        ),
+    ]);
+    let text = report.to_string_pretty();
+    validate(&text).unwrap_or_else(|e| {
+        eprintln!("emitted report failed schema validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out_path, format!("{text}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    println!("{text}");
+}
+
+fn mode(smoke: bool) -> &'static str {
+    if smoke {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+/// Checks the emitted document against the stable shape downstream tooling
+/// relies on: schema/bench identifiers, a non-empty workload array whose
+/// entries carry every field, and the speedup block.
+fn validate(text: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("schema must be {SCHEMA:?}"));
+    }
+    if doc.get("bench").and_then(JsonValue::as_str) != Some(BENCH) {
+        return Err(format!("bench must be {BENCH:?}"));
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("mode must be full|smoke, got {other:?}")),
+    }
+    let workloads = doc
+        .get("workloads")
+        .and_then(JsonValue::as_array)
+        .ok_or("workloads must be an array")?;
+    if workloads.is_empty() {
+        return Err("workloads must not be empty".into());
+    }
+    for w in workloads {
+        for field in [
+            "name",
+            "width",
+            "height",
+            "iterations",
+            "threads",
+            "wall_ms",
+        ] {
+            if w.get(field).is_none() {
+                return Err(format!("workload entry missing {field:?}"));
+            }
+        }
+    }
+    for field in ["baseline_ms", "pooled_ms", "speedup"] {
+        if doc
+            .get_path(&format!("speedup.{field}"))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!("speedup block missing {field:?}"));
+        }
+    }
+    Ok(())
+}

@@ -68,6 +68,13 @@ fn json_report_contains_every_promised_field() {
         "redundancy ratio {redundancy} out of range"
     );
 
+    // Worker pool: the pooled tiled run must account its scheduling. The
+    // steal count is scheduling-dependent (possibly zero) but must be
+    // reported; broadcasts only happen when the pool has >1 worker.
+    assert!(metric_value(&doc, "par.tasks") > 0.0);
+    assert!(metric_value(&doc, "par.broadcasts") > 0.0);
+    assert!(metric_value(&doc, "par.steal_count") >= 0.0);
+
     // Accelerator: cycle totals and per-port BRAM access counts.
     assert!(metric_value(&doc, "hwsim.cycles") > 0.0);
     assert!(metric_value(&doc, "hwsim.frames") >= 2.0);

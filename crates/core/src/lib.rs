@@ -45,6 +45,7 @@ pub mod dependency;
 pub mod diagnostics;
 pub mod guard;
 pub mod horn_schunck;
+pub mod kernels;
 pub mod ops;
 mod params;
 mod real;
@@ -68,12 +69,13 @@ pub use horn_schunck::{HornSchunck, HornSchunckParams};
 pub use params::{ChambolleParams, InvalidParamsError, TvL1Params};
 pub use real::Real;
 pub use solver::{
-    chambolle_denoise, chambolle_iterate, recover_u, rof_energy, try_rof_energy, Convention,
-    DualField, SequentialSolver, TvDenoiser,
+    chambolle_denoise, chambolle_iterate, chambolle_iterate_parallel, recover_u, rof_energy,
+    try_rof_energy, Convention, DualField, ParallelSolver, SequentialSolver, TvDenoiser,
 };
 pub use tiling::{
-    chambolle_iterate_tiled, chambolle_iterate_tiled_with_telemetry, Tile, TileConfig, TilePlan,
-    TiledSolver,
+    chambolle_iterate_tiled, chambolle_iterate_tiled_spawn_baseline,
+    chambolle_iterate_tiled_with_pool, chambolle_iterate_tiled_with_telemetry, Tile, TileConfig,
+    TilePlan, TiledSolver,
 };
 pub use tvl1::{threshold_step, FlowError, FlowStats, TvL1Solver, VideoFlowTracker};
 pub use weighted::{chambolle_denoise_weighted, edge_stopping_weights, weighted_rof_energy};

@@ -16,8 +16,12 @@
 //! solver reuses verbatim so that tiled and sequential results are
 //! **bit-identical** on profitable cells.
 
-use chambolle_imaging::Grid;
+use std::sync::Arc;
 
+use chambolle_imaging::Grid;
+use chambolle_par::{ThreadPool, UnsafeSharedSlice};
+
+use crate::kernels::{fused_band_iteration, BandHalo, BelowHalo};
 use crate::ops::{div_x_at, div_y_at, total_variation};
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
@@ -291,6 +295,175 @@ impl TvDenoiser for SequentialSolver {
     }
 }
 
+/// Runs `iterations` Chambolle iterations on `p` with the fused row kernels
+/// of [`crate::kernels`], row-banded across the pool's workers.
+///
+/// The result is **bit-identical** to [`chambolle_iterate`] for every thread
+/// count: each band reads only its own rows plus halo rows (`py` above,
+/// `px`/`py` below) that are snapshotted from old-`p` state before the bands
+/// launch, so every term value is derived from exactly the data the
+/// sequential two-pass reference uses. No intermediate term grid is
+/// allocated — each band rolls two term-row buffers.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_parallel<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    pool: &ThreadPool,
+) {
+    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
+    let (w, h) = v.dims();
+    if w == 0 || h == 0 {
+        return;
+    }
+    let inv_theta = R::ONE / R::from_f32(params.theta);
+    let step_ratio = R::from_f32(params.step_ratio());
+
+    let bands = pool.threads().min(h);
+    if bands <= 1 {
+        let (mut ta, mut tb) = (vec![R::ZERO; w], vec![R::ZERO; w]);
+        for _ in 0..iterations {
+            fused_band_iteration(
+                p.px.as_mut_slice(),
+                p.py.as_mut_slice(),
+                v.as_slice(),
+                w,
+                h,
+                0,
+                BandHalo {
+                    py_above: None,
+                    below: None,
+                },
+                inv_theta,
+                step_ratio,
+                &mut ta,
+                &mut tb,
+            );
+        }
+        return;
+    }
+
+    // Deterministic band bounds (the partition never depends on scheduling;
+    // the result does not even depend on the partition — every band computes
+    // from old-p data only).
+    let bounds: Vec<usize> = (0..=bands).map(|b| b * h / bands).collect();
+    // Old-p halo rows copied fresh each iteration before the bands launch:
+    // for the boundary at row r, py[r-1] (read by the band below it) and
+    // px[r]/py[r] (read by the band above it).
+    let mut snap_py_above = vec![vec![R::ZERO; w]; bands - 1];
+    let mut snap_px_below = vec![vec![R::ZERO; w]; bands - 1];
+    let mut snap_py_below = vec![vec![R::ZERO; w]; bands - 1];
+    // Per-band term-row scratch, allocated once and reused every iteration.
+    let mut term_scratch = vec![(vec![R::ZERO; w], vec![R::ZERO; w]); bands];
+
+    for _ in 0..iterations {
+        for b in 0..bands - 1 {
+            let r = bounds[b + 1];
+            snap_py_above[b].copy_from_slice(p.py.row(r - 1));
+            snap_px_below[b].copy_from_slice(p.px.row(r));
+            snap_py_below[b].copy_from_slice(p.py.row(r));
+        }
+        let px_view = UnsafeSharedSlice::new(p.px.as_mut_slice());
+        let py_view = UnsafeSharedSlice::new(p.py.as_mut_slice());
+        let term_view = UnsafeSharedSlice::new(&mut term_scratch);
+        pool.parallel_tiles("par.solver.iteration", bands, |_, b| {
+            let (r0, r1) = (bounds[b], bounds[b + 1]);
+            // SAFETY: band row ranges are disjoint, and each band index runs
+            // exactly once; foreign rows are only read through the halo
+            // snapshots. Each band's scratch entry is touched by exactly the
+            // task that owns index b.
+            let (px_band, py_band, scratch) = unsafe {
+                (
+                    px_view.slice_mut(r0 * w, (r1 - r0) * w),
+                    py_view.slice_mut(r0 * w, (r1 - r0) * w),
+                    &mut term_view.slice_mut(b, 1)[0],
+                )
+            };
+            let halo = BandHalo {
+                py_above: (r0 > 0).then(|| snap_py_above[b - 1].as_slice()),
+                below: (r1 < h).then(|| BelowHalo {
+                    px: snap_px_below[b].as_slice(),
+                    py: snap_py_below[b].as_slice(),
+                    v: v.row(r1),
+                }),
+            };
+            fused_band_iteration(
+                px_band,
+                py_band,
+                &v.as_slice()[r0 * w..r1 * w],
+                w,
+                h,
+                r0,
+                halo,
+                inv_theta,
+                step_ratio,
+                &mut scratch.0,
+                &mut scratch.1,
+            );
+        });
+    }
+}
+
+/// The pool-backed fused-kernel solver: bit-identical to
+/// [`SequentialSolver`], parallel over row bands.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_core::{ChambolleParams, ParallelSolver, SequentialSolver, TvDenoiser};
+/// use chambolle_imaging::Grid;
+///
+/// let v = Grid::from_fn(32, 24, |x, y| ((x ^ y) & 7) as f32 / 7.0);
+/// let params = ChambolleParams::with_iterations(20);
+/// let seq = SequentialSolver::new().denoise(&v, &params);
+/// let par = ParallelSolver::new(4).denoise(&v, &params);
+/// assert_eq!(seq.as_slice(), par.as_slice());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelSolver {
+    pool: Arc<ThreadPool>,
+}
+
+impl ParallelSolver {
+    /// Creates a solver with its own pool of `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        ParallelSolver {
+            pool: Arc::new(ThreadPool::new(threads)),
+        }
+    }
+
+    /// Creates a solver sharing an existing pool (e.g. with the tiled
+    /// solver or the TV-L1 pipeline).
+    pub fn with_pool(pool: Arc<ThreadPool>) -> Self {
+        ParallelSolver { pool }
+    }
+
+    /// The worker pool backing this solver.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+}
+
+impl TvDenoiser for ParallelSolver {
+    fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
+        let mut p = DualField::zeros(v.width(), v.height());
+        chambolle_iterate_parallel(&mut p, v, params, params.iterations, &self.pool);
+        recover_u(v, &p, params.theta)
+    }
+
+    fn name(&self) -> &str {
+        "parallel"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +622,48 @@ mod tests {
             let d = (u64_.as_slice()[i] - u32_.as_slice()[i] as f64).abs();
             assert!(d < 1e-3, "f32/f64 divergence {d} at {i}");
         }
+    }
+
+    #[test]
+    fn parallel_solver_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let v = Grid::from_fn(37, 29, |_, _| rng.gen_range(0.0f32..1.0));
+        let pr = params(23);
+        let reference = SequentialSolver::new().denoise(&v, &pr);
+        for threads in [1usize, 2, 3, 8] {
+            let solver = ParallelSolver::new(threads);
+            let u = solver.denoise(&v, &pr);
+            assert_eq!(
+                reference.as_slice(),
+                u.as_slice(),
+                "parallel output must be bit-identical at {threads} threads"
+            );
+            assert_eq!(solver.name(), "parallel");
+        }
+    }
+
+    #[test]
+    fn parallel_solver_handles_degenerate_shapes() {
+        let solver = ParallelSolver::new(4);
+        for (w, h) in [(1usize, 1usize), (9, 1), (1, 7), (5, 2)] {
+            let v = Grid::from_fn(w, h, |x, y| (x * 3 + y) as f32 * 0.1);
+            let pr = params(6);
+            let seq = SequentialSolver::new().denoise(&v, &pr);
+            let par = solver.denoise(&v, &pr);
+            assert_eq!(seq.as_slice(), par.as_slice(), "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn parallel_solver_shares_a_pool() {
+        let pool = Arc::new(chambolle_par::ThreadPool::new(2));
+        let solver = ParallelSolver::with_pool(Arc::clone(&pool));
+        let v = Grid::new(16, 16, 0.5f32);
+        let _ = solver.denoise(&v, &params(4));
+        assert!(
+            solver.pool().stats().tasks > 0,
+            "work went through the pool"
+        );
     }
 
     #[test]

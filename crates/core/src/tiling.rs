@@ -25,10 +25,13 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use chambolle_imaging::Grid;
+use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 use chambolle_telemetry::{names, Telemetry};
 
+use crate::kernels::{fused_band_iteration, BandHalo};
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
 use crate::solver::{
@@ -267,6 +270,10 @@ impl fmt::Display for TilePlan {
 /// scheme; the result is bit-identical to
 /// [`crate::solver::chambolle_iterate`].
 ///
+/// Spawns one worker pool with `config.threads` workers for the whole call
+/// (not one set of threads per round — see
+/// [`chambolle_iterate_tiled_with_pool`] to share a longer-lived pool).
+///
 /// # Panics
 ///
 /// Panics if `p` and `v` dimensions differ.
@@ -290,7 +297,7 @@ pub fn chambolle_iterate_tiled<R: Real>(
 /// [`chambolle_iterate_tiled`] with instrumentation: records the plan's
 /// redundant-halo ratio (`tiling.redundancy_ratio`), counts rounds and
 /// window loads, observes windows-per-round, and wraps each round in a
-/// `tiling.round` span.
+/// `tiling.round` span. The pool it spawns adds its own `par.*` counters.
 ///
 /// With a disabled [`Telemetry`] handle every hook is one branch on an
 /// empty `Option`, and the numerical path is exactly the plain function's —
@@ -307,26 +314,199 @@ pub fn chambolle_iterate_tiled_with_telemetry<R: Real>(
     config: &TileConfig,
     telemetry: &Telemetry,
 ) {
+    let pool = ThreadPool::new(config.threads).with_telemetry(telemetry.clone());
+    chambolle_iterate_tiled_with_pool(p, v, params, iterations, config, &pool, telemetry);
+}
+
+/// Per-worker window scratch, reused across tiles and rounds: the local
+/// window copies of `px`/`py`/`v` plus the two rolling term-row buffers of
+/// the fused kernel. Nothing is allocated per round once the buffers have
+/// grown to the window size.
+struct TileScratch<R> {
+    px: Vec<R>,
+    py: Vec<R>,
+    v: Vec<R>,
+    term_a: Vec<R>,
+    term_b: Vec<R>,
+}
+
+impl<R: Real> TileScratch<R> {
+    fn with_capacity(cells: usize, width: usize) -> Self {
+        TileScratch {
+            px: Vec::with_capacity(cells),
+            py: Vec::with_capacity(cells),
+            v: Vec::with_capacity(cells),
+            term_a: Vec::with_capacity(width),
+            term_b: Vec::with_capacity(width),
+        }
+    }
+
+    fn reshape(&mut self, cells: usize, width: usize) {
+        self.px.resize(cells, R::ZERO);
+        self.py.resize(cells, R::ZERO);
+        self.v.resize(cells, R::ZERO);
+        self.term_a.resize(width, R::ZERO);
+        self.term_b.resize(width, R::ZERO);
+    }
+}
+
+/// The pooled tiled iteration: windows are distributed over an existing
+/// [`ThreadPool`] via its work-stealing tile queue, each worker reuses one
+/// [`TileScratch`] across all its windows and rounds, windows run `k` local
+/// iterations with the fused row kernels of [`crate::kernels`], and
+/// profitable regions are written directly into a double-buffered dual
+/// field (no per-window result collection, no stitching pass).
+///
+/// Bit-identical to [`crate::solver::chambolle_iterate`] for any pool size:
+/// within a round every window reads only the previous round's `p` (the
+/// read buffer is never written during a round), and profitable regions
+/// partition the frame, so the write buffer is completely and disjointly
+/// filled regardless of which worker processes which window.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_tiled_with_pool<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+    pool: &ThreadPool,
+    telemetry: &Telemetry,
+) {
+    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
+    if iterations == 0 {
+        return;
+    }
+    let (w, h) = v.dims();
+    let plan = TilePlan::new(w, h, *config);
+    let tiles = plan.tiles();
+    telemetry.gauge_set(names::TILING_REDUNDANCY_RATIO, plan.redundancy_fraction());
+    let inv_theta = R::ONE / R::from_f32(params.theta);
+    let step_ratio = R::from_f32(params.step_ratio());
+
+    // Double buffer: every round reads `p`, writes `p_next`, then the
+    // buffers swap. Profitable regions partition the frame, so `p_next` is
+    // fully overwritten each round and needs no initialization.
+    let mut p_next = DualField::zeros(w, h);
+    let window_cells = config.tile_width * config.tile_height;
+    let scratch: Vec<Mutex<TileScratch<R>>> = (0..pool.threads())
+        .map(|_| Mutex::new(TileScratch::with_capacity(window_cells, config.tile_width)))
+        .collect();
+
+    let mut remaining = iterations;
+    while remaining > 0 {
+        let k = remaining.min(config.merge_factor);
+        let round_span = telemetry.span("tiling.round");
+        {
+            let px_next = UnsafeSharedSlice::new(p_next.px.as_mut_slice());
+            let py_next = UnsafeSharedSlice::new(p_next.py.as_mut_slice());
+            let p_read: &DualField<R> = p;
+            pool.parallel_tiles("tiling.windows", tiles.len(), |worker, i| {
+                let tile = &tiles[i];
+                let mut scratch = scratch[worker].lock().expect("tile scratch poisoned");
+                process_window_fused(p_read, v, tile, inv_theta, step_ratio, k, &mut scratch);
+                // SAFETY: profitable regions partition the frame and each
+                // tile index runs exactly once, so the row segments written
+                // here are disjoint across all concurrent windows.
+                unsafe {
+                    let (lx, ly) = (tile.local_out_x(), tile.local_out_y());
+                    for y in 0..tile.out_h {
+                        let src = (ly + y) * tile.src_w + lx;
+                        let dst = (tile.out_y + y) * w + tile.out_x;
+                        px_next
+                            .slice_mut(dst, tile.out_w)
+                            .copy_from_slice(&scratch.px[src..src + tile.out_w]);
+                        py_next
+                            .slice_mut(dst, tile.out_w)
+                            .copy_from_slice(&scratch.py[src..src + tile.out_w]);
+                    }
+                }
+            });
+        }
+        std::mem::swap(p, &mut p_next);
+        drop(round_span);
+        telemetry.counter_add(names::TILING_ROUNDS, 1);
+        telemetry.counter_add(names::TILING_WINDOW_LOADS, tiles.len() as u64);
+        telemetry.observe(names::TILING_WINDOWS_PER_ROUND, tiles.len() as f64);
+        remaining -= k;
+    }
+}
+
+/// Loads one window into the worker's scratch and runs `k` fused local
+/// iterations. Frame-border boundary rules apply automatically where the
+/// window edge coincides with the frame edge; interior cuts corrupt only
+/// the halo, which the caller never writes back.
+fn process_window_fused<R: Real>(
+    p: &DualField<R>,
+    v: &Grid<R>,
+    tile: &Tile,
+    inv_theta: R,
+    step_ratio: R,
+    k: u32,
+    scratch: &mut TileScratch<R>,
+) {
+    let (sw, sh) = (tile.src_w, tile.src_h);
+    scratch.reshape(sw * sh, sw);
+    for y in 0..sh {
+        let row = tile.src_y + y;
+        let span = tile.src_x..tile.src_x + sw;
+        scratch.px[y * sw..(y + 1) * sw].copy_from_slice(&p.px.row(row)[span.clone()]);
+        scratch.py[y * sw..(y + 1) * sw].copy_from_slice(&p.py.row(row)[span.clone()]);
+        scratch.v[y * sw..(y + 1) * sw].copy_from_slice(&v.row(row)[span]);
+    }
+    for _ in 0..k {
+        fused_band_iteration(
+            &mut scratch.px,
+            &mut scratch.py,
+            &scratch.v,
+            sw,
+            sh,
+            0,
+            BandHalo {
+                py_above: None,
+                below: None,
+            },
+            inv_theta,
+            step_ratio,
+            &mut scratch.term_a,
+            &mut scratch.term_b,
+        );
+    }
+}
+
+/// The pre-pool reference implementation, retained as the perf baseline:
+/// every round spawns `config.threads` scoped threads, every window crops
+/// fresh `px`/`py`/`v` grids and allocates a full term grid, and results
+/// are collected and stitched after the round. Numerically identical to
+/// [`chambolle_iterate_tiled`]; only the schedule and allocation behavior
+/// differ. The `perf` bench binary measures the pooled path against this.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_tiled_spawn_baseline<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+) {
     assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
     let (w, h) = v.dims();
     let plan = TilePlan::new(w, h, *config);
-    telemetry.gauge_set(names::TILING_REDUNDANCY_RATIO, plan.redundancy_fraction());
     let inv_theta = R::ONE / R::from_f32(params.theta);
     let step_ratio = R::from_f32(params.step_ratio());
 
     let mut remaining = iterations;
     while remaining > 0 {
         let k = remaining.min(config.merge_factor);
-        let round_span = telemetry.span("tiling.round");
         let results = run_round(p, v, &plan, inv_theta, step_ratio, k, config.threads);
         for (tile, lpx, lpy) in results {
             blit_profitable(&mut p.px, &tile, &lpx);
             blit_profitable(&mut p.py, &tile, &lpy);
         }
-        drop(round_span);
-        telemetry.counter_add(names::TILING_ROUNDS, 1);
-        telemetry.counter_add(names::TILING_WINDOW_LOADS, plan.tiles().len() as u64);
-        telemetry.observe(names::TILING_WINDOWS_PER_ROUND, plan.tiles().len() as f64);
         remaining -= k;
     }
 }
@@ -346,6 +526,15 @@ fn run_round<R: Real>(
     threads: usize,
 ) -> Vec<WindowResult<R>> {
     let tiles = plan.tiles();
+    if threads <= 1 {
+        // Single-threaded rounds run inline: spawning (and joining) a worker
+        // thread per round just to walk the windows sequentially would cost
+        // thread churn for nothing.
+        return tiles
+            .iter()
+            .map(|tile| process_window(p, v, tile, plan, inv_theta, step_ratio, k))
+            .collect();
+    }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<WindowResult<R>>> = Vec::new();
     results.resize_with(tiles.len(), || None);
@@ -440,10 +629,16 @@ fn blit_profitable<R: Real>(global: &mut Grid<R>, tile: &Tile, local: &Grid<R>) 
 }
 
 /// The tiled parallel Chambolle solver as a [`TvDenoiser`] backend.
+///
+/// By default each `denoise` call spawns its own short-lived pool with
+/// `config.threads` workers; attach a persistent pool with
+/// [`TiledSolver::with_pool`] to amortize thread startup across calls
+/// (e.g. over a whole TV-L1 pyramid).
 #[derive(Debug, Clone, Default)]
 pub struct TiledSolver {
     config: TileConfig,
     telemetry: Telemetry,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl TiledSolver {
@@ -452,6 +647,7 @@ impl TiledSolver {
         TiledSolver {
             config,
             telemetry: Telemetry::disabled(),
+            pool: None,
         }
     }
 
@@ -459,6 +655,14 @@ impl TiledSolver {
     /// on every [`TvDenoiser::denoise`] call.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Copy of the solver running its windows on `pool` instead of spawning
+    /// a pool per call. The pool's worker count takes precedence over
+    /// `config.threads`.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -472,14 +676,25 @@ impl TvDenoiser for TiledSolver {
     fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
         let _span = self.telemetry.span("tiling.denoise");
         let mut p = DualField::zeros(v.width(), v.height());
-        chambolle_iterate_tiled_with_telemetry(
-            &mut p,
-            v,
-            params,
-            params.iterations,
-            &self.config,
-            &self.telemetry,
-        );
+        match &self.pool {
+            Some(pool) => chambolle_iterate_tiled_with_pool(
+                &mut p,
+                v,
+                params,
+                params.iterations,
+                &self.config,
+                pool,
+                &self.telemetry,
+            ),
+            None => chambolle_iterate_tiled_with_telemetry(
+                &mut p,
+                v,
+                params,
+                params.iterations,
+                &self.config,
+                &self.telemetry,
+            ),
+        }
         recover_u(v, &p, params.theta)
     }
 
@@ -655,6 +870,81 @@ mod tests {
         let tiled = TiledSolver::new(TileConfig::new(24, 20, 2, 2).unwrap()).denoise(&v, &pr);
         assert_eq!(seq.as_slice(), tiled.as_slice());
         assert_eq!(TiledSolver::default().name(), "tiled");
+    }
+
+    #[test]
+    fn spawn_baseline_and_pooled_paths_are_bit_identical() {
+        let v = random_image(50, 38, 5);
+        let pr = params(9);
+        let cfg = TileConfig::new(20, 16, 2, 3).unwrap();
+        let mut p_seq = DualField::zeros(50, 38);
+        chambolle_iterate(&mut p_seq, &v, &pr, 9);
+
+        let mut p_base = DualField::zeros(50, 38);
+        chambolle_iterate_tiled_spawn_baseline(&mut p_base, &v, &pr, 9, &cfg);
+        assert_eq!(p_seq.px.as_slice(), p_base.px.as_slice());
+        assert_eq!(p_seq.py.as_slice(), p_base.py.as_slice());
+
+        for pool_threads in [1usize, 2, 4] {
+            let pool = ThreadPool::new(pool_threads);
+            let mut p_pool = DualField::zeros(50, 38);
+            chambolle_iterate_tiled_with_pool(
+                &mut p_pool,
+                &v,
+                &pr,
+                9,
+                &cfg,
+                &pool,
+                &Telemetry::disabled(),
+            );
+            assert_eq!(
+                p_seq.px.as_slice(),
+                p_pool.px.as_slice(),
+                "pooled px mismatch at {pool_threads} pool threads"
+            );
+            assert_eq!(p_seq.py.as_slice(), p_pool.py.as_slice());
+            assert!(
+                pool.stats().tasks > 0,
+                "windows must go through the pool queue"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_solver_with_shared_pool_matches_and_reuses_it() {
+        use crate::solver::SequentialSolver;
+        let pool = Arc::new(ThreadPool::new(3));
+        let solver =
+            TiledSolver::new(TileConfig::new(24, 20, 2, 2).unwrap()).with_pool(Arc::clone(&pool));
+        let pr = params(8);
+        for seed in [1u64, 2] {
+            let v = random_image(47, 33, seed);
+            let seq = SequentialSolver::new().denoise(&v, &pr);
+            assert_eq!(seq.as_slice(), solver.denoise(&v, &pr).as_slice());
+        }
+        let stats = pool.stats();
+        assert!(
+            stats.tasks > 0 && stats.broadcasts > 0,
+            "both denoise calls must run on the shared pool: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn single_thread_config_runs_inline_and_matches() {
+        // threads == 1 takes the inline (zero-spawn) paths in both the
+        // baseline round runner and the pool; results stay exact.
+        let v = random_image(30, 26, 8);
+        let pr = params(6);
+        let cfg = TileConfig::new(14, 12, 2, 1).unwrap();
+        let mut p_seq = DualField::zeros(30, 26);
+        chambolle_iterate(&mut p_seq, &v, &pr, 6);
+        let mut p_base = DualField::zeros(30, 26);
+        chambolle_iterate_tiled_spawn_baseline(&mut p_base, &v, &pr, 6, &cfg);
+        let mut p_tile = DualField::zeros(30, 26);
+        chambolle_iterate_tiled(&mut p_tile, &v, &pr, 6, &cfg);
+        assert_eq!(p_seq.px.as_slice(), p_base.px.as_slice());
+        assert_eq!(p_seq.px.as_slice(), p_tile.px.as_slice());
+        assert_eq!(p_seq.py.as_slice(), p_tile.py.as_slice());
     }
 
     #[test]

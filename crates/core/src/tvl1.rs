@@ -9,9 +9,11 @@
 //! its introduction is reproduced by [`FlowStats::chambolle_fraction`]).
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chambolle_imaging::{upsample_flow_component, FlowField, Image, Pyramid, WarpLinearization};
+use chambolle_par::ThreadPool;
 
 use crate::params::TvL1Params;
 use crate::solver::{SequentialSolver, TvDenoiser};
@@ -35,6 +37,7 @@ use crate::solver::{SequentialSolver, TvDenoiser};
 pub struct TvL1Solver<D> {
     params: TvL1Params,
     inner: D,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl TvL1Solver<SequentialSolver> {
@@ -43,6 +46,7 @@ impl TvL1Solver<SequentialSolver> {
         TvL1Solver {
             params,
             inner: SequentialSolver::new(),
+            pool: None,
         }
     }
 }
@@ -51,7 +55,29 @@ impl<D: TvDenoiser> TvL1Solver<D> {
     /// Creates a solver around an arbitrary Chambolle backend (sequential,
     /// tiled, or the FPGA cycle simulator).
     pub fn with_backend(params: TvL1Params, inner: D) -> Self {
-        TvL1Solver { params, inner }
+        TvL1Solver {
+            params,
+            inner,
+            pool: None,
+        }
+    }
+
+    /// Routes the pyramid construction and per-warp linearization of the
+    /// outer loop through `pool`.
+    ///
+    /// The pooled image operations are bit-identical to their sequential
+    /// counterparts, so this changes only wall time, never the flow. Pass
+    /// the same shared pool to a pool-aware backend (e.g.
+    /// [`ParallelSolver::with_pool`](crate::solver::ParallelSolver::with_pool))
+    /// to run the whole pipeline on one set of workers.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The worker pool used for the outer-loop image operations, if any.
+    pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
+        self.pool.as_ref()
     }
 
     /// The outer-loop parameters.
@@ -109,8 +135,19 @@ impl<D: TvDenoiser> TvL1Solver<D> {
         let mut chambolle_time = Duration::ZERO;
         let mut chambolle_calls = 0u32;
 
-        let pyr0 = Pyramid::build_scaled(i0, self.params.pyramid_levels, self.params.scale_factor);
-        let pyr1 = Pyramid::build_scaled(i1, self.params.pyramid_levels, self.params.scale_factor);
+        let build = |img: &Image| match &self.pool {
+            Some(pool) => Pyramid::build_scaled_with_pool(
+                img,
+                self.params.pyramid_levels,
+                self.params.scale_factor,
+                pool,
+            ),
+            None => {
+                Pyramid::build_scaled(img, self.params.pyramid_levels, self.params.scale_factor)
+            }
+        };
+        let pyr0 = build(i0);
+        let pyr1 = build(i1);
         let levels = pyr0.len().min(pyr1.len());
 
         let coarsest = &pyr0.levels()[levels - 1];
@@ -132,7 +169,10 @@ impl<D: TvDenoiser> TvL1Solver<D> {
                 );
             }
             for _ in 0..self.params.warps {
-                let lin = WarpLinearization::new(l0, l1, &u);
+                let lin = match &self.pool {
+                    Some(pool) => WarpLinearization::new_with_pool(l0, l1, &u, pool),
+                    None => WarpLinearization::new(l0, l1, &u),
+                };
                 for _ in 0..self.params.outer_iterations {
                     let v = threshold_step(&lin, &u, self.params.lambda, self.params.inner.theta);
                     let t0 = Instant::now();
@@ -169,6 +209,7 @@ impl<D: fmt::Debug> fmt::Debug for TvL1Solver<D> {
         f.debug_struct("TvL1Solver")
             .field("params", &self.params)
             .field("inner", &self.inner)
+            .field("pool", &self.pool)
             .finish()
     }
 }
@@ -424,6 +465,25 @@ mod tests {
             .unwrap();
         assert_eq!(f_seq.u1.as_slice(), f_tiled.u1.as_slice());
         assert_eq!(f_seq.u2.as_slice(), f_tiled.u2.as_slice());
+    }
+
+    #[test]
+    fn pooled_pipeline_is_bit_identical_to_sequential() {
+        use crate::solver::ParallelSolver;
+        let scene = NoiseTexture::new(33);
+        let pair = render_pair(&scene, 64, 48, Motion::Translation { du: 1.0, dv: 0.5 });
+        let p = fast_params();
+        let (f_seq, _) = TvL1Solver::sequential(p).flow(&pair.i0, &pair.i1).unwrap();
+        // One shared pool drives the pyramid, the warps, and the inner
+        // Chambolle solves.
+        let pool = std::sync::Arc::new(chambolle_par::ThreadPool::new(4));
+        let solver = TvL1Solver::with_backend(p, ParallelSolver::with_pool(Arc::clone(&pool)))
+            .with_pool(Arc::clone(&pool));
+        assert!(solver.pool().is_some());
+        let (f_par, _) = solver.flow(&pair.i0, &pair.i1).unwrap();
+        assert_eq!(f_seq.u1.as_slice(), f_par.u1.as_slice());
+        assert_eq!(f_seq.u2.as_slice(), f_par.u2.as_slice());
+        assert!(pool.stats().tasks > 0, "the shared pool must see the work");
     }
 
     #[test]

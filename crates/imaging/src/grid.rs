@@ -249,6 +249,62 @@ impl<T> Grid<T> {
         &self.data[y * self.width..(y + 1) * self.width]
     }
 
+    /// Row `y` as a mutable slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y >= height`.
+    pub fn row_mut(&mut self, y: usize) -> &mut [T] {
+        assert!(
+            y < self.height,
+            "row {y} out of bounds (height {})",
+            self.height
+        );
+        &mut self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Iterator over mutable bands of up to `rows_per_chunk` whole rows, in
+    /// top-to-bottom order.
+    ///
+    /// Each item is `(first_row, band)` where `band` is a flat row-major
+    /// slice of `min(rows_per_chunk, remaining) * width` elements. The
+    /// bands partition the grid, so they can be handed to parallel workers
+    /// without aliasing. An empty grid yields no bands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_chunk == 0` and the grid is non-empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chambolle_imaging::Grid;
+    ///
+    /// let mut g = Grid::from_fn(2, 5, |_, y| y);
+    /// for (first_row, band) in g.rows_mut_chunks(2) {
+    ///     for v in band {
+    ///         *v += 100 * first_row;
+    ///     }
+    /// }
+    /// assert_eq!(g[(0, 3)], 203); // band starting at row 2
+    /// ```
+    pub fn rows_mut_chunks(
+        &mut self,
+        rows_per_chunk: usize,
+    ) -> impl Iterator<Item = (usize, &mut [T])> {
+        assert!(
+            rows_per_chunk > 0 || self.data.is_empty(),
+            "rows_per_chunk must be positive"
+        );
+        let w = self.width;
+        // `chunks_mut` rejects a zero chunk length even on empty slices.
+        let band_len = (w * rows_per_chunk).max(1);
+        self.data
+            .chunks_mut(band_len)
+            .enumerate()
+            .map(move |(i, band)| (i * rows_per_chunk, band))
+    }
+
     /// Iterator over `(x, y, &value)` in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> {
         let w = self.width;
@@ -325,6 +381,13 @@ impl fmt::Display for GridShapeError {
 }
 
 impl std::error::Error for GridShapeError {}
+
+/// Rows per task for a pooled row-parallel fill over `height` rows: about
+/// four tasks per worker so the atomic dispatcher can smooth load imbalance,
+/// but never below one row.
+pub(crate) fn par_band_rows(height: usize, threads: usize) -> usize {
+    height.div_ceil(threads.max(1) * 4).max(1)
+}
 
 #[cfg(test)]
 mod tests {
@@ -403,6 +466,67 @@ mod tests {
     fn row_slices() {
         let g = Grid::from_fn(3, 2, |x, y| 10 * y + x);
         assert_eq!(g.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut g = Grid::from_fn(3, 2, |x, y| 10 * y + x);
+        g.row_mut(0).copy_from_slice(&[7, 8, 9]);
+        assert_eq!(g.row(0), &[7, 8, 9]);
+        assert_eq!(g.row(1), &[10, 11, 12], "other rows untouched");
+        assert_eq!(g.row_mut(1).len(), g.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_mut_out_of_bounds_panics() {
+        let mut g = Grid::new(3, 2, 0);
+        let _ = g.row_mut(2);
+    }
+
+    #[test]
+    fn rows_mut_chunks_partitions_without_aliasing() {
+        let mut g = Grid::from_fn(4, 7, |x, y| 10 * y + x);
+        let bands: Vec<(usize, usize)> = g
+            .rows_mut_chunks(3)
+            .map(|(first, band)| (first, band.len()))
+            .collect();
+        // 7 rows in bands of 3: rows [0,3), [3,6), [6,7).
+        assert_eq!(bands, vec![(0, 12), (3, 12), (6, 4)]);
+        // Each cell is visited exactly once across all bands.
+        for (first_row, band) in g.rows_mut_chunks(3) {
+            for (i, v) in band.iter_mut().enumerate() {
+                let (x, y) = (i % 4, first_row + i / 4);
+                assert_eq!(*v, 10 * y + x, "band content matches row-major layout");
+                *v += 1;
+            }
+        }
+        assert_eq!(g[(2, 6)], 63, "every cell incremented exactly once");
+    }
+
+    #[test]
+    fn rows_mut_chunks_oversized_chunk_is_one_band() {
+        let mut g = Grid::new(2, 3, 1u8);
+        let bands: Vec<_> = g.rows_mut_chunks(100).collect();
+        assert_eq!(bands.len(), 1);
+        assert_eq!(bands[0].0, 0);
+        assert_eq!(bands[0].1.len(), 6);
+    }
+
+    #[test]
+    fn rows_mut_chunks_empty_grid_yields_nothing() {
+        let mut g: Grid<u8> = Grid::new(0, 0, 0);
+        assert_eq!(g.rows_mut_chunks(4).count(), 0);
+        // Zero-width but non-zero-height grids also hold no cells.
+        let mut thin: Grid<u8> = Grid::new(0, 5, 0);
+        assert_eq!(thin.rows_mut_chunks(2).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows_per_chunk must be positive")]
+    fn rows_mut_chunks_zero_rows_panics() {
+        let mut g = Grid::new(2, 2, 0u8);
+        let _ = g.rows_mut_chunks(0).count();
     }
 
     mod properties {

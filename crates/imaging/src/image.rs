@@ -1,6 +1,8 @@
 //! Scalar image operations: sampling, gradients, statistics.
 
-use crate::grid::Grid;
+use chambolle_par::{ThreadPool, UnsafeSharedSlice};
+
+use crate::grid::{par_band_rows, Grid};
 
 /// A grayscale image with `f32` intensities, nominally in `[0, 1]`.
 pub type Image = Grid<f32>;
@@ -67,6 +69,43 @@ pub fn gradient_central(img: &Image) -> (Image, Image) {
             gx[(x, y)] = 0.5 * (sample_clamped(img, xi + 1, yi) - sample_clamped(img, xi - 1, yi));
             gy[(x, y)] = 0.5 * (sample_clamped(img, xi, yi + 1) - sample_clamped(img, xi, yi - 1));
         }
+    }
+    (gx, gy)
+}
+
+/// [`gradient_central`] with the per-row work distributed over a worker
+/// pool.
+///
+/// Each cell depends only on the immutable input and the row partition is a
+/// pure function of the image height, so the result is bit-identical to the
+/// sequential version for every thread count.
+pub fn gradient_central_with_pool(img: &Image, pool: &ThreadPool) -> (Image, Image) {
+    let (w, h) = img.dims();
+    let mut gx = Grid::new(w, h, 0.0);
+    let mut gy = Grid::new(w, h, 0.0);
+    if w == 0 || h == 0 {
+        return (gx, gy);
+    }
+    let band = par_band_rows(h, pool.threads());
+    {
+        let gx_view = UnsafeSharedSlice::new(gx.as_mut_slice());
+        let gy_view = UnsafeSharedSlice::new(gy.as_mut_slice());
+        pool.parallel_for_rows("imaging.gradient", 0..h, band, |rows| {
+            for y in rows {
+                // SAFETY: each row index is handed to exactly one task, so
+                // the row slices of distinct tasks never overlap.
+                let gx_row = unsafe { gx_view.slice_mut(y * w, w) };
+                let gy_row = unsafe { gy_view.slice_mut(y * w, w) };
+                let yi = y as i64;
+                for x in 0..w {
+                    let xi = x as i64;
+                    gx_row[x] =
+                        0.5 * (sample_clamped(img, xi + 1, yi) - sample_clamped(img, xi - 1, yi));
+                    gy_row[x] =
+                        0.5 * (sample_clamped(img, xi, yi + 1) - sample_clamped(img, xi, yi - 1));
+                }
+            }
+        });
     }
     (gx, gy)
 }
@@ -224,6 +263,18 @@ mod tests {
         assert!((gx[(4, 4)] - 2.0).abs() < 1e-6);
         assert!((gx[(0, 4)] - 1.0).abs() < 1e-6);
         assert!(gy.as_slice().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn pooled_gradient_is_bit_identical() {
+        let img = Grid::from_fn(33, 21, |x, y| ((x * 13 + y * 7) % 17) as f32 / 17.0);
+        let (gx, gy) = gradient_central(&img);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let (px, py) = gradient_central_with_pool(&img, &pool);
+            assert_eq!(gx.as_slice(), px.as_slice(), "gx at {threads} threads");
+            assert_eq!(gy.as_slice(), py.as_slice(), "gy at {threads} threads");
+        }
     }
 
     #[test]

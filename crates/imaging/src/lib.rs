@@ -45,17 +45,19 @@ pub use flow::{
 };
 pub use grid::{Grid, GridShapeError};
 pub use image::{
-    gradient_central, min_max, mse, normalize, psnr, sample_bilinear, sample_clamped, ssim, Image,
+    gradient_central, gradient_central_with_pool, min_max, mse, normalize, psnr, sample_bilinear,
+    sample_clamped, ssim, Image,
 };
 pub use io::{
     read_flo, read_flo_from, read_pgm, read_pgm_from, read_ppm, read_ppm_from, write_flo,
     write_pgm, write_ppm, PnmError,
 };
 pub use pyramid::{
-    blur_binomial5, downsample_half, resize_bilinear, upsample_flow_component, Pyramid,
+    blur_binomial5, blur_binomial5_with_pool, downsample_half, downsample_half_with_pool,
+    resize_bilinear, resize_bilinear_with_pool, upsample_flow_component, Pyramid,
 };
 pub use synthetic::{
     global_shutter_frame, render_pair, render_sequence, rolling_shutter_frame, DiskScene,
     FramePair, Motion, NoiseTexture, Scene, SineBoard,
 };
-pub use warp::{warp_backward, WarpLinearization};
+pub use warp::{warp_backward, warp_backward_with_pool, WarpLinearization};

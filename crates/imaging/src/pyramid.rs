@@ -1,6 +1,8 @@
 //! Gaussian image pyramids for the coarse-to-fine TV-L1 outer loop.
 
-use crate::grid::Grid;
+use chambolle_par::ThreadPool;
+
+use crate::grid::{par_band_rows, Grid};
 use crate::image::{sample_bilinear, Image};
 
 /// A coarse-to-fine stack of images.
@@ -82,6 +84,61 @@ impl Pyramid {
         Pyramid { levels }
     }
 
+    /// [`Pyramid::build`] with each level's blur and decimation distributed
+    /// over a worker pool; bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_levels == 0` or the input image is empty.
+    pub fn build_with_pool(base: &Image, max_levels: usize, pool: &ThreadPool) -> Self {
+        assert!(max_levels > 0, "pyramid needs at least one level");
+        assert!(!base.is_empty(), "cannot build a pyramid of an empty image");
+        let mut levels = vec![base.clone()];
+        while levels.len() < max_levels {
+            let prev = levels.last().expect("non-empty by construction");
+            let (w, h) = prev.dims();
+            if w / 2 < Self::MIN_DIM || h / 2 < Self::MIN_DIM {
+                break;
+            }
+            levels.push(downsample_half_with_pool(prev, pool));
+        }
+        Pyramid { levels }
+    }
+
+    /// [`Pyramid::build_scaled`] with each level's blur and resize
+    /// distributed over a worker pool; bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_levels == 0`, the input is empty, or `factor` is not
+    /// in `(0, 1)`.
+    pub fn build_scaled_with_pool(
+        base: &Image,
+        max_levels: usize,
+        factor: f32,
+        pool: &ThreadPool,
+    ) -> Self {
+        assert!(max_levels > 0, "pyramid needs at least one level");
+        assert!(!base.is_empty(), "cannot build a pyramid of an empty image");
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "scale factor must be in (0, 1), got {factor}"
+        );
+        let mut levels = vec![base.clone()];
+        while levels.len() < max_levels {
+            let prev = levels.last().expect("non-empty by construction");
+            let (w, h) = prev.dims();
+            let nw = (w as f32 * factor).round() as usize;
+            let nh = (h as f32 * factor).round() as usize;
+            if nw < Self::MIN_DIM || nh < Self::MIN_DIM || (nw, nh) == (w, h) {
+                break;
+            }
+            let blurred = blur_binomial5_with_pool(prev, pool);
+            levels.push(resize_bilinear_with_pool(&blurred, nw, nh, pool));
+        }
+        Pyramid { levels }
+    }
+
     /// The levels, finest (index 0) to coarsest.
     pub fn levels(&self) -> &[Image] {
         &self.levels
@@ -103,10 +160,14 @@ impl Pyramid {
     }
 }
 
+/// The 5-tap binomial kernel (1 4 6 4 1)/16 shared by the sequential and
+/// pooled blurs.
+const BINOMIAL5: [f32; 5] = [1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0];
+
 /// 5-tap binomial (1 4 6 4 1)/16 separable blur with clamped borders.
 pub fn blur_binomial5(img: &Image) -> Image {
     let (w, h) = img.dims();
-    const K: [f32; 5] = [1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0];
+    const K: [f32; 5] = BINOMIAL5;
     let mut tmp = Grid::new(w, h, 0.0);
     for y in 0..h {
         for x in 0..w {
@@ -132,6 +193,51 @@ pub fn blur_binomial5(img: &Image) -> Image {
     out
 }
 
+/// [`blur_binomial5`] with both separable passes row-parallelized over a
+/// worker pool.
+///
+/// Each pass accumulates the taps in the same order over the same inputs as
+/// the sequential blur, so the result is bit-identical for every thread
+/// count.
+pub fn blur_binomial5_with_pool(img: &Image, pool: &ThreadPool) -> Image {
+    let (w, h) = img.dims();
+    let mut tmp = Grid::new(w, h, 0.0);
+    if w == 0 || h == 0 {
+        return tmp;
+    }
+    let band = par_band_rows(h, pool.threads());
+    pool.parallel_chunks_mut("imaging.blur_h", tmp.as_mut_slice(), w * band, |t, rows| {
+        let y0 = t * band;
+        for (dy, row) in rows.chunks_mut(w).enumerate() {
+            let src = img.row(y0 + dy);
+            for (x, cell) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, k) in BINOMIAL5.iter().enumerate() {
+                    let xs = (x as i64 + i as i64 - 2).clamp(0, w as i64 - 1) as usize;
+                    acc += k * src[xs];
+                }
+                *cell = acc;
+            }
+        }
+    });
+    let mut out = Grid::new(w, h, 0.0);
+    pool.parallel_chunks_mut("imaging.blur_v", out.as_mut_slice(), w * band, |t, rows| {
+        let y0 = t * band;
+        for (dy, row) in rows.chunks_mut(w).enumerate() {
+            let y = y0 + dy;
+            for (x, cell) in row.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (i, k) in BINOMIAL5.iter().enumerate() {
+                    let ys = (y as i64 + i as i64 - 2).clamp(0, h as i64 - 1) as usize;
+                    acc += k * tmp[(x, ys)];
+                }
+                *cell = acc;
+            }
+        }
+    });
+    out
+}
+
 /// Blurs then decimates an image by 2 in both dimensions (rounding up).
 pub fn downsample_half(img: &Image) -> Image {
     let blurred = blur_binomial5(img);
@@ -141,6 +247,32 @@ pub fn downsample_half(img: &Image) -> Image {
     Grid::from_fn(nw, nh, |x, y| {
         blurred[((2 * x).min(w - 1), (2 * y).min(h - 1))]
     })
+}
+
+/// [`downsample_half`] with the blur and the decimation row-parallelized
+/// over a worker pool; bit-identical for every thread count.
+pub fn downsample_half_with_pool(img: &Image, pool: &ThreadPool) -> Image {
+    let blurred = blur_binomial5_with_pool(img, pool);
+    let (w, h) = img.dims();
+    let nw = w.div_ceil(2);
+    let nh = h.div_ceil(2);
+    let mut out = Grid::new(nw, nh, 0.0);
+    let band = par_band_rows(nh.max(1), pool.threads());
+    pool.parallel_chunks_mut(
+        "imaging.decimate",
+        out.as_mut_slice(),
+        nw * band,
+        |t, rows| {
+            let y0 = t * band;
+            for (dy, row) in rows.chunks_mut(nw).enumerate() {
+                let y = y0 + dy;
+                for (x, cell) in row.iter_mut().enumerate() {
+                    *cell = blurred[((2 * x).min(w - 1), (2 * y).min(h - 1))];
+                }
+            }
+        },
+    );
+    out
 }
 
 /// Bilinearly resizes `img` to `new_w × new_h`.
@@ -163,6 +295,43 @@ pub fn resize_bilinear(img: &Image, new_w: usize, new_h: usize) -> Image {
         let src_y = (y as f32 + 0.5) * sy - 0.5;
         sample_bilinear(img, src_x, src_y)
     })
+}
+
+/// [`resize_bilinear`] with the output rows distributed over a worker pool;
+/// bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if a target dimension is zero.
+pub fn resize_bilinear_with_pool(
+    img: &Image,
+    new_w: usize,
+    new_h: usize,
+    pool: &ThreadPool,
+) -> Image {
+    assert!(new_w > 0 && new_h > 0, "target dimensions must be positive");
+    let (w, h) = img.dims();
+    let sx = w as f32 / new_w as f32;
+    let sy = h as f32 / new_h as f32;
+    let mut out = Grid::new(new_w, new_h, 0.0);
+    let band = par_band_rows(new_h, pool.threads());
+    pool.parallel_chunks_mut(
+        "imaging.resize",
+        out.as_mut_slice(),
+        new_w * band,
+        |t, rows| {
+            let y0 = t * band;
+            for (dy, row) in rows.chunks_mut(new_w).enumerate() {
+                let y = y0 + dy;
+                let src_y = (y as f32 + 0.5) * sy - 0.5;
+                for (x, cell) in row.iter_mut().enumerate() {
+                    let src_x = (x as f32 + 0.5) * sx - 0.5;
+                    *cell = sample_bilinear(img, src_x, src_y);
+                }
+            }
+        },
+    );
+    out
 }
 
 /// Upsamples one flow component from a coarser level to `new_w × new_h`,
@@ -236,6 +405,44 @@ mod tests {
         let comp = Grid::new(8, 8, 1.0f32);
         let up = upsample_flow_component(&comp, 16, 16);
         assert!(up.as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn pooled_pyramid_ops_are_bit_identical() {
+        let img = Grid::from_fn(45, 37, |x, y| ((x * 3 + y * 5) % 23) as f32 / 23.0);
+        let blur = blur_binomial5(&img);
+        let down = downsample_half(&img);
+        let resized = resize_bilinear(&img, 31, 22);
+        let pyr_half = Pyramid::build(&img, 4);
+        let pyr_scaled = Pyramid::build_scaled(&img, 4, 0.7);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(
+                blur.as_slice(),
+                blur_binomial5_with_pool(&img, &pool).as_slice(),
+                "blur at {threads} threads"
+            );
+            assert_eq!(
+                down.as_slice(),
+                downsample_half_with_pool(&img, &pool).as_slice(),
+                "downsample at {threads} threads"
+            );
+            assert_eq!(
+                resized.as_slice(),
+                resize_bilinear_with_pool(&img, 31, 22, &pool).as_slice(),
+                "resize at {threads} threads"
+            );
+            assert_eq!(
+                pyr_half,
+                Pyramid::build_with_pool(&img, 4, &pool),
+                "half pyramid at {threads} threads"
+            );
+            assert_eq!(
+                pyr_scaled,
+                Pyramid::build_scaled_with_pool(&img, 4, 0.7, &pool),
+                "scaled pyramid at {threads} threads"
+            );
+        }
     }
 
     #[test]

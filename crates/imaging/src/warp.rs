@@ -1,9 +1,11 @@
 //! Backward image warping by a flow field — the per-warp linearization step
 //! of the TV-L1 outer loop.
 
+use chambolle_par::ThreadPool;
+
 use crate::flow::FlowField;
-use crate::grid::Grid;
-use crate::image::{gradient_central, sample_bilinear, Image};
+use crate::grid::{par_band_rows, Grid};
+use crate::image::{gradient_central, gradient_central_with_pool, sample_bilinear, Image};
 
 /// Warps `img` backward by `flow`: `out(x, y) = img(x + u1, y + u2)` with
 /// bilinear interpolation and clamp-to-edge boundary handling.
@@ -29,6 +31,35 @@ pub fn warp_backward(img: &Image, flow: &FlowField) -> Image {
         let (u, v) = flow.at(x, y);
         sample_bilinear(img, x as f32 + u, y as f32 + v)
     })
+}
+
+/// [`warp_backward`] with the output rows distributed over a worker pool.
+///
+/// Every output cell is a pure function of the immutable inputs, so the
+/// result is bit-identical to the sequential warp for every thread count.
+///
+/// # Panics
+///
+/// Panics if `img` and `flow` dimensions differ.
+pub fn warp_backward_with_pool(img: &Image, flow: &FlowField, pool: &ThreadPool) -> Image {
+    assert_eq!(img.dims(), flow.dims(), "image and flow must match in size");
+    let (w, h) = img.dims();
+    let mut out = Grid::new(w, h, 0.0);
+    if w == 0 || h == 0 {
+        return out;
+    }
+    let band = par_band_rows(h, pool.threads());
+    pool.parallel_chunks_mut("imaging.warp", out.as_mut_slice(), w * band, |t, rows| {
+        let y0 = t * band;
+        for (dy, row) in rows.chunks_mut(w).enumerate() {
+            let y = y0 + dy;
+            for (x, cell) in row.iter_mut().enumerate() {
+                let (u, v) = flow.at(x, y);
+                *cell = sample_bilinear(img, x as f32 + u, y as f32 + v);
+            }
+        }
+    });
+    out
 }
 
 /// The linearized data term of TV-L1 at a warp point.
@@ -64,6 +95,43 @@ impl WarpLinearization {
         let warped = warp_backward(i1, u0);
         let (gx, gy) = gradient_central(&warped);
         let residual = Grid::from_fn(i0.width(), i0.height(), |x, y| warped[(x, y)] - i0[(x, y)]);
+        WarpLinearization {
+            warped,
+            gx,
+            gy,
+            residual,
+            u0: u0.clone(),
+        }
+    }
+
+    /// [`WarpLinearization::new`] with the warp, gradient, and residual
+    /// fills distributed over a worker pool; bit-identical to the sequential
+    /// constructor for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs differ in size.
+    pub fn new_with_pool(i0: &Image, i1: &Image, u0: &FlowField, pool: &ThreadPool) -> Self {
+        assert_eq!(i0.dims(), i1.dims(), "frames must match in size");
+        assert_eq!(i0.dims(), u0.dims(), "flow must match the frame size");
+        let (w, h) = i0.dims();
+        let warped = warp_backward_with_pool(i1, u0, pool);
+        let (gx, gy) = gradient_central_with_pool(&warped, pool);
+        let mut residual = Grid::new(w, h, 0.0);
+        let band = par_band_rows(h.max(1), pool.threads());
+        pool.parallel_chunks_mut(
+            "imaging.residual",
+            residual.as_mut_slice(),
+            w * band,
+            |t, rows| {
+                let start = t * band * w;
+                let warped = warped.as_slice();
+                let i0 = i0.as_slice();
+                for (i, cell) in rows.iter_mut().enumerate() {
+                    *cell = warped[start + i] - i0[start + i];
+                }
+            },
+        );
         WarpLinearization {
             warped,
             gx,
@@ -128,6 +196,29 @@ mod tests {
                 let expect = 0.1 * (x as f32 + 0.5) + 0.05 * (y as f32 + 0.25);
                 assert!((out[(x, y)] - expect).abs() < 1e-5);
             }
+        }
+    }
+
+    #[test]
+    fn pooled_warp_and_linearization_are_bit_identical() {
+        let i0 = Grid::from_fn(29, 17, |x, y| ((x * 5 + y * 11) % 13) as f32 / 13.0);
+        let i1 = Grid::from_fn(29, 17, |x, y| ((x * 3 + y * 7) % 13) as f32 / 13.0);
+        let flow = FlowField::from_fn(29, 17, |x, y| (0.3 * x as f32, -0.2 * y as f32));
+        let seq_warp = warp_backward(&i1, &flow);
+        let seq_lin = WarpLinearization::new(&i0, &i1, &flow);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let par_warp = warp_backward_with_pool(&i1, &flow, &pool);
+            assert_eq!(
+                seq_warp.as_slice(),
+                par_warp.as_slice(),
+                "{threads} threads"
+            );
+            let par_lin = WarpLinearization::new_with_pool(&i0, &i1, &flow, &pool);
+            assert_eq!(seq_lin.warped.as_slice(), par_lin.warped.as_slice());
+            assert_eq!(seq_lin.gx.as_slice(), par_lin.gx.as_slice());
+            assert_eq!(seq_lin.gy.as_slice(), par_lin.gy.as_slice());
+            assert_eq!(seq_lin.residual.as_slice(), par_lin.residual.as_slice());
         }
     }
 

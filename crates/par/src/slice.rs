@@ -1,0 +1,123 @@
+//! A shared raw view of a mutable slice for provably disjoint parallel
+//! writes.
+
+use std::marker::PhantomData;
+
+/// A `Sync` raw view of a `&mut [T]` that lets pool workers carve out
+/// *disjoint* sub-slices concurrently.
+///
+/// Safe Rust cannot hand several threads mutable references into one slice
+/// unless the split structure is known up front (`split_at_mut` chains). The
+/// workspace's parallel kernels write regions whose shape is decided at run
+/// time — interleaved row windows, profitable tile rectangles — so this type
+/// erases the borrow and re-asserts it per region, with the disjointness
+/// obligation moved into one documented `unsafe` method.
+///
+/// The lifetime parameter pins the view to the original borrow: the view
+/// cannot outlive the slice it was built from, and the slice stays mutably
+/// borrowed for as long as the view exists.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_par::UnsafeSharedSlice;
+///
+/// let mut data = vec![0u32; 8];
+/// let view = UnsafeSharedSlice::new(&mut data);
+/// // SAFETY: the two regions [0, 4) and [4, 8) are disjoint.
+/// let (a, b) = unsafe { (view.slice_mut(0, 4), view.slice_mut(4, 4)) };
+/// a[0] = 1;
+/// b[3] = 2;
+/// assert_eq!(data, [1, 0, 0, 0, 0, 0, 0, 2]);
+/// ```
+pub struct UnsafeSharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the view is only a pointer plus a length; sending or sharing it is
+// harmless in itself. All mutation goes through `slice_mut`, whose caller
+// contract (disjoint regions) is what actually prevents data races, exactly
+// as with `split_at_mut`-style splitting.
+unsafe impl<T: Send> Send for UnsafeSharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSharedSlice<'_, T> {}
+
+impl<'a, T> UnsafeSharedSlice<'a, T> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        UnsafeSharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reborrows the region `[start, start + len)` mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region exceeds the slice bounds.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that no two *live* borrows produced by this
+    /// method overlap — across threads or within one. The pool's partition
+    /// primitives uphold this by handing every region index to exactly one
+    /// task.
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &'a mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "region {start}+{len} out of bounds for slice of length {}",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_regions_write_independently() {
+        let mut data = vec![0u8; 10];
+        let view = UnsafeSharedSlice::new(&mut data);
+        assert_eq!(view.len(), 10);
+        assert!(!view.is_empty());
+        // SAFETY: regions are disjoint.
+        unsafe {
+            view.slice_mut(0, 5).fill(1);
+            view.slice_mut(5, 5).fill(2);
+        }
+        assert_eq!(data, [1, 1, 1, 1, 1, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_region_panics() {
+        let mut data = vec![0u8; 4];
+        let view = UnsafeSharedSlice::new(&mut data);
+        // SAFETY: panics before creating the slice.
+        let _ = unsafe { view.slice_mut(2, 3) };
+    }
+
+    #[test]
+    fn empty_slice() {
+        let mut data: Vec<u8> = Vec::new();
+        let view = UnsafeSharedSlice::new(&mut data);
+        assert!(view.is_empty());
+        // SAFETY: a zero-length region of an empty slice is valid.
+        assert_eq!(unsafe { view.slice_mut(0, 0) }.len(), 0);
+    }
+}

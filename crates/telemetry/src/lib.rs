@@ -111,6 +111,13 @@ pub mod names {
     /// Gauge: closed-form model fps for the last projected frame.
     pub const MODEL_FPS: &str = "timing.model.fps";
 
+    /// Counter: tasks executed by the parallel worker pool.
+    pub const PAR_TASKS: &str = "par.tasks";
+    /// Counter: tiles stolen across worker queues by the pool.
+    pub const PAR_STEALS: &str = "par.steal_count";
+    /// Counter: pool broadcasts (whole-pool park/unpark cycles).
+    pub const PAR_BROADCASTS: &str = "par.broadcasts";
+
     /// Counter: guard-layer fault detections.
     pub const GUARD_DETECTIONS: &str = "guard.detections";
     /// Counter: recovery actions taken (all kinds).

@@ -10,6 +10,9 @@
 //!   parallel scheme), TV-L1, baselines and diagnostics;
 //! - [`hwsim`] — the bit- and cycle-faithful simulator of the FPGA
 //!   architecture with its timing and area models;
+//! - [`par`] — the persistent worker pool behind every parallel code path:
+//!   spawn-once park/unpark workers, deterministic row partitions, and a
+//!   work-stealing tile queue;
 //! - [`telemetry`] — the dependency-free observability layer: metric
 //!   registry, span timers, event sinks (JSON lines, Chrome trace) and the
 //!   machine-readable [`telemetry::RunReport`].
@@ -41,4 +44,5 @@ pub use chambolle_core as core;
 pub use chambolle_fixed as fixed;
 pub use chambolle_hwsim as hwsim;
 pub use chambolle_imaging as imaging;
+pub use chambolle_par as par;
 pub use chambolle_telemetry as telemetry;

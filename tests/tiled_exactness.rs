@@ -3,11 +3,15 @@
 //! exactly the sequential result, for any geometry, merge factor and thread
 //! count.
 
+use std::sync::Arc;
+
 use chambolle::core::{
-    chambolle_iterate, chambolle_iterate_tiled, rof_energy, ChambolleParams, DualField,
-    SequentialSolver, TileConfig, TilePlan, TiledSolver, TvDenoiser,
+    chambolle_iterate, chambolle_iterate_tiled, chambolle_iterate_tiled_spawn_baseline, rof_energy,
+    ChambolleParams, DualField, ParallelSolver, SequentialSolver, TileConfig, TilePlan,
+    TiledSolver, TvDenoiser,
 };
 use chambolle::imaging::{NoiseTexture, Scene};
+use chambolle::par::ThreadPool;
 
 #[test]
 fn paper_geometry_exact_on_vga_like_frame() {
@@ -34,6 +38,40 @@ fn many_threads_agree() {
         let cfg = TileConfig::new(48, 40, 2, threads).expect("cfg");
         let u = TiledSolver::new(cfg).denoise(&v, &params);
         assert_eq!(reference.as_slice(), u.as_slice(), "threads={threads}");
+    }
+}
+
+#[test]
+fn parallel_solver_matches_sequential_across_thread_counts() {
+    let v = NoiseTexture::new(44).render(150, 110);
+    let params = ChambolleParams::with_iterations(40);
+    let reference = SequentialSolver::new().denoise(&v, &params);
+    for threads in [1usize, 2, 3, 8] {
+        let u = ParallelSolver::new(threads).denoise(&v, &params);
+        assert_eq!(reference.as_slice(), u.as_slice(), "threads={threads}");
+    }
+}
+
+#[test]
+fn pooled_tiling_matches_sequential_across_threads_and_merge_factors() {
+    let v = NoiseTexture::new(45).render(130, 100);
+    let params = ChambolleParams::paper(8);
+    let mut p_seq = DualField::zeros(130, 100);
+    chambolle_iterate(&mut p_seq, &v, &params, 8);
+    for threads in [1usize, 2, 3, 8] {
+        let pool = Arc::new(ThreadPool::new(threads));
+        for k in [1u32, 2, 4] {
+            let cfg = TileConfig::new(48, 40, k, threads).expect("cfg");
+            let solver = TiledSolver::new(cfg).with_pool(Arc::clone(&pool));
+            let u = solver.denoise(&v, &params);
+            let u_seq = SequentialSolver::new().denoise(&v, &params);
+            assert_eq!(u_seq.as_slice(), u.as_slice(), "threads={threads}, K={k}");
+
+            let mut p_base = DualField::zeros(130, 100);
+            chambolle_iterate_tiled_spawn_baseline(&mut p_base, &v, &params, 8, &cfg);
+            assert_eq!(p_seq.px.as_slice(), p_base.px.as_slice(), "baseline K={k}");
+            assert_eq!(p_seq.py.as_slice(), p_base.py.as_slice(), "baseline K={k}");
+        }
     }
 }
 
