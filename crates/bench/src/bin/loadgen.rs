@@ -1,0 +1,410 @@
+//! Load generator for the `chambolle-service` request layer.
+//!
+//! Drives the in-process service with open-loop arrivals (requests are
+//! submitted on a fixed schedule, regardless of completions) and compares
+//! the micro-batching dispatcher against a serialize-per-request baseline
+//! at the same pool size, then writes a schema-stable `BENCH_pr4.json`
+//! with throughput, p50/p99 latency, shed rate, and batch-size stats.
+//!
+//! ```text
+//! cargo run --release -p chambolle-bench --bin loadgen              # full run
+//! cargo run --release -p chambolle-bench --bin loadgen -- --smoke  # CI smoke
+//! cargo run --release -p chambolle-bench --bin loadgen -- --out x.json
+//! ```
+//!
+//! Three phases, all on 4 worker threads:
+//!
+//! 1. `baseline` — `max_batch = 1` (every request dispatched alone);
+//! 2. `batched` — `max_batch = 8` (compatible requests coalesce); the run
+//!    asserts this phase's throughput strictly exceeds the baseline's;
+//! 3. `mixed_overload` — a small queue under the same arrival schedule with
+//!    mixed priorities and a tight deadline on every 10th request, so
+//!    admission control sheds load and deadlines fire.
+//!
+//! Every phase asserts the zero-lost-response invariant: each accepted
+//! request resolves to exactly one response.
+
+use std::env;
+use std::time::{Duration, Instant};
+
+use chambolle_bench::workloads::timing_frame;
+use chambolle_core::ChambolleParams;
+use chambolle_imaging::Image;
+use chambolle_service::{
+    Priority, RejectReason, Request, Service, ServiceConfig, ServiceError, Ticket, Workload,
+};
+use chambolle_telemetry::json::JsonValue;
+
+/// Schema identifier checked by the smoke validation and downstream tools.
+const SCHEMA: &str = "chambolle.bench.v1";
+/// Benchmark identifier within the schema.
+const BENCH: &str = "pr4";
+/// Pool size for every phase.
+const THREADS: usize = 4;
+
+struct PhaseSpec<'a> {
+    name: &'a str,
+    max_batch: usize,
+    queue_capacity: usize,
+    /// Every n-th request is interactive (0 = none).
+    interactive_every: usize,
+    /// Every n-th request carries `deadline` (0 = none).
+    deadline_every: usize,
+    deadline: Duration,
+}
+
+struct PhaseResult {
+    name: String,
+    requests: usize,
+    accepted: u64,
+    rejected_full: u64,
+    completed: u64,
+    deadline_exceeded: u64,
+    cancelled: u64,
+    failed: u64,
+    wall_s: f64,
+    throughput_rps: f64,
+    shed_rate: f64,
+    p50_us: u64,
+    p99_us: u64,
+    mean_batch_size: f64,
+    max_batch_size: usize,
+    batches: u64,
+}
+
+impl PhaseResult {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), self.name.as_str().into()),
+            ("requests".into(), (self.requests as u64).into()),
+            ("accepted".into(), self.accepted.into()),
+            ("rejected_full".into(), self.rejected_full.into()),
+            ("completed".into(), self.completed.into()),
+            ("deadline_exceeded".into(), self.deadline_exceeded.into()),
+            ("cancelled".into(), self.cancelled.into()),
+            ("failed".into(), self.failed.into()),
+            ("wall_s".into(), self.wall_s.into()),
+            ("throughput_rps".into(), self.throughput_rps.into()),
+            ("shed_rate".into(), self.shed_rate.into()),
+            ("p50_us".into(), self.p50_us.into()),
+            ("p99_us".into(), self.p99_us.into()),
+            ("mean_batch_size".into(), self.mean_batch_size.into()),
+            ("max_batch_size".into(), (self.max_batch_size as u64).into()),
+            ("batches".into(), self.batches.into()),
+        ])
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample set (`p` in 0..=100).
+fn percentile_us(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_phase(
+    spec: &PhaseSpec<'_>,
+    n: usize,
+    interval: Duration,
+    input: &Image,
+    params: &ChambolleParams,
+) -> PhaseResult {
+    let config = ServiceConfig::new(THREADS, spec.queue_capacity).with_max_batch(spec.max_batch);
+    let service = Service::spawn(config);
+
+    // Open loop: request i is submitted at start + i*interval, whether or
+    // not earlier requests have finished. A full queue sheds the request;
+    // the schedule keeps going.
+    let start = Instant::now();
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(n);
+    for i in 0..n {
+        let due = interval * i as u32;
+        let now = start.elapsed();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let mut request = Request::new(Workload::Denoise {
+            input: input.clone(),
+            params: *params,
+        });
+        if spec.interactive_every > 0 && i % spec.interactive_every == 0 {
+            request = request.with_priority(Priority::Interactive);
+        }
+        if spec.deadline_every > 0 && i % spec.deadline_every == 0 {
+            request = request.with_deadline(spec.deadline);
+        }
+        match service.handle().submit(request) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(RejectReason::QueueFull { .. }) => {} // counted by the service
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+
+    // Drain: every accepted ticket must resolve.
+    let mut latencies: Vec<u64> = Vec::with_capacity(tickets.len());
+    let mut batch_sizes: Vec<usize> = Vec::with_capacity(tickets.len());
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(done) => {
+                latencies.push(done.total_us);
+                batch_sizes.push(done.batch_size);
+            }
+            Err(ServiceError::DeadlineExceeded | ServiceError::Cancelled) => {}
+            Err(other) => panic!("request lost: {other}"),
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let summary = service.shutdown();
+    let stats = summary.stats;
+    assert_eq!(
+        stats.in_flight(),
+        0,
+        "phase {}: every accepted request must be responded to",
+        spec.name
+    );
+    assert_eq!(
+        stats.completed as usize,
+        latencies.len(),
+        "phase {}: completion count must match collected responses",
+        spec.name
+    );
+
+    let mean_batch_size = if batch_sizes.is_empty() {
+        0.0
+    } else {
+        batch_sizes.iter().sum::<usize>() as f64 / batch_sizes.len() as f64
+    };
+    let result = PhaseResult {
+        name: spec.name.into(),
+        requests: n,
+        accepted: stats.accepted,
+        rejected_full: stats.rejected_full,
+        completed: stats.completed,
+        deadline_exceeded: stats.deadline_exceeded,
+        cancelled: stats.cancelled,
+        failed: stats.failed,
+        wall_s,
+        throughput_rps: stats.completed as f64 / wall_s,
+        shed_rate: stats.rejected_full as f64 / n as f64,
+        p50_us: percentile_us(&mut latencies, 50.0),
+        p99_us: percentile_us(&mut latencies, 99.0),
+        mean_batch_size,
+        max_batch_size: batch_sizes.iter().copied().max().unwrap_or(0),
+        batches: stats.batches,
+    };
+    eprintln!(
+        "  {:<16} {:>4} reqs: {:>7.1} req/s, p50 {:>7} us, p99 {:>8} us, shed {:>4.1}%, mean batch {:.2} (max {})",
+        result.name,
+        result.requests,
+        result.throughput_rps,
+        result.p50_us,
+        result.p99_us,
+        100.0 * result.shed_rate,
+        result.mean_batch_size,
+        result.max_batch_size,
+    );
+    result
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+
+    // Smoke keeps CI fast (200 mixed-priority requests); the full run uses
+    // a heavier frame so solve time dominates dispatch overhead.
+    let (n, size, iters, interval) = if smoke {
+        (200usize, 48usize, 30u32, Duration::from_micros(300))
+    } else {
+        (400, 96, 60, Duration::from_millis(1))
+    };
+    let input: Image = timing_frame(size, size);
+    let params = ChambolleParams::with_iterations(iters);
+    eprintln!(
+        "loadgen: {n} denoise requests of {size}x{size} @{iters} iters, {THREADS} threads ({} mode)",
+        mode(smoke)
+    );
+
+    // Best-of-2 on the timed phases damps scheduler noise (the margin on a
+    // core-starved machine comes from dispatch amortization alone).
+    let best_of = |spec: &PhaseSpec<'_>| -> PhaseResult {
+        let first = run_phase(spec, n, interval, &input, &params);
+        let second = run_phase(spec, n, interval, &input, &params);
+        if second.throughput_rps > first.throughput_rps {
+            second
+        } else {
+            first
+        }
+    };
+    let baseline = best_of(&PhaseSpec {
+        name: "baseline",
+        max_batch: 1,
+        queue_capacity: n + 8,
+        interactive_every: 4,
+        deadline_every: 0,
+        deadline: Duration::ZERO,
+    });
+    let batched = best_of(&PhaseSpec {
+        name: "batched",
+        max_batch: 8,
+        queue_capacity: n + 8,
+        interactive_every: 4,
+        deadline_every: 0,
+        deadline: Duration::ZERO,
+    });
+    let overload = run_phase(
+        &PhaseSpec {
+            name: "mixed_overload",
+            max_batch: 8,
+            queue_capacity: 16,
+            interactive_every: 4,
+            deadline_every: 10,
+            deadline: Duration::from_millis(25),
+        },
+        n,
+        interval,
+        &input,
+        &params,
+    );
+
+    let speedup = batched.throughput_rps / baseline.throughput_rps;
+    eprintln!(
+        "  batching speedup: {speedup:.2}x ({:.1} -> {:.1} req/s)",
+        baseline.throughput_rps, batched.throughput_rps
+    );
+    // The strictly-higher-throughput criterion needs actual parallelism: on
+    // a single-CPU host a 4-thread batch cannot beat serial execution, so
+    // the comparison is recorded but not enforced there.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores > 1 {
+        assert!(
+            batched.throughput_rps > baseline.throughput_rps,
+            "batching must sustain strictly higher throughput than serialize-per-request \
+             ({:.1} vs {:.1} req/s on {cores} cores)",
+            batched.throughput_rps,
+            baseline.throughput_rps
+        );
+    } else {
+        eprintln!("  (single-CPU host: throughput comparison recorded, not enforced)");
+    }
+    assert!(
+        batched.max_batch_size > 1,
+        "the batched phase must actually coalesce requests"
+    );
+
+    let report = JsonValue::Object(vec![
+        ("schema".into(), SCHEMA.into()),
+        ("bench".into(), BENCH.into()),
+        ("mode".into(), mode(smoke).into()),
+        ("threads".into(), (THREADS as u64).into()),
+        (
+            "phases".into(),
+            JsonValue::Array(vec![
+                baseline.to_json(),
+                batched.to_json(),
+                overload.to_json(),
+            ]),
+        ),
+        (
+            "comparison".into(),
+            JsonValue::Object(vec![
+                ("baseline_rps".into(), baseline.throughput_rps.into()),
+                ("batched_rps".into(), batched.throughput_rps.into()),
+                ("speedup".into(), speedup.into()),
+                ("baseline_p99_us".into(), baseline.p99_us.into()),
+                ("batched_p99_us".into(), batched.p99_us.into()),
+            ]),
+        ),
+    ]);
+    let text = report.to_string_pretty();
+    validate(&text).unwrap_or_else(|e| {
+        eprintln!("emitted report failed schema validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out_path, format!("{text}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    println!("{text}");
+}
+
+fn mode(smoke: bool) -> &'static str {
+    if smoke {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+/// Checks the emitted document against the stable shape downstream tooling
+/// relies on: schema/bench identifiers, all three phases with every field,
+/// and the comparison block.
+fn validate(text: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("schema must be {SCHEMA:?}"));
+    }
+    if doc.get("bench").and_then(JsonValue::as_str) != Some(BENCH) {
+        return Err(format!("bench must be {BENCH:?}"));
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("mode must be full|smoke, got {other:?}")),
+    }
+    let phases = doc
+        .get("phases")
+        .and_then(JsonValue::as_array)
+        .ok_or("phases must be an array")?;
+    if phases.len() != 3 {
+        return Err(format!("expected 3 phases, got {}", phases.len()));
+    }
+    for phase in phases {
+        for field in [
+            "name",
+            "requests",
+            "accepted",
+            "rejected_full",
+            "completed",
+            "deadline_exceeded",
+            "wall_s",
+            "throughput_rps",
+            "shed_rate",
+            "p50_us",
+            "p99_us",
+            "mean_batch_size",
+            "max_batch_size",
+            "batches",
+        ] {
+            if phase.get(field).is_none() {
+                return Err(format!("phase entry missing {field:?}"));
+            }
+        }
+    }
+    for field in [
+        "baseline_rps",
+        "batched_rps",
+        "speedup",
+        "baseline_p99_us",
+        "batched_p99_us",
+    ] {
+        if doc
+            .get_path(&format!("comparison.{field}"))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!("comparison block missing {field:?}"));
+        }
+    }
+    Ok(())
+}

@@ -31,9 +31,10 @@ use std::fmt;
 use chambolle_imaging::Grid;
 use chambolle_telemetry::{names, Telemetry};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::diagnostics::{chambolle_denoise_monitored, SolveReport};
 use crate::params::{ChambolleParams, InvalidParamsError};
-use crate::solver::{rof_energy, SequentialSolver, TvDenoiser};
+use crate::solver::{chambolle_denoise_cancellable, rof_energy, SequentialSolver, TvDenoiser};
 use crate::tiling::{TileConfig, TiledSolver};
 
 /// One corrective step taken by a guarded solver path.
@@ -213,6 +214,9 @@ pub enum GuardError {
     /// Every recovery avenue (retries, step backoff, fallback) was exhausted
     /// without producing a valid output.
     Unrecoverable(RecoveryReport),
+    /// The solve was cancelled via a [`CancelToken`]
+    /// (see [`guarded_denoise_cancellable`]).
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for GuardError {
@@ -223,6 +227,7 @@ impl fmt::Display for GuardError {
             GuardError::Unrecoverable(report) => {
                 write!(f, "recovery exhausted: {report}")
             }
+            GuardError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -231,6 +236,7 @@ impl std::error::Error for GuardError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GuardError::InvalidParams(e) => Some(e),
+            GuardError::Cancelled(c) => Some(c),
             _ => None,
         }
     }
@@ -486,6 +492,59 @@ impl<P: TvDenoiser, F: TvDenoiser> TvDenoiser for GuardedDenoiser<P, F> {
     fn name(&self) -> &str {
         "guarded"
     }
+}
+
+/// The guarded solve of [`GuardedDenoiser::denoise_checked`] in cancellable
+/// form: scrub, run the cancellable sequential solver, validate, retry, and
+/// finally give up — with a cooperative cancellation poll between every
+/// Chambolle iteration.
+///
+/// This is the path a request service routes denoise work through: faults
+/// degrade per-request (structured [`GuardError`], never a panic), and a
+/// deadline or explicit cancellation aborts the solve at the next iteration
+/// boundary without poisoning any shared state. With an uncancelled token
+/// the output is bit-identical to
+/// `GuardedDenoiser::new(SequentialSolver::new())`.
+///
+/// # Errors
+///
+/// [`GuardError::Cancelled`] when `token` fires mid-solve;
+/// [`GuardError::InvalidParams`] / [`GuardError::EmptyInput`] for inputs no
+/// backend could serve; [`GuardError::Unrecoverable`] when retries are
+/// exhausted.
+pub fn guarded_denoise_cancellable(
+    v: &Grid<f32>,
+    params: &ChambolleParams,
+    policy: &RecoveryPolicy,
+    token: &CancelToken,
+) -> Result<(Grid<f32>, RecoveryReport), GuardError> {
+    validate_solvable(params)?;
+    if v.is_empty() {
+        return Err(GuardError::EmptyInput);
+    }
+    let mut report = RecoveryReport::default();
+    let mut input = v.clone();
+    let scrubbed = scrub_non_finite(&mut input);
+    if scrubbed > 0 {
+        report.detections += 1;
+        report
+            .actions
+            .push(RecoveryAction::ScrubbedInput { cells: scrubbed });
+    }
+
+    for attempt in 0..=policy.max_retries {
+        if attempt > 0 {
+            report.actions.push(RecoveryAction::Retry { attempt });
+        }
+        let (u, _) =
+            chambolle_denoise_cancellable(&input, params, token).map_err(GuardError::Cancelled)?;
+        if output_is_valid(&u, &input, params.theta, policy.check_energy) {
+            return Ok((u, report));
+        }
+        report.detections += 1;
+    }
+    report.degraded = true;
+    Err(GuardError::Unrecoverable(report))
 }
 
 /// Divergence-aware monitored solve: runs [`chambolle_denoise_monitored`],
@@ -832,6 +891,36 @@ mod tests {
         for action in &report.actions {
             assert!(!action.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn cancellable_guard_matches_guarded_denoiser_bit_for_bit() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let mut v = noisy(16, 12, 12);
+        v[(3, 3)] = f32::NAN; // exercise the scrub path too
+        let policy = RecoveryPolicy::default();
+        let guard = GuardedDenoiser::new(SequentialSolver::new()).with_policy(policy);
+        let (u_ref, rep_ref) = guard.denoise_checked(&v, &params(15)).unwrap();
+        let (u_canc, rep_canc) =
+            guarded_denoise_cancellable(&v, &params(15), &policy, &CancelToken::new()).unwrap();
+        assert_eq!(u_ref.as_slice(), u_canc.as_slice());
+        assert_eq!(rep_ref.actions, rep_canc.actions);
+
+        // Cancellation surfaces as a structured GuardError with a source.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = guarded_denoise_cancellable(&v, &params(15), &policy, &token).unwrap_err();
+        match err {
+            GuardError::Cancelled(c) => assert_eq!(c.reason, CancelReason::Explicit),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // Validation errors still win over cancellation checks.
+        let mut bad = params(10);
+        bad.iterations = 0;
+        assert!(matches!(
+            guarded_denoise_cancellable(&v, &bad, &policy, &token),
+            Err(GuardError::InvalidParams(_))
+        ));
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   profiling that reproduces the "~90% of time in Chambolle" claim;
 //! - [`guard`] — the guarded solver pipeline: input scrubbing, divergence
 //!   detection over the duality gap, and graceful degradation to the
-//!   sequential reference with a structured [`RecoveryReport`].
+//!   sequential reference with a structured [`RecoveryReport`];
+//! - [`cancel`] — cooperative cancellation and deadlines ([`CancelToken`])
+//!   polled at iteration boundaries by the `*_cancellable` solver entry
+//!   points, the hooks a long-running request service builds on.
 //!
 //! # Examples
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod block_matching;
+pub mod cancel;
 pub mod decomposition;
 pub mod dependency;
 pub mod diagnostics;
@@ -55,6 +59,7 @@ pub mod tvl1;
 pub mod weighted;
 
 pub use block_matching::{block_matching_flow, BlockMatchingParams};
+pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use decomposition::{compute_group_decomposed, DecomposedStats, GroupRect};
 pub use diagnostics::{
     chambolle_denoise_monitored, chambolle_denoise_monitored_with_telemetry, duality_gap,
@@ -62,20 +67,21 @@ pub use diagnostics::{
     try_rof_dual_energy, ConvergencePoint, SolveReport,
 };
 pub use guard::{
-    guarded_denoise_monitored, output_is_valid, scrub_non_finite, validate_solvable, GuardError,
-    GuardedDenoiser, RecoveryAction, RecoveryPolicy, RecoveryReport,
+    guarded_denoise_cancellable, guarded_denoise_monitored, output_is_valid, scrub_non_finite,
+    validate_solvable, GuardError, GuardedDenoiser, RecoveryAction, RecoveryPolicy, RecoveryReport,
 };
 pub use horn_schunck::{HornSchunck, HornSchunckParams};
 pub use params::{ChambolleParams, InvalidParamsError, TvL1Params};
 pub use real::Real;
 pub use solver::{
-    chambolle_denoise, chambolle_iterate, chambolle_iterate_parallel, recover_u, rof_energy,
+    chambolle_denoise, chambolle_denoise_cancellable, chambolle_iterate,
+    chambolle_iterate_cancellable, chambolle_iterate_parallel, recover_u, rof_energy,
     try_rof_energy, Convention, DualField, ParallelSolver, SequentialSolver, TvDenoiser,
 };
 pub use tiling::{
-    chambolle_iterate_tiled, chambolle_iterate_tiled_spawn_baseline,
-    chambolle_iterate_tiled_with_pool, chambolle_iterate_tiled_with_telemetry, Tile, TileConfig,
-    TilePlan, TiledSolver,
+    chambolle_iterate_tiled, chambolle_iterate_tiled_cancellable,
+    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_with_pool,
+    chambolle_iterate_tiled_with_telemetry, Tile, TileConfig, TilePlan, TiledSolver,
 };
 pub use tvl1::{threshold_step, FlowError, FlowStats, TvL1Solver, VideoFlowTracker};
 pub use weighted::{chambolle_denoise_weighted, edge_stopping_weights, weighted_rof_energy};

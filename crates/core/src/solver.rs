@@ -21,6 +21,7 @@ use std::sync::Arc;
 use chambolle_imaging::Grid;
 use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::kernels::{fused_band_iteration, BandHalo, BelowHalo};
 use crate::ops::{div_x_at, div_y_at, total_variation};
 use crate::params::{ChambolleParams, InvalidParamsError};
@@ -165,6 +166,39 @@ pub fn chambolle_iterate<R: Real>(
     }
 }
 
+/// [`chambolle_iterate`] with a cooperative cancellation poll between
+/// iterations.
+///
+/// On cancellation `p` holds the state after the last *completed* iteration —
+/// exactly a state the uncancelled run would also have passed through — so a
+/// caller may resume, discard, or recover `u` from it safely.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if `token` reports cancellation before all
+/// `iterations` complete.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_cancellable<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    token: &CancelToken,
+) -> Result<(), Cancelled> {
+    let inv_theta = R::ONE / R::from_f32(params.theta);
+    let step_ratio = R::from_f32(params.step_ratio());
+    let mut term = Grid::new(v.width(), v.height(), R::ZERO);
+    for _ in 0..iterations {
+        token.check()?;
+        compute_term_into(p, v, inv_theta, &mut term);
+        update_p_inplace(p, &term, step_ratio, Convention::Standard);
+    }
+    Ok(())
+}
+
 /// Recovers the primal solution `u = v − θ·div p` (Algorithm 1, line 9).
 ///
 /// # Panics
@@ -191,6 +225,26 @@ pub fn chambolle_denoise<R: Real>(
     chambolle_iterate(&mut p, v, params, params.iterations);
     let u = recover_u(v, &p, params.theta);
     (u, p)
+}
+
+/// [`chambolle_denoise`] with a cooperative cancellation poll between
+/// iterations.
+///
+/// Bit-identical to [`chambolle_denoise`] when it runs to completion.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if `token` reports cancellation before the solve
+/// finishes; no partial output is produced.
+pub fn chambolle_denoise_cancellable<R: Real>(
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    token: &CancelToken,
+) -> Result<(Grid<R>, DualField<R>), Cancelled> {
+    let mut p = DualField::zeros(v.width(), v.height());
+    chambolle_iterate_cancellable(&mut p, v, params, params.iterations, token)?;
+    let u = recover_u(v, &p, params.theta);
+    Ok((u, p))
 }
 
 /// The ROF primal energy `TV(u) + ‖u − v‖² / (2θ)` the iteration minimizes.
@@ -673,6 +727,32 @@ mod tests {
         let u = solver.denoise(&v, &params(5));
         assert_eq!(u.dims(), (8, 8));
         assert_eq!(solver.name(), "sequential");
+    }
+
+    #[test]
+    fn cancellable_solve_matches_plain_solve_bit_for_bit() {
+        let v = noisy_step(18, 14, 23).map(|&x| x as f32);
+        let pr = params(40);
+        let (u_plain, p_plain) = chambolle_denoise(&v, &pr);
+        let token = crate::cancel::CancelToken::new();
+        let (u_canc, p_canc) = chambolle_denoise_cancellable(&v, &pr, &token).unwrap();
+        assert_eq!(u_plain.as_slice(), u_canc.as_slice());
+        assert_eq!(p_plain.px.as_slice(), p_canc.px.as_slice());
+        assert_eq!(p_plain.py.as_slice(), p_canc.py.as_slice());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_first_iteration() {
+        let v = noisy_step(10, 10, 29).map(|&x| x as f32);
+        let token = crate::cancel::CancelToken::new();
+        token.cancel();
+        let err = chambolle_denoise_cancellable(&v, &params(50), &token).unwrap_err();
+        assert_eq!(err.reason, crate::cancel::CancelReason::Explicit);
+        // The dual state after a cancelled iterate is the last completed one:
+        // cancelling before iteration 0 leaves the zero field untouched.
+        let mut p = DualField::zeros(10, 10);
+        let _ = chambolle_iterate_cancellable(&mut p, &v, &params(50), 50, &token);
+        assert!(p.max_norm() == 0.0);
     }
 
     #[test]

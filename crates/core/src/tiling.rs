@@ -31,6 +31,7 @@ use chambolle_imaging::Grid;
 use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 use chambolle_telemetry::{names, Telemetry};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::kernels::{fused_band_iteration, BandHalo};
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
@@ -375,9 +376,64 @@ pub fn chambolle_iterate_tiled_with_pool<R: Real>(
     pool: &ThreadPool,
     telemetry: &Telemetry,
 ) {
+    iterate_tiled_pooled_impl(p, v, params, iterations, config, pool, telemetry, None)
+        .expect("uncancellable tiled iterate cannot be cancelled");
+}
+
+/// [`chambolle_iterate_tiled_with_pool`] with a cooperative cancellation
+/// poll between rounds.
+///
+/// Rounds are the natural boundary: within a round the windows run to
+/// completion (a round is one pool broadcast), and after each round `p`
+/// holds exactly the global state after `rounds × K` iterations — a state
+/// the sequential iteration also passes through. A cancelled call therefore
+/// never leaves `p` mid-write, and the pool remains fully reusable.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if `token` reports cancellation before all
+/// `iterations` complete.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+#[allow(clippy::too_many_arguments)]
+pub fn chambolle_iterate_tiled_cancellable<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+    pool: &ThreadPool,
+    telemetry: &Telemetry,
+    token: &CancelToken,
+) -> Result<(), Cancelled> {
+    iterate_tiled_pooled_impl(
+        p,
+        v,
+        params,
+        iterations,
+        config,
+        pool,
+        telemetry,
+        Some(token),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn iterate_tiled_pooled_impl<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+    pool: &ThreadPool,
+    telemetry: &Telemetry,
+    token: Option<&CancelToken>,
+) -> Result<(), Cancelled> {
     assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
     if iterations == 0 {
-        return;
+        return Ok(());
     }
     let (w, h) = v.dims();
     let plan = TilePlan::new(w, h, *config);
@@ -397,6 +453,9 @@ pub fn chambolle_iterate_tiled_with_pool<R: Real>(
 
     let mut remaining = iterations;
     while remaining > 0 {
+        if let Some(token) = token {
+            token.check()?;
+        }
         let k = remaining.min(config.merge_factor);
         let round_span = telemetry.span("tiling.round");
         {
@@ -432,6 +491,7 @@ pub fn chambolle_iterate_tiled_with_pool<R: Real>(
         telemetry.observe(names::TILING_WINDOWS_PER_ROUND, tiles.len() as f64);
         remaining -= k;
     }
+    Ok(())
 }
 
 /// Loads one window into the worker's scratch and runs `k` fused local
@@ -945,6 +1005,74 @@ mod tests {
         assert_eq!(p_seq.px.as_slice(), p_base.px.as_slice());
         assert_eq!(p_seq.px.as_slice(), p_tile.px.as_slice());
         assert_eq!(p_seq.py.as_slice(), p_tile.py.as_slice());
+    }
+
+    #[test]
+    fn cancellable_tiled_iterate_matches_and_cancels_between_rounds() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let v = random_image(40, 30, 55);
+        let pr = params(7);
+        let cfg = TileConfig::new(18, 14, 3, 2).unwrap();
+        let pool = ThreadPool::new(2);
+
+        // Uncancelled run is bit-identical to the plain pooled path.
+        let mut p_plain = DualField::zeros(40, 30);
+        chambolle_iterate_tiled_with_pool(
+            &mut p_plain,
+            &v,
+            &pr,
+            7,
+            &cfg,
+            &pool,
+            &Telemetry::disabled(),
+        );
+        let mut p_canc = DualField::zeros(40, 30);
+        chambolle_iterate_tiled_cancellable(
+            &mut p_canc,
+            &v,
+            &pr,
+            7,
+            &cfg,
+            &pool,
+            &Telemetry::disabled(),
+            &CancelToken::new(),
+        )
+        .unwrap();
+        assert_eq!(p_plain.px.as_slice(), p_canc.px.as_slice());
+        assert_eq!(p_plain.py.as_slice(), p_canc.py.as_slice());
+
+        // A pre-cancelled token stops before round 0 and the pool survives
+        // for the next (successful) solve.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut p_stop = DualField::zeros(40, 30);
+        let err = chambolle_iterate_tiled_cancellable(
+            &mut p_stop,
+            &v,
+            &pr,
+            7,
+            &cfg,
+            &pool,
+            &Telemetry::disabled(),
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(err.reason, CancelReason::Explicit);
+        assert_eq!(
+            p_stop.px.as_slice(),
+            DualField::<f32>::zeros(40, 30).px.as_slice()
+        );
+        let mut p_after = DualField::zeros(40, 30);
+        chambolle_iterate_tiled_with_pool(
+            &mut p_after,
+            &v,
+            &pr,
+            7,
+            &cfg,
+            &pool,
+            &Telemetry::disabled(),
+        );
+        assert_eq!(p_plain.px.as_slice(), p_after.px.as_slice());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 use chambolle_imaging::{upsample_flow_component, FlowField, Image, Pyramid, WarpLinearization};
 use chambolle_par::ThreadPool;
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::params::TvL1Params;
 use crate::solver::{SequentialSolver, TvDenoiser};
 
@@ -113,6 +114,40 @@ impl<D: TvDenoiser> TvL1Solver<D> {
         i1: &Image,
         init: Option<&FlowField>,
     ) -> Result<(FlowField, FlowStats), FlowError> {
+        self.flow_impl(i0, i1, init, None)
+    }
+
+    /// [`TvL1Solver::flow_with_init`] with a cooperative cancellation poll
+    /// at every outer-iteration boundary (so also between warps and between
+    /// pyramid levels).
+    ///
+    /// Bit-identical to the uncancellable path when it runs to completion.
+    /// On cancellation the partial flow is discarded, nothing observable is
+    /// mutated, and any attached pool is left fully reusable — the next
+    /// solve on the same solver produces bit-identical output to a fresh
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] if `token` fires mid-solve, plus
+    /// the usual input-validation errors.
+    pub fn flow_cancellable(
+        &self,
+        i0: &Image,
+        i1: &Image,
+        init: Option<&FlowField>,
+        token: &CancelToken,
+    ) -> Result<(FlowField, FlowStats), FlowError> {
+        self.flow_impl(i0, i1, init, Some(token))
+    }
+
+    fn flow_impl(
+        &self,
+        i0: &Image,
+        i1: &Image,
+        init: Option<&FlowField>,
+        token: Option<&CancelToken>,
+    ) -> Result<(FlowField, FlowStats), FlowError> {
         if i0.dims() != i1.dims() {
             return Err(FlowError::DimensionMismatch {
                 first: i0.dims(),
@@ -174,6 +209,9 @@ impl<D: TvDenoiser> TvL1Solver<D> {
                     None => WarpLinearization::new(l0, l1, &u),
                 };
                 for _ in 0..self.params.outer_iterations {
+                    if let Some(token) = token {
+                        token.check().map_err(FlowError::Cancelled)?;
+                    }
                     let v = threshold_step(&lin, &u, self.params.lambda, self.params.inner.theta);
                     let t0 = Instant::now();
                     let u1 = self.inner.denoise(&v.u1, &self.params.inner);
@@ -368,6 +406,9 @@ pub enum FlowError {
     },
     /// A frame has zero pixels.
     EmptyInput,
+    /// The solve was cancelled via a [`CancelToken`]
+    /// (see [`TvL1Solver::flow_cancellable`]).
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for FlowError {
@@ -379,6 +420,7 @@ impl fmt::Display for FlowError {
                 first.0, first.1, second.0, second.1
             ),
             FlowError::EmptyInput => write!(f, "input frames are empty"),
+            FlowError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -629,6 +671,43 @@ mod tests {
         );
         assert_eq!(stats.warps, p.warps);
         assert!(stats.levels <= p.pyramid_levels);
+    }
+
+    #[test]
+    fn cancellable_flow_matches_plain_flow_bit_for_bit() {
+        let scene = NoiseTexture::new(44);
+        let pair = render_pair(&scene, 48, 36, Motion::Translation { du: 1.0, dv: 0.5 });
+        let solver = TvL1Solver::sequential(fast_params());
+        let (plain, _) = solver.flow(&pair.i0, &pair.i1).unwrap();
+        let (canc, _) = solver
+            .flow_cancellable(&pair.i0, &pair.i1, None, &crate::cancel::CancelToken::new())
+            .unwrap();
+        assert_eq!(plain.u1.as_slice(), canc.u1.as_slice());
+        assert_eq!(plain.u2.as_slice(), canc.u2.as_slice());
+    }
+
+    #[test]
+    fn cancelled_flow_returns_clean_error_and_solver_stays_usable() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let scene = NoiseTexture::new(45);
+        let pair = render_pair(&scene, 48, 36, Motion::Translation { du: 1.0, dv: 0.0 });
+        let solver = TvL1Solver::sequential(fast_params());
+        let token = CancelToken::new();
+        token.cancel();
+        let err = solver
+            .flow_cancellable(&pair.i0, &pair.i1, None, &token)
+            .unwrap_err();
+        match err {
+            FlowError::Cancelled(c) => assert_eq!(c.reason, CancelReason::Explicit),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(err.to_string().contains("cancelled"));
+        // The same solver still produces the reference flow afterwards.
+        let (reference, _) = TvL1Solver::sequential(fast_params())
+            .flow(&pair.i0, &pair.i1)
+            .unwrap();
+        let (after, _) = solver.flow(&pair.i0, &pair.i1).unwrap();
+        assert_eq!(reference.u1.as_slice(), after.u1.as_slice());
     }
 
     #[test]

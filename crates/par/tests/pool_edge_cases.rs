@@ -1,0 +1,100 @@
+//! Shutdown and reuse edge cases of the persistent worker pool.
+//!
+//! These pin down lifecycle behaviour the service layer depends on: a pool
+//! must drop cleanly right after heavy use, stay reusable across sequential
+//! scoped jobs, and survive a propagated panic with its workers intact.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use chambolle_par::ThreadPool;
+
+#[test]
+fn dropping_a_pool_right_after_queued_tile_work_joins_cleanly() {
+    // Many more tiles than workers, so the steal queue is saturated right up
+    // to the drop. Every tile must have run exactly once before drop joins.
+    let counter = AtomicUsize::new(0);
+    let tiles = 512;
+    {
+        let pool = ThreadPool::new(4);
+        pool.parallel_tiles("edge.drop", tiles, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        // Drop happens here, immediately after the last broadcast.
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), tiles);
+}
+
+#[test]
+fn one_pool_serves_two_sequential_scoped_jobs_over_different_borrows() {
+    let pool = ThreadPool::new(3);
+
+    // First scoped job borrows one stack buffer...
+    let mut first = vec![0u32; 97];
+    pool.parallel_chunks_mut("edge.job1", &mut first, 8, |_, chunk| {
+        for cell in chunk {
+            *cell += 1;
+        }
+    });
+    assert!(first.iter().all(|&v| v == 1));
+
+    // ...and after it fully completes, a second job borrows another. The
+    // borrow of `first` has ended, so the pool must be back to idle with no
+    // stragglers holding the old closure.
+    let mut second = vec![10u32; 41];
+    pool.parallel_chunks_mut("edge.job2", &mut second, 5, |_, chunk| {
+        for cell in chunk {
+            *cell *= 2;
+        }
+    });
+    assert!(second.iter().all(|&v| v == 20));
+
+    let stats = pool.stats();
+    assert!(stats.broadcasts >= 2, "both jobs used the workers");
+}
+
+#[test]
+fn panic_in_parallel_chunks_mut_propagates_and_pool_stays_usable() {
+    let pool = ThreadPool::new(4);
+    let mut data = vec![0u8; 256];
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        pool.parallel_chunks_mut("edge.panic", &mut data, 16, |_, chunk| {
+            if chunk[0] == 0 {
+                panic!("injected chunk failure");
+            }
+        });
+    }));
+    let payload = outcome.expect_err("the worker panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("non-str payload");
+    assert!(msg.contains("injected"), "got {msg:?}");
+
+    // The pool is not poisoned: the same instance completes follow-up work
+    // on all workers.
+    let seen = Mutex::new(Vec::new());
+    pool.parallel_tiles("edge.after_panic", 64, |_, tile| {
+        seen.lock().unwrap().push(tile);
+    });
+    let mut seen = seen.into_inner().unwrap();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..64).collect::<Vec<_>>());
+}
+
+#[test]
+fn arc_shared_pool_drops_cleanly_from_a_worker_less_owner() {
+    // The service hands Arc<ThreadPool> clones around; the last owner to
+    // drop (possibly not the creator) must join the workers without
+    // deadlock.
+    let pool = Arc::new(ThreadPool::new(2));
+    let clone = Arc::clone(&pool);
+    let join = std::thread::spawn(move || {
+        clone.parallel_tiles("edge.arc", 32, |_, _| {});
+        // `clone` drops on this thread...
+    });
+    join.join().unwrap();
+    pool.parallel_tiles("edge.arc2", 8, |_, _| {});
+    drop(pool); // ...and the final owner drops here.
+}

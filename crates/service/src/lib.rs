@@ -1,0 +1,317 @@
+//! A long-running request service around the Chambolle solver stack.
+//!
+//! This crate turns the batch-oriented solvers of `chambolle-core` into a
+//! multi-client service with production semantics:
+//!
+//! - **Admission control** — a bounded submission queue that rejects with a
+//!   structured [`RejectReason`] (never blocks, never panics) when full,
+//!   draining, or handed an invalid workload, plus edge-triggered
+//!   high/low queue-depth watermark counters.
+//! - **Micro-batching** — compatible requests (same workload kind, same
+//!   dimensions, bit-identical parameters) coalesce into one shared-pool
+//!   dispatch, amortising dispatch overhead without changing any result:
+//!   a batched response is bit-identical to a solo response.
+//! - **Deadlines and cancellation** — per-request deadlines become
+//!   [`CancelToken`](chambolle_core::CancelToken)s polled at iteration
+//!   boundaries; a cancelled solve returns cleanly and leaves the pool
+//!   reusable.
+//! - **Priority lanes** — interactive requests are always dequeued before
+//!   batch requests.
+//! - **Graceful shutdown** — [`Service::shutdown`] stops admission, drains
+//!   every accepted request, and flushes a final telemetry
+//!   [`RunReport`](chambolle_telemetry::RunReport); zero accepted requests
+//!   are lost.
+//! - **A framed TCP front-end** — a hand-rolled length-prefixed binary
+//!   protocol over `std::net` ([`wire`], [`TcpServer`], [`ServiceClient`])
+//!   next to the in-process [`ServiceHandle`] API.
+//!
+//! Requests route through `core::guard`, and every stage (admit → queue →
+//! batch → solve → respond) emits `service.*` counters, gauges, and latency
+//! histograms.
+
+#![warn(missing_docs)]
+
+mod net;
+mod queue;
+mod request;
+mod service;
+pub mod wire;
+
+pub use net::{ServiceClient, TcpServer};
+pub use request::{
+    BatchKey, Completed, Output, Priority, RejectReason, Request, ServiceError, Workload,
+    WorkloadKind,
+};
+pub use service::{Service, ServiceConfig, ServiceHandle, ServiceStats, ShutdownSummary, Ticket};
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use chambolle_core::{ChambolleParams, SequentialSolver, TvDenoiser};
+    use chambolle_imaging::{Grid, NoiseTexture, Scene};
+    use chambolle_telemetry::{names, Telemetry};
+
+    use super::*;
+
+    fn noisy_input(w: usize, h: usize, seed: u64) -> Grid<f32> {
+        NoiseTexture::new(seed).render(w, h)
+    }
+
+    fn denoise_request(input: &Grid<f32>, iterations: u32) -> Request {
+        Request::new(Workload::Denoise {
+            input: input.clone(),
+            params: ChambolleParams::with_iterations(iterations),
+        })
+    }
+
+    #[test]
+    fn service_solves_a_request_matching_the_direct_solver() {
+        let input = noisy_input(24, 18, 7);
+        let params = ChambolleParams::with_iterations(25);
+        let service = Service::spawn(ServiceConfig::new(2, 8));
+        let ticket = service
+            .handle()
+            .submit(denoise_request(&input, 25))
+            .unwrap();
+        let done = ticket.wait().unwrap();
+        let expected = SequentialSolver::new().denoise(&input, &params);
+        assert_eq!(
+            done.output.as_denoised().unwrap().as_slice(),
+            expected.as_slice(),
+            "service output must be bit-identical to the direct solver"
+        );
+        let summary = service.shutdown();
+        assert_eq!(summary.stats.completed, 1);
+        assert_eq!(summary.stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn batched_responses_are_bit_identical_to_solo_responses() {
+        let inputs: Vec<Grid<f32>> = (0..6).map(|s| noisy_input(20, 20, 100 + s)).collect();
+
+        // Solo baseline: batching disabled.
+        let solo_service = Service::spawn(ServiceConfig::new(2, 16).with_max_batch(1));
+        let solo: Vec<Grid<f32>> = inputs
+            .iter()
+            .map(|input| {
+                let t = solo_service
+                    .handle()
+                    .submit(denoise_request(input, 30))
+                    .unwrap();
+                t.wait().unwrap().output.as_denoised().unwrap().clone()
+            })
+            .collect();
+        solo_service.shutdown();
+
+        // Batched: hold the dispatcher busy with a slow blocker so the six
+        // compatible requests pile up and coalesce.
+        let service = Service::spawn(ServiceConfig::new(2, 16).with_max_batch(8));
+        let blocker = service
+            .handle()
+            .submit(denoise_request(&noisy_input(96, 96, 1), 400))
+            .unwrap();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|input| service.handle().submit(denoise_request(input, 30)).unwrap())
+            .collect();
+        blocker.wait().unwrap();
+        let mut saw_coalesced_batch = false;
+        for (ticket, expected) in tickets.into_iter().zip(&solo) {
+            let done = ticket.wait().unwrap();
+            saw_coalesced_batch |= done.batch_size > 1;
+            assert_eq!(
+                done.output.as_denoised().unwrap().as_slice(),
+                expected.as_slice(),
+                "batched response must be bit-identical to the solo response"
+            );
+        }
+        assert!(
+            saw_coalesced_batch,
+            "the pile-up should have produced at least one multi-request batch"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_structured_reason_without_blocking() {
+        let service = Service::spawn(ServiceConfig::new(1, 2).with_max_batch(1));
+        let input = noisy_input(64, 64, 3);
+        // The blocker occupies the dispatcher while the queue fills.
+        let blocker = service
+            .handle()
+            .submit(denoise_request(&input, 400))
+            .unwrap();
+        let mut tickets = Vec::new();
+        let reason = loop {
+            match service.handle().submit(denoise_request(&input, 5)) {
+                Ok(t) => tickets.push(t),
+                Err(reason) => break reason,
+            }
+            assert!(
+                tickets.len() <= 3,
+                "queue of capacity 2 cannot admit this many"
+            );
+        };
+        assert!(
+            matches!(reason, RejectReason::QueueFull { capacity: 2, .. }),
+            "got {reason:?}"
+        );
+        blocker.wait().unwrap();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let summary = service.shutdown();
+        assert!(summary.stats.rejected_full >= 1);
+        assert_eq!(summary.stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn invalid_workloads_are_rejected_at_admission() {
+        let service = Service::spawn(ServiceConfig::default());
+        let mut params = ChambolleParams::with_iterations(5);
+        params.theta = -1.0;
+        let err = service
+            .handle()
+            .submit(Request::new(Workload::Denoise {
+                input: Grid::new(4, 4, 0.0f32),
+                params,
+            }))
+            .unwrap_err();
+        assert!(matches!(err, RejectReason::Invalid(_)));
+        let summary = service.shutdown();
+        assert_eq!(summary.stats.rejected_invalid, 1);
+        assert_eq!(summary.stats.accepted, 0);
+    }
+
+    #[test]
+    fn tight_deadline_resolves_to_deadline_exceeded() {
+        let service = Service::spawn(ServiceConfig::new(1, 8).with_max_batch(1));
+        let input = noisy_input(96, 96, 9);
+        // Occupy the dispatcher so the deadline fires while queued.
+        let blocker = service
+            .handle()
+            .submit(denoise_request(&input, 300))
+            .unwrap();
+        let doomed = service
+            .handle()
+            .submit(denoise_request(&input, 300).with_deadline(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(doomed.wait().unwrap_err(), ServiceError::DeadlineExceeded);
+        blocker.wait().unwrap();
+        let summary = service.shutdown();
+        assert_eq!(summary.stats.deadline_exceeded, 1);
+        assert_eq!(summary.stats.completed, 1);
+        assert_eq!(summary.stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn cancelled_ticket_resolves_cleanly_and_service_stays_deterministic() {
+        let input = noisy_input(32, 32, 21);
+        let service = Service::spawn(ServiceConfig::new(2, 8));
+        let victim = service
+            .handle()
+            .submit(denoise_request(&input, 2000))
+            .unwrap();
+        victim.cancel();
+        // Regardless of whether the cancel landed before or mid-solve, the
+        // ticket resolves; if it raced completion, that's also a response.
+        let outcome = victim.wait();
+        assert!(
+            matches!(outcome, Err(ServiceError::Cancelled) | Ok(_)),
+            "got {outcome:?}"
+        );
+        // The next request on the same service is unaffected.
+        let follow_up = service
+            .handle()
+            .submit(denoise_request(&input, 25))
+            .unwrap();
+        let done = follow_up.wait().unwrap();
+        let expected =
+            SequentialSolver::new().denoise(&input, &ChambolleParams::with_iterations(25));
+        assert_eq!(
+            done.output.as_denoised().unwrap().as_slice(),
+            expected.as_slice()
+        );
+        let summary = service.shutdown();
+        assert_eq!(summary.stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn shutdown_under_load_loses_zero_accepted_requests() {
+        let telemetry = Telemetry::null();
+        let service = Service::spawn_with_telemetry(ServiceConfig::new(2, 64), telemetry.clone());
+        let input = noisy_input(16, 16, 5);
+        let tickets: Vec<Ticket> = (0..20)
+            .map(|i| {
+                let priority = if i % 4 == 0 {
+                    Priority::Interactive
+                } else {
+                    Priority::Batch
+                };
+                service
+                    .handle()
+                    .submit(denoise_request(&input, 20).with_priority(priority))
+                    .unwrap()
+            })
+            .collect();
+        let accepted = tickets.len() as u64;
+        let summary = service.shutdown();
+        // Every accepted ticket must have a response waiting.
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(summary.stats.accepted, accepted);
+        assert_eq!(summary.stats.completed, accepted);
+        assert_eq!(summary.stats.in_flight(), 0);
+        // The final report is flushed with the service section present.
+        let report = summary.report.expect("telemetry enabled => report");
+        let json = report.to_json();
+        assert!(json
+            .get("sections")
+            .and_then(|s| s.get("service"))
+            .is_some());
+        assert!(
+            telemetry
+                .snapshot()
+                .counter(names::SERVICE_BATCHES)
+                .unwrap_or(0)
+                >= 1,
+            "dispatches must be counted"
+        );
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected_as_shutting_down() {
+        let service = Service::spawn(ServiceConfig::default());
+        let handle = service.handle().clone();
+        service.shutdown();
+        let err = handle
+            .submit(denoise_request(&noisy_input(8, 8, 1), 5))
+            .unwrap_err();
+        assert_eq!(err, RejectReason::ShuttingDown);
+    }
+
+    #[test]
+    fn tcp_front_end_round_trips_against_in_process_result() {
+        let input = noisy_input(16, 12, 77);
+        let params = ChambolleParams::with_iterations(15);
+        let service = Service::spawn(ServiceConfig::new(2, 8));
+        let server = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").unwrap();
+        let mut client = ServiceClient::connect(server.local_addr()).unwrap();
+        let response = client
+            .denoise(&input, &params, Priority::Interactive, None)
+            .unwrap();
+        let expected = SequentialSolver::new().denoise(&input, &params);
+        match response {
+            wire::WireResponse::Ok { output, .. } => {
+                assert_eq!(output.as_slice(), expected.as_slice());
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        drop(client);
+        server.shutdown();
+        let summary = service.shutdown();
+        assert_eq!(summary.stats.completed, 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Framed localhost TCP front-end over `std::net`.
+//!
+//! [`TcpServer`] accepts connections on a listener thread and speaks the
+//! [`wire`](crate::wire) protocol: each connection thread decodes request
+//! frames, submits them through a shared [`ServiceHandle`], and writes one
+//! response frame per request in request order. All threads poll a stop flag
+//! (the listener via non-blocking accept, connections via read timeouts), so
+//! [`TcpServer::shutdown`] converges without help from the peers.
+//!
+//! [`ServiceClient`] is the matching blocking client used by the examples,
+//! the e2e tests, and external tooling.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use chambolle_core::ChambolleParams;
+use chambolle_imaging::Grid;
+
+use crate::request::Priority;
+use crate::service::ServiceHandle;
+use crate::wire::{
+    decode_request, decode_response, encode_denoise_request, encode_err_response,
+    encode_ok_response, read_frame, reject_code, service_error_code, write_frame, ErrorCode,
+    WireResponse,
+};
+
+/// How often blocked I/O wakes up to poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The TCP front-end: a listener thread plus one thread per live connection.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// serving requests against `handle`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn bind<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("chambolle-service-accept".into())
+            .spawn(move || accept_loop(&listener, &handle, &stop_accept))?;
+        Ok(TcpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves the actual port of an ephemeral bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, waits for in-flight connections to finish their
+    /// current request/response exchanges, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        if let Ok(connections) = acceptor.join() {
+            for conn in connections {
+                let _ = conn.join();
+            }
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    handle: &ServiceHandle,
+    stop: &Arc<AtomicBool>,
+) -> Vec<JoinHandle<()>> {
+    let mut connections = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let handle = handle.clone();
+                let stop = Arc::clone(stop);
+                if let Ok(join) = std::thread::Builder::new()
+                    .name("chambolle-service-conn".into())
+                    .spawn(move || serve_connection(stream, &handle, &stop))
+                {
+                    connections.push(join);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    connections
+}
+
+fn serve_connection(mut stream: TcpStream, handle: &ServiceHandle, stop: &Arc<AtomicBool>) {
+    // Read with a timeout so the thread notices the stop flag even while a
+    // peer sits idle mid-connection.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame_interruptible(&mut stream, stop) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF or shutdown
+            Err(_) => return,
+        };
+        let response = match decode_request(&payload) {
+            Ok(wire_request) => {
+                let client_id = wire_request.id;
+                match handle.submit(wire_request.request) {
+                    Ok(ticket) => match ticket.wait() {
+                        Ok(completed) => match completed.output.as_denoised() {
+                            Some(grid) => encode_ok_response(client_id, grid),
+                            None => encode_err_response(
+                                client_id,
+                                false,
+                                ErrorCode::Protocol,
+                                "non-denoise output for a denoise request",
+                            ),
+                        },
+                        Err(err) => encode_err_response(
+                            client_id,
+                            false,
+                            service_error_code(&err),
+                            &err.to_string(),
+                        ),
+                    },
+                    Err(reason) => encode_err_response(
+                        client_id,
+                        true,
+                        reject_code(&reason),
+                        &reason.to_string(),
+                    ),
+                }
+            }
+            Err(protocol_err) => encode_err_response(0, true, ErrorCode::Protocol, &protocol_err),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Like [`read_frame`], but read timeouts loop back to a stop-flag check
+/// instead of failing, so a blocked read converges during shutdown.
+/// `Ok(None)` means clean EOF or shutdown-before-a-frame-started.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    if !read_exact_interruptible(stream, &mut prefix, stop, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > crate::wire::MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    // Once a frame has started, finish it even if shutdown begins: the
+    // response for an accepted request must still go out.
+    if !read_exact_interruptible(stream, &mut payload, stop, false)? {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    Ok(Some(payload))
+}
+
+/// Fills `buf`, retrying across read timeouts. Returns `Ok(false)` on clean
+/// EOF before any byte, or when `interruptible` and the stop flag rises
+/// between bytes of nothing.
+fn read_exact_interruptible(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &Arc<AtomicBool>,
+    interruptible: bool,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if interruptible && filled == 0 && stop.load(Ordering::Acquire) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Blocking client for the framed protocol.
+#[derive(Debug)]
+pub struct ServiceClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// Connects to a [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// Connection I/O errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServiceClient { stream, next_id: 1 })
+    }
+
+    /// One blocking denoise round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as `io::Error`; service-level rejections/failures
+    /// come back as the `WireResponse::Err` variant.
+    pub fn denoise(
+        &mut self,
+        input: &Grid<f32>,
+        params: &ChambolleParams,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> io::Result<WireResponse> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = encode_denoise_request(id, priority, deadline, params, input);
+        write_frame(&mut self.stream, &payload)?;
+        let response = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+        decode_response(&response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

@@ -1,0 +1,383 @@
+//! Request and response vocabulary of the service.
+//!
+//! A [`Request`] pairs a [`Workload`] with scheduling hints (priority lane,
+//! deadline). The micro-batcher coalesces workloads whose [`BatchKey`]s are
+//! equal — same kind, same dimensions, bit-identical parameters — because
+//! only those can share a pool dispatch without changing any result.
+
+use std::fmt;
+use std::time::Duration;
+
+use chambolle_core::{validate_solvable, ChambolleParams, RecoveryReport, TvL1Params};
+use chambolle_imaging::{FlowField, Grid};
+
+/// Scheduling lane of a request.
+///
+/// Interactive requests are always dequeued before batch requests; within a
+/// lane, requests keep submission order (no starvation *within* a lane, and
+/// batch work proceeds whenever the interactive lane is empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive lane, dequeued first.
+    Interactive,
+    /// Throughput lane, dequeued when the interactive lane is empty.
+    #[default]
+    Batch,
+}
+
+impl Priority {
+    /// Stable wire/report identifier.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// The work a request asks for.
+#[derive(Debug, Clone)]
+pub enum Workload {
+    /// One ROF denoise through the guarded sequential solver.
+    Denoise {
+        /// Noisy input image.
+        input: Grid<f32>,
+        /// Chambolle parameters.
+        params: ChambolleParams,
+    },
+    /// One TV-L1 optical-flow estimation between two frames.
+    TvL1 {
+        /// First frame.
+        i0: Grid<f32>,
+        /// Second frame.
+        i1: Grid<f32>,
+        /// Outer-loop parameters.
+        params: TvL1Params,
+    },
+}
+
+impl Workload {
+    /// The coalescing key: workloads with equal keys may share a batch.
+    pub fn batch_key(&self) -> BatchKey {
+        match self {
+            Workload::Denoise { input, params } => BatchKey {
+                kind: WorkloadKind::Denoise,
+                width: input.width(),
+                height: input.height(),
+                param_bits: vec![
+                    params.theta.to_bits(),
+                    params.tau.to_bits(),
+                    params.iterations,
+                ],
+            },
+            Workload::TvL1 { i0, params, .. } => BatchKey {
+                kind: WorkloadKind::TvL1,
+                width: i0.width(),
+                height: i0.height(),
+                param_bits: vec![
+                    params.lambda.to_bits(),
+                    params.inner.theta.to_bits(),
+                    params.inner.tau.to_bits(),
+                    params.inner.iterations,
+                    params.warps,
+                    params.outer_iterations,
+                    params.pyramid_levels as u32,
+                    params.scale_factor.to_bits(),
+                    u32::from(params.median_filter),
+                ],
+            },
+        }
+    }
+
+    /// Admission-time validation: shape and parameter checks that no solver
+    /// could work around. Failures become [`RejectReason::Invalid`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason string.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Workload::Denoise { input, params } => {
+                if input.is_empty() {
+                    return Err("denoise input has no cells".into());
+                }
+                validate_solvable(params).map_err(|e| e.to_string())
+            }
+            Workload::TvL1 { i0, i1, params } => {
+                if i0.is_empty() || i1.is_empty() {
+                    return Err("flow frames have no cells".into());
+                }
+                if i0.dims() != i1.dims() {
+                    return Err(format!(
+                        "flow frames differ in size: {:?} vs {:?}",
+                        i0.dims(),
+                        i1.dims()
+                    ));
+                }
+                validate_solvable(&params.inner).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// `(width, height)` of the workload's frame(s).
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            Workload::Denoise { input, .. } => input.dims(),
+            Workload::TvL1 { i0, .. } => i0.dims(),
+        }
+    }
+}
+
+/// Kind discriminant of a [`BatchKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// ROF denoise.
+    Denoise,
+    /// TV-L1 optical flow.
+    TvL1,
+}
+
+/// Equality key used by the micro-batcher.
+///
+/// Two requests are batch-compatible iff their keys are equal: same workload
+/// kind, same frame dimensions, and bit-identical parameters (`f32`s compared
+/// via [`f32::to_bits`], so `0.25` and `0.25000001` never alias).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// Workload kind.
+    pub kind: WorkloadKind,
+    /// Frame width.
+    pub width: usize,
+    /// Frame height.
+    pub height: usize,
+    /// Parameter fields, bit-exact.
+    pub param_bits: Vec<u32>,
+}
+
+/// One submission: workload plus scheduling hints.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The work to do.
+    pub workload: Workload,
+    /// Scheduling lane.
+    pub priority: Priority,
+    /// Per-request deadline measured from submission; `None` uses the
+    /// service's default (which may also be none).
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A batch-lane request with no explicit deadline.
+    pub fn new(workload: Workload) -> Self {
+        Request {
+            workload,
+            priority: Priority::Batch,
+            deadline: None,
+        }
+    }
+
+    /// Sets the priority lane.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline (from submission time).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A successful solve's payload.
+#[derive(Debug, Clone)]
+pub enum Output {
+    /// Denoised image.
+    Denoised(Grid<f32>),
+    /// Estimated flow field.
+    Flow(FlowField),
+}
+
+impl Output {
+    /// The denoised grid, if this output is one.
+    pub fn as_denoised(&self) -> Option<&Grid<f32>> {
+        match self {
+            Output::Denoised(g) => Some(g),
+            Output::Flow(_) => None,
+        }
+    }
+
+    /// The flow field, if this output is one.
+    pub fn as_flow(&self) -> Option<&FlowField> {
+        match self {
+            Output::Flow(f) => Some(f),
+            Output::Denoised(_) => None,
+        }
+    }
+}
+
+/// A completed request: the output plus per-request accounting.
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// The solve result.
+    pub output: Output,
+    /// Guard-layer recovery report (denoise requests only).
+    pub recovery: Option<RecoveryReport>,
+    /// Microseconds spent waiting in the queue.
+    pub queue_us: u64,
+    /// Microseconds spent in the solver.
+    pub solve_us: u64,
+    /// Microseconds from submission to response.
+    pub total_us: u64,
+    /// Number of requests coalesced into the batch this one rode in.
+    pub batch_size: usize,
+}
+
+/// Structured admission-control rejection. Submissions that are rejected
+/// never enter the queue and never consume solver time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded queue was at capacity.
+    QueueFull {
+        /// Queue depth observed at the admission decision.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+    /// The workload failed admission-time validation.
+    Invalid(String),
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, capacity } => {
+                write!(f, "queue full ({depth}/{capacity})")
+            }
+            RejectReason::ShuttingDown => write!(f, "service is shutting down"),
+            RejectReason::Invalid(reason) => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
+
+/// Failure of an *accepted* request. Every accepted request receives exactly
+/// one response: `Ok(Completed)` or one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The client cancelled the ticket.
+    Cancelled,
+    /// The request's deadline passed before the solve finished.
+    DeadlineExceeded,
+    /// The solver failed (guard exhausted its recovery avenues, or the
+    /// solve panicked and was contained).
+    Solver(String),
+    /// The service dispatcher went away without responding (only possible
+    /// if the dispatcher thread itself died — never part of normal
+    /// operation or shutdown).
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Cancelled => write!(f, "request cancelled"),
+            ServiceError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServiceError::Solver(msg) => write!(f, "solver failure: {msg}"),
+            ServiceError::Disconnected => write!(f, "service disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn denoise_workload(w: usize, h: usize, iters: u32) -> Workload {
+        Workload::Denoise {
+            input: Grid::new(w, h, 0.5f32),
+            params: ChambolleParams::with_iterations(iters),
+        }
+    }
+
+    #[test]
+    fn batch_keys_require_same_dims_and_params() {
+        let a = denoise_workload(8, 8, 10).batch_key();
+        let b = denoise_workload(8, 8, 10).batch_key();
+        let other_dims = denoise_workload(8, 9, 10).batch_key();
+        let other_iters = denoise_workload(8, 8, 11).batch_key();
+        assert_eq!(a, b);
+        assert_ne!(a, other_dims);
+        assert_ne!(a, other_iters);
+    }
+
+    #[test]
+    fn batch_keys_separate_kinds_and_compare_params_bitwise() {
+        let d = denoise_workload(8, 8, 10).batch_key();
+        let f = Workload::TvL1 {
+            i0: Grid::new(8, 8, 0.0f32),
+            i1: Grid::new(8, 8, 0.0f32),
+            params: TvL1Params::default(),
+        }
+        .batch_key();
+        assert_ne!(d, f);
+
+        let mut p = ChambolleParams::with_iterations(10);
+        p.theta = 0.25;
+        let k1 = Workload::Denoise {
+            input: Grid::new(4, 4, 0.0f32),
+            params: p,
+        }
+        .batch_key();
+        p.theta = 0.25 + f32::EPSILON;
+        let k2 = Workload::Denoise {
+            input: Grid::new(4, 4, 0.0f32),
+            params: p,
+        }
+        .batch_key();
+        assert_ne!(k1, k2, "ULP-different params must not alias");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_workloads() {
+        assert!(denoise_workload(4, 4, 5).validate().is_ok());
+        let mut bad = ChambolleParams::with_iterations(5);
+        bad.theta = -1.0;
+        assert!(Workload::Denoise {
+            input: Grid::new(4, 4, 0.0f32),
+            params: bad,
+        }
+        .validate()
+        .is_err());
+        assert!(Workload::TvL1 {
+            i0: Grid::new(4, 4, 0.0f32),
+            i1: Grid::new(5, 4, 0.0f32),
+            params: TvL1Params::default(),
+        }
+        .validate()
+        .unwrap_err()
+        .contains("differ"));
+    }
+
+    #[test]
+    fn reject_and_error_display() {
+        let full = RejectReason::QueueFull {
+            depth: 64,
+            capacity: 64,
+        };
+        assert!(full.to_string().contains("64/64"));
+        assert!(RejectReason::ShuttingDown.to_string().contains("shutting"));
+        assert!(RejectReason::Invalid("x".into()).to_string().contains("x"));
+        assert!(ServiceError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServiceError::Solver("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+}

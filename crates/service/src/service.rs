@@ -1,0 +1,613 @@
+//! The service core: admission, dispatch loop, micro-batching, deadlines,
+//! and drain-based shutdown.
+//!
+//! One dispatcher thread owns a persistent [`ThreadPool`]. It pops batches
+//! of compatible requests from the [`SubmitQueue`](crate::queue::SubmitQueue)
+//! and dispatches each batch as one `parallel_tiles` call — one tile per
+//! request — so up to `threads` requests of a batch solve concurrently on
+//! the shared pool. Solves run through the cancellable guarded paths of
+//! `chambolle-core`, so a fault degrades one request (structured error) and
+//! a deadline aborts at the next iteration boundary, never poisoning the
+//! pool or the service.
+//!
+//! Every accepted request receives exactly one response. Shutdown closes the
+//! queue (new submissions get [`RejectReason::ShuttingDown`]), drains the
+//! backlog, joins the dispatcher, and flushes a final telemetry
+//! [`RunReport`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use chambolle_core::{guarded_denoise_cancellable, FlowError};
+use chambolle_core::{
+    CancelReason, CancelToken, GuardError, RecoveryPolicy, RecoveryReport, TvL1Solver,
+};
+use chambolle_par::ThreadPool;
+use chambolle_telemetry::json::JsonValue;
+use chambolle_telemetry::{names, RunReport, Telemetry};
+
+use crate::queue::{Pending, SubmitQueue};
+use crate::request::{Completed, Output, RejectReason, Request, ServiceError, Workload};
+
+/// Tuning knobs of a service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the shared solver pool (and the maximum number of
+    /// requests of one batch solving concurrently).
+    pub threads: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one pool dispatch.
+    pub max_batch: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Queue depth that counts as congested (rising-edge counter).
+    pub high_watermark: usize,
+    /// Queue depth at which congestion is considered cleared (falling edge).
+    pub low_watermark: usize,
+    /// Guard-layer retry budget for denoise requests.
+    pub recovery: RecoveryPolicy,
+}
+
+impl ServiceConfig {
+    /// A config with the given pool size and queue capacity; watermarks at
+    /// 3/4 and 1/4 of capacity, batching up to 8, no default deadline.
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        ServiceConfig {
+            threads,
+            queue_capacity,
+            max_batch: 8,
+            default_deadline: None,
+            high_watermark: (queue_capacity * 3 / 4).max(1),
+            low_watermark: queue_capacity / 4,
+            recovery: RecoveryPolicy::default(),
+        }
+    }
+
+    /// Sets the maximum batch size (1 disables coalescing).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    /// Two pool threads, a 64-deep queue, batches of up to 8.
+    fn default() -> Self {
+        ServiceConfig::new(2, 64)
+    }
+}
+
+/// Monotonic counters the service keeps independent of telemetry (always
+/// on; the zero-lost-response invariant is checked against these).
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    rejected_invalid: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Submissions seen (accepted + rejected).
+    pub submitted: u64,
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Rejections: queue at capacity.
+    pub rejected_full: u64,
+    /// Rejections: service draining.
+    pub rejected_shutdown: u64,
+    /// Rejections: invalid workload.
+    pub rejected_invalid: u64,
+    /// Accepted requests that completed successfully.
+    pub completed: u64,
+    /// Accepted requests that failed in the solver.
+    pub failed: u64,
+    /// Accepted requests cancelled by the client.
+    pub cancelled: u64,
+    /// Accepted requests that exceeded their deadline.
+    pub deadline_exceeded: u64,
+    /// Batches dispatched to the pool.
+    pub batches: u64,
+}
+
+impl ServiceStats {
+    /// Responses delivered, of any kind.
+    pub fn responded(&self) -> u64 {
+        self.completed + self.failed + self.cancelled + self.deadline_exceeded
+    }
+
+    /// `accepted - responded()`: nonzero only while requests are in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.accepted - self.responded()
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("submitted".into(), self.submitted.into()),
+            ("accepted".into(), self.accepted.into()),
+            ("rejected_full".into(), self.rejected_full.into()),
+            ("rejected_shutdown".into(), self.rejected_shutdown.into()),
+            ("rejected_invalid".into(), self.rejected_invalid.into()),
+            ("completed".into(), self.completed.into()),
+            ("failed".into(), self.failed.into()),
+            ("cancelled".into(), self.cancelled.into()),
+            ("deadline_exceeded".into(), self.deadline_exceeded.into()),
+            ("batches".into(), self.batches.into()),
+        ])
+    }
+}
+
+struct Shared {
+    queue: SubmitQueue,
+    telemetry: Telemetry,
+    config: ServiceConfig,
+    next_id: AtomicU64,
+    stats: Stats,
+}
+
+/// Client-side handle for submitting work; cheap to clone, usable from any
+/// thread.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServiceHandle {
+    /// Admission control + enqueue. Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason`] when the request cannot be admitted (invalid, queue
+    /// full, or the service is draining). Rejected requests consume no
+    /// solver time.
+    pub fn submit(&self, request: Request) -> Result<Ticket, RejectReason> {
+        let shared = &self.shared;
+        shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.telemetry.counter_add(names::SERVICE_SUBMITTED, 1);
+        if let Err(reason) = request.workload.validate() {
+            shared
+                .stats
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            shared
+                .telemetry
+                .counter_add(names::SERVICE_REJECTED_INVALID, 1);
+            return Err(RejectReason::Invalid(reason));
+        }
+        let deadline = request.deadline.or(shared.config.default_deadline);
+        let token = match deadline {
+            Some(d) => CancelToken::with_timeout(d),
+            None => CancelToken::new(),
+        };
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let pending = Pending {
+            id,
+            key: request.workload.batch_key(),
+            workload: request.workload,
+            token: token.clone(),
+            submitted_at: Instant::now(),
+            responder: tx,
+        };
+        match shared.queue.try_push(pending, request.priority) {
+            Ok(_depth) => {
+                shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add(names::SERVICE_ACCEPTED, 1);
+                Ok(Ticket { id, token, rx })
+            }
+            Err(reason) => {
+                match &reason {
+                    RejectReason::QueueFull { .. } => {
+                        shared.stats.rejected_full.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .telemetry
+                            .counter_add(names::SERVICE_REJECTED_QUEUE_FULL, 1);
+                    }
+                    RejectReason::ShuttingDown => {
+                        shared
+                            .stats
+                            .rejected_shutdown
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .telemetry
+                            .counter_add(names::SERVICE_REJECTED_SHUTTING_DOWN, 1);
+                    }
+                    RejectReason::Invalid(_) => unreachable!("validated above"),
+                }
+                Err(reason)
+            }
+        }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared.stats;
+        ServiceStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            accepted: s.accepted.load(Ordering::Relaxed),
+            rejected_full: s.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: s.rejected_shutdown.load(Ordering::Relaxed),
+            rejected_invalid: s.rejected_invalid.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            cancelled: s.cancelled.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The telemetry handle the service records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One accepted request's claim on its future response.
+pub struct Ticket {
+    id: u64,
+    token: CancelToken,
+    rx: mpsc::Receiver<Result<Completed, ServiceError>>,
+}
+
+impl Ticket {
+    /// Service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Requests cooperative cancellation; the solve aborts at its next
+    /// iteration boundary and the ticket resolves to
+    /// [`ServiceError::Cancelled`].
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// The request's [`ServiceError`] outcome.
+    pub fn wait(self) -> Result<Completed, ServiceError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(mpsc::RecvError) => Err(ServiceError::Disconnected),
+        }
+    }
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("id", &self.id).finish()
+    }
+}
+
+/// Result of a graceful shutdown: the final counters and (when telemetry is
+/// enabled) the flushed run report.
+#[derive(Debug)]
+pub struct ShutdownSummary {
+    /// Final counter snapshot; `in_flight()` is 0 after a clean drain.
+    pub stats: ServiceStats,
+    /// Final report (`tool = "chambolle-service"`, section `"service"`),
+    /// present when the service was built with enabled telemetry.
+    pub report: Option<RunReport>,
+}
+
+/// The running service: a dispatcher thread plus its submission handle.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_imaging::Grid;
+/// use chambolle_core::ChambolleParams;
+/// use chambolle_service::{Request, Service, ServiceConfig, Workload};
+///
+/// let service = Service::spawn(ServiceConfig::new(2, 16));
+/// let ticket = service.handle().submit(Request::new(Workload::Denoise {
+///     input: Grid::new(16, 16, 0.5f32),
+///     params: ChambolleParams::with_iterations(10),
+/// }))?;
+/// let done = ticket.wait().unwrap();
+/// assert!(done.output.as_denoised().is_some());
+/// let summary = service.shutdown();
+/// assert_eq!(summary.stats.completed, 1);
+/// # Ok::<(), chambolle_service::RejectReason>(())
+/// ```
+pub struct Service {
+    handle: ServiceHandle,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service with disabled telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads`, `config.queue_capacity`, or
+    /// `config.max_batch` is zero.
+    pub fn spawn(config: ServiceConfig) -> Self {
+        Service::spawn_with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Starts a service recording `service.*` metrics into `telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threads`, `config.queue_capacity`, or
+    /// `config.max_batch` is zero.
+    pub fn spawn_with_telemetry(config: ServiceConfig, telemetry: Telemetry) -> Self {
+        assert!(config.threads >= 1, "service needs at least one thread");
+        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        assert!(config.max_batch >= 1, "max_batch must be >= 1");
+        let shared = Arc::new(Shared {
+            queue: SubmitQueue::new(
+                config.queue_capacity,
+                config.high_watermark,
+                config.low_watermark,
+                telemetry.clone(),
+            ),
+            telemetry,
+            config,
+            next_id: AtomicU64::new(1),
+            stats: Stats::default(),
+        });
+        let dispatcher_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::Builder::new()
+            .name("chambolle-service-dispatch".into())
+            .spawn(move || dispatcher_loop(&dispatcher_shared))
+            .expect("failed to spawn the service dispatcher");
+        Service {
+            handle: ServiceHandle { shared },
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// The submission handle (clone freely across client threads).
+    pub fn handle(&self) -> &ServiceHandle {
+        &self.handle
+    }
+
+    /// Drain-based graceful shutdown: stop admission, complete every
+    /// accepted request, join the dispatcher, and flush the final report.
+    pub fn shutdown(mut self) -> ShutdownSummary {
+        self.shutdown_inner()
+            .expect("shutdown_inner returns a summary on first call")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<ShutdownSummary> {
+        let dispatcher = self.dispatcher.take()?;
+        self.handle.shared.queue.close();
+        if dispatcher.join().is_err() {
+            // The dispatcher never panics by design (solves are contained by
+            // catch_unwind); if it somehow did, surface it in the summary
+            // rather than propagating out of shutdown.
+            self.handle
+                .shared
+                .telemetry
+                .counter_add(names::SERVICE_FAILED, 1);
+        }
+        let stats = self.handle.stats();
+        let telemetry = &self.handle.shared.telemetry;
+        let report = telemetry.is_enabled().then(|| {
+            let mut report = RunReport::from_telemetry("chambolle-service", telemetry);
+            report.add_section("service", stats.to_json());
+            report
+        });
+        Some(ShutdownSummary { stats, report })
+    }
+}
+
+impl Drop for Service {
+    /// Dropping without [`Service::shutdown`] still drains gracefully.
+    fn drop(&mut self) {
+        let _ = self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("handle", &self.handle)
+            .finish()
+    }
+}
+
+fn dispatcher_loop(shared: &Shared) {
+    let pool = ThreadPool::new(shared.config.threads).with_telemetry(shared.telemetry.clone());
+    while let Some(batch) = shared.queue.pop_batch(shared.config.max_batch) {
+        dispatch_batch(shared, &pool, batch);
+    }
+}
+
+/// Solves one batch on the pool and responds to every member.
+fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared.telemetry.counter_add(names::SERVICE_BATCHES, 1);
+    shared
+        .telemetry
+        .observe(names::SERVICE_BATCH_SIZE, batch.len() as f64);
+
+    let batch_size = batch.len();
+    let dequeued_at = Instant::now();
+    let policy = shared.config.recovery;
+
+    // Requests whose token already fired respond immediately without
+    // touching the pool.
+    let mut live: Vec<Pending> = Vec::with_capacity(batch_size);
+    for pending in batch {
+        match pending.token.check() {
+            Ok(()) => live.push(pending),
+            Err(cancelled) => {
+                let queue_us = micros(pending.submitted_at, dequeued_at);
+                respond(
+                    shared,
+                    &pending,
+                    Err(error_from_reason(cancelled.reason)),
+                    queue_us,
+                    0,
+                    batch_size,
+                );
+            }
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    type SolveResult = Result<(Output, Option<RecoveryReport>), ServiceError>;
+    let slots: Vec<Mutex<Option<(SolveResult, u64)>>> =
+        live.iter().map(|_| Mutex::new(None)).collect();
+    if live.len() == 1 {
+        // No point in a pool broadcast for a lone request.
+        let solve_start = Instant::now();
+        let result = solve_contained(&live[0].workload, &live[0].token, &policy);
+        *slots[0].lock().expect("slot poisoned") =
+            Some((result, micros(solve_start, Instant::now())));
+    } else {
+        pool.parallel_tiles("service.batch", live.len(), |_, i| {
+            let solve_start = Instant::now();
+            let result = solve_contained(&live[i].workload, &live[i].token, &policy);
+            *slots[i].lock().expect("slot poisoned") =
+                Some((result, micros(solve_start, Instant::now())));
+        });
+    }
+
+    for (pending, slot) in live.iter().zip(slots) {
+        let (result, solve_us) = slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("every batch member is solved exactly once");
+        let queue_us = micros(pending.submitted_at, dequeued_at);
+        respond(shared, pending, result, queue_us, solve_us, batch_size);
+    }
+}
+
+/// One solve, with panics contained into a structured error so a poisoned
+/// request can never take down the dispatcher or its pool.
+fn solve_contained(
+    workload: &Workload,
+    token: &CancelToken,
+    policy: &RecoveryPolicy,
+) -> Result<(Output, Option<RecoveryReport>), ServiceError> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| solve_one(workload, token, policy)));
+    match outcome {
+        Ok(result) => result,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            Err(ServiceError::Solver(format!("solve panicked: {msg}")))
+        }
+    }
+}
+
+fn solve_one(
+    workload: &Workload,
+    token: &CancelToken,
+    policy: &RecoveryPolicy,
+) -> Result<(Output, Option<RecoveryReport>), ServiceError> {
+    match workload {
+        Workload::Denoise { input, params } => {
+            match guarded_denoise_cancellable(input, params, policy, token) {
+                Ok((u, report)) => Ok((Output::Denoised(u), Some(report))),
+                Err(GuardError::Cancelled(c)) => Err(error_from_reason(c.reason)),
+                Err(other) => Err(ServiceError::Solver(other.to_string())),
+            }
+        }
+        Workload::TvL1 { i0, i1, params } => {
+            let solver = TvL1Solver::sequential(*params);
+            match solver.flow_cancellable(i0, i1, None, token) {
+                Ok((flow, _stats)) => Ok((Output::Flow(flow), None)),
+                Err(FlowError::Cancelled(c)) => Err(error_from_reason(c.reason)),
+                Err(other) => Err(ServiceError::Solver(other.to_string())),
+            }
+        }
+    }
+}
+
+fn error_from_reason(reason: CancelReason) -> ServiceError {
+    match reason {
+        CancelReason::Explicit => ServiceError::Cancelled,
+        CancelReason::DeadlineExceeded => ServiceError::DeadlineExceeded,
+    }
+}
+
+/// Delivers exactly one response for `pending`, updating counters and
+/// latency histograms. A dropped ticket (client gave up) is fine — the send
+/// error is ignored, the accounting still happens.
+fn respond(
+    shared: &Shared,
+    pending: &Pending,
+    result: Result<(Output, Option<RecoveryReport>), ServiceError>,
+    queue_us: u64,
+    solve_us: u64,
+    batch_size: usize,
+) {
+    let total_us = micros(pending.submitted_at, Instant::now());
+    let telemetry = &shared.telemetry;
+    telemetry.observe(names::SERVICE_QUEUE_LATENCY_US, queue_us as f64);
+    telemetry.observe(names::SERVICE_SOLVE_LATENCY_US, solve_us as f64);
+    telemetry.observe(names::SERVICE_TOTAL_LATENCY_US, total_us as f64);
+    let response = match result {
+        Ok((output, recovery)) => {
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            telemetry.counter_add(names::SERVICE_COMPLETED, 1);
+            if let Some(report) = &recovery {
+                report.record_telemetry(telemetry);
+            }
+            Ok(Completed {
+                output,
+                recovery,
+                queue_us,
+                solve_us,
+                total_us,
+                batch_size,
+            })
+        }
+        Err(err) => {
+            let (stat, name) = match &err {
+                ServiceError::Cancelled => (&shared.stats.cancelled, names::SERVICE_CANCELLED),
+                ServiceError::DeadlineExceeded => (
+                    &shared.stats.deadline_exceeded,
+                    names::SERVICE_DEADLINE_EXCEEDED,
+                ),
+                _ => (&shared.stats.failed, names::SERVICE_FAILED),
+            };
+            stat.fetch_add(1, Ordering::Relaxed);
+            telemetry.counter_add(name, 1);
+            Err(err)
+        }
+    };
+    let _ = pending.responder.send(response);
+}
+
+fn micros(from: Instant, to: Instant) -> u64 {
+    to.saturating_duration_since(from).as_micros() as u64
+}

@@ -1,0 +1,487 @@
+//! Hand-rolled framed binary protocol of the TCP front-end.
+//!
+//! Every message is one frame: a `u32` little-endian payload length followed
+//! by that many payload bytes. Frames larger than [`MAX_FRAME`] are rejected
+//! before allocation, so a corrupt or hostile length prefix cannot OOM the
+//! server.
+//!
+//! Request payload (denoise, the only wire-exposed workload):
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     protocol version  (= 1)
+//! 1       1     workload kind     (= 1, denoise)
+//! 2       8     client request id (u64 LE, echoed back verbatim)
+//! 10      1     priority          (0 interactive, 1 batch)
+//! 11      4     deadline_ms       (u32 LE, 0 = no deadline)
+//! 15      4     theta             (f32 LE)
+//! 19      4     tau               (f32 LE)
+//! 23      4     iterations        (u32 LE)
+//! 27      4     width             (u32 LE)
+//! 31      4     height            (u32 LE)
+//! 35      4*w*h pixels            (f32 LE, row-major)
+//! ```
+//!
+//! Response payload:
+//!
+//! ```text
+//! 0       1     protocol version  (= 1)
+//! 1       1     status            (0 ok, 1 rejected, 2 failed)
+//! 2       8     client request id (u64 LE)
+//! -- status 0 --
+//! 10      4     width; then 4 height; then 4*w*h f32 LE pixels
+//! -- status 1 or 2 --
+//! 10      1     error code        (see ErrorCode)
+//! 11      2     message length    (u16 LE)
+//! 13      n     UTF-8 message
+//! ```
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use chambolle_core::ChambolleParams;
+use chambolle_imaging::Grid;
+
+use crate::request::{Priority, RejectReason, Request, ServiceError, Workload};
+
+/// Protocol version both sides must speak.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard ceiling on a frame's payload size (64 MiB) — large enough for a
+/// 4096×4096 f32 image, small enough to bound a bad prefix's damage.
+pub const MAX_FRAME: usize = 1 << 26;
+
+const KIND_DENOISE: u8 = 1;
+const STATUS_OK: u8 = 0;
+const STATUS_REJECTED: u8 = 1;
+const STATUS_FAILED: u8 = 2;
+
+/// Stable numeric codes for rejected/failed responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Queue at capacity.
+    QueueFull = 1,
+    /// Service draining.
+    ShuttingDown = 2,
+    /// Workload failed validation.
+    Invalid = 3,
+    /// Deadline passed before the solve finished.
+    DeadlineExceeded = 4,
+    /// Request cancelled.
+    Cancelled = 5,
+    /// Solver failure.
+    Solver = 6,
+    /// Malformed frame or protocol mismatch.
+    Protocol = 7,
+}
+
+impl ErrorCode {
+    fn from_u8(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(ErrorCode::QueueFull),
+            2 => Some(ErrorCode::ShuttingDown),
+            3 => Some(ErrorCode::Invalid),
+            4 => Some(ErrorCode::DeadlineExceeded),
+            5 => Some(ErrorCode::Cancelled),
+            6 => Some(ErrorCode::Solver),
+            7 => Some(ErrorCode::Protocol),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded wire request.
+#[derive(Debug, Clone)]
+pub struct WireRequest {
+    /// Client-chosen id, echoed back in the response.
+    pub id: u64,
+    /// The service request it maps to.
+    pub request: Request,
+}
+
+/// A decoded wire response.
+#[derive(Debug, Clone)]
+pub enum WireResponse {
+    /// Successful solve.
+    Ok {
+        /// Echoed client id.
+        id: u64,
+        /// The denoised image.
+        output: Grid<f32>,
+    },
+    /// Admission rejection or solve failure.
+    Err {
+        /// Echoed client id.
+        id: u64,
+        /// `true` if rejected at admission (never solved).
+        rejected: bool,
+        /// Stable error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// I/O errors from `w`; `InvalidInput` if the payload exceeds [`MAX_FRAME`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// I/O errors from `r`; `InvalidData` if the prefix exceeds [`MAX_FRAME`];
+/// `UnexpectedEof` if the stream ends mid-frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Encodes a denoise request payload.
+pub fn encode_denoise_request(
+    id: u64,
+    priority: Priority,
+    deadline: Option<Duration>,
+    params: &ChambolleParams,
+    input: &Grid<f32>,
+) -> Vec<u8> {
+    let (w, h) = input.dims();
+    let mut buf = Vec::with_capacity(35 + 4 * w * h);
+    buf.push(WIRE_VERSION);
+    buf.push(KIND_DENOISE);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.push(match priority {
+        Priority::Interactive => 0,
+        Priority::Batch => 1,
+    });
+    let deadline_ms = deadline.map_or(0u32, |d| d.as_millis().min(u128::from(u32::MAX)) as u32);
+    buf.extend_from_slice(&deadline_ms.to_le_bytes());
+    buf.extend_from_slice(&params.theta.to_le_bytes());
+    buf.extend_from_slice(&params.tau.to_le_bytes());
+    buf.extend_from_slice(&params.iterations.to_le_bytes());
+    buf.extend_from_slice(&(w as u32).to_le_bytes());
+    buf.extend_from_slice(&(h as u32).to_le_bytes());
+    for &px in input.as_slice() {
+        buf.extend_from_slice(&px.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// A human-readable protocol error (version mismatch, unknown kind,
+/// truncated or oversized payload, dimension/pixel-count mismatch).
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, String> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != WIRE_VERSION {
+        return Err(format!("unsupported wire version {version}"));
+    }
+    let kind = c.u8()?;
+    if kind != KIND_DENOISE {
+        return Err(format!("unsupported workload kind {kind}"));
+    }
+    let id = c.u64()?;
+    let priority = match c.u8()? {
+        0 => Priority::Interactive,
+        1 => Priority::Batch,
+        p => return Err(format!("unknown priority {p}")),
+    };
+    let deadline_ms = c.u32()?;
+    let theta = c.f32()?;
+    let tau = c.f32()?;
+    let iterations = c.u32()?;
+    let width = c.u32()? as usize;
+    let height = c.u32()? as usize;
+    let expected = width
+        .checked_mul(height)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or_else(|| "frame dimensions overflow".to_string())?;
+    if c.remaining() != expected {
+        return Err(format!(
+            "pixel payload is {} bytes, expected {expected} for {width}x{height}",
+            c.remaining()
+        ));
+    }
+    let mut pixels = Vec::with_capacity(width * height);
+    for _ in 0..width * height {
+        pixels.push(c.f32()?);
+    }
+    let input = Grid::from_vec(width, height, pixels).map_err(|e| e.to_string())?;
+    let params = ChambolleParams {
+        theta,
+        tau,
+        iterations,
+    };
+    let mut request = Request::new(Workload::Denoise { input, params }).with_priority(priority);
+    if deadline_ms > 0 {
+        request = request.with_deadline(Duration::from_millis(u64::from(deadline_ms)));
+    }
+    Ok(WireRequest { id, request })
+}
+
+/// Encodes a successful response.
+pub fn encode_ok_response(id: u64, output: &Grid<f32>) -> Vec<u8> {
+    let (w, h) = output.dims();
+    let mut buf = Vec::with_capacity(18 + 4 * w * h);
+    buf.push(WIRE_VERSION);
+    buf.push(STATUS_OK);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&(w as u32).to_le_bytes());
+    buf.extend_from_slice(&(h as u32).to_le_bytes());
+    for &px in output.as_slice() {
+        buf.extend_from_slice(&px.to_le_bytes());
+    }
+    buf
+}
+
+/// Encodes an error response.
+pub fn encode_err_response(id: u64, rejected: bool, code: ErrorCode, message: &str) -> Vec<u8> {
+    let msg = message.as_bytes();
+    let msg_len = msg.len().min(usize::from(u16::MAX));
+    let mut buf = Vec::with_capacity(13 + msg_len);
+    buf.push(WIRE_VERSION);
+    buf.push(if rejected {
+        STATUS_REJECTED
+    } else {
+        STATUS_FAILED
+    });
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.push(code as u8);
+    buf.extend_from_slice(&(msg_len as u16).to_le_bytes());
+    buf.extend_from_slice(&msg[..msg_len]);
+    buf
+}
+
+/// The wire error code + flag for a [`RejectReason`].
+pub fn reject_code(reason: &RejectReason) -> ErrorCode {
+    match reason {
+        RejectReason::QueueFull { .. } => ErrorCode::QueueFull,
+        RejectReason::ShuttingDown => ErrorCode::ShuttingDown,
+        RejectReason::Invalid(_) => ErrorCode::Invalid,
+    }
+}
+
+/// The wire error code for a [`ServiceError`].
+pub fn service_error_code(err: &ServiceError) -> ErrorCode {
+    match err {
+        ServiceError::Cancelled => ErrorCode::Cancelled,
+        ServiceError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        ServiceError::Solver(_) | ServiceError::Disconnected => ErrorCode::Solver,
+    }
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// A human-readable protocol error on any malformed field.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != WIRE_VERSION {
+        return Err(format!("unsupported wire version {version}"));
+    }
+    let status = c.u8()?;
+    let id = c.u64()?;
+    match status {
+        STATUS_OK => {
+            let width = c.u32()? as usize;
+            let height = c.u32()? as usize;
+            let mut pixels = Vec::with_capacity(width * height);
+            for _ in 0..width.checked_mul(height).ok_or("dimension overflow")? {
+                pixels.push(c.f32()?);
+            }
+            let output = Grid::from_vec(width, height, pixels).map_err(|e| e.to_string())?;
+            Ok(WireResponse::Ok { id, output })
+        }
+        STATUS_REJECTED | STATUS_FAILED => {
+            let code =
+                ErrorCode::from_u8(c.u8()?).ok_or_else(|| "unknown error code".to_string())?;
+            let msg_len = usize::from(c.u16()?);
+            let bytes = c.bytes(msg_len)?;
+            let message = String::from_utf8_lossy(bytes).into_owned();
+            Ok(WireResponse::Err {
+                id,
+                rejected: status == STATUS_REJECTED,
+                code,
+                message,
+            })
+        }
+        s => Err(format!("unknown response status {s}")),
+    }
+}
+
+/// Minimal bounds-checked reader over a payload slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "payload truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_bit_exact() {
+        let input = Grid::from_fn(5, 3, |x, y| (x * 31 + y * 7) as f32 / 13.0);
+        let params = ChambolleParams {
+            theta: 0.25,
+            tau: 0.248,
+            iterations: 42,
+        };
+        let payload = encode_denoise_request(
+            7,
+            Priority::Interactive,
+            Some(Duration::from_millis(1500)),
+            &params,
+            &input,
+        );
+        let decoded = decode_request(&payload).unwrap();
+        assert_eq!(decoded.id, 7);
+        assert_eq!(decoded.request.priority, Priority::Interactive);
+        assert_eq!(decoded.request.deadline, Some(Duration::from_millis(1500)));
+        match &decoded.request.workload {
+            Workload::Denoise {
+                input: got,
+                params: p,
+            } => {
+                assert_eq!(got.as_slice(), input.as_slice());
+                assert_eq!(p.theta.to_bits(), params.theta.to_bits());
+                assert_eq!(p.tau.to_bits(), params.tau.to_bits());
+                assert_eq!(p.iterations, params.iterations);
+            }
+            other => panic!("wrong workload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let grid = Grid::from_fn(3, 2, |x, y| (x + 10 * y) as f32);
+        match decode_response(&encode_ok_response(9, &grid)).unwrap() {
+            WireResponse::Ok { id, output } => {
+                assert_eq!(id, 9);
+                assert_eq!(output.as_slice(), grid.as_slice());
+            }
+            other => panic!("expected ok: {other:?}"),
+        }
+        let err = encode_err_response(11, true, ErrorCode::QueueFull, "queue full (4/4)");
+        match decode_response(&err).unwrap() {
+            WireResponse::Err {
+                id,
+                rejected,
+                code,
+                message,
+            } => {
+                assert_eq!(id, 11);
+                assert!(rejected);
+                assert_eq!(code, ErrorCode::QueueFull);
+                assert!(message.contains("4/4"));
+            }
+            other => panic!("expected err: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[9, 9]).is_err()); // bad version
+        let mut ok = encode_denoise_request(
+            1,
+            Priority::Batch,
+            None,
+            &ChambolleParams::with_iterations(3),
+            &Grid::new(4, 4, 0.0f32),
+        );
+        ok.truncate(ok.len() - 1); // drop one pixel byte
+        assert!(decode_request(&ok).is_err());
+        assert!(decode_response(&[1, 7, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_guard_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        let mut bad = io::Cursor::new(((MAX_FRAME + 1) as u32).to_le_bytes().to_vec());
+        assert!(read_frame(&mut bad).is_err());
+    }
+}

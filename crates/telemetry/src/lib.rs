@@ -129,6 +129,41 @@ pub mod names {
     /// Prefix for per-kind recovery-action counters
     /// (e.g. `guard.action.step_backoff`).
     pub const GUARD_ACTION_PREFIX: &str = "guard.action.";
+
+    /// Counter: requests submitted to the service front door.
+    pub const SERVICE_SUBMITTED: &str = "service.submitted";
+    /// Counter: requests admitted past admission control.
+    pub const SERVICE_ACCEPTED: &str = "service.accepted";
+    /// Counter: submissions rejected because the queue was at capacity.
+    pub const SERVICE_REJECTED_QUEUE_FULL: &str = "service.rejected.queue_full";
+    /// Counter: submissions rejected because the service was draining.
+    pub const SERVICE_REJECTED_SHUTTING_DOWN: &str = "service.rejected.shutting_down";
+    /// Counter: submissions rejected for invalid workloads/parameters.
+    pub const SERVICE_REJECTED_INVALID: &str = "service.rejected.invalid";
+    /// Counter: requests completed successfully.
+    pub const SERVICE_COMPLETED: &str = "service.completed";
+    /// Counter: requests that failed in the solver (guard exhausted/panic).
+    pub const SERVICE_FAILED: &str = "service.failed";
+    /// Counter: requests cancelled explicitly by the client.
+    pub const SERVICE_CANCELLED: &str = "service.cancelled";
+    /// Counter: requests that exceeded their deadline.
+    pub const SERVICE_DEADLINE_EXCEEDED: &str = "service.deadline_exceeded";
+    /// Counter: batches dispatched to the solver pool.
+    pub const SERVICE_BATCHES: &str = "service.batches";
+    /// Histogram: requests coalesced per dispatched batch.
+    pub const SERVICE_BATCH_SIZE: &str = "service.batch_size";
+    /// Gauge: queue depth observed at the latest admission decision.
+    pub const SERVICE_QUEUE_DEPTH: &str = "service.queue_depth";
+    /// Counter: queue-depth crossings of the high watermark (rising edge).
+    pub const SERVICE_HIGH_WATERMARK: &str = "service.watermark.high";
+    /// Counter: queue-depth crossings of the low watermark (falling edge).
+    pub const SERVICE_LOW_WATERMARK: &str = "service.watermark.low";
+    /// Histogram: microseconds a request waited in the queue.
+    pub const SERVICE_QUEUE_LATENCY_US: &str = "service.latency.queue_us";
+    /// Histogram: microseconds a request spent in the solver.
+    pub const SERVICE_SOLVE_LATENCY_US: &str = "service.latency.solve_us";
+    /// Histogram: microseconds from submission to response.
+    pub const SERVICE_TOTAL_LATENCY_US: &str = "service.latency.total_us";
 }
 
 struct Inner {

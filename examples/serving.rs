@@ -1,0 +1,98 @@
+//! Serving quickstart: run the denoise service in-process and over TCP.
+//!
+//! Spawns the batching service on a small worker pool, submits a burst of
+//! compatible requests (which coalesce into shared pool dispatches), makes
+//! one framed TCP round-trip against the same service, then drains
+//! gracefully and prints the final telemetry report.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use std::time::Duration;
+
+use chambolle::core::ChambolleParams;
+use chambolle::imaging::{NoiseTexture, Scene};
+use chambolle::service::{
+    wire, Priority, Request, Service, ServiceClient, ServiceConfig, TcpServer, Workload,
+};
+use chambolle::telemetry::Telemetry;
+
+fn main() {
+    // A service with 2 pool workers, a queue of 32, batches of up to 8, and
+    // a 2-second default deadline for requests that don't set their own.
+    let telemetry = Telemetry::null();
+    let config = ServiceConfig::new(2, 32)
+        .with_max_batch(8)
+        .with_default_deadline(Duration::from_secs(2));
+    let service = Service::spawn_with_telemetry(config, telemetry);
+
+    // In-process submission: a burst of compatible requests. Same dims,
+    // same parameters => the micro-batcher coalesces them, and each
+    // response reports the batch it rode in.
+    let params = ChambolleParams::with_iterations(40);
+    let tickets: Vec<_> = (0..12)
+        .map(|i| {
+            let input = NoiseTexture::new(1000 + i).render(64, 64);
+            let priority = if i % 4 == 0 {
+                Priority::Interactive
+            } else {
+                Priority::Batch
+            };
+            service
+                .handle()
+                .submit(Request::new(Workload::Denoise { input, params }).with_priority(priority))
+                .expect("queue of 32 admits a burst of 12")
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let done = ticket.wait().expect("in-process request must complete");
+        println!(
+            "request {i:>2}: queue {:>6} us, solve {:>6} us, batch of {}",
+            done.queue_us, done.solve_us, done.batch_size
+        );
+    }
+
+    // The same service behind the framed TCP front-end, on an ephemeral
+    // localhost port.
+    let server = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").expect("localhost bind");
+    println!("serving on {}", server.local_addr());
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+    let input = NoiseTexture::new(7).render(64, 64);
+    match client
+        .denoise(
+            &input,
+            &params,
+            Priority::Interactive,
+            Some(Duration::from_secs(2)),
+        )
+        .expect("round-trip")
+    {
+        wire::WireResponse::Ok { output, .. } => {
+            println!(
+                "tcp round-trip ok: {}x{} denoised",
+                output.width(),
+                output.height()
+            );
+        }
+        wire::WireResponse::Err { code, message, .. } => {
+            println!("tcp request failed ({code:?}): {message}");
+        }
+    }
+    drop(client);
+    server.shutdown();
+
+    // Graceful drain: admission stops, in-flight work completes, and the
+    // final run report carries the service counters.
+    let summary = service.shutdown();
+    println!(
+        "drained: {} accepted, {} completed, {} batches, 0 lost (in flight: {})",
+        summary.stats.accepted,
+        summary.stats.completed,
+        summary.stats.batches,
+        summary.stats.in_flight()
+    );
+    if let Some(report) = summary.report {
+        println!("{}", report.to_json().to_string_pretty());
+    }
+}

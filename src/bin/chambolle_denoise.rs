@@ -6,6 +6,9 @@
 //!   --iterations N   Chambolle iterations                  [100]
 //!   --theta T        coupling constant θ                   [0.25]
 //!   --backend B      seq | tiled | fpga                    [tiled]
+//!   --threads N      size the shared worker pool explicitly; `seq` upgrades
+//!                    to the bit-identical row-parallel solver, `tiled` runs
+//!                    its windows on N workers (fpga/--gap-tol ignore it)
 //!   --gap-tol G      stop early once the duality gap < G (seq backend only)
 //!   --telemetry P    write a JSON run report (metrics + run summary) to P
 //! ```
@@ -13,12 +16,15 @@
 use std::error::Error;
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use chambolle::core::{
-    chambolle_denoise_monitored_with_telemetry, rof_energy, ChambolleParams, SequentialSolver,
-    TileConfig, TiledSolver, TvDenoiser,
+    chambolle_denoise_monitored_with_telemetry, rof_energy, ChambolleParams, ParallelSolver,
+    SequentialSolver, TileConfig, TiledSolver, TvDenoiser,
 };
 use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
 use chambolle::imaging::{read_pgm, write_pgm};
+use chambolle::par::ThreadPool;
 use chambolle::telemetry::json::JsonValue;
 use chambolle::telemetry::report::RunReport;
 use chambolle::telemetry::Telemetry;
@@ -30,6 +36,7 @@ struct Options {
     iterations: u32,
     theta: f32,
     backend: String,
+    threads: Option<usize>,
     gap_tol: Option<f64>,
     telemetry: Option<String>,
 }
@@ -42,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         iterations: 100,
         theta: 0.25,
         backend: "tiled".into(),
+        threads: None,
         gap_tol: None,
         telemetry: None,
     };
@@ -64,6 +72,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "invalid --theta".to_string())?
             }
             "--backend" => opts.backend = value("--backend")?,
+            "--threads" => {
+                let threads: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads".to_string())?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(threads);
+            }
             "--gap-tol" => {
                 opts.gap_tol = Some(
                     value("--gap-tol")?
@@ -106,10 +123,22 @@ fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
         );
         report.u
     } else {
+        // One explicitly sized pool shared by whichever backend runs.
+        let pool = opts
+            .threads
+            .map(|threads| Arc::new(ThreadPool::new(threads).with_telemetry(telemetry.clone())));
         let backend: Box<dyn TvDenoiser> = match opts.backend.as_str() {
-            "seq" => Box::new(SequentialSolver::new()),
+            "seq" => match &pool {
+                Some(pool) => Box::new(ParallelSolver::with_pool(Arc::clone(pool))),
+                None => Box::new(SequentialSolver::new()),
+            },
             "tiled" => {
-                Box::new(TiledSolver::new(TileConfig::default()).with_telemetry(telemetry.clone()))
+                let solver =
+                    TiledSolver::new(TileConfig::default()).with_telemetry(telemetry.clone());
+                Box::new(match &pool {
+                    Some(pool) => solver.with_pool(Arc::clone(pool)),
+                    None => solver,
+                })
             }
             "fpga" => {
                 let mut accel = ChambolleAccel::new(AccelConfig::default());
@@ -158,7 +187,8 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--gap-tol G] [--telemetry REPORT.json]");
+            eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--threads N] [--gap-tol G] [--telemetry REPORT.json]");
+            eprintln!("  --threads N sizes the shared worker pool explicitly: seq upgrades to the bit-identical row-parallel solver, tiled runs its windows on N workers (fpga and --gap-tol ignore it)");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -188,6 +218,7 @@ mod tests {
         let o = parse_args(&args(&["in.pgm", "out.pgm"])).unwrap();
         assert_eq!(o.iterations, 100);
         assert_eq!(o.backend, "tiled");
+        assert_eq!(o.threads, None);
         assert_eq!(o.gap_tol, None);
 
         let o = parse_args(&args(&[
@@ -199,6 +230,8 @@ mod tests {
             "0.5",
             "--backend",
             "fpga",
+            "--threads",
+            "4",
             "--gap-tol",
             "0.1",
             "--telemetry",
@@ -208,6 +241,7 @@ mod tests {
         assert_eq!(o.iterations, 50);
         assert_eq!(o.theta, 0.5);
         assert_eq!(o.backend, "fpga");
+        assert_eq!(o.threads, Some(4));
         assert_eq!(o.gap_tol, Some(0.1));
         assert_eq!(o.telemetry.as_deref(), Some("report.json"));
     }
@@ -217,5 +251,7 @@ mod tests {
         assert!(parse_args(&args(&["only-one"])).is_err());
         assert!(parse_args(&args(&["a", "b", "--theta", "abc"])).is_err());
         assert!(parse_args(&args(&["a", "b", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--threads", "x"])).is_err());
     }
 }

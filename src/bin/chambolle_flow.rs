@@ -9,6 +9,10 @@
 //!   --warps N           warps per pyramid level              [5]
 //!   --levels N          pyramid levels                       [5]
 //!   --backend B         seq | tiled | fpga (TV-L1 inner)     [seq]
+//!   --threads N         size the shared worker pool explicitly; the TV-L1
+//!                       outer loop and the seq/tiled inner solvers all run
+//!                       on it, bit-identical to the 1-thread result
+//!                       (hs/bm estimators and fpga inner ignore it)
 //!   --method M          tvl1 | hs | bm (estimator)           [tvl1]
 //!   --median            3x3 median filter between warps
 //!   --telemetry P       write a JSON run report (metrics + run summary) to P
@@ -16,14 +20,16 @@
 
 use std::error::Error;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use chambolle::core::{
     block_matching_flow, BlockMatchingParams, ChambolleParams, HornSchunck, HornSchunckParams,
-    SequentialSolver, TileConfig, TiledSolver, TvDenoiser, TvL1Params, TvL1Solver,
+    ParallelSolver, SequentialSolver, TileConfig, TiledSolver, TvDenoiser, TvL1Params, TvL1Solver,
 };
 use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
 use chambolle::imaging::FlowField;
 use chambolle::imaging::{colorize_flow, read_pgm, write_flo, write_ppm};
+use chambolle::par::ThreadPool;
 use chambolle::telemetry::json::JsonValue;
 use chambolle::telemetry::report::RunReport;
 use chambolle::telemetry::Telemetry;
@@ -40,6 +46,7 @@ struct Options {
     warps: u32,
     levels: usize,
     backend: Backend,
+    threads: Option<usize>,
     method: Method,
     median: bool,
     telemetry: Option<String>,
@@ -71,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         warps: 5,
         levels: 5,
         backend: Backend::Sequential,
+        threads: None,
         method: Method::TvL1,
         median: false,
         telemetry: None,
@@ -112,6 +120,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "fpga" => Backend::Fpga,
                     other => return Err(format!("unknown backend {other:?}")),
                 }
+            }
+            "--threads" => {
+                let threads: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads".to_string())?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(threads);
             }
             "--method" => {
                 opts.method = match value("--method")?.as_str() {
@@ -157,18 +174,34 @@ fn estimate(
             if opts.median {
                 params = params.with_median_filter();
             }
+            // One explicitly sized pool shared by the inner denoiser and the
+            // TV-L1 outer-loop image operations.
+            let pool = opts.threads.map(|threads| {
+                Arc::new(ThreadPool::new(threads).with_telemetry(telemetry.clone()))
+            });
             let backend: Box<dyn TvDenoiser> = match opts.backend {
-                Backend::Sequential => Box::new(SequentialSolver::new()),
-                Backend::Tiled => Box::new(
-                    TiledSolver::new(TileConfig::default()).with_telemetry(telemetry.clone()),
-                ),
+                Backend::Sequential => match &pool {
+                    Some(pool) => Box::new(ParallelSolver::with_pool(Arc::clone(pool))),
+                    None => Box::new(SequentialSolver::new()),
+                },
+                Backend::Tiled => {
+                    let solver =
+                        TiledSolver::new(TileConfig::default()).with_telemetry(telemetry.clone());
+                    Box::new(match &pool {
+                        Some(pool) => solver.with_pool(Arc::clone(pool)),
+                        None => solver,
+                    })
+                }
                 Backend::Fpga => {
                     let mut accel = ChambolleAccel::new(AccelConfig::default());
                     accel.attach_telemetry(telemetry.clone());
                     Box::new(AccelDenoiser::new(accel))
                 }
             };
-            let solver = TvL1Solver::with_backend(params, backend);
+            let mut solver = TvL1Solver::with_backend(params, backend);
+            if let Some(pool) = pool {
+                solver = solver.with_pool(pool);
+            }
             let (flow, stats) = solver.flow(i0, i1)?;
             eprintln!("{stats}");
             Ok(flow)
@@ -242,7 +275,8 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--method tvl1|hs|bm] [--median] [--telemetry REPORT.json]");
+            eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--threads N] [--method tvl1|hs|bm] [--median] [--telemetry REPORT.json]");
+            eprintln!("  --threads N sizes the shared worker pool explicitly; the TV-L1 outer loop and the seq/tiled inner solvers run on it, bit-identical to the 1-thread result (hs/bm and fpga ignore it)");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -296,6 +330,8 @@ mod tests {
             "4",
             "--backend",
             "fpga",
+            "--threads",
+            "4",
             "--median",
             "--telemetry",
             "flow.json",
@@ -308,6 +344,7 @@ mod tests {
         assert_eq!(o.warps, 3);
         assert_eq!(o.levels, 4);
         assert_eq!(o.backend, Backend::Fpga);
+        assert_eq!(o.threads, Some(4));
         assert!(o.median);
         assert_eq!(o.method, Method::TvL1);
         assert_eq!(o.telemetry.as_deref(), Some("flow.json"));
@@ -332,6 +369,7 @@ mod tests {
         assert!(parse_args(&args(&["a", "b", "c"])).is_err());
         assert!(parse_args(&args(&["a", "b", "--backend", "gpu"])).is_err());
         assert!(parse_args(&args(&["a", "b", "--iterations", "x"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "--threads", "0"])).is_err());
         assert!(parse_args(&args(&["a", "b", "--frob"])).is_err());
         assert!(parse_args(&args(&["a", "b", "--out"])).is_err());
         assert_eq!(parse_args(&args(&["--help"])).unwrap_err(), "help");

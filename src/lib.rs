@@ -15,7 +15,11 @@
 //!   work-stealing tile queue;
 //! - [`telemetry`] — the dependency-free observability layer: metric
 //!   registry, span timers, event sinks (JSON lines, Chrome trace) and the
-//!   machine-readable [`telemetry::RunReport`].
+//!   machine-readable [`telemetry::RunReport`];
+//! - [`service`] — the long-running request service: bounded admission
+//!   queue, micro-batching of compatible requests, per-request deadlines
+//!   with cooperative cancellation, priority lanes, graceful drain-based
+//!   shutdown, and a framed localhost TCP front-end.
 //!
 //! The binaries `chambolle_flow` and `chambolle_denoise` and the
 //! `examples/` directory are built from this crate; the workspace-level
@@ -45,4 +49,5 @@ pub use chambolle_fixed as fixed;
 pub use chambolle_hwsim as hwsim;
 pub use chambolle_imaging as imaging;
 pub use chambolle_par as par;
+pub use chambolle_service as service;
 pub use chambolle_telemetry as telemetry;
