@@ -1,0 +1,187 @@
+//! The execution context consolidating the solver entry-point surface.
+//!
+//! PRs 2–4 grew the public API a capability at a time: every solve sprouted
+//! `_with_pool`, `_with_telemetry` and `_cancellable` twins, and each new
+//! capability multiplied the surface. [`ExecCtx`] stops that: one value
+//! carries **all** execution policy — worker pool, telemetry registry,
+//! cancellation token and [`KernelBackend`] — and every solve family
+//! exposes a single `*_with_ctx` entry point taking it. The historical
+//! twins survive as thin wrappers that build the equivalent context and
+//! delegate, so existing callers keep their exact behavior (and bits).
+//!
+//! [`ExecCtx::default`] is fully inert: no pool (sequential execution),
+//! disabled telemetry (a single branch per probe), no cancellation. The
+//! kernel backend defaults to [`KernelBackend::active`] — backend choice is
+//! a pure throughput knob (every backend is bit-identical, see
+//! [`crate::backend`]), so the widest supported vector unit is safe to use
+//! even in an otherwise-inert context.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use chambolle_core::{chambolle_denoise_with_ctx, ChambolleParams, ExecCtx};
+//! use chambolle_imaging::Grid;
+//! use chambolle_par::ThreadPool;
+//!
+//! let v = Grid::from_fn(32, 24, |x, y| ((x ^ y) & 7) as f32 / 7.0);
+//! let params = ChambolleParams::with_iterations(15);
+//!
+//! // Inert context: sequential, silent, uncancellable.
+//! let (u_seq, _) = chambolle_denoise_with_ctx(&v, &params, &ExecCtx::default()).unwrap();
+//!
+//! // Pooled context: same bits, more cores.
+//! let ctx = ExecCtx::default().with_pool(Arc::new(ThreadPool::new(4)));
+//! let (u_par, _) = chambolle_denoise_with_ctx(&v, &params, &ctx).unwrap();
+//! assert_eq!(u_seq.as_slice(), u_par.as_slice());
+//! ```
+
+use std::sync::Arc;
+
+use chambolle_par::ThreadPool;
+use chambolle_telemetry::Telemetry;
+
+use crate::backend::KernelBackend;
+use crate::cancel::{CancelToken, Cancelled};
+
+/// Execution policy for one solve: pool + telemetry + cancellation +
+/// kernel backend.
+///
+/// Cheap to clone (two `Arc` bumps at most) and immutable once built; the
+/// builder methods consume and return `self` so contexts compose in one
+/// expression.
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    pool: Option<Arc<ThreadPool>>,
+    telemetry: Telemetry,
+    cancel: Option<CancelToken>,
+    backend: KernelBackend,
+}
+
+impl Default for ExecCtx {
+    /// The inert context: no pool, disabled telemetry, no cancellation,
+    /// and the process-wide active kernel backend.
+    fn default() -> Self {
+        ExecCtx {
+            pool: None,
+            telemetry: Telemetry::disabled(),
+            cancel: None,
+            backend: KernelBackend::active(),
+        }
+    }
+}
+
+impl ExecCtx {
+    /// Alias for [`ExecCtx::default`].
+    pub fn new() -> Self {
+        ExecCtx::default()
+    }
+
+    /// Runs the solve's parallel stages on `pool`.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Records metrics and spans into `telemetry`.
+    ///
+    /// The context's kernel backend publishes its `backend.*` gauges into
+    /// the handle immediately, so every run report produced from a solve
+    /// through this context names the vector unit the bits came from.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self.backend.record_telemetry(&self.telemetry);
+        self
+    }
+
+    /// Polls `cancel` at iteration boundaries.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Runs the row kernels on `backend` (bit-identical on every backend).
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self.backend.record_telemetry(&self.telemetry);
+        self
+    }
+
+    /// The worker pool, if any.
+    pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
+        self.pool.as_ref()
+    }
+
+    /// The telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The cancellation token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The kernel backend the row kernels run on.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Polls the cancellation token, if one is attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] once the attached token reports cancellation.
+    pub fn checkpoint(&self) -> Result<(), Cancelled> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_is_inert() {
+        let ctx = ExecCtx::default();
+        assert!(ctx.pool().is_none());
+        assert!(ctx.cancel().is_none());
+        assert!(!ctx.telemetry().is_enabled());
+        assert_eq!(ctx.backend(), KernelBackend::active());
+        assert!(ctx.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn attaching_telemetry_publishes_backend_gauges() {
+        use chambolle_telemetry::names;
+        let telemetry = Telemetry::null();
+        let ctx = ExecCtx::default()
+            .with_telemetry(telemetry.clone())
+            .with_backend(KernelBackend::Scalar);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.gauge(names::BACKEND_SIMD_LANES),
+            Some(ctx.backend().lanes() as f64)
+        );
+        assert!(snap.gauge(names::BACKEND_SSE2_SUPPORTED).is_some());
+        assert!(snap.gauge(names::BACKEND_AVX2_SUPPORTED).is_some());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let token = CancelToken::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let ctx = ExecCtx::new()
+            .with_pool(Arc::clone(&pool))
+            .with_cancel(token.clone())
+            .with_backend(KernelBackend::Scalar);
+        assert_eq!(ctx.pool().unwrap().threads(), 2);
+        assert_eq!(ctx.backend(), KernelBackend::Scalar);
+        assert!(ctx.checkpoint().is_ok());
+        token.cancel();
+        assert!(ctx.checkpoint().is_err());
+    }
+}

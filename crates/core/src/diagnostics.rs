@@ -11,10 +11,12 @@
 use chambolle_imaging::Grid;
 use chambolle_telemetry::{names, Telemetry};
 
+use crate::cancel::Cancelled;
+use crate::ctx::ExecCtx;
 use crate::ops::{divergence, forward_diff_x, forward_diff_y, inner_product, total_variation};
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
-use crate::solver::{chambolle_iterate, recover_u, rof_energy, DualField};
+use crate::solver::{chambolle_iterate_with_ctx, recover_u, rof_energy, DualField};
 
 /// The dual ROF objective `D(p) = ⟨v, div p⟩ − (θ/2)‖div p‖²`.
 ///
@@ -168,13 +170,8 @@ pub fn chambolle_denoise_monitored<R: Real>(
     check_every: u32,
     gap_tolerance: f64,
 ) -> SolveReport<R> {
-    chambolle_denoise_monitored_with_telemetry(
-        v,
-        params,
-        check_every,
-        gap_tolerance,
-        &Telemetry::disabled(),
-    )
+    chambolle_denoise_monitored_with_ctx(v, params, check_every, gap_tolerance, &ExecCtx::default())
+        .expect("an inert context carries no cancellation token")
 }
 
 /// [`chambolle_denoise_monitored`] with instrumentation: the whole solve is
@@ -198,14 +195,47 @@ pub fn chambolle_denoise_monitored_with_telemetry<R: Real>(
     gap_tolerance: f64,
     telemetry: &Telemetry,
 ) -> SolveReport<R> {
+    let ctx = ExecCtx::default().with_telemetry(telemetry.clone());
+    chambolle_denoise_monitored_with_ctx(v, params, check_every, gap_tolerance, &ctx)
+        .expect("a context without a token cannot be cancelled")
+}
+
+/// [`chambolle_denoise_monitored`] under an [`ExecCtx`]: the iteration
+/// chunks between gap checks run on the context's pool and kernel backend,
+/// the instrumentation of
+/// [`chambolle_denoise_monitored_with_telemetry`] records into the
+/// context's telemetry, and the context's cancellation token is polled at
+/// iteration boundaries.
+///
+/// The gap and energy evaluations themselves are sequential left-to-right
+/// `f64` sums on every backend and pool size (see [`crate::backend`]), so
+/// the report — history included — is bit-identical across contexts.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the context's token reports cancellation before
+/// the solve finishes; `p` progress up to the last completed iteration is
+/// discarded along with the partial report.
+///
+/// # Panics
+///
+/// Panics if `check_every == 0`.
+pub fn chambolle_denoise_monitored_with_ctx<R: Real>(
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    check_every: u32,
+    gap_tolerance: f64,
+    ctx: &ExecCtx,
+) -> Result<SolveReport<R>, Cancelled> {
     assert!(check_every > 0, "check interval must be positive");
+    let telemetry = ctx.telemetry();
     let _solve_span = telemetry.span("solver.monitored_denoise");
     let mut p = DualField::zeros(v.width(), v.height());
     let mut history = Vec::new();
     let mut done = 0u32;
     while done < params.iterations {
         let chunk = check_every.min(params.iterations - done);
-        chambolle_iterate(&mut p, v, params, chunk);
+        chambolle_iterate_with_ctx(&mut p, v, params, chunk, ctx)?;
         done += chunk;
         let u = recover_u(v, &p, params.theta);
         let gap = duality_gap(&u, &p, v, params.theta);
@@ -234,17 +264,18 @@ pub fn chambolle_denoise_monitored_with_telemetry<R: Real>(
         telemetry.gauge_set(names::SOLVER_FINAL_ENERGY, last.energy);
         telemetry.gauge_set(names::SOLVER_FINAL_GAP, last.gap);
     }
-    SolveReport {
+    Ok(SolveReport {
         u,
         p,
         iterations_run: done,
         history,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solver::chambolle_iterate;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn noisy(w: usize, h: usize, seed: u64) -> Grid<f64> {

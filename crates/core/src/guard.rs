@@ -32,9 +32,10 @@ use chambolle_imaging::Grid;
 use chambolle_telemetry::{names, Telemetry};
 
 use crate::cancel::{CancelToken, Cancelled};
+use crate::ctx::ExecCtx;
 use crate::diagnostics::{chambolle_denoise_monitored, SolveReport};
 use crate::params::{ChambolleParams, InvalidParamsError};
-use crate::solver::{chambolle_denoise_cancellable, rof_energy, SequentialSolver, TvDenoiser};
+use crate::solver::{chambolle_denoise_with_ctx, rof_energy, SequentialSolver, TvDenoiser};
 use crate::tiling::{TileConfig, TiledSolver};
 
 /// One corrective step taken by a guarded solver path.
@@ -518,6 +519,31 @@ pub fn guarded_denoise_cancellable(
     policy: &RecoveryPolicy,
     token: &CancelToken,
 ) -> Result<(Grid<f32>, RecoveryReport), GuardError> {
+    let ctx = ExecCtx::default().with_cancel(token.clone());
+    guarded_denoise_with_ctx(v, params, policy, &ctx)
+}
+
+/// The guarded solve under an [`ExecCtx`]: scrub, run the context-driven
+/// solver ([`chambolle_denoise_with_ctx`] — pool, telemetry, cancellation
+/// and kernel backend all honored), validate, retry, and finally give up.
+///
+/// With an inert context the output is bit-identical to
+/// `GuardedDenoiser::new(SequentialSolver::new())`; with a pool or a
+/// non-scalar backend it still is, because the banded solver and every
+/// kernel backend are bit-identical to the sequential reference.
+///
+/// # Errors
+///
+/// [`GuardError::Cancelled`] when the context's token fires mid-solve;
+/// [`GuardError::InvalidParams`] / [`GuardError::EmptyInput`] for inputs no
+/// backend could serve; [`GuardError::Unrecoverable`] when retries are
+/// exhausted.
+pub fn guarded_denoise_with_ctx(
+    v: &Grid<f32>,
+    params: &ChambolleParams,
+    policy: &RecoveryPolicy,
+    ctx: &ExecCtx,
+) -> Result<(Grid<f32>, RecoveryReport), GuardError> {
     validate_solvable(params)?;
     if v.is_empty() {
         return Err(GuardError::EmptyInput);
@@ -537,7 +563,7 @@ pub fn guarded_denoise_cancellable(
             report.actions.push(RecoveryAction::Retry { attempt });
         }
         let (u, _) =
-            chambolle_denoise_cancellable(&input, params, token).map_err(GuardError::Cancelled)?;
+            chambolle_denoise_with_ctx(&input, params, ctx).map_err(GuardError::Cancelled)?;
         if output_is_valid(&u, &input, params.theta, policy.check_energy) {
             return Ok((u, report));
         }

@@ -28,6 +28,7 @@
 //! paper-prose variant stays available through the reference two-pass
 //! functions.
 
+use crate::backend::KernelBackend;
 use crate::real::Real;
 
 /// `term = div p − v/θ` for one row.
@@ -207,6 +208,40 @@ pub fn fused_band_iteration<R: Real>(
     term_a: &mut [R],
     term_b: &mut [R],
 ) {
+    fused_band_iteration_on(
+        KernelBackend::Scalar,
+        px_band,
+        py_band,
+        v_band,
+        w,
+        h,
+        r0,
+        halo,
+        inv_theta,
+        step_ratio,
+        term_a,
+        term_b,
+    );
+}
+
+/// [`fused_band_iteration`] with the term and update rows computed by
+/// `backend`. Every backend is bit-identical to
+/// [`crate::backend::KernelBackend::Scalar`], so this only changes speed.
+#[allow(clippy::too_many_arguments)] // the flat-slice shape is the point
+pub fn fused_band_iteration_on<R: Real>(
+    backend: KernelBackend,
+    px_band: &mut [R],
+    py_band: &mut [R],
+    v_band: &[R],
+    w: usize,
+    h: usize,
+    r0: usize,
+    halo: BandHalo<'_, R>,
+    inv_theta: R,
+    step_ratio: R,
+    term_a: &mut [R],
+    term_b: &mut [R],
+) {
     assert!(w > 0, "band width must be positive");
     let rows = px_band.len() / w;
     let r1 = r0 + rows;
@@ -231,7 +266,7 @@ pub fn fused_band_iteration<R: Real>(
 
     let mut cur: &mut [R] = term_a;
     let mut next: &mut [R] = term_b;
-    compute_term_row(
+    backend.compute_term_row(
         &px_band[..w],
         &py_band[..w],
         halo.py_above,
@@ -249,7 +284,7 @@ pub fn fused_band_iteration<R: Real>(
             // after this, so it is still old here.
             if i + 1 < rows {
                 let (py_here, py_next) = py_band[lo..].split_at(w);
-                compute_term_row(
+                backend.compute_term_row(
                     &px_band[lo + w..lo + 2 * w],
                     &py_next[..w],
                     Some(py_here),
@@ -260,7 +295,7 @@ pub fn fused_band_iteration<R: Real>(
                 );
             } else {
                 let below = halo.below.as_ref().expect("below halo checked above");
-                compute_term_row(
+                backend.compute_term_row(
                     below.px,
                     below.py,
                     Some(&py_band[lo..lo + w]),
@@ -270,7 +305,7 @@ pub fn fused_band_iteration<R: Real>(
                     next,
                 );
             }
-            update_p_row(
+            backend.update_p_row(
                 cur,
                 Some(next),
                 step_ratio,
@@ -279,7 +314,7 @@ pub fn fused_band_iteration<R: Real>(
             );
             std::mem::swap(&mut cur, &mut next);
         } else {
-            update_p_row(
+            backend.update_p_row(
                 cur,
                 None,
                 step_ratio,

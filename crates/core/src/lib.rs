@@ -19,7 +19,13 @@
 //!   sequential reference with a structured [`RecoveryReport`];
 //! - [`cancel`] — cooperative cancellation and deadlines ([`CancelToken`])
 //!   polled at iteration boundaries by the `*_cancellable` solver entry
-//!   points, the hooks a long-running request service builds on.
+//!   points, the hooks a long-running request service builds on;
+//! - [`backend`] — the [`KernelBackend`] abstraction over the fused row
+//!   kernels: scalar, SSE2 and AVX2 implementations selected at runtime
+//!   (override with `CHAMBOLLE_BACKEND`), all bit-identical by contract;
+//! - [`ctx`] — the [`ExecCtx`] execution context consolidating pool,
+//!   telemetry, cancellation and kernel backend behind one `*_with_ctx`
+//!   entry point per solve family.
 //!
 //! # Examples
 //!
@@ -42,8 +48,10 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod block_matching;
 pub mod cancel;
+pub mod ctx;
 pub mod decomposition;
 pub mod dependency;
 pub mod diagnostics;
@@ -58,30 +66,38 @@ pub mod tiling;
 pub mod tvl1;
 pub mod weighted;
 
+pub use backend::KernelBackend;
 pub use block_matching::{block_matching_flow, BlockMatchingParams};
 pub use cancel::{CancelReason, CancelToken, Cancelled};
+pub use ctx::ExecCtx;
 pub use decomposition::{compute_group_decomposed, DecomposedStats, GroupRect};
 pub use diagnostics::{
-    chambolle_denoise_monitored, chambolle_denoise_monitored_with_telemetry, duality_gap,
-    duality_gap_compact, rof_dual_energy, try_duality_gap, try_duality_gap_compact,
-    try_rof_dual_energy, ConvergencePoint, SolveReport,
+    chambolle_denoise_monitored, chambolle_denoise_monitored_with_ctx,
+    chambolle_denoise_monitored_with_telemetry, duality_gap, duality_gap_compact, rof_dual_energy,
+    try_duality_gap, try_duality_gap_compact, try_rof_dual_energy, ConvergencePoint, SolveReport,
 };
 pub use guard::{
-    guarded_denoise_cancellable, guarded_denoise_monitored, output_is_valid, scrub_non_finite,
-    validate_solvable, GuardError, GuardedDenoiser, RecoveryAction, RecoveryPolicy, RecoveryReport,
+    guarded_denoise_cancellable, guarded_denoise_monitored, guarded_denoise_with_ctx,
+    output_is_valid, scrub_non_finite, validate_solvable, GuardError, GuardedDenoiser,
+    RecoveryAction, RecoveryPolicy, RecoveryReport,
 };
 pub use horn_schunck::{HornSchunck, HornSchunckParams};
 pub use params::{ChambolleParams, InvalidParamsError, TvL1Params};
 pub use real::Real;
 pub use solver::{
-    chambolle_denoise, chambolle_denoise_cancellable, chambolle_iterate,
-    chambolle_iterate_cancellable, chambolle_iterate_parallel, recover_u, rof_energy,
-    try_rof_energy, Convention, DualField, ParallelSolver, SequentialSolver, TvDenoiser,
+    chambolle_denoise, chambolle_denoise_cancellable, chambolle_denoise_with_ctx,
+    chambolle_iterate, chambolle_iterate_cancellable, chambolle_iterate_parallel,
+    chambolle_iterate_with_ctx, recover_u, rof_energy, try_rof_energy, Convention, DualField,
+    ParallelSolver, SequentialSolver, TvDenoiser,
 };
 pub use tiling::{
     chambolle_iterate_tiled, chambolle_iterate_tiled_cancellable,
-    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_with_pool,
+    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_spawn_baseline_with_ctx,
+    chambolle_iterate_tiled_with_ctx, chambolle_iterate_tiled_with_pool,
     chambolle_iterate_tiled_with_telemetry, Tile, TileConfig, TilePlan, TiledSolver,
 };
 pub use tvl1::{threshold_step, FlowError, FlowStats, TvL1Solver, VideoFlowTracker};
-pub use weighted::{chambolle_denoise_weighted, edge_stopping_weights, weighted_rof_energy};
+pub use weighted::{
+    chambolle_denoise_weighted, chambolle_denoise_weighted_with_ctx, edge_stopping_weights,
+    weighted_rof_energy,
+};

@@ -21,8 +21,10 @@ use std::sync::Arc;
 use chambolle_imaging::Grid;
 use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 
+use crate::backend::KernelBackend;
 use crate::cancel::{CancelToken, Cancelled};
-use crate::kernels::{fused_band_iteration, BandHalo, BelowHalo};
+use crate::ctx::ExecCtx;
+use crate::kernels::{BandHalo, BelowHalo};
 use crate::ops::{div_x_at, div_y_at, total_variation};
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
@@ -157,13 +159,160 @@ pub fn chambolle_iterate<R: Real>(
     params: &ChambolleParams,
     iterations: u32,
 ) {
+    chambolle_iterate_with_ctx(p, v, params, iterations, &ExecCtx::default())
+        .expect("an inert context carries no cancellation token");
+}
+
+/// The consolidated iteration entry point: runs `iterations` Chambolle
+/// iterations on `p` under the execution policy in `ctx`.
+///
+/// - no pool (or a 1-thread pool) → the fused sequential sweep;
+/// - a pool → the banded parallel sweep of [`chambolle_iterate_parallel`],
+///   bit-identical to sequential for every thread count;
+/// - the kernel rows run on `ctx.backend()` (bit-identical on every
+///   backend);
+/// - a cancellation token, if attached, is polled between iterations.
+///
+/// Every historical twin (`chambolle_iterate`,
+/// [`chambolle_iterate_cancellable`], [`chambolle_iterate_parallel`])
+/// delegates here.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if `ctx`'s token reports cancellation before all
+/// `iterations` complete; `p` then holds the state after the last completed
+/// iteration.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_with_ctx<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    ctx: &ExecCtx,
+) -> Result<(), Cancelled> {
+    iterate_impl(
+        p,
+        v,
+        params,
+        iterations,
+        ctx.pool().map(Arc::as_ref),
+        ctx.cancel(),
+        ctx.backend(),
+    )
+}
+
+/// The one implementation behind every iteration entry point.
+fn iterate_impl<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    pool: Option<&ThreadPool>,
+    token: Option<&CancelToken>,
+    backend: KernelBackend,
+) -> Result<(), Cancelled> {
+    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
+    let (w, h) = v.dims();
+    if w == 0 || h == 0 {
+        return Ok(());
+    }
     let inv_theta = R::ONE / R::from_f32(params.theta);
     let step_ratio = R::from_f32(params.step_ratio());
-    let mut term = Grid::new(v.width(), v.height(), R::ZERO);
-    for _ in 0..iterations {
-        compute_term_into(p, v, inv_theta, &mut term);
-        update_p_inplace(p, &term, step_ratio, Convention::Standard);
+
+    let bands = pool.map_or(1, ThreadPool::threads).min(h);
+    if bands <= 1 {
+        let (mut ta, mut tb) = (vec![R::ZERO; w], vec![R::ZERO; w]);
+        for _ in 0..iterations {
+            if let Some(token) = token {
+                token.check()?;
+            }
+            backend.fused_band_iteration(
+                p.px.as_mut_slice(),
+                p.py.as_mut_slice(),
+                v.as_slice(),
+                w,
+                h,
+                0,
+                BandHalo {
+                    py_above: None,
+                    below: None,
+                },
+                inv_theta,
+                step_ratio,
+                &mut ta,
+                &mut tb,
+            );
+        }
+        return Ok(());
     }
+    let pool = pool.expect("bands > 1 implies a pool");
+
+    // Deterministic band bounds (the partition never depends on scheduling;
+    // the result does not even depend on the partition — every band computes
+    // from old-p data only).
+    let bounds: Vec<usize> = (0..=bands).map(|b| b * h / bands).collect();
+    // Old-p halo rows copied fresh each iteration before the bands launch:
+    // for the boundary at row r, py[r-1] (read by the band below it) and
+    // px[r]/py[r] (read by the band above it).
+    let mut snap_py_above = vec![vec![R::ZERO; w]; bands - 1];
+    let mut snap_px_below = vec![vec![R::ZERO; w]; bands - 1];
+    let mut snap_py_below = vec![vec![R::ZERO; w]; bands - 1];
+    // Per-band term-row scratch, allocated once and reused every iteration.
+    let mut term_scratch = vec![(vec![R::ZERO; w], vec![R::ZERO; w]); bands];
+
+    for _ in 0..iterations {
+        if let Some(token) = token {
+            token.check()?;
+        }
+        for b in 0..bands - 1 {
+            let r = bounds[b + 1];
+            snap_py_above[b].copy_from_slice(p.py.row(r - 1));
+            snap_px_below[b].copy_from_slice(p.px.row(r));
+            snap_py_below[b].copy_from_slice(p.py.row(r));
+        }
+        let px_view = UnsafeSharedSlice::new(p.px.as_mut_slice());
+        let py_view = UnsafeSharedSlice::new(p.py.as_mut_slice());
+        let term_view = UnsafeSharedSlice::new(&mut term_scratch);
+        pool.parallel_tiles("par.solver.iteration", bands, |_, b| {
+            let (r0, r1) = (bounds[b], bounds[b + 1]);
+            // SAFETY: band row ranges are disjoint, and each band index runs
+            // exactly once; foreign rows are only read through the halo
+            // snapshots. Each band's scratch entry is touched by exactly the
+            // task that owns index b.
+            let (px_band, py_band, scratch) = unsafe {
+                (
+                    px_view.slice_mut(r0 * w, (r1 - r0) * w),
+                    py_view.slice_mut(r0 * w, (r1 - r0) * w),
+                    &mut term_view.slice_mut(b, 1)[0],
+                )
+            };
+            let halo = BandHalo {
+                py_above: (r0 > 0).then(|| snap_py_above[b - 1].as_slice()),
+                below: (r1 < h).then(|| BelowHalo {
+                    px: snap_px_below[b].as_slice(),
+                    py: snap_py_below[b].as_slice(),
+                    v: v.row(r1),
+                }),
+            };
+            backend.fused_band_iteration(
+                px_band,
+                py_band,
+                &v.as_slice()[r0 * w..r1 * w],
+                w,
+                h,
+                r0,
+                halo,
+                inv_theta,
+                step_ratio,
+                &mut scratch.0,
+                &mut scratch.1,
+            );
+        });
+    }
+    Ok(())
 }
 
 /// [`chambolle_iterate`] with a cooperative cancellation poll between
@@ -188,15 +337,8 @@ pub fn chambolle_iterate_cancellable<R: Real>(
     iterations: u32,
     token: &CancelToken,
 ) -> Result<(), Cancelled> {
-    let inv_theta = R::ONE / R::from_f32(params.theta);
-    let step_ratio = R::from_f32(params.step_ratio());
-    let mut term = Grid::new(v.width(), v.height(), R::ZERO);
-    for _ in 0..iterations {
-        token.check()?;
-        compute_term_into(p, v, inv_theta, &mut term);
-        update_p_inplace(p, &term, step_ratio, Convention::Standard);
-    }
-    Ok(())
+    let ctx = ExecCtx::default().with_cancel(token.clone());
+    chambolle_iterate_with_ctx(p, v, params, iterations, &ctx)
 }
 
 /// Recovers the primal solution `u = v − θ·div p` (Algorithm 1, line 9).
@@ -221,10 +363,30 @@ pub fn chambolle_denoise<R: Real>(
     v: &Grid<R>,
     params: &ChambolleParams,
 ) -> (Grid<R>, DualField<R>) {
+    chambolle_denoise_with_ctx(v, params, &ExecCtx::default())
+        .expect("an inert context carries no cancellation token")
+}
+
+/// The consolidated denoise entry point: solves the ROF model from a zero
+/// dual start under the execution policy in `ctx`
+/// (see [`chambolle_iterate_with_ctx`]).
+///
+/// Every historical twin ([`chambolle_denoise`],
+/// [`chambolle_denoise_cancellable`]) delegates here.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if `ctx`'s token reports cancellation before the
+/// solve finishes; no partial output is produced.
+pub fn chambolle_denoise_with_ctx<R: Real>(
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    ctx: &ExecCtx,
+) -> Result<(Grid<R>, DualField<R>), Cancelled> {
     let mut p = DualField::zeros(v.width(), v.height());
-    chambolle_iterate(&mut p, v, params, params.iterations);
+    chambolle_iterate_with_ctx(&mut p, v, params, params.iterations, ctx)?;
     let u = recover_u(v, &p, params.theta);
-    (u, p)
+    Ok((u, p))
 }
 
 /// [`chambolle_denoise`] with a cooperative cancellation poll between
@@ -241,10 +403,8 @@ pub fn chambolle_denoise_cancellable<R: Real>(
     params: &ChambolleParams,
     token: &CancelToken,
 ) -> Result<(Grid<R>, DualField<R>), Cancelled> {
-    let mut p = DualField::zeros(v.width(), v.height());
-    chambolle_iterate_cancellable(&mut p, v, params, params.iterations, token)?;
-    let u = recover_u(v, &p, params.theta);
-    Ok((u, p))
+    let ctx = ExecCtx::default().with_cancel(token.clone());
+    chambolle_denoise_with_ctx(v, params, &ctx)
 }
 
 /// The ROF primal energy `TV(u) + ‖u − v‖² / (2θ)` the iteration minimizes.
@@ -367,99 +527,11 @@ pub fn chambolle_iterate_parallel<R: Real>(
     v: &Grid<R>,
     params: &ChambolleParams,
     iterations: u32,
-    pool: &ThreadPool,
+    pool: &Arc<ThreadPool>,
 ) {
-    assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
-    let (w, h) = v.dims();
-    if w == 0 || h == 0 {
-        return;
-    }
-    let inv_theta = R::ONE / R::from_f32(params.theta);
-    let step_ratio = R::from_f32(params.step_ratio());
-
-    let bands = pool.threads().min(h);
-    if bands <= 1 {
-        let (mut ta, mut tb) = (vec![R::ZERO; w], vec![R::ZERO; w]);
-        for _ in 0..iterations {
-            fused_band_iteration(
-                p.px.as_mut_slice(),
-                p.py.as_mut_slice(),
-                v.as_slice(),
-                w,
-                h,
-                0,
-                BandHalo {
-                    py_above: None,
-                    below: None,
-                },
-                inv_theta,
-                step_ratio,
-                &mut ta,
-                &mut tb,
-            );
-        }
-        return;
-    }
-
-    // Deterministic band bounds (the partition never depends on scheduling;
-    // the result does not even depend on the partition — every band computes
-    // from old-p data only).
-    let bounds: Vec<usize> = (0..=bands).map(|b| b * h / bands).collect();
-    // Old-p halo rows copied fresh each iteration before the bands launch:
-    // for the boundary at row r, py[r-1] (read by the band below it) and
-    // px[r]/py[r] (read by the band above it).
-    let mut snap_py_above = vec![vec![R::ZERO; w]; bands - 1];
-    let mut snap_px_below = vec![vec![R::ZERO; w]; bands - 1];
-    let mut snap_py_below = vec![vec![R::ZERO; w]; bands - 1];
-    // Per-band term-row scratch, allocated once and reused every iteration.
-    let mut term_scratch = vec![(vec![R::ZERO; w], vec![R::ZERO; w]); bands];
-
-    for _ in 0..iterations {
-        for b in 0..bands - 1 {
-            let r = bounds[b + 1];
-            snap_py_above[b].copy_from_slice(p.py.row(r - 1));
-            snap_px_below[b].copy_from_slice(p.px.row(r));
-            snap_py_below[b].copy_from_slice(p.py.row(r));
-        }
-        let px_view = UnsafeSharedSlice::new(p.px.as_mut_slice());
-        let py_view = UnsafeSharedSlice::new(p.py.as_mut_slice());
-        let term_view = UnsafeSharedSlice::new(&mut term_scratch);
-        pool.parallel_tiles("par.solver.iteration", bands, |_, b| {
-            let (r0, r1) = (bounds[b], bounds[b + 1]);
-            // SAFETY: band row ranges are disjoint, and each band index runs
-            // exactly once; foreign rows are only read through the halo
-            // snapshots. Each band's scratch entry is touched by exactly the
-            // task that owns index b.
-            let (px_band, py_band, scratch) = unsafe {
-                (
-                    px_view.slice_mut(r0 * w, (r1 - r0) * w),
-                    py_view.slice_mut(r0 * w, (r1 - r0) * w),
-                    &mut term_view.slice_mut(b, 1)[0],
-                )
-            };
-            let halo = BandHalo {
-                py_above: (r0 > 0).then(|| snap_py_above[b - 1].as_slice()),
-                below: (r1 < h).then(|| BelowHalo {
-                    px: snap_px_below[b].as_slice(),
-                    py: snap_py_below[b].as_slice(),
-                    v: v.row(r1),
-                }),
-            };
-            fused_band_iteration(
-                px_band,
-                py_band,
-                &v.as_slice()[r0 * w..r1 * w],
-                w,
-                h,
-                r0,
-                halo,
-                inv_theta,
-                step_ratio,
-                &mut scratch.0,
-                &mut scratch.1,
-            );
-        });
-    }
+    let ctx = ExecCtx::default().with_pool(Arc::clone(pool));
+    chambolle_iterate_with_ctx(p, v, params, iterations, &ctx)
+        .expect("an inert context carries no cancellation token");
 }
 
 /// The pool-backed fused-kernel solver: bit-identical to

@@ -31,13 +31,13 @@ use chambolle_imaging::Grid;
 use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 use chambolle_telemetry::{names, Telemetry};
 
+use crate::backend::KernelBackend;
 use crate::cancel::{CancelToken, Cancelled};
-use crate::kernels::{fused_band_iteration, BandHalo};
+use crate::ctx::ExecCtx;
+use crate::kernels::BandHalo;
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
-use crate::solver::{
-    compute_term_into, recover_u, update_p_inplace, Convention, DualField, TvDenoiser,
-};
+use crate::solver::{recover_u, DualField, TvDenoiser};
 
 /// Geometry and scheduling parameters of the tiled solver.
 ///
@@ -285,14 +285,64 @@ pub fn chambolle_iterate_tiled<R: Real>(
     iterations: u32,
     config: &TileConfig,
 ) {
-    chambolle_iterate_tiled_with_telemetry(
-        p,
-        v,
-        params,
-        iterations,
-        config,
-        &Telemetry::disabled(),
-    );
+    chambolle_iterate_tiled_with_ctx(p, v, params, iterations, config, &ExecCtx::default())
+        .expect("an inert context carries no cancellation token");
+}
+
+/// The consolidated tiled entry point: one [`ExecCtx`] carries the pool,
+/// telemetry, cancellation token and kernel backend.
+///
+/// With a pool attached the windows run on it (its worker count takes
+/// precedence over `config.threads`); without one, a pool with
+/// `config.threads` workers is spawned for this call and wired to the
+/// context's telemetry. Cancellation is polled between rounds, so a
+/// cancelled call never leaves `p` mid-write (see
+/// [`chambolle_iterate_tiled_cancellable`]). The result is bit-identical to
+/// [`crate::solver::chambolle_iterate`] for every pool size and backend.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the context's token reports cancellation before
+/// all `iterations` complete.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_tiled_with_ctx<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+    ctx: &ExecCtx,
+) -> Result<(), Cancelled> {
+    match ctx.pool() {
+        Some(pool) => iterate_tiled_pooled_impl(
+            p,
+            v,
+            params,
+            iterations,
+            config,
+            pool,
+            ctx.telemetry(),
+            ctx.cancel(),
+            ctx.backend(),
+        ),
+        None => {
+            let pool = ThreadPool::new(config.threads).with_telemetry(ctx.telemetry().clone());
+            iterate_tiled_pooled_impl(
+                p,
+                v,
+                params,
+                iterations,
+                config,
+                &pool,
+                ctx.telemetry(),
+                ctx.cancel(),
+                ctx.backend(),
+            )
+        }
+    }
 }
 
 /// [`chambolle_iterate_tiled`] with instrumentation: records the plan's
@@ -315,8 +365,9 @@ pub fn chambolle_iterate_tiled_with_telemetry<R: Real>(
     config: &TileConfig,
     telemetry: &Telemetry,
 ) {
-    let pool = ThreadPool::new(config.threads).with_telemetry(telemetry.clone());
-    chambolle_iterate_tiled_with_pool(p, v, params, iterations, config, &pool, telemetry);
+    let ctx = ExecCtx::default().with_telemetry(telemetry.clone());
+    chambolle_iterate_tiled_with_ctx(p, v, params, iterations, config, &ctx)
+        .expect("a context without a token cannot be cancelled");
 }
 
 /// Per-worker window scratch, reused across tiles and rounds: the local
@@ -376,8 +427,20 @@ pub fn chambolle_iterate_tiled_with_pool<R: Real>(
     pool: &ThreadPool,
     telemetry: &Telemetry,
 ) {
-    iterate_tiled_pooled_impl(p, v, params, iterations, config, pool, telemetry, None)
-        .expect("uncancellable tiled iterate cannot be cancelled");
+    // The pool is borrowed, not `Arc`-owned, so this twin skips the `ExecCtx`
+    // wrapper and shares the context path's implementation directly.
+    iterate_tiled_pooled_impl(
+        p,
+        v,
+        params,
+        iterations,
+        config,
+        pool,
+        telemetry,
+        None,
+        KernelBackend::active(),
+    )
+    .expect("uncancellable tiled iterate cannot be cancelled");
 }
 
 /// [`chambolle_iterate_tiled_with_pool`] with a cooperative cancellation
@@ -417,6 +480,7 @@ pub fn chambolle_iterate_tiled_cancellable<R: Real>(
         pool,
         telemetry,
         Some(token),
+        KernelBackend::active(),
     )
 }
 
@@ -430,6 +494,7 @@ fn iterate_tiled_pooled_impl<R: Real>(
     pool: &ThreadPool,
     telemetry: &Telemetry,
     token: Option<&CancelToken>,
+    backend: KernelBackend,
 ) -> Result<(), Cancelled> {
     assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
     if iterations == 0 {
@@ -465,7 +530,16 @@ fn iterate_tiled_pooled_impl<R: Real>(
             pool.parallel_tiles("tiling.windows", tiles.len(), |worker, i| {
                 let tile = &tiles[i];
                 let mut scratch = scratch[worker].lock().expect("tile scratch poisoned");
-                process_window_fused(p_read, v, tile, inv_theta, step_ratio, k, &mut scratch);
+                process_window_fused(
+                    p_read,
+                    v,
+                    tile,
+                    inv_theta,
+                    step_ratio,
+                    k,
+                    backend,
+                    &mut scratch,
+                );
                 // SAFETY: profitable regions partition the frame and each
                 // tile index runs exactly once, so the row segments written
                 // here are disjoint across all concurrent windows.
@@ -498,6 +572,7 @@ fn iterate_tiled_pooled_impl<R: Real>(
 /// iterations. Frame-border boundary rules apply automatically where the
 /// window edge coincides with the frame edge; interior cuts corrupt only
 /// the halo, which the caller never writes back.
+#[allow(clippy::too_many_arguments)]
 fn process_window_fused<R: Real>(
     p: &DualField<R>,
     v: &Grid<R>,
@@ -505,6 +580,7 @@ fn process_window_fused<R: Real>(
     inv_theta: R,
     step_ratio: R,
     k: u32,
+    backend: KernelBackend,
     scratch: &mut TileScratch<R>,
 ) {
     let (sw, sh) = (tile.src_w, tile.src_h);
@@ -517,7 +593,7 @@ fn process_window_fused<R: Real>(
         scratch.v[y * sw..(y + 1) * sw].copy_from_slice(&v.row(row)[span]);
     }
     for _ in 0..k {
-        fused_band_iteration(
+        backend.fused_band_iteration(
             &mut scratch.px,
             &mut scratch.py,
             &scratch.v,
@@ -553,22 +629,86 @@ pub fn chambolle_iterate_tiled_spawn_baseline<R: Real>(
     iterations: u32,
     config: &TileConfig,
 ) {
+    chambolle_iterate_tiled_spawn_baseline_with_ctx(
+        p,
+        v,
+        params,
+        iterations,
+        config,
+        &ExecCtx::default(),
+    )
+    .expect("an inert context carries no cancellation token");
+}
+
+/// [`chambolle_iterate_tiled_spawn_baseline`] with full [`ExecCtx`] plumbing.
+///
+/// Until PR 5 this was the one tiled solve path that ignored the pool,
+/// telemetry and cancellation machinery entirely. It now honors all of them
+/// while keeping its measured identity — fresh window crops, a full term
+/// grid per window, and a collect-then-stitch round — intact:
+///
+/// - a context pool, when present, schedules the round's windows (only the
+///   spawn-per-round scheduling is replaced; with no pool the historical
+///   scoped-spawn behavior is preserved exactly),
+/// - telemetry records the same `tiling.*` plan gauge, round counters and
+///   spans as the pooled path,
+/// - cancellation is polled between rounds, and
+/// - the row kernels run on the context's [`KernelBackend`].
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the context's token reports cancellation before
+/// all `iterations` complete.
+///
+/// # Panics
+///
+/// Panics if `p` and `v` dimensions differ.
+pub fn chambolle_iterate_tiled_spawn_baseline_with_ctx<R: Real>(
+    p: &mut DualField<R>,
+    v: &Grid<R>,
+    params: &ChambolleParams,
+    iterations: u32,
+    config: &TileConfig,
+    ctx: &ExecCtx,
+) -> Result<(), Cancelled> {
     assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
     let (w, h) = v.dims();
     let plan = TilePlan::new(w, h, *config);
+    let telemetry = ctx.telemetry();
+    let backend = ctx.backend();
+    telemetry.gauge_set(names::TILING_REDUNDANCY_RATIO, plan.redundancy_fraction());
     let inv_theta = R::ONE / R::from_f32(params.theta);
     let step_ratio = R::from_f32(params.step_ratio());
 
     let mut remaining = iterations;
     while remaining > 0 {
+        ctx.checkpoint()?;
         let k = remaining.min(config.merge_factor);
-        let results = run_round(p, v, &plan, inv_theta, step_ratio, k, config.threads);
+        let round_span = telemetry.span("tiling.round");
+        let results = match ctx.pool() {
+            Some(pool) => run_round_on_pool(p, v, &plan, inv_theta, step_ratio, k, pool, backend),
+            None => run_round(
+                p,
+                v,
+                &plan,
+                inv_theta,
+                step_ratio,
+                k,
+                config.threads,
+                backend,
+            ),
+        };
         for (tile, lpx, lpy) in results {
             blit_profitable(&mut p.px, &tile, &lpx);
             blit_profitable(&mut p.py, &tile, &lpy);
         }
+        drop(round_span);
+        telemetry.counter_add(names::TILING_ROUNDS, 1);
+        telemetry.counter_add(names::TILING_WINDOW_LOADS, plan.tiles().len() as u64);
+        telemetry.observe(names::TILING_WINDOWS_PER_ROUND, plan.tiles().len() as f64);
         remaining -= k;
     }
+    Ok(())
 }
 
 /// One parallel round: every window runs `k` local iterations and returns
@@ -576,6 +716,7 @@ pub fn chambolle_iterate_tiled_spawn_baseline<R: Real>(
 /// A processed window: its position plus the locally updated dual grids.
 type WindowResult<R> = (Tile, Grid<R>, Grid<R>);
 
+#[allow(clippy::too_many_arguments)]
 fn run_round<R: Real>(
     p: &DualField<R>,
     v: &Grid<R>,
@@ -584,6 +725,7 @@ fn run_round<R: Real>(
     step_ratio: R,
     k: u32,
     threads: usize,
+    backend: KernelBackend,
 ) -> Vec<WindowResult<R>> {
     let tiles = plan.tiles();
     if threads <= 1 {
@@ -592,7 +734,7 @@ fn run_round<R: Real>(
         // thread churn for nothing.
         return tiles
             .iter()
-            .map(|tile| process_window(p, v, tile, plan, inv_theta, step_ratio, k))
+            .map(|tile| process_window(p, v, tile, plan, inv_theta, step_ratio, k, backend))
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -609,13 +751,44 @@ fn run_round<R: Real>(
                     break;
                 }
                 let tile = tiles[i];
-                let out = process_window(p, v, &tile, plan, inv_theta, step_ratio, k);
+                let out = process_window(p, v, &tile, plan, inv_theta, step_ratio, k, backend);
                 *results_slots[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
     });
 
     results_slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every window processed exactly once")
+        })
+        .collect()
+}
+
+/// [`run_round`] on an existing pool: same fresh-crop windows and stitch
+/// pass, but the windows go through the pool's work-stealing tile queue
+/// instead of round-scoped spawned threads.
+#[allow(clippy::too_many_arguments)]
+fn run_round_on_pool<R: Real>(
+    p: &DualField<R>,
+    v: &Grid<R>,
+    plan: &TilePlan,
+    inv_theta: R,
+    step_ratio: R,
+    k: u32,
+    pool: &ThreadPool,
+    backend: KernelBackend,
+) -> Vec<WindowResult<R>> {
+    let tiles = plan.tiles();
+    let slots: Vec<Mutex<Option<WindowResult<R>>>> =
+        (0..tiles.len()).map(|_| Mutex::new(None)).collect();
+    pool.parallel_tiles("tiling.windows", tiles.len(), |_, i| {
+        let out = process_window(p, v, &tiles[i], plan, inv_theta, step_ratio, k, backend);
+        *slots[i].lock().expect("result slot poisoned") = Some(out);
+    });
+    slots
         .into_iter()
         .map(|m| {
             m.into_inner()
@@ -633,6 +806,7 @@ fn run_round<R: Real>(
 /// boundary elements also lie on the border of I1" — Section III-A); interior
 /// cuts produce wrong values only within the K-cell halo, which is never
 /// written back.
+#[allow(clippy::too_many_arguments)]
 fn process_window<R: Real>(
     p: &DualField<R>,
     v: &Grid<R>,
@@ -641,6 +815,7 @@ fn process_window<R: Real>(
     inv_theta: R,
     step_ratio: R,
     k: u32,
+    backend: KernelBackend,
 ) -> WindowResult<R> {
     let mut local = DualField {
         px: p.px.crop(tile.src_x, tile.src_y, tile.src_w, tile.src_h),
@@ -656,10 +831,35 @@ fn process_window<R: Real>(
     // profitable region within K local iterations.
     debug_assert!(window_halo_is_full(tile, plan));
 
-    let mut term = Grid::new(tile.src_w, tile.src_h, R::ZERO);
+    // Two full passes over a window-sized term grid (the baseline's
+    // deliberately naive memory behavior), expressed with the row kernels so
+    // the backend applies; each row pair is bit-identical to the old
+    // `compute_term_into` / `update_p_inplace` full-grid passes.
+    let sh = tile.src_h;
+    let mut term = Grid::new(tile.src_w, sh, R::ZERO);
     for _ in 0..k {
-        compute_term_into(&local, &local_v, inv_theta, &mut term);
-        update_p_inplace(&mut local, &term, step_ratio, Convention::Standard);
+        for y in 0..sh {
+            let above = (y > 0).then(|| local.py.row(y - 1));
+            backend.compute_term_row(
+                local.px.row(y),
+                local.py.row(y),
+                above,
+                local_v.row(y),
+                inv_theta,
+                y + 1 == sh,
+                term.row_mut(y),
+            );
+        }
+        for y in 0..sh {
+            let below = (y + 1 < sh).then(|| term.row(y + 1));
+            backend.update_p_row(
+                term.row(y),
+                below,
+                step_ratio,
+                local.px.row_mut(y),
+                local.py.row_mut(y),
+            );
+        }
     }
     (*tile, local.px, local.py)
 }
@@ -736,25 +936,12 @@ impl TvDenoiser for TiledSolver {
     fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
         let _span = self.telemetry.span("tiling.denoise");
         let mut p = DualField::zeros(v.width(), v.height());
-        match &self.pool {
-            Some(pool) => chambolle_iterate_tiled_with_pool(
-                &mut p,
-                v,
-                params,
-                params.iterations,
-                &self.config,
-                pool,
-                &self.telemetry,
-            ),
-            None => chambolle_iterate_tiled_with_telemetry(
-                &mut p,
-                v,
-                params,
-                params.iterations,
-                &self.config,
-                &self.telemetry,
-            ),
+        let mut ctx = ExecCtx::default().with_telemetry(self.telemetry.clone());
+        if let Some(pool) = &self.pool {
+            ctx = ctx.with_pool(Arc::clone(pool));
         }
+        chambolle_iterate_tiled_with_ctx(&mut p, v, params, params.iterations, &self.config, &ctx)
+            .expect("a context without a token cannot be cancelled");
         recover_u(v, &p, params.theta)
     }
 
@@ -968,6 +1155,47 @@ mod tests {
                 "windows must go through the pool queue"
             );
         }
+    }
+
+    #[test]
+    fn spawn_baseline_with_ctx_honors_pool_telemetry_and_cancel() {
+        use crate::cancel::CancelToken;
+        let v = random_image(44, 32, 23);
+        let pr = params(6);
+        let cfg = TileConfig::new(18, 14, 2, 2).unwrap(); // K=2 -> 3 rounds
+        let mut p_ref = DualField::zeros(44, 32);
+        chambolle_iterate(&mut p_ref, &v, &pr, 6);
+
+        let tele = Telemetry::null();
+        let pool = Arc::new(ThreadPool::new(3));
+        let ctx = ExecCtx::default()
+            .with_pool(Arc::clone(&pool))
+            .with_telemetry(tele.clone());
+        let mut p_ctx = DualField::zeros(44, 32);
+        chambolle_iterate_tiled_spawn_baseline_with_ctx(&mut p_ctx, &v, &pr, 6, &cfg, &ctx)
+            .unwrap();
+        assert_eq!(p_ref.px.as_slice(), p_ctx.px.as_slice());
+        assert_eq!(p_ref.py.as_slice(), p_ctx.py.as_slice());
+        assert!(pool.stats().tasks > 0, "windows must run on the ctx pool");
+        assert_eq!(tele.snapshot().counter(names::TILING_ROUNDS), Some(3));
+
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = ExecCtx::default().with_cancel(token);
+        let mut p_stop = DualField::zeros(44, 32);
+        assert!(chambolle_iterate_tiled_spawn_baseline_with_ctx(
+            &mut p_stop,
+            &v,
+            &pr,
+            6,
+            &cfg,
+            &ctx
+        )
+        .is_err());
+        assert_eq!(
+            p_stop.px.as_slice(),
+            DualField::<f32>::zeros(44, 32).px.as_slice()
+        );
     }
 
     #[test]

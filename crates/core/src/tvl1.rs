@@ -16,6 +16,7 @@ use chambolle_imaging::{upsample_flow_component, FlowField, Image, Pyramid, Warp
 use chambolle_par::ThreadPool;
 
 use crate::cancel::{CancelToken, Cancelled};
+use crate::ctx::ExecCtx;
 use crate::params::TvL1Params;
 use crate::solver::{SequentialSolver, TvDenoiser};
 
@@ -114,7 +115,7 @@ impl<D: TvDenoiser> TvL1Solver<D> {
         i1: &Image,
         init: Option<&FlowField>,
     ) -> Result<(FlowField, FlowStats), FlowError> {
-        self.flow_impl(i0, i1, init, None)
+        self.flow_with_ctx(i0, i1, init, &self.base_ctx())
     }
 
     /// [`TvL1Solver::flow_with_init`] with a cooperative cancellation poll
@@ -138,15 +139,45 @@ impl<D: TvDenoiser> TvL1Solver<D> {
         init: Option<&FlowField>,
         token: &CancelToken,
     ) -> Result<(FlowField, FlowStats), FlowError> {
-        self.flow_impl(i0, i1, init, Some(token))
+        self.flow_with_ctx(i0, i1, init, &self.base_ctx().with_cancel(token.clone()))
     }
 
-    fn flow_impl(
+    /// The context the legacy entry points build from the solver's own
+    /// configuration: the attached pool (if any) and nothing else.
+    fn base_ctx(&self) -> ExecCtx {
+        match &self.pool {
+            Some(pool) => ExecCtx::default().with_pool(Arc::clone(pool)),
+            None => ExecCtx::default(),
+        }
+    }
+
+    /// The consolidated flow entry point: one [`ExecCtx`] carries the pool,
+    /// telemetry, cancellation token and kernel backend for the whole outer
+    /// loop.
+    ///
+    /// The context's pool (or, when it has none, the solver's attached pool)
+    /// drives the pyramid construction and per-warp linearization; its
+    /// backend selects the SIMD level of those pooled image kernels; its
+    /// token is polled at every outer-iteration boundary; and the solve is
+    /// wrapped in a `tvl1.flow` telemetry span. All of these are
+    /// bit-identical knobs — the flow matches the plain sequential path
+    /// exactly for any context.
+    ///
+    /// The *inner* Chambolle backend stays the one this solver was built
+    /// with ([`TvL1Solver::with_backend`]); pass a pool-aware backend (e.g.
+    /// [`ParallelSolver`](crate::solver::ParallelSolver)) sharing the same
+    /// pool to run the whole pipeline on one set of workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Cancelled`] if the context's token fires
+    /// mid-solve, plus the usual input-validation errors.
+    pub fn flow_with_ctx(
         &self,
         i0: &Image,
         i1: &Image,
         init: Option<&FlowField>,
-        token: Option<&CancelToken>,
+        ctx: &ExecCtx,
     ) -> Result<(FlowField, FlowStats), FlowError> {
         if i0.dims() != i1.dims() {
             return Err(FlowError::DimensionMismatch {
@@ -166,16 +197,20 @@ impl<D: TvDenoiser> TvL1Solver<D> {
             }
         }
 
+        let _span = ctx.telemetry().span("tvl1.flow");
         let start = Instant::now();
         let mut chambolle_time = Duration::ZERO;
         let mut chambolle_calls = 0u32;
 
-        let build = |img: &Image| match &self.pool {
+        let pool = ctx.pool().or(self.pool.as_ref());
+        let simd = ctx.backend().simd_level();
+        let build = |img: &Image| match pool {
             Some(pool) => Pyramid::build_scaled_with_pool(
                 img,
                 self.params.pyramid_levels,
                 self.params.scale_factor,
                 pool,
+                simd,
             ),
             None => {
                 Pyramid::build_scaled(img, self.params.pyramid_levels, self.params.scale_factor)
@@ -204,14 +239,12 @@ impl<D: TvDenoiser> TvL1Solver<D> {
                 );
             }
             for _ in 0..self.params.warps {
-                let lin = match &self.pool {
-                    Some(pool) => WarpLinearization::new_with_pool(l0, l1, &u, pool),
+                let lin = match pool {
+                    Some(pool) => WarpLinearization::new_with_pool(l0, l1, &u, pool, simd),
                     None => WarpLinearization::new(l0, l1, &u),
                 };
                 for _ in 0..self.params.outer_iterations {
-                    if let Some(token) = token {
-                        token.check().map_err(FlowError::Cancelled)?;
-                    }
+                    ctx.checkpoint().map_err(FlowError::Cancelled)?;
                     let v = threshold_step(&lin, &u, self.params.lambda, self.params.inner.theta);
                     let t0 = Instant::now();
                     let u1 = self.inner.denoise(&v.u1, &self.params.inner);

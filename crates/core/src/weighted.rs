@@ -12,10 +12,13 @@
 //! in a separate module so the reproduction path stays untouched.
 
 use chambolle_imaging::Grid;
+use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 
+use crate::backend::KernelBackend;
+use crate::ctx::ExecCtx;
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
-use crate::solver::{compute_term_into, recover_u, DualField};
+use crate::solver::{recover_u, DualField};
 
 /// Validates a weight field: strictly positive and finite everywhere.
 ///
@@ -82,6 +85,36 @@ pub fn chambolle_denoise_weighted<R: Real>(
     weights: &Grid<R>,
     params: &ChambolleParams,
 ) -> Result<(Grid<R>, DualField<R>), InvalidParamsError> {
+    chambolle_denoise_weighted_with_ctx(v, weights, params, &ExecCtx::default())
+}
+
+/// [`chambolle_denoise_weighted`] under an [`ExecCtx`].
+///
+/// Until PR 5 the weighted solve ignored the pool/telemetry plumbing
+/// entirely; it now honors the context:
+///
+/// - the term pass runs on the context's pool (row-sharded; each row is
+///   produced by the same row kernel either way, so the result is
+///   bit-identical to the sequential pass),
+/// - that term pass also runs on the context's [`KernelBackend`],
+/// - the solve is wrapped in a `weighted.solve` telemetry span.
+///
+/// The weighted dual update itself stays a sequential scalar pass: its
+/// per-weight renormalization has no fused/vector kernel (the paper's
+/// hardware fixes `w = 1`). The context's cancellation token is **not**
+/// polled — the weighted solve has no cancellable entry point to stay
+/// compatible with, and its error type reports invalid inputs only.
+///
+/// # Errors
+///
+/// Returns [`InvalidParamsError`] if the weights are invalid or the
+/// dimensions differ.
+pub fn chambolle_denoise_weighted_with_ctx<R: Real>(
+    v: &Grid<R>,
+    weights: &Grid<R>,
+    params: &ChambolleParams,
+    ctx: &ExecCtx,
+) -> Result<(Grid<R>, DualField<R>), InvalidParamsError> {
     if v.dims() != weights.dims() {
         return Err(InvalidParamsError::new(format!(
             "weights {}x{} do not match image {}x{}",
@@ -92,15 +125,66 @@ pub fn chambolle_denoise_weighted<R: Real>(
         )));
     }
     validate_weights(weights)?;
+    let _span = ctx.telemetry().span("weighted.solve");
+    let backend = ctx.backend();
+    let pool = ctx.pool().map(std::sync::Arc::as_ref);
     let inv_theta = R::ONE / R::from_f32(params.theta);
     let step_ratio = R::from_f32(params.step_ratio());
     let mut p = DualField::zeros(v.width(), v.height());
     let mut term = Grid::new(v.width(), v.height(), R::ZERO);
     for _ in 0..params.iterations {
-        compute_term_into(&p, v, inv_theta, &mut term);
+        term_pass(&p, v, inv_theta, backend, pool, &mut term);
         update_p_weighted(&mut p, &term, weights, step_ratio);
     }
     Ok((recover_u(v, &p, params.theta), p))
+}
+
+/// Pass 1 of a weighted iteration: fills `term` row by row with the
+/// context's backend, sharding rows over `pool` when one is attached. Rows
+/// are independent (each reads only `p` and `v`), so the sharding changes
+/// scheduling, never values.
+fn term_pass<R: Real>(
+    p: &DualField<R>,
+    v: &Grid<R>,
+    inv_theta: R,
+    backend: KernelBackend,
+    pool: Option<&ThreadPool>,
+    term: &mut Grid<R>,
+) {
+    let (w, h) = v.dims();
+    if w == 0 || h == 0 {
+        return;
+    }
+    let term_row = |y: usize, out: &mut [R]| {
+        backend.compute_term_row(
+            p.px.row(y),
+            p.py.row(y),
+            (y > 0).then(|| p.py.row(y - 1)),
+            v.row(y),
+            inv_theta,
+            y + 1 == h,
+            out,
+        );
+    };
+    match pool {
+        None => {
+            for y in 0..h {
+                term_row(y, term.row_mut(y));
+            }
+        }
+        Some(pool) => {
+            let shared = UnsafeSharedSlice::new(term.as_mut_slice());
+            let chunk = h.div_ceil(pool.threads().max(1)).max(1);
+            pool.parallel_for_rows("weighted.term", 0..h, chunk, |rows| {
+                for y in rows {
+                    // SAFETY: row ranges handed out by `parallel_for_rows`
+                    // are disjoint, so each term row is written by exactly
+                    // one task.
+                    term_row(y, unsafe { shared.slice_mut(y * w, w) });
+                }
+            });
+        }
+    }
 }
 
 /// The weighted ROF primal energy `Σ w·|∇u| + ‖u−v‖²/(2θ)`.
@@ -251,6 +335,30 @@ mod tests {
         assert!(w[(7, 4)] < 0.25, "edge weight {}", w[(7, 4)]);
         assert_eq!(w[(2, 4)], 1.0, "flat-region weight");
         assert!(validate_weights(&w).is_ok());
+    }
+
+    #[test]
+    fn weighted_with_ctx_pool_is_bit_identical_and_instrumented() {
+        use std::sync::Arc;
+        let v = noisy_step(24, 18, 9);
+        let weights = edge_stopping_weights(&v, 4.0);
+        let pr = params(30);
+        let (u_seq, p_seq) = chambolle_denoise_weighted(&v, &weights, &pr).unwrap();
+
+        let tele = chambolle_telemetry::Telemetry::null();
+        let ctx = ExecCtx::default()
+            .with_pool(Arc::new(ThreadPool::new(4)))
+            .with_telemetry(tele.clone());
+        let (u_par, p_par) = chambolle_denoise_weighted_with_ctx(&v, &weights, &pr, &ctx).unwrap();
+        assert_eq!(u_seq.as_slice(), u_par.as_slice());
+        assert_eq!(p_seq.px.as_slice(), p_par.px.as_slice());
+        assert_eq!(p_seq.py.as_slice(), p_par.py.as_slice());
+        let spans = tele
+            .snapshot()
+            .get(chambolle_telemetry::span::span_metric_name("weighted.solve").as_str())
+            .and_then(|m| m.as_histogram())
+            .map(|h| h.count());
+        assert_eq!(spans, Some(1));
     }
 
     #[test]

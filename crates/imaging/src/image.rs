@@ -1,8 +1,9 @@
 //! Scalar image operations: sampling, gradients, statistics.
 
-use chambolle_par::{ThreadPool, UnsafeSharedSlice};
+use chambolle_par::{SimdLevel, ThreadPool, UnsafeSharedSlice};
 
 use crate::grid::{par_band_rows, Grid};
+use crate::simd;
 
 /// A grayscale image with `f32` intensities, nominally in `[0, 1]`.
 pub type Image = Grid<f32>;
@@ -74,12 +75,17 @@ pub fn gradient_central(img: &Image) -> (Image, Image) {
 }
 
 /// [`gradient_central`] with the per-row work distributed over a worker
-/// pool.
+/// pool and each row's central differences dispatched on a [`SimdLevel`].
 ///
-/// Each cell depends only on the immutable input and the row partition is a
-/// pure function of the image height, so the result is bit-identical to the
-/// sequential version for every thread count.
-pub fn gradient_central_with_pool(img: &Image, pool: &ThreadPool) -> (Image, Image) {
+/// Each cell depends only on the immutable input, the row partition is a
+/// pure function of the image height, and the vector rows replay the scalar
+/// `0.5 · (next − prev)` per lane, so the result is bit-identical to the
+/// sequential version for every thread count and SIMD level.
+pub fn gradient_central_with_pool(
+    img: &Image,
+    pool: &ThreadPool,
+    level: SimdLevel,
+) -> (Image, Image) {
     let (w, h) = img.dims();
     let mut gx = Grid::new(w, h, 0.0);
     let mut gy = Grid::new(w, h, 0.0);
@@ -96,14 +102,9 @@ pub fn gradient_central_with_pool(img: &Image, pool: &ThreadPool) -> (Image, Ima
                 // the row slices of distinct tasks never overlap.
                 let gx_row = unsafe { gx_view.slice_mut(y * w, w) };
                 let gy_row = unsafe { gy_view.slice_mut(y * w, w) };
-                let yi = y as i64;
-                for x in 0..w {
-                    let xi = x as i64;
-                    gx_row[x] =
-                        0.5 * (sample_clamped(img, xi + 1, yi) - sample_clamped(img, xi - 1, yi));
-                    gy_row[x] =
-                        0.5 * (sample_clamped(img, xi, yi + 1) - sample_clamped(img, xi, yi - 1));
-                }
+                let above = img.row(y.saturating_sub(1));
+                let below = img.row((y + 1).min(h - 1));
+                simd::gradient_row(level, above, img.row(y), below, gx_row, gy_row);
             }
         });
     }
@@ -271,9 +272,22 @@ mod tests {
         let (gx, gy) = gradient_central(&img);
         for threads in [1usize, 2, 3, 8] {
             let pool = ThreadPool::new(threads);
-            let (px, py) = gradient_central_with_pool(&img, &pool);
-            assert_eq!(gx.as_slice(), px.as_slice(), "gx at {threads} threads");
-            assert_eq!(gy.as_slice(), py.as_slice(), "gy at {threads} threads");
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                if !level.is_supported() {
+                    continue;
+                }
+                let (px, py) = gradient_central_with_pool(&img, &pool, level);
+                assert_eq!(
+                    gx.as_slice(),
+                    px.as_slice(),
+                    "gx at {threads} threads, {level:?}"
+                );
+                assert_eq!(
+                    gy.as_slice(),
+                    py.as_slice(),
+                    "gy at {threads} threads, {level:?}"
+                );
+            }
         }
     }
 

@@ -5,7 +5,9 @@
 //!
 //! - [`Grid`] — the dense row-major 2-D container shared by all crates;
 //! - sampling, warping ([`warp_backward`], [`WarpLinearization`]) and
-//!   gradients ([`gradient_central`]);
+//!   gradients ([`gradient_central`]); the pooled blur/gradient/residual
+//!   variants additionally dispatch their row loops on a
+//!   [`chambolle_par::SimdLevel`], bit-identical at every level;
 //! - Gaussian [`Pyramid`]s for the coarse-to-fine outer loop;
 //! - [`FlowField`] plus error metrics and Middlebury colorization;
 //! - synthetic scenes with analytic ground truth ([`synthetic`]), including
@@ -36,6 +38,7 @@ mod grid;
 mod image;
 pub mod io;
 mod pyramid;
+mod simd;
 pub mod synthetic;
 mod warp;
 

@@ -1,9 +1,10 @@
 //! Gaussian image pyramids for the coarse-to-fine TV-L1 outer loop.
 
-use chambolle_par::ThreadPool;
+use chambolle_par::{SimdLevel, ThreadPool};
 
 use crate::grid::{par_band_rows, Grid};
 use crate::image::{sample_bilinear, Image};
+use crate::simd::{self, BINOMIAL5};
 
 /// A coarse-to-fine stack of images.
 ///
@@ -85,12 +86,18 @@ impl Pyramid {
     }
 
     /// [`Pyramid::build`] with each level's blur and decimation distributed
-    /// over a worker pool; bit-identical for every thread count.
+    /// over a worker pool and the blur rows running at the given
+    /// [`SimdLevel`]; bit-identical for every thread count and level.
     ///
     /// # Panics
     ///
     /// Panics if `max_levels == 0` or the input image is empty.
-    pub fn build_with_pool(base: &Image, max_levels: usize, pool: &ThreadPool) -> Self {
+    pub fn build_with_pool(
+        base: &Image,
+        max_levels: usize,
+        pool: &ThreadPool,
+        level: SimdLevel,
+    ) -> Self {
         assert!(max_levels > 0, "pyramid needs at least one level");
         assert!(!base.is_empty(), "cannot build a pyramid of an empty image");
         let mut levels = vec![base.clone()];
@@ -100,13 +107,14 @@ impl Pyramid {
             if w / 2 < Self::MIN_DIM || h / 2 < Self::MIN_DIM {
                 break;
             }
-            levels.push(downsample_half_with_pool(prev, pool));
+            levels.push(downsample_half_with_pool(prev, pool, level));
         }
         Pyramid { levels }
     }
 
     /// [`Pyramid::build_scaled`] with each level's blur and resize
-    /// distributed over a worker pool; bit-identical for every thread count.
+    /// distributed over a worker pool and the blur rows running at the given
+    /// [`SimdLevel`]; bit-identical for every thread count and level.
     ///
     /// # Panics
     ///
@@ -117,6 +125,7 @@ impl Pyramid {
         max_levels: usize,
         factor: f32,
         pool: &ThreadPool,
+        level: SimdLevel,
     ) -> Self {
         assert!(max_levels > 0, "pyramid needs at least one level");
         assert!(!base.is_empty(), "cannot build a pyramid of an empty image");
@@ -133,7 +142,7 @@ impl Pyramid {
             if nw < Self::MIN_DIM || nh < Self::MIN_DIM || (nw, nh) == (w, h) {
                 break;
             }
-            let blurred = blur_binomial5_with_pool(prev, pool);
+            let blurred = blur_binomial5_with_pool(prev, pool, level);
             levels.push(resize_bilinear_with_pool(&blurred, nw, nh, pool));
         }
         Pyramid { levels }
@@ -159,10 +168,6 @@ impl Pyramid {
         self.levels.last().expect("pyramid is never empty")
     }
 }
-
-/// The 5-tap binomial kernel (1 4 6 4 1)/16 shared by the sequential and
-/// pooled blurs.
-const BINOMIAL5: [f32; 5] = [1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0];
 
 /// 5-tap binomial (1 4 6 4 1)/16 separable blur with clamped borders.
 pub fn blur_binomial5(img: &Image) -> Image {
@@ -194,12 +199,13 @@ pub fn blur_binomial5(img: &Image) -> Image {
 }
 
 /// [`blur_binomial5`] with both separable passes row-parallelized over a
-/// worker pool.
+/// worker pool and the per-row tap loops dispatched on a [`SimdLevel`].
 ///
-/// Each pass accumulates the taps in the same order over the same inputs as
-/// the sequential blur, so the result is bit-identical for every thread
-/// count.
-pub fn blur_binomial5_with_pool(img: &Image, pool: &ThreadPool) -> Image {
+/// Every level accumulates the taps in the same order over the same inputs
+/// as the sequential blur (the vector rows replay the scalar accumulation
+/// per lane), so the result is bit-identical for every thread count and
+/// SIMD level.
+pub fn blur_binomial5_with_pool(img: &Image, pool: &ThreadPool, level: SimdLevel) -> Image {
     let (w, h) = img.dims();
     let mut tmp = Grid::new(w, h, 0.0);
     if w == 0 || h == 0 {
@@ -209,15 +215,7 @@ pub fn blur_binomial5_with_pool(img: &Image, pool: &ThreadPool) -> Image {
     pool.parallel_chunks_mut("imaging.blur_h", tmp.as_mut_slice(), w * band, |t, rows| {
         let y0 = t * band;
         for (dy, row) in rows.chunks_mut(w).enumerate() {
-            let src = img.row(y0 + dy);
-            for (x, cell) in row.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (i, k) in BINOMIAL5.iter().enumerate() {
-                    let xs = (x as i64 + i as i64 - 2).clamp(0, w as i64 - 1) as usize;
-                    acc += k * src[xs];
-                }
-                *cell = acc;
-            }
+            simd::blur_h_row(level, img.row(y0 + dy), row);
         }
     });
     let mut out = Grid::new(w, h, 0.0);
@@ -225,14 +223,10 @@ pub fn blur_binomial5_with_pool(img: &Image, pool: &ThreadPool) -> Image {
         let y0 = t * band;
         for (dy, row) in rows.chunks_mut(w).enumerate() {
             let y = y0 + dy;
-            for (x, cell) in row.iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (i, k) in BINOMIAL5.iter().enumerate() {
-                    let ys = (y as i64 + i as i64 - 2).clamp(0, h as i64 - 1) as usize;
-                    acc += k * tmp[(x, ys)];
-                }
-                *cell = acc;
-            }
+            let taps: [&[f32]; 5] = std::array::from_fn(|i| {
+                tmp.row((y as i64 + i as i64 - 2).clamp(0, h as i64 - 1) as usize)
+            });
+            simd::blur_v_row(level, taps, row);
         }
     });
     out
@@ -250,9 +244,11 @@ pub fn downsample_half(img: &Image) -> Image {
 }
 
 /// [`downsample_half`] with the blur and the decimation row-parallelized
-/// over a worker pool; bit-identical for every thread count.
-pub fn downsample_half_with_pool(img: &Image, pool: &ThreadPool) -> Image {
-    let blurred = blur_binomial5_with_pool(img, pool);
+/// over a worker pool and the blur rows running at the given [`SimdLevel`];
+/// bit-identical for every thread count and level. The decimation itself is
+/// a strided gather and stays scalar on every level.
+pub fn downsample_half_with_pool(img: &Image, pool: &ThreadPool, level: SimdLevel) -> Image {
+    let blurred = blur_binomial5_with_pool(img, pool, level);
     let (w, h) = img.dims();
     let nw = w.div_ceil(2);
     let nh = h.div_ceil(2);
@@ -298,7 +294,9 @@ pub fn resize_bilinear(img: &Image, new_w: usize, new_h: usize) -> Image {
 }
 
 /// [`resize_bilinear`] with the output rows distributed over a worker pool;
-/// bit-identical for every thread count.
+/// bit-identical for every thread count. Bilinear sampling is gather-bound
+/// (data-dependent indexing per pixel), so this pass has no vector body and
+/// takes no [`SimdLevel`].
 ///
 /// # Panics
 ///
@@ -415,32 +413,38 @@ mod tests {
         let resized = resize_bilinear(&img, 31, 22);
         let pyr_half = Pyramid::build(&img, 4);
         let pyr_scaled = Pyramid::build_scaled(&img, 4, 0.7);
+        let levels: Vec<SimdLevel> = [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+            .into_iter()
+            .filter(SimdLevel::is_supported)
+            .collect();
         for threads in [1usize, 2, 3, 8] {
             let pool = ThreadPool::new(threads);
-            assert_eq!(
-                blur.as_slice(),
-                blur_binomial5_with_pool(&img, &pool).as_slice(),
-                "blur at {threads} threads"
-            );
-            assert_eq!(
-                down.as_slice(),
-                downsample_half_with_pool(&img, &pool).as_slice(),
-                "downsample at {threads} threads"
-            );
+            for &level in &levels {
+                assert_eq!(
+                    blur.as_slice(),
+                    blur_binomial5_with_pool(&img, &pool, level).as_slice(),
+                    "blur at {threads} threads, {level:?}"
+                );
+                assert_eq!(
+                    down.as_slice(),
+                    downsample_half_with_pool(&img, &pool, level).as_slice(),
+                    "downsample at {threads} threads, {level:?}"
+                );
+                assert_eq!(
+                    pyr_half,
+                    Pyramid::build_with_pool(&img, 4, &pool, level),
+                    "half pyramid at {threads} threads, {level:?}"
+                );
+                assert_eq!(
+                    pyr_scaled,
+                    Pyramid::build_scaled_with_pool(&img, 4, 0.7, &pool, level),
+                    "scaled pyramid at {threads} threads, {level:?}"
+                );
+            }
             assert_eq!(
                 resized.as_slice(),
                 resize_bilinear_with_pool(&img, 31, 22, &pool).as_slice(),
                 "resize at {threads} threads"
-            );
-            assert_eq!(
-                pyr_half,
-                Pyramid::build_with_pool(&img, 4, &pool),
-                "half pyramid at {threads} threads"
-            );
-            assert_eq!(
-                pyr_scaled,
-                Pyramid::build_scaled_with_pool(&img, 4, 0.7, &pool),
-                "scaled pyramid at {threads} threads"
             );
         }
     }

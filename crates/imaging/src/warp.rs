@@ -1,11 +1,12 @@
 //! Backward image warping by a flow field — the per-warp linearization step
 //! of the TV-L1 outer loop.
 
-use chambolle_par::ThreadPool;
+use chambolle_par::{SimdLevel, ThreadPool};
 
 use crate::flow::FlowField;
 use crate::grid::{par_band_rows, Grid};
 use crate::image::{gradient_central, gradient_central_with_pool, sample_bilinear, Image};
+use crate::simd;
 
 /// Warps `img` backward by `flow`: `out(x, y) = img(x + u1, y + u2)` with
 /// bilinear interpolation and clamp-to-edge boundary handling.
@@ -37,6 +38,9 @@ pub fn warp_backward(img: &Image, flow: &FlowField) -> Image {
 ///
 /// Every output cell is a pure function of the immutable inputs, so the
 /// result is bit-identical to the sequential warp for every thread count.
+/// The bilinear sampling is gather-bound (each pixel reads four
+/// flow-dependent addresses), so the warp has no vector body and takes no
+/// [`SimdLevel`].
 ///
 /// # Panics
 ///
@@ -105,18 +109,25 @@ impl WarpLinearization {
     }
 
     /// [`WarpLinearization::new`] with the warp, gradient, and residual
-    /// fills distributed over a worker pool; bit-identical to the sequential
-    /// constructor for every thread count.
+    /// fills distributed over a worker pool, and the gradient and residual
+    /// rows dispatched on a [`SimdLevel`]; bit-identical to the sequential
+    /// constructor for every thread count and level.
     ///
     /// # Panics
     ///
     /// Panics if the inputs differ in size.
-    pub fn new_with_pool(i0: &Image, i1: &Image, u0: &FlowField, pool: &ThreadPool) -> Self {
+    pub fn new_with_pool(
+        i0: &Image,
+        i1: &Image,
+        u0: &FlowField,
+        pool: &ThreadPool,
+        level: SimdLevel,
+    ) -> Self {
         assert_eq!(i0.dims(), i1.dims(), "frames must match in size");
         assert_eq!(i0.dims(), u0.dims(), "flow must match the frame size");
         let (w, h) = i0.dims();
         let warped = warp_backward_with_pool(i1, u0, pool);
-        let (gx, gy) = gradient_central_with_pool(&warped, pool);
+        let (gx, gy) = gradient_central_with_pool(&warped, pool, level);
         let mut residual = Grid::new(w, h, 0.0);
         let band = par_band_rows(h.max(1), pool.threads());
         pool.parallel_chunks_mut(
@@ -125,11 +136,13 @@ impl WarpLinearization {
             w * band,
             |t, rows| {
                 let start = t * band * w;
-                let warped = warped.as_slice();
-                let i0 = i0.as_slice();
-                for (i, cell) in rows.iter_mut().enumerate() {
-                    *cell = warped[start + i] - i0[start + i];
-                }
+                let n = rows.len();
+                simd::sub_slice(
+                    level,
+                    &warped.as_slice()[start..start + n],
+                    &i0.as_slice()[start..start + n],
+                    rows,
+                );
             },
         );
         WarpLinearization {
@@ -214,11 +227,16 @@ mod tests {
                 par_warp.as_slice(),
                 "{threads} threads"
             );
-            let par_lin = WarpLinearization::new_with_pool(&i0, &i1, &flow, &pool);
-            assert_eq!(seq_lin.warped.as_slice(), par_lin.warped.as_slice());
-            assert_eq!(seq_lin.gx.as_slice(), par_lin.gx.as_slice());
-            assert_eq!(seq_lin.gy.as_slice(), par_lin.gy.as_slice());
-            assert_eq!(seq_lin.residual.as_slice(), par_lin.residual.as_slice());
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                if !level.is_supported() {
+                    continue;
+                }
+                let par_lin = WarpLinearization::new_with_pool(&i0, &i1, &flow, &pool, level);
+                assert_eq!(seq_lin.warped.as_slice(), par_lin.warped.as_slice());
+                assert_eq!(seq_lin.gx.as_slice(), par_lin.gx.as_slice());
+                assert_eq!(seq_lin.gy.as_slice(), par_lin.gy.as_slice());
+                assert_eq!(seq_lin.residual.as_slice(), par_lin.residual.as_slice());
+            }
         }
     }
 

@@ -52,9 +52,11 @@
 #![warn(missing_docs)]
 
 mod pool;
+pub mod simd;
 mod slice;
 
 pub use pool::{PoolStats, ThreadPool};
+pub use simd::SimdLevel;
 pub use slice::UnsafeSharedSlice;
 
 /// A reasonable default worker count: the machine's available parallelism,

@@ -21,7 +21,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chambolle_core::{guarded_denoise_cancellable, FlowError};
+use chambolle_core::{guarded_denoise_with_ctx, ExecCtx, FlowError, KernelBackend};
 use chambolle_core::{
     CancelReason, CancelToken, GuardError, RecoveryPolicy, RecoveryReport, TvL1Solver,
 };
@@ -439,6 +439,9 @@ impl std::fmt::Debug for Service {
 
 fn dispatcher_loop(shared: &Shared) {
     let pool = ThreadPool::new(shared.config.threads).with_telemetry(shared.telemetry.clone());
+    // Every request of this service runs on the same kernel backend; record
+    // the `backend.*` capability gauges once per dispatcher lifetime.
+    KernelBackend::active().record_telemetry(&shared.telemetry);
     while let Some(batch) = shared.queue.pop_batch(shared.config.max_batch) {
         dispatch_batch(shared, &pool, batch);
     }
@@ -485,13 +488,23 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
     if live.len() == 1 {
         // No point in a pool broadcast for a lone request.
         let solve_start = Instant::now();
-        let result = solve_contained(&live[0].workload, &live[0].token, &policy);
+        let result = solve_contained(
+            &live[0].workload,
+            &live[0].token,
+            &policy,
+            &shared.telemetry,
+        );
         *slots[0].lock().expect("slot poisoned") =
             Some((result, micros(solve_start, Instant::now())));
     } else {
         pool.parallel_tiles("service.batch", live.len(), |_, i| {
             let solve_start = Instant::now();
-            let result = solve_contained(&live[i].workload, &live[i].token, &policy);
+            let result = solve_contained(
+                &live[i].workload,
+                &live[i].token,
+                &policy,
+                &shared.telemetry,
+            );
             *slots[i].lock().expect("slot poisoned") =
                 Some((result, micros(solve_start, Instant::now())));
         });
@@ -509,12 +522,21 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
 
 /// One solve, with panics contained into a structured error so a poisoned
 /// request can never take down the dispatcher or its pool.
+///
+/// The request's deadline token rides in an [`ExecCtx`] together with the
+/// service telemetry and the process-wide kernel backend. The context
+/// deliberately carries **no** pool: the solve already runs *on* a pool
+/// worker, and the ctx-taking solver entry points fall back to their
+/// sequential bodies when the context has no pool of its own.
 fn solve_contained(
     workload: &Workload,
     token: &CancelToken,
     policy: &RecoveryPolicy,
+    telemetry: &Telemetry,
 ) -> Result<(Output, Option<RecoveryReport>), ServiceError> {
-    let outcome = catch_unwind(AssertUnwindSafe(|| solve_one(workload, token, policy)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        solve_one(workload, token, policy, telemetry)
+    }));
     match outcome {
         Ok(result) => result,
         Err(panic) => {
@@ -532,10 +554,14 @@ fn solve_one(
     workload: &Workload,
     token: &CancelToken,
     policy: &RecoveryPolicy,
+    telemetry: &Telemetry,
 ) -> Result<(Output, Option<RecoveryReport>), ServiceError> {
+    let ctx = ExecCtx::default()
+        .with_telemetry(telemetry.clone())
+        .with_cancel(token.clone());
     match workload {
         Workload::Denoise { input, params } => {
-            match guarded_denoise_cancellable(input, params, policy, token) {
+            match guarded_denoise_with_ctx(input, params, policy, &ctx) {
                 Ok((u, report)) => Ok((Output::Denoised(u), Some(report))),
                 Err(GuardError::Cancelled(c)) => Err(error_from_reason(c.reason)),
                 Err(other) => Err(ServiceError::Solver(other.to_string())),
@@ -543,7 +569,7 @@ fn solve_one(
         }
         Workload::TvL1 { i0, i1, params } => {
             let solver = TvL1Solver::sequential(*params);
-            match solver.flow_cancellable(i0, i1, None, token) {
+            match solver.flow_with_ctx(i0, i1, None, &ctx) {
                 Ok((flow, _stats)) => Ok((Output::Flow(flow), None)),
                 Err(FlowError::Cancelled(c)) => Err(error_from_reason(c.reason)),
                 Err(other) => Err(ServiceError::Solver(other.to_string())),

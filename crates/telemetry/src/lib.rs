@@ -164,6 +164,14 @@ pub mod names {
     pub const SERVICE_SOLVE_LATENCY_US: &str = "service.latency.solve_us";
     /// Histogram: microseconds from submission to response.
     pub const SERVICE_TOTAL_LATENCY_US: &str = "service.latency.total_us";
+
+    /// Gauge: `f32` lanes per vector op of the selected kernel backend
+    /// (1 scalar, 4 SSE2, 8 AVX2).
+    pub const BACKEND_SIMD_LANES: &str = "backend.simd_lanes";
+    /// Gauge: 1 if the host CPU supports the SSE2 backend, else 0.
+    pub const BACKEND_SSE2_SUPPORTED: &str = "backend.sse2_supported";
+    /// Gauge: 1 if the host CPU supports the AVX2 backend, else 0.
+    pub const BACKEND_AVX2_SUPPORTED: &str = "backend.avx2_supported";
 }
 
 struct Inner {

@@ -6,8 +6,6 @@
 //! cargo run --example denoise --release
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::{
     rof_energy, ChambolleParams, SequentialSolver, TileConfig, TiledSolver, TvDenoiser,
 };
@@ -15,7 +13,7 @@ use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
 use chambolle::imaging::{write_pgm, Grid, NoiseTexture, Scene};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     // A textured image with additive noise.
     let (w, h) = (160usize, 120usize);
     let clean = NoiseTexture::with_octaves(3, &[(32.0, 1.0), (16.0, 0.4)]).render(w, h);

@@ -10,15 +10,13 @@
 //! cargo run --example edge_aware_denoise --release
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::{
     chambolle_denoise, chambolle_denoise_weighted, edge_stopping_weights, ChambolleParams,
 };
 use chambolle::imaging::{psnr, write_pgm, Grid, Image};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     // A cartoon image: flat regions separated by strong edges — the case
     // where uniform TV rounds corners and loses contrast.
     let (w, h) = (128usize, 96usize);

@@ -11,7 +11,7 @@ use chambolle::core::{ChambolleParams, GuardedDenoiser, TileConfig};
 use chambolle::hwsim::{AccelConfig, AccelGuardConfig, ChambolleAccel, FaultConfig, FaultInjector};
 use chambolle::imaging::{NoiseTexture, Scene};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> chambolle::Result<()> {
     let v = NoiseTexture::new(2011).render(128, 96);
     let params = ChambolleParams::with_iterations(8);
 

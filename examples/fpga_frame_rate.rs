@@ -10,13 +10,11 @@
 //! cargo run --example fpga_frame_rate --release
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::ChambolleParams;
 use chambolle::hwsim::{AccelConfig, ChambolleAccel, ResourceModel, ThroughputModel};
 use chambolle::imaging::{NoiseTexture, Scene};
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     // 1. Simulate a real (small) frame on the accelerator: 2 sliding
     //    windows x 2 PE arrays, 92x88 windows, K = 2 iterations per load.
     let config = AccelConfig::default();

@@ -11,12 +11,10 @@
 //! cargo run --example motion_estimation --release
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::{TvL1Params, TvL1Solver};
 use chambolle::imaging::{Grid, Image, NoiseTexture, Scene};
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     let (w, h) = (128usize, 96usize);
     let (cx0, cy0, radius) = (52.0f32, 48.0f32, 18.0f32);
     let (dx, dy) = (3.0f32, 1.5f32);

@@ -6,8 +6,6 @@
 //! cargo run --example quickstart --release
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::{TileConfig, TiledSolver, TvL1Params, TvL1Solver};
 use chambolle::imaging::{
     average_endpoint_error, colorize_flow, render_pair, write_ppm, Motion, NoiseTexture,
@@ -16,7 +14,7 @@ use chambolle::telemetry::json::JsonValue;
 use chambolle::telemetry::report::RunReport;
 use chambolle::telemetry::Telemetry;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     // 1. Render a textured scene moving by (2.0, -1.0) pixels per frame.
     let scene = NoiseTexture::new(42);
     let motion = Motion::Translation { du: 2.0, dv: -1.0 };

@@ -12,15 +12,13 @@
 //! cargo run --example rolling_shutter --release
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::{TvL1Params, TvL1Solver};
 use chambolle::imaging::{
     global_shutter_frame, psnr, rolling_shutter_frame, sample_bilinear, write_pgm, Grid, Image,
     NoiseTexture,
 };
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     let (w, h) = (128usize, 96usize);
     let scene = NoiseTexture::new(7);
     // Scene velocity: 6 px/frame horizontally, 1 px/frame vertically.

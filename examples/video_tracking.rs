@@ -6,12 +6,10 @@
 //! cargo run --example video_tracking --release
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::{ChambolleParams, TvL1Params, TvL1Solver, VideoFlowTracker};
 use chambolle::imaging::{average_endpoint_error, render_sequence, Motion, NoiseTexture};
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     let (w, h) = (96usize, 72usize);
     let motion = Motion::Translation { du: 3.0, dv: 1.5 };
     let frames = render_sequence(&NoiseTexture::new(99), w, h, motion, 6);

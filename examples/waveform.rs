@@ -8,8 +8,6 @@
 //! gtkwave target/examples-output/window.vcd   # (on a machine with GTKWave)
 //! ```
 
-use std::error::Error;
-
 use chambolle::core::ChambolleParams;
 use chambolle::fixed::PackedWord;
 use chambolle::hwsim::trace::{write_vcd, AccessKind, TraceRecorder};
@@ -18,7 +16,7 @@ use chambolle::hwsim::{
 };
 use chambolle::imaging::{NoiseTexture, Scene};
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() -> chambolle::Result<()> {
     let mut array = PeArray::new(ArrayConfig::paper());
     let recorder = TraceRecorder::shared();
     array.attach_recorder(&recorder);

@@ -13,13 +13,12 @@
 //!   --telemetry P    write a JSON run report (metrics + run summary) to P
 //! ```
 
-use std::error::Error;
 use std::process::ExitCode;
 
 use std::sync::Arc;
 
 use chambolle::core::{
-    chambolle_denoise_monitored_with_telemetry, rof_energy, ChambolleParams, ParallelSolver,
+    chambolle_denoise_monitored_with_ctx, rof_energy, ChambolleParams, ExecCtx, ParallelSolver,
     SequentialSolver, TileConfig, TiledSolver, TvDenoiser,
 };
 use chambolle::hwsim::{AccelConfig, AccelDenoiser, ChambolleAccel};
@@ -105,7 +104,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
+fn run(opts: &Options) -> chambolle::Result<()> {
     let v = read_pgm(&opts.input)?;
     let params = ChambolleParams::new(opts.theta, opts.theta / 4.0, opts.iterations)?;
     let telemetry = if opts.telemetry.is_some() {
@@ -115,7 +114,8 @@ fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
     };
 
     let u = if let Some(tol) = opts.gap_tol {
-        let report = chambolle_denoise_monitored_with_telemetry(&v, &params, 10, tol, &telemetry);
+        let ctx = ExecCtx::default().with_telemetry(telemetry.clone());
+        let report = chambolle_denoise_monitored_with_ctx(&v, &params, 10, tol, &ctx)?;
         eprintln!(
             "converged in {} iterations (duality gap {:.4})",
             report.iterations_run,

@@ -18,7 +18,6 @@
 //!   --telemetry P       write a JSON run report (metrics + run summary) to P
 //! ```
 
-use std::error::Error;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -161,7 +160,7 @@ fn estimate(
     i0: &chambolle::imaging::Image,
     i1: &chambolle::imaging::Image,
     telemetry: &Telemetry,
-) -> Result<FlowField, Box<dyn Error>> {
+) -> chambolle::Result<FlowField> {
     match opts.method {
         Method::TvL1 => {
             let mut params = TvL1Params::new(
@@ -218,7 +217,7 @@ fn estimate(
     }
 }
 
-fn run(opts: &Options) -> Result<(), Box<dyn Error>> {
+fn run(opts: &Options) -> chambolle::Result<()> {
     let i0 = read_pgm(&opts.input0)?;
     let i1 = read_pgm(&opts.input1)?;
     let telemetry = if opts.telemetry.is_some() {

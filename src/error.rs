@@ -1,0 +1,178 @@
+//! The workspace-wide error umbrella.
+//!
+//! Every fallible entry point in the workspace reports a crate-local error
+//! type (invalid parameters, I/O, cancellation, admission rejection, …).
+//! Application code that mixes the crates — the binaries and the
+//! `examples/` directory here — previously had to erase them into
+//! `Box<dyn Error>`; [`enum@Error`] keeps them as one matchable enum with a
+//! `From` impl per source type, so `?` works across the whole stack while
+//! the variant (and [`std::error::Error::source`]) stays inspectable.
+
+use std::fmt;
+
+use chambolle_core::{Cancelled, FlowError, GuardError, InvalidParamsError};
+use chambolle_fixed::PackWordError;
+use chambolle_hwsim::HwParamsError;
+use chambolle_imaging::{GridShapeError, PnmError};
+use chambolle_service::{RejectReason, ServiceError};
+use chambolle_telemetry::json::JsonError;
+
+/// `Result` alias over the umbrella [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// One error type covering every crate of the workspace.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle::core::{ChambolleParams, TvL1Params, TvL1Solver};
+/// use chambolle::imaging::Grid;
+///
+/// fn solve() -> chambolle::Result<()> {
+///     // `?` lifts the per-crate errors into `chambolle::Error`.
+///     let params = ChambolleParams::new(0.25, 0.06, 5)?; // InvalidParamsError
+///     let frame = Grid::new(16, 16, 0.5f32);
+///     let solver = TvL1Solver::sequential(TvL1Params::default());
+///     let _ = solver.flow(&frame, &frame)?; // FlowError
+///     Ok(())
+/// }
+/// solve().unwrap();
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Rejected solver or tiling parameters (`chambolle-core`).
+    Params(InvalidParamsError),
+    /// TV-L1 optical-flow failure (`chambolle-core`).
+    Flow(FlowError),
+    /// Guarded-pipeline failure after recovery was exhausted
+    /// (`chambolle-core`).
+    Guard(GuardError),
+    /// Cooperative cancellation or deadline expiry (`chambolle-core`).
+    Cancelled(Cancelled),
+    /// Mismatched grid dimensions (`chambolle-imaging`).
+    GridShape(GridShapeError),
+    /// PGM/PPM/FLO decode or encode failure (`chambolle-imaging`).
+    Pnm(PnmError),
+    /// Request-service solve failure (`chambolle-service`).
+    Service(ServiceError),
+    /// Request-service admission rejection (`chambolle-service`).
+    Rejected(RejectReason),
+    /// Rejected hardware-model parameters (`chambolle-hwsim`).
+    HwParams(HwParamsError),
+    /// Fixed-point word packing failure (`chambolle-fixed`).
+    PackWord(PackWordError),
+    /// Telemetry JSON parse failure (`chambolle-telemetry`).
+    Json(JsonError),
+    /// Operating-system I/O failure.
+    Io(std::io::Error),
+    /// Free-form application error (CLI argument parsing and the like).
+    Msg(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Params(e) => e.fmt(f),
+            Error::Flow(e) => e.fmt(f),
+            Error::Guard(e) => e.fmt(f),
+            Error::Cancelled(e) => e.fmt(f),
+            Error::GridShape(e) => e.fmt(f),
+            Error::Pnm(e) => e.fmt(f),
+            Error::Service(e) => e.fmt(f),
+            Error::Rejected(e) => e.fmt(f),
+            Error::HwParams(e) => e.fmt(f),
+            Error::PackWord(e) => e.fmt(f),
+            Error::Json(e) => e.fmt(f),
+            Error::Io(e) => e.fmt(f),
+            Error::Msg(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Params(e) => Some(e),
+            Error::Flow(e) => Some(e),
+            Error::Guard(e) => Some(e),
+            Error::Cancelled(e) => Some(e),
+            Error::GridShape(e) => Some(e),
+            Error::Pnm(e) => Some(e),
+            Error::Service(e) => Some(e),
+            Error::Rejected(e) => Some(e),
+            Error::HwParams(e) => Some(e),
+            Error::PackWord(e) => Some(e),
+            Error::Json(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Msg(_) => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($source:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$source> for Error {
+            fn from(e: $source) -> Self {
+                Error::$variant(e)
+            }
+        })*
+    };
+}
+
+impl_from! {
+    InvalidParamsError => Params,
+    FlowError => Flow,
+    GuardError => Guard,
+    Cancelled => Cancelled,
+    GridShapeError => GridShape,
+    PnmError => Pnm,
+    ServiceError => Service,
+    RejectReason => Rejected,
+    HwParamsError => HwParams,
+    PackWordError => PackWord,
+    JsonError => Json,
+    std::io::Error => Io,
+}
+
+impl From<String> for Error {
+    fn from(msg: String) -> Self {
+        Error::Msg(msg)
+    }
+}
+
+impl From<&str> for Error {
+    fn from(msg: &str) -> Self {
+        Error::Msg(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_preserve_the_source() {
+        let source = chambolle_core::ChambolleParams::new(-1.0, 0.2, 3).unwrap_err();
+        let err = Error::from(source);
+        assert!(matches!(err, Error::Params(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert!(err.to_string().contains("invalid solver parameters"));
+    }
+
+    #[test]
+    fn question_mark_lifts_across_crates() {
+        fn inner() -> Result<()> {
+            chambolle_core::ChambolleParams::new(-1.0, 0.2, 3)?;
+            Ok(())
+        }
+        assert!(matches!(inner(), Err(Error::Params(_))));
+    }
+
+    #[test]
+    fn message_errors_display_verbatim() {
+        let err = Error::from("bad flag");
+        assert_eq!(err.to_string(), "bad flag");
+        assert!(std::error::Error::source(&err).is_none());
+    }
+}

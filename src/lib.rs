@@ -21,6 +21,11 @@
 //!   with cooperative cancellation, priority lanes, graceful drain-based
 //!   shutdown, and a framed localhost TCP front-end.
 //!
+//! On top of the re-exports, the facade adds the [`enum@Error`] umbrella —
+//! one enum with a `From` impl per crate-local error type, so application
+//! code can use `?` across the whole stack — and a [`prelude`] with the
+//! handful of types almost every program needs.
+//!
 //! The binaries `chambolle_flow` and `chambolle_denoise` and the
 //! `examples/` directory are built from this crate; the workspace-level
 //! integration tests live in `tests/`.
@@ -43,6 +48,11 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod error;
+pub mod prelude;
+
+pub use error::{Error, Result};
 
 pub use chambolle_core as core;
 pub use chambolle_fixed as fixed;
