@@ -10,9 +10,10 @@
 //! cargo run --release -p chambolle-bench --bin loadgen              # full run
 //! cargo run --release -p chambolle-bench --bin loadgen -- --smoke  # CI smoke
 //! cargo run --release -p chambolle-bench --bin loadgen -- --out x.json
+//! cargo run --release -p chambolle-bench --bin loadgen -- --chaos  # chaos soak
 //! ```
 //!
-//! Three phases, all on 4 worker threads:
+//! Default mode: three phases, all on 4 worker threads:
 //!
 //! 1. `baseline` — `max_batch = 1` (every request dispatched alone);
 //! 2. `batched` — `max_batch = 8` (compatible requests coalesce); the run
@@ -23,6 +24,12 @@
 //!
 //! Every phase asserts the zero-lost-response invariant: each accepted
 //! request resolves to exactly one response.
+//!
+//! `--chaos` switches to the resilience soak: a fault-injected TCP server
+//! (seeded resets, payload corruption, and one scripted post-commit
+//! server panic) driven by [`ResilientClient`]. The run asserts 100%
+//! completion with zero exhausted retry budgets and writes a schema-stable
+//! `BENCH_pr6.json` with retry, breaker, and chaos-fault counters.
 
 use std::env;
 use std::time::{Duration, Instant};
@@ -31,16 +38,76 @@ use chambolle_bench::workloads::timing_frame;
 use chambolle_core::ChambolleParams;
 use chambolle_imaging::Image;
 use chambolle_service::{
-    Priority, RejectReason, Request, Service, ServiceConfig, ServiceError, Ticket, Workload,
+    BreakerPolicy, ChaosConfig, Priority, RejectReason, Request, ResilientClient, ResilientConfig,
+    RetryPolicy, Service, ServiceConfig, ServiceError, TcpServer, Ticket, Workload,
 };
 use chambolle_telemetry::json::JsonValue;
+use chambolle_telemetry::{names, Telemetry};
 
 /// Schema identifier checked by the smoke validation and downstream tools.
 const SCHEMA: &str = "chambolle.bench.v1";
-/// Benchmark identifier within the schema.
+/// Benchmark identifier of the batching phases within the schema.
 const BENCH: &str = "pr4";
+/// Benchmark identifier of the chaos soak within the schema.
+const CHAOS_BENCH: &str = "pr6";
 /// Pool size for every phase.
 const THREADS: usize = 4;
+/// Fixed injector/jitter seed: the chaos soak rolls seeded dice, not a
+/// fuzzer's — fault volume tracks traffic, and the scripted panic is exact.
+const CHAOS_SEED: u64 = 0xC4A0_5BE7_7E12;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Args {
+    smoke: bool,
+    chaos: bool,
+    connect_timeout: Duration,
+    out: Option<String>,
+}
+
+impl Args {
+    fn out_path(&self) -> String {
+        self.out.clone().unwrap_or_else(|| {
+            if self.chaos {
+                "BENCH_pr6.json".to_string()
+            } else {
+                "BENCH_pr4.json".to_string()
+            }
+        })
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        smoke: false,
+        chaos: false,
+        connect_timeout: chambolle_service::DEFAULT_CONNECT_TIMEOUT,
+        out: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--chaos" => parsed.chaos = true,
+            "--out" => {
+                let value = iter.next().ok_or("--out requires a path")?;
+                parsed.out = Some(value.clone());
+            }
+            "--connect-timeout-ms" => {
+                let value = iter.next().ok_or("--connect-timeout-ms requires a value")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--connect-timeout-ms: not a number: {value:?}"))?;
+                if ms == 0 {
+                    return Err("--connect-timeout-ms must be positive".into());
+                }
+                parsed.connect_timeout = Duration::from_millis(ms);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
 
 struct PhaseSpec<'a> {
     name: &'a str,
@@ -212,15 +279,196 @@ fn run_phase(
 }
 
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let raw: Vec<String> = env::args().skip(1).collect();
+    let args = parse_args(&raw).unwrap_or_else(|e| {
+        eprintln!("loadgen: {e}");
+        eprintln!("usage: loadgen [--smoke] [--chaos] [--connect-timeout-ms <ms>] [--out <path>]");
+        std::process::exit(2);
+    });
+    let out_path = args.out_path();
 
+    type Validator = fn(&str) -> Result<(), String>;
+    let (text, check): (String, Validator) = if args.chaos {
+        (run_chaos_bench(&args).to_string_pretty(), validate_chaos)
+    } else {
+        (run_batching_bench(args.smoke).to_string_pretty(), validate)
+    };
+    check(&text).unwrap_or_else(|e| {
+        eprintln!("emitted report failed schema validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out_path, format!("{text}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    println!("{text}");
+}
+
+/// The chaos soak: a fault-injected TCP front-end driven by the resilient
+/// client. Asserts 100% completion with zero exhausted budgets and returns
+/// the `pr6` report.
+fn run_chaos_bench(args: &Args) -> JsonValue {
+    let (n, size, iters) = if args.smoke {
+        (60usize, 24usize, 12u32)
+    } else {
+        (200, 48, 30)
+    };
+    eprintln!(
+        "loadgen: chaos soak, {n} denoise requests of {size}x{size} @{iters} iters ({} mode)",
+        mode(args.smoke)
+    );
+
+    let input: Image = timing_frame(size, size);
+    let params = ChambolleParams::with_iterations(iters);
+    let server_telemetry = Telemetry::null();
+    let client_telemetry = Telemetry::null();
+    let service =
+        Service::spawn_with_telemetry(ServiceConfig::new(2, 32), server_telemetry.clone());
+    let chaos = ChaosConfig::quiet(CHAOS_SEED)
+        .with_resets(0.03)
+        .with_corruption(0.03)
+        .with_panic_on_request(5);
+    let server = TcpServer::bind_with_chaos(service.handle().clone(), "127.0.0.1:0", chaos)
+        .expect("bind chaos server");
+
+    let config = ResilientConfig {
+        connect_timeout: args.connect_timeout,
+        io_timeout: Duration::from_secs(10),
+        retry: RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(50),
+        },
+        breaker: BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(10),
+        },
+        jitter_seed: CHAOS_SEED,
+    };
+    let mut client = ResilientClient::connect_with(server.local_addr(), config)
+        .expect("connect resilient client")
+        .with_telemetry(client_telemetry.clone());
+
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let outcome = client
+            .denoise(&input, &params, Priority::Batch, None)
+            .expect("chaos soak: every request must complete");
+        assert_eq!(outcome.output.len(), input.len());
+        latencies.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = client.stats();
+    assert_eq!(stats.requests, n as u64, "100% completion under chaos");
+    assert_eq!(stats.exhausted, 0, "no retry budget may exhaust");
+
+    server.shutdown();
+    let summary = service.shutdown();
+    assert_eq!(summary.stats.in_flight(), 0);
+
+    let client_snap = client_telemetry.snapshot();
+    let server_snap = server_telemetry.snapshot();
+    let counter = |snap: &chambolle_telemetry::metrics::Metrics, name: &str| -> u64 {
+        snap.counter(name).unwrap_or(0)
+    };
+    let faults = [
+        names::SERVICE_CHAOS_RESETS,
+        names::SERVICE_CHAOS_CORRUPTIONS,
+        names::SERVICE_CHAOS_STALLS,
+        names::SERVICE_CHAOS_PARTIAL_WRITES,
+        names::SERVICE_CHAOS_SERVER_PANICS,
+    ]
+    .iter()
+    .map(|name| counter(&server_snap, name))
+    .sum::<u64>();
+    let retry_rate = if stats.attempts == 0 {
+        0.0
+    } else {
+        stats.retries as f64 / stats.attempts as f64
+    };
+    eprintln!(
+        "  {n} reqs in {wall_s:.2}s: {} attempts ({} retries, {:.1}% retry rate), \
+         {} recovered, {} breaker opens, {faults} injected faults",
+        stats.attempts,
+        stats.retries,
+        100.0 * retry_rate,
+        stats.recovered,
+        stats.breaker_opened,
+    );
+
+    JsonValue::Object(vec![
+        ("schema".into(), SCHEMA.into()),
+        ("bench".into(), CHAOS_BENCH.into()),
+        ("mode".into(), mode(args.smoke).into()),
+        ("seed".into(), CHAOS_SEED.into()),
+        ("requests".into(), (n as u64).into()),
+        ("completed".into(), stats.requests.into()),
+        ("attempts".into(), stats.attempts.into()),
+        ("retries".into(), stats.retries.into()),
+        ("retry_rate".into(), retry_rate.into()),
+        ("recovered".into(), stats.recovered.into()),
+        ("exhausted".into(), stats.exhausted.into()),
+        ("wall_s".into(), wall_s.into()),
+        (
+            "p50_us".into(),
+            percentile_us(&mut latencies.clone(), 50.0).into(),
+        ),
+        ("p99_us".into(), percentile_us(&mut latencies, 99.0).into()),
+        (
+            "breaker".into(),
+            JsonValue::Object(vec![
+                (
+                    "opened".into(),
+                    counter(&client_snap, names::SERVICE_BREAKER_OPENED).into(),
+                ),
+                (
+                    "half_open".into(),
+                    counter(&client_snap, names::SERVICE_BREAKER_HALF_OPEN).into(),
+                ),
+                (
+                    "closed".into(),
+                    counter(&client_snap, names::SERVICE_BREAKER_CLOSED).into(),
+                ),
+            ]),
+        ),
+        (
+            "chaos".into(),
+            JsonValue::Object(vec![
+                (
+                    "resets".into(),
+                    counter(&server_snap, names::SERVICE_CHAOS_RESETS).into(),
+                ),
+                (
+                    "corruptions".into(),
+                    counter(&server_snap, names::SERVICE_CHAOS_CORRUPTIONS).into(),
+                ),
+                (
+                    "stalls".into(),
+                    counter(&server_snap, names::SERVICE_CHAOS_STALLS).into(),
+                ),
+                (
+                    "partial_writes".into(),
+                    counter(&server_snap, names::SERVICE_CHAOS_PARTIAL_WRITES).into(),
+                ),
+                (
+                    "server_panics".into(),
+                    counter(&server_snap, names::SERVICE_CHAOS_SERVER_PANICS).into(),
+                ),
+                ("faults_total".into(), faults.into()),
+            ]),
+        ),
+        (
+            "idempotent_hits".into(),
+            counter(&server_snap, names::SERVICE_IDEMPOTENT_HITS).into(),
+        ),
+    ])
+}
+
+/// The original three-phase batching benchmark (`pr4` report).
+fn run_batching_bench(smoke: bool) -> JsonValue {
     // Smoke keeps CI fast (200 mixed-priority requests); the full run uses
     // a heavier frame so solve time dominates dispatch overhead.
     let (n, size, iters, interval) = if smoke {
@@ -302,7 +550,7 @@ fn main() {
         "the batched phase must actually coalesce requests"
     );
 
-    let report = JsonValue::Object(vec![
+    JsonValue::Object(vec![
         ("schema".into(), SCHEMA.into()),
         ("bench".into(), BENCH.into()),
         ("mode".into(), mode(smoke).into()),
@@ -325,18 +573,7 @@ fn main() {
                 ("batched_p99_us".into(), batched.p99_us.into()),
             ]),
         ),
-    ]);
-    let text = report.to_string_pretty();
-    validate(&text).unwrap_or_else(|e| {
-        eprintln!("emitted report failed schema validation: {e}");
-        std::process::exit(1);
-    });
-    std::fs::write(&out_path, format!("{text}\n")).unwrap_or_else(|e| {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    });
-    eprintln!("wrote {out_path}");
-    println!("{text}");
+    ])
 }
 
 fn mode(smoke: bool) -> &'static str {
@@ -407,4 +644,114 @@ fn validate(text: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Checks the chaos-soak document: schema/bench identifiers, every counter
+/// field, and the hard resilience invariants (100% completion, zero
+/// exhausted retry budgets).
+fn validate_chaos(text: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("schema must be {SCHEMA:?}"));
+    }
+    if doc.get("bench").and_then(JsonValue::as_str) != Some(CHAOS_BENCH) {
+        return Err(format!("bench must be {CHAOS_BENCH:?}"));
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("mode must be full|smoke, got {other:?}")),
+    }
+    for field in [
+        "seed",
+        "requests",
+        "completed",
+        "attempts",
+        "retries",
+        "retry_rate",
+        "recovered",
+        "exhausted",
+        "wall_s",
+        "p50_us",
+        "p99_us",
+        "idempotent_hits",
+    ] {
+        if doc.get(field).is_none() {
+            return Err(format!("chaos report missing {field:?}"));
+        }
+    }
+    for field in ["breaker.opened", "breaker.half_open", "breaker.closed"] {
+        if doc.get_path(field).is_none() {
+            return Err(format!("chaos report missing {field:?}"));
+        }
+    }
+    for field in [
+        "chaos.resets",
+        "chaos.corruptions",
+        "chaos.stalls",
+        "chaos.partial_writes",
+        "chaos.server_panics",
+        "chaos.faults_total",
+    ] {
+        if doc.get_path(field).is_none() {
+            return Err(format!("chaos report missing {field:?}"));
+        }
+    }
+    let requests = doc.get("requests").and_then(JsonValue::as_f64);
+    let completed = doc.get("completed").and_then(JsonValue::as_f64);
+    if requests.is_none() || requests != completed {
+        return Err("chaos soak must complete 100% of requests".into());
+    }
+    if doc.get("exhausted").and_then(JsonValue::as_f64) != Some(0.0) {
+        return Err("chaos soak must not exhaust any retry budget".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_full_batching_mode() {
+        let args = parse_args(&[]).unwrap();
+        assert!(!args.smoke);
+        assert!(!args.chaos);
+        assert_eq!(
+            args.connect_timeout,
+            chambolle_service::DEFAULT_CONNECT_TIMEOUT
+        );
+        assert_eq!(args.out_path(), "BENCH_pr4.json");
+    }
+
+    #[test]
+    fn chaos_flag_switches_bench_and_default_output() {
+        let args = parse_args(&strings(&["--chaos", "--smoke"])).unwrap();
+        assert!(args.chaos);
+        assert!(args.smoke);
+        assert_eq!(args.out_path(), "BENCH_pr6.json");
+    }
+
+    #[test]
+    fn connect_timeout_flag_parses_milliseconds() {
+        let args = parse_args(&strings(&["--connect-timeout-ms", "250"])).unwrap();
+        assert_eq!(args.connect_timeout, Duration::from_millis(250));
+        assert!(parse_args(&strings(&["--connect-timeout-ms"])).is_err());
+        assert!(parse_args(&strings(&["--connect-timeout-ms", "soon"])).is_err());
+        assert!(parse_args(&strings(&["--connect-timeout-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn out_flag_overrides_the_default_path() {
+        let args = parse_args(&strings(&["--chaos", "--out", "custom.json"])).unwrap();
+        assert_eq!(args.out_path(), "custom.json");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse_args(&strings(&["--frobnicate"])).is_err());
+    }
 }

@@ -215,4 +215,78 @@ mod tests {
         let c = Cancelled::new(CancelReason::Explicit);
         assert!(c.to_string().contains("cancelled"));
     }
+
+    #[test]
+    fn zero_timeout_deadline_is_already_expired() {
+        // `with_timeout(0)` sets the deadline to "now"; by the first check
+        // the clock has advanced (or is equal), so the token must report
+        // DeadlineExceeded before any iteration could run.
+        let token = CancelToken::with_timeout(Duration::ZERO);
+        assert_eq!(
+            token.check().unwrap_err().reason,
+            CancelReason::DeadlineExceeded
+        );
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_tokens_are_monotonic_once_expired() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(token.check().is_err());
+        // Repeated checks never flip back to runnable.
+        for _ in 0..3 {
+            assert_eq!(
+                token.check().unwrap_err().reason,
+                CancelReason::DeadlineExceeded
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_cancel_after_deadline_still_reports_explicit() {
+        // The race both ways: a token whose deadline already fired is then
+        // explicitly cancelled — the explicit reason must win on every
+        // subsequent check, on every clone.
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(5));
+        let clone = token.clone();
+        assert_eq!(
+            clone.check().unwrap_err().reason,
+            CancelReason::DeadlineExceeded
+        );
+        token.cancel();
+        assert_eq!(clone.check().unwrap_err().reason, CancelReason::Explicit);
+        assert_eq!(token.check().unwrap_err().reason, CancelReason::Explicit);
+    }
+
+    #[test]
+    fn concurrent_cancel_and_deadline_checks_settle_on_explicit() {
+        // Hammer check() from several threads while one thread cancels a
+        // token whose deadline fires at roughly the same time. Every error
+        // must carry one of the two reasons, and once any thread has seen
+        // Explicit, later checks must keep reporting Explicit.
+        let token = CancelToken::with_timeout(Duration::from_millis(2));
+        let canceller = token.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            canceller.cancel();
+        });
+        let mut reasons = Vec::new();
+        loop {
+            match token.check() {
+                Ok(()) => std::thread::yield_now(),
+                Err(c) => {
+                    reasons.push(c.reason);
+                    if c.reason == CancelReason::Explicit || reasons.len() > 10_000 {
+                        break;
+                    }
+                }
+            }
+        }
+        h.join().unwrap();
+        assert_eq!(
+            token.check().unwrap_err().reason,
+            CancelReason::Explicit,
+            "after the explicit cancel lands, it wins every later check"
+        );
+    }
 }

@@ -44,8 +44,54 @@ use chambolle_telemetry::Telemetry;
 use crate::backend::KernelBackend;
 use crate::cancel::{CancelToken, Cancelled};
 
+/// Fidelity-shedding policy for brownout operation.
+///
+/// Under sustained overload a service can keep *accepting* work while
+/// spending less on each request: a context carrying a degradation policy
+/// caps the iteration budget of every solve that runs through it. The
+/// result converges less far (a "degraded tier" answer) but arrives — the
+/// graceful-degradation trade of the adaptive real-time PIV architecture,
+/// shedding fidelity before shedding requests.
+///
+/// A policy is pure configuration: attaching one to an [`ExecCtx`] changes
+/// results only when `max_iterations` actually bites (i.e. the request
+/// asked for more). Callers that must know which tier they got should check
+/// [`DegradationPolicy::caps`] against the requested iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationPolicy {
+    /// Hard ceiling on Chambolle iterations per solve while degraded.
+    pub max_iterations: u32,
+}
+
+impl DegradationPolicy {
+    /// A policy capping solves at `max_iterations` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` is zero — a zero-iteration "solve" would
+    /// return the input unmodified, which is load shedding, not degradation.
+    pub fn cap(max_iterations: u32) -> Self {
+        assert!(
+            max_iterations > 0,
+            "a degradation policy must allow at least one iteration"
+        );
+        DegradationPolicy { max_iterations }
+    }
+
+    /// The iteration budget this policy grants a request for `requested`.
+    pub fn effective_iterations(&self, requested: u32) -> u32 {
+        requested.min(self.max_iterations)
+    }
+
+    /// Whether the policy actually reduces a request for `requested`
+    /// iterations (i.e. the result will be a degraded-tier answer).
+    pub fn caps(&self, requested: u32) -> bool {
+        requested > self.max_iterations
+    }
+}
+
 /// Execution policy for one solve: pool + telemetry + cancellation +
-/// kernel backend.
+/// kernel backend + optional brownout degradation.
 ///
 /// Cheap to clone (two `Arc` bumps at most) and immutable once built; the
 /// builder methods consume and return `self` so contexts compose in one
@@ -56,6 +102,7 @@ pub struct ExecCtx {
     telemetry: Telemetry,
     cancel: Option<CancelToken>,
     backend: KernelBackend,
+    degradation: Option<DegradationPolicy>,
 }
 
 impl Default for ExecCtx {
@@ -67,6 +114,7 @@ impl Default for ExecCtx {
             telemetry: Telemetry::disabled(),
             cancel: None,
             backend: KernelBackend::active(),
+            degradation: None,
         }
     }
 }
@@ -107,6 +155,16 @@ impl ExecCtx {
         self
     }
 
+    /// Caps every solve's iteration budget per `policy` (brownout tier).
+    ///
+    /// Unlike the other context knobs this one **changes results** whenever
+    /// the cap bites: that is its purpose. Solvers honoring the context
+    /// report the capped budget through [`ExecCtx::effective_iterations`].
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = Some(policy);
+        self
+    }
+
     /// The worker pool, if any.
     pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
         self.pool.as_ref()
@@ -125,6 +183,27 @@ impl ExecCtx {
     /// The kernel backend the row kernels run on.
     pub fn backend(&self) -> KernelBackend {
         self.backend
+    }
+
+    /// The brownout degradation policy, if one is attached.
+    pub fn degradation(&self) -> Option<&DegradationPolicy> {
+        self.degradation.as_ref()
+    }
+
+    /// The iteration budget a solve asking for `requested` iterations gets
+    /// under this context: `requested` itself without a degradation policy,
+    /// the policy's cap otherwise.
+    pub fn effective_iterations(&self, requested: u32) -> u32 {
+        match &self.degradation {
+            Some(policy) => policy.effective_iterations(requested),
+            None => requested,
+        }
+    }
+
+    /// Whether a solve asking for `requested` iterations would be served at
+    /// the degraded tier under this context.
+    pub fn degrades(&self, requested: u32) -> bool {
+        self.degradation.as_ref().is_some_and(|p| p.caps(requested))
     }
 
     /// Polls the cancellation token, if one is attached.
@@ -152,6 +231,31 @@ mod tests {
         assert!(!ctx.telemetry().is_enabled());
         assert_eq!(ctx.backend(), KernelBackend::active());
         assert!(ctx.checkpoint().is_ok());
+        assert!(ctx.degradation().is_none());
+        assert_eq!(ctx.effective_iterations(100), 100);
+        assert!(!ctx.degrades(100));
+    }
+
+    #[test]
+    fn degradation_policy_caps_only_when_it_bites() {
+        let policy = DegradationPolicy::cap(25);
+        assert_eq!(policy.effective_iterations(100), 25);
+        assert_eq!(policy.effective_iterations(10), 10);
+        assert!(policy.caps(26));
+        assert!(!policy.caps(25));
+
+        let ctx = ExecCtx::default().with_degradation(policy);
+        assert_eq!(ctx.degradation(), Some(&policy));
+        assert_eq!(ctx.effective_iterations(100), 25);
+        assert_eq!(ctx.effective_iterations(5), 5);
+        assert!(ctx.degrades(26));
+        assert!(!ctx.degrades(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iteration_degradation_policy_is_rejected() {
+        let _ = DegradationPolicy::cap(0);
     }
 
     #[test]

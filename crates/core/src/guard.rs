@@ -960,4 +960,80 @@ mod tests {
         assert!(!output_is_valid(&poisoned, &v, 0.25, false));
         assert!(!output_is_valid(&Grid::new(3, 3, 0.0f32), &v, 0.25, false));
     }
+
+    #[test]
+    fn past_deadline_cancels_before_the_first_iteration_boundary() {
+        use crate::cancel::{CancelReason, CancelToken};
+        use std::time::{Duration, Instant};
+        let v = noisy(16, 12, 31);
+        let policy = RecoveryPolicy::default();
+        // Zero and past deadlines both fail the pre-iteration poll: the
+        // guard never reaches a single Chambolle iteration (an enormous
+        // iteration count would hang the test if it did).
+        for token in [
+            CancelToken::with_timeout(Duration::ZERO),
+            CancelToken::with_deadline(Instant::now() - Duration::from_secs(5)),
+        ] {
+            let started = Instant::now();
+            let err =
+                guarded_denoise_cancellable(&v, &params(2_000_000), &policy, &token).unwrap_err();
+            match err {
+                GuardError::Cancelled(c) => {
+                    assert_eq!(c.reason, CancelReason::DeadlineExceeded);
+                }
+                other => panic!("expected Cancelled, got {other:?}"),
+            }
+            assert!(
+                started.elapsed() < Duration::from_secs(2),
+                "an expired deadline must abort without iterating"
+            );
+        }
+    }
+
+    #[test]
+    fn token_reuse_across_solves_is_sound() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let v = noisy(14, 10, 32);
+        let policy = RecoveryPolicy::default();
+        // A live token is reusable across successive solves, each
+        // bit-identical to the token-free reference.
+        let token = CancelToken::new();
+        let (u_ref, _) =
+            guarded_denoise_cancellable(&v, &params(12), &policy, &CancelToken::new()).unwrap();
+        for _ in 0..2 {
+            let (u, _) = guarded_denoise_cancellable(&v, &params(12), &policy, &token).unwrap();
+            assert_eq!(u.as_slice(), u_ref.as_slice());
+        }
+        // Once cancelled, the same token poisons every later solve
+        // immediately (tokens are monotonic): reuse-after-cancel is an
+        // error, not a silent recompute.
+        token.cancel();
+        for _ in 0..2 {
+            match guarded_denoise_cancellable(&v, &params(12), &policy, &token).unwrap_err() {
+                GuardError::Cancelled(c) => assert_eq!(c.reason, CancelReason::Explicit),
+                other => panic!("expected Cancelled, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_context_caps_iterations_through_the_guard() {
+        use crate::ctx::{DegradationPolicy, ExecCtx};
+        let v = noisy(16, 12, 33);
+        let policy = RecoveryPolicy::default();
+        // The brownout tier through the guarded path must equal a plain
+        // solve at the capped iteration count — degradation only shortens
+        // the schedule, it never changes the algorithm.
+        let degraded_ctx = ExecCtx::default().with_degradation(DegradationPolicy::cap(8));
+        let (u_deg, _) = guarded_denoise_with_ctx(&v, &params(40), &policy, &degraded_ctx).unwrap();
+        let (u_short, _) =
+            guarded_denoise_with_ctx(&v, &params(8), &policy, &ExecCtx::default()).unwrap();
+        assert_eq!(u_deg.as_slice(), u_short.as_slice());
+        // A cap above the request is inert.
+        let wide_ctx = ExecCtx::default().with_degradation(DegradationPolicy::cap(500));
+        let (u_full, _) = guarded_denoise_with_ctx(&v, &params(40), &policy, &wide_ctx).unwrap();
+        let (u_ref, _) =
+            guarded_denoise_with_ctx(&v, &params(40), &policy, &ExecCtx::default()).unwrap();
+        assert_eq!(u_full.as_slice(), u_ref.as_slice());
+    }
 }

@@ -69,7 +69,7 @@ pub mod weighted;
 pub use backend::KernelBackend;
 pub use block_matching::{block_matching_flow, BlockMatchingParams};
 pub use cancel::{CancelReason, CancelToken, Cancelled};
-pub use ctx::ExecCtx;
+pub use ctx::{DegradationPolicy, ExecCtx};
 pub use decomposition::{compute_group_decomposed, DecomposedStats, GroupRect};
 pub use diagnostics::{
     chambolle_denoise_monitored, chambolle_denoise_monitored_with_ctx,

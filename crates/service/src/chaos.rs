@@ -1,0 +1,437 @@
+//! Deterministic network-fault injection for the TCP front-end.
+//!
+//! A [`ChaosConfig`] describes a fault schedule — connection resets, single
+//! bit flips, read stalls, partial writes, and one scripted server panic —
+//! driven entirely by a seed. The same seed replays the same schedule, so a
+//! chaos run that surfaces a bug *is* its regression test: no flaky "retry
+//! until it reproduces" loops.
+//!
+//! Faults are injected at the byte-stream layer by [`ChaosStream`], which
+//! wraps the server side of every accepted connection when the server is
+//! started via [`TcpServer::bind_with_chaos`](crate::TcpServer::bind_with_chaos).
+//! Because both request and response bytes cross the wrapped stream, one
+//! injector exercises both directions: a corrupted read mangles a client
+//! request in flight, a corrupted write mangles a server response.
+//!
+//! Randomness is SplitMix64. Each accepted connection draws its own stream
+//! seeded by `seed ⊕ mix(connection_index)`, and every fault decision burns
+//! one draw per successful I/O op — so the schedule depends only on the
+//! seed, the connection order, and the op sequence, never on wall-clock
+//! time.
+//!
+//! Every injected fault is recorded twice: as a `service.chaos.*` telemetry
+//! counter and as a [`ChaosEvent`] in the injector's log, which tests can
+//! assert against.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use chambolle_telemetry::{names, Telemetry};
+
+/// Fault schedule of a chaos-wrapped server.
+///
+/// All rates are per-I/O-op probabilities in `[0, 1]`. The default is
+/// completely quiet; turn individual faults on with the builder methods.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the deterministic schedule.
+    pub seed: u64,
+    /// Probability a successful read/write is turned into a connection
+    /// reset (stream severed, `ConnectionReset` surfaced).
+    pub reset_rate: f64,
+    /// Probability one bit of a successfully transferred buffer is flipped.
+    pub corrupt_rate: f64,
+    /// Probability a successful read is delayed by [`ChaosConfig::stall`].
+    pub stall_rate: f64,
+    /// Length of an injected read stall.
+    pub stall: Duration,
+    /// Probability a write delivers only its first half and then severs the
+    /// connection.
+    pub partial_write_rate: f64,
+    /// Scripted server panic: the Nth solve request (1-based, counted
+    /// across all connections) completes and commits server-side, then the
+    /// serving thread panics before writing the response.
+    pub panic_on_request: Option<u64>,
+}
+
+impl ChaosConfig {
+    /// A schedule with the given seed and every fault disabled.
+    pub fn quiet(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            reset_rate: 0.0,
+            corrupt_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::from_millis(5),
+            partial_write_rate: 0.0,
+            panic_on_request: None,
+        }
+    }
+
+    /// Sets the connection-reset probability.
+    pub fn with_resets(mut self, rate: f64) -> Self {
+        self.reset_rate = rate;
+        self
+    }
+
+    /// Sets the bit-flip corruption probability.
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the read-stall probability and duration.
+    pub fn with_stalls(mut self, rate: f64, stall: Duration) -> Self {
+        self.stall_rate = rate;
+        self.stall = stall;
+        self
+    }
+
+    /// Sets the partial-write probability.
+    pub fn with_partial_writes(mut self, rate: f64) -> Self {
+        self.partial_write_rate = rate;
+        self
+    }
+
+    /// Scripts a server panic on the `n`th solve request (1-based).
+    pub fn with_panic_on_request(mut self, n: u64) -> Self {
+        self.panic_on_request = Some(n);
+        self
+    }
+
+    /// Whether any byte-stream fault (reset/corrupt/stall/partial write)
+    /// can fire.
+    pub fn any_network_faults(&self) -> bool {
+        self.reset_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.partial_write_rate > 0.0
+    }
+}
+
+/// One injected fault, as recorded in the injector's event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// A connection was severed mid-op.
+    Reset {
+        /// Index of the affected connection.
+        conn: u64,
+    },
+    /// One bit of a transferred buffer was flipped.
+    Corrupt {
+        /// Index of the affected connection.
+        conn: u64,
+        /// Byte offset (within the op's buffer) of the flip.
+        byte: usize,
+    },
+    /// A read was delayed.
+    Stall {
+        /// Index of the affected connection.
+        conn: u64,
+    },
+    /// A write delivered only a prefix, then the connection was severed.
+    PartialWrite {
+        /// Index of the affected connection.
+        conn: u64,
+        /// Bytes actually delivered.
+        wrote: usize,
+        /// Bytes the caller asked to write.
+        of: usize,
+    },
+    /// The scripted server panic fired.
+    ServerPanic {
+        /// 1-based solve-request ordinal that triggered it.
+        request: u64,
+    },
+}
+
+/// Shared state of one chaos-wrapped server: the schedule, the event log,
+/// and the counters every connection records into.
+pub struct ChaosInjector {
+    config: ChaosConfig,
+    connections: AtomicU64,
+    solve_requests: AtomicU64,
+    panic_armed: AtomicU64,
+    events: Mutex<Vec<ChaosEvent>>,
+    telemetry: Telemetry,
+}
+
+impl ChaosInjector {
+    /// A fresh injector recording `service.chaos.*` counters into
+    /// `telemetry`.
+    pub fn new(config: ChaosConfig, telemetry: Telemetry) -> Arc<Self> {
+        let armed = config.panic_on_request.unwrap_or(0);
+        Arc::new(ChaosInjector {
+            config,
+            connections: AtomicU64::new(0),
+            solve_requests: AtomicU64::new(0),
+            panic_armed: AtomicU64::new(armed),
+            events: Mutex::new(Vec::new()),
+            telemetry,
+        })
+    }
+
+    /// The schedule this injector runs.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Wraps a freshly accepted connection, assigning it the next slot of
+    /// the deterministic schedule.
+    pub fn wrap(self: &Arc<Self>, stream: TcpStream) -> ChaosStream {
+        let conn = self.connections.fetch_add(1, Ordering::Relaxed);
+        ChaosStream {
+            inner: stream,
+            injector: Arc::clone(self),
+            conn,
+            rng: splitmix64(self.config.seed ^ mix(conn)),
+        }
+    }
+
+    /// Counts one decoded solve request and reports whether the scripted
+    /// panic should fire *now*. Fires at most once per injector.
+    pub fn solve_request_panics(&self) -> bool {
+        let ordinal = self.solve_requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let armed = self.panic_armed.load(Ordering::Relaxed);
+        if armed != 0 && ordinal == armed {
+            self.panic_armed.store(0, Ordering::Relaxed);
+            self.record(ChaosEvent::ServerPanic { request: ordinal });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Copy of the event log so far.
+    pub fn events(&self) -> Vec<ChaosEvent> {
+        self.events.lock().expect("chaos log poisoned").clone()
+    }
+
+    /// Total injected faults so far.
+    pub fn fault_count(&self) -> usize {
+        self.events.lock().expect("chaos log poisoned").len()
+    }
+
+    fn record(&self, event: ChaosEvent) {
+        let name = match event {
+            ChaosEvent::Reset { .. } => names::SERVICE_CHAOS_RESETS,
+            ChaosEvent::Corrupt { .. } => names::SERVICE_CHAOS_CORRUPTIONS,
+            ChaosEvent::Stall { .. } => names::SERVICE_CHAOS_STALLS,
+            ChaosEvent::PartialWrite { .. } => names::SERVICE_CHAOS_PARTIAL_WRITES,
+            ChaosEvent::ServerPanic { .. } => names::SERVICE_CHAOS_SERVER_PANICS,
+        };
+        self.telemetry.counter_add(name, 1);
+        self.events.lock().expect("chaos log poisoned").push(event);
+    }
+}
+
+impl std::fmt::Debug for ChaosInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosInjector")
+            .field("config", &self.config)
+            .field("connections", &self.connections.load(Ordering::Relaxed))
+            .field("faults", &self.fault_count())
+            .finish()
+    }
+}
+
+/// A `TcpStream` with the fault schedule spliced into its `Read`/`Write`
+/// impls.
+///
+/// Fault decisions are made per *successful* I/O op — a `WouldBlock` poll
+/// timeout burns no randomness — so the schedule tracks traffic, not
+/// wall-clock polling.
+pub struct ChaosStream {
+    inner: TcpStream,
+    injector: Arc<ChaosInjector>,
+    conn: u64,
+    rng: u64,
+}
+
+impl ChaosStream {
+    /// The wrapped stream (for socket options).
+    pub fn inner(&self) -> &TcpStream {
+        &self.inner
+    }
+
+    /// Index of this connection in the injector's schedule.
+    pub fn connection_index(&self) -> u64 {
+        self.conn
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let (next_state, draw) = splitmix64_step(self.rng);
+        self.rng = next_state;
+        draw
+    }
+
+    /// One draw in `[0, 1)`.
+    fn roll(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn sever(&mut self) -> io::Error {
+        let _ = self.inner.shutdown(Shutdown::Both);
+        self.injector.record(ChaosEvent::Reset { conn: self.conn });
+        io::Error::new(io::ErrorKind::ConnectionReset, "chaos: injected reset")
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n == 0 {
+            return Ok(0);
+        }
+        let config = self.injector.config.clone();
+        if config.stall_rate > 0.0 && self.roll() < config.stall_rate {
+            self.injector.record(ChaosEvent::Stall { conn: self.conn });
+            std::thread::sleep(config.stall);
+        }
+        if config.reset_rate > 0.0 && self.roll() < config.reset_rate {
+            return Err(self.sever());
+        }
+        if config.corrupt_rate > 0.0 && self.roll() < config.corrupt_rate {
+            let pos = (self.next_u64() as usize) % n;
+            let bit = (self.next_u64() % 8) as u8;
+            buf[pos] ^= 1 << bit;
+            self.injector.record(ChaosEvent::Corrupt {
+                conn: self.conn,
+                byte: pos,
+            });
+        }
+        Ok(n)
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let config = self.injector.config.clone();
+        if config.reset_rate > 0.0 && self.roll() < config.reset_rate {
+            return Err(self.sever());
+        }
+        if config.partial_write_rate > 0.0
+            && buf.len() > 1
+            && self.roll() < config.partial_write_rate
+        {
+            let half = buf.len() / 2;
+            self.inner.write_all(&buf[..half])?;
+            let _ = self.inner.flush();
+            self.injector.record(ChaosEvent::PartialWrite {
+                conn: self.conn,
+                wrote: half,
+                of: buf.len(),
+            });
+            let _ = self.inner.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: injected partial write",
+            ));
+        }
+        if config.corrupt_rate > 0.0 && self.roll() < config.corrupt_rate {
+            let mut mangled = buf.to_vec();
+            let pos = (self.next_u64() as usize) % mangled.len();
+            let bit = (self.next_u64() % 8) as u8;
+            mangled[pos] ^= 1 << bit;
+            self.injector.record(ChaosEvent::Corrupt {
+                conn: self.conn,
+                byte: pos,
+            });
+            self.inner.write_all(&mangled)?;
+            return Ok(buf.len());
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// SplitMix64 seed scrambler (also used to space per-connection streams).
+fn mix(x: u64) -> u64 {
+    splitmix64_step(x.wrapping_add(0x9E37_79B9_7F4A_7C15)).1
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    seed.wrapping_add(0x9E37_79B9_7F4A_7C15)
+}
+
+fn splitmix64_step(state: u64) -> (u64, u64) {
+    let next = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = next;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (next, z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_config_injects_nothing() {
+        let config = ChaosConfig::quiet(42);
+        assert!(!config.any_network_faults());
+        assert!(config.panic_on_request.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = ChaosConfig::quiet(7)
+            .with_resets(0.1)
+            .with_corruption(0.2)
+            .with_stalls(0.3, Duration::from_millis(1))
+            .with_partial_writes(0.4)
+            .with_panic_on_request(5);
+        assert!(config.any_network_faults());
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.panic_on_request, Some(5));
+    }
+
+    #[test]
+    fn scripted_panic_fires_exactly_once_on_the_nth_request() {
+        let injector = ChaosInjector::new(
+            ChaosConfig::quiet(1).with_panic_on_request(3),
+            Telemetry::null(),
+        );
+        assert!(!injector.solve_request_panics()); // 1st
+        assert!(!injector.solve_request_panics()); // 2nd
+        assert!(injector.solve_request_panics()); // 3rd fires
+        assert!(!injector.solve_request_panics()); // and never again
+        assert_eq!(
+            injector.events(),
+            vec![ChaosEvent::ServerPanic { request: 3 }]
+        );
+    }
+
+    #[test]
+    fn splitmix_stream_is_deterministic_and_well_spread() {
+        let draws = |seed: u64| {
+            let mut state = splitmix64(seed);
+            (0..64)
+                .map(|_| {
+                    let (next, draw) = splitmix64_step(state);
+                    state = next;
+                    draw
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(99), draws(99), "same seed, same schedule");
+        assert_ne!(draws(99), draws(100));
+        // Uniform-ish: rolls derived from the draws land in [0, 1).
+        for d in draws(3) {
+            let roll = (d >> 11) as f64 / (1u64 << 53) as f64;
+            assert!((0.0..1.0).contains(&roll));
+        }
+    }
+
+    #[test]
+    fn per_connection_schedules_differ() {
+        assert_ne!(mix(0), mix(1));
+        assert_ne!(42 ^ mix(0), 42 ^ mix(1));
+    }
+}

@@ -21,9 +21,22 @@
 //!   every accepted request, and flushes a final telemetry
 //!   [`RunReport`](chambolle_telemetry::RunReport); zero accepted requests
 //!   are lost.
-//! - **A framed TCP front-end** — a hand-rolled length-prefixed binary
-//!   protocol over `std::net` ([`wire`], [`TcpServer`], [`ServiceClient`])
-//!   next to the in-process [`ServiceHandle`] API.
+//! - **A framed TCP front-end** — a hand-rolled length-prefixed,
+//!   checksummed binary protocol over `std::net` ([`wire`], [`TcpServer`],
+//!   [`ServiceClient`]) next to the in-process [`ServiceHandle`] API.
+//! - **Chaos hardening** — a deterministic, seed-driven network fault
+//!   injector ([`chaos`], [`TcpServer::bind_with_chaos`]) paired with a
+//!   [`ResilientClient`] that survives it: per-attempt timeouts, bounded
+//!   retries with decorrelated-jitter backoff, idempotency keys backed by a
+//!   server-side result cache, and a circuit breaker.
+//! - **Health probes** — a dedicated wire frame (and
+//!   [`ServiceHandle::health`]) reporting readiness, queue depth,
+//!   dispatcher liveness, brownout state, and last-solve age.
+//! - **Brownout degradation** — under sustained queue congestion the
+//!   service sheds *fidelity* instead of requests: solves are capped by a
+//!   configured [`DegradationPolicy`](chambolle_core::DegradationPolicy)
+//!   and tagged [`ResponseTier::Degraded`]; full fidelity resumes when the
+//!   congestion episode ends.
 //!
 //! Requests route through `core::guard`, and every stage (admit → queue →
 //! batch → solve → respond) emits `service.*` counters, gauges, and latency
@@ -31,18 +44,27 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod net;
 mod queue;
 mod request;
+mod resilient;
 mod service;
 pub mod wire;
 
-pub use net::{ServiceClient, TcpServer};
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosInjector, ChaosStream};
+pub use net::{ServiceClient, TcpServer, DEFAULT_CONNECT_TIMEOUT};
 pub use request::{
-    BatchKey, Completed, Output, Priority, RejectReason, Request, ServiceError, Workload,
-    WorkloadKind,
+    BatchKey, Completed, Output, Priority, RejectReason, Request, ResponseTier, ServiceError,
+    Workload, WorkloadKind,
 };
-pub use service::{Service, ServiceConfig, ServiceHandle, ServiceStats, ShutdownSummary, Ticket};
+pub use resilient::{
+    BreakerPolicy, BreakerState, ClientError, DenoiseOutcome, ResilientClient, ResilientConfig,
+    ResilientStats, RetryPolicy,
+};
+pub use service::{
+    HealthSnapshot, Service, ServiceConfig, ServiceHandle, ServiceStats, ShutdownSummary, Ticket,
+};
 
 #[cfg(test)]
 mod tests {
@@ -290,6 +312,170 @@ mod tests {
             .submit(denoise_request(&noisy_input(8, 8, 1), 5))
             .unwrap_err();
         assert_eq!(err, RejectReason::ShuttingDown);
+    }
+
+    #[test]
+    fn sustained_congestion_degrades_fidelity_then_recovers() {
+        use chambolle_core::DegradationPolicy;
+
+        let telemetry = Telemetry::null();
+        // Capacity 8 -> high watermark 6, low watermark 2. One dispatcher
+        // thread, no coalescing, and a brownout cap of 5 iterations.
+        let config = ServiceConfig::new(1, 8)
+            .with_max_batch(1)
+            .with_degradation(DegradationPolicy::cap(5));
+        let service = Service::spawn_with_telemetry(config, telemetry.clone());
+        let input = noisy_input(24, 24, 55);
+
+        // Occupy the dispatcher so the queue can fill past the high
+        // watermark before any of the followers dispatch.
+        let blocker = service
+            .handle()
+            .submit(denoise_request(&noisy_input(96, 96, 1), 300))
+            .unwrap();
+        let tickets: Vec<Ticket> = (0..7)
+            .map(|_| {
+                service
+                    .handle()
+                    .submit(denoise_request(&input, 50))
+                    .unwrap()
+            })
+            .collect();
+
+        blocker.wait().unwrap();
+        let outcomes: Vec<Completed> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+
+        // Overload shed fidelity, not requests: everything completed, and
+        // the congested prefix is tagged degraded.
+        let degraded: Vec<&Completed> = outcomes
+            .iter()
+            .filter(|c| c.tier == ResponseTier::Degraded)
+            .collect();
+        assert!(
+            !degraded.is_empty(),
+            "sustained congestion must produce degraded-tier responses"
+        );
+        let capped = SequentialSolver::new().denoise(&input, &ChambolleParams::with_iterations(5));
+        for c in &degraded {
+            assert_eq!(
+                c.output.as_denoised().unwrap().as_slice(),
+                capped.as_slice(),
+                "a degraded response is exactly the capped-iteration solve"
+            );
+        }
+
+        // After the queue drains below the low watermark, fidelity returns.
+        let recovered = service
+            .handle()
+            .submit(denoise_request(&input, 50))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(recovered.tier, ResponseTier::Full);
+        let full = SequentialSolver::new().denoise(&input, &ChambolleParams::with_iterations(50));
+        assert_eq!(
+            recovered.output.as_denoised().unwrap().as_slice(),
+            full.as_slice(),
+            "post-brownout responses are full fidelity again"
+        );
+
+        let summary = service.shutdown();
+        assert!(summary.stats.degraded >= 1);
+        assert_eq!(summary.stats.in_flight(), 0);
+        let snap = telemetry.snapshot();
+        assert!(snap.counter(names::SERVICE_BROWNOUT_ENTERED).unwrap_or(0) >= 1);
+        assert!(snap.counter(names::SERVICE_BROWNOUT_EXITED).unwrap_or(0) >= 1);
+        assert!(
+            snap.counter(names::SERVICE_DEGRADED_RESPONSES).unwrap_or(0) >= degraded.len() as u64
+        );
+    }
+
+    #[test]
+    fn health_snapshot_tracks_the_service_lifecycle() {
+        let service = Service::spawn(ServiceConfig::new(1, 8));
+        let handle = service.handle().clone();
+
+        // The dispatcher flags itself live as its first action; wait out the
+        // spawn race.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !handle.health().dispatcher_live {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dispatcher never came up"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let fresh = handle.health();
+        assert!(fresh.is_ready());
+        assert!(fresh.accepting);
+        assert!(!fresh.brownout);
+        assert_eq!(fresh.completed, 0);
+        assert_eq!(fresh.queue_capacity, 8);
+        assert_eq!(fresh.last_solve_age, None, "no solve has happened yet");
+
+        handle
+            .submit(denoise_request(&noisy_input(12, 12, 2), 10))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let after = handle.health();
+        assert_eq!(after.completed, 1);
+        assert!(after.last_solve_age.is_some());
+        assert_eq!(after.in_flight, 0);
+
+        service.shutdown();
+        let drained = handle.health();
+        assert!(!drained.accepting, "a shut-down service is not accepting");
+        assert!(!drained.is_ready());
+    }
+
+    #[test]
+    fn tcp_idempotent_retry_returns_cached_bits_and_health_serves() {
+        let input = noisy_input(14, 10, 33);
+        let params = ChambolleParams::with_iterations(12);
+        let telemetry = Telemetry::null();
+        let service = Service::spawn_with_telemetry(ServiceConfig::new(2, 8), telemetry.clone());
+        let server = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let first = client
+            .denoise_idempotent(&input, &params, Priority::Batch, None, 777)
+            .unwrap();
+        // Same key from a *different* connection — simulating a client that
+        // lost the response and reconnected to retry.
+        let mut retry_client = ServiceClient::connect(addr).unwrap();
+        let second = retry_client
+            .denoise_idempotent(&input, &params, Priority::Batch, None, 777)
+            .unwrap();
+        match (&first, &second) {
+            (
+                wire::WireResponse::Ok { output: a, .. },
+                wire::WireResponse::Ok { output: b, .. },
+            ) => {
+                assert_eq!(a.as_slice(), b.as_slice(), "cached replay is bit-identical");
+            }
+            other => panic!("expected two ok responses, got {other:?}"),
+        }
+        assert_eq!(
+            telemetry.snapshot().counter(names::SERVICE_IDEMPOTENT_HITS),
+            Some(1),
+            "the retry must be served from the idempotency cache"
+        );
+
+        let health = client.health().unwrap();
+        assert!(health.is_ready());
+        assert_eq!(health.completed, 1, "only one solve actually ran");
+        assert!(health.last_solve_age.is_some());
+
+        drop(client);
+        drop(retry_client);
+        server.shutdown();
+        let summary = service.shutdown();
+        assert_eq!(
+            summary.stats.completed, 1,
+            "the idempotent retry must not recompute"
+        );
     }
 
     #[test]

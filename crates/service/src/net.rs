@@ -7,35 +7,145 @@
 //! (the listener via non-blocking accept, connections via read timeouts), so
 //! [`TcpServer::shutdown`] converges without help from the peers.
 //!
-//! [`ServiceClient`] is the matching blocking client used by the examples,
-//! the e2e tests, and external tooling.
+//! Two serving-side features make the front-end chaos-tolerant:
+//!
+//! - [`TcpServer::bind_with_chaos`] splices a deterministic
+//!   [`ChaosInjector`](crate::chaos::ChaosInjector) into every accepted
+//!   connection's byte stream, for fault-injection tests and soak runs;
+//! - a bounded server-side **idempotency cache** keyed by the request's
+//!   idempotency key: a retried solve that already committed returns the
+//!   cached bit-identical result instead of recomputing, so a client whose
+//!   response frame was lost (reset, partial write, scripted server panic)
+//!   can safely retry.
+//!
+//! [`ServiceClient`] is the matching plain blocking client used by the
+//! examples, the e2e tests, and external tooling;
+//! [`ResilientClient`](crate::ResilientClient) layers retries, backoff, and
+//! a circuit breaker on top of the same wire calls.
 
-use std::io::{self, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::catch_unwind;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use chambolle_core::ChambolleParams;
 use chambolle_imaging::Grid;
+use chambolle_telemetry::names;
 
-use crate::request::Priority;
-use crate::service::ServiceHandle;
+use crate::chaos::{ChaosConfig, ChaosInjector, ChaosStream};
+use crate::request::{Priority, ResponseTier};
+use crate::service::{HealthSnapshot, ServiceHandle};
 use crate::wire::{
     decode_request, decode_response, encode_denoise_request, encode_err_response,
-    encode_ok_response, read_frame, reject_code, service_error_code, write_frame, ErrorCode,
-    WireResponse,
+    encode_health_request, encode_health_response, encode_ok_response, read_frame, reject_code,
+    service_error_code, validate_frame_len, verify_frame_checksum, write_frame, ErrorCode,
+    WireRequest, WireResponse, FRAME_HEADER,
 };
 
 /// How often blocked I/O wakes up to poll the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Default [`ServiceClient::connect`] timeout.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Entries the per-server idempotency cache retains (FIFO eviction).
+const IDEMPOTENCY_CAPACITY: usize = 256;
+
+/// The byte stream a connection thread serves: a plain `TcpStream` or a
+/// chaos-wrapped one. Only the socket knobs the serving loop needs.
+trait Transport: Read + Write + Send {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+    fn set_nodelay(&self, on: bool) -> io::Result<()>;
+    fn shutdown_both(&self);
+}
+
+impl Transport for TcpStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+
+    fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        TcpStream::set_nodelay(self, on)
+    }
+
+    fn shutdown_both(&self) {
+        let _ = TcpStream::shutdown(self, Shutdown::Both);
+    }
+}
+
+impl Transport for ChaosStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner().set_read_timeout(dur)
+    }
+
+    fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.inner().set_nodelay(on)
+    }
+
+    fn shutdown_both(&self) {
+        let _ = self.inner().shutdown(Shutdown::Both);
+    }
+}
+
+/// Bounded FIFO cache of committed solve results, keyed by idempotency key.
+///
+/// Shared across every connection of one server, so a retry arriving on a
+/// *new* connection (the old one was reset) still finds the committed
+/// result.
+struct IdempotencyCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+struct CacheInner {
+    map: HashMap<u64, (ResponseTier, Grid<f32>)>,
+    order: VecDeque<u64>,
+}
+
+impl IdempotencyCache {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(IdempotencyCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+        })
+    }
+
+    fn get(&self, key: u64) -> Option<(ResponseTier, Grid<f32>)> {
+        self.inner
+            .lock()
+            .expect("idempotency cache poisoned")
+            .map
+            .get(&key)
+            .cloned()
+    }
+
+    fn insert(&self, key: u64, tier: ResponseTier, grid: Grid<f32>) {
+        let mut inner = self.inner.lock().expect("idempotency cache poisoned");
+        if inner.map.insert(key, (tier, grid)).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
 
 /// The TCP front-end: a listener thread plus one thread per live connection.
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl TcpServer {
@@ -46,24 +156,56 @@ impl TcpServer {
     ///
     /// I/O errors from binding the listener.
     pub fn bind<A: ToSocketAddrs>(handle: ServiceHandle, addr: A) -> io::Result<Self> {
+        TcpServer::bind_inner(handle, addr, None)
+    }
+
+    /// Like [`TcpServer::bind`], but splices the deterministic fault
+    /// schedule of `config` into every accepted connection. The injector is
+    /// retrievable via [`TcpServer::chaos`] for event-log assertions.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn bind_with_chaos<A: ToSocketAddrs>(
+        handle: ServiceHandle,
+        addr: A,
+        config: ChaosConfig,
+    ) -> io::Result<Self> {
+        let injector = ChaosInjector::new(config, handle.telemetry().clone());
+        TcpServer::bind_inner(handle, addr, Some(injector))
+    }
+
+    fn bind_inner<A: ToSocketAddrs>(
+        handle: ServiceHandle,
+        addr: A,
+        chaos: Option<Arc<ChaosInjector>>,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_accept = Arc::clone(&stop);
+        let chaos_accept = chaos.clone();
         let acceptor = std::thread::Builder::new()
             .name("chambolle-service-accept".into())
-            .spawn(move || accept_loop(&listener, &handle, &stop_accept))?;
+            .spawn(move || accept_loop(&listener, &handle, &stop_accept, chaos_accept))?;
         Ok(TcpServer {
             addr,
             stop,
             acceptor: Some(acceptor),
+            chaos,
         })
     }
 
     /// The bound address (resolves the actual port of an ephemeral bind).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The fault injector, when the server was started with
+    /// [`TcpServer::bind_with_chaos`].
+    pub fn chaos(&self) -> Option<&Arc<ChaosInjector>> {
+        self.chaos.as_ref()
     }
 
     /// Stops accepting, waits for in-flight connections to finish their
@@ -95,6 +237,7 @@ impl std::fmt::Debug for TcpServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpServer")
             .field("addr", &self.addr)
+            .field("chaos", &self.chaos.is_some())
             .finish()
     }
 }
@@ -103,16 +246,26 @@ fn accept_loop(
     listener: &TcpListener,
     handle: &ServiceHandle,
     stop: &Arc<AtomicBool>,
+    chaos: Option<Arc<ChaosInjector>>,
 ) -> Vec<JoinHandle<()>> {
     let mut connections = Vec::new();
+    let cache = IdempotencyCache::new(IDEMPOTENCY_CAPACITY);
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let handle = handle.clone();
                 let stop = Arc::clone(stop);
+                let cache = Arc::clone(&cache);
+                let chaos = chaos.clone();
                 if let Ok(join) = std::thread::Builder::new()
                     .name("chambolle-service-conn".into())
-                    .spawn(move || serve_connection(stream, &handle, &stop))
+                    .spawn(move || match chaos {
+                        Some(injector) => {
+                            let wrapped = injector.wrap(stream);
+                            serve_connection(wrapped, &handle, &stop, Some(&injector), &cache);
+                        }
+                        None => serve_connection(stream, &handle, &stop, None, &cache),
+                    })
                 {
                     connections.push(join);
                 }
@@ -126,7 +279,13 @@ fn accept_loop(
     connections
 }
 
-fn serve_connection(mut stream: TcpStream, handle: &ServiceHandle, stop: &Arc<AtomicBool>) {
+fn serve_connection<T: Transport>(
+    mut stream: T,
+    handle: &ServiceHandle,
+    stop: &Arc<AtomicBool>,
+    chaos: Option<&Arc<ChaosInjector>>,
+    cache: &IdempotencyCache,
+) {
     // Read with a timeout so the thread notices the stop flag even while a
     // peer sits idle mid-connection.
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
@@ -138,35 +297,73 @@ fn serve_connection(mut stream: TcpStream, handle: &ServiceHandle, stop: &Arc<At
             Err(_) => return,
         };
         let response = match decode_request(&payload) {
-            Ok(wire_request) => {
-                let client_id = wire_request.id;
-                match handle.submit(wire_request.request) {
+            Ok(WireRequest::Health { id }) => encode_health_response(id, &handle.health()),
+            Ok(WireRequest::Solve {
+                id,
+                idempotency,
+                request,
+            }) => {
+                if idempotency != 0 {
+                    if let Some((tier, cached)) = cache.get(idempotency) {
+                        handle
+                            .telemetry()
+                            .counter_add(names::SERVICE_IDEMPOTENT_HITS, 1);
+                        if write_frame(&mut stream, &encode_ok_response(id, tier, &cached)).is_err()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+                // The scripted chaos panic is decided per *solve submission*
+                // (cache hits above don't count), but fires only after the
+                // solve commits — exactly the window idempotent retry exists
+                // for.
+                let crash_after_commit =
+                    chaos.is_some_and(|injector| injector.solve_request_panics());
+                let response = match handle.submit(request) {
                     Ok(ticket) => match ticket.wait() {
                         Ok(completed) => match completed.output.as_denoised() {
-                            Some(grid) => encode_ok_response(client_id, grid),
+                            Some(grid) => {
+                                if idempotency != 0 {
+                                    cache.insert(idempotency, completed.tier, grid.clone());
+                                }
+                                encode_ok_response(id, completed.tier, grid)
+                            }
                             None => encode_err_response(
-                                client_id,
+                                id,
                                 false,
                                 ErrorCode::Protocol,
                                 "non-denoise output for a denoise request",
                             ),
                         },
                         Err(err) => encode_err_response(
-                            client_id,
+                            id,
                             false,
                             service_error_code(&err),
                             &err.to_string(),
                         ),
                     },
-                    Err(reason) => encode_err_response(
-                        client_id,
-                        true,
-                        reject_code(&reason),
-                        &reason.to_string(),
-                    ),
+                    Err(reason) => {
+                        encode_err_response(id, true, reject_code(&reason), &reason.to_string())
+                    }
+                };
+                if crash_after_commit {
+                    // Simulate the serving thread dying between commit and
+                    // response: the panic is contained, the connection is
+                    // severed, and no response frame goes out. The client's
+                    // retry hits the idempotency cache.
+                    let _ = catch_unwind(|| {
+                        panic!("chaos: scripted server panic before response write")
+                    });
+                    stream.shutdown_both();
+                    return;
                 }
+                response
             }
-            Err(protocol_err) => encode_err_response(0, true, ErrorCode::Protocol, &protocol_err),
+            Err(decode_err) => {
+                encode_err_response(0, true, ErrorCode::Protocol, &decode_err.to_string())
+            }
         };
         if write_frame(&mut stream, &response).is_err() {
             return;
@@ -177,35 +374,32 @@ fn serve_connection(mut stream: TcpStream, handle: &ServiceHandle, stop: &Arc<At
 /// Like [`read_frame`], but read timeouts loop back to a stop-flag check
 /// instead of failing, so a blocked read converges during shutdown.
 /// `Ok(None)` means clean EOF or shutdown-before-a-frame-started.
-fn read_frame_interruptible(
-    stream: &mut TcpStream,
+fn read_frame_interruptible<T: Transport>(
+    stream: &mut T,
     stop: &Arc<AtomicBool>,
 ) -> io::Result<Option<Vec<u8>>> {
-    let mut prefix = [0u8; 4];
-    if !read_exact_interruptible(stream, &mut prefix, stop, true)? {
+    let mut header = [0u8; FRAME_HEADER];
+    if !read_exact_interruptible(stream, &mut header, stop, true)? {
         return Ok(None);
     }
-    let len = u32::from_le_bytes(prefix) as usize;
-    if len > crate::wire::MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME"),
-        ));
-    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(header[4..].try_into().unwrap());
+    validate_frame_len(len)?;
     let mut payload = vec![0u8; len];
     // Once a frame has started, finish it even if shutdown begins: the
     // response for an accepted request must still go out.
     if !read_exact_interruptible(stream, &mut payload, stop, false)? {
         return Err(io::ErrorKind::UnexpectedEof.into());
     }
+    verify_frame_checksum(&payload, checksum)?;
     Ok(Some(payload))
 }
 
 /// Fills `buf`, retrying across read timeouts. Returns `Ok(false)` on clean
 /// EOF before any byte, or when `interruptible` and the stop flag rises
 /// between bytes of nothing.
-fn read_exact_interruptible(
-    stream: &mut TcpStream,
+fn read_exact_interruptible<T: Transport>(
+    stream: &mut T,
     buf: &mut [u8],
     stop: &Arc<AtomicBool>,
     interruptible: bool,
@@ -235,6 +429,11 @@ fn read_exact_interruptible(
 }
 
 /// Blocking client for the framed protocol.
+///
+/// One request in flight at a time, responses read in order. Connection
+/// establishment is bounded by a connect timeout
+/// ([`DEFAULT_CONNECT_TIMEOUT`] unless overridden) so a black-holed address
+/// fails fast instead of hanging the caller.
 #[derive(Debug)]
 pub struct ServiceClient {
     stream: TcpStream,
@@ -242,18 +441,41 @@ pub struct ServiceClient {
 }
 
 impl ServiceClient {
-    /// Connects to a [`TcpServer`].
+    /// Connects to a [`TcpServer`] with the default connect timeout.
     ///
     /// # Errors
     ///
-    /// Connection I/O errors.
+    /// Connection I/O errors, including `TimedOut` when no resolved address
+    /// accepts within [`DEFAULT_CONNECT_TIMEOUT`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        ServiceClient::connect_with_timeout(addr, DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// Connects with an explicit connect timeout, tried against each
+    /// resolved address in turn.
+    ///
+    /// # Errors
+    ///
+    /// The last address's error when none accepts in time, or an
+    /// `InvalidInput` error when `addr` resolves to nothing.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Self> {
+        let stream = connect_stream(addr, timeout)?;
         stream.set_nodelay(true)?;
         Ok(ServiceClient { stream, next_id: 1 })
     }
 
-    /// One blocking denoise round-trip.
+    /// Sets a read/write timeout on the underlying stream (`None` blocks
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// Socket option errors.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// One blocking denoise round-trip (no idempotency key).
     ///
     /// # Errors
     ///
@@ -266,12 +488,72 @@ impl ServiceClient {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> io::Result<WireResponse> {
+        self.denoise_idempotent(input, params, priority, deadline, 0)
+    }
+
+    /// One blocking denoise round-trip carrying an idempotency key
+    /// (`0` = none). Retrying with the same nonzero key is safe: a solve
+    /// that already committed server-side returns its cached bit-identical
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as `io::Error`; service-level rejections/failures
+    /// come back as the `WireResponse::Err` variant.
+    pub fn denoise_idempotent(
+        &mut self,
+        input: &Grid<f32>,
+        params: &ChambolleParams,
+        priority: Priority,
+        deadline: Option<Duration>,
+        idempotency: u64,
+    ) -> io::Result<WireResponse> {
         let id = self.next_id;
         self.next_id += 1;
-        let payload = encode_denoise_request(id, priority, deadline, params, input);
-        write_frame(&mut self.stream, &payload)?;
+        let payload = encode_denoise_request(id, idempotency, priority, deadline, params, input);
+        self.round_trip(&payload)
+    }
+
+    /// One blocking health-probe round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` if the server answers with
+    /// anything but a health report.
+    pub fn health(&mut self) -> io::Result<HealthSnapshot> {
+        let id = self.next_id;
+        self.next_id += 1;
+        match self.round_trip(&encode_health_request(id))? {
+            WireResponse::Health { health, .. } => Ok(health),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a health report, got {other:?}"),
+            )),
+        }
+    }
+
+    fn round_trip(&mut self, payload: &[u8]) -> io::Result<WireResponse> {
+        write_frame(&mut self.stream, payload)?;
         let response = read_frame(&mut self.stream)?
             .ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
         decode_response(&response).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
+}
+
+/// Resolves `addr` and tries `TcpStream::connect_timeout` against each
+/// candidate.
+pub(crate) fn connect_stream<A: ToSocketAddrs>(
+    addr: A,
+    timeout: Duration,
+) -> io::Result<TcpStream> {
+    let mut last_err = None;
+    for candidate in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+    }))
 }

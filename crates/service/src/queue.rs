@@ -173,9 +173,25 @@ impl SubmitQueue {
     }
 
     /// Current depth across both lanes.
-    #[cfg(test)]
     pub fn depth(&self) -> usize {
         self.lanes.lock().expect("queue lock poisoned").depth()
+    }
+
+    /// Whether the queue is inside a congestion episode: depth has risen to
+    /// the high watermark and has not yet fallen back to the low watermark.
+    /// This is the hysteresis signal brownout degradation keys off.
+    pub fn is_congested(&self) -> bool {
+        self.lanes.lock().expect("queue lock poisoned").above_high
+    }
+
+    /// Whether [`SubmitQueue::close`] has run (admission stopped).
+    pub fn is_closed(&self) -> bool {
+        self.lanes.lock().expect("queue lock poisoned").closed
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 

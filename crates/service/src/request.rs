@@ -189,6 +189,38 @@ impl Request {
     }
 }
 
+/// The fidelity a response was served at.
+///
+/// Under sustained queue congestion the service enters *brownout*: instead
+/// of rejecting overflow, it caps solve iterations via the configured
+/// [`DegradationPolicy`](chambolle_core::DegradationPolicy) and tags the
+/// affected responses [`ResponseTier::Degraded`] so clients can tell a
+/// full-fidelity result from a load-shed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResponseTier {
+    /// The solve ran every requested iteration.
+    #[default]
+    Full,
+    /// Brownout capped the iteration count below the request's ask.
+    Degraded,
+}
+
+impl ResponseTier {
+    /// Stable wire/report identifier.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResponseTier::Full => "full",
+            ResponseTier::Degraded => "degraded",
+        }
+    }
+}
+
+impl fmt::Display for ResponseTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A successful solve's payload.
 #[derive(Debug, Clone)]
 pub enum Output {
@@ -221,6 +253,9 @@ impl Output {
 pub struct Completed {
     /// The solve result.
     pub output: Output,
+    /// Fidelity tier: [`ResponseTier::Degraded`] when brownout capped the
+    /// iterations below the request's ask.
+    pub tier: ResponseTier,
     /// Guard-layer recovery report (denoise requests only).
     pub recovery: Option<RecoveryReport>,
     /// Microseconds spent waiting in the queue.

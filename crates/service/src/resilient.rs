@@ -1,0 +1,694 @@
+//! A client that survives the faults [`chaos`](crate::chaos) injects.
+//!
+//! [`ResilientClient`] wraps the wire protocol with the standard resilience
+//! stack:
+//!
+//! - **per-attempt timeouts** — connect and I/O are both bounded, so a
+//!   black-holed server costs one timeout, not a hung client;
+//! - **bounded retries with decorrelated-jitter backoff** — transient
+//!   transport faults (resets, corrupt frames caught by the checksum,
+//!   timeouts) are retried up to a budget, sleeping
+//!   `min(max, uniform(base, 3·prev))` between attempts;
+//! - **idempotency keys** — every solve carries a unique nonzero key, so a
+//!   retry of a request whose response was lost *after* the server
+//!   committed returns the cached bit-identical result instead of
+//!   recomputing (and instead of silently solving twice);
+//! - **a circuit breaker** — consecutive transport failures open the
+//!   circuit; while open, attempts wait out the cooldown instead of
+//!   hammering a dead server, then a half-open probe decides between
+//!   closing and re-opening.
+//!
+//! Server-side *answers* are classified, not retried blindly: backpressure
+//! (`QueueFull`) retries with backoff but does **not** count against the
+//! breaker (the server is alive and talking); terminal outcomes
+//! (invalid request, deadline exceeded, cancellation, solver failure,
+//! shutdown) surface immediately.
+//!
+//! Everything the client does is observable through `service.retry.*` and
+//! `service.breaker.*` telemetry.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use chambolle_core::ChambolleParams;
+use chambolle_imaging::Grid;
+use chambolle_telemetry::{names, Telemetry};
+
+use crate::net::connect_stream;
+use crate::request::{Priority, ResponseTier};
+use crate::service::HealthSnapshot;
+use crate::wire::{
+    decode_response, encode_denoise_request, encode_health_request, read_frame, write_frame,
+    ErrorCode, WireResponse,
+};
+
+/// Retry budget and backoff shape.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Backoff floor (also the first sleep's lower bound).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 10 ms floor, 1 s ceiling.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerPolicy {
+    /// Consecutive transport failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit rests before a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerPolicy {
+    /// Open after 3 consecutive failures, probe after 250 ms.
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Full configuration of a [`ResilientClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResilientConfig {
+    /// Bound on connection establishment per attempt.
+    pub connect_timeout: Duration,
+    /// Bound on each read/write; must cover the service's solve time.
+    pub io_timeout: Duration,
+    /// Retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerPolicy,
+    /// Seed of the backoff jitter stream (deterministic tests pin it).
+    pub jitter_seed: u64,
+}
+
+impl Default for ResilientConfig {
+    /// 5 s connect, 10 s I/O, default retry and breaker policies.
+    fn default() -> Self {
+        ResilientConfig {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// Circuit-breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: attempts wait out the cooldown.
+    Open,
+    /// Probing: one request decides between Closed and Open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+/// Why a [`ResilientClient`] call ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The service answered with a terminal outcome; retrying would not
+    /// change it.
+    Terminal {
+        /// Whether the request was rejected at admission (vs failed after).
+        rejected: bool,
+        /// Stable error code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The retry budget ran out on transient faults.
+    Exhausted {
+        /// Attempts actually made.
+        attempts: u32,
+        /// Description of the last transient fault.
+        last_error: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Terminal { code, message, .. } => {
+                write!(f, "terminal service error ({code:?}): {message}")
+            }
+            ClientError::Exhausted {
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "retries exhausted after {attempts} attempts: {last_error}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A successful solve plus how hard the client had to work for it.
+#[derive(Debug, Clone)]
+pub struct DenoiseOutcome {
+    /// The denoised image, bit-identical to a fault-free solve.
+    pub output: Grid<f32>,
+    /// Fidelity tier the service answered at.
+    pub tier: ResponseTier,
+    /// Attempts used (1 = clean first try).
+    pub attempts: u32,
+    /// Whether any retry was needed.
+    pub recovered: bool,
+}
+
+/// Running totals of the client's resilience machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilientStats {
+    /// Requests that returned (successfully or terminally).
+    pub requests: u64,
+    /// Total attempts across all requests.
+    pub attempts: u64,
+    /// Retries (attempts beyond each request's first).
+    pub retries: u64,
+    /// Requests that succeeded after at least one retry.
+    pub recovered: u64,
+    /// Requests that ran out of retry budget.
+    pub exhausted: u64,
+    /// Times the breaker opened.
+    pub breaker_opened: u64,
+}
+
+struct Breaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    policy: BreakerPolicy,
+}
+
+impl Breaker {
+    fn new(policy: BreakerPolicy) -> Self {
+        Breaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            policy,
+        }
+    }
+
+    /// Time left before an open circuit may half-open; zero when not open.
+    fn cooldown_remaining(&self, now: Instant) -> Duration {
+        match (self.state, self.opened_at) {
+            (BreakerState::Open, Some(at)) => self
+                .policy
+                .cooldown
+                .saturating_sub(now.saturating_duration_since(at)),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+/// The retrying, breaker-guarded wire client. See the module docs.
+pub struct ResilientClient {
+    addrs: Vec<SocketAddr>,
+    config: ResilientConfig,
+    conn: Option<TcpStream>,
+    next_id: u64,
+    next_key: u64,
+    rng: u64,
+    prev_backoff: Duration,
+    breaker: Breaker,
+    stats: ResilientStats,
+    telemetry: Telemetry,
+}
+
+impl ResilientClient {
+    /// Connects with the default [`ResilientConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or connection I/O errors (the initial connect is
+    /// eager so a bad address fails fast).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        ResilientClient::connect_with(addr, ResilientConfig::default())
+    }
+
+    /// Connects with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Address resolution or connection I/O errors.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, config: ResilientConfig) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        let mut client = ResilientClient {
+            addrs,
+            config,
+            conn: None,
+            next_id: 1,
+            // Keys must be nonzero and unique per logical request; derive
+            // the starting point from the jitter seed so two clients against
+            // one server don't collide on key 1.
+            next_key: (config.jitter_seed << 16) | 1,
+            rng: config.jitter_seed,
+            prev_backoff: config.retry.base_backoff,
+            breaker: Breaker::new(config.breaker),
+            stats: ResilientStats::default(),
+            telemetry: Telemetry::disabled(),
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Records `service.retry.*` / `service.breaker.*` metrics into
+    /// `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self.telemetry
+            .gauge_set(names::SERVICE_BREAKER_STATE, self.breaker.state.gauge());
+        self
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state
+    }
+
+    /// Running resilience totals.
+    pub fn stats(&self) -> ResilientStats {
+        self.stats
+    }
+
+    /// One denoise, retried across transient faults until it succeeds, hits
+    /// a terminal service outcome, or exhausts the retry budget.
+    ///
+    /// Every attempt of one call carries the same idempotency key, so a
+    /// retry of a solve that committed server-side returns the cached
+    /// bit-identical result.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Terminal`] for service outcomes retrying cannot fix;
+    /// [`ClientError::Exhausted`] when the budget runs out.
+    pub fn denoise(
+        &mut self,
+        input: &Grid<f32>,
+        params: &ChambolleParams,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<DenoiseOutcome, ClientError> {
+        let key = self.next_key;
+        self.next_key += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = encode_denoise_request(id, key, priority, deadline, params, input);
+
+        let max_attempts = self.config.retry.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut first_failure: Option<Instant> = None;
+        let mut last_error;
+        self.prev_backoff = self.config.retry.base_backoff;
+        loop {
+            attempts += 1;
+            self.stats.attempts += 1;
+            if attempts > 1 {
+                self.stats.retries += 1;
+                self.telemetry.counter_add(names::SERVICE_RETRY_ATTEMPTS, 1);
+            }
+            self.wait_for_breaker();
+            match self.attempt(&payload, id) {
+                Attempt::Ok { tier, output } => {
+                    self.breaker_success();
+                    self.stats.requests += 1;
+                    let recovered = attempts > 1;
+                    if recovered {
+                        self.stats.recovered += 1;
+                        self.telemetry
+                            .counter_add(names::SERVICE_RETRY_RECOVERED, 1);
+                        if let Some(at) = first_failure {
+                            self.telemetry.observe(
+                                names::SERVICE_RETRY_RECOVERY_US,
+                                at.elapsed().as_micros() as f64,
+                            );
+                        }
+                    }
+                    return Ok(DenoiseOutcome {
+                        output,
+                        tier,
+                        attempts,
+                        recovered,
+                    });
+                }
+                Attempt::Terminal {
+                    rejected,
+                    code,
+                    message,
+                } => {
+                    // The server answered; the transport is healthy even
+                    // though the outcome is bad.
+                    self.breaker_success();
+                    self.stats.requests += 1;
+                    return Err(ClientError::Terminal {
+                        rejected,
+                        code,
+                        message,
+                    });
+                }
+                Attempt::Backpressure { message } => {
+                    // Alive but overloaded: retry with backoff, but don't
+                    // count it against the breaker.
+                    self.breaker_success();
+                    first_failure.get_or_insert_with(Instant::now);
+                    last_error = message;
+                }
+                Attempt::Transport { message } => {
+                    self.breaker_failure();
+                    self.conn = None;
+                    first_failure.get_or_insert_with(Instant::now);
+                    last_error = message;
+                }
+            }
+            if attempts >= max_attempts {
+                self.stats.requests += 1;
+                self.stats.exhausted += 1;
+                self.telemetry
+                    .counter_add(names::SERVICE_RETRY_EXHAUSTED, 1);
+                return Err(ClientError::Exhausted {
+                    attempts,
+                    last_error,
+                });
+            }
+            self.backoff_sleep();
+        }
+    }
+
+    /// One health probe over the resilient transport (single attempt — a
+    /// probe should report the truth *now*, not a retried approximation).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or `InvalidData` on a non-health answer.
+    pub fn health(&mut self) -> io::Result<HealthSnapshot> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ensure_connected()?;
+        let result = (|| {
+            let stream = self.conn.as_mut().expect("just connected");
+            write_frame(stream, &encode_health_request(id))?;
+            let frame =
+                read_frame(stream)?.ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+            decode_response(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        })();
+        match result {
+            Ok(WireResponse::Health { health, .. }) => Ok(health),
+            Ok(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a health report, got {other:?}"),
+            )),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let stream = connect_stream(&self.addrs[..], self.config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.config.io_timeout))?;
+        stream.set_write_timeout(Some(self.config.io_timeout))?;
+        self.conn = Some(stream);
+        Ok(())
+    }
+
+    fn attempt(&mut self, payload: &[u8], expected_id: u64) -> Attempt {
+        if let Err(e) = self.ensure_connected() {
+            return Attempt::Transport {
+                message: format!("connect: {e}"),
+            };
+        }
+        let stream = self.conn.as_mut().expect("just connected");
+        if let Err(e) = write_frame(stream, payload) {
+            return Attempt::Transport {
+                message: format!("write: {e}"),
+            };
+        }
+        let frame = match read_frame(stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                return Attempt::Transport {
+                    message: "connection closed before the response".into(),
+                }
+            }
+            Err(e) => {
+                return Attempt::Transport {
+                    message: format!("read: {e}"),
+                }
+            }
+        };
+        match decode_response(&frame) {
+            Ok(WireResponse::Ok { id, tier, output }) if id == expected_id => {
+                Attempt::Ok { tier, output }
+            }
+            Ok(WireResponse::Err {
+                id,
+                rejected,
+                code,
+                message,
+            }) if id == expected_id || id == 0 => match code {
+                // Backpressure and a server that couldn't even parse the
+                // request (it was corrupted in flight) are retryable.
+                ErrorCode::QueueFull => Attempt::Backpressure { message },
+                ErrorCode::Protocol => Attempt::Transport {
+                    message: format!("server rejected the frame: {message}"),
+                },
+                _ => Attempt::Terminal {
+                    rejected,
+                    code,
+                    message,
+                },
+            },
+            Ok(other) => {
+                // An id from a different request (or an unexpected health
+                // frame) means the stream's framing is no longer trustworthy.
+                Attempt::Transport {
+                    message: format!("response out of sync: {other:?}"),
+                }
+            }
+            Err(e) => Attempt::Transport {
+                message: format!("decode: {e}"),
+            },
+        }
+    }
+
+    /// Sleeps out whatever remains of an open breaker's cooldown, then
+    /// transitions to half-open so the next attempt is the probe.
+    fn wait_for_breaker(&mut self) {
+        if self.breaker.state != BreakerState::Open {
+            return;
+        }
+        let remaining = self.breaker.cooldown_remaining(Instant::now());
+        if !remaining.is_zero() {
+            std::thread::sleep(remaining);
+        }
+        self.set_breaker(BreakerState::HalfOpen);
+        self.telemetry
+            .counter_add(names::SERVICE_BREAKER_HALF_OPEN, 1);
+    }
+
+    fn breaker_success(&mut self) {
+        self.breaker.consecutive_failures = 0;
+        if self.breaker.state != BreakerState::Closed {
+            self.set_breaker(BreakerState::Closed);
+            self.breaker.opened_at = None;
+            self.telemetry.counter_add(names::SERVICE_BREAKER_CLOSED, 1);
+        }
+    }
+
+    fn breaker_failure(&mut self) {
+        self.breaker.consecutive_failures += 1;
+        let should_open = match self.breaker.state {
+            // A failed half-open probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => {
+                self.breaker.consecutive_failures >= self.breaker.policy.failure_threshold
+            }
+            BreakerState::Open => false,
+        };
+        if should_open {
+            self.set_breaker(BreakerState::Open);
+            self.breaker.opened_at = Some(Instant::now());
+            self.stats.breaker_opened += 1;
+            self.telemetry.counter_add(names::SERVICE_BREAKER_OPENED, 1);
+        }
+    }
+
+    fn set_breaker(&mut self, state: BreakerState) {
+        self.breaker.state = state;
+        self.telemetry
+            .gauge_set(names::SERVICE_BREAKER_STATE, state.gauge());
+    }
+
+    /// Decorrelated jitter: `sleep = min(max, uniform(base, 3·prev))`.
+    fn backoff_sleep(&mut self) {
+        let base = self.config.retry.base_backoff;
+        let ceiling = self.config.retry.max_backoff;
+        let upper = (self.prev_backoff * 3).min(ceiling).max(base);
+        let span = upper.saturating_sub(base);
+        let sleep = if span.is_zero() {
+            base
+        } else {
+            base + Duration::from_nanos(self.next_u64() % (span.as_nanos() as u64 + 1))
+        };
+        self.prev_backoff = sleep;
+        std::thread::sleep(sleep);
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64, same generator the chaos injector uses.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl std::fmt::Debug for ResilientClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientClient")
+            .field("addrs", &self.addrs)
+            .field("breaker", &self.breaker.state)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Outcome classification of one attempt.
+enum Attempt {
+    /// A valid success response for our request id.
+    Ok {
+        tier: ResponseTier,
+        output: Grid<f32>,
+    },
+    /// A service answer retrying cannot change.
+    Terminal {
+        rejected: bool,
+        code: ErrorCode,
+        message: String,
+    },
+    /// The server is alive but shedding (queue full): retry, no breaker hit.
+    Backpressure { message: String },
+    /// The transport failed (reset, corruption, timeout, desync): retry and
+    /// count against the breaker.
+    Transport { message: String },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let config = ResilientConfig::default();
+        assert!(config.retry.max_attempts >= 3);
+        assert!(config.breaker.failure_threshold >= 1);
+        assert!(config.connect_timeout > Duration::ZERO);
+        assert!(config.io_timeout >= config.connect_timeout);
+        assert!(config.retry.base_backoff <= config.retry.max_backoff);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_cools_down() {
+        let policy = BreakerPolicy {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        };
+        let mut b = Breaker::new(policy);
+        assert_eq!(b.state, BreakerState::Closed);
+        b.consecutive_failures = 1;
+        assert!(b.consecutive_failures < policy.failure_threshold);
+        b.state = BreakerState::Open;
+        b.opened_at = Some(Instant::now());
+        let remaining = b.cooldown_remaining(Instant::now());
+        assert!(remaining <= Duration::from_millis(50));
+        let later = Instant::now() + Duration::from_millis(60);
+        assert_eq!(b.cooldown_remaining(later), Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_gauge_values_are_ordered() {
+        assert!(BreakerState::Closed.gauge() < BreakerState::HalfOpen.gauge());
+        assert!(BreakerState::HalfOpen.gauge() < BreakerState::Open.gauge());
+    }
+
+    #[test]
+    fn client_errors_format_usefully() {
+        let t = ClientError::Terminal {
+            rejected: true,
+            code: ErrorCode::Invalid,
+            message: "bad theta".into(),
+        };
+        assert!(t.to_string().contains("bad theta"));
+        let e = ClientError::Exhausted {
+            attempts: 5,
+            last_error: "read: reset".into(),
+        };
+        assert!(e.to_string().contains("5 attempts"));
+        assert!(e.to_string().contains("reset"));
+    }
+
+    #[test]
+    fn connecting_to_a_dead_port_fails_fast() {
+        // Bind-then-drop guarantees a port with no listener.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let config = ResilientConfig {
+            connect_timeout: Duration::from_millis(200),
+            ..ResilientConfig::default()
+        };
+        let start = Instant::now();
+        let result = ResilientClient::connect_with(dead, config);
+        assert!(result.is_err());
+        assert!(
+            start.elapsed() < Duration::from_secs(3),
+            "connect must fail fast, took {:?}",
+            start.elapsed()
+        );
+    }
+}

@@ -16,12 +16,14 @@
 //! [`RunReport`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use chambolle_core::{guarded_denoise_with_ctx, ExecCtx, FlowError, KernelBackend};
+use chambolle_core::{
+    guarded_denoise_with_ctx, DegradationPolicy, ExecCtx, FlowError, KernelBackend,
+};
 use chambolle_core::{
     CancelReason, CancelToken, GuardError, RecoveryPolicy, RecoveryReport, TvL1Solver,
 };
@@ -30,7 +32,9 @@ use chambolle_telemetry::json::JsonValue;
 use chambolle_telemetry::{names, RunReport, Telemetry};
 
 use crate::queue::{Pending, SubmitQueue};
-use crate::request::{Completed, Output, RejectReason, Request, ServiceError, Workload};
+use crate::request::{
+    Completed, Output, RejectReason, Request, ResponseTier, ServiceError, Workload,
+};
 
 /// Tuning knobs of a service instance.
 #[derive(Debug, Clone)]
@@ -50,6 +54,12 @@ pub struct ServiceConfig {
     pub low_watermark: usize,
     /// Guard-layer retry budget for denoise requests.
     pub recovery: RecoveryPolicy,
+    /// Brownout policy: while the queue sits inside a congestion episode
+    /// (depth rose to `high_watermark` and hasn't fallen back to
+    /// `low_watermark`), solves are capped to this policy's iteration budget
+    /// and tagged [`ResponseTier::Degraded`] — fidelity is shed instead of
+    /// requests. `None` (the default) disables brownout.
+    pub degradation: Option<DegradationPolicy>,
 }
 
 impl ServiceConfig {
@@ -64,7 +74,14 @@ impl ServiceConfig {
             high_watermark: (queue_capacity * 3 / 4).max(1),
             low_watermark: queue_capacity / 4,
             recovery: RecoveryPolicy::default(),
+            degradation: None,
         }
+    }
+
+    /// Enables brownout degradation under sustained queue congestion.
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = Some(policy);
+        self
     }
 
     /// Sets the maximum batch size (1 disables coalescing).
@@ -101,6 +118,7 @@ struct Stats {
     cancelled: AtomicU64,
     deadline_exceeded: AtomicU64,
     batches: AtomicU64,
+    degraded: AtomicU64,
 }
 
 /// Point-in-time copy of the service counters.
@@ -126,6 +144,9 @@ pub struct ServiceStats {
     pub deadline_exceeded: u64,
     /// Batches dispatched to the pool.
     pub batches: u64,
+    /// Completed responses served at [`ResponseTier::Degraded`] fidelity
+    /// (counted inside `completed` as well).
+    pub degraded: u64,
 }
 
 impl ServiceStats {
@@ -151,6 +172,7 @@ impl ServiceStats {
             ("cancelled".into(), self.cancelled.into()),
             ("deadline_exceeded".into(), self.deadline_exceeded.into()),
             ("batches".into(), self.batches.into()),
+            ("degraded".into(), self.degraded.into()),
         ])
     }
 }
@@ -161,6 +183,51 @@ struct Shared {
     config: ServiceConfig,
     next_id: AtomicU64,
     stats: Stats,
+    /// Instant the service started; `last_solve_ms` is measured from here.
+    epoch: Instant,
+    /// Milliseconds after `epoch` the most recent response was delivered;
+    /// `u64::MAX` until the first one.
+    last_solve_ms: AtomicU64,
+    /// True while the dispatcher thread is inside its loop.
+    dispatcher_live: AtomicBool,
+    /// True while brownout degradation is active (requires a configured
+    /// [`DegradationPolicy`] *and* a queue congestion episode).
+    brownout: AtomicBool,
+}
+
+/// Point-in-time health/readiness report of a service instance.
+///
+/// Served locally by [`ServiceHandle::health`] and over the wire as a
+/// dedicated health frame, this is the signal a load balancer or rerouting
+/// layer keys off: `accepting && dispatcher_live` is the readiness gate,
+/// `queue_depth`/`brownout` grade how loaded a ready instance is, and
+/// `last_solve_age` exposes a wedged dispatcher that still accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Whether new submissions can still be admitted (queue not closed).
+    pub accepting: bool,
+    /// Whether the dispatcher thread is alive inside its loop.
+    pub dispatcher_live: bool,
+    /// Whether brownout degradation is currently active.
+    pub brownout: bool,
+    /// Queue depth across both lanes at snapshot time.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Accepted requests not yet responded to.
+    pub in_flight: u64,
+    /// Requests completed successfully since start.
+    pub completed: u64,
+    /// Time since the most recent response of any kind; `None` until the
+    /// first response is delivered.
+    pub last_solve_age: Option<Duration>,
+}
+
+impl HealthSnapshot {
+    /// The readiness predicate: accepting work and the dispatcher is alive.
+    pub fn is_ready(&self) -> bool {
+        self.accepting && self.dispatcher_live
+    }
 }
 
 /// Client-side handle for submitting work; cheap to clone, usable from any
@@ -251,6 +318,32 @@ impl ServiceHandle {
             cancelled: s.cancelled.load(Ordering::Relaxed),
             deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
+            degraded: s.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A point-in-time health/readiness snapshot (also what the TCP
+    /// front-end serves for wire health probes).
+    pub fn health(&self) -> HealthSnapshot {
+        let shared = &self.shared;
+        shared
+            .telemetry
+            .counter_add(names::SERVICE_HEALTH_PROBES, 1);
+        let stats = self.stats();
+        let last_ms = shared.last_solve_ms.load(Ordering::Relaxed);
+        let last_solve_age = (last_ms != u64::MAX).then(|| {
+            let now_ms = shared.epoch.elapsed().as_millis() as u64;
+            Duration::from_millis(now_ms.saturating_sub(last_ms))
+        });
+        HealthSnapshot {
+            accepting: !shared.queue.is_closed(),
+            dispatcher_live: shared.dispatcher_live.load(Ordering::Relaxed),
+            brownout: shared.brownout.load(Ordering::Relaxed),
+            queue_depth: shared.queue.depth(),
+            queue_capacity: shared.queue.capacity(),
+            in_flight: stats.in_flight(),
+            completed: stats.completed,
+            last_solve_age,
         }
     }
 
@@ -375,6 +468,10 @@ impl Service {
             config,
             next_id: AtomicU64::new(1),
             stats: Stats::default(),
+            epoch: Instant::now(),
+            last_solve_ms: AtomicU64::new(u64::MAX),
+            dispatcher_live: AtomicBool::new(false),
+            brownout: AtomicBool::new(false),
         });
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
@@ -438,6 +535,7 @@ impl std::fmt::Debug for Service {
 }
 
 fn dispatcher_loop(shared: &Shared) {
+    shared.dispatcher_live.store(true, Ordering::Relaxed);
     let pool = ThreadPool::new(shared.config.threads).with_telemetry(shared.telemetry.clone());
     // Every request of this service runs on the same kernel backend; record
     // the `backend.*` capability gauges once per dispatcher lifetime.
@@ -445,6 +543,26 @@ fn dispatcher_loop(shared: &Shared) {
     while let Some(batch) = shared.queue.pop_batch(shared.config.max_batch) {
         dispatch_batch(shared, &pool, batch);
     }
+    shared.dispatcher_live.store(false, Ordering::Relaxed);
+}
+
+/// Decides (at batch granularity) whether brownout degradation applies, and
+/// records the edge transitions. Returns the policy to cap solves with, or
+/// `None` for full fidelity.
+fn brownout_policy(shared: &Shared) -> Option<DegradationPolicy> {
+    let policy = shared.config.degradation?;
+    let congested = shared.queue.is_congested();
+    let was = shared.brownout.swap(congested, Ordering::Relaxed);
+    if congested && !was {
+        shared
+            .telemetry
+            .counter_add(names::SERVICE_BROWNOUT_ENTERED, 1);
+    } else if !congested && was {
+        shared
+            .telemetry
+            .counter_add(names::SERVICE_BROWNOUT_EXITED, 1);
+    }
+    congested.then_some(policy)
 }
 
 /// Solves one batch on the pool and responds to every member.
@@ -458,6 +576,9 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
     let batch_size = batch.len();
     let dequeued_at = Instant::now();
     let policy = shared.config.recovery;
+    // One brownout decision per batch: every member of a batch is served at
+    // the same fidelity tier.
+    let degradation = brownout_policy(shared);
 
     // Requests whose token already fired respond immediately without
     // touching the pool.
@@ -482,7 +603,7 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
         return;
     }
 
-    type SolveResult = Result<(Output, Option<RecoveryReport>), ServiceError>;
+    type SolveResult = Result<(Output, ResponseTier, Option<RecoveryReport>), ServiceError>;
     let slots: Vec<Mutex<Option<(SolveResult, u64)>>> =
         live.iter().map(|_| Mutex::new(None)).collect();
     if live.len() == 1 {
@@ -492,6 +613,7 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
             &live[0].workload,
             &live[0].token,
             &policy,
+            degradation,
             &shared.telemetry,
         );
         *slots[0].lock().expect("slot poisoned") =
@@ -503,6 +625,7 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
                 &live[i].workload,
                 &live[i].token,
                 &policy,
+                degradation,
                 &shared.telemetry,
             );
             *slots[i].lock().expect("slot poisoned") =
@@ -532,10 +655,11 @@ fn solve_contained(
     workload: &Workload,
     token: &CancelToken,
     policy: &RecoveryPolicy,
+    degradation: Option<DegradationPolicy>,
     telemetry: &Telemetry,
-) -> Result<(Output, Option<RecoveryReport>), ServiceError> {
+) -> Result<(Output, ResponseTier, Option<RecoveryReport>), ServiceError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        solve_one(workload, token, policy, telemetry)
+        solve_one(workload, token, policy, degradation, telemetry)
     }));
     match outcome {
         Ok(result) => result,
@@ -554,23 +678,44 @@ fn solve_one(
     workload: &Workload,
     token: &CancelToken,
     policy: &RecoveryPolicy,
+    degradation: Option<DegradationPolicy>,
     telemetry: &Telemetry,
-) -> Result<(Output, Option<RecoveryReport>), ServiceError> {
-    let ctx = ExecCtx::default()
+) -> Result<(Output, ResponseTier, Option<RecoveryReport>), ServiceError> {
+    let mut ctx = ExecCtx::default()
         .with_telemetry(telemetry.clone())
         .with_cancel(token.clone());
+    if let Some(d) = degradation {
+        ctx = ctx.with_degradation(d);
+    }
     match workload {
         Workload::Denoise { input, params } => {
+            // The context's degradation policy caps the iteration count
+            // inside the guarded solve; the tier just records whether it bit.
+            let tier = if degradation.is_some_and(|d| d.caps(params.iterations)) {
+                ResponseTier::Degraded
+            } else {
+                ResponseTier::Full
+            };
             match guarded_denoise_with_ctx(input, params, policy, &ctx) {
-                Ok((u, report)) => Ok((Output::Denoised(u), Some(report))),
+                Ok((u, report)) => Ok((Output::Denoised(u), tier, Some(report))),
                 Err(GuardError::Cancelled(c)) => Err(error_from_reason(c.reason)),
                 Err(other) => Err(ServiceError::Solver(other.to_string())),
             }
         }
         Workload::TvL1 { i0, i1, params } => {
-            let solver = TvL1Solver::sequential(*params);
+            // The TV-L1 outer loop sizes its inner Chambolle solves from its
+            // own params, so brownout caps those directly.
+            let mut params = *params;
+            let tier = match degradation {
+                Some(d) if d.caps(params.inner.iterations) => {
+                    params.inner.iterations = d.effective_iterations(params.inner.iterations);
+                    ResponseTier::Degraded
+                }
+                _ => ResponseTier::Full,
+            };
+            let solver = TvL1Solver::sequential(params);
             match solver.flow_with_ctx(i0, i1, None, &ctx) {
-                Ok((flow, _stats)) => Ok((Output::Flow(flow), None)),
+                Ok((flow, _stats)) => Ok((Output::Flow(flow), tier, None)),
                 Err(FlowError::Cancelled(c)) => Err(error_from_reason(c.reason)),
                 Err(other) => Err(ServiceError::Solver(other.to_string())),
             }
@@ -591,7 +736,7 @@ fn error_from_reason(reason: CancelReason) -> ServiceError {
 fn respond(
     shared: &Shared,
     pending: &Pending,
-    result: Result<(Output, Option<RecoveryReport>), ServiceError>,
+    result: Result<(Output, ResponseTier, Option<RecoveryReport>), ServiceError>,
     queue_us: u64,
     solve_us: u64,
     batch_size: usize,
@@ -601,15 +746,23 @@ fn respond(
     telemetry.observe(names::SERVICE_QUEUE_LATENCY_US, queue_us as f64);
     telemetry.observe(names::SERVICE_SOLVE_LATENCY_US, solve_us as f64);
     telemetry.observe(names::SERVICE_TOTAL_LATENCY_US, total_us as f64);
+    shared
+        .last_solve_ms
+        .store(shared.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
     let response = match result {
-        Ok((output, recovery)) => {
+        Ok((output, tier, recovery)) => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             telemetry.counter_add(names::SERVICE_COMPLETED, 1);
+            if tier == ResponseTier::Degraded {
+                shared.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                telemetry.counter_add(names::SERVICE_DEGRADED_RESPONSES, 1);
+            }
             if let Some(report) = &recovery {
                 report.record_telemetry(telemetry);
             }
             Ok(Completed {
                 output,
+                tier,
                 recovery,
                 queue_us,
                 solve_us,

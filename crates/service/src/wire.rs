@@ -1,60 +1,101 @@
 //! Hand-rolled framed binary protocol of the TCP front-end.
 //!
-//! Every message is one frame: a `u32` little-endian payload length followed
-//! by that many payload bytes. Frames larger than [`MAX_FRAME`] are rejected
-//! before allocation, so a corrupt or hostile length prefix cannot OOM the
-//! server.
+//! Every message is one frame: a `u32` little-endian payload length, a
+//! `u64` little-endian FNV-1a checksum of the payload, then the payload
+//! bytes. Frames larger than [`MAX_FRAME`] or empty are rejected before
+//! allocation, so a corrupt or hostile length prefix cannot OOM the server,
+//! and the checksum turns *any* in-flight byte corruption into a structured
+//! transport error instead of silently wrong pixels — which is what lets
+//! [`ResilientClient`](crate::ResilientClient) treat corruption as a
+//! retryable fault while still guaranteeing bit-identical results.
 //!
-//! Request payload (denoise, the only wire-exposed workload):
+//! Request payload (version 2):
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     protocol version  (= 1)
-//! 1       1     workload kind     (= 1, denoise)
+//! 0       1     protocol version  (= 2)
+//! 1       1     frame kind        (1 = denoise solve, 2 = health probe)
 //! 2       8     client request id (u64 LE, echoed back verbatim)
-//! 10      1     priority          (0 interactive, 1 batch)
-//! 11      4     deadline_ms       (u32 LE, 0 = no deadline)
-//! 15      4     theta             (f32 LE)
-//! 19      4     tau               (f32 LE)
-//! 23      4     iterations        (u32 LE)
-//! 27      4     width             (u32 LE)
-//! 31      4     height            (u32 LE)
-//! 35      4*w*h pixels            (f32 LE, row-major)
+//! --- kind 1 (denoise) ---
+//! 10      8     idempotency key   (u64 LE, 0 = none; nonzero keys dedupe
+//!                                  retries against the server-side cache)
+//! 18      1     priority          (0 interactive, 1 batch)
+//! 19      4     deadline_ms       (u32 LE, 0 = no deadline)
+//! 23      4     theta             (f32 LE)
+//! 27      4     tau               (f32 LE)
+//! 31      4     iterations        (u32 LE)
+//! 35      4     width             (u32 LE)
+//! 39      4     height            (u32 LE)
+//! 43      4*w*h pixels            (f32 LE, row-major)
+//! --- kind 2 (health) --- no further fields
 //! ```
 //!
-//! Response payload:
+//! Response payload (version 2):
 //!
 //! ```text
-//! 0       1     protocol version  (= 1)
-//! 1       1     status            (0 ok, 1 rejected, 2 failed)
+//! 0       1     protocol version  (= 2)
+//! 1       1     status   (0 ok, 1 rejected, 2 failed, 3 health report)
 //! 2       8     client request id (u64 LE)
 //! -- status 0 --
-//! 10      4     width; then 4 height; then 4*w*h f32 LE pixels
+//! 10      1     fidelity tier     (0 full, 1 degraded/brownout)
+//! 11      4     width; then 4 height; then 4*w*h f32 LE pixels
 //! -- status 1 or 2 --
 //! 10      1     error code        (see ErrorCode)
 //! 11      2     message length    (u16 LE)
 //! 13      n     UTF-8 message
+//! -- status 3 --
+//! 10      1     accepting         (0/1)
+//! 11      1     dispatcher_live   (0/1)
+//! 12      1     brownout_active   (0/1)
+//! 13      4     queue_depth       (u32 LE)
+//! 17      4     queue_capacity    (u32 LE)
+//! 21      8     in_flight         (u64 LE)
+//! 29      8     completed         (u64 LE)
+//! 37      8     last_solve_age_ms (u64 LE, u64::MAX = no solve yet)
 //! ```
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
 use chambolle_core::ChambolleParams;
 use chambolle_imaging::Grid;
 
-use crate::request::{Priority, RejectReason, Request, ServiceError, Workload};
+use crate::request::{Priority, RejectReason, Request, ResponseTier, ServiceError, Workload};
+use crate::service::HealthSnapshot;
 
 /// Protocol version both sides must speak.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Hard ceiling on a frame's payload size (64 MiB) — large enough for a
 /// 4096×4096 f32 image, small enough to bound a bad prefix's damage.
 pub const MAX_FRAME: usize = 1 << 26;
 
+/// Bytes of frame header preceding every payload: `u32` length plus `u64`
+/// FNV-1a payload checksum.
+pub const FRAME_HEADER: usize = 12;
+
 const KIND_DENOISE: u8 = 1;
+const KIND_HEALTH: u8 = 2;
 const STATUS_OK: u8 = 0;
 const STATUS_REJECTED: u8 = 1;
 const STATUS_FAILED: u8 = 2;
+const STATUS_HEALTH: u8 = 3;
+const TIER_FULL: u8 = 0;
+const TIER_DEGRADED: u8 = 1;
+
+/// FNV-1a over a byte slice — the frame integrity checksum.
+///
+/// Not cryptographic: it detects the chaos injector's (and real networks')
+/// bit flips, not an adversary.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// Stable numeric codes for rejected/failed responses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,13 +132,116 @@ impl ErrorCode {
     }
 }
 
+/// Structured decode failure: every way a payload can be malformed, as a
+/// typed variant instead of a panic or an unbounded allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload had no bytes at all.
+    Empty,
+    /// The version byte named a protocol this build does not speak.
+    UnsupportedVersion(u8),
+    /// Unknown request frame kind.
+    UnknownKind(u8),
+    /// Unknown response status byte.
+    UnknownStatus(u8),
+    /// Unknown priority discriminant.
+    UnknownPriority(u8),
+    /// Unknown error-code discriminant.
+    UnknownErrorCode(u8),
+    /// Unknown fidelity-tier discriminant.
+    UnknownTier(u8),
+    /// The payload ended before a field finished.
+    Truncated {
+        /// Bytes the next field needed.
+        wanted: usize,
+        /// Bytes actually left.
+        remaining: usize,
+    },
+    /// Declared dimensions overflow or exceed any representable frame.
+    OversizedDimensions {
+        /// Declared width.
+        width: usize,
+        /// Declared height.
+        height: usize,
+    },
+    /// The pixel block does not match the declared dimensions.
+    PixelCountMismatch {
+        /// Bytes the dimensions imply.
+        expected: usize,
+        /// Bytes present.
+        got: usize,
+    },
+    /// Bytes remained after a complete message (corrupt length field).
+    TrailingBytes {
+        /// Leftover byte count.
+        count: usize,
+    },
+    /// The decoded grid failed construction (zero dimension, etc.).
+    BadGrid(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Empty => write!(f, "empty payload"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::UnknownStatus(s) => write!(f, "unknown response status {s}"),
+            DecodeError::UnknownPriority(p) => write!(f, "unknown priority {p}"),
+            DecodeError::UnknownErrorCode(c) => write!(f, "unknown error code {c}"),
+            DecodeError::UnknownTier(t) => write!(f, "unknown fidelity tier {t}"),
+            DecodeError::Truncated { wanted, remaining } => {
+                write!(
+                    f,
+                    "payload truncated: wanted {wanted} bytes, {remaining} left"
+                )
+            }
+            DecodeError::OversizedDimensions { width, height } => {
+                write!(
+                    f,
+                    "dimensions {width}x{height} exceed any representable frame"
+                )
+            }
+            DecodeError::PixelCountMismatch { expected, got } => {
+                write!(f, "pixel payload is {got} bytes, expected {expected}")
+            }
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} bytes left over after a complete message")
+            }
+            DecodeError::BadGrid(e) => write!(f, "grid rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// A decoded wire request.
 #[derive(Debug, Clone)]
-pub struct WireRequest {
-    /// Client-chosen id, echoed back in the response.
-    pub id: u64,
-    /// The service request it maps to.
-    pub request: Request,
+pub enum WireRequest {
+    /// A denoise solve.
+    Solve {
+        /// Client-chosen id, echoed back in the response.
+        id: u64,
+        /// Idempotency key (0 = none): retries carrying the same nonzero
+        /// key return the server's cached result instead of recomputing.
+        idempotency: u64,
+        /// The service request it maps to.
+        request: Request,
+    },
+    /// A health/readiness probe.
+    Health {
+        /// Client-chosen id, echoed back in the response.
+        id: u64,
+    },
+}
+
+impl WireRequest {
+    /// The client-chosen id of either kind.
+    pub fn id(&self) -> u64 {
+        match self {
+            WireRequest::Solve { id, .. } | WireRequest::Health { id } => *id,
+        }
+    }
 }
 
 /// A decoded wire response.
@@ -107,6 +251,8 @@ pub enum WireResponse {
     Ok {
         /// Echoed client id.
         id: u64,
+        /// Fidelity tier the service answered at.
+        tier: ResponseTier,
         /// The denoised image.
         output: Grid<f32>,
     },
@@ -121,14 +267,28 @@ pub enum WireResponse {
         /// Human-readable detail.
         message: String,
     },
+    /// Health probe report.
+    Health {
+        /// Echoed client id.
+        id: u64,
+        /// The service's point-in-time health snapshot.
+        health: HealthSnapshot,
+    },
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one length-prefixed, checksummed frame.
 ///
 /// # Errors
 ///
-/// I/O errors from `w`; `InvalidInput` if the payload exceeds [`MAX_FRAME`].
+/// I/O errors from `w`; `InvalidInput` if the payload is empty or exceeds
+/// [`MAX_FRAME`].
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "zero-length frames are not part of the protocol",
+        ));
+    }
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -136,49 +296,88 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
         ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&fnv1a64(payload).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF at a
-/// frame boundary.
+/// Reads one length-prefixed frame and verifies its checksum. Returns
+/// `Ok(None)` on clean EOF at a frame boundary.
 ///
 /// # Errors
 ///
-/// I/O errors from `r`; `InvalidData` if the prefix exceeds [`MAX_FRAME`];
-/// `UnexpectedEof` if the stream ends mid-frame.
+/// I/O errors from `r`; `InvalidData` if the prefix is zero, exceeds
+/// [`MAX_FRAME`], or the payload fails its checksum; `UnexpectedEof` if the
+/// stream ends mid-frame.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
-    let mut prefix = [0u8; 4];
-    match r.read_exact(&mut prefix) {
+    let mut header = [0u8; FRAME_HEADER];
+    match r.read_exact(&mut header) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    let len = u32::from_le_bytes(prefix) as usize;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(header[4..].try_into().unwrap());
+    validate_frame_len(len)?;
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    verify_frame_checksum(&payload, checksum)?;
+    Ok(Some(payload))
+}
+
+/// Rejects a frame length of zero or beyond [`MAX_FRAME`] before any
+/// allocation happens.
+///
+/// # Errors
+///
+/// `InvalidData` describing the bad prefix.
+pub fn validate_frame_len(len: usize) -> io::Result<()> {
+    if len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "zero-length frame",
+        ));
+    }
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame length {len} exceeds MAX_FRAME"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    Ok(())
 }
 
-/// Encodes a denoise request payload.
+/// Verifies a payload against the checksum its frame header declared.
+///
+/// # Errors
+///
+/// `InvalidData` on mismatch (in-flight corruption).
+pub fn verify_frame_checksum(payload: &[u8], declared: u64) -> io::Result<()> {
+    let actual = fnv1a64(payload);
+    if actual != declared {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame checksum mismatch: header {declared:#018x}, payload {actual:#018x}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Encodes a denoise request payload. `idempotency` of 0 means "no key".
 pub fn encode_denoise_request(
     id: u64,
+    idempotency: u64,
     priority: Priority,
     deadline: Option<Duration>,
     params: &ChambolleParams,
     input: &Grid<f32>,
 ) -> Vec<u8> {
     let (w, h) = input.dims();
-    let mut buf = Vec::with_capacity(35 + 4 * w * h);
+    let mut buf = Vec::with_capacity(43 + 4 * w * h);
     buf.push(WIRE_VERSION);
     buf.push(KIND_DENOISE);
     buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&idempotency.to_le_bytes());
     buf.push(match priority {
         Priority::Interactive => 0,
         Priority::Batch => 1,
@@ -196,68 +395,93 @@ pub fn encode_denoise_request(
     buf
 }
 
+/// Encodes a health-probe request payload.
+pub fn encode_health_request(id: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(10);
+    buf.push(WIRE_VERSION);
+    buf.push(KIND_HEALTH);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf
+}
+
 /// Decodes a request payload.
 ///
 /// # Errors
 ///
-/// A human-readable protocol error (version mismatch, unknown kind,
-/// truncated or oversized payload, dimension/pixel-count mismatch).
-pub fn decode_request(payload: &[u8]) -> Result<WireRequest, String> {
+/// A structured [`DecodeError`] (version mismatch, unknown kind, truncated
+/// or oversized payload, dimension/pixel-count mismatch, trailing bytes).
+pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
+    if payload.is_empty() {
+        return Err(DecodeError::Empty);
+    }
     let mut c = Cursor::new(payload);
     let version = c.u8()?;
     if version != WIRE_VERSION {
-        return Err(format!("unsupported wire version {version}"));
+        return Err(DecodeError::UnsupportedVersion(version));
     }
     let kind = c.u8()?;
-    if kind != KIND_DENOISE {
-        return Err(format!("unsupported workload kind {kind}"));
-    }
     let id = c.u64()?;
-    let priority = match c.u8()? {
-        0 => Priority::Interactive,
-        1 => Priority::Batch,
-        p => return Err(format!("unknown priority {p}")),
-    };
-    let deadline_ms = c.u32()?;
-    let theta = c.f32()?;
-    let tau = c.f32()?;
-    let iterations = c.u32()?;
-    let width = c.u32()? as usize;
-    let height = c.u32()? as usize;
-    let expected = width
-        .checked_mul(height)
-        .and_then(|n| n.checked_mul(4))
-        .ok_or_else(|| "frame dimensions overflow".to_string())?;
-    if c.remaining() != expected {
-        return Err(format!(
-            "pixel payload is {} bytes, expected {expected} for {width}x{height}",
-            c.remaining()
-        ));
+    match kind {
+        KIND_HEALTH => {
+            c.finish()?;
+            Ok(WireRequest::Health { id })
+        }
+        KIND_DENOISE => {
+            let idempotency = c.u64()?;
+            let priority = match c.u8()? {
+                0 => Priority::Interactive,
+                1 => Priority::Batch,
+                p => return Err(DecodeError::UnknownPriority(p)),
+            };
+            let deadline_ms = c.u32()?;
+            let theta = c.f32()?;
+            let tau = c.f32()?;
+            let iterations = c.u32()?;
+            let (width, height) = c.dims()?;
+            let expected = width * height * 4;
+            if c.remaining() != expected {
+                return Err(DecodeError::PixelCountMismatch {
+                    expected,
+                    got: c.remaining(),
+                });
+            }
+            let mut pixels = Vec::with_capacity(width * height);
+            for _ in 0..width * height {
+                pixels.push(c.f32()?);
+            }
+            let input = Grid::from_vec(width, height, pixels)
+                .map_err(|e| DecodeError::BadGrid(e.to_string()))?;
+            let params = ChambolleParams {
+                theta,
+                tau,
+                iterations,
+            };
+            let mut request =
+                Request::new(Workload::Denoise { input, params }).with_priority(priority);
+            if deadline_ms > 0 {
+                request = request.with_deadline(Duration::from_millis(u64::from(deadline_ms)));
+            }
+            Ok(WireRequest::Solve {
+                id,
+                idempotency,
+                request,
+            })
+        }
+        k => Err(DecodeError::UnknownKind(k)),
     }
-    let mut pixels = Vec::with_capacity(width * height);
-    for _ in 0..width * height {
-        pixels.push(c.f32()?);
-    }
-    let input = Grid::from_vec(width, height, pixels).map_err(|e| e.to_string())?;
-    let params = ChambolleParams {
-        theta,
-        tau,
-        iterations,
-    };
-    let mut request = Request::new(Workload::Denoise { input, params }).with_priority(priority);
-    if deadline_ms > 0 {
-        request = request.with_deadline(Duration::from_millis(u64::from(deadline_ms)));
-    }
-    Ok(WireRequest { id, request })
 }
 
-/// Encodes a successful response.
-pub fn encode_ok_response(id: u64, output: &Grid<f32>) -> Vec<u8> {
+/// Encodes a successful response at the given fidelity tier.
+pub fn encode_ok_response(id: u64, tier: ResponseTier, output: &Grid<f32>) -> Vec<u8> {
     let (w, h) = output.dims();
-    let mut buf = Vec::with_capacity(18 + 4 * w * h);
+    let mut buf = Vec::with_capacity(19 + 4 * w * h);
     buf.push(WIRE_VERSION);
     buf.push(STATUS_OK);
     buf.extend_from_slice(&id.to_le_bytes());
+    buf.push(match tier {
+        ResponseTier::Full => TIER_FULL,
+        ResponseTier::Degraded => TIER_DEGRADED,
+    });
     buf.extend_from_slice(&(w as u32).to_le_bytes());
     buf.extend_from_slice(&(h as u32).to_le_bytes());
     for &px in output.as_slice() {
@@ -284,6 +508,26 @@ pub fn encode_err_response(id: u64, rejected: bool, code: ErrorCode, message: &s
     buf
 }
 
+/// Encodes a health report response.
+pub fn encode_health_response(id: u64, health: &HealthSnapshot) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(45);
+    buf.push(WIRE_VERSION);
+    buf.push(STATUS_HEALTH);
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.push(u8::from(health.accepting));
+    buf.push(u8::from(health.dispatcher_live));
+    buf.push(u8::from(health.brownout));
+    buf.extend_from_slice(&(health.queue_depth.min(u32::MAX as usize) as u32).to_le_bytes());
+    buf.extend_from_slice(&(health.queue_capacity.min(u32::MAX as usize) as u32).to_le_bytes());
+    buf.extend_from_slice(&health.in_flight.to_le_bytes());
+    buf.extend_from_slice(&health.completed.to_le_bytes());
+    let age_ms = health.last_solve_age.map_or(u64::MAX, |d| {
+        d.as_millis().min(u128::from(u64::MAX - 1)) as u64
+    });
+    buf.extend_from_slice(&age_ms.to_le_bytes());
+    buf
+}
+
 /// The wire error code + flag for a [`RejectReason`].
 pub fn reject_code(reason: &RejectReason) -> ErrorCode {
     match reason {
@@ -306,32 +550,49 @@ pub fn service_error_code(err: &ServiceError) -> ErrorCode {
 ///
 /// # Errors
 ///
-/// A human-readable protocol error on any malformed field.
-pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
+/// A structured [`DecodeError`] on any malformed field; pixel payloads are
+/// validated against the declared dimensions **before** any allocation.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
+    if payload.is_empty() {
+        return Err(DecodeError::Empty);
+    }
     let mut c = Cursor::new(payload);
     let version = c.u8()?;
     if version != WIRE_VERSION {
-        return Err(format!("unsupported wire version {version}"));
+        return Err(DecodeError::UnsupportedVersion(version));
     }
     let status = c.u8()?;
     let id = c.u64()?;
     match status {
         STATUS_OK => {
-            let width = c.u32()? as usize;
-            let height = c.u32()? as usize;
+            let tier = match c.u8()? {
+                TIER_FULL => ResponseTier::Full,
+                TIER_DEGRADED => ResponseTier::Degraded,
+                t => return Err(DecodeError::UnknownTier(t)),
+            };
+            let (width, height) = c.dims()?;
+            let expected = width * height * 4;
+            if c.remaining() != expected {
+                return Err(DecodeError::PixelCountMismatch {
+                    expected,
+                    got: c.remaining(),
+                });
+            }
             let mut pixels = Vec::with_capacity(width * height);
-            for _ in 0..width.checked_mul(height).ok_or("dimension overflow")? {
+            for _ in 0..width * height {
                 pixels.push(c.f32()?);
             }
-            let output = Grid::from_vec(width, height, pixels).map_err(|e| e.to_string())?;
-            Ok(WireResponse::Ok { id, output })
+            let output = Grid::from_vec(width, height, pixels)
+                .map_err(|e| DecodeError::BadGrid(e.to_string()))?;
+            Ok(WireResponse::Ok { id, tier, output })
         }
         STATUS_REJECTED | STATUS_FAILED => {
-            let code =
-                ErrorCode::from_u8(c.u8()?).ok_or_else(|| "unknown error code".to_string())?;
+            let raw = c.u8()?;
+            let code = ErrorCode::from_u8(raw).ok_or(DecodeError::UnknownErrorCode(raw))?;
             let msg_len = usize::from(c.u16()?);
             let bytes = c.bytes(msg_len)?;
             let message = String::from_utf8_lossy(bytes).into_owned();
+            c.finish()?;
             Ok(WireResponse::Err {
                 id,
                 rejected: status == STATUS_REJECTED,
@@ -339,7 +600,31 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
                 message,
             })
         }
-        s => Err(format!("unknown response status {s}")),
+        STATUS_HEALTH => {
+            let accepting = c.u8()? != 0;
+            let dispatcher_live = c.u8()? != 0;
+            let brownout = c.u8()? != 0;
+            let queue_depth = c.u32()? as usize;
+            let queue_capacity = c.u32()? as usize;
+            let in_flight = c.u64()?;
+            let completed = c.u64()?;
+            let age_ms = c.u64()?;
+            c.finish()?;
+            Ok(WireResponse::Health {
+                id,
+                health: HealthSnapshot {
+                    accepting,
+                    dispatcher_live,
+                    brownout,
+                    queue_depth,
+                    queue_capacity,
+                    in_flight,
+                    completed,
+                    last_solve_age: (age_ms != u64::MAX).then(|| Duration::from_millis(age_ms)),
+                },
+            })
+        }
+        s => Err(DecodeError::UnknownStatus(s)),
     }
 }
 
@@ -358,36 +643,61 @@ impl<'a> Cursor<'a> {
         self.buf.len() - self.pos
     }
 
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
-            return Err(format!(
-                "payload truncated: wanted {n} bytes, {} left",
-                self.remaining()
-            ));
+            return Err(DecodeError::Truncated {
+                wanted: n,
+                remaining: self.remaining(),
+            });
         }
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, String> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.bytes(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, String> {
+    fn u16(&mut self) -> Result<u16, DecodeError> {
         Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    fn u32(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
-    fn f32(&mut self) -> Result<f32, String> {
+    fn f32(&mut self) -> Result<f32, DecodeError> {
         Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `(width, height)` pair and bounds it against [`MAX_FRAME`]
+    /// before the caller allocates anything sized by it.
+    fn dims(&mut self) -> Result<(usize, usize), DecodeError> {
+        let width = self.u32()? as usize;
+        let height = self.u32()? as usize;
+        let cells = width
+            .checked_mul(height)
+            .and_then(|n| n.checked_mul(4))
+            .ok_or(DecodeError::OversizedDimensions { width, height })?;
+        if cells > MAX_FRAME {
+            return Err(DecodeError::OversizedDimensions { width, height });
+        }
+        Ok((width, height))
+    }
+
+    /// Asserts the payload is fully consumed.
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes {
+                count: self.remaining(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -405,35 +715,80 @@ mod tests {
         };
         let payload = encode_denoise_request(
             7,
+            99,
             Priority::Interactive,
             Some(Duration::from_millis(1500)),
             &params,
             &input,
         );
-        let decoded = decode_request(&payload).unwrap();
-        assert_eq!(decoded.id, 7);
-        assert_eq!(decoded.request.priority, Priority::Interactive);
-        assert_eq!(decoded.request.deadline, Some(Duration::from_millis(1500)));
-        match &decoded.request.workload {
-            Workload::Denoise {
-                input: got,
-                params: p,
+        match decode_request(&payload).unwrap() {
+            WireRequest::Solve {
+                id,
+                idempotency,
+                request,
             } => {
-                assert_eq!(got.as_slice(), input.as_slice());
-                assert_eq!(p.theta.to_bits(), params.theta.to_bits());
-                assert_eq!(p.tau.to_bits(), params.tau.to_bits());
-                assert_eq!(p.iterations, params.iterations);
+                assert_eq!(id, 7);
+                assert_eq!(idempotency, 99);
+                assert_eq!(request.priority, Priority::Interactive);
+                assert_eq!(request.deadline, Some(Duration::from_millis(1500)));
+                match &request.workload {
+                    Workload::Denoise {
+                        input: got,
+                        params: p,
+                    } => {
+                        assert_eq!(got.as_slice(), input.as_slice());
+                        assert_eq!(p.theta.to_bits(), params.theta.to_bits());
+                        assert_eq!(p.tau.to_bits(), params.tau.to_bits());
+                        assert_eq!(p.iterations, params.iterations);
+                    }
+                    other => panic!("wrong workload: {other:?}"),
+                }
             }
-            other => panic!("wrong workload: {other:?}"),
+            other => panic!("expected a solve request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_frames_round_trip() {
+        match decode_request(&encode_health_request(13)).unwrap() {
+            WireRequest::Health { id } => assert_eq!(id, 13),
+            other => panic!("expected a health probe: {other:?}"),
+        }
+        let snap = HealthSnapshot {
+            accepting: true,
+            dispatcher_live: true,
+            brownout: false,
+            queue_depth: 3,
+            queue_capacity: 64,
+            in_flight: 5,
+            completed: 1000,
+            last_solve_age: Some(Duration::from_millis(40)),
+        };
+        match decode_response(&encode_health_response(13, &snap)).unwrap() {
+            WireResponse::Health { id, health } => {
+                assert_eq!(id, 13);
+                assert_eq!(health, snap);
+            }
+            other => panic!("expected health: {other:?}"),
+        }
+        // "Never solved" survives the trip as None.
+        let fresh = HealthSnapshot {
+            last_solve_age: None,
+            ..snap
+        };
+        match decode_response(&encode_health_response(1, &fresh)).unwrap() {
+            WireResponse::Health { health, .. } => assert_eq!(health.last_solve_age, None),
+            other => panic!("expected health: {other:?}"),
         }
     }
 
     #[test]
     fn responses_round_trip() {
         let grid = Grid::from_fn(3, 2, |x, y| (x + 10 * y) as f32);
-        match decode_response(&encode_ok_response(9, &grid)).unwrap() {
-            WireResponse::Ok { id, output } => {
+        match decode_response(&encode_ok_response(9, ResponseTier::Degraded, &grid)).unwrap() {
+            WireResponse::Ok { id, tier, output } => {
                 assert_eq!(id, 9);
+                assert_eq!(tier, ResponseTier::Degraded);
                 assert_eq!(output.as_slice(), grid.as_slice());
             }
             other => panic!("expected ok: {other:?}"),
@@ -457,31 +812,199 @@ mod tests {
 
     #[test]
     fn malformed_payloads_are_rejected_not_panicked() {
-        assert!(decode_request(&[]).is_err());
-        assert!(decode_request(&[9, 9]).is_err()); // bad version
+        assert_eq!(decode_request(&[]).unwrap_err(), DecodeError::Empty);
+        assert!(matches!(
+            decode_request(&[9, 9]).unwrap_err(),
+            DecodeError::UnsupportedVersion(9)
+        ));
         let mut ok = encode_denoise_request(
             1,
+            0,
             Priority::Batch,
             None,
             &ChambolleParams::with_iterations(3),
             &Grid::new(4, 4, 0.0f32),
         );
         ok.truncate(ok.len() - 1); // drop one pixel byte
-        assert!(decode_request(&ok).is_err());
-        assert!(decode_response(&[1, 7, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        assert!(matches!(
+            decode_request(&ok).unwrap_err(),
+            DecodeError::PixelCountMismatch { .. }
+        ));
+        assert!(decode_response(&[WIRE_VERSION, 7, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
     }
 
     #[test]
-    fn frames_round_trip_and_guard_length() {
+    fn oversized_dimensions_are_rejected_before_allocation() {
+        // An ok-response header declaring a 2^31 x 2^31 frame with no pixel
+        // bytes behind it: decode must reject on the dimension field, not
+        // attempt a multi-exabyte Vec.
+        let mut buf = Vec::new();
+        buf.push(WIRE_VERSION);
+        buf.push(STATUS_OK);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.push(TIER_FULL);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&buf).unwrap_err(),
+            DecodeError::OversizedDimensions { .. }
+        ));
+        // Same guard on the request path.
+        let mut req = encode_denoise_request(
+            1,
+            0,
+            Priority::Batch,
+            None,
+            &ChambolleParams::with_iterations(3),
+            &Grid::new(2, 2, 0.0f32),
+        );
+        req[35..39].copy_from_slice(&u32::MAX.to_le_bytes());
+        req[39..43].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&req).unwrap_err(),
+            DecodeError::OversizedDimensions { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut probe = encode_health_request(5);
+        probe.push(0xAB);
+        assert_eq!(
+            decode_request(&probe).unwrap_err(),
+            DecodeError::TrailingBytes { count: 1 }
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_and_guard_length_and_checksum() {
         let mut buf = Vec::new();
         write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
-        let mut r = io::Cursor::new(buf);
+        write_frame(&mut buf, b"x").unwrap();
+        let mut r = io::Cursor::new(buf.clone());
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"x");
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
 
-        let mut bad = io::Cursor::new(((MAX_FRAME + 1) as u32).to_le_bytes().to_vec());
-        assert!(read_frame(&mut bad).is_err());
+        // Zero-length frames are rejected on both sides.
+        assert!(write_frame(&mut Vec::new(), b"").is_err());
+        let mut zero = Vec::new();
+        zero.extend_from_slice(&0u32.to_le_bytes());
+        zero.extend_from_slice(&fnv1a64(b"").to_le_bytes());
+        assert!(read_frame(&mut io::Cursor::new(zero)).is_err());
+
+        // A hostile length prefix fails before allocating.
+        let mut bad = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0u8; 8]);
+        assert!(read_frame(&mut io::Cursor::new(bad)).is_err());
+
+        // A flipped payload bit fails the checksum.
+        let mut corrupt = buf;
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x10;
+        let mut r = io::Cursor::new(corrupt);
+        let err = read_frame(&mut r).unwrap().map(|_| ());
+        assert!(err.is_some(), "first frame is intact");
+        assert!(read_frame(&mut r).is_err(), "second frame corrupt");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Deterministic corruption of an encoded payload: flip bits,
+        /// truncate, or extend, driven by the generated plan.
+        fn corrupt(payload: &[u8], flips: &[(usize, u8)], truncate_to: usize) -> Vec<u8> {
+            let mut bytes = payload.to_vec();
+            for &(pos, bit) in flips {
+                if !bytes.is_empty() {
+                    let i = pos % bytes.len();
+                    bytes[i] ^= 1 << (bit % 8);
+                }
+            }
+            if truncate_to < bytes.len() {
+                bytes.truncate(truncate_to);
+            }
+            bytes
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// decode(corrupt(encode(x))) never panics and never allocates
+            /// unboundedly — it returns Ok (benign corruption, e.g. inside
+            /// pixel data) or a structured DecodeError.
+            #[test]
+            fn corrupted_request_decode_is_total(
+                w in 1usize..6,
+                h in 1usize..6,
+                iters in 1u32..50,
+                flip_pos in proptest::collection::vec((0usize..4096, 0u8..8), 0..6),
+                trunc in 0usize..4096,
+            ) {
+                let input = Grid::from_fn(w, h, |x, y| (x * 7 + y) as f32 / 11.0);
+                let params = ChambolleParams::with_iterations(iters);
+                let payload = encode_denoise_request(
+                    42, 7, Priority::Batch, Some(Duration::from_millis(10)),
+                    &params, &input,
+                );
+                let mangled = corrupt(&payload, &flip_pos, trunc);
+                let _ = decode_request(&mangled); // must not panic
+            }
+
+            /// Same totality for the response decoder.
+            #[test]
+            fn corrupted_response_decode_is_total(
+                w in 1usize..6,
+                h in 1usize..6,
+                flip_pos in proptest::collection::vec((0usize..4096, 0u8..8), 0..6),
+                trunc in 0usize..4096,
+            ) {
+                let grid = Grid::from_fn(w, h, |x, y| (x + y) as f32);
+                for payload in [
+                    encode_ok_response(3, ResponseTier::Full, &grid),
+                    encode_err_response(3, false, ErrorCode::Solver, "boom"),
+                    encode_health_response(3, &HealthSnapshot {
+                        accepting: true,
+                        dispatcher_live: true,
+                        brownout: false,
+                        queue_depth: 1,
+                        queue_capacity: 8,
+                        in_flight: 0,
+                        completed: 9,
+                        last_solve_age: None,
+                    }),
+                ] {
+                    let mangled = corrupt(&payload, &flip_pos, trunc);
+                    let _ = decode_response(&mangled); // must not panic
+                }
+            }
+
+            /// Arbitrary byte soup never panics either decoder.
+            #[test]
+            fn random_bytes_never_panic_decoders(
+                bytes in proptest::collection::vec(any::<u8>(), 0..512),
+            ) {
+                let _ = decode_request(&bytes);
+                let _ = decode_response(&bytes);
+            }
+
+            /// Payload corruption inside a frame is always caught by the
+            /// frame checksum before decode even sees it.
+            #[test]
+            fn frame_checksum_catches_payload_corruption(
+                flip_byte in 0usize..64,
+                flip_bit in 0u8..8,
+            ) {
+                let payload = encode_health_request(77);
+                let mut framed = Vec::new();
+                write_frame(&mut framed, &payload).unwrap();
+                // Flip one bit inside the payload region (past the header).
+                let i = FRAME_HEADER + (flip_byte % payload.len());
+                framed[i] ^= 1 << flip_bit;
+                let err = read_frame(&mut io::Cursor::new(framed)).unwrap_err();
+                prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            }
+        }
     }
 }

@@ -164,6 +164,49 @@ pub mod names {
     pub const SERVICE_SOLVE_LATENCY_US: &str = "service.latency.solve_us";
     /// Histogram: microseconds from submission to response.
     pub const SERVICE_TOTAL_LATENCY_US: &str = "service.latency.total_us";
+    /// Counter: brownout activations (queue depth crossed the high
+    /// watermark while a degradation policy was configured).
+    pub const SERVICE_BROWNOUT_ENTERED: &str = "service.brownout.entered";
+    /// Counter: brownout deactivations (depth fell back to the low
+    /// watermark; full fidelity restored).
+    pub const SERVICE_BROWNOUT_EXITED: &str = "service.brownout.exited";
+    /// Counter: responses served at the degraded fidelity tier.
+    pub const SERVICE_DEGRADED_RESPONSES: &str = "service.degraded_responses";
+    /// Counter: health/readiness probes answered by the front-end.
+    pub const SERVICE_HEALTH_PROBES: &str = "service.health_probes";
+    /// Counter: wire requests answered from the idempotency cache instead
+    /// of recomputing.
+    pub const SERVICE_IDEMPOTENT_HITS: &str = "service.idempotent.hits";
+
+    /// Counter: client retry attempts beyond the first try.
+    pub const SERVICE_RETRY_ATTEMPTS: &str = "service.retry.attempts";
+    /// Counter: requests that eventually succeeded after >= 1 retry.
+    pub const SERVICE_RETRY_RECOVERED: &str = "service.retry.recovered";
+    /// Counter: requests abandoned after exhausting the retry budget.
+    pub const SERVICE_RETRY_EXHAUSTED: &str = "service.retry.exhausted";
+    /// Histogram: microseconds from first failure to eventual success on
+    /// requests that needed retries (client-observed recovery time).
+    pub const SERVICE_RETRY_RECOVERY_US: &str = "service.retry.recovery_us";
+
+    /// Counter: circuit-breaker transitions into `Open`.
+    pub const SERVICE_BREAKER_OPENED: &str = "service.breaker.opened";
+    /// Counter: circuit-breaker transitions into `HalfOpen` (probe allowed).
+    pub const SERVICE_BREAKER_HALF_OPEN: &str = "service.breaker.half_open";
+    /// Counter: circuit-breaker transitions back into `Closed`.
+    pub const SERVICE_BREAKER_CLOSED: &str = "service.breaker.closed";
+    /// Gauge: current breaker state (0 closed, 1 open, 2 half-open).
+    pub const SERVICE_BREAKER_STATE: &str = "service.breaker.state";
+
+    /// Counter: chaos-injected connection resets.
+    pub const SERVICE_CHAOS_RESETS: &str = "service.chaos.resets";
+    /// Counter: chaos-injected byte corruptions.
+    pub const SERVICE_CHAOS_CORRUPTIONS: &str = "service.chaos.corruptions";
+    /// Counter: chaos-injected read stalls.
+    pub const SERVICE_CHAOS_STALLS: &str = "service.chaos.stalls";
+    /// Counter: chaos-injected partial writes (prefix flushed, then reset).
+    pub const SERVICE_CHAOS_PARTIAL_WRITES: &str = "service.chaos.partial_writes";
+    /// Counter: chaos-injected server crashes after commit, before respond.
+    pub const SERVICE_CHAOS_SERVER_PANICS: &str = "service.chaos.server_panics";
 
     /// Gauge: `f32` lanes per vector op of the selected kernel backend
     /// (1 scalar, 4 SSE2, 8 AVX2).

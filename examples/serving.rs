@@ -1,9 +1,13 @@
-//! Serving quickstart: run the denoise service in-process and over TCP.
+//! Serving quickstart: run the denoise service in-process, over TCP, and
+//! through deliberate chaos.
 //!
 //! Spawns the batching service on a small worker pool, submits a burst of
 //! compatible requests (which coalesce into shared pool dispatches), makes
-//! one framed TCP round-trip against the same service, then drains
-//! gracefully and prints the final telemetry report.
+//! one framed TCP round-trip against the same service, then rebinds the
+//! front-end with deterministic fault injection and shows the resilient
+//! client absorbing resets, corruption, and a scripted server panic while
+//! health probes watch readiness — and finally drains gracefully and
+//! prints the final telemetry report.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -14,7 +18,8 @@ use std::time::Duration;
 use chambolle::core::ChambolleParams;
 use chambolle::imaging::{NoiseTexture, Scene};
 use chambolle::service::{
-    wire, Priority, Request, Service, ServiceClient, ServiceConfig, TcpServer, Workload,
+    wire, ChaosConfig, Priority, Request, ResilientClient, Service, ServiceClient, ServiceConfig,
+    TcpServer, Workload,
 };
 use chambolle::telemetry::Telemetry;
 
@@ -78,9 +83,57 @@ fn main() {
         wire::WireResponse::Err { code, message, .. } => {
             println!("tcp request failed ({code:?}): {message}");
         }
+        wire::WireResponse::Health { .. } => unreachable!("denoise never yields a health frame"),
     }
     drop(client);
     server.shutdown();
+
+    // Chaos round: the same service behind a front-end that injects
+    // deterministic faults — seeded connection resets and bit corruption,
+    // plus a scripted server panic on the 2nd solve (after it commits, so
+    // the retry is answered from the idempotency cache). The resilient
+    // client's retries, breaker, and idempotency keys absorb all of it.
+    let chaos = ChaosConfig::quiet(42)
+        .with_resets(0.04)
+        .with_corruption(0.04)
+        .with_panic_on_request(2);
+    let chaotic = TcpServer::bind_with_chaos(service.handle().clone(), "127.0.0.1:0", chaos)
+        .expect("localhost bind");
+    println!("chaos serving on {}", chaotic.local_addr());
+    let mut resilient = ResilientClient::connect(chaotic.local_addr()).expect("connect");
+    for i in 0..6 {
+        let input = NoiseTexture::new(5000 + i).render(64, 64);
+        let outcome = resilient
+            .denoise(&input, &params, Priority::Interactive, None)
+            .expect("retries + idempotent replay must absorb the chaos");
+        println!(
+            "chaos request {i}: {} attempt(s), tier {}{}",
+            outcome.attempts,
+            outcome.tier,
+            if outcome.recovered {
+                " (recovered)"
+            } else {
+                ""
+            },
+        );
+    }
+    let health = resilient.health().expect("health probe");
+    println!(
+        "health: ready={}, queue {}/{}, completed {}, last solve {:?} ago",
+        health.is_ready(),
+        health.queue_depth,
+        health.queue_capacity,
+        health.completed,
+        health.last_solve_age,
+    );
+    let stats = resilient.stats();
+    let faults = chaotic.chaos().map_or(0, |injector| injector.fault_count());
+    println!(
+        "chaos absorbed: {faults} injected fault(s), {} retries, {} recovered, {} breaker open(s)",
+        stats.retries, stats.recovered, stats.breaker_opened,
+    );
+    drop(resilient);
+    chaotic.shutdown();
 
     // Graceful drain: admission stops, in-flight work completes, and the
     // final run report carries the service counters.

@@ -172,6 +172,22 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     }
 }
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+}
+
 /// Collection strategies (subset of `proptest::collection`).
 pub mod collection {
     use super::{Strategy, TestRng};
