@@ -479,6 +479,85 @@ mod tests {
     }
 
     #[test]
+    fn tcp_shutdown_is_not_hostage_to_stalled_mid_frame_peers() {
+        use std::io::Write as _;
+
+        let service = Service::spawn(ServiceConfig::new(1, 4));
+        let server = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        // Two pathological peers held open across the shutdown: one stalls
+        // after half a frame header, one after a header promising a payload
+        // that never arrives. Neither must pin its connection thread.
+        let mut half_header = std::net::TcpStream::connect(addr).unwrap();
+        half_header
+            .write_all(&[0xAB; wire::FRAME_HEADER / 2])
+            .unwrap();
+        let mut half_payload = std::net::TcpStream::connect(addr).unwrap();
+        let mut header = Vec::new();
+        header.extend_from_slice(&64u32.to_le_bytes()); // valid length...
+        header.extend_from_slice(&0u64.to_le_bytes()); // ...no payload follows
+        half_payload.write_all(&header).unwrap();
+
+        // Park both connection threads inside their frame reads before the
+        // stop flag rises.
+        std::thread::sleep(Duration::from_millis(150));
+
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "shutdown stalled behind silent peers: {:?}",
+            start.elapsed()
+        );
+        drop(half_header);
+        drop(half_payload);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_default_clients_get_their_own_results() {
+        // Regression: idempotency keys were minted from the (shared default)
+        // jitter seed, so a second default-configured client's first solve
+        // collided in the server-side cache and was served the first
+        // client's pixels.
+        let input_a = noisy_input(14, 10, 1001);
+        let input_b = noisy_input(14, 10, 2002);
+        let params = ChambolleParams::with_iterations(12);
+        let service = Service::spawn(ServiceConfig::new(2, 8));
+        let server = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let mut client_a = ResilientClient::connect(addr).unwrap();
+        let mut client_b = ResilientClient::connect(addr).unwrap();
+        let out_a = client_a
+            .denoise(&input_a, &params, Priority::Batch, None)
+            .unwrap();
+        let out_b = client_b
+            .denoise(&input_b, &params, Priority::Batch, None)
+            .unwrap();
+
+        let expect_a = SequentialSolver::new().denoise(&input_a, &params);
+        let expect_b = SequentialSolver::new().denoise(&input_b, &params);
+        assert_eq!(
+            out_a.output.as_slice(),
+            expect_a.as_slice(),
+            "client A must get its own solve"
+        );
+        assert_eq!(
+            out_b.output.as_slice(),
+            expect_b.as_slice(),
+            "client B must not be served client A's cached result"
+        );
+
+        drop(client_a);
+        drop(client_b);
+        server.shutdown();
+        let summary = service.shutdown();
+        assert_eq!(summary.stats.completed, 2, "both solves actually ran");
+    }
+
+    #[test]
     fn tcp_front_end_round_trips_against_in_process_result() {
         let input = noisy_input(16, 12, 77);
         let params = ChambolleParams::with_iterations(15);

@@ -271,12 +271,28 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Reap finished connection threads while idle so a
+                // long-running server doesn't accumulate one JoinHandle per
+                // connection ever accepted.
+                reap_finished(&mut connections);
                 std::thread::sleep(POLL_INTERVAL);
             }
             Err(_) => break,
         }
     }
     connections
+}
+
+/// Joins (and drops) every connection handle whose thread has exited.
+fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < connections.len() {
+        if connections[i].is_finished() {
+            let _ = connections.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
 }
 
 fn serve_connection<T: Transport>(
@@ -372,23 +388,28 @@ fn serve_connection<T: Transport>(
 }
 
 /// Like [`read_frame`], but read timeouts loop back to a stop-flag check
-/// instead of failing, so a blocked read converges during shutdown.
+/// instead of failing, so a blocked read converges during shutdown — even a
+/// read stalled *mid-frame* (a peer that sent a partial header or partial
+/// payload then went silent must not pin the connection thread forever;
+/// `TcpServer::shutdown` joins every one of them). Only requests that were
+/// fully read — and therefore accepted — are protected through to their
+/// response write; an unfinished frame is abandoned.
 /// `Ok(None)` means clean EOF or shutdown-before-a-frame-started.
 fn read_frame_interruptible<T: Transport>(
     stream: &mut T,
     stop: &Arc<AtomicBool>,
 ) -> io::Result<Option<Vec<u8>>> {
     let mut header = [0u8; FRAME_HEADER];
-    if !read_exact_interruptible(stream, &mut header, stop, true)? {
+    if !read_exact_interruptible(stream, &mut header, stop)? {
         return Ok(None);
     }
     let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
     let checksum = u64::from_le_bytes(header[4..].try_into().unwrap());
     validate_frame_len(len)?;
     let mut payload = vec![0u8; len];
-    // Once a frame has started, finish it even if shutdown begins: the
-    // response for an accepted request must still go out.
-    if !read_exact_interruptible(stream, &mut payload, stop, false)? {
+    if !read_exact_interruptible(stream, &mut payload, stop)? {
+        // EOF or shutdown mid-frame: nothing was accepted, drop the
+        // connection.
         return Err(io::ErrorKind::UnexpectedEof.into());
     }
     verify_frame_checksum(&payload, checksum)?;
@@ -396,13 +417,12 @@ fn read_frame_interruptible<T: Transport>(
 }
 
 /// Fills `buf`, retrying across read timeouts. Returns `Ok(false)` on clean
-/// EOF before any byte, or when `interruptible` and the stop flag rises
-/// between bytes of nothing.
+/// EOF before any byte, or whenever the stop flag rises while the read is
+/// stalled (including mid-buffer — shutdown must not wait on a silent peer).
 fn read_exact_interruptible<T: Transport>(
     stream: &mut T,
     buf: &mut [u8],
     stop: &Arc<AtomicBool>,
-    interruptible: bool,
 ) -> io::Result<bool> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -417,7 +437,7 @@ fn read_exact_interruptible<T: Transport>(
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if interruptible && filled == 0 && stop.load(Ordering::Acquire) {
+                if stop.load(Ordering::Acquire) {
                     return Ok(false);
                 }
             }

@@ -95,7 +95,9 @@ pub struct ResilientConfig {
     pub retry: RetryPolicy,
     /// Circuit-breaker thresholds.
     pub breaker: BreakerPolicy,
-    /// Seed of the backoff jitter stream (deterministic tests pin it).
+    /// Seed of the backoff jitter stream (deterministic tests pin it). Only
+    /// backoff timing depends on it; idempotency keys are minted from
+    /// per-client entropy so concurrent clients never collide.
     pub jitter_seed: u64,
 }
 
@@ -239,7 +241,7 @@ pub struct ResilientClient {
     config: ResilientConfig,
     conn: Option<TcpStream>,
     next_id: u64,
-    next_key: u64,
+    key_state: u64,
     rng: u64,
     prev_backoff: Duration,
     breaker: Breaker,
@@ -276,10 +278,12 @@ impl ResilientClient {
             config,
             conn: None,
             next_id: 1,
-            // Keys must be nonzero and unique per logical request; derive
-            // the starting point from the jitter seed so two clients against
-            // one server don't collide on key 1.
-            next_key: (config.jitter_seed << 16) | 1,
+            // Keys must be nonzero, unique per logical request, and distinct
+            // across clients sharing one server's idempotency cache — the
+            // jitter seed deliberately plays no part (two default-configured
+            // clients would mint identical key streams and silently read
+            // each other's cached results).
+            key_state: entropy_seed(),
             rng: config.jitter_seed,
             prev_backoff: config.retry.base_backoff,
             breaker: Breaker::new(config.breaker),
@@ -327,8 +331,7 @@ impl ResilientClient {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Result<DenoiseOutcome, ClientError> {
-        let key = self.next_key;
-        self.next_key += 1;
+        let key = self.mint_key();
         let id = self.next_id;
         self.next_id += 1;
         let payload = encode_denoise_request(id, key, priority, deadline, params, input);
@@ -578,13 +581,50 @@ impl ResilientClient {
     }
 
     fn next_u64(&mut self) -> u64 {
-        // SplitMix64, same generator the chaos injector uses.
-        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        splitmix_next(&mut self.rng)
     }
+
+    /// Mints a nonzero idempotency key. SplitMix64 is a bijection over its
+    /// counter, so one client never repeats a key within 2^64 requests;
+    /// cross-client uniqueness rests on the entropy-seeded starting state.
+    fn mint_key(&mut self) -> u64 {
+        loop {
+            let key = splitmix_next(&mut self.key_state);
+            if key != 0 {
+                return key;
+            }
+        }
+    }
+}
+
+/// SplitMix64 step, same generator the chaos injector uses.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-client entropy for the idempotency-key stream: wall clock, process
+/// id, a process-wide counter (clients created in the same nanosecond), and
+/// an ASLR-perturbed stack address, whitened through SplitMix64. No
+/// dependency on any configured seed — key uniqueness must hold even when
+/// every client runs the same config.
+fn entropy_seed() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let seq = CLIENT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let stack_probe = 0u8;
+    let mut state = nanos
+        ^ (u64::from(std::process::id()) << 32)
+        ^ seq.rotate_left(17)
+        ^ (std::ptr::addr_of!(stack_probe) as u64).rotate_left(47);
+    splitmix_next(&mut state)
 }
 
 impl std::fmt::Debug for ResilientClient {
@@ -669,6 +709,42 @@ mod tests {
         };
         assert!(e.to_string().contains("5 attempts"));
         assert!(e.to_string().contains("reset"));
+    }
+
+    #[test]
+    fn entropy_seeds_differ_per_client() {
+        // The process-wide sequence counter alone must separate clients
+        // created in the same nanosecond of the same process.
+        let seeds: Vec<u64> = (0..64).map(|_| entropy_seed()).collect();
+        let distinct: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), seeds.len(), "entropy seeds collided");
+    }
+
+    #[test]
+    fn minted_keys_are_nonzero_and_unique() {
+        let mut state = 0u64; // worst-case start: zero state
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let key = loop {
+                let k = splitmix_next(&mut state);
+                if k != 0 {
+                    break k;
+                }
+            };
+            assert!(seen.insert(key), "duplicate idempotency key {key:#x}");
+        }
+    }
+
+    #[test]
+    fn keys_do_not_depend_on_the_jitter_seed() {
+        // Two clients with identical configs (same jitter seed) must still
+        // mint disjoint key streams — the regression this guards against
+        // served one client the other's cached pixels.
+        let mut a = entropy_seed();
+        let mut b = entropy_seed();
+        let stream_a: Vec<u64> = (0..32).map(|_| splitmix_next(&mut a)).collect();
+        let stream_b: Vec<u64> = (0..32).map(|_| splitmix_next(&mut b)).collect();
+        assert_ne!(stream_a, stream_b);
     }
 
     #[test]
