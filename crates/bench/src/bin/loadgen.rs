@@ -11,6 +11,7 @@
 //! cargo run --release -p chambolle-bench --bin loadgen -- --smoke  # CI smoke
 //! cargo run --release -p chambolle-bench --bin loadgen -- --out x.json
 //! cargo run --release -p chambolle-bench --bin loadgen -- --chaos  # chaos soak
+//! cargo run --release -p chambolle-bench --bin loadgen -- --chaos --scrape-interval-ms 100
 //! ```
 //!
 //! Default mode: three phases, all on 4 worker threads:
@@ -27,87 +28,40 @@
 //!
 //! `--chaos` switches to the resilience soak: a fault-injected TCP server
 //! (seeded resets, payload corruption, and one scripted post-commit
-//! server panic) driven by [`ResilientClient`]. The run asserts 100%
-//! completion with zero exhausted retry budgets and writes a schema-stable
-//! `BENCH_pr6.json` with retry, breaker, and chaos-fault counters.
+//! server panic) driven by [`ResilientClient`]. While the soak runs, a
+//! scraper thread polls the live `MetricsSnapshot` wire request at
+//! `--scrape-interval-ms` cadence through a clean ops listener on the same
+//! service, and the resulting time series (queue depth, rolling p50/p99,
+//! SLO burn, brownout state) is embedded in the report. The run asserts
+//! 100% completion with zero exhausted retry budgets and writes a
+//! schema-stable `BENCH_pr7.json` with retry, breaker, chaos-fault, and
+//! scrape data.
 
 use std::env;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use chambolle_bench::loadreport::{
+    parse_args, validate_batching, validate_chaos, validate_metrics_snapshot, Args, BENCH_BATCHING,
+    BENCH_CHAOS, SCHEMA,
+};
 use chambolle_bench::workloads::timing_frame;
 use chambolle_core::ChambolleParams;
 use chambolle_imaging::Image;
 use chambolle_service::{
     BreakerPolicy, ChaosConfig, Priority, RejectReason, Request, ResilientClient, ResilientConfig,
-    RetryPolicy, Service, ServiceConfig, ServiceError, TcpServer, Ticket, Workload,
+    RetryPolicy, Service, ServiceClient, ServiceConfig, ServiceError, SloObjective, TcpServer,
+    Ticket, Workload,
 };
 use chambolle_telemetry::json::JsonValue;
 use chambolle_telemetry::{names, Telemetry};
 
-/// Schema identifier checked by the smoke validation and downstream tools.
-const SCHEMA: &str = "chambolle.bench.v1";
-/// Benchmark identifier of the batching phases within the schema.
-const BENCH: &str = "pr4";
-/// Benchmark identifier of the chaos soak within the schema.
-const CHAOS_BENCH: &str = "pr6";
 /// Pool size for every phase.
 const THREADS: usize = 4;
 /// Fixed injector/jitter seed: the chaos soak rolls seeded dice, not a
 /// fuzzer's — fault volume tracks traffic, and the scripted panic is exact.
 const CHAOS_SEED: u64 = 0xC4A0_5BE7_7E12;
-
-/// Parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Args {
-    smoke: bool,
-    chaos: bool,
-    connect_timeout: Duration,
-    out: Option<String>,
-}
-
-impl Args {
-    fn out_path(&self) -> String {
-        self.out.clone().unwrap_or_else(|| {
-            if self.chaos {
-                "BENCH_pr6.json".to_string()
-            } else {
-                "BENCH_pr4.json".to_string()
-            }
-        })
-    }
-}
-
-fn parse_args(args: &[String]) -> Result<Args, String> {
-    let mut parsed = Args {
-        smoke: false,
-        chaos: false,
-        connect_timeout: chambolle_service::DEFAULT_CONNECT_TIMEOUT,
-        out: None,
-    };
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--smoke" => parsed.smoke = true,
-            "--chaos" => parsed.chaos = true,
-            "--out" => {
-                let value = iter.next().ok_or("--out requires a path")?;
-                parsed.out = Some(value.clone());
-            }
-            "--connect-timeout-ms" => {
-                let value = iter.next().ok_or("--connect-timeout-ms requires a value")?;
-                let ms: u64 = value
-                    .parse()
-                    .map_err(|_| format!("--connect-timeout-ms: not a number: {value:?}"))?;
-                if ms == 0 {
-                    return Err("--connect-timeout-ms must be positive".into());
-                }
-                parsed.connect_timeout = Duration::from_millis(ms);
-            }
-            other => return Err(format!("unknown flag {other:?}")),
-        }
-    }
-    Ok(parsed)
-}
 
 struct PhaseSpec<'a> {
     name: &'a str,
@@ -282,7 +236,10 @@ fn main() {
     let raw: Vec<String> = env::args().skip(1).collect();
     let args = parse_args(&raw).unwrap_or_else(|e| {
         eprintln!("loadgen: {e}");
-        eprintln!("usage: loadgen [--smoke] [--chaos] [--connect-timeout-ms <ms>] [--out <path>]");
+        eprintln!(
+            "usage: loadgen [--smoke] [--chaos] [--connect-timeout-ms <ms>] \
+             [--scrape-interval-ms <ms>] [--out <path>]"
+        );
         std::process::exit(2);
     });
     let out_path = args.out_path();
@@ -291,7 +248,10 @@ fn main() {
     let (text, check): (String, Validator) = if args.chaos {
         (run_chaos_bench(&args).to_string_pretty(), validate_chaos)
     } else {
-        (run_batching_bench(args.smoke).to_string_pretty(), validate)
+        (
+            run_batching_bench(args.smoke).to_string_pretty(),
+            validate_batching,
+        )
     };
     check(&text).unwrap_or_else(|e| {
         eprintln!("emitted report failed schema validation: {e}");
@@ -306,8 +266,9 @@ fn main() {
 }
 
 /// The chaos soak: a fault-injected TCP front-end driven by the resilient
-/// client. Asserts 100% completion with zero exhausted budgets and returns
-/// the `pr6` report.
+/// client while a scraper thread polls the live metrics plane. Asserts 100%
+/// completion with zero exhausted budgets and returns the `pr7` report with
+/// the embedded `MetricsSnapshot` time series.
 fn run_chaos_bench(args: &Args) -> JsonValue {
     let (n, size, iters) = if args.smoke {
         (60usize, 24usize, 12u32)
@@ -323,8 +284,13 @@ fn run_chaos_bench(args: &Args) -> JsonValue {
     let params = ChambolleParams::with_iterations(iters);
     let server_telemetry = Telemetry::null();
     let client_telemetry = Telemetry::null();
-    let service =
-        Service::spawn_with_telemetry(ServiceConfig::new(2, 32), server_telemetry.clone());
+    // A demonstration SLO on the batch lane so the scraped snapshots carry
+    // live burn-rate data: 99% of soak responses within 2 s.
+    let config = ServiceConfig::new(2, 32).with_slo(
+        Priority::Batch,
+        SloObjective::new(Duration::from_secs(2), 0.99),
+    );
+    let service = Service::spawn_with_telemetry(config, server_telemetry.clone());
     let chaos = ChaosConfig::quiet(CHAOS_SEED)
         .with_resets(0.03)
         .with_corruption(0.03)
@@ -345,10 +311,24 @@ fn run_chaos_bench(args: &Args) -> JsonValue {
             cooldown: Duration::from_millis(10),
         },
         jitter_seed: CHAOS_SEED,
+        tracing: true,
     };
     let mut client = ResilientClient::connect_with(server.local_addr(), config)
         .expect("connect resilient client")
         .with_telemetry(client_telemetry.clone());
+
+    // The metrics plane: a clean ops listener on the same service handle,
+    // scraped at a fixed cadence while the chaos soak runs. Same v3 wire
+    // protocol (`MetricsSnapshot` request), no fault injection — in a real
+    // deployment the ops plane is a separate bind.
+    let ops = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").expect("bind ops listener");
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&scrape_stop);
+        let addr = ops.local_addr();
+        let interval = args.scrape_interval;
+        std::thread::spawn(move || scrape_metrics(addr, interval, &stop))
+    };
 
     let start = Instant::now();
     let mut latencies: Vec<u64> = Vec::with_capacity(n);
@@ -365,6 +345,23 @@ fn run_chaos_bench(args: &Args) -> JsonValue {
     assert_eq!(stats.requests, n as u64, "100% completion under chaos");
     assert_eq!(stats.exhausted, 0, "no retry budget may exhaust");
 
+    scrape_stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread must not panic");
+    assert!(
+        !scrapes.is_empty(),
+        "the soak must capture at least one metrics scrape"
+    );
+    for (t_ms, snapshot) in &scrapes {
+        validate_metrics_snapshot(snapshot)
+            .unwrap_or_else(|e| panic!("scrape at t={t_ms}ms failed schema validation: {e}"));
+    }
+    eprintln!(
+        "  scraped {} metrics snapshots at {}ms cadence",
+        scrapes.len(),
+        args.scrape_interval.as_millis()
+    );
+
+    ops.shutdown();
     server.shutdown();
     let summary = service.shutdown();
     assert_eq!(summary.stats.in_flight(), 0);
@@ -401,7 +398,7 @@ fn run_chaos_bench(args: &Args) -> JsonValue {
 
     JsonValue::Object(vec![
         ("schema".into(), SCHEMA.into()),
-        ("bench".into(), CHAOS_BENCH.into()),
+        ("bench".into(), BENCH_CHAOS.into()),
         ("mode".into(), mode(args.smoke).into()),
         ("seed".into(), CHAOS_SEED.into()),
         ("requests".into(), (n as u64).into()),
@@ -464,7 +461,62 @@ fn run_chaos_bench(args: &Args) -> JsonValue {
             "idempotent_hits".into(),
             counter(&server_snap, names::SERVICE_IDEMPOTENT_HITS).into(),
         ),
+        (
+            "scrape_interval_ms".into(),
+            (args.scrape_interval.as_millis() as u64).into(),
+        ),
+        (
+            "scrapes".into(),
+            JsonValue::Array(
+                scrapes
+                    .into_iter()
+                    .map(|(t_ms, snapshot)| {
+                        JsonValue::Object(vec![
+                            ("t_ms".into(), t_ms.into()),
+                            ("snapshot".into(), snapshot),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
+}
+
+/// Polls the `MetricsSnapshot` wire request against `addr` every `interval`
+/// until `stop` is raised, then takes one final scrape so even the fastest
+/// smoke soak embeds a sample. Each scrape is timestamped relative to the
+/// scraper's start.
+fn scrape_metrics(
+    addr: std::net::SocketAddr,
+    interval: Duration,
+    stop: &AtomicBool,
+) -> Vec<(u64, JsonValue)> {
+    let started = Instant::now();
+    let mut scrapes = Vec::new();
+    let mut client = None;
+    loop {
+        let done = stop.load(Ordering::Relaxed);
+        if client.is_none() {
+            client = ServiceClient::connect(addr).ok();
+        }
+        if let Some(c) = client.as_mut() {
+            let t_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            match c
+                .metrics()
+                .map_err(|e| e.to_string())
+                .and_then(|text| JsonValue::parse(&text).map_err(|e| e.to_string()))
+            {
+                Ok(snapshot) => scrapes.push((t_ms, snapshot)),
+                // A scrape may race server shutdown; drop the connection and
+                // let the next tick redial.
+                Err(_) => client = None,
+            }
+        }
+        if done {
+            return scrapes;
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// The original three-phase batching benchmark (`pr4` report).
@@ -552,7 +604,7 @@ fn run_batching_bench(smoke: bool) -> JsonValue {
 
     JsonValue::Object(vec![
         ("schema".into(), SCHEMA.into()),
-        ("bench".into(), BENCH.into()),
+        ("bench".into(), BENCH_BATCHING.into()),
         ("mode".into(), mode(smoke).into()),
         ("threads".into(), (THREADS as u64).into()),
         (
@@ -581,177 +633,5 @@ fn mode(smoke: bool) -> &'static str {
         "smoke"
     } else {
         "full"
-    }
-}
-
-/// Checks the emitted document against the stable shape downstream tooling
-/// relies on: schema/bench identifiers, all three phases with every field,
-/// and the comparison block.
-fn validate(text: &str) -> Result<(), String> {
-    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
-    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
-        return Err(format!("schema must be {SCHEMA:?}"));
-    }
-    if doc.get("bench").and_then(JsonValue::as_str) != Some(BENCH) {
-        return Err(format!("bench must be {BENCH:?}"));
-    }
-    match doc.get("mode").and_then(JsonValue::as_str) {
-        Some("full") | Some("smoke") => {}
-        other => return Err(format!("mode must be full|smoke, got {other:?}")),
-    }
-    let phases = doc
-        .get("phases")
-        .and_then(JsonValue::as_array)
-        .ok_or("phases must be an array")?;
-    if phases.len() != 3 {
-        return Err(format!("expected 3 phases, got {}", phases.len()));
-    }
-    for phase in phases {
-        for field in [
-            "name",
-            "requests",
-            "accepted",
-            "rejected_full",
-            "completed",
-            "deadline_exceeded",
-            "wall_s",
-            "throughput_rps",
-            "shed_rate",
-            "p50_us",
-            "p99_us",
-            "mean_batch_size",
-            "max_batch_size",
-            "batches",
-        ] {
-            if phase.get(field).is_none() {
-                return Err(format!("phase entry missing {field:?}"));
-            }
-        }
-    }
-    for field in [
-        "baseline_rps",
-        "batched_rps",
-        "speedup",
-        "baseline_p99_us",
-        "batched_p99_us",
-    ] {
-        if doc
-            .get_path(&format!("comparison.{field}"))
-            .and_then(JsonValue::as_f64)
-            .is_none()
-        {
-            return Err(format!("comparison block missing {field:?}"));
-        }
-    }
-    Ok(())
-}
-
-/// Checks the chaos-soak document: schema/bench identifiers, every counter
-/// field, and the hard resilience invariants (100% completion, zero
-/// exhausted retry budgets).
-fn validate_chaos(text: &str) -> Result<(), String> {
-    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
-    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
-        return Err(format!("schema must be {SCHEMA:?}"));
-    }
-    if doc.get("bench").and_then(JsonValue::as_str) != Some(CHAOS_BENCH) {
-        return Err(format!("bench must be {CHAOS_BENCH:?}"));
-    }
-    match doc.get("mode").and_then(JsonValue::as_str) {
-        Some("full") | Some("smoke") => {}
-        other => return Err(format!("mode must be full|smoke, got {other:?}")),
-    }
-    for field in [
-        "seed",
-        "requests",
-        "completed",
-        "attempts",
-        "retries",
-        "retry_rate",
-        "recovered",
-        "exhausted",
-        "wall_s",
-        "p50_us",
-        "p99_us",
-        "idempotent_hits",
-    ] {
-        if doc.get(field).is_none() {
-            return Err(format!("chaos report missing {field:?}"));
-        }
-    }
-    for field in ["breaker.opened", "breaker.half_open", "breaker.closed"] {
-        if doc.get_path(field).is_none() {
-            return Err(format!("chaos report missing {field:?}"));
-        }
-    }
-    for field in [
-        "chaos.resets",
-        "chaos.corruptions",
-        "chaos.stalls",
-        "chaos.partial_writes",
-        "chaos.server_panics",
-        "chaos.faults_total",
-    ] {
-        if doc.get_path(field).is_none() {
-            return Err(format!("chaos report missing {field:?}"));
-        }
-    }
-    let requests = doc.get("requests").and_then(JsonValue::as_f64);
-    let completed = doc.get("completed").and_then(JsonValue::as_f64);
-    if requests.is_none() || requests != completed {
-        return Err("chaos soak must complete 100% of requests".into());
-    }
-    if doc.get("exhausted").and_then(JsonValue::as_f64) != Some(0.0) {
-        return Err("chaos soak must not exhaust any retry budget".into());
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn strings(args: &[&str]) -> Vec<String> {
-        args.iter().map(|s| (*s).to_string()).collect()
-    }
-
-    #[test]
-    fn defaults_are_full_batching_mode() {
-        let args = parse_args(&[]).unwrap();
-        assert!(!args.smoke);
-        assert!(!args.chaos);
-        assert_eq!(
-            args.connect_timeout,
-            chambolle_service::DEFAULT_CONNECT_TIMEOUT
-        );
-        assert_eq!(args.out_path(), "BENCH_pr4.json");
-    }
-
-    #[test]
-    fn chaos_flag_switches_bench_and_default_output() {
-        let args = parse_args(&strings(&["--chaos", "--smoke"])).unwrap();
-        assert!(args.chaos);
-        assert!(args.smoke);
-        assert_eq!(args.out_path(), "BENCH_pr6.json");
-    }
-
-    #[test]
-    fn connect_timeout_flag_parses_milliseconds() {
-        let args = parse_args(&strings(&["--connect-timeout-ms", "250"])).unwrap();
-        assert_eq!(args.connect_timeout, Duration::from_millis(250));
-        assert!(parse_args(&strings(&["--connect-timeout-ms"])).is_err());
-        assert!(parse_args(&strings(&["--connect-timeout-ms", "soon"])).is_err());
-        assert!(parse_args(&strings(&["--connect-timeout-ms", "0"])).is_err());
-    }
-
-    #[test]
-    fn out_flag_overrides_the_default_path() {
-        let args = parse_args(&strings(&["--chaos", "--out", "custom.json"])).unwrap();
-        assert_eq!(args.out_path(), "custom.json");
-    }
-
-    #[test]
-    fn unknown_flags_are_rejected() {
-        assert!(parse_args(&strings(&["--frobnicate"])).is_err());
     }
 }

@@ -2,6 +2,7 @@
 //! the Chambolle Algorithm"* (Akin et al., DATE 2011).
 //!
 //! - [`baselines`] — the published Table II rows (GPU state of the art);
+//! - [`loadreport`] — `loadgen` CLI parsing and report-schema validation;
 //! - [`robustness`] — fault-injection sweeps over the guarded accelerator;
 //! - [`tables`] — text-table rendering;
 //! - [`workloads`] — deterministic frames and host timing helpers;
@@ -12,6 +13,7 @@
 
 pub mod baselines;
 pub mod dataset;
+pub mod loadreport;
 pub mod robustness;
 pub mod tables;
 pub mod workloads;

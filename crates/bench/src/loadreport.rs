@@ -1,0 +1,354 @@
+//! Command-line surface and schema validation for the `loadgen` binary.
+//!
+//! Lives in the library (rather than the binary) so the integration tests
+//! under `crates/bench/tests` can parse-test every flag and validate the
+//! emitted reports against the stable schemas without spawning the binary.
+//!
+//! Three documents are covered:
+//!
+//! - the `pr4` batching report ([`validate_batching`]);
+//! - the `pr7` chaos-soak report with the embedded metrics time series
+//!   ([`validate_chaos`]);
+//! - the live [`MetricsSnapshot`] documents scraped off the wire and
+//!   embedded in the soak report ([`validate_metrics_snapshot`]).
+//!
+//! [`MetricsSnapshot`]: chambolle_service::METRICS_SNAPSHOT_SCHEMA
+
+use std::time::Duration;
+
+use chambolle_service::METRICS_SNAPSHOT_SCHEMA;
+use chambolle_telemetry::json::JsonValue;
+
+/// Schema identifier checked by the smoke validation and downstream tools.
+pub const SCHEMA: &str = "chambolle.bench.v1";
+/// Benchmark identifier of the batching phases within the schema.
+pub const BENCH_BATCHING: &str = "pr4";
+/// Benchmark identifier of the chaos soak (with metrics scrapes) within the
+/// schema.
+pub const BENCH_CHAOS: &str = "pr7";
+/// Default cadence at which the chaos soak scrapes `MetricsSnapshot`.
+pub const DEFAULT_SCRAPE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Parsed `loadgen` command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// Shrink the run for CI (`--smoke`).
+    pub smoke: bool,
+    /// Run the chaos soak instead of the batching phases (`--chaos`).
+    pub chaos: bool,
+    /// TCP connect timeout of the resilient client
+    /// (`--connect-timeout-ms`).
+    pub connect_timeout: Duration,
+    /// Cadence of the `MetricsSnapshot` scraper during the chaos soak
+    /// (`--scrape-interval-ms`; ignored by the batching phases, which run
+    /// in-process without a wire front-end).
+    pub scrape_interval: Duration,
+    /// Output path override (`--out`).
+    pub out: Option<String>,
+}
+
+impl Args {
+    /// The report path: `--out` if given, else the per-bench default.
+    pub fn out_path(&self) -> String {
+        self.out.clone().unwrap_or_else(|| {
+            if self.chaos {
+                "BENCH_pr7.json".to_string()
+            } else {
+                "BENCH_pr4.json".to_string()
+            }
+        })
+    }
+}
+
+/// Parses `loadgen` flags (`args` excludes the program name).
+pub fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        smoke: false,
+        chaos: false,
+        connect_timeout: chambolle_service::DEFAULT_CONNECT_TIMEOUT,
+        scrape_interval: DEFAULT_SCRAPE_INTERVAL,
+        out: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => parsed.smoke = true,
+            "--chaos" => parsed.chaos = true,
+            "--out" => {
+                let value = iter.next().ok_or("--out requires a path")?;
+                parsed.out = Some(value.clone());
+            }
+            "--connect-timeout-ms" => {
+                parsed.connect_timeout = positive_ms(&mut iter, "--connect-timeout-ms")?;
+            }
+            "--scrape-interval-ms" => {
+                parsed.scrape_interval = positive_ms(&mut iter, "--scrape-interval-ms")?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Parses the next argument as a positive millisecond count.
+fn positive_ms<'a>(
+    iter: &mut impl Iterator<Item = &'a String>,
+    flag: &str,
+) -> Result<Duration, String> {
+    let value = iter.next().ok_or(format!("{flag} requires a value"))?;
+    let ms: u64 = value
+        .parse()
+        .map_err(|_| format!("{flag}: not a number: {value:?}"))?;
+    if ms == 0 {
+        return Err(format!("{flag} must be positive"));
+    }
+    Ok(Duration::from_millis(ms))
+}
+
+/// Checks the batching document against the stable shape downstream tooling
+/// relies on: schema/bench identifiers, all three phases with every field,
+/// and the comparison block.
+pub fn validate_batching(text: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("schema must be {SCHEMA:?}"));
+    }
+    if doc.get("bench").and_then(JsonValue::as_str) != Some(BENCH_BATCHING) {
+        return Err(format!("bench must be {BENCH_BATCHING:?}"));
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("mode must be full|smoke, got {other:?}")),
+    }
+    let phases = doc
+        .get("phases")
+        .and_then(JsonValue::as_array)
+        .ok_or("phases must be an array")?;
+    if phases.len() != 3 {
+        return Err(format!("expected 3 phases, got {}", phases.len()));
+    }
+    for phase in phases {
+        for field in [
+            "name",
+            "requests",
+            "accepted",
+            "rejected_full",
+            "completed",
+            "deadline_exceeded",
+            "wall_s",
+            "throughput_rps",
+            "shed_rate",
+            "p50_us",
+            "p99_us",
+            "mean_batch_size",
+            "max_batch_size",
+            "batches",
+        ] {
+            if phase.get(field).is_none() {
+                return Err(format!("phase entry missing {field:?}"));
+            }
+        }
+    }
+    for field in [
+        "baseline_rps",
+        "batched_rps",
+        "speedup",
+        "baseline_p99_us",
+        "batched_p99_us",
+    ] {
+        if doc
+            .get_path(&format!("comparison.{field}"))
+            .and_then(JsonValue::as_f64)
+            .is_none()
+        {
+            return Err(format!("comparison block missing {field:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the chaos-soak document: schema/bench identifiers, every counter
+/// field, the hard resilience invariants (100% completion, zero exhausted
+/// retry budgets), and the embedded `MetricsSnapshot` time series.
+pub fn validate_chaos(text: &str) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("schema must be {SCHEMA:?}"));
+    }
+    if doc.get("bench").and_then(JsonValue::as_str) != Some(BENCH_CHAOS) {
+        return Err(format!("bench must be {BENCH_CHAOS:?}"));
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("mode must be full|smoke, got {other:?}")),
+    }
+    for field in [
+        "seed",
+        "requests",
+        "completed",
+        "attempts",
+        "retries",
+        "retry_rate",
+        "recovered",
+        "exhausted",
+        "wall_s",
+        "p50_us",
+        "p99_us",
+        "idempotent_hits",
+        "scrape_interval_ms",
+    ] {
+        if doc.get(field).is_none() {
+            return Err(format!("chaos report missing {field:?}"));
+        }
+    }
+    for field in ["breaker.opened", "breaker.half_open", "breaker.closed"] {
+        if doc.get_path(field).is_none() {
+            return Err(format!("chaos report missing {field:?}"));
+        }
+    }
+    for field in [
+        "chaos.resets",
+        "chaos.corruptions",
+        "chaos.stalls",
+        "chaos.partial_writes",
+        "chaos.server_panics",
+        "chaos.faults_total",
+    ] {
+        if doc.get_path(field).is_none() {
+            return Err(format!("chaos report missing {field:?}"));
+        }
+    }
+    let requests = doc.get("requests").and_then(JsonValue::as_f64);
+    let completed = doc.get("completed").and_then(JsonValue::as_f64);
+    if requests.is_none() || requests != completed {
+        return Err("chaos soak must complete 100% of requests".into());
+    }
+    if doc.get("exhausted").and_then(JsonValue::as_f64) != Some(0.0) {
+        return Err("chaos soak must not exhaust any retry budget".into());
+    }
+    let scrapes = doc
+        .get("scrapes")
+        .and_then(JsonValue::as_array)
+        .ok_or("scrapes must be an array")?;
+    if scrapes.is_empty() {
+        return Err("chaos soak must embed at least one metrics scrape".into());
+    }
+    for (i, scrape) in scrapes.iter().enumerate() {
+        if scrape.get("t_ms").and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("scrape {i} missing \"t_ms\""));
+        }
+        let snapshot = scrape
+            .get("snapshot")
+            .ok_or(format!("scrape {i} missing \"snapshot\""))?;
+        validate_metrics_snapshot(snapshot).map_err(|e| format!("scrape {i}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Checks a parsed `MetricsSnapshot` document against the schema the serving
+/// stack promises to keep stable (`chambolle.metrics_snapshot.v1`): queue
+/// gauges, the rolling window block, SLO lanes, and the trace digest.
+pub fn validate_metrics_snapshot(doc: &JsonValue) -> Result<(), String> {
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(METRICS_SNAPSHOT_SCHEMA) {
+        return Err(format!(
+            "snapshot schema must be {METRICS_SNAPSHOT_SCHEMA:?}"
+        ));
+    }
+    for field in [
+        "uptime_us",
+        "window.bucket_width_us",
+        "window.buckets",
+        "queue.depth",
+        "queue.capacity",
+        "queue.interactive_depth",
+        "queue.batch_depth",
+        "slo.max_burn_rate",
+        "traces.finished",
+    ] {
+        if doc.get_path(field).and_then(JsonValue::as_f64).is_none() {
+            return Err(format!("snapshot missing numeric {field:?}"));
+        }
+    }
+    if doc.get_path("queue.congested").is_none() {
+        return Err("snapshot missing \"queue.congested\"".into());
+    }
+    if doc.get_path("slo.burning").is_none() {
+        return Err("snapshot missing \"slo.burning\"".into());
+    }
+    if doc.get("brownout").is_none() {
+        return Err("snapshot missing \"brownout\"".into());
+    }
+    if doc.get("window_metrics").is_none() {
+        return Err("snapshot missing \"window_metrics\"".into());
+    }
+    for field in ["slo.lanes", "traces.slowest"] {
+        if doc.get_path(field).and_then(JsonValue::as_array).is_none() {
+            return Err(format!("snapshot missing array {field:?}"));
+        }
+    }
+    for field in ["stats", "counters"] {
+        if doc.get(field).is_none() {
+            return Err(format!("snapshot missing {field:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_full_batching_mode() {
+        let args = parse_args(&[]).unwrap();
+        assert!(!args.smoke);
+        assert!(!args.chaos);
+        assert_eq!(
+            args.connect_timeout,
+            chambolle_service::DEFAULT_CONNECT_TIMEOUT
+        );
+        assert_eq!(args.scrape_interval, DEFAULT_SCRAPE_INTERVAL);
+        assert_eq!(args.out_path(), "BENCH_pr4.json");
+    }
+
+    #[test]
+    fn chaos_flag_switches_bench_and_default_output() {
+        let args = parse_args(&strings(&["--chaos", "--smoke"])).unwrap();
+        assert!(args.chaos);
+        assert!(args.smoke);
+        assert_eq!(args.out_path(), "BENCH_pr7.json");
+    }
+
+    #[test]
+    fn connect_timeout_flag_parses_milliseconds() {
+        let args = parse_args(&strings(&["--connect-timeout-ms", "250"])).unwrap();
+        assert_eq!(args.connect_timeout, Duration::from_millis(250));
+        assert!(parse_args(&strings(&["--connect-timeout-ms"])).is_err());
+        assert!(parse_args(&strings(&["--connect-timeout-ms", "soon"])).is_err());
+        assert!(parse_args(&strings(&["--connect-timeout-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn scrape_interval_flag_parses_milliseconds() {
+        let args = parse_args(&strings(&["--chaos", "--scrape-interval-ms", "100"])).unwrap();
+        assert_eq!(args.scrape_interval, Duration::from_millis(100));
+        assert!(parse_args(&strings(&["--scrape-interval-ms"])).is_err());
+        assert!(parse_args(&strings(&["--scrape-interval-ms", "often"])).is_err());
+        assert!(parse_args(&strings(&["--scrape-interval-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn out_flag_overrides_the_default_path() {
+        let args = parse_args(&strings(&["--chaos", "--out", "custom.json"])).unwrap();
+        assert_eq!(args.out_path(), "custom.json");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse_args(&strings(&["--frobnicate"])).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests for the `loadgen` CLI surface and report schemas:
+//! flag parsing through the public library API, and live `MetricsSnapshot`
+//! scraping against a real TCP server validated against the schema the
+//! chaos-soak report embeds.
+
+use std::time::Duration;
+
+use chambolle_bench::loadreport::{
+    parse_args, validate_chaos, validate_metrics_snapshot, DEFAULT_SCRAPE_INTERVAL,
+};
+use chambolle_bench::workloads::timing_frame;
+use chambolle_core::ChambolleParams;
+use chambolle_service::{Priority, Service, ServiceClient, ServiceConfig, SloObjective, TcpServer};
+use chambolle_telemetry::json::JsonValue;
+
+fn strings(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| (*s).to_string()).collect()
+}
+
+#[test]
+fn scrape_interval_flag_round_trips_through_the_public_parser() {
+    let args = parse_args(&strings(&[
+        "--chaos",
+        "--smoke",
+        "--scrape-interval-ms",
+        "125",
+    ]))
+    .expect("valid command line");
+    assert!(args.chaos && args.smoke);
+    assert_eq!(args.scrape_interval, Duration::from_millis(125));
+    assert_eq!(args.out_path(), "BENCH_pr7.json");
+
+    let defaulted = parse_args(&strings(&["--chaos"])).expect("valid command line");
+    assert_eq!(defaulted.scrape_interval, DEFAULT_SCRAPE_INTERVAL);
+
+    assert!(parse_args(&strings(&["--scrape-interval-ms", "0"])).is_err());
+    assert!(parse_args(&strings(&["--scrape-interval-ms", "never"])).is_err());
+    assert!(parse_args(&strings(&["--scrape-interval-ms"])).is_err());
+}
+
+/// The scrape path the chaos soak uses, end to end: a live service behind a
+/// TCP listener answers the `MetricsSnapshot` wire request with a document
+/// that passes the exact validation the embedded report entries must pass.
+#[test]
+fn live_metrics_snapshot_scrape_passes_schema_validation() {
+    let config = ServiceConfig::new(2, 16).with_slo(
+        Priority::Interactive,
+        SloObjective::new(Duration::from_secs(2), 0.99),
+    );
+    let service = Service::spawn(config);
+    let server = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+
+    // An empty snapshot must already be schema-complete.
+    let idle = client.metrics().expect("metrics round-trip");
+    let idle_doc = JsonValue::parse(&idle).expect("snapshot is valid JSON");
+    validate_metrics_snapshot(&idle_doc).expect("idle snapshot validates");
+
+    // After traffic, the same scrape must still validate and reflect it.
+    let input = timing_frame(24, 24);
+    let params = ChambolleParams::with_iterations(10);
+    for _ in 0..3 {
+        client
+            .denoise(&input, &params, Priority::Interactive, None)
+            .expect("denoise round-trip");
+    }
+    let busy = client.metrics().expect("metrics round-trip");
+    let busy_doc = JsonValue::parse(&busy).expect("snapshot is valid JSON");
+    validate_metrics_snapshot(&busy_doc).expect("post-traffic snapshot validates");
+    let finished = busy_doc
+        .get_path("traces.finished")
+        .and_then(JsonValue::as_f64)
+        .expect("traces.finished");
+    assert!(
+        finished >= 3.0,
+        "three traced requests finished: {finished}"
+    );
+    let lanes = busy_doc
+        .get_path("slo.lanes")
+        .and_then(JsonValue::as_array)
+        .expect("slo.lanes");
+    assert!(!lanes.is_empty(), "the configured SLO lane is reported");
+
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn chaos_validator_requires_the_embedded_scrape_series() {
+    // A structurally-complete pr7 document minus the scrapes array must be
+    // rejected; with a valid scrape entry it must pass.
+    let base = r#"{
+        "schema": "chambolle.bench.v1", "bench": "pr7", "mode": "smoke",
+        "seed": 1, "requests": 2, "completed": 2, "attempts": 2,
+        "retries": 0, "retry_rate": 0.0, "recovered": 0, "exhausted": 0,
+        "wall_s": 0.1, "p50_us": 10, "p99_us": 20, "idempotent_hits": 0,
+        "scrape_interval_ms": 250,
+        "breaker": {"opened": 0, "half_open": 0, "closed": 0},
+        "chaos": {"resets": 0, "corruptions": 0, "stalls": 0,
+                  "partial_writes": 0, "server_panics": 0, "faults_total": 0}"#;
+    let without = format!("{base}}}");
+    assert!(
+        validate_chaos(&without).is_err(),
+        "missing scrapes must fail"
+    );
+    let empty = format!("{base}, \"scrapes\": []}}");
+    assert!(validate_chaos(&empty).is_err(), "empty scrapes must fail");
+
+    // Pull a real snapshot off a live service for the happy path.
+    let service = Service::spawn(ServiceConfig::new(1, 8));
+    let server = TcpServer::bind(service.handle().clone(), "127.0.0.1:0").expect("bind");
+    let mut client = ServiceClient::connect(server.local_addr()).expect("connect");
+    let snapshot = client.metrics().expect("metrics round-trip");
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+
+    let with = format!("{base}, \"scrapes\": [{{\"t_ms\": 0, \"snapshot\": {snapshot}}}]}}");
+    validate_chaos(&with).expect("document with a live scrape validates");
+}

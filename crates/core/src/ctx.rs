@@ -39,6 +39,7 @@
 use std::sync::Arc;
 
 use chambolle_par::ThreadPool;
+use chambolle_telemetry::trace::TraceContext;
 use chambolle_telemetry::Telemetry;
 
 use crate::backend::KernelBackend;
@@ -91,7 +92,7 @@ impl DegradationPolicy {
 }
 
 /// Execution policy for one solve: pool + telemetry + cancellation +
-/// kernel backend + optional brownout degradation.
+/// kernel backend + optional brownout degradation + trace context.
 ///
 /// Cheap to clone (two `Arc` bumps at most) and immutable once built; the
 /// builder methods consume and return `self` so contexts compose in one
@@ -103,6 +104,7 @@ pub struct ExecCtx {
     cancel: Option<CancelToken>,
     backend: KernelBackend,
     degradation: Option<DegradationPolicy>,
+    trace: TraceContext,
 }
 
 impl Default for ExecCtx {
@@ -115,6 +117,7 @@ impl Default for ExecCtx {
             cancel: None,
             backend: KernelBackend::active(),
             degradation: None,
+            trace: TraceContext::NONE,
         }
     }
 }
@@ -165,6 +168,14 @@ impl ExecCtx {
         self
     }
 
+    /// Tags the solve with a propagated distributed-trace context, so
+    /// solver-side instrumentation can attribute its work to the request
+    /// that caused it.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// The worker pool, if any.
     pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
         self.pool.as_ref()
@@ -188,6 +199,11 @@ impl ExecCtx {
     /// The brownout degradation policy, if one is attached.
     pub fn degradation(&self) -> Option<&DegradationPolicy> {
         self.degradation.as_ref()
+    }
+
+    /// The distributed-trace context ([`TraceContext::NONE`] by default).
+    pub fn trace(&self) -> TraceContext {
+        self.trace
     }
 
     /// The iteration budget a solve asking for `requested` iterations gets

@@ -32,11 +32,27 @@
 //! - **Health probes** — a dedicated wire frame (and
 //!   [`ServiceHandle::health`]) reporting readiness, queue depth,
 //!   dispatcher liveness, brownout state, and last-solve age.
-//! - **Brownout degradation** — under sustained queue congestion the
-//!   service sheds *fidelity* instead of requests: solves are capped by a
-//!   configured [`DegradationPolicy`](chambolle_core::DegradationPolicy)
-//!   and tagged [`ResponseTier::Degraded`]; full fidelity resumes when the
-//!   congestion episode ends.
+//! - **Brownout degradation** — under sustained queue congestion *or a
+//!   burning latency SLO* the service sheds *fidelity* instead of
+//!   requests: solves are capped by a configured
+//!   [`DegradationPolicy`](chambolle_core::DegradationPolicy) and tagged
+//!   [`ResponseTier::Degraded`]; full fidelity resumes when the episode
+//!   ends.
+//! - **End-to-end request tracing** — clients mint a 128-bit
+//!   [`TraceContext`] that rides the v3 wire frames; the server threads it
+//!   through queue admission, batch formation, and the solve, recording a
+//!   causally-ordered span tree (`server.request` → `queue`/`batch` →
+//!   `solve`, plus `replay` for idempotent cache hits and `client.*` spans
+//!   on the resilient client) into a bounded [`Tracer`] ring with a
+//!   slowest-N view. v2 peers interoperate untraced, bit-identically.
+//! - **A live metrics plane** — rolling time-windowed aggregation (per-lane
+//!   queue wait, batch occupancy, solve p50/p99, error/SLO burn rates)
+//!   served over a dedicated `MetricsSnapshot` wire frame as a
+//!   schema-stable JSON document ([`METRICS_SNAPSHOT_SCHEMA`]).
+//! - **Declarative SLOs** — per-lane latency objectives
+//!   ([`SloObjective`]) evaluated as burn rates over the rolling window,
+//!   surfaced in the snapshot, counted as `service.slo.*` events, and
+//!   consulted by the brownout policy.
 //!
 //! Requests route through `core::guard`, and every stage (admit → queue →
 //! batch → solve → respond) emits `service.*` counters, gauges, and latency
@@ -63,8 +79,11 @@ pub use resilient::{
     ResilientStats, RetryPolicy,
 };
 pub use service::{
-    HealthSnapshot, Service, ServiceConfig, ServiceHandle, ServiceStats, ShutdownSummary, Ticket,
+    HealthSnapshot, Service, ServiceConfig, ServiceHandle, ServiceStats, ShutdownSummary,
+    SloObjective, Ticket, METRICS_SNAPSHOT_SCHEMA,
 };
+
+pub use chambolle_telemetry::trace::{RequestTrace, SpanRecord, TraceContext, Tracer};
 
 #[cfg(test)]
 mod tests {

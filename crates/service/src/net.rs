@@ -36,15 +36,18 @@ use std::time::Duration;
 use chambolle_core::ChambolleParams;
 use chambolle_imaging::Grid;
 use chambolle_telemetry::names;
+use chambolle_telemetry::trace::{SpanRecord, TraceContext};
 
 use crate::chaos::{ChaosConfig, ChaosInjector, ChaosStream};
 use crate::request::{Priority, ResponseTier};
+use crate::resilient::entropy_seed;
 use crate::service::{HealthSnapshot, ServiceHandle};
 use crate::wire::{
     decode_request, decode_response, encode_denoise_request, encode_err_response,
-    encode_health_request, encode_health_response, encode_ok_response, read_frame, reject_code,
-    service_error_code, validate_frame_len, verify_frame_checksum, write_frame, ErrorCode,
-    WireRequest, WireResponse, FRAME_HEADER,
+    encode_health_request, encode_health_response, encode_metrics_request, encode_metrics_response,
+    encode_ok_response, read_frame, reject_code, service_error_code, validate_frame_len,
+    verify_frame_checksum, write_frame, ErrorCode, WireRequest, WireResponse, FRAME_HEADER,
+    WIRE_VERSION, WIRE_VERSION_V2,
 };
 
 /// How often blocked I/O wakes up to poll the stop flag.
@@ -312,22 +315,56 @@ fn serve_connection<T: Transport>(
             Ok(None) => return, // clean EOF or shutdown
             Err(_) => return,
         };
+        // Answer in the requester's protocol version: a v2 peer gets pure
+        // v2 frames (no trace block, never a metrics status), so old
+        // clients interoperate with tracing silently disabled.
+        let peer_version = if payload.first() == Some(&WIRE_VERSION_V2) {
+            WIRE_VERSION_V2
+        } else {
+            WIRE_VERSION
+        };
+        // Trace to finish (move into the ring) after the response write.
+        let mut done_ctx = TraceContext::NONE;
         let response = match decode_request(&payload) {
-            Ok(WireRequest::Health { id }) => encode_health_response(id, &handle.health()),
+            Ok(WireRequest::Health { id, trace }) => {
+                encode_health_response(peer_version, id, trace, &handle.health())
+            }
+            Ok(WireRequest::Metrics { id, trace }) => {
+                let snapshot = handle.metrics_snapshot().to_string();
+                encode_metrics_response(id, trace, &snapshot)
+            }
             Ok(WireRequest::Solve {
                 id,
                 idempotency,
+                trace,
                 request,
             }) => {
+                let started_us = handle.now_us();
+                // Server-side root context: a fresh span id under the
+                // propagated trace id, so queue/batch/solve spans parent
+                // under this request's "server.request" root. A retry of
+                // the same logical request reuses the trace id, so its
+                // spans accumulate into the same trace.
+                let server_ctx = if trace.is_active() && handle.tracer().is_enabled() {
+                    TraceContext {
+                        trace_id: trace.trace_id,
+                        span_id: handle.next_span_id(),
+                        sampled: true,
+                    }
+                } else {
+                    TraceContext::NONE
+                };
                 if idempotency != 0 {
                     if let Some((tier, cached)) = cache.get(idempotency) {
                         handle
                             .telemetry()
                             .counter_add(names::SERVICE_IDEMPOTENT_HITS, 1);
-                        if write_frame(&mut stream, &encode_ok_response(id, tier, &cached)).is_err()
-                        {
+                        record_server_spans(handle, server_ctx, trace.span_id, started_us, true);
+                        let frame = encode_ok_response(peer_version, id, trace, tier, &cached);
+                        if write_frame(&mut stream, &frame).is_err() {
                             return;
                         }
+                        finish_trace(handle, server_ctx);
                         continue;
                     }
                 }
@@ -337,53 +374,128 @@ fn serve_connection<T: Transport>(
                 // for.
                 let crash_after_commit =
                     chaos.is_some_and(|injector| injector.solve_request_panics());
-                let response = match handle.submit(request) {
+                let response = match handle.submit(request.with_trace(server_ctx)) {
                     Ok(ticket) => match ticket.wait() {
                         Ok(completed) => match completed.output.as_denoised() {
                             Some(grid) => {
                                 if idempotency != 0 {
                                     cache.insert(idempotency, completed.tier, grid.clone());
                                 }
-                                encode_ok_response(id, completed.tier, grid)
+                                encode_ok_response(peer_version, id, trace, completed.tier, grid)
                             }
                             None => encode_err_response(
+                                peer_version,
                                 id,
+                                trace,
                                 false,
                                 ErrorCode::Protocol,
                                 "non-denoise output for a denoise request",
                             ),
                         },
                         Err(err) => encode_err_response(
+                            peer_version,
                             id,
+                            trace,
                             false,
                             service_error_code(&err),
                             &err.to_string(),
                         ),
                     },
-                    Err(reason) => {
-                        encode_err_response(id, true, reject_code(&reason), &reason.to_string())
-                    }
+                    Err(reason) => encode_err_response(
+                        peer_version,
+                        id,
+                        trace,
+                        true,
+                        reject_code(&reason),
+                        &reason.to_string(),
+                    ),
                 };
+                record_server_spans(handle, server_ctx, trace.span_id, started_us, false);
                 if crash_after_commit {
                     // Simulate the serving thread dying between commit and
                     // response: the panic is contained, the connection is
                     // severed, and no response frame goes out. The client's
-                    // retry hits the idempotency cache.
+                    // retry hits the idempotency cache. The trace is left
+                    // open on purpose — the retry finishes it, so one trace
+                    // ends up covering both attempts.
                     let _ = catch_unwind(|| {
                         panic!("chaos: scripted server panic before response write")
                     });
                     stream.shutdown_both();
                     return;
                 }
+                done_ctx = server_ctx;
                 response
             }
-            Err(decode_err) => {
-                encode_err_response(0, true, ErrorCode::Protocol, &decode_err.to_string())
-            }
+            Err(decode_err) => encode_err_response(
+                peer_version,
+                0,
+                TraceContext::NONE,
+                true,
+                ErrorCode::Protocol,
+                &decode_err.to_string(),
+            ),
         };
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
+        finish_trace(handle, done_ctx);
+    }
+}
+
+/// Records the server-side root span of one wire request (plus, for an
+/// idempotent cache hit, the nested `replay` span). The root parents at 0
+/// so every server trace is a complete tree on its own; the client's wire
+/// span id rides along as an attribute for cross-view joins.
+fn record_server_spans(
+    handle: &ServiceHandle,
+    server_ctx: TraceContext,
+    client_span_id: u64,
+    started_us: u64,
+    replay: bool,
+) {
+    if !server_ctx.is_active() {
+        return;
+    }
+    let dur_us = handle.now_us().saturating_sub(started_us);
+    if replay {
+        handle.tracer().record_span(SpanRecord {
+            trace_id: server_ctx.trace_id,
+            span_id: handle.next_span_id(),
+            parent_span_id: server_ctx.span_id,
+            name: "replay".into(),
+            start_us: started_us,
+            dur_us,
+            attrs: Vec::new(),
+        });
+    }
+    handle.tracer().record_span(SpanRecord {
+        trace_id: server_ctx.trace_id,
+        span_id: server_ctx.span_id,
+        parent_span_id: 0,
+        name: "server.request".into(),
+        start_us: started_us,
+        dur_us,
+        attrs: vec![
+            (
+                "client_span_id".into(),
+                format!("{client_span_id:016x}").into(),
+            ),
+            ("replay".into(), replay.into()),
+        ],
+    });
+    handle
+        .telemetry()
+        .counter_add(names::SERVICE_TRACE_SPANS, if replay { 2 } else { 1 });
+}
+
+/// Moves a finished request's spans into the tracer ring.
+fn finish_trace(handle: &ServiceHandle, ctx: TraceContext) {
+    if ctx.is_active() && handle.tracer().is_enabled() {
+        handle.tracer().finish(ctx.trace_id);
+        handle
+            .telemetry()
+            .counter_add(names::SERVICE_TRACE_FINISHED, 1);
     }
 }
 
@@ -458,6 +570,10 @@ fn read_exact_interruptible<T: Transport>(
 pub struct ServiceClient {
     stream: TcpStream,
     next_id: u64,
+    version: u8,
+    tracing: bool,
+    trace_state: u64,
+    last_trace: TraceContext,
 }
 
 impl ServiceClient {
@@ -481,7 +597,53 @@ impl ServiceClient {
     pub fn connect_with_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Self> {
         let stream = connect_stream(addr, timeout)?;
         stream.set_nodelay(true)?;
-        Ok(ServiceClient { stream, next_id: 1 })
+        Ok(ServiceClient {
+            stream,
+            next_id: 1,
+            version: WIRE_VERSION,
+            tracing: true,
+            trace_state: entropy_seed(),
+            last_trace: TraceContext::NONE,
+        })
+    }
+
+    /// Pins the wire protocol version used for every subsequent frame.
+    ///
+    /// Version 2 frames carry no trace block, so pinning v2 also disables
+    /// trace minting — useful both for talking to old servers and for
+    /// asserting the no-tracing bit-identity contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a version this client cannot speak (only v2 and v3 exist).
+    pub fn set_wire_version(&mut self, version: u8) {
+        assert!(
+            version == WIRE_VERSION || version == WIRE_VERSION_V2,
+            "unsupported wire version {version}"
+        );
+        self.version = version;
+    }
+
+    /// Enables or disables per-request trace minting (on by default; only
+    /// effective on v3 — v2 frames have nowhere to carry a trace).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The trace context minted for the most recent request
+    /// ([`TraceContext::NONE`] when tracing was off for it).
+    pub fn last_trace(&self) -> TraceContext {
+        self.last_trace
+    }
+
+    /// Mints (or withholds) the trace context for the next request.
+    fn mint_trace(&mut self) -> TraceContext {
+        self.last_trace = if self.tracing && self.version >= WIRE_VERSION {
+            TraceContext::mint(&mut self.trace_state)
+        } else {
+            TraceContext::NONE
+        };
+        self.last_trace
     }
 
     /// Sets a read/write timeout on the underlying stream (`None` blocks
@@ -530,7 +692,17 @@ impl ServiceClient {
     ) -> io::Result<WireResponse> {
         let id = self.next_id;
         self.next_id += 1;
-        let payload = encode_denoise_request(id, idempotency, priority, deadline, params, input);
+        let trace = self.mint_trace();
+        let payload = encode_denoise_request(
+            self.version,
+            id,
+            idempotency,
+            trace,
+            priority,
+            deadline,
+            params,
+            input,
+        );
         self.round_trip(&payload)
     }
 
@@ -543,11 +715,41 @@ impl ServiceClient {
     pub fn health(&mut self) -> io::Result<HealthSnapshot> {
         let id = self.next_id;
         self.next_id += 1;
-        match self.round_trip(&encode_health_request(id))? {
+        let trace = self.mint_trace();
+        match self.round_trip(&encode_health_request(self.version, id, trace))? {
             WireResponse::Health { health, .. } => Ok(health),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected a health report, got {other:?}"),
+            )),
+        }
+    }
+
+    /// One blocking metrics-snapshot round-trip: the raw snapshot JSON
+    /// document (schema [`crate::METRICS_SNAPSHOT_SCHEMA`]).
+    ///
+    /// Only v3 servers serve metrics; against a v2-pinned client this fails
+    /// before touching the wire.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, `Unsupported` when pinned to v2, or `InvalidData`
+    /// if the server answers with anything but a metrics snapshot.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        if self.version < WIRE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "metrics snapshots require wire v3",
+            ));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let trace = self.mint_trace();
+        match self.round_trip(&encode_metrics_request(id, trace))? {
+            WireResponse::Metrics { snapshot, .. } => Ok(snapshot),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a metrics snapshot, got {other:?}"),
             )),
         }
     }

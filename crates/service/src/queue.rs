@@ -18,6 +18,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use chambolle_core::CancelToken;
+use chambolle_telemetry::trace::TraceContext;
 use chambolle_telemetry::{names, Telemetry};
 
 use crate::request::{BatchKey, Completed, Priority, RejectReason, ServiceError, Workload};
@@ -32,6 +33,10 @@ pub(crate) struct Pending {
     pub token: CancelToken,
     pub submitted_at: Instant,
     pub responder: mpsc::Sender<Result<Completed, ServiceError>>,
+    /// Lane the request was admitted on (windowed metrics label it).
+    pub priority: Priority,
+    /// Propagated trace context (NONE when tracing is off).
+    pub trace: TraceContext,
 }
 
 struct Lanes {
@@ -193,6 +198,12 @@ impl SubmitQueue {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Current per-lane depths: `(interactive, batch)`.
+    pub fn lane_depths(&self) -> (usize, usize) {
+        let lanes = self.lanes.lock().expect("queue lock poisoned");
+        (lanes.interactive.len(), lanes.batch.len())
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +229,8 @@ mod tests {
             token: CancelToken::new(),
             submitted_at: Instant::now(),
             responder: tx,
+            priority: Priority::Batch,
+            trace: TraceContext::NONE,
         }
     }
 
@@ -292,6 +305,17 @@ mod tests {
         let batch = q.pop_batch(3).unwrap();
         assert_eq!(batch.len(), 3);
         assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn lane_depths_report_per_lane_occupancy() {
+        let q = SubmitQueue::new(8, 8, 0, Telemetry::disabled());
+        q.try_push(pending(1, 5), Priority::Interactive).unwrap();
+        q.try_push(pending(2, 5), Priority::Batch).unwrap();
+        q.try_push(pending(3, 5), Priority::Batch).unwrap();
+        assert_eq!(q.lane_depths(), (1, 2));
+        q.pop_batch(1).unwrap();
+        assert_eq!(q.lane_depths(), (0, 2));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use chambolle_core::{validate_solvable, ChambolleParams, RecoveryReport, TvL1Params};
 use chambolle_imaging::{FlowField, Grid};
+use chambolle_telemetry::trace::TraceContext;
 
 /// Scheduling lane of a request.
 ///
@@ -164,6 +165,9 @@ pub struct Request {
     /// Per-request deadline measured from submission; `None` uses the
     /// service's default (which may also be none).
     pub deadline: Option<Duration>,
+    /// Distributed-trace context this request belongs to
+    /// ([`TraceContext::NONE`] when tracing is off).
+    pub trace: TraceContext,
 }
 
 impl Request {
@@ -173,6 +177,7 @@ impl Request {
             workload,
             priority: Priority::Batch,
             deadline: None,
+            trace: TraceContext::NONE,
         }
     }
 
@@ -185,6 +190,12 @@ impl Request {
     /// Sets the deadline (from submission time).
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a propagated trace context.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
         self
     }
 }

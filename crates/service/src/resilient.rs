@@ -25,7 +25,12 @@
 //! shutdown) surface immediately.
 //!
 //! Everything the client does is observable through `service.retry.*` and
-//! `service.breaker.*` telemetry.
+//! `service.breaker.*` telemetry. With [`ResilientConfig::tracing`] on (the
+//! default) every solve additionally mints a [`TraceContext`] that rides the
+//! v3 wire frames, and — when a [`Tracer`] is attached — records
+//! `client.request` / `client.attempt` / `client.backoff` spans. A peer that
+//! rejects v3 frames downgrades the client to v2 transparently (tracing
+//! falls away; results stay bit-identical).
 
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -33,14 +38,15 @@ use std::time::{Duration, Instant};
 
 use chambolle_core::ChambolleParams;
 use chambolle_imaging::Grid;
+use chambolle_telemetry::trace::{SpanRecord, TraceContext, Tracer};
 use chambolle_telemetry::{names, Telemetry};
 
 use crate::net::connect_stream;
 use crate::request::{Priority, ResponseTier};
 use crate::service::HealthSnapshot;
 use crate::wire::{
-    decode_response, encode_denoise_request, encode_health_request, read_frame, write_frame,
-    ErrorCode, WireResponse,
+    decode_response, encode_denoise_request, encode_health_request, encode_metrics_request,
+    read_frame, write_frame, ErrorCode, WireResponse, WIRE_VERSION, WIRE_VERSION_V2,
 };
 
 /// Retry budget and backoff shape.
@@ -99,6 +105,9 @@ pub struct ResilientConfig {
     /// backoff timing depends on it; idempotency keys are minted from
     /// per-client entropy so concurrent clients never collide.
     pub jitter_seed: u64,
+    /// Whether solves mint and propagate a [`TraceContext`] (v3 frames
+    /// only; a v2-downgraded client sends untraced frames regardless).
+    pub tracing: bool,
 }
 
 impl Default for ResilientConfig {
@@ -110,6 +119,7 @@ impl Default for ResilientConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerPolicy::default(),
             jitter_seed: 0x5EED,
+            tracing: true,
         }
     }
 }
@@ -187,6 +197,9 @@ pub struct DenoiseOutcome {
     pub attempts: u32,
     /// Whether any retry was needed.
     pub recovered: bool,
+    /// The trace context this request carried on the wire
+    /// ([`TraceContext::NONE`] when tracing was off or downgraded to v2).
+    pub trace: TraceContext,
 }
 
 /// Running totals of the client's resilience machinery.
@@ -247,6 +260,12 @@ pub struct ResilientClient {
     breaker: Breaker,
     stats: ResilientStats,
     telemetry: Telemetry,
+    /// Wire version spoken right now; starts at v3, drops to v2 once a
+    /// peer rejects a v3 frame as unsupported, and stays there.
+    version: u8,
+    trace_state: u64,
+    tracer: Tracer,
+    epoch: Instant,
 }
 
 impl ResilientClient {
@@ -289,6 +308,10 @@ impl ResilientClient {
             breaker: Breaker::new(config.breaker),
             stats: ResilientStats::default(),
             telemetry: Telemetry::disabled(),
+            version: WIRE_VERSION,
+            trace_state: entropy_seed(),
+            tracer: Tracer::disabled(),
+            epoch: Instant::now(),
         };
         client.ensure_connected()?;
         Ok(client)
@@ -301,6 +324,26 @@ impl ResilientClient {
         self.telemetry
             .gauge_set(names::SERVICE_BREAKER_STATE, self.breaker.state.gauge());
         self
+    }
+
+    /// Records `client.*` spans into `tracer`. Span start timestamps are
+    /// microseconds since `epoch` — pass the epoch of whoever owns the
+    /// tracer (e.g. the service handle's) so merged client/server traces
+    /// share one clock.
+    pub fn with_tracer(mut self, tracer: Tracer, epoch: Instant) -> Self {
+        self.tracer = tracer;
+        self.epoch = epoch;
+        self
+    }
+
+    /// The client-side tracer (disabled unless attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The wire version currently spoken (v3 until a peer forces v2).
+    pub fn wire_version(&self) -> u8 {
+        self.version
     }
 
     /// Current breaker state.
@@ -334,7 +377,8 @@ impl ResilientClient {
         let key = self.mint_key();
         let id = self.next_id;
         self.next_id += 1;
-        let payload = encode_denoise_request(id, key, priority, deadline, params, input);
+        let trace = self.mint_trace();
+        let request_start_us = self.now_us();
 
         let max_attempts = self.config.retry.max_attempts.max(1);
         let mut attempts = 0u32;
@@ -349,7 +393,22 @@ impl ResilientClient {
                 self.telemetry.counter_add(names::SERVICE_RETRY_ATTEMPTS, 1);
             }
             self.wait_for_breaker();
-            match self.attempt(&payload, id) {
+            // Encoded per attempt: a mid-request downgrade to v2 re-frames
+            // the very next try.
+            let payload = encode_denoise_request(
+                self.version,
+                id,
+                key,
+                trace,
+                priority,
+                deadline,
+                params,
+                input,
+            );
+            let attempt_start_us = self.now_us();
+            let outcome = self.attempt(&payload, id);
+            self.record_attempt_span(trace, attempts, attempt_start_us, outcome.label());
+            match outcome {
                 Attempt::Ok { tier, output } => {
                     self.breaker_success();
                     self.stats.requests += 1;
@@ -365,11 +424,13 @@ impl ResilientClient {
                             );
                         }
                     }
+                    self.finish_request_span(trace, request_start_us, attempts, "ok");
                     return Ok(DenoiseOutcome {
                         output,
                         tier,
                         attempts,
                         recovered,
+                        trace,
                     });
                 }
                 Attempt::Terminal {
@@ -381,6 +442,7 @@ impl ResilientClient {
                     // though the outcome is bad.
                     self.breaker_success();
                     self.stats.requests += 1;
+                    self.finish_request_span(trace, request_start_us, attempts, "terminal");
                     return Err(ClientError::Terminal {
                         rejected,
                         code,
@@ -394,6 +456,17 @@ impl ResilientClient {
                     first_failure.get_or_insert_with(Instant::now);
                     last_error = message;
                 }
+                Attempt::Downgrade { message } => {
+                    // The peer speaks an older protocol. Drop to v2 and
+                    // retry immediately — the server is healthy (it parsed
+                    // enough to answer), so no breaker hit and no backoff.
+                    self.breaker_success();
+                    self.version = WIRE_VERSION_V2;
+                    last_error = message;
+                    if attempts < max_attempts {
+                        continue;
+                    }
+                }
                 Attempt::Transport { message } => {
                     self.breaker_failure();
                     self.conn = None;
@@ -406,12 +479,13 @@ impl ResilientClient {
                 self.stats.exhausted += 1;
                 self.telemetry
                     .counter_add(names::SERVICE_RETRY_EXHAUSTED, 1);
+                self.finish_request_span(trace, request_start_us, attempts, "exhausted");
                 return Err(ClientError::Exhausted {
                     attempts,
                     last_error,
                 });
             }
-            self.backoff_sleep();
+            self.backoff_sleep(trace);
         }
     }
 
@@ -425,9 +499,10 @@ impl ResilientClient {
         let id = self.next_id;
         self.next_id += 1;
         self.ensure_connected()?;
+        let payload = encode_health_request(self.version, id, TraceContext::NONE);
         let result = (|| {
             let stream = self.conn.as_mut().expect("just connected");
-            write_frame(stream, &encode_health_request(id))?;
+            write_frame(stream, &payload)?;
             let frame =
                 read_frame(stream)?.ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
             decode_response(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
@@ -437,6 +512,45 @@ impl ResilientClient {
             Ok(other) => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("expected a health report, got {other:?}"),
+            )),
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// One metrics-snapshot probe over the resilient transport (single
+    /// attempt, like [`ResilientClient::health`]): the raw snapshot JSON
+    /// document (schema [`crate::METRICS_SNAPSHOT_SCHEMA`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, `Unsupported` after a v2 downgrade (old servers
+    /// have no metrics plane), or `InvalidData` on a non-metrics answer.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        if self.version < WIRE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "metrics snapshots require wire v3",
+            ));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ensure_connected()?;
+        let payload = encode_metrics_request(id, TraceContext::NONE);
+        let result = (|| {
+            let stream = self.conn.as_mut().expect("just connected");
+            write_frame(stream, &payload)?;
+            let frame =
+                read_frame(stream)?.ok_or_else(|| io::Error::from(io::ErrorKind::UnexpectedEof))?;
+            decode_response(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        })();
+        match result {
+            Ok(WireResponse::Metrics { snapshot, .. }) => Ok(snapshot),
+            Ok(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a metrics snapshot, got {other:?}"),
             )),
             Err(e) => {
                 self.conn = None;
@@ -483,18 +597,25 @@ impl ResilientClient {
             }
         };
         match decode_response(&frame) {
-            Ok(WireResponse::Ok { id, tier, output }) if id == expected_id => {
-                Attempt::Ok { tier, output }
-            }
+            Ok(WireResponse::Ok {
+                id, tier, output, ..
+            }) if id == expected_id => Attempt::Ok { tier, output },
             Ok(WireResponse::Err {
                 id,
                 rejected,
                 code,
                 message,
+                ..
             }) if id == expected_id || id == 0 => match code {
                 // Backpressure and a server that couldn't even parse the
                 // request (it was corrupted in flight) are retryable.
                 ErrorCode::QueueFull => Attempt::Backpressure { message },
+                ErrorCode::Protocol
+                    if self.version > WIRE_VERSION_V2
+                        && message.contains("unsupported wire version") =>
+                {
+                    Attempt::Downgrade { message }
+                }
                 ErrorCode::Protocol => Attempt::Transport {
                     message: format!("server rejected the frame: {message}"),
                 },
@@ -566,7 +687,7 @@ impl ResilientClient {
     }
 
     /// Decorrelated jitter: `sleep = min(max, uniform(base, 3·prev))`.
-    fn backoff_sleep(&mut self) {
+    fn backoff_sleep(&mut self, trace: TraceContext) {
         let base = self.config.retry.base_backoff;
         let ceiling = self.config.retry.max_backoff;
         let upper = (self.prev_backoff * 3).min(ceiling).max(base);
@@ -577,7 +698,21 @@ impl ResilientClient {
             base + Duration::from_nanos(self.next_u64() % (span.as_nanos() as u64 + 1))
         };
         self.prev_backoff = sleep;
+        let start_us = self.now_us();
         std::thread::sleep(sleep);
+        if trace.is_active() && self.tracer.is_enabled() {
+            let span_id = self.mint_span_id();
+            let dur_us = self.now_us().saturating_sub(start_us);
+            self.tracer.record_span(SpanRecord {
+                trace_id: trace.trace_id,
+                span_id,
+                parent_span_id: trace.span_id,
+                name: "client.backoff".into(),
+                start_us,
+                dur_us,
+                attrs: Vec::new(),
+            });
+        }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -595,6 +730,85 @@ impl ResilientClient {
             }
         }
     }
+
+    /// Mints the trace context for the next request, or
+    /// [`TraceContext::NONE`] when tracing is off or the client downgraded
+    /// to v2 (nowhere to carry it).
+    fn mint_trace(&mut self) -> TraceContext {
+        if self.config.tracing && self.version >= WIRE_VERSION {
+            TraceContext::mint(&mut self.trace_state)
+        } else {
+            TraceContext::NONE
+        }
+    }
+
+    fn mint_span_id(&mut self) -> u64 {
+        loop {
+            let id = splitmix_next(&mut self.trace_state);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Microseconds since the tracer epoch.
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one `client.attempt` span under the request root.
+    fn record_attempt_span(
+        &mut self,
+        trace: TraceContext,
+        attempt: u32,
+        start_us: u64,
+        outcome: &'static str,
+    ) {
+        if !trace.is_active() || !self.tracer.is_enabled() {
+            return;
+        }
+        let span_id = self.mint_span_id();
+        let dur_us = self.now_us().saturating_sub(start_us);
+        self.tracer.record_span(SpanRecord {
+            trace_id: trace.trace_id,
+            span_id,
+            parent_span_id: trace.span_id,
+            name: "client.attempt".into(),
+            start_us,
+            dur_us,
+            attrs: vec![
+                ("attempt".into(), attempt.into()),
+                ("outcome".into(), outcome.into()),
+            ],
+        });
+    }
+
+    /// Records the `client.request` root span and moves the finished trace
+    /// into the ring.
+    fn finish_request_span(
+        &mut self,
+        trace: TraceContext,
+        start_us: u64,
+        attempts: u32,
+        outcome: &'static str,
+    ) {
+        if !trace.is_active() || !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.record_span(SpanRecord {
+            trace_id: trace.trace_id,
+            span_id: trace.span_id,
+            parent_span_id: 0,
+            name: "client.request".into(),
+            start_us,
+            dur_us: self.now_us().saturating_sub(start_us),
+            attrs: vec![
+                ("attempts".into(), attempts.into()),
+                ("outcome".into(), outcome.into()),
+            ],
+        });
+        self.tracer.finish(trace.trace_id);
+    }
 }
 
 /// SplitMix64 step, same generator the chaos injector uses.
@@ -611,7 +825,7 @@ fn splitmix_next(state: &mut u64) -> u64 {
 /// an ASLR-perturbed stack address, whitened through SplitMix64. No
 /// dependency on any configured seed — key uniqueness must hold even when
 /// every client runs the same config.
-fn entropy_seed() -> u64 {
+pub(crate) fn entropy_seed() -> u64 {
     use std::sync::atomic::AtomicU64;
     static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
     let nanos = std::time::SystemTime::now()
@@ -652,9 +866,25 @@ enum Attempt {
     },
     /// The server is alive but shedding (queue full): retry, no breaker hit.
     Backpressure { message: String },
+    /// The peer rejected the frame's protocol version: drop to v2 and retry
+    /// immediately (no breaker hit, no backoff).
+    Downgrade { message: String },
     /// The transport failed (reset, corruption, timeout, desync): retry and
     /// count against the breaker.
     Transport { message: String },
+}
+
+impl Attempt {
+    /// Stable label for span attributes.
+    fn label(&self) -> &'static str {
+        match self {
+            Attempt::Ok { .. } => "ok",
+            Attempt::Terminal { .. } => "terminal",
+            Attempt::Backpressure { .. } => "backpressure",
+            Attempt::Downgrade { .. } => "downgrade",
+            Attempt::Transport { .. } => "transport",
+        }
+    }
 }
 
 #[cfg(test)]

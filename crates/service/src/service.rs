@@ -29,12 +29,77 @@ use chambolle_core::{
 };
 use chambolle_par::ThreadPool;
 use chambolle_telemetry::json::JsonValue;
+use chambolle_telemetry::trace::{splitmix_next, SpanRecord, Tracer, DEFAULT_TRACE_RING};
+use chambolle_telemetry::window::{WindowConfig, WindowedMetrics};
 use chambolle_telemetry::{names, RunReport, Telemetry};
 
 use crate::queue::{Pending, SubmitQueue};
 use crate::request::{
-    Completed, Output, RejectReason, Request, ResponseTier, ServiceError, Workload,
+    Completed, Output, Priority, RejectReason, Request, ResponseTier, ServiceError, Workload,
 };
+
+/// Schema identifier of [`ServiceHandle::metrics_snapshot`] documents.
+pub const METRICS_SNAPSHOT_SCHEMA: &str = "chambolle.metrics_snapshot.v1";
+
+/// How many of the slowest recent traces a metrics snapshot embeds.
+const SNAPSHOT_SLOWEST: usize = 5;
+
+/// A declarative latency/error objective for one scheduling lane.
+///
+/// Evaluated continuously over the rolling metrics window: a response
+/// breaches the objective when it errors or lands slower than
+/// `latency_us`. The *burn rate* is the windowed breach fraction divided by
+/// the allowed error budget `1 - goal` — 1.0 means the lane consumes its
+/// budget exactly as fast as the objective permits, >1 means faster. A lane
+/// whose burn rate reaches `burn_threshold` counts as *burning*, which the
+/// brownout layer treats exactly like queue congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloObjective {
+    /// Latency target in microseconds; slower responses breach.
+    pub latency_us: u64,
+    /// Fraction of responses that must meet the target (e.g. 0.99).
+    pub goal: f64,
+    /// Burn rate at which the lane counts as burning (1.0 = consuming
+    /// budget exactly as fast as the goal allows).
+    pub burn_threshold: f64,
+}
+
+impl SloObjective {
+    /// An objective with the given latency target and success goal, burning
+    /// at 1x budget consumption.
+    pub fn new(latency: Duration, goal: f64) -> SloObjective {
+        SloObjective {
+            latency_us: latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            goal: goal.clamp(0.0, 0.9999),
+            burn_threshold: 1.0,
+        }
+    }
+
+    /// Overrides the burn-rate threshold.
+    pub fn with_burn_threshold(mut self, threshold: f64) -> SloObjective {
+        self.burn_threshold = threshold.max(f64::MIN_POSITIVE);
+        self
+    }
+
+    /// Burn rate of `breach` breaches out of `total` responses.
+    pub fn burn_rate(&self, breach: u64, total: u64) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let err_rate = breach as f64 / total as f64;
+        err_rate / (1.0 - self.goal).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Stable index of a lane in per-lane arrays: interactive first.
+fn lane_index(lane: Priority) -> usize {
+    match lane {
+        Priority::Interactive => 0,
+        Priority::Batch => 1,
+    }
+}
+
+const LANES: [Priority; 2] = [Priority::Interactive, Priority::Batch];
 
 /// Tuning knobs of a service instance.
 #[derive(Debug, Clone)]
@@ -60,6 +125,15 @@ pub struct ServiceConfig {
     /// and tagged [`ResponseTier::Degraded`] — fidelity is shed instead of
     /// requests. `None` (the default) disables brownout.
     pub degradation: Option<DegradationPolicy>,
+    /// Per-lane latency/error objectives (`[interactive, batch]`),
+    /// evaluated over the rolling metrics window; a burning lane triggers
+    /// brownout exactly like queue congestion. `None` entries are
+    /// unconstrained.
+    pub slo: [Option<SloObjective>; 2],
+    /// Capacity of the recent-trace ring (0 disables server-side tracing).
+    pub trace_ring: usize,
+    /// Rolling-window shape of the live metrics plane.
+    pub window: WindowConfig,
 }
 
 impl ServiceConfig {
@@ -75,6 +149,9 @@ impl ServiceConfig {
             low_watermark: queue_capacity / 4,
             recovery: RecoveryPolicy::default(),
             degradation: None,
+            slo: [None, None],
+            trace_ring: DEFAULT_TRACE_RING,
+            window: WindowConfig::default(),
         }
     }
 
@@ -93,6 +170,24 @@ impl ServiceConfig {
     /// Sets the default per-request deadline.
     pub fn with_default_deadline(mut self, deadline: Duration) -> Self {
         self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the latency/error objective of one scheduling lane.
+    pub fn with_slo(mut self, lane: Priority, objective: SloObjective) -> Self {
+        self.slo[lane_index(lane)] = Some(objective);
+        self
+    }
+
+    /// Sets the rolling-window shape of the live metrics plane.
+    pub fn with_window(mut self, window: WindowConfig) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the recent-trace ring capacity (0 disables tracing).
+    pub fn with_trace_ring(mut self, capacity: usize) -> Self {
+        self.trace_ring = capacity;
         self
     }
 }
@@ -191,8 +286,16 @@ struct Shared {
     /// True while the dispatcher thread is inside its loop.
     dispatcher_live: AtomicBool,
     /// True while brownout degradation is active (requires a configured
-    /// [`DegradationPolicy`] *and* a queue congestion episode).
+    /// [`DegradationPolicy`] *and* a queue congestion episode or SLO burn).
     brownout: AtomicBool,
+    /// True while any lane's SLO burn rate sits at/above its threshold.
+    slo_burning: AtomicBool,
+    /// Bounded ring of recently finished request traces.
+    tracer: Tracer,
+    /// Rolling-window rates and latency histograms (the live metrics plane).
+    window: WindowedMetrics,
+    /// SplitMix64 sequence feeding server-side span ids.
+    span_counter: AtomicU64,
 }
 
 /// Point-in-time health/readiness report of a service instance.
@@ -273,6 +376,8 @@ impl ServiceHandle {
             token: token.clone(),
             submitted_at: Instant::now(),
             responder: tx,
+            priority: request.priority,
+            trace: request.trace,
         };
         match shared.queue.try_push(pending, request.priority) {
             Ok(_depth) => {
@@ -350,6 +455,159 @@ impl ServiceHandle {
     /// The telemetry handle the service records into.
     pub fn telemetry(&self) -> &Telemetry {
         &self.shared.telemetry
+    }
+
+    /// The server-side tracer: a bounded ring of recently finished request
+    /// traces (disabled when `config.trace_ring == 0`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// The rolling-window metrics plane the service marks into.
+    pub fn window(&self) -> &WindowedMetrics {
+        &self.shared.window
+    }
+
+    /// The service epoch — hand this to a client's
+    /// [`with_tracer`](crate::ResilientClient::with_tracer) so client and
+    /// server spans recorded into one tracer share a clock.
+    pub fn epoch(&self) -> Instant {
+        self.shared.epoch
+    }
+
+    /// Microseconds since the service epoch — the time base every span
+    /// record uses for `start_us`.
+    pub fn now_us(&self) -> u64 {
+        self.shared
+            .epoch
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// A fresh nonzero span id from the service-wide sequence.
+    pub fn next_span_id(&self) -> u64 {
+        next_span_id(&self.shared)
+    }
+
+    /// A schema-stable (`chambolle.metrics_snapshot.v1`) live-metrics
+    /// snapshot: queue occupancy per lane, rolling-window rates and latency
+    /// histograms, SLO burn state, brownout, cumulative counters, and a
+    /// "slowest recent traces" digest. This is the document the wire
+    /// metrics frame serves to scrapers.
+    pub fn metrics_snapshot(&self) -> JsonValue {
+        let shared = &self.shared;
+        shared
+            .telemetry
+            .counter_add(names::SERVICE_METRICS_PROBES, 1);
+        let (interactive_depth, batch_depth) = shared.queue.lane_depths();
+        let (burning, max_burn, lanes) = slo_status(shared);
+        let counters = shared.telemetry.snapshot();
+        let counter = |name: &str| JsonValue::from(counters.counter(name).unwrap_or(0));
+        let slowest: Vec<JsonValue> = shared
+            .tracer
+            .slowest(SNAPSHOT_SLOWEST)
+            .iter()
+            .map(|t| {
+                JsonValue::Object(vec![
+                    ("trace_id".into(), format!("{:032x}", t.trace_id).into()),
+                    ("total_us".into(), t.total_us.into()),
+                    ("span_count".into(), (t.spans.len() as u64).into()),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("schema".into(), METRICS_SNAPSHOT_SCHEMA.into()),
+            ("uptime_us".into(), self.now_us().into()),
+            (
+                "window".into(),
+                JsonValue::Object(vec![
+                    (
+                        "bucket_width_us".into(),
+                        shared.window.config().bucket_width_us.into(),
+                    ),
+                    ("buckets".into(), shared.window.config().buckets.into()),
+                ]),
+            ),
+            (
+                "queue".into(),
+                JsonValue::Object(vec![
+                    ("depth".into(), (interactive_depth + batch_depth).into()),
+                    ("capacity".into(), shared.queue.capacity().into()),
+                    ("interactive_depth".into(), interactive_depth.into()),
+                    ("batch_depth".into(), batch_depth.into()),
+                    ("congested".into(), shared.queue.is_congested().into()),
+                ]),
+            ),
+            ("window_metrics".into(), shared.window.snapshot().to_json()),
+            (
+                "slo".into(),
+                JsonValue::Object(vec![
+                    ("burning".into(), burning.into()),
+                    ("max_burn_rate".into(), max_burn.into()),
+                    ("lanes".into(), JsonValue::Array(lanes)),
+                ]),
+            ),
+            (
+                "brownout".into(),
+                shared.brownout.load(Ordering::Relaxed).into(),
+            ),
+            ("stats".into(), self.stats().to_json()),
+            (
+                "counters".into(),
+                JsonValue::Object(vec![
+                    (
+                        "idempotent_hits".into(),
+                        counter(names::SERVICE_IDEMPOTENT_HITS),
+                    ),
+                    (
+                        "health_probes".into(),
+                        counter(names::SERVICE_HEALTH_PROBES),
+                    ),
+                    (
+                        "metrics_probes".into(),
+                        counter(names::SERVICE_METRICS_PROBES),
+                    ),
+                    (
+                        "brownout_entered".into(),
+                        counter(names::SERVICE_BROWNOUT_ENTERED),
+                    ),
+                    (
+                        "brownout_exited".into(),
+                        counter(names::SERVICE_BROWNOUT_EXITED),
+                    ),
+                    (
+                        "slo_burn_entered".into(),
+                        counter(names::SERVICE_SLO_BURN_ENTERED),
+                    ),
+                    (
+                        "slo_burn_exited".into(),
+                        counter(names::SERVICE_SLO_BURN_EXITED),
+                    ),
+                    ("chaos_resets".into(), counter(names::SERVICE_CHAOS_RESETS)),
+                    (
+                        "chaos_corruptions".into(),
+                        counter(names::SERVICE_CHAOS_CORRUPTIONS),
+                    ),
+                    ("chaos_stalls".into(), counter(names::SERVICE_CHAOS_STALLS)),
+                    (
+                        "chaos_partial_writes".into(),
+                        counter(names::SERVICE_CHAOS_PARTIAL_WRITES),
+                    ),
+                    (
+                        "chaos_server_panics".into(),
+                        counter(names::SERVICE_CHAOS_SERVER_PANICS),
+                    ),
+                ]),
+            ),
+            (
+                "traces".into(),
+                JsonValue::Object(vec![
+                    ("finished".into(), shared.tracer.len().into()),
+                    ("slowest".into(), JsonValue::Array(slowest)),
+                ]),
+            ),
+        ])
     }
 }
 
@@ -457,6 +715,12 @@ impl Service {
         assert!(config.threads >= 1, "service needs at least one thread");
         assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
         assert!(config.max_batch >= 1, "max_batch must be >= 1");
+        let tracer = if config.trace_ring == 0 {
+            Tracer::disabled()
+        } else {
+            Tracer::with_capacity(config.trace_ring)
+        };
+        let window = WindowedMetrics::new(config.window);
         let shared = Arc::new(Shared {
             queue: SubmitQueue::new(
                 config.queue_capacity,
@@ -472,6 +736,10 @@ impl Service {
             last_solve_ms: AtomicU64::new(u64::MAX),
             dispatcher_live: AtomicBool::new(false),
             brownout: AtomicBool::new(false),
+            slo_burning: AtomicBool::new(false),
+            tracer,
+            window,
+            span_counter: AtomicU64::new(0x7ACE_5EED),
         });
         let dispatcher_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
@@ -546,23 +814,99 @@ fn dispatcher_loop(shared: &Shared) {
     shared.dispatcher_live.store(false, Ordering::Relaxed);
 }
 
+/// A fresh nonzero span id: one SplitMix64 step over a shared sequence, so
+/// ids are unique service-wide without coordination.
+fn next_span_id(shared: &Shared) -> u64 {
+    let mut seq = shared.span_counter.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let id = splitmix_next(&mut seq);
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// Point-in-time SLO evaluation over the rolling window: whether any lane
+/// burns at/above its threshold, the maximum burn rate, and a per-lane JSON
+/// digest for the metrics snapshot.
+fn slo_status(shared: &Shared) -> (bool, f64, Vec<JsonValue>) {
+    let mut burning = false;
+    let mut max_burn = 0.0f64;
+    let mut lanes = Vec::new();
+    let now_us = shared.window.now_us();
+    for lane in LANES {
+        let Some(objective) = shared.config.slo[lane_index(lane)] else {
+            continue;
+        };
+        let name = lane.as_str();
+        let total = shared
+            .window
+            .count_in_window_at(&format!("slo.{name}.total"), now_us);
+        let breach = shared
+            .window
+            .count_in_window_at(&format!("slo.{name}.breach"), now_us);
+        let burn = objective.burn_rate(breach, total);
+        let lane_burning = burn >= objective.burn_threshold;
+        burning |= lane_burning;
+        max_burn = max_burn.max(burn);
+        lanes.push(JsonValue::Object(vec![
+            ("lane".into(), name.into()),
+            ("latency_us".into(), objective.latency_us.into()),
+            ("goal".into(), objective.goal.into()),
+            ("burn_threshold".into(), objective.burn_threshold.into()),
+            ("total".into(), total.into()),
+            ("breach".into(), breach.into()),
+            ("burn_rate".into(), burn.into()),
+            ("burning".into(), lane_burning.into()),
+        ]));
+    }
+    (burning, max_burn, lanes)
+}
+
+/// Evaluates SLO burn, records the burn-rate gauge and the edge-counted
+/// `service.slo.burn.*` events, and returns whether any lane burns.
+fn evaluate_slo_burn(shared: &Shared) -> bool {
+    if shared.config.slo.iter().all(Option::is_none) {
+        return false;
+    }
+    let (burning, max_burn, _) = slo_status(shared);
+    shared
+        .telemetry
+        .gauge_set(names::SERVICE_SLO_BURN_RATE, max_burn);
+    let was = shared.slo_burning.swap(burning, Ordering::Relaxed);
+    if burning && !was {
+        shared
+            .telemetry
+            .counter_add(names::SERVICE_SLO_BURN_ENTERED, 1);
+    } else if !burning && was {
+        shared
+            .telemetry
+            .counter_add(names::SERVICE_SLO_BURN_EXITED, 1);
+    }
+    burning
+}
+
 /// Decides (at batch granularity) whether brownout degradation applies, and
-/// records the edge transitions. Returns the policy to cap solves with, or
-/// `None` for full fidelity.
+/// records the edge transitions. Fidelity is shed when the queue sits inside
+/// a congestion episode *or* the measured SLO burn rate says the service is
+/// spending error budget too fast — so brownout reacts to what clients
+/// experience, not only to queue depth. Returns the policy to cap solves
+/// with, or `None` for full fidelity.
 fn brownout_policy(shared: &Shared) -> Option<DegradationPolicy> {
+    let burning = evaluate_slo_burn(shared);
     let policy = shared.config.degradation?;
-    let congested = shared.queue.is_congested();
-    let was = shared.brownout.swap(congested, Ordering::Relaxed);
-    if congested && !was {
+    let active = shared.queue.is_congested() || burning;
+    let was = shared.brownout.swap(active, Ordering::Relaxed);
+    if active && !was {
         shared
             .telemetry
             .counter_add(names::SERVICE_BROWNOUT_ENTERED, 1);
-    } else if !congested && was {
+    } else if !active && was {
         shared
             .telemetry
             .counter_add(names::SERVICE_BROWNOUT_EXITED, 1);
     }
-    congested.then_some(policy)
+    active.then_some(policy)
 }
 
 /// Solves one batch on the pool and responds to every member.
@@ -609,25 +953,13 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
     if live.len() == 1 {
         // No point in a pool broadcast for a lone request.
         let solve_start = Instant::now();
-        let result = solve_contained(
-            &live[0].workload,
-            &live[0].token,
-            &policy,
-            degradation,
-            &shared.telemetry,
-        );
+        let result = solve_contained(&live[0], &policy, degradation, &shared.telemetry);
         *slots[0].lock().expect("slot poisoned") =
             Some((result, micros(solve_start, Instant::now())));
     } else {
         pool.parallel_tiles("service.batch", live.len(), |_, i| {
             let solve_start = Instant::now();
-            let result = solve_contained(
-                &live[i].workload,
-                &live[i].token,
-                &policy,
-                degradation,
-                &shared.telemetry,
-            );
+            let result = solve_contained(&live[i], &policy, degradation, &shared.telemetry);
             *slots[i].lock().expect("slot poisoned") =
                 Some((result, micros(solve_start, Instant::now())));
         });
@@ -652,14 +984,13 @@ fn dispatch_batch(shared: &Shared, pool: &ThreadPool, batch: Vec<Pending>) {
 /// worker, and the ctx-taking solver entry points fall back to their
 /// sequential bodies when the context has no pool of its own.
 fn solve_contained(
-    workload: &Workload,
-    token: &CancelToken,
+    pending: &Pending,
     policy: &RecoveryPolicy,
     degradation: Option<DegradationPolicy>,
     telemetry: &Telemetry,
 ) -> Result<(Output, ResponseTier, Option<RecoveryReport>), ServiceError> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        solve_one(workload, token, policy, degradation, telemetry)
+        solve_one(pending, policy, degradation, telemetry)
     }));
     match outcome {
         Ok(result) => result,
@@ -675,19 +1006,19 @@ fn solve_contained(
 }
 
 fn solve_one(
-    workload: &Workload,
-    token: &CancelToken,
+    pending: &Pending,
     policy: &RecoveryPolicy,
     degradation: Option<DegradationPolicy>,
     telemetry: &Telemetry,
 ) -> Result<(Output, ResponseTier, Option<RecoveryReport>), ServiceError> {
     let mut ctx = ExecCtx::default()
         .with_telemetry(telemetry.clone())
-        .with_cancel(token.clone());
+        .with_cancel(pending.token.clone())
+        .with_trace(pending.trace);
     if let Some(d) = degradation {
         ctx = ctx.with_degradation(d);
     }
-    match workload {
+    match &pending.workload {
         Workload::Denoise { input, params } => {
             // The context's degradation policy caps the iteration count
             // inside the guarded solve; the tier just records whether it bit.
@@ -749,6 +1080,71 @@ fn respond(
     shared
         .last_solve_ms
         .store(shared.epoch.elapsed().as_millis() as u64, Ordering::Relaxed);
+
+    // The live metrics plane: rolling-window rates and latency histograms,
+    // labelled by lane where a scraper would slice them.
+    let lane = pending.priority.as_str();
+    let window = &shared.window;
+    window.observe(&format!("{lane}.queue_us"), queue_us as f64);
+    window.observe("solve_us", solve_us as f64);
+    window.observe("total_us", total_us as f64);
+    window.observe("batch_size", batch_size as f64);
+    window.mark(&format!("{lane}.responses"), 1);
+    if result.is_err() {
+        window.mark(&format!("{lane}.errors"), 1);
+    }
+
+    // SLO accounting: a breach is an error or a response slower than the
+    // lane's latency target. Burn-rate evaluation happens per batch in
+    // `brownout_policy`; here we only feed the window.
+    if let Some(objective) = shared.config.slo[lane_index(pending.priority)] {
+        window.mark(&format!("slo.{lane}.total"), 1);
+        let breached = result.is_err() || total_us > objective.latency_us;
+        if breached {
+            window.mark(&format!("slo.{lane}.breach"), 1);
+            telemetry.counter_add(&format!("{}{lane}", names::SERVICE_SLO_BREACH_PREFIX), 1);
+        }
+    }
+
+    // Span tree of this request's service-side life: queue wait and batch
+    // residency under the propagated parent, the solve nested inside the
+    // batch span. Starts are measured from the service epoch; durations sum
+    // consistently (queue + batch == total, solve <= batch).
+    if pending.trace.is_active() && shared.tracer.is_enabled() {
+        let trace_id = pending.trace.trace_id;
+        let parent = pending.trace.span_id;
+        let base_us = micros(shared.epoch, pending.submitted_at);
+        let batch_span = next_span_id(shared);
+        shared.tracer.record_span(SpanRecord {
+            trace_id,
+            span_id: next_span_id(shared),
+            parent_span_id: parent,
+            name: "queue".into(),
+            start_us: base_us,
+            dur_us: queue_us,
+            attrs: vec![("lane".into(), lane.into())],
+        });
+        shared.tracer.record_span(SpanRecord {
+            trace_id,
+            span_id: batch_span,
+            parent_span_id: parent,
+            name: "batch".into(),
+            start_us: base_us + queue_us,
+            dur_us: total_us.saturating_sub(queue_us),
+            attrs: vec![("batch_size".into(), batch_size.into())],
+        });
+        shared.tracer.record_span(SpanRecord {
+            trace_id,
+            span_id: next_span_id(shared),
+            parent_span_id: batch_span,
+            name: "solve".into(),
+            start_us: (base_us + total_us).saturating_sub(solve_us),
+            dur_us: solve_us,
+            attrs: vec![("ok".into(), result.is_ok().into())],
+        });
+        telemetry.counter_add(names::SERVICE_TRACE_SPANS, 3);
+    }
+
     let response = match result {
         Ok((output, tier, recovery)) => {
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);

@@ -9,50 +9,66 @@
 //! [`ResilientClient`](crate::ResilientClient) treat corruption as a
 //! retryable fault while still guaranteeing bit-identical results.
 //!
-//! Request payload (version 2):
+//! Request payload (versions 2 and 3):
 //!
 //! ```text
 //! offset  size  field
-//! 0       1     protocol version  (= 2)
-//! 1       1     frame kind        (1 = denoise solve, 2 = health probe)
+//! 0       1     protocol version  (2 or 3)
+//! 1       1     frame kind        (1 = denoise solve, 2 = health probe,
+//!                                  3 = metrics snapshot; v3 only)
 //! 2       8     client request id (u64 LE, echoed back verbatim)
-//! --- kind 1 (denoise) ---
-//! 10      8     idempotency key   (u64 LE, 0 = none; nonzero keys dedupe
+//! --- version 3 only: trace block (25 bytes, all kinds) ---
+//! 10      16    trace id          (u128 LE, 0 = tracing disabled)
+//! 26      8     span id           (u64 LE, caller's span)
+//! 34      1     trace flags       (bit 0 = sampled)
+//! --- kind 1 (denoise); offsets shown for v2 / v3 ---
+//! 10/35   8     idempotency key   (u64 LE, 0 = none; nonzero keys dedupe
 //!                                  retries against the server-side cache)
-//! 18      1     priority          (0 interactive, 1 batch)
-//! 19      4     deadline_ms       (u32 LE, 0 = no deadline)
-//! 23      4     theta             (f32 LE)
-//! 27      4     tau               (f32 LE)
-//! 31      4     iterations        (u32 LE)
-//! 35      4     width             (u32 LE)
-//! 39      4     height            (u32 LE)
-//! 43      4*w*h pixels            (f32 LE, row-major)
-//! --- kind 2 (health) --- no further fields
+//! 18/43   1     priority          (0 interactive, 1 batch)
+//! 19/44   4     deadline_ms       (u32 LE, 0 = no deadline)
+//! 23/48   4     theta             (f32 LE)
+//! 27/52   4     tau               (f32 LE)
+//! 31/56   4     iterations        (u32 LE)
+//! 35/60   4     width             (u32 LE)
+//! 39/64   4     height            (u32 LE)
+//! 43/68   4*w*h pixels            (f32 LE, row-major)
+//! --- kind 2 (health) / kind 3 (metrics) --- no further fields
 //! ```
 //!
-//! Response payload (version 2):
+//! Response payload (versions 2 and 3):
 //!
 //! ```text
-//! 0       1     protocol version  (= 2)
-//! 1       1     status   (0 ok, 1 rejected, 2 failed, 3 health report)
+//! 0       1     protocol version  (2 or 3; servers echo the requester's)
+//! 1       1     status   (0 ok, 1 rejected, 2 failed, 3 health report,
+//!                         4 metrics snapshot; v3 only)
 //! 2       8     client request id (u64 LE)
-//! -- status 0 --
-//! 10      1     fidelity tier     (0 full, 1 degraded/brownout)
-//! 11      4     width; then 4 height; then 4*w*h f32 LE pixels
+//! --- version 3 only: trace block (25 bytes, all statuses), as above ---
+//! -- status 0 (offsets v2 / v3) --
+//! 10/35   1     fidelity tier     (0 full, 1 degraded/brownout)
+//! 11/36   4     width; then 4 height; then 4*w*h f32 LE pixels
 //! -- status 1 or 2 --
-//! 10      1     error code        (see ErrorCode)
-//! 11      2     message length    (u16 LE)
-//! 13      n     UTF-8 message
+//! 10/35   1     error code        (see ErrorCode)
+//! 11/36   2     message length    (u16 LE)
+//! 13/38   n     UTF-8 message
 //! -- status 3 --
-//! 10      1     accepting         (0/1)
-//! 11      1     dispatcher_live   (0/1)
-//! 12      1     brownout_active   (0/1)
-//! 13      4     queue_depth       (u32 LE)
-//! 17      4     queue_capacity    (u32 LE)
-//! 21      8     in_flight         (u64 LE)
-//! 29      8     completed         (u64 LE)
-//! 37      8     last_solve_age_ms (u64 LE, u64::MAX = no solve yet)
+//! 10/35   1     accepting         (0/1)
+//! 11/36   1     dispatcher_live   (0/1)
+//! 12/37   1     brownout_active   (0/1)
+//! 13/38   4     queue_depth       (u32 LE)
+//! 17/42   4     queue_capacity    (u32 LE)
+//! 21/46   8     in_flight         (u64 LE)
+//! 29/54   8     completed         (u64 LE)
+//! 37/62   8     last_solve_age_ms (u64 LE, u64::MAX = no solve yet)
+//! -- status 4 (v3 only) --
+//! 35      rest  UTF-8 JSON        (schema `chambolle.metrics_snapshot.v1`)
 //! ```
+//!
+//! Version 3 adds distributed-trace propagation (the fixed 25-byte trace
+//! block after the id, in requests *and* responses) and the metrics
+//! snapshot kind. Decoders here accept both versions — a v2 frame simply
+//! decodes with [`TraceContext::NONE`] — and servers answer in the
+//! requester's version, so v2 peers interoperate bit-identically with
+//! tracing silently disabled.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -60,12 +76,17 @@ use std::time::Duration;
 
 use chambolle_core::ChambolleParams;
 use chambolle_imaging::Grid;
+use chambolle_telemetry::trace::TraceContext;
 
 use crate::request::{Priority, RejectReason, Request, ResponseTier, ServiceError, Workload};
 use crate::service::HealthSnapshot;
 
-/// Protocol version both sides must speak.
-pub const WIRE_VERSION: u8 = 2;
+/// Current protocol version (adds the trace block and metrics kind).
+pub const WIRE_VERSION: u8 = 3;
+
+/// Previous protocol version, still accepted by every decoder here; v2
+/// frames carry no trace block and cannot request metrics snapshots.
+pub const WIRE_VERSION_V2: u8 = 2;
 
 /// Hard ceiling on a frame's payload size (64 MiB) — large enough for a
 /// 4096×4096 f32 image, small enough to bound a bad prefix's damage.
@@ -77,12 +98,49 @@ pub const FRAME_HEADER: usize = 12;
 
 const KIND_DENOISE: u8 = 1;
 const KIND_HEALTH: u8 = 2;
+const KIND_METRICS: u8 = 3;
 const STATUS_OK: u8 = 0;
 const STATUS_REJECTED: u8 = 1;
 const STATUS_FAILED: u8 = 2;
 const STATUS_HEALTH: u8 = 3;
+const STATUS_METRICS: u8 = 4;
 const TIER_FULL: u8 = 0;
 const TIER_DEGRADED: u8 = 1;
+const FLAG_SAMPLED: u8 = 1;
+
+/// Accepts a version byte this build can decode.
+fn check_version(version: u8) -> Result<u8, DecodeError> {
+    if version == WIRE_VERSION || version == WIRE_VERSION_V2 {
+        Ok(version)
+    } else {
+        Err(DecodeError::UnsupportedVersion(version))
+    }
+}
+
+/// Appends the 25-byte trace block on v3 frames; v2 frames carry none.
+fn put_trace(buf: &mut Vec<u8>, version: u8, trace: TraceContext) {
+    if version >= WIRE_VERSION {
+        buf.extend_from_slice(&trace.trace_id.to_le_bytes());
+        buf.extend_from_slice(&trace.span_id.to_le_bytes());
+        buf.push(if trace.sampled { FLAG_SAMPLED } else { 0 });
+    }
+}
+
+/// Reads the trace block on v3 frames; v2 frames decode to
+/// [`TraceContext::NONE`].
+fn take_trace(c: &mut Cursor<'_>, version: u8) -> Result<TraceContext, DecodeError> {
+    if version < WIRE_VERSION {
+        return Ok(TraceContext::NONE);
+    }
+    let trace_id = c.u128()?;
+    let span_id = c.u64()?;
+    let flags = c.u8()?;
+    Ok(TraceContext {
+        trace_id,
+        span_id,
+        sampled: flags & FLAG_SAMPLED != 0,
+    })
+}
 
 /// FNV-1a over a byte slice — the frame integrity checksum.
 ///
@@ -225,6 +283,8 @@ pub enum WireRequest {
         /// Idempotency key (0 = none): retries carrying the same nonzero
         /// key return the server's cached result instead of recomputing.
         idempotency: u64,
+        /// Propagated trace context ([`TraceContext::NONE`] on v2 frames).
+        trace: TraceContext,
         /// The service request it maps to.
         request: Request,
     },
@@ -232,14 +292,34 @@ pub enum WireRequest {
     Health {
         /// Client-chosen id, echoed back in the response.
         id: u64,
+        /// Propagated trace context ([`TraceContext::NONE`] on v2 frames).
+        trace: TraceContext,
+    },
+    /// A live-metrics snapshot scrape (v3 only).
+    Metrics {
+        /// Client-chosen id, echoed back in the response.
+        id: u64,
+        /// Propagated trace context.
+        trace: TraceContext,
     },
 }
 
 impl WireRequest {
-    /// The client-chosen id of either kind.
+    /// The client-chosen id of any kind.
     pub fn id(&self) -> u64 {
         match self {
-            WireRequest::Solve { id, .. } | WireRequest::Health { id } => *id,
+            WireRequest::Solve { id, .. }
+            | WireRequest::Health { id, .. }
+            | WireRequest::Metrics { id, .. } => *id,
+        }
+    }
+
+    /// The propagated trace context of any kind.
+    pub fn trace(&self) -> TraceContext {
+        match self {
+            WireRequest::Solve { trace, .. }
+            | WireRequest::Health { trace, .. }
+            | WireRequest::Metrics { trace, .. } => *trace,
         }
     }
 }
@@ -251,6 +331,8 @@ pub enum WireResponse {
     Ok {
         /// Echoed client id.
         id: u64,
+        /// Echoed trace context ([`TraceContext::NONE`] on v2 frames).
+        trace: TraceContext,
         /// Fidelity tier the service answered at.
         tier: ResponseTier,
         /// The denoised image.
@@ -260,6 +342,8 @@ pub enum WireResponse {
     Err {
         /// Echoed client id.
         id: u64,
+        /// Echoed trace context ([`TraceContext::NONE`] on v2 frames).
+        trace: TraceContext,
         /// `true` if rejected at admission (never solved).
         rejected: bool,
         /// Stable error code.
@@ -271,9 +355,33 @@ pub enum WireResponse {
     Health {
         /// Echoed client id.
         id: u64,
+        /// Echoed trace context ([`TraceContext::NONE`] on v2 frames).
+        trace: TraceContext,
         /// The service's point-in-time health snapshot.
         health: HealthSnapshot,
     },
+    /// Live-metrics snapshot (v3 only).
+    Metrics {
+        /// Echoed client id.
+        id: u64,
+        /// Echoed trace context.
+        trace: TraceContext,
+        /// Schema-stable snapshot document
+        /// (`chambolle.metrics_snapshot.v1`) as UTF-8 JSON text.
+        snapshot: String,
+    },
+}
+
+impl WireResponse {
+    /// The echoed trace context of any status.
+    pub fn trace(&self) -> TraceContext {
+        match self {
+            WireResponse::Ok { trace, .. }
+            | WireResponse::Err { trace, .. }
+            | WireResponse::Health { trace, .. }
+            | WireResponse::Metrics { trace, .. } => *trace,
+        }
+    }
 }
 
 /// Writes one length-prefixed, checksummed frame.
@@ -363,20 +471,25 @@ pub fn verify_frame_checksum(payload: &[u8], declared: u64) -> io::Result<()> {
     Ok(())
 }
 
-/// Encodes a denoise request payload. `idempotency` of 0 means "no key".
+/// Encodes a denoise request payload at `version` (2 or 3). `idempotency`
+/// of 0 means "no key"; the trace block is emitted only on v3 frames.
+#[allow(clippy::too_many_arguments)]
 pub fn encode_denoise_request(
+    version: u8,
     id: u64,
     idempotency: u64,
+    trace: TraceContext,
     priority: Priority,
     deadline: Option<Duration>,
     params: &ChambolleParams,
     input: &Grid<f32>,
 ) -> Vec<u8> {
     let (w, h) = input.dims();
-    let mut buf = Vec::with_capacity(43 + 4 * w * h);
-    buf.push(WIRE_VERSION);
+    let mut buf = Vec::with_capacity(68 + 4 * w * h);
+    buf.push(version);
     buf.push(KIND_DENOISE);
     buf.extend_from_slice(&id.to_le_bytes());
+    put_trace(&mut buf, version, trace);
     buf.extend_from_slice(&idempotency.to_le_bytes());
     buf.push(match priority {
         Priority::Interactive => 0,
@@ -395,12 +508,23 @@ pub fn encode_denoise_request(
     buf
 }
 
-/// Encodes a health-probe request payload.
-pub fn encode_health_request(id: u64) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(10);
-    buf.push(WIRE_VERSION);
+/// Encodes a health-probe request payload at `version` (2 or 3).
+pub fn encode_health_request(version: u8, id: u64, trace: TraceContext) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(35);
+    buf.push(version);
     buf.push(KIND_HEALTH);
     buf.extend_from_slice(&id.to_le_bytes());
+    put_trace(&mut buf, version, trace);
+    buf
+}
+
+/// Encodes a metrics-snapshot scrape request (v3 only).
+pub fn encode_metrics_request(id: u64, trace: TraceContext) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(35);
+    buf.push(WIRE_VERSION);
+    buf.push(KIND_METRICS);
+    buf.extend_from_slice(&id.to_le_bytes());
+    put_trace(&mut buf, WIRE_VERSION, trace);
     buf
 }
 
@@ -415,16 +539,18 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
         return Err(DecodeError::Empty);
     }
     let mut c = Cursor::new(payload);
-    let version = c.u8()?;
-    if version != WIRE_VERSION {
-        return Err(DecodeError::UnsupportedVersion(version));
-    }
+    let version = check_version(c.u8()?)?;
     let kind = c.u8()?;
     let id = c.u64()?;
+    let trace = take_trace(&mut c, version)?;
     match kind {
         KIND_HEALTH => {
             c.finish()?;
-            Ok(WireRequest::Health { id })
+            Ok(WireRequest::Health { id, trace })
+        }
+        KIND_METRICS if version >= WIRE_VERSION => {
+            c.finish()?;
+            Ok(WireRequest::Metrics { id, trace })
         }
         KIND_DENOISE => {
             let idempotency = c.u64()?;
@@ -456,14 +582,16 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
                 tau,
                 iterations,
             };
-            let mut request =
-                Request::new(Workload::Denoise { input, params }).with_priority(priority);
+            let mut request = Request::new(Workload::Denoise { input, params })
+                .with_priority(priority)
+                .with_trace(trace);
             if deadline_ms > 0 {
                 request = request.with_deadline(Duration::from_millis(u64::from(deadline_ms)));
             }
             Ok(WireRequest::Solve {
                 id,
                 idempotency,
+                trace,
                 request,
             })
         }
@@ -471,13 +599,21 @@ pub fn decode_request(payload: &[u8]) -> Result<WireRequest, DecodeError> {
     }
 }
 
-/// Encodes a successful response at the given fidelity tier.
-pub fn encode_ok_response(id: u64, tier: ResponseTier, output: &Grid<f32>) -> Vec<u8> {
+/// Encodes a successful response at the given fidelity tier, in the
+/// requester's `version` (2 or 3).
+pub fn encode_ok_response(
+    version: u8,
+    id: u64,
+    trace: TraceContext,
+    tier: ResponseTier,
+    output: &Grid<f32>,
+) -> Vec<u8> {
     let (w, h) = output.dims();
-    let mut buf = Vec::with_capacity(19 + 4 * w * h);
-    buf.push(WIRE_VERSION);
+    let mut buf = Vec::with_capacity(44 + 4 * w * h);
+    buf.push(version);
     buf.push(STATUS_OK);
     buf.extend_from_slice(&id.to_le_bytes());
+    put_trace(&mut buf, version, trace);
     buf.push(match tier {
         ResponseTier::Full => TIER_FULL,
         ResponseTier::Degraded => TIER_DEGRADED,
@@ -490,30 +626,44 @@ pub fn encode_ok_response(id: u64, tier: ResponseTier, output: &Grid<f32>) -> Ve
     buf
 }
 
-/// Encodes an error response.
-pub fn encode_err_response(id: u64, rejected: bool, code: ErrorCode, message: &str) -> Vec<u8> {
+/// Encodes an error response in the requester's `version` (2 or 3).
+pub fn encode_err_response(
+    version: u8,
+    id: u64,
+    trace: TraceContext,
+    rejected: bool,
+    code: ErrorCode,
+    message: &str,
+) -> Vec<u8> {
     let msg = message.as_bytes();
     let msg_len = msg.len().min(usize::from(u16::MAX));
-    let mut buf = Vec::with_capacity(13 + msg_len);
-    buf.push(WIRE_VERSION);
+    let mut buf = Vec::with_capacity(38 + msg_len);
+    buf.push(version);
     buf.push(if rejected {
         STATUS_REJECTED
     } else {
         STATUS_FAILED
     });
     buf.extend_from_slice(&id.to_le_bytes());
+    put_trace(&mut buf, version, trace);
     buf.push(code as u8);
     buf.extend_from_slice(&(msg_len as u16).to_le_bytes());
     buf.extend_from_slice(&msg[..msg_len]);
     buf
 }
 
-/// Encodes a health report response.
-pub fn encode_health_response(id: u64, health: &HealthSnapshot) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(45);
-    buf.push(WIRE_VERSION);
+/// Encodes a health report response in the requester's `version` (2 or 3).
+pub fn encode_health_response(
+    version: u8,
+    id: u64,
+    trace: TraceContext,
+    health: &HealthSnapshot,
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(70);
+    buf.push(version);
     buf.push(STATUS_HEALTH);
     buf.extend_from_slice(&id.to_le_bytes());
+    put_trace(&mut buf, version, trace);
     buf.push(u8::from(health.accepting));
     buf.push(u8::from(health.dispatcher_live));
     buf.push(u8::from(health.brownout));
@@ -525,6 +675,19 @@ pub fn encode_health_response(id: u64, health: &HealthSnapshot) -> Vec<u8> {
         d.as_millis().min(u128::from(u64::MAX - 1)) as u64
     });
     buf.extend_from_slice(&age_ms.to_le_bytes());
+    buf
+}
+
+/// Encodes a metrics-snapshot response (v3 only): the rest of the payload
+/// is the snapshot document as UTF-8 JSON.
+pub fn encode_metrics_response(id: u64, trace: TraceContext, snapshot: &str) -> Vec<u8> {
+    let json = snapshot.as_bytes();
+    let mut buf = Vec::with_capacity(35 + json.len());
+    buf.push(WIRE_VERSION);
+    buf.push(STATUS_METRICS);
+    buf.extend_from_slice(&id.to_le_bytes());
+    put_trace(&mut buf, WIRE_VERSION, trace);
+    buf.extend_from_slice(json);
     buf
 }
 
@@ -557,12 +720,10 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
         return Err(DecodeError::Empty);
     }
     let mut c = Cursor::new(payload);
-    let version = c.u8()?;
-    if version != WIRE_VERSION {
-        return Err(DecodeError::UnsupportedVersion(version));
-    }
+    let version = check_version(c.u8()?)?;
     let status = c.u8()?;
     let id = c.u64()?;
+    let trace = take_trace(&mut c, version)?;
     match status {
         STATUS_OK => {
             let tier = match c.u8()? {
@@ -584,7 +745,12 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
             }
             let output = Grid::from_vec(width, height, pixels)
                 .map_err(|e| DecodeError::BadGrid(e.to_string()))?;
-            Ok(WireResponse::Ok { id, tier, output })
+            Ok(WireResponse::Ok {
+                id,
+                trace,
+                tier,
+                output,
+            })
         }
         STATUS_REJECTED | STATUS_FAILED => {
             let raw = c.u8()?;
@@ -595,9 +761,19 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
             c.finish()?;
             Ok(WireResponse::Err {
                 id,
+                trace,
                 rejected: status == STATUS_REJECTED,
                 code,
                 message,
+            })
+        }
+        STATUS_METRICS if version >= WIRE_VERSION => {
+            let bytes = c.bytes(c.remaining())?;
+            let snapshot = String::from_utf8_lossy(bytes).into_owned();
+            Ok(WireResponse::Metrics {
+                id,
+                trace,
+                snapshot,
             })
         }
         STATUS_HEALTH => {
@@ -612,6 +788,7 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, DecodeError> {
             c.finish()?;
             Ok(WireResponse::Health {
                 id,
+                trace,
                 health: HealthSnapshot {
                     accepting,
                     dispatcher_live,
@@ -671,6 +848,10 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
+    fn u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_le_bytes(self.bytes(16)?.try_into().unwrap()))
+    }
+
     fn f32(&mut self) -> Result<f32, DecodeError> {
         Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
     }
@@ -705,6 +886,14 @@ impl<'a> Cursor<'a> {
 mod tests {
     use super::*;
 
+    fn sample_trace() -> TraceContext {
+        TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D_0123_4567_89AB_CDEF,
+            span_id: 0x5EED_1234_5678_9ABC,
+            sampled: true,
+        }
+    }
+
     #[test]
     fn request_round_trips_bit_exact() {
         let input = Grid::from_fn(5, 3, |x, y| (x * 31 + y * 7) as f32 / 13.0);
@@ -714,8 +903,10 @@ mod tests {
             iterations: 42,
         };
         let payload = encode_denoise_request(
+            WIRE_VERSION,
             7,
             99,
+            sample_trace(),
             Priority::Interactive,
             Some(Duration::from_millis(1500)),
             &params,
@@ -725,10 +916,13 @@ mod tests {
             WireRequest::Solve {
                 id,
                 idempotency,
+                trace,
                 request,
             } => {
                 assert_eq!(id, 7);
                 assert_eq!(idempotency, 99);
+                assert_eq!(trace, sample_trace());
+                assert_eq!(request.trace, sample_trace());
                 assert_eq!(request.priority, Priority::Interactive);
                 assert_eq!(request.deadline, Some(Duration::from_millis(1500)));
                 match &request.workload {
@@ -750,8 +944,11 @@ mod tests {
 
     #[test]
     fn health_frames_round_trip() {
-        match decode_request(&encode_health_request(13)).unwrap() {
-            WireRequest::Health { id } => assert_eq!(id, 13),
+        match decode_request(&encode_health_request(WIRE_VERSION, 13, sample_trace())).unwrap() {
+            WireRequest::Health { id, trace } => {
+                assert_eq!(id, 13);
+                assert_eq!(trace, sample_trace());
+            }
             other => panic!("expected a health probe: {other:?}"),
         }
         let snap = HealthSnapshot {
@@ -764,9 +961,11 @@ mod tests {
             completed: 1000,
             last_solve_age: Some(Duration::from_millis(40)),
         };
-        match decode_response(&encode_health_response(13, &snap)).unwrap() {
-            WireResponse::Health { id, health } => {
+        let enc = encode_health_response(WIRE_VERSION, 13, sample_trace(), &snap);
+        match decode_response(&enc).unwrap() {
+            WireResponse::Health { id, trace, health } => {
                 assert_eq!(id, 13);
+                assert_eq!(trace, sample_trace());
                 assert_eq!(health, snap);
             }
             other => panic!("expected health: {other:?}"),
@@ -776,30 +975,141 @@ mod tests {
             last_solve_age: None,
             ..snap
         };
-        match decode_response(&encode_health_response(1, &fresh)).unwrap() {
+        let enc = encode_health_response(WIRE_VERSION, 1, TraceContext::NONE, &fresh);
+        match decode_response(&enc).unwrap() {
             WireResponse::Health { health, .. } => assert_eq!(health.last_solve_age, None),
             other => panic!("expected health: {other:?}"),
         }
     }
 
     #[test]
+    fn v2_frames_round_trip_with_tracing_silently_dropped() {
+        // A v3 build writing v2 frames (for a v2 peer) omits the trace
+        // block even when the caller holds an active context, and a v2
+        // frame decodes with TraceContext::NONE — same bytes a real v2
+        // build would produce and accept.
+        let input = Grid::from_fn(3, 2, |x, y| (x + y) as f32);
+        let params = ChambolleParams::with_iterations(9);
+        let v2 = encode_denoise_request(
+            WIRE_VERSION_V2,
+            21,
+            5,
+            sample_trace(),
+            Priority::Batch,
+            None,
+            &params,
+            &input,
+        );
+        assert_eq!(v2[0], WIRE_VERSION_V2);
+        assert_eq!(v2.len(), 43 + 4 * 3 * 2, "v2 layout has no trace block");
+        match decode_request(&v2).unwrap() {
+            WireRequest::Solve {
+                id, trace, request, ..
+            } => {
+                assert_eq!(id, 21);
+                assert_eq!(trace, TraceContext::NONE);
+                assert_eq!(request.trace, TraceContext::NONE);
+            }
+            other => panic!("expected a solve request: {other:?}"),
+        }
+        let ok = encode_ok_response(
+            WIRE_VERSION_V2,
+            21,
+            sample_trace(),
+            ResponseTier::Full,
+            &input,
+        );
+        assert_eq!(ok.len(), 19 + 4 * 3 * 2, "v2 ok layout has no trace block");
+        match decode_response(&ok).unwrap() {
+            WireResponse::Ok { trace, output, .. } => {
+                assert_eq!(trace, TraceContext::NONE);
+                assert_eq!(output.as_slice(), input.as_slice());
+            }
+            other => panic!("expected ok: {other:?}"),
+        }
+        let probe = encode_health_request(WIRE_VERSION_V2, 2, sample_trace());
+        assert_eq!(probe.len(), 10);
+        assert!(matches!(
+            decode_request(&probe).unwrap(),
+            WireRequest::Health { id: 2, trace } if trace == TraceContext::NONE
+        ));
+    }
+
+    #[test]
+    fn v2_peers_cannot_request_metrics() {
+        // KIND_METRICS is a v3 extension: the same byte under a v2 version
+        // prefix is an unknown kind, exactly as a real v2 build answers.
+        let mut raw = vec![WIRE_VERSION_V2, KIND_METRICS];
+        raw.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(
+            decode_request(&raw).unwrap_err(),
+            DecodeError::UnknownKind(KIND_METRICS)
+        );
+    }
+
+    #[test]
+    fn metrics_frames_round_trip() {
+        match decode_request(&encode_metrics_request(31, sample_trace())).unwrap() {
+            WireRequest::Metrics { id, trace } => {
+                assert_eq!(id, 31);
+                assert_eq!(trace, sample_trace());
+            }
+            other => panic!("expected a metrics scrape: {other:?}"),
+        }
+        let doc = r#"{"schema":"chambolle.metrics_snapshot.v1","uptime_us":5}"#;
+        match decode_response(&encode_metrics_response(31, sample_trace(), doc)).unwrap() {
+            WireResponse::Metrics {
+                id,
+                trace,
+                snapshot,
+            } => {
+                assert_eq!(id, 31);
+                assert_eq!(trace, sample_trace());
+                assert_eq!(snapshot, doc);
+            }
+            other => panic!("expected metrics: {other:?}"),
+        }
+    }
+
+    #[test]
     fn responses_round_trip() {
         let grid = Grid::from_fn(3, 2, |x, y| (x + 10 * y) as f32);
-        match decode_response(&encode_ok_response(9, ResponseTier::Degraded, &grid)).unwrap() {
-            WireResponse::Ok { id, tier, output } => {
+        let ok = encode_ok_response(
+            WIRE_VERSION,
+            9,
+            sample_trace(),
+            ResponseTier::Degraded,
+            &grid,
+        );
+        match decode_response(&ok).unwrap() {
+            WireResponse::Ok {
+                id,
+                trace,
+                tier,
+                output,
+            } => {
                 assert_eq!(id, 9);
+                assert_eq!(trace, sample_trace());
                 assert_eq!(tier, ResponseTier::Degraded);
                 assert_eq!(output.as_slice(), grid.as_slice());
             }
             other => panic!("expected ok: {other:?}"),
         }
-        let err = encode_err_response(11, true, ErrorCode::QueueFull, "queue full (4/4)");
+        let err = encode_err_response(
+            WIRE_VERSION,
+            11,
+            TraceContext::NONE,
+            true,
+            ErrorCode::QueueFull,
+            "queue full (4/4)",
+        );
         match decode_response(&err).unwrap() {
             WireResponse::Err {
                 id,
                 rejected,
                 code,
                 message,
+                ..
             } => {
                 assert_eq!(id, 11);
                 assert!(rejected);
@@ -818,8 +1128,10 @@ mod tests {
             DecodeError::UnsupportedVersion(9)
         ));
         let mut ok = encode_denoise_request(
+            WIRE_VERSION,
             1,
             0,
+            TraceContext::NONE,
             Priority::Batch,
             None,
             &ChambolleParams::with_iterations(3),
@@ -842,6 +1154,7 @@ mod tests {
         buf.push(WIRE_VERSION);
         buf.push(STATUS_OK);
         buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 25]); // trace block (inactive)
         buf.push(TIER_FULL);
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -849,17 +1162,19 @@ mod tests {
             decode_response(&buf).unwrap_err(),
             DecodeError::OversizedDimensions { .. }
         ));
-        // Same guard on the request path.
+        // Same guard on the request path (dims sit at 60..68 under v3).
         let mut req = encode_denoise_request(
+            WIRE_VERSION,
             1,
             0,
+            TraceContext::NONE,
             Priority::Batch,
             None,
             &ChambolleParams::with_iterations(3),
             &Grid::new(2, 2, 0.0f32),
         );
-        req[35..39].copy_from_slice(&u32::MAX.to_le_bytes());
-        req[39..43].copy_from_slice(&u32::MAX.to_le_bytes());
+        req[60..64].copy_from_slice(&u32::MAX.to_le_bytes());
+        req[64..68].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             decode_request(&req).unwrap_err(),
             DecodeError::OversizedDimensions { .. }
@@ -868,7 +1183,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut probe = encode_health_request(5);
+        let mut probe = encode_health_request(WIRE_VERSION, 5, TraceContext::NONE);
         probe.push(0xAB);
         assert_eq!(
             decode_request(&probe).unwrap_err(),
@@ -944,12 +1259,14 @@ mod tests {
             ) {
                 let input = Grid::from_fn(w, h, |x, y| (x * 7 + y) as f32 / 11.0);
                 let params = ChambolleParams::with_iterations(iters);
-                let payload = encode_denoise_request(
-                    42, 7, Priority::Batch, Some(Duration::from_millis(10)),
-                    &params, &input,
-                );
-                let mangled = corrupt(&payload, &flip_pos, trunc);
-                let _ = decode_request(&mangled); // must not panic
+                for version in [WIRE_VERSION_V2, WIRE_VERSION] {
+                    let payload = encode_denoise_request(
+                        version, 42, 7, super::sample_trace(), Priority::Batch,
+                        Some(Duration::from_millis(10)), &params, &input,
+                    );
+                    let mangled = corrupt(&payload, &flip_pos, trunc);
+                    let _ = decode_request(&mangled); // must not panic
+                }
             }
 
             /// Same totality for the response decoder.
@@ -961,10 +1278,13 @@ mod tests {
                 trunc in 0usize..4096,
             ) {
                 let grid = Grid::from_fn(w, h, |x, y| (x + y) as f32);
+                let trace = super::sample_trace();
                 for payload in [
-                    encode_ok_response(3, ResponseTier::Full, &grid),
-                    encode_err_response(3, false, ErrorCode::Solver, "boom"),
-                    encode_health_response(3, &HealthSnapshot {
+                    encode_ok_response(WIRE_VERSION, 3, trace, ResponseTier::Full, &grid),
+                    encode_ok_response(WIRE_VERSION_V2, 3, trace, ResponseTier::Full, &grid),
+                    encode_err_response(WIRE_VERSION, 3, trace, false, ErrorCode::Solver, "boom"),
+                    encode_metrics_response(3, trace, r#"{"schema":"x"}"#),
+                    encode_health_response(WIRE_VERSION, 3, trace, &HealthSnapshot {
                         accepting: true,
                         dispatcher_live: true,
                         brownout: false,
@@ -996,7 +1316,7 @@ mod tests {
                 flip_byte in 0usize..64,
                 flip_bit in 0u8..8,
             ) {
-                let payload = encode_health_request(77);
+                let payload = encode_health_request(WIRE_VERSION, 77, super::sample_trace());
                 let mut framed = Vec::new();
                 write_frame(&mut framed, &payload).unwrap();
                 // Flip one bit inside the payload region (past the header).

@@ -45,6 +45,8 @@ pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -56,6 +58,8 @@ use sink::{Event, EventKind, MemorySink, NullSink, Sink};
 use span::Span;
 
 pub use report::{RunReport, RUN_REPORT_SCHEMA};
+pub use trace::{RequestTrace, SpanRecord, TraceContext, Tracer};
+pub use window::{WindowConfig, WindowSnapshot, WindowedMetrics};
 
 /// The metric name registry.
 ///
@@ -196,6 +200,24 @@ pub mod names {
     pub const SERVICE_BREAKER_CLOSED: &str = "service.breaker.closed";
     /// Gauge: current breaker state (0 closed, 1 open, 2 half-open).
     pub const SERVICE_BREAKER_STATE: &str = "service.breaker.state";
+
+    /// Counter: wire metrics-snapshot requests answered by the front-end.
+    pub const SERVICE_METRICS_PROBES: &str = "service.metrics_probes";
+    /// Counter: spans recorded into the request tracer.
+    pub const SERVICE_TRACE_SPANS: &str = "service.trace.spans";
+    /// Counter: request traces completed and retained in the trace ring.
+    pub const SERVICE_TRACE_FINISHED: &str = "service.trace.finished";
+
+    /// Counter: per-lane SLO breaches (latency objective missed or request
+    /// failed), qualified with the lane (`service.slo.breach.interactive`).
+    pub const SERVICE_SLO_BREACH_PREFIX: &str = "service.slo.breach.";
+    /// Counter: transitions into SLO burn (edge-counted, like brownout).
+    pub const SERVICE_SLO_BURN_ENTERED: &str = "service.slo.burn_entered";
+    /// Counter: transitions out of SLO burn.
+    pub const SERVICE_SLO_BURN_EXITED: &str = "service.slo.burn_exited";
+    /// Gauge: the worst per-lane burn rate observed at the last evaluation
+    /// (breach fraction over the window divided by the error budget).
+    pub const SERVICE_SLO_BURN_RATE: &str = "service.slo.burn_rate";
 
     /// Counter: chaos-injected connection resets.
     pub const SERVICE_CHAOS_RESETS: &str = "service.chaos.resets";

@@ -113,6 +113,12 @@ impl Histogram {
         }
     }
 
+    /// Observations that exceeded the last bucket bound (the saturating
+    /// `+Inf` bucket).
+    pub fn overflow(&self) -> u64 {
+        self.counts[self.bounds.len()]
+    }
+
     /// Mean observation (`0.0` when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -186,6 +192,7 @@ impl Histogram {
             ("p50".into(), self.p50().into()),
             ("p90".into(), self.p90().into()),
             ("p99".into(), self.p99().into()),
+            ("overflow".into(), self.overflow().into()),
             (
                 "bounds".into(),
                 JsonValue::Array(self.bounds.iter().map(|&b| b.into()).collect()),
@@ -428,6 +435,42 @@ mod tests {
         assert_eq!(h.p99(), 456.0, "overflow resolves to the observed max");
         assert_eq!(h.max(), 456.0);
         assert_eq!(h.min(), 0.5);
+        assert_eq!(h.overflow(), 2, "both out-of-range values counted");
+    }
+
+    #[test]
+    fn edge_values_never_split_across_buckets() {
+        // Regression: a value exactly equal to an upper bound must land in
+        // that bound's bucket every time, independent of observation order.
+        let mut a = Histogram::new(&[10.0, 20.0]);
+        let mut b = Histogram::new(&[10.0, 20.0]);
+        for _ in 0..100 {
+            a.observe(10.0);
+        }
+        for _ in 0..100 {
+            b.observe(10.0);
+        }
+        assert_eq!(a, b, "identical inputs give identical bucket layouts");
+        assert_eq!(a.quantile(0.0), 10.0);
+        assert_eq!(a.quantile(1.0), 10.0);
+        assert_eq!(a.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_is_reported_in_json() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(999.0);
+        h.observe(1e9);
+        let j = h.to_json();
+        assert_eq!(j.get("overflow").unwrap().as_f64(), Some(2.0));
+        // The counts array carries the +Inf bucket as its final entry.
+        let counts = j.get("counts").unwrap().as_array().unwrap();
+        assert_eq!(counts.len(), 3, "bounds + 1 saturating overflow bucket");
+        assert_eq!(counts[2].as_f64(), Some(2.0));
+        let empty = Histogram::new(&[1.0]);
+        assert_eq!(empty.to_json().get("overflow").unwrap().as_f64(), Some(0.0));
+        assert_eq!(empty.overflow(), 0);
     }
 
     #[test]

@@ -210,56 +210,70 @@ impl<W: Write + Send> Sink for JsonLinesSink<W> {
 /// `about://tracing` (or Perfetto) to see spans as nested slices and
 /// counters as tracks.
 ///
-/// Span begin/end map to phases `B`/`E`, counters and gauges to `C`,
-/// instants to `i`. Everything runs on one synthetic pid/tid since the
-/// instrumented pipeline is single-threaded per telemetry handle.
+/// Spans are buffered until their end and emitted as complete `ph: "X"`
+/// events (begin timestamp + `dur`), which is what Perfetto's importer
+/// handles most robustly; counters and gauges map to `C`, instants to `i`.
+/// Every record carries the real process id as `pid` and a stable synthetic
+/// `tid` of 1 (the instrumented pipeline is serialized per telemetry
+/// handle), and the flushed array is sorted by timestamp so downstream
+/// tools see monotonic `ts`.
 #[derive(Debug)]
 pub struct ChromeTraceSink<W: Write + Send> {
     writer: W,
-    wrote_any: bool,
+    /// (sort ts, record) pairs buffered until flush.
+    records: Vec<(u64, JsonValue)>,
+    /// Begin timestamps of spans not yet closed, innermost last.
+    open_spans: Vec<(String, u64)>,
+    /// Latest event timestamp seen — closes dangling spans at flush.
+    last_ts: u64,
     closed: bool,
     error: Option<io::Error>,
 }
 
 impl<W: Write + Send> ChromeTraceSink<W> {
-    /// Wraps a writer; the JSON array opens lazily on the first event.
+    /// Wraps a writer; output is buffered and written sorted at flush.
     pub fn new(writer: W) -> Self {
         ChromeTraceSink {
             writer,
-            wrote_any: false,
+            records: Vec::new(),
+            open_spans: Vec::new(),
+            last_ts: 0,
             closed: false,
             error: None,
         }
     }
 
-    fn phase_records(event: &Event) -> Vec<JsonValue> {
-        let base = |ph: &str, args: Vec<(String, JsonValue)>| {
-            let mut fields: Vec<(String, JsonValue)> = vec![
-                ("name".into(), event.name.as_str().into()),
-                ("ph".into(), ph.into()),
-                ("ts".into(), event.micros.into()),
-                ("pid".into(), 1u64.into()),
-                ("tid".into(), 1u64.into()),
-            ];
-            if ph == "i" {
-                fields.push(("s".into(), "t".into()));
-            }
-            if !args.is_empty() {
-                fields.push(("args".into(), JsonValue::Object(args)));
-            }
-            JsonValue::Object(fields)
-        };
-        match &event.kind {
-            EventKind::SpanBegin => vec![base("B", Vec::new())],
-            EventKind::SpanEnd { .. } => vec![base("E", Vec::new())],
-            EventKind::CounterAdd(delta) => {
-                vec![base("C", vec![(event.name.clone(), (*delta).into())])]
-            }
-            EventKind::GaugeSet(value) | EventKind::Observe(value) => {
-                vec![base("C", vec![(event.name.clone(), (*value).into())])]
-            }
-            EventKind::Instant(payload) => vec![base("i", payload.clone())],
+    fn base_record(name: &str, ph: &str, ts: u64, args: Vec<(String, JsonValue)>) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("name".into(), name.into()),
+            ("ph".into(), ph.into()),
+            ("ts".into(), ts.into()),
+            ("pid".into(), u64::from(std::process::id()).into()),
+            ("tid".into(), 1u64.into()),
+        ];
+        if ph == "i" {
+            fields.push(("s".into(), "t".into()));
         }
+        if ph == "X" || !args.is_empty() {
+            fields.push(("args".into(), JsonValue::Object(args)));
+        }
+        JsonValue::Object(fields)
+    }
+
+    fn complete_span(&mut self, name: &str, begin: u64, dur: u64, depth: u32) {
+        let record = Self::base_record(
+            name,
+            "X",
+            begin,
+            vec![("depth".into(), u64::from(depth).into())],
+        );
+        let mut fields = match record {
+            JsonValue::Object(fields) => fields,
+            _ => unreachable!(),
+        };
+        // `dur` sits right after `ts` so the record reads naturally.
+        fields.insert(3, ("dur".into(), dur.into()));
+        self.records.push((begin, JsonValue::Object(fields)));
     }
 }
 
@@ -268,12 +282,45 @@ impl<W: Write + Send> Sink for ChromeTraceSink<W> {
         if self.error.is_some() || self.closed {
             return;
         }
-        for record in Self::phase_records(event) {
-            let prefix = if self.wrote_any { ",\n" } else { "[\n" };
-            self.wrote_any = true;
-            if let Err(e) = write!(self.writer, "{prefix}{}", record.to_string()) {
-                self.error = Some(e);
-                return;
+        self.last_ts = self.last_ts.max(event.micros);
+        match &event.kind {
+            EventKind::SpanBegin => {
+                self.open_spans.push((event.name.clone(), event.micros));
+            }
+            EventKind::SpanEnd { elapsed_micros } => {
+                // Pop the innermost matching begin; a mismatched end (no
+                // begin seen) still yields a record at its own timestamp.
+                let begin = match self
+                    .open_spans
+                    .iter()
+                    .rposition(|(name, _)| name == &event.name)
+                {
+                    Some(i) => self.open_spans.remove(i).1,
+                    None => event.micros.saturating_sub(*elapsed_micros),
+                };
+                self.complete_span(&event.name.clone(), begin, *elapsed_micros, event.depth);
+            }
+            EventKind::CounterAdd(delta) => {
+                let record = Self::base_record(
+                    &event.name,
+                    "C",
+                    event.micros,
+                    vec![(event.name.clone(), (*delta).into())],
+                );
+                self.records.push((event.micros, record));
+            }
+            EventKind::GaugeSet(value) | EventKind::Observe(value) => {
+                let record = Self::base_record(
+                    &event.name,
+                    "C",
+                    event.micros,
+                    vec![(event.name.clone(), (*value).into())],
+                );
+                self.records.push((event.micros, record));
+            }
+            EventKind::Instant(payload) => {
+                let record = Self::base_record(&event.name, "i", event.micros, payload.clone());
+                self.records.push((event.micros, record));
             }
         }
     }
@@ -284,11 +331,24 @@ impl<W: Write + Send> Sink for ChromeTraceSink<W> {
         }
         if !self.closed {
             self.closed = true;
-            if self.wrote_any {
-                writeln!(self.writer, "\n]")?;
-            } else {
-                writeln!(self.writer, "[]")?;
+            // Spans never closed get a best-effort duration to the last
+            // observed timestamp instead of being dropped.
+            let last_ts = self.last_ts;
+            while let Some((name, begin)) = self.open_spans.pop() {
+                let depth = self.open_spans.len() as u32;
+                self.complete_span(&name, begin, last_ts.saturating_sub(begin), depth);
             }
+            self.records.sort_by_key(|(ts, _)| *ts);
+            if self.records.is_empty() {
+                writeln!(self.writer, "[]")?;
+            } else {
+                for (i, (_, record)) in self.records.iter().enumerate() {
+                    let prefix = if i == 0 { "[\n" } else { ",\n" };
+                    write!(self.writer, "{prefix}{}", record.to_string())?;
+                }
+                writeln!(self.writer, "\n]")?;
+            }
+            self.records.clear();
         }
         self.writer.flush()
     }
@@ -374,10 +434,52 @@ mod tests {
             .iter()
             .map(|r| r.get("ph").unwrap().as_str().unwrap())
             .collect();
-        assert_eq!(phases, ["B", "C", "C", "C", "i", "E"]);
-        assert!(records
+        // The span emits one complete `X` slice at its *begin* timestamp.
+        assert_eq!(phases, ["X", "C", "C", "C", "i"]);
+        let span = &records[0];
+        assert_eq!(span.get("name").unwrap().as_str(), Some("span.solve"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(8.0));
+        let pid = f64::from(std::process::id());
+        assert!(
+            records
+                .iter()
+                .all(|r| r.get("pid").unwrap().as_f64() == Some(pid)
+                    && r.get("tid").unwrap().as_f64() == Some(1.0)),
+            "every record carries the stable pid/tid pair"
+        );
+        // Timestamps are monotonic after the sorted flush.
+        let ts: Vec<f64> = records
             .iter()
-            .all(|r| r.get("ts").is_some() && r.get("pid").is_some()));
+            .map(|r| r.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "monotonic ts: {ts:?}");
+    }
+
+    #[test]
+    fn chrome_trace_closes_dangling_spans_at_flush() {
+        let mut sink = ChromeTraceSink::new(Vec::new());
+        sink.record(&Event {
+            micros: 10,
+            name: "span.outer".into(),
+            kind: EventKind::SpanBegin,
+            depth: 0,
+        });
+        sink.record(&Event {
+            micros: 25,
+            name: "x".into(),
+            kind: EventKind::CounterAdd(1),
+            depth: 1,
+        });
+        sink.flush().unwrap();
+        let doc = JsonValue::parse(&String::from_utf8(sink.writer).unwrap()).unwrap();
+        let records = doc.as_array().unwrap();
+        let span = records
+            .iter()
+            .find(|r| r.get("ph").unwrap().as_str() == Some("X"))
+            .expect("dangling span still flushed");
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(15.0));
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! Request-scoped distributed tracing: trace contexts, span records, and a
+//! bounded in-memory ring of recently completed request traces.
+//!
+//! A [`TraceContext`] is minted once per logical request (client side) and
+//! propagated across the wire so every hop — admission, batching, solve,
+//! retry, idempotent replay — records [`SpanRecord`]s under the same
+//! 128-bit trace id. A [`Tracer`] collects those spans, assembles them into
+//! [`RequestTrace`] trees when a trace finishes, and keeps the most recent
+//! traces in a bounded ring with a "slowest N" view.
+//!
+//! Zero external dependencies, like the rest of the crate. A disabled
+//! tracer costs one branch per call; recording never blocks the caller on
+//! I/O (sink export happens through the owning [`crate::Telemetry`]).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+
+/// Default capacity of the finished-trace ring.
+pub const DEFAULT_TRACE_RING: usize = 64;
+
+/// A propagated trace identity: which request this work belongs to and
+/// which span is the current causal parent.
+///
+/// `trace_id == 0` means "no tracing" — the wire encodes that as an
+/// all-zero trace block and every layer skips span recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// 128-bit request-unique trace id (0 = tracing disabled).
+    pub trace_id: u128,
+    /// The span id of the current causal parent (0 = root).
+    pub span_id: u64,
+    /// Whether downstream layers should record spans for this trace.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// The "no tracing" context: all-zero, never sampled.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+        sampled: false,
+    };
+
+    /// Mints a fresh sampled root context from a SplitMix64 state.
+    ///
+    /// Two `next` calls build the 128-bit trace id, a third the root span
+    /// id; the id is re-rolled in the (astronomically unlikely) all-zero
+    /// case so zero stays reserved for "disabled".
+    pub fn mint(state: &mut u64) -> TraceContext {
+        let mut trace_id =
+            (u128::from(splitmix_next(state)) << 64) | u128::from(splitmix_next(state));
+        while trace_id == 0 {
+            trace_id = u128::from(splitmix_next(state));
+        }
+        let mut span_id = splitmix_next(state);
+        while span_id == 0 {
+            span_id = splitmix_next(state);
+        }
+        TraceContext {
+            trace_id,
+            span_id,
+            sampled: true,
+        }
+    }
+
+    /// A child context: same trace, fresh span id, parented at `self`.
+    pub fn child(&self, state: &mut u64) -> TraceContext {
+        if !self.is_active() {
+            return TraceContext::NONE;
+        }
+        let mut span_id = splitmix_next(state);
+        while span_id == 0 {
+            span_id = splitmix_next(state);
+        }
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+            sampled: self.sampled,
+        }
+    }
+
+    /// Whether this context carries a real trace (nonzero id and sampled).
+    pub fn is_active(&self) -> bool {
+        self.trace_id != 0 && self.sampled
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        TraceContext::NONE
+    }
+}
+
+/// SplitMix64: the same tiny deterministic generator the service layer uses
+/// for jitter and idempotency keys.
+pub fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One completed span within a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Owning trace.
+    pub trace_id: u128,
+    /// This span's id.
+    pub span_id: u64,
+    /// Causal parent span id (0 = root of the tree).
+    pub parent_span_id: u64,
+    /// Stage name, e.g. `request`, `queue`, `batch`, `solve`, `retry`.
+    pub name: String,
+    /// Start, microseconds since the tracer's owner epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form attributes (attempt number, batch size, lane, ...).
+    pub attrs: Vec<(String, JsonValue)>,
+}
+
+impl SpanRecord {
+    /// Serializes the span as one JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = vec![
+            ("trace_id".into(), format!("{:032x}", self.trace_id).into()),
+            ("span_id".into(), self.span_id.into()),
+            ("parent_span_id".into(), self.parent_span_id.into()),
+            ("name".into(), self.name.as_str().into()),
+            ("start_us".into(), self.start_us.into()),
+            ("dur_us".into(), self.dur_us.into()),
+        ];
+        if !self.attrs.is_empty() {
+            fields.push(("attrs".into(), JsonValue::Object(self.attrs.clone())));
+        }
+        JsonValue::Object(fields)
+    }
+}
+
+/// A finished request trace: the assembled span tree plus summary fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTrace {
+    /// The trace id shared by every span.
+    pub trace_id: u128,
+    /// Spans sorted by `start_us` (ties keep record order).
+    pub spans: Vec<SpanRecord>,
+    /// Duration of the root span (the longest causal chain observed).
+    pub total_us: u64,
+}
+
+impl RequestTrace {
+    fn assemble(trace_id: u128, mut spans: Vec<SpanRecord>) -> RequestTrace {
+        spans.sort_by_key(|s| s.start_us);
+        let total_us = spans
+            .iter()
+            .filter(|s| s.parent_span_id == 0)
+            .map(|s| s.dur_us)
+            .max()
+            .unwrap_or_else(|| spans.iter().map(|s| s.dur_us).max().unwrap_or(0));
+        RequestTrace {
+            trace_id,
+            spans,
+            total_us,
+        }
+    }
+
+    /// Builds a trace from an arbitrary span collection — e.g. merging the
+    /// server-side spans of several attempts of one retried request, or
+    /// joining client- and server-side views of the same trace id.
+    pub fn from_spans(trace_id: u128, spans: Vec<SpanRecord>) -> RequestTrace {
+        RequestTrace::assemble(trace_id, spans)
+    }
+
+    /// The root spans (parent id 0).
+    pub fn roots(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(|s| s.parent_span_id == 0)
+    }
+
+    /// Direct children of `span_id`, in start order.
+    pub fn children(&self, span_id: u64) -> impl Iterator<Item = &SpanRecord> {
+        self.spans
+            .iter()
+            .filter(move |s| s.parent_span_id == span_id)
+    }
+
+    /// Looks up a span by name (first match in start order).
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Whether the tree is complete: at least one root exists and every
+    /// non-root span's parent id is present in the trace (no orphans).
+    pub fn is_complete(&self) -> bool {
+        if self.spans.is_empty() || !self.spans.iter().any(|s| s.parent_span_id == 0) {
+            return false;
+        }
+        self.spans.iter().all(|s| {
+            s.parent_span_id == 0 || self.spans.iter().any(|p| p.span_id == s.parent_span_id)
+        })
+    }
+
+    /// Serializes the trace (summary plus every span).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("trace_id".into(), format!("{:032x}", self.trace_id).into()),
+            ("total_us".into(), self.total_us.into()),
+            ("span_count".into(), (self.spans.len() as u64).into()),
+            (
+                "spans".into(),
+                JsonValue::Array(self.spans.iter().map(SpanRecord::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+struct TracerInner {
+    /// Spans of traces still in flight, keyed by trace id.
+    open: HashMap<u128, Vec<SpanRecord>>,
+    /// Finished traces, oldest first, bounded by `capacity`.
+    finished: VecDeque<RequestTrace>,
+    capacity: usize,
+}
+
+/// Collects spans and assembles finished request traces into a bounded
+/// ring. Cloning shares the ring; a [`Tracer::disabled`] handle makes every
+/// call a single branch.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TracerInner>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// An enabled tracer keeping the most recent `capacity` traces.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TracerInner {
+                open: HashMap::new(),
+                finished: VecDeque::new(),
+                capacity: capacity.max(1),
+            }))),
+        }
+    }
+
+    /// An enabled tracer with the default ring size.
+    pub fn new() -> Tracer {
+        Tracer::with_capacity(DEFAULT_TRACE_RING)
+    }
+
+    /// A tracer that records nothing.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one completed span. Spans with an inactive trace id are
+    /// dropped silently.
+    pub fn record_span(&self, span: SpanRecord) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if span.trace_id == 0 {
+            return;
+        }
+        let mut inner = inner.lock().expect("tracer poisoned");
+        inner.open.entry(span.trace_id).or_default().push(span);
+    }
+
+    /// Finishes a trace: moves its spans into the ring as a
+    /// [`RequestTrace`]. A trace with no recorded spans is ignored.
+    pub fn finish(&self, trace_id: u128) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        if trace_id == 0 {
+            return;
+        }
+        let mut inner = inner.lock().expect("tracer poisoned");
+        let Some(spans) = inner.open.remove(&trace_id) else {
+            return;
+        };
+        if spans.is_empty() {
+            return;
+        }
+        let trace = RequestTrace::assemble(trace_id, spans);
+        if inner.finished.len() == inner.capacity {
+            inner.finished.pop_front();
+        }
+        inner.finished.push_back(trace);
+    }
+
+    /// A finished trace by id, if still in the ring.
+    pub fn get(&self, trace_id: u128) -> Option<RequestTrace> {
+        let inner = self.inner.as_ref()?;
+        let inner = inner.lock().expect("tracer poisoned");
+        inner
+            .finished
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// All finished traces, oldest first.
+    pub fn recent(&self) -> Vec<RequestTrace> {
+        match &self.inner {
+            Some(inner) => inner
+                .lock()
+                .expect("tracer poisoned")
+                .finished
+                .iter()
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `n` slowest finished traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<RequestTrace> {
+        let mut traces = self.recent();
+        traces.sort_by_key(|t| std::cmp::Reverse(t.total_us));
+        traces.truncate(n);
+        traces
+    }
+
+    /// Number of finished traces currently held.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.lock().expect("tracer poisoned").finished.len(),
+            None => 0,
+        }
+    }
+
+    /// Whether the ring holds no finished traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Tracer {
+    /// The disabled handle.
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u128, id: u64, parent: u64, name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: trace,
+            span_id: id,
+            parent_span_id: parent,
+            name: name.into(),
+            start_us: start,
+            dur_us: dur,
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn mint_is_deterministic_and_nonzero() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let ca = TraceContext::mint(&mut a);
+        let cb = TraceContext::mint(&mut b);
+        assert_eq!(ca, cb, "same state mints the same context");
+        assert_ne!(ca.trace_id, 0);
+        assert_ne!(ca.span_id, 0);
+        assert!(ca.is_active());
+        let cc = TraceContext::mint(&mut a);
+        assert_ne!(ca.trace_id, cc.trace_id, "successive mints differ");
+    }
+
+    #[test]
+    fn child_keeps_trace_id_and_none_stays_none() {
+        let mut state = 7u64;
+        let root = TraceContext::mint(&mut state);
+        let child = root.child(&mut state);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, root.span_id);
+        assert!(child.sampled);
+        assert_eq!(TraceContext::NONE.child(&mut state), TraceContext::NONE);
+        assert!(!TraceContext::default().is_active());
+    }
+
+    #[test]
+    fn tracer_assembles_sorted_complete_trees() {
+        let tracer = Tracer::new();
+        tracer.record_span(span(9, 2, 1, "solve", 50, 20));
+        tracer.record_span(span(9, 3, 1, "queue", 10, 30));
+        tracer.record_span(span(9, 1, 0, "request", 0, 100));
+        tracer.finish(9);
+        let trace = tracer.get(9).expect("finished trace is retrievable");
+        assert_eq!(trace.total_us, 100);
+        assert!(trace.is_complete());
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["request", "queue", "solve"], "sorted by start");
+        assert_eq!(trace.roots().count(), 1);
+        assert_eq!(trace.children(1).count(), 2);
+        assert_eq!(trace.find("queue").unwrap().dur_us, 30);
+    }
+
+    #[test]
+    fn orphan_spans_make_a_trace_incomplete() {
+        let tracer = Tracer::new();
+        tracer.record_span(span(5, 1, 0, "request", 0, 10));
+        tracer.record_span(span(5, 7, 99, "stray", 1, 2)); // parent 99 missing
+        tracer.finish(5);
+        assert!(!tracer.get(5).unwrap().is_complete());
+
+        let tracer2 = Tracer::new();
+        tracer2.record_span(span(6, 2, 1, "child-without-root", 0, 1));
+        tracer2.finish(6);
+        assert!(!tracer2.get(6).unwrap().is_complete(), "no root span");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_slowest_sorts() {
+        let tracer = Tracer::with_capacity(3);
+        for i in 1..=5u128 {
+            tracer.record_span(span(i, 1, 0, "request", 0, (i as u64) * 10));
+            tracer.finish(i);
+        }
+        assert_eq!(tracer.len(), 3, "ring holds the most recent 3");
+        assert!(tracer.get(1).is_none(), "oldest evicted");
+        let slowest = tracer.slowest(2);
+        assert_eq!(slowest.len(), 2);
+        assert_eq!(slowest[0].total_us, 50);
+        assert_eq!(slowest[1].total_us, 40);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        tracer.record_span(span(1, 1, 0, "request", 0, 1));
+        tracer.finish(1);
+        assert!(!tracer.is_enabled());
+        assert!(tracer.is_empty());
+        assert!(tracer.get(1).is_none());
+        assert!(tracer.slowest(10).is_empty());
+    }
+
+    #[test]
+    fn trace_json_carries_hex_id_and_spans() {
+        let tracer = Tracer::new();
+        let mut s = span(0xAB, 1, 0, "request", 0, 42);
+        s.attrs.push(("attempt".into(), 1u64.into()));
+        tracer.record_span(s);
+        tracer.finish(0xAB);
+        let json = tracer.get(0xAB).unwrap().to_json();
+        assert_eq!(
+            json.get("trace_id").unwrap().as_str().unwrap(),
+            format!("{:032x}", 0xABu128)
+        );
+        assert_eq!(json.get_path("total_us").unwrap().as_f64(), Some(42.0));
+        let spans = json.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].get_path("attrs.attempt").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn finish_without_spans_is_a_noop() {
+        let tracer = Tracer::new();
+        tracer.finish(77);
+        assert!(tracer.is_empty());
+        tracer.record_span(span(0, 1, 0, "dropped", 0, 1)); // inactive trace id
+        tracer.finish(0);
+        assert!(tracer.is_empty());
+    }
+}

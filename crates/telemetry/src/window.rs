@@ -1,0 +1,508 @@
+//! Rolling time-windowed aggregation: rate counters and sliding-window
+//! histograms over a ring of fixed-width time buckets.
+//!
+//! The process-lifetime [`crate::metrics::Metrics`] registry answers "what
+//! did this run do end to end"; this module answers "what is the service
+//! doing *right now*" — the last `bucket_width × buckets` of activity,
+//! queryable at any moment for live scraping ([`WindowSnapshot`]) and SLO
+//! burn evaluation. Zero external dependencies like the rest of the crate.
+//!
+//! Every mutating and reading method has a `*_at(now_us)` twin taking an
+//! explicit timestamp (microseconds since the handle's epoch), which is
+//! what tests use to stay deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+use crate::metrics::{Histogram, DEFAULT_BUCKETS};
+
+/// Shape of the rolling window: `buckets` ring slots of `bucket_width_us`
+/// microseconds each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one time bucket in microseconds.
+    pub bucket_width_us: u64,
+    /// Number of buckets in the ring; the window spans
+    /// `bucket_width_us * buckets`.
+    pub buckets: usize,
+}
+
+impl WindowConfig {
+    /// Ten one-second buckets — a 10 s rolling window.
+    pub fn default_window() -> WindowConfig {
+        WindowConfig {
+            bucket_width_us: 1_000_000,
+            buckets: 10,
+        }
+    }
+
+    /// Total window span in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.bucket_width_us * self.buckets as u64
+    }
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig::default_window()
+    }
+}
+
+/// A ring of per-bucket values advanced by absolute bucket index; slots
+/// skipped while idle are zeroed on the way forward.
+#[derive(Debug, Clone)]
+struct Ring<T: Clone> {
+    slots: Vec<T>,
+    /// Absolute index (now_us / width) of the bucket `head` points at.
+    head_abs: u64,
+    head: usize,
+    zero: T,
+}
+
+impl<T: Clone> Ring<T> {
+    fn new(len: usize, zero: T) -> Ring<T> {
+        Ring {
+            slots: vec![zero.clone(); len],
+            head_abs: 0,
+            head: 0,
+            zero,
+        }
+    }
+
+    /// Advances the head to the bucket holding `abs`, clearing skipped
+    /// slots, then returns the head slot.
+    fn advance(&mut self, abs: u64) -> &mut T {
+        if abs > self.head_abs {
+            let skipped = (abs - self.head_abs).min(self.slots.len() as u64);
+            for _ in 0..skipped {
+                self.head = (self.head + 1) % self.slots.len();
+                self.slots[self.head] = self.zero.clone();
+            }
+            self.head_abs = abs;
+        }
+        &mut self.slots[self.head]
+    }
+
+    /// The slots still inside the window ending at bucket `abs` (older
+    /// buckets that the ring hasn't overwritten yet are excluded).
+    fn live(&self, abs: u64) -> impl Iterator<Item = &T> {
+        let len = self.slots.len() as u64;
+        self.slots.iter().enumerate().filter_map(move |(i, slot)| {
+            // Slot i holds absolute bucket head_abs - ((head - i) mod len).
+            let age = (self.head as u64 + len - i as u64) % len;
+            let slot_abs = self.head_abs.wrapping_sub(age);
+            // Live iff within [abs - len + 1, abs] and not in the future.
+            if slot_abs <= abs && abs - slot_abs < len && slot_abs <= self.head_abs {
+                Some(slot)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+struct WindowInner {
+    config: WindowConfig,
+    counters: BTreeMap<String, Ring<u64>>,
+    histograms: BTreeMap<String, Ring<Histogram>>,
+}
+
+/// A shareable registry of windowed rate counters and histograms.
+///
+/// Cloning shares the underlying rings.
+///
+/// # Examples
+///
+/// ```
+/// use chambolle_telemetry::window::{WindowConfig, WindowedMetrics};
+///
+/// let w = WindowedMetrics::new(WindowConfig { bucket_width_us: 1_000, buckets: 4 });
+/// w.mark_at("requests", 3, 500);
+/// w.observe_at("latency_us", 120.0, 600);
+/// assert_eq!(w.count_in_window_at("requests", 900), 3);
+/// let snap = w.snapshot_at(900);
+/// assert_eq!(snap.histogram("latency_us").unwrap().count, 1);
+/// ```
+#[derive(Clone)]
+pub struct WindowedMetrics {
+    inner: Arc<Mutex<WindowInner>>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for WindowedMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedMetrics").finish()
+    }
+}
+
+impl WindowedMetrics {
+    /// An empty registry over the given window shape.
+    pub fn new(config: WindowConfig) -> WindowedMetrics {
+        assert!(config.bucket_width_us > 0, "bucket width must be positive");
+        assert!(config.buckets > 0, "window needs at least one bucket");
+        WindowedMetrics {
+            inner: Arc::new(Mutex::new(WindowInner {
+                config,
+                counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            })),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// An empty registry over [`WindowConfig::default_window`].
+    pub fn default_window() -> WindowedMetrics {
+        WindowedMetrics::new(WindowConfig::default_window())
+    }
+
+    /// The window shape.
+    pub fn config(&self) -> WindowConfig {
+        self.inner.lock().expect("window poisoned").config
+    }
+
+    /// Microseconds since this registry was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Adds `delta` to a rate counter at the current time.
+    pub fn mark(&self, name: &str, delta: u64) {
+        self.mark_at(name, delta, self.now_us());
+    }
+
+    /// Adds `delta` to a rate counter at an explicit timestamp.
+    pub fn mark_at(&self, name: &str, delta: u64, now_us: u64) {
+        let mut inner = self.inner.lock().expect("window poisoned");
+        let abs = now_us / inner.config.bucket_width_us;
+        let buckets = inner.config.buckets;
+        let ring = inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Ring::new(buckets, 0));
+        *ring.advance(abs) += delta;
+    }
+
+    /// Records a histogram observation at the current time.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_at(name, value, self.now_us());
+    }
+
+    /// Records a histogram observation at an explicit timestamp.
+    pub fn observe_at(&self, name: &str, value: f64, now_us: u64) {
+        let mut inner = self.inner.lock().expect("window poisoned");
+        let abs = now_us / inner.config.bucket_width_us;
+        let buckets = inner.config.buckets;
+        let ring = inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Ring::new(buckets, Histogram::new(&DEFAULT_BUCKETS)));
+        ring.advance(abs).observe(value);
+    }
+
+    /// Sum of a rate counter over the window ending now.
+    pub fn count_in_window(&self, name: &str) -> u64 {
+        self.count_in_window_at(name, self.now_us())
+    }
+
+    /// Sum of a rate counter over the window ending at `now_us`.
+    pub fn count_in_window_at(&self, name: &str, now_us: u64) -> u64 {
+        let inner = self.inner.lock().expect("window poisoned");
+        let abs = now_us / inner.config.bucket_width_us;
+        inner
+            .counters
+            .get(name)
+            .map(|ring| ring.live(abs).sum())
+            .unwrap_or(0)
+    }
+
+    /// The merged window histogram for `name`, if any observation landed
+    /// inside the window ending at `now_us`.
+    pub fn histogram_in_window_at(&self, name: &str, now_us: u64) -> Option<Histogram> {
+        let inner = self.inner.lock().expect("window poisoned");
+        let abs = now_us / inner.config.bucket_width_us;
+        let ring = inner.histograms.get(name)?;
+        let mut merged = Histogram::new(&DEFAULT_BUCKETS);
+        for h in ring.live(abs) {
+            merged.merge(h);
+        }
+        if merged.count() == 0 {
+            None
+        } else {
+            Some(merged)
+        }
+    }
+
+    /// A point-in-time snapshot of every windowed metric, taken now.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.snapshot_at(self.now_us())
+    }
+
+    /// A point-in-time snapshot at an explicit timestamp.
+    pub fn snapshot_at(&self, now_us: u64) -> WindowSnapshot {
+        let inner = self.inner.lock().expect("window poisoned");
+        let abs = now_us / inner.config.bucket_width_us;
+        let window_us = inner.config.window_us();
+        // The effective span is capped by how long the registry has lived,
+        // so early rates aren't diluted by empty future buckets.
+        let span_us = window_us.min(now_us.max(inner.config.bucket_width_us));
+        let rates = inner
+            .counters
+            .iter()
+            .map(|(name, ring)| {
+                let count: u64 = ring.live(abs).sum();
+                let per_sec = count as f64 / (span_us as f64 / 1e6);
+                (name.clone(), RateSnapshot { count, per_sec })
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .filter_map(|(name, ring)| {
+                let mut merged = Histogram::new(&DEFAULT_BUCKETS);
+                for h in ring.live(abs) {
+                    merged.merge(h);
+                }
+                if merged.count() == 0 {
+                    return None;
+                }
+                Some((name.clone(), HistogramSnapshot::from_histogram(&merged)))
+            })
+            .collect();
+        WindowSnapshot {
+            now_us,
+            window_us,
+            rates,
+            histograms,
+        }
+    }
+}
+
+/// A rate counter's window total plus its normalized per-second rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSnapshot {
+    /// Events inside the window.
+    pub count: u64,
+    /// Events per second over the effective window span.
+    pub per_sec: f64,
+}
+
+/// Summary of a windowed histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations inside the window.
+    pub count: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median (bucket-resolved; see [`Histogram::quantile`]).
+    pub p50: f64,
+    /// 99th percentile (bucket-resolved).
+    pub p99: f64,
+    /// Largest observation in the window.
+    pub max: f64,
+    /// Observations above the last bucket bound (`+Inf` bucket).
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    fn from_histogram(h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.p50(),
+            p99: h.p99(),
+            max: h.max(),
+            overflow: h.overflow(),
+        }
+    }
+
+    /// Serializes the summary.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("count".into(), self.count.into()),
+            ("mean".into(), self.mean.into()),
+            ("p50".into(), self.p50.into()),
+            ("p99".into(), self.p99.into()),
+            ("max".into(), self.max.into()),
+            ("overflow".into(), self.overflow.into()),
+        ])
+    }
+}
+
+/// One point-in-time view over every windowed metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// When the snapshot was taken (µs since the registry epoch).
+    pub now_us: u64,
+    /// Configured window span in microseconds.
+    pub window_us: u64,
+    /// Rate counters by name.
+    pub rates: BTreeMap<String, RateSnapshot>,
+    /// Windowed histograms by name (only those with observations).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl WindowSnapshot {
+    /// Looks up a rate counter.
+    pub fn rate(&self, name: &str) -> Option<RateSnapshot> {
+        self.rates.get(name).copied()
+    }
+
+    /// Looks up a histogram summary.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Serializes the snapshot as one JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("now_us".into(), self.now_us.into()),
+            ("window_us".into(), self.window_us.into()),
+            (
+                "rates".into(),
+                JsonValue::Object(
+                    self.rates
+                        .iter()
+                        .map(|(name, r)| {
+                            (
+                                name.clone(),
+                                JsonValue::Object(vec![
+                                    ("count".into(), r.count.into()),
+                                    ("per_sec".into(), r.per_sec.into()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                JsonValue::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(name, h)| (name.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WindowedMetrics {
+        WindowedMetrics::new(WindowConfig {
+            bucket_width_us: 1_000,
+            buckets: 4,
+        })
+    }
+
+    #[test]
+    fn counts_inside_the_window_and_expires_old_buckets() {
+        let w = small();
+        w.mark_at("r", 2, 100); // bucket 0
+        w.mark_at("r", 3, 1_100); // bucket 1
+        assert_eq!(w.count_in_window_at("r", 1_500), 5);
+        // Window is 4 buckets: at bucket 4 (t=4_500), bucket 0 has expired.
+        assert_eq!(w.count_in_window_at("r", 4_500), 3);
+        // At bucket 5, bucket 1 has expired too.
+        assert_eq!(w.count_in_window_at("r", 5_500), 0);
+    }
+
+    #[test]
+    fn idle_gaps_zero_skipped_buckets() {
+        let w = small();
+        w.mark_at("r", 10, 0);
+        // Jump far ahead: the write at bucket 100 must not see stale slots.
+        w.mark_at("r", 1, 100_000);
+        assert_eq!(w.count_in_window_at("r", 100_000), 1);
+    }
+
+    #[test]
+    fn windowed_histogram_merges_live_buckets_only() {
+        let w = small();
+        w.observe_at("h", 10.0, 100);
+        w.observe_at("h", 1_000.0, 2_100);
+        let merged = w.histogram_in_window_at("h", 2_500).unwrap();
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max(), 1_000.0);
+        // At t=5_500 the first bucket has rolled off.
+        let merged = w.histogram_in_window_at("h", 5_500).unwrap();
+        assert_eq!(merged.count(), 1);
+        assert_eq!(merged.max(), 1_000.0);
+        assert!(w.histogram_in_window_at("h", 60_000).is_none());
+    }
+
+    #[test]
+    fn snapshot_reports_rates_and_quantiles() {
+        let w = small();
+        for t in [100, 600, 1_200, 1_800] {
+            w.mark_at("req", 1, t);
+            w.observe_at("lat", 100.0, t);
+        }
+        let snap = w.snapshot_at(2_000);
+        let rate = snap.rate("req").unwrap();
+        assert_eq!(rate.count, 4);
+        // Effective span = min(window 4ms, elapsed 2ms) = 2ms -> 2000/s.
+        assert!((rate.per_sec - 2_000.0).abs() < 1.0);
+        let lat = snap.histogram("lat").unwrap();
+        assert_eq!(lat.count, 4);
+        assert_eq!(lat.p99, 100.0);
+        assert_eq!(lat.overflow, 0);
+        assert_eq!(snap.window_us, 4_000);
+    }
+
+    #[test]
+    fn snapshot_json_is_schema_stable() {
+        let w = small();
+        w.mark_at("req", 2, 100);
+        w.observe_at("lat", 50.0, 100);
+        let json = w.snapshot_at(500).to_json();
+        assert_eq!(json.get_path("window_us").unwrap().as_f64(), Some(4_000.0));
+        assert_eq!(
+            json.get_path("rates.req.count").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            json.get_path("histograms.lat.p99").unwrap().as_f64(),
+            Some(50.0)
+        );
+        assert_eq!(
+            json.get_path("histograms.lat.overflow").unwrap().as_f64(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn wall_clock_twins_agree_with_explicit_time() {
+        let w = WindowedMetrics::default_window();
+        w.mark("r", 1);
+        w.observe("h", 5.0);
+        assert_eq!(w.count_in_window("r"), 1);
+        let snap = w.snapshot();
+        assert_eq!(snap.rate("r").unwrap().count, 1);
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        assert_eq!(w.config().buckets, 10);
+    }
+
+    #[test]
+    fn clones_share_the_rings() {
+        let w = small();
+        let other = w.clone();
+        w.mark_at("r", 1, 100);
+        other.mark_at("r", 2, 200);
+        assert_eq!(w.count_in_window_at("r", 300), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        WindowedMetrics::new(WindowConfig {
+            bucket_width_us: 0,
+            buckets: 4,
+        });
+    }
+}

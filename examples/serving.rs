@@ -83,7 +83,9 @@ fn main() {
         wire::WireResponse::Err { code, message, .. } => {
             println!("tcp request failed ({code:?}): {message}");
         }
-        wire::WireResponse::Health { .. } => unreachable!("denoise never yields a health frame"),
+        wire::WireResponse::Health { .. } | wire::WireResponse::Metrics { .. } => {
+            unreachable!("denoise never yields a health or metrics frame")
+        }
     }
     drop(client);
     server.shutdown();

@@ -13,7 +13,7 @@ use std::time::Duration;
 use chambolle::core::{ChambolleParams, SequentialSolver, TvDenoiser};
 use chambolle::imaging::{Grid, NoiseTexture, Scene};
 use chambolle::service::{
-    BreakerPolicy, BreakerState, ChaosConfig, ChaosEvent, Priority, ResilientClient,
+    BreakerPolicy, BreakerState, ChaosConfig, ChaosEvent, Priority, RequestTrace, ResilientClient,
     ResilientConfig, ResponseTier, RetryPolicy, Service, ServiceConfig, TcpServer,
 };
 use chambolle::telemetry::{names, RunReport, Telemetry};
@@ -42,8 +42,10 @@ fn chaotic_server_still_serves_every_request_bit_identically() {
 
     let server_telemetry = Telemetry::null();
     let client_telemetry = Telemetry::null();
-    let service =
-        Service::spawn_with_telemetry(ServiceConfig::new(2, 32), server_telemetry.clone());
+    // A ring big enough that no trace fragment of this run is evicted —
+    // every retry that gets a response write finishes one fragment.
+    let config = ServiceConfig::new(2, 32).with_trace_ring(1024);
+    let service = Service::spawn_with_telemetry(config, server_telemetry.clone());
     // Aggressive-but-recoverable chaos: frequent resets and corruption, and
     // the third solve submission panics server-side *after* committing, so
     // the retry must be answered from the idempotency cache.
@@ -71,12 +73,16 @@ fn chaotic_server_still_serves_every_request_bit_identically() {
             cooldown: Duration::from_millis(10),
         },
         jitter_seed: SEED,
+        tracing: true,
     };
+    let handle = service.handle().clone();
     let mut client = ResilientClient::connect_with(addr, config)
         .unwrap()
-        .with_telemetry(client_telemetry.clone());
+        .with_telemetry(client_telemetry.clone())
+        .with_tracer(handle.tracer().clone(), handle.epoch());
 
     let mut recovered_any = false;
+    let mut trace_ids = Vec::new();
     for (input, want) in inputs.iter().zip(&expected) {
         let outcome = client
             .denoise(input, &params, Priority::Interactive, None)
@@ -88,6 +94,35 @@ fn chaotic_server_still_serves_every_request_bit_identically() {
         );
         assert_eq!(outcome.tier, ResponseTier::Full);
         recovered_any |= outcome.recovered;
+        assert!(outcome.trace.is_active(), "every request must be traced");
+        trace_ids.push(outcome.trace.trace_id);
+    }
+
+    // Every completed request — including every retried, replayed, and
+    // breaker-delayed one — must leave a complete span tree: merging all
+    // finished fragments of a trace id yields a forest with roots and zero
+    // orphaned spans, covering both the client and the server side.
+    let finished = handle.tracer().recent();
+    for (i, trace_id) in trace_ids.iter().enumerate() {
+        let spans: Vec<_> = finished
+            .iter()
+            .filter(|t| t.trace_id == *trace_id)
+            .flat_map(|t| t.spans.iter().cloned())
+            .collect();
+        assert!(!spans.is_empty(), "request {i} left no finished trace");
+        let merged = RequestTrace::from_spans(*trace_id, spans);
+        assert!(
+            merged.is_complete(),
+            "request {i}: span tree has orphans: {merged:?}"
+        );
+        assert!(
+            merged.find("client.request").is_some(),
+            "request {i}: client root span missing"
+        );
+        assert!(
+            merged.find("server.request").is_some() || merged.find("replay").is_some(),
+            "request {i}: no server-side span survived"
+        );
     }
 
     let stats = client.stats();
