@@ -12,6 +12,7 @@
 //! cargo run --release -p chambolle-bench --bin loadgen -- --out x.json
 //! cargo run --release -p chambolle-bench --bin loadgen -- --chaos  # chaos soak
 //! cargo run --release -p chambolle-bench --bin loadgen -- --chaos --scrape-interval-ms 100
+//! cargo run --release -p chambolle-bench --bin loadgen -- --profile chambolle.profile.json
 //! ```
 //!
 //! Default mode: three phases, all on 4 worker threads:
@@ -238,10 +239,22 @@ fn main() {
         eprintln!("loadgen: {e}");
         eprintln!(
             "usage: loadgen [--smoke] [--chaos] [--connect-timeout-ms <ms>] \
-             [--scrape-interval-ms <ms>] [--out <path>]"
+             [--scrape-interval-ms <ms>] [--out <path>] [--profile <path>]"
+        );
+        eprintln!(
+            "  --profile <path> loads a chambolle.tuning_profile.v1 (written by the tune \
+             bin) before the phases run; takes precedence over CHAMBOLLE_PROFILE, and an \
+             invalid profile falls back to defaults with a warning"
         );
         std::process::exit(2);
     });
+    if let Some(path) = &args.profile {
+        let (tunables, err) = chambolle_tune::load_with_fallback(Some(path), &Telemetry::null());
+        if let Some(err) = err {
+            eprintln!("loadgen: warning: tuning profile {path:?} ignored: {err}");
+        }
+        let _ = chambolle_tune::install(tunables);
+    }
     let out_path = args.out_path();
 
     type Validator = fn(&str) -> Result<(), String>;

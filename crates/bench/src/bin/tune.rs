@@ -1,0 +1,322 @@
+//! Auto-tuner for the Chambolle stack: searches the knob space on this
+//! machine, persists the winning schedule as a fingerprinted
+//! `chambolle.tuning_profile.v1`, and writes a schema-stable
+//! `BENCH_pr9.json` run report.
+//!
+//! ```text
+//! cargo run --release -p chambolle-bench --bin tune              # full grid
+//! cargo run --release -p chambolle-bench --bin tune -- --smoke  # CI grid
+//! cargo run --release -p chambolle-bench --bin tune -- --profile-out p.json
+//! ```
+//!
+//! Two searches run, one per workload family:
+//!
+//! 1. `tiled_denoise` — the solver knobs (tile geometry, merge depth K,
+//!    halo margin, pool width, band divisor, kernel backend) against the
+//!    tiled ROF denoise. Candidates are installed as the process-wide
+//!    schedule for the duration of their measurement, so the trial runs
+//!    through exactly the `Tunables`-reading paths production uses.
+//! 2. `service_replay` — the service knobs (micro-batch window, admission
+//!    watermarks) against an in-process request replay, `loadgen`-style.
+//!
+//! The winners merge into one profile. Before anything is reported the
+//! profile is written, re-loaded through the fingerprint-checking loader,
+//! and the winning schedule is proven **bit-identical** to the defaults on
+//! a test frame — tuning changes the schedule, never the pixels. A failed
+//! reload or a pixel mismatch aborts the run.
+
+use std::env;
+use std::sync::Arc;
+use std::time::Instant;
+
+use chambolle_bench::loadreport::SCHEMA;
+use chambolle_bench::tunereport::{parse_args, validate_tuning, Args, BENCH_TUNING};
+use chambolle_bench::workloads::timing_frame;
+use chambolle_core::{ChambolleParams, TileConfig, TiledSolver, TvDenoiser};
+use chambolle_imaging::Image;
+use chambolle_par::ThreadPool;
+use chambolle_service::{Priority, Request, Service, ServiceConfig, Workload};
+use chambolle_telemetry::json::JsonValue;
+use chambolle_telemetry::{names, Telemetry};
+use chambolle_tune::{
+    coordinate_descent, Fingerprint, Profile, SearchOptions, SearchOutcome, SearchSpace, Tunables,
+};
+
+fn main() {
+    let raw: Vec<String> = env::args().skip(1).collect();
+    let args = parse_args(&raw).unwrap_or_else(|e| {
+        eprintln!("tune: {e}");
+        eprintln!("usage: tune [--smoke] [--out <path>] [--profile-out <path>]");
+        eprintln!("  --smoke       coarse CI grid (seconds, not minutes)");
+        eprintln!("  --out         report path            [BENCH_pr9.json]");
+        eprintln!("  --profile-out profile path           [chambolle.profile.json]");
+        std::process::exit(2);
+    });
+
+    let telemetry = Telemetry::null();
+    let fingerprint = Fingerprint::detect();
+    let max_threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    eprintln!(
+        "tune: {} grid on {max_threads} threads max",
+        mode(args.smoke)
+    );
+
+    let solver = search_solver_knobs(&args, max_threads, &telemetry)
+        .unwrap_or_else(|| abort("solver baseline could not be measured"));
+    report_outcome("tiled_denoise", &solver);
+    let service = search_service_knobs(&args, &telemetry)
+        .unwrap_or_else(|| abort("service baseline could not be measured"));
+    report_outcome("service_replay", &service);
+
+    // Merge: solver knobs from the solver search, service knobs from the
+    // replay search. The merged schedule must still validate as a whole.
+    let best = Tunables {
+        batch_window: service.best.batch_window,
+        high_watermark_pct: service.best.high_watermark_pct,
+        low_watermark_pct: service.best.low_watermark_pct,
+        ..solver.best
+    };
+    best.validate()
+        .unwrap_or_else(|e| abort(&format!("merged winner fails validation: {e}")));
+
+    // The exactness contract, checked on the actual winner before it is
+    // allowed anywhere near a profile file: identical pixels to defaults.
+    let bit_identical = prove_bit_identity(&best);
+    if !bit_identical {
+        abort("winning schedule changed pixels — exactness contract violated");
+    }
+
+    // Persist, then prove the profile loads back through the strict
+    // fingerprint-checking path a production startup would take.
+    let profile_path = args.profile_path();
+    let profile = Profile::new(fingerprint.clone(), best).with_provenance(JsonValue::Object(vec![
+        ("solver_speedup".into(), solver.speedup().into()),
+        ("service_speedup".into(), service.speedup().into()),
+        ("mode".into(), mode(args.smoke).into()),
+    ]));
+    profile
+        .save(&profile_path)
+        .unwrap_or_else(|e| abort(&format!("cannot write {profile_path}: {e}")));
+    let reloaded = Profile::load_for_host(&profile_path, &fingerprint)
+        .unwrap_or_else(|e| abort(&format!("emitted profile failed to reload: {e}")));
+    assert_eq!(reloaded.tunables, best, "reload must return the winner");
+    eprintln!("tune: wrote profile {profile_path} (reload verified)");
+
+    let trials_total = (solver.trials.len() + service.trials.len()) as u64;
+    let snapshot = telemetry.snapshot();
+    assert_eq!(
+        snapshot.counter(names::TUNE_TRIALS),
+        Some(trials_total),
+        "every trial is counted through telemetry"
+    );
+
+    let report = JsonValue::Object(vec![
+        ("schema".into(), SCHEMA.into()),
+        ("bench".into(), BENCH_TUNING.into()),
+        ("mode".into(), mode(args.smoke).into()),
+        ("fingerprint".into(), fingerprint.to_json()),
+        (
+            "workloads".into(),
+            JsonValue::Array(vec![
+                outcome_to_json("tiled_denoise", &solver),
+                outcome_to_json("service_replay", &service),
+            ]),
+        ),
+        (
+            "dimensions_searched_total".into(),
+            ((solver.dimensions_searched + service.dimensions_searched) as u64).into(),
+        ),
+        ("trials_total".into(), trials_total.into()),
+        ("best".into(), best.to_json()),
+        (
+            "profile".into(),
+            JsonValue::Object(vec![
+                ("path".into(), profile_path.as_str().into()),
+                ("reloaded".into(), JsonValue::Bool(true)),
+                ("bit_identical".into(), JsonValue::Bool(bit_identical)),
+            ]),
+        ),
+    ]);
+    let text = report.to_string_pretty();
+    validate_tuning(&text).unwrap_or_else(|e| {
+        abort(&format!("emitted report failed schema validation: {e}"));
+    });
+    let out_path = args.out_path();
+    std::fs::write(&out_path, format!("{text}\n"))
+        .unwrap_or_else(|e| abort(&format!("cannot write {out_path}: {e}")));
+    eprintln!("wrote {out_path}");
+    println!("{text}");
+}
+
+fn abort(msg: &str) -> ! {
+    eprintln!("tune: {msg}");
+    std::process::exit(1);
+}
+
+fn mode(smoke: bool) -> &'static str {
+    if smoke {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+fn outcome_to_json(name: &str, o: &SearchOutcome) -> JsonValue {
+    JsonValue::Object(vec![
+        ("name".into(), name.into()),
+        (
+            "dimensions_searched".into(),
+            (o.dimensions_searched as u64).into(),
+        ),
+        ("trials".into(), (o.trials.len() as u64).into()),
+        ("pruned".into(), (o.pruned as u64).into()),
+        ("baseline_proxy_ms".into(), o.baseline_proxy_ms.into()),
+        ("best_proxy_ms".into(), o.best_proxy_ms.into()),
+        ("baseline_full_ms".into(), o.baseline_full_ms.into()),
+        ("best_full_ms".into(), o.best_full_ms.into()),
+        ("speedup".into(), o.speedup().into()),
+        ("best".into(), o.best.to_json()),
+    ])
+}
+
+fn report_outcome(name: &str, outcome: &SearchOutcome) {
+    eprintln!(
+        "  {:<15} {} dims, {} trials ({} pruned): {:.2} ms -> {:.2} ms ({:.2}x)",
+        name,
+        outcome.dimensions_searched,
+        outcome.trials.len(),
+        outcome.pruned,
+        outcome.baseline_full_ms,
+        outcome.best_full_ms,
+        outcome.speedup(),
+    );
+}
+
+/// Runs `f` with `t` installed as the process-wide schedule, restoring the
+/// previous schedule afterwards. `None` when `t` does not validate.
+fn with_installed<T>(t: &Tunables, f: impl FnOnce() -> T) -> Option<T> {
+    let previous = chambolle_tune::install(*t).ok()?;
+    let out = f();
+    let _ = chambolle_tune::install(previous);
+    Some(out)
+}
+
+/// One timed tiled denoise under the candidate schedule, in milliseconds.
+/// The solver is built from `TileConfig::default()` *after* installation,
+/// so the measurement exercises the same `Tunables`-reading path every
+/// production entry point uses.
+fn time_denoise(t: &Tunables, frame: &Image, params: &ChambolleParams) -> Option<f64> {
+    with_installed(t, || {
+        let pool = Arc::new(ThreadPool::new(t.threads));
+        let solver = TiledSolver::new(TileConfig::default()).with_pool(pool);
+        let start = Instant::now();
+        let u = solver.denoise(frame, params);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(u.dims(), frame.dims());
+        ms
+    })
+}
+
+fn search_solver_knobs(
+    args: &Args,
+    max_threads: usize,
+    telemetry: &Telemetry,
+) -> Option<SearchOutcome> {
+    let space = if args.smoke {
+        SearchSpace::smoke(max_threads)
+    } else {
+        SearchSpace::full(max_threads)
+    };
+    // The proxy is a small frame at few iterations — enough to rank
+    // schedules; the full measurement uses a heavier frame so window and
+    // pool overheads are amortized the way real runs amortize them.
+    let proxy_frame = timing_frame(64, 56);
+    let proxy_params = ChambolleParams::with_iterations(6);
+    let (fw, fh, fi) = if args.smoke {
+        (128, 112, 15)
+    } else {
+        (256, 224, 40)
+    };
+    let full_frame = timing_frame(fw, fh);
+    let full_params = ChambolleParams::with_iterations(fi);
+
+    let opts = SearchOptions {
+        sweeps: if args.smoke { 1 } else { 2 },
+        keep_top: if args.smoke { 2 } else { 3 },
+    };
+    coordinate_descent(
+        &space,
+        Tunables::default(),
+        &opts,
+        telemetry,
+        &mut |t| time_denoise(t, &proxy_frame, &proxy_params),
+        &mut |t| time_denoise(t, &full_frame, &full_params),
+    )
+}
+
+/// One timed in-process request replay under the candidate's service knobs:
+/// `n` denoise requests submitted back to back through a service whose
+/// batching window and admission watermarks come from `t`.
+fn time_replay(t: &Tunables, n: usize, frame: &Image, params: &ChambolleParams) -> Option<f64> {
+    const REPLAY_THREADS: usize = 2;
+    let config = ServiceConfig::from_tunables(REPLAY_THREADS, n + 8, t);
+    let service = Service::spawn(config);
+    let start = Instant::now();
+    let tickets: Vec<_> = (0..n)
+        .map(|i| {
+            let mut request = Request::new(Workload::Denoise {
+                input: frame.clone(),
+                params: *params,
+            });
+            if i % 4 == 0 {
+                request = request.with_priority(Priority::Interactive);
+            }
+            service.handle().submit(request).ok()
+        })
+        .collect();
+    for ticket in tickets.into_iter().flatten() {
+        ticket.wait().ok()?;
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    service.shutdown();
+    Some(ms)
+}
+
+fn search_service_knobs(args: &Args, telemetry: &Telemetry) -> Option<SearchOutcome> {
+    let space = SearchSpace::service(args.smoke);
+    let frame = timing_frame(24, 24);
+    let params = ChambolleParams::with_iterations(8);
+    let (proxy_n, full_n) = if args.smoke { (16, 48) } else { (48, 160) };
+
+    let opts = SearchOptions {
+        sweeps: 1,
+        keep_top: 2,
+    };
+    coordinate_descent(
+        &space,
+        Tunables::default(),
+        &opts,
+        telemetry,
+        &mut |t| time_replay(t, proxy_n, &frame, &params),
+        &mut |t| time_replay(t, full_n, &frame, &params),
+    )
+}
+
+/// Solves one frame under the default schedule and under `best`; true iff
+/// the outputs agree bit for bit.
+fn prove_bit_identity(best: &Tunables) -> bool {
+    let frame = timing_frame(67, 53);
+    let params = ChambolleParams::with_iterations(11);
+    let solve = |t: &Tunables| {
+        with_installed(t, || {
+            let pool = Arc::new(ThreadPool::new(t.threads));
+            TiledSolver::new(TileConfig::default())
+                .with_pool(pool)
+                .denoise(&frame, &params)
+        })
+    };
+    match (solve(&Tunables::default()), solve(best)) {
+        (Some(reference), Some(tuned)) => reference.as_slice() == tuned.as_slice(),
+        _ => false,
+    }
+}

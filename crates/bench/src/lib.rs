@@ -5,6 +5,7 @@
 //! - [`loadreport`] — `loadgen` CLI parsing and report-schema validation;
 //! - [`robustness`] — fault-injection sweeps over the guarded accelerator;
 //! - [`tables`] — text-table rendering;
+//! - [`tunereport`] — `tune` CLI parsing and report-schema validation;
 //! - [`workloads`] — deterministic frames and host timing helpers;
 //! - the `repro` binary regenerates every table and figure (see
 //!   `EXPERIMENTS.md` at the workspace root).
@@ -16,4 +17,5 @@ pub mod dataset;
 pub mod loadreport;
 pub mod robustness;
 pub mod tables;
+pub mod tunereport;
 pub mod workloads;

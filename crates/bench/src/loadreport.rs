@@ -45,6 +45,10 @@ pub struct Args {
     pub scrape_interval: Duration,
     /// Output path override (`--out`).
     pub out: Option<String>,
+    /// Tuning profile to install before the phases run (`--profile`);
+    /// takes precedence over `CHAMBOLLE_PROFILE`. Invalid profiles fall
+    /// back to defaults with a warning, never an abort.
+    pub profile: Option<String>,
 }
 
 impl Args {
@@ -68,6 +72,7 @@ pub fn parse_args(args: &[String]) -> Result<Args, String> {
         connect_timeout: chambolle_service::DEFAULT_CONNECT_TIMEOUT,
         scrape_interval: DEFAULT_SCRAPE_INTERVAL,
         out: None,
+        profile: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -77,6 +82,10 @@ pub fn parse_args(args: &[String]) -> Result<Args, String> {
             "--out" => {
                 let value = iter.next().ok_or("--out requires a path")?;
                 parsed.out = Some(value.clone());
+            }
+            "--profile" => {
+                let value = iter.next().ok_or("--profile requires a path")?;
+                parsed.profile = Some(value.clone());
             }
             "--connect-timeout-ms" => {
                 parsed.connect_timeout = positive_ms(&mut iter, "--connect-timeout-ms")?;
@@ -345,6 +354,14 @@ mod tests {
     fn out_flag_overrides_the_default_path() {
         let args = parse_args(&strings(&["--chaos", "--out", "custom.json"])).unwrap();
         assert_eq!(args.out_path(), "custom.json");
+    }
+
+    #[test]
+    fn profile_flag_parses_a_path() {
+        assert_eq!(parse_args(&[]).unwrap().profile, None);
+        let args = parse_args(&strings(&["--profile", "p.json"])).unwrap();
+        assert_eq!(args.profile.as_deref(), Some("p.json"));
+        assert!(parse_args(&strings(&["--profile"])).is_err());
     }
 
     #[test]

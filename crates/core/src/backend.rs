@@ -76,6 +76,21 @@ impl KernelBackend {
         }
     }
 
+    /// Maps a tuning-profile [`chambolle_tune::BackendChoice`] onto a
+    /// backend: `Auto` defers to [`KernelBackend::active`] (including the
+    /// `CHAMBOLLE_BACKEND` override). A profile naming a backend the host
+    /// cannot execute stays safe — unsupported levels dispatch to the
+    /// scalar reference at run time, same bits, lower speed.
+    pub fn from_choice(choice: chambolle_tune::BackendChoice) -> Self {
+        use chambolle_tune::BackendChoice;
+        match choice {
+            BackendChoice::Auto => KernelBackend::active(),
+            BackendChoice::Scalar => KernelBackend::Scalar,
+            BackendChoice::Sse2 => KernelBackend::Sse2,
+            BackendChoice::Avx2 => KernelBackend::Avx2,
+        }
+    }
+
     /// The raw [`SimdLevel`] this backend runs at, for the `imaging` row
     /// kernels which dispatch on the level directly.
     pub fn simd_level(&self) -> SimdLevel {

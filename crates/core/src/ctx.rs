@@ -41,9 +41,11 @@ use std::sync::Arc;
 use chambolle_par::ThreadPool;
 use chambolle_telemetry::trace::TraceContext;
 use chambolle_telemetry::Telemetry;
+use chambolle_tune::Tunables;
 
 use crate::backend::KernelBackend;
 use crate::cancel::{CancelToken, Cancelled};
+use crate::tiling::TileConfig;
 
 /// Fidelity-shedding policy for brownout operation.
 ///
@@ -105,20 +107,15 @@ pub struct ExecCtx {
     backend: KernelBackend,
     degradation: Option<DegradationPolicy>,
     trace: TraceContext,
+    tunables: Tunables,
 }
 
 impl Default for ExecCtx {
     /// The inert context: no pool, disabled telemetry, no cancellation,
-    /// and the process-wide active kernel backend.
+    /// and the process-wide active schedule ([`chambolle_tune::active`] —
+    /// the historical constants unless a tuning profile is loaded).
     fn default() -> Self {
-        ExecCtx {
-            pool: None,
-            telemetry: Telemetry::disabled(),
-            cancel: None,
-            backend: KernelBackend::active(),
-            degradation: None,
-            trace: TraceContext::NONE,
-        }
+        ExecCtx::from_tunables(chambolle_tune::active())
     }
 }
 
@@ -126,6 +123,41 @@ impl ExecCtx {
     /// Alias for [`ExecCtx::default`].
     pub fn new() -> Self {
         ExecCtx::default()
+    }
+
+    /// The auto-tuned context: resolves the process-wide active
+    /// [`Tunables`] — loading the profile named by `CHAMBOLLE_PROFILE`
+    /// (or `chambolle.profile.json`, if present) on first use, with total
+    /// non-panicking fallback to the historical defaults — and attaches a
+    /// worker pool of the tuned width wired to `telemetry`.
+    ///
+    /// Every schedule a profile can select is bit-identical to the
+    /// defaults; a tuned context changes time, never pixels.
+    pub fn auto(telemetry: Telemetry) -> Self {
+        let tunables = chambolle_tune::active();
+        let pool = Arc::new(ThreadPool::new(tunables.threads).with_telemetry(telemetry.clone()));
+        ExecCtx::from_tunables(tunables)
+            .with_telemetry(telemetry)
+            .with_pool(pool)
+    }
+
+    /// An otherwise-inert context running the schedule in `tunables`: the
+    /// kernel backend is resolved from the tunables' [`BackendChoice`]
+    /// and [`ExecCtx::tile_config`] reflects its tile geometry. No pool is
+    /// attached (callers that want the tuned pool width use
+    /// [`ExecCtx::auto`] or attach one explicitly).
+    ///
+    /// [`BackendChoice`]: chambolle_tune::BackendChoice
+    pub fn from_tunables(tunables: Tunables) -> Self {
+        ExecCtx {
+            pool: None,
+            telemetry: Telemetry::disabled(),
+            cancel: None,
+            backend: KernelBackend::from_choice(tunables.backend),
+            degradation: None,
+            trace: TraceContext::NONE,
+            tunables,
+        }
     }
 
     /// Runs the solve's parallel stages on `pool`.
@@ -204,6 +236,20 @@ impl ExecCtx {
     /// The distributed-trace context ([`TraceContext::NONE`] by default).
     pub fn trace(&self) -> TraceContext {
         self.trace
+    }
+
+    /// The schedule knobs this context was built from.
+    pub fn tunables(&self) -> &Tunables {
+        &self.tunables
+    }
+
+    /// The tiled-solver geometry the context's tunables select.
+    ///
+    /// Falls back to [`TileConfig::default`] if the tunables' tile knobs
+    /// are somehow unconstructible (cannot happen for tunables that passed
+    /// [`Tunables::validate`], which every install and profile load does).
+    pub fn tile_config(&self) -> TileConfig {
+        TileConfig::from_tunables(&self.tunables).unwrap_or_default()
     }
 
     /// The iteration budget a solve asking for `requested` iterations gets

@@ -42,7 +42,9 @@ use crate::solver::{recover_u, DualField, TvDenoiser};
 /// Geometry and scheduling parameters of the tiled solver.
 ///
 /// The defaults mirror the hardware: 92×88 sub-matrices (Section IV) and two
-/// concurrent windows.
+/// concurrent windows — unless a tuning profile is active, in which case
+/// [`TileConfig::default`] reflects the tuned schedule
+/// (see [`chambolle_tune`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileConfig {
     /// Sub-matrix width in cells (the paper's 92 columns).
@@ -52,6 +54,12 @@ pub struct TileConfig {
     /// Iterations merged per window pass (K). The halo is K cells on the
     /// leading sides and K+1 on the trailing sides (see the module docs).
     pub merge_factor: u32,
+    /// Extra halo cells on every side beyond the exactness-required
+    /// K / K+1. Pure redundancy: a wider halo trades larger windows for
+    /// fewer of them without moving the profitable-region guarantee —
+    /// corruption still travels at most K (leading) / K+1 (trailing)
+    /// cells per pass, strictly inside the enlarged halo.
+    pub halo_margin: usize,
     /// Worker threads processing windows concurrently (the hardware has 2
     /// sliding windows).
     pub threads: usize,
@@ -94,8 +102,40 @@ impl TileConfig {
             tile_width,
             tile_height,
             merge_factor,
+            halo_margin: 0,
             threads,
         })
+    }
+
+    /// Copy of the configuration with `halo_margin` extra halo cells per
+    /// side (see the field docs — schedule only, never bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] if the widened halo leaves no
+    /// profitable interior (`2(K + margin) + 1 >= tile dimension`).
+    pub fn with_halo_margin(mut self, halo_margin: usize) -> Result<Self, InvalidParamsError> {
+        let halo = 2 * (self.merge_factor as usize + halo_margin) + 1;
+        if halo >= self.tile_width || halo >= self.tile_height {
+            return Err(InvalidParamsError::new(format!(
+                "halo 2(K+margin)+1 = {halo} leaves no profitable interior in a {}x{} tile",
+                self.tile_width, self.tile_height
+            )));
+        }
+        self.halo_margin = halo_margin;
+        Ok(self)
+    }
+
+    /// The tiled-solver geometry a set of schedule knobs selects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamsError`] for knob combinations that fail
+    /// [`TileConfig::new`] — impossible for tunables that passed
+    /// [`chambolle_tune::Tunables::validate`].
+    pub fn from_tunables(t: &chambolle_tune::Tunables) -> Result<Self, InvalidParamsError> {
+        TileConfig::new(t.tile_width, t.tile_height, t.merge_factor, t.threads)?
+            .with_halo_margin(t.halo_margin)
     }
 
     /// The paper's hardware geometry: 92×88 windows, two of them, with the
@@ -109,22 +149,38 @@ impl TileConfig {
         TileConfig::new(92, 88, merge_factor, 2)
     }
 
-    /// Profitable interior width of an interior tile (K leading halo plus
-    /// K+1 trailing halo removed).
+    /// Halo cells on the leading (left/top) window sides: K plus the
+    /// margin.
+    pub fn leading_halo(&self) -> usize {
+        self.merge_factor as usize + self.halo_margin
+    }
+
+    /// Halo cells on the trailing (right/bottom) window sides: K+1 plus
+    /// the margin (the divergence boundary rule costs one extra cell, see
+    /// the module docs).
+    pub fn trailing_halo(&self) -> usize {
+        self.leading_halo() + 1
+    }
+
+    /// Profitable interior width of an interior tile (leading plus
+    /// trailing halo removed).
     pub fn step_x(&self) -> usize {
-        self.tile_width - (2 * self.merge_factor as usize + 1)
+        self.tile_width - (self.leading_halo() + self.trailing_halo())
     }
 
     /// Profitable interior height of an interior tile.
     pub fn step_y(&self) -> usize {
-        self.tile_height - (2 * self.merge_factor as usize + 1)
+        self.tile_height - (self.leading_halo() + self.trailing_halo())
     }
 }
 
 impl Default for TileConfig {
-    /// 92×88 tiles, K = 2, two worker threads.
+    /// The process-wide active schedule ([`chambolle_tune::active`]):
+    /// 92×88 tiles, K = 2, no extra halo, two worker threads unless a
+    /// tuning profile says otherwise.
     fn default() -> Self {
-        TileConfig::paper_hardware(2).expect("paper geometry is valid for K=2")
+        TileConfig::from_tunables(&chambolle_tune::active())
+            .unwrap_or_else(|_| TileConfig::paper_hardware(2).expect("paper geometry is valid"))
     }
 }
 
@@ -183,7 +239,8 @@ impl TilePlan {
     /// Panics if the frame is empty.
     pub fn new(width: usize, height: usize, config: TileConfig) -> Self {
         assert!(width > 0 && height > 0, "frame must be non-empty");
-        let k = config.merge_factor as usize;
+        let lead = config.leading_halo();
+        let trail = config.trailing_halo();
         let step_x = config.step_x();
         let step_y = config.step_y();
         let mut tiles = Vec::new();
@@ -193,10 +250,10 @@ impl TilePlan {
             let mut ox = 0;
             while ox < width {
                 let out_w = step_x.min(width - ox);
-                let src_x = ox.saturating_sub(k);
-                let src_y = oy.saturating_sub(k);
-                let src_x1 = (ox + out_w + k + 1).min(width);
-                let src_y1 = (oy + out_h + k + 1).min(height);
+                let src_x = ox.saturating_sub(lead);
+                let src_y = oy.saturating_sub(lead);
+                let src_x1 = (ox + out_w + trail).min(width);
+                let src_y1 = (oy + out_h + trail).min(height);
                 tiles.push(Tile {
                     src_x,
                     src_y,
@@ -865,15 +922,16 @@ fn process_window<R: Real>(
 }
 
 /// Checks that every non-frame-border side of the window has its full halo
-/// (K leading, K+1 trailing).
+/// (K+margin leading, K+margin+1 trailing).
 fn window_halo_is_full(tile: &Tile, plan: &TilePlan) -> bool {
-    let k = plan.config().merge_factor as usize;
-    let left_ok = tile.src_x == 0 || tile.out_x - tile.src_x == k;
-    let top_ok = tile.src_y == 0 || tile.out_y - tile.src_y == k;
+    let lead = plan.config().leading_halo();
+    let trail = plan.config().trailing_halo();
+    let left_ok = tile.src_x == 0 || tile.out_x - tile.src_x == lead;
+    let top_ok = tile.src_y == 0 || tile.out_y - tile.src_y == lead;
     let right_ok = tile.src_x + tile.src_w == plan.width()
-        || (tile.src_x + tile.src_w) - (tile.out_x + tile.out_w) == k + 1;
+        || (tile.src_x + tile.src_w) - (tile.out_x + tile.out_w) == trail;
     let bottom_ok = tile.src_y + tile.src_h == plan.height()
-        || (tile.src_y + tile.src_h) - (tile.out_y + tile.out_h) == k + 1;
+        || (tile.src_y + tile.src_h) - (tile.out_y + tile.out_h) == trail;
     left_ok && top_ok && right_ok && bottom_ok
 }
 
@@ -1000,6 +1058,65 @@ mod tests {
         assert!(TileConfig::new(10, 10, 5, 1).is_err()); // halo swallows tile
         assert!(TileConfig::new(10, 10, 4, 1).is_ok()); // 2K+1 = 9 < 10
         assert!(TileConfig::paper_hardware(2).is_ok());
+        // Margin validation: 2(1+3)+1 = 9 < 10 fits, 2(1+4)+1 = 11 doesn't.
+        assert!(TileConfig::new(10, 10, 1, 1)
+            .unwrap()
+            .with_halo_margin(3)
+            .is_ok());
+        assert!(TileConfig::new(10, 10, 1, 1)
+            .unwrap()
+            .with_halo_margin(4)
+            .is_err());
+    }
+
+    #[test]
+    fn config_from_tunables_mirrors_every_knob() {
+        let t = chambolle_tune::Tunables {
+            tile_width: 30,
+            tile_height: 26,
+            merge_factor: 3,
+            halo_margin: 2,
+            threads: 5,
+            ..chambolle_tune::Tunables::default()
+        };
+        let cfg = TileConfig::from_tunables(&t).unwrap();
+        assert_eq!((cfg.tile_width, cfg.tile_height), (30, 26));
+        assert_eq!(cfg.merge_factor, 3);
+        assert_eq!(cfg.halo_margin, 2);
+        assert_eq!(cfg.threads, 5);
+        assert_eq!(cfg.leading_halo(), 5);
+        assert_eq!(cfg.trailing_halo(), 6);
+        // The default tunables reproduce the historical default geometry.
+        assert_eq!(
+            TileConfig::from_tunables(&chambolle_tune::Tunables::default()).unwrap(),
+            TileConfig::paper_hardware(2).unwrap()
+        );
+    }
+
+    #[test]
+    fn halo_margin_is_pure_redundancy_bit_exact() {
+        let v = random_image(61, 47, 9);
+        let pr = params(11);
+        let mut p_seq = DualField::zeros(61, 47);
+        chambolle_iterate(&mut p_seq, &v, &pr, 11);
+        for margin in [0usize, 1, 2, 4] {
+            let cfg = TileConfig::new(24, 20, 2, 2)
+                .unwrap()
+                .with_halo_margin(margin)
+                .unwrap();
+            let plan = TilePlan::new(61, 47, cfg);
+            for t in plan.tiles() {
+                assert!(window_halo_is_full(t, &plan), "margin {margin}: {t:?}");
+            }
+            let mut p_tiled = DualField::zeros(61, 47);
+            chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 11, &cfg);
+            assert_eq!(
+                p_seq.px.as_slice(),
+                p_tiled.px.as_slice(),
+                "margin {margin} changed px bits"
+            );
+            assert_eq!(p_seq.py.as_slice(), p_tiled.py.as_slice());
+        }
     }
 
     #[test]

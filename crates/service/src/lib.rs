@@ -107,6 +107,26 @@ mod tests {
     }
 
     #[test]
+    fn config_from_tunables_matches_historical_constants_and_honors_knobs() {
+        // Default tunables reproduce the pre-auto-tuning constants exactly.
+        let d = ServiceConfig::new(2, 64);
+        assert_eq!(d.max_batch, 8);
+        assert_eq!(d.high_watermark, 64 * 3 / 4);
+        assert_eq!(d.low_watermark, 64 / 4);
+        // A profile's knobs flow through.
+        let t = chambolle_tune::Tunables {
+            batch_window: 16,
+            high_watermark_pct: 90,
+            low_watermark_pct: 50,
+            ..chambolle_tune::Tunables::default()
+        };
+        let c = ServiceConfig::from_tunables(3, 40, &t);
+        assert_eq!(c.max_batch, 16);
+        assert_eq!(c.high_watermark, 36);
+        assert_eq!(c.low_watermark, 20);
+    }
+
+    #[test]
     fn service_solves_a_request_matching_the_direct_solver() {
         let input = noisy_input(24, 18, 7);
         let params = ChambolleParams::with_iterations(25);

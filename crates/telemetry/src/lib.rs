@@ -237,6 +237,18 @@ pub mod names {
     pub const BACKEND_SSE2_SUPPORTED: &str = "backend.sse2_supported";
     /// Gauge: 1 if the host CPU supports the AVX2 backend, else 0.
     pub const BACKEND_AVX2_SUPPORTED: &str = "backend.avx2_supported";
+
+    /// Counter: tuning profiles loaded and applied at startup.
+    pub const TUNE_PROFILE_LOADED: &str = "tune.profile.loaded";
+    /// Counter: tuning-profile loads that fell back to defaults (missing,
+    /// corrupt, wrong schema, wrong machine, or invalid knobs).
+    pub const TUNE_PROFILE_FALLBACK: &str = "tune.profile.fallback";
+    /// Counter: configurations measured (or pruned) by the tuning search.
+    pub const TUNE_TRIALS: &str = "tune.trials";
+    /// Counter: search candidates pruned before full measurement.
+    pub const TUNE_TRIALS_PRUNED: &str = "tune.trials_pruned";
+    /// Histogram: per-trial measured score, milliseconds.
+    pub const TUNE_TRIAL_MS: &str = "tune.trial_ms";
 }
 
 struct Inner {

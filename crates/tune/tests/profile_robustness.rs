@@ -1,0 +1,220 @@
+//! Corruption robustness of the tuning-profile loader.
+//!
+//! The loader contract is **totality**: whatever bytes sit at the profile
+//! path — truncated documents, bit-flipped bytes, future schema versions,
+//! profiles tuned on another machine — `load_with_fallback` returns a
+//! schedule that validates (the defaults on any failure), reports the
+//! failure through the `tune.profile.fallback` counter and the process-wide
+//! [`fallback_count`], and never panics.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use chambolle_telemetry::{names, Telemetry};
+use chambolle_tune::{
+    fallback_count, load_with_fallback, BackendChoice, Fingerprint, Profile, ProfileError, Tunables,
+};
+use proptest::prelude::*;
+
+/// A distinct temp path per call, so proptest cases never race each other.
+fn tmp(name: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "chambolle_tune_robust_{}_{n}_{name}",
+        std::process::id()
+    ));
+    p
+}
+
+/// An arbitrary *valid* schedule drawn from the given raw knob values
+/// (`None` if the combination fails validation — callers `prop_assume`).
+#[allow(clippy::too_many_arguments)]
+fn tunables_from(
+    tile_width: usize,
+    tile_height: usize,
+    merge_factor: u32,
+    halo_margin: usize,
+    threads: usize,
+    band_rows_divisor: usize,
+    backend: u8,
+    batch_window: usize,
+    low_pct: u8,
+    high_pct: u8,
+) -> Option<Tunables> {
+    let backend = match backend % 4 {
+        0 => BackendChoice::Auto,
+        1 => BackendChoice::Scalar,
+        2 => BackendChoice::Sse2,
+        _ => BackendChoice::Avx2,
+    };
+    let t = Tunables {
+        tile_width,
+        tile_height,
+        merge_factor,
+        halo_margin,
+        threads,
+        band_rows_divisor,
+        backend,
+        batch_window,
+        high_watermark_pct: high_pct,
+        low_watermark_pct: low_pct,
+    };
+    t.validate().ok().map(|()| t)
+}
+
+/// Loads `text` from disk through the total loader and checks the
+/// invariant: the returned schedule always validates, and on any reported
+/// error it is exactly the default with both fallback tallies bumped.
+fn assert_total(text: &[u8], label: &str) -> Result<(), TestCaseError> {
+    let path = tmp(label);
+    std::fs::write(&path, text).expect("write corrupted profile");
+    let telemetry = Telemetry::null();
+    let before = fallback_count();
+    let (tunables, err) = load_with_fallback(path.to_str(), &telemetry);
+    std::fs::remove_file(&path).ok();
+
+    prop_assert!(
+        tunables.validate().is_ok(),
+        "loader returned an invalid schedule for {label}: {tunables:?}"
+    );
+    let snap = telemetry.snapshot();
+    if err.is_some() {
+        prop_assert_eq!(
+            tunables,
+            Tunables::default(),
+            "a fallback must hand back the defaults"
+        );
+        prop_assert_eq!(fallback_count(), before + 1);
+        prop_assert_eq!(snap.counter(names::TUNE_PROFILE_FALLBACK), Some(1));
+    } else {
+        prop_assert_eq!(snap.counter(names::TUNE_PROFILE_LOADED), Some(1));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Save → parse round-trips every valid schedule exactly.
+    #[test]
+    fn round_trip_preserves_arbitrary_valid_schedules(
+        geometry in (8usize..160, 8usize..160, 1u32..8, 0usize..4),
+        schedule in (1usize..17, 1usize..17, any::<u8>(), 1usize..33),
+        watermarks in (0u8..60, 40u8..101),
+    ) {
+        let (tw, th, k, margin) = geometry;
+        let (threads, divisor, backend, batch) = schedule;
+        let (low, high) = watermarks;
+        let candidate =
+            tunables_from(tw, th, k, margin, threads, divisor, backend, batch, low, high);
+        prop_assume!(candidate.is_some());
+        let profile = Profile::new(Fingerprint::detect(), candidate.unwrap());
+        let back = Profile::parse(&profile.to_json().to_string_pretty())
+            .expect("serialized profile must parse");
+        prop_assert_eq!(profile, back);
+    }
+
+    /// Truncating a valid profile anywhere before its closing brace falls
+    /// back to defaults without panicking.
+    #[test]
+    fn truncated_profiles_fall_back(cut_frac in 0.0f64..1.0) {
+        let text = Profile::new(Fingerprint::detect(), Tunables::default())
+            .to_json()
+            .to_string_pretty();
+        let close = text.rfind('}').expect("document has a closing brace");
+        let cut = (cut_frac * close as f64) as usize;
+        assert_total(&text.as_bytes()[..cut], "truncated")?;
+    }
+
+    /// A single flipped bit anywhere in the document never panics the
+    /// loader: it either still yields a valid schedule (the flip landed in
+    /// provenance-grade content) or falls back to defaults.
+    #[test]
+    fn bit_flipped_profiles_never_panic(byte_frac in 0.0f64..1.0, bit in 0u32..8) {
+        let mut bytes = Profile::new(Fingerprint::detect(), Tunables::default())
+            .to_json()
+            .to_string_pretty()
+            .into_bytes();
+        let idx = (byte_frac * (bytes.len() - 1) as f64) as usize;
+        bytes[idx] ^= 1 << bit;
+        assert_total(&bytes, "bitflip")?;
+    }
+
+    /// Arbitrary byte soup — not even JSON — falls back cleanly.
+    #[test]
+    fn random_bytes_fall_back(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // A random blob is not a valid profile unless it miraculously spells
+        // one out; the totality invariant covers both outcomes.
+        assert_total(&bytes, "soup")?;
+    }
+}
+
+#[test]
+fn version_bumped_schema_falls_back() {
+    let bumped = Profile::new(Fingerprint::detect(), Tunables::default())
+        .to_json()
+        .to_string_pretty()
+        .replace("tuning_profile.v1", "tuning_profile.v2");
+    let path = tmp("schema_bump");
+    std::fs::write(&path, bumped).unwrap();
+    let telemetry = Telemetry::null();
+    let (tunables, err) = load_with_fallback(path.to_str(), &telemetry);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(tunables, Tunables::default());
+    assert!(matches!(err, Some(ProfileError::Schema { found: Some(s) }) if s.ends_with("v2")));
+    assert_eq!(
+        telemetry.snapshot().counter(names::TUNE_PROFILE_FALLBACK),
+        Some(1)
+    );
+}
+
+#[test]
+fn wrong_fingerprint_falls_back() {
+    let mut other = Fingerprint::detect();
+    other.cores += 7;
+    let profile = Profile::new(
+        other,
+        Tunables {
+            tile_width: 64,
+            ..Tunables::default()
+        },
+    );
+    let path = tmp("wrong_host");
+    profile.save(&path).unwrap();
+    let telemetry = Telemetry::null();
+    let (tunables, err) = load_with_fallback(path.to_str(), &telemetry);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        tunables,
+        Tunables::default(),
+        "another machine's schedule must not apply"
+    );
+    assert!(matches!(err, Some(ProfileError::Fingerprint { .. })));
+    assert_eq!(
+        telemetry.snapshot().counter(names::TUNE_PROFILE_FALLBACK),
+        Some(1)
+    );
+}
+
+#[test]
+fn valid_knobs_that_fail_validation_fall_back() {
+    // Structurally perfect JSON, semantically impossible schedule: the halo
+    // swallows the whole tile.
+    let profile = Profile::new(Fingerprint::detect(), Tunables::default());
+    let text = profile
+        .to_json()
+        .to_string_pretty()
+        .replace("\"tile_width\": 92", "\"tile_width\": 4")
+        .replace("\"tile_height\": 88", "\"tile_height\": 4");
+    let path = tmp("invalid_knobs");
+    std::fs::write(&path, text).unwrap();
+    let (tunables, err) = load_with_fallback(path.to_str(), &Telemetry::disabled());
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(tunables, Tunables::default());
+    assert!(matches!(err, Some(ProfileError::Invalid(_))));
+}

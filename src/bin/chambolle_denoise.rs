@@ -11,6 +11,10 @@
 //!                    its windows on N workers (fpga/--gap-tol ignore it)
 //!   --gap-tol G      stop early once the duality gap < G (seq backend only)
 //!   --telemetry P    write a JSON run report (metrics + run summary) to P
+//!   --profile P      load a tuning profile (chambolle.tuning_profile.v1,
+//!                    written by the `tune` bin); takes precedence over the
+//!                    CHAMBOLLE_PROFILE environment variable. A missing or
+//!                    invalid profile falls back to defaults with a warning.
 //! ```
 
 use std::process::ExitCode;
@@ -38,6 +42,7 @@ struct Options {
     threads: Option<usize>,
     gap_tol: Option<f64>,
     telemetry: Option<String>,
+    profile: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -51,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads: None,
         gap_tol: None,
         telemetry: None,
+        profile: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -88,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 )
             }
             "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
+            "--profile" => opts.profile = Some(value("--profile")?),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => positional.push(other.to_string()),
@@ -104,6 +111,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Applies `--profile` (taking precedence over `CHAMBOLLE_PROFILE`): loads
+/// the profile with total fallback to defaults and installs the result as
+/// the process-wide active schedule. Never fails; a bad profile warns.
+fn apply_profile(path: &str, telemetry: &Telemetry) {
+    let (tunables, err) = chambolle::tune::load_with_fallback(Some(path), telemetry);
+    if let Some(err) = err {
+        eprintln!("warning: tuning profile {path:?} ignored: {err}");
+    }
+    let _ = chambolle::tune::install(tunables);
+}
+
 fn run(opts: &Options) -> chambolle::Result<()> {
     let v = read_pgm(&opts.input)?;
     let params = ChambolleParams::new(opts.theta, opts.theta / 4.0, opts.iterations)?;
@@ -112,6 +130,9 @@ fn run(opts: &Options) -> chambolle::Result<()> {
     } else {
         Telemetry::disabled()
     };
+    if let Some(path) = &opts.profile {
+        apply_profile(path, &telemetry);
+    }
 
     let u = if let Some(tol) = opts.gap_tol {
         let ctx = ExecCtx::default().with_telemetry(telemetry.clone());
@@ -187,8 +208,9 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--threads N] [--gap-tol G] [--telemetry REPORT.json]");
+            eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--threads N] [--gap-tol G] [--telemetry REPORT.json] [--profile PROFILE.json]");
             eprintln!("  --threads N sizes the shared worker pool explicitly: seq upgrades to the bit-identical row-parallel solver, tiled runs its windows on N workers (fpga and --gap-tol ignore it)");
+            eprintln!("  --profile P loads a chambolle.tuning_profile.v1 written by the tune bin (takes precedence over CHAMBOLLE_PROFILE; invalid profiles fall back to defaults with a warning)");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -244,6 +266,11 @@ mod tests {
         assert_eq!(o.threads, Some(4));
         assert_eq!(o.gap_tol, Some(0.1));
         assert_eq!(o.telemetry.as_deref(), Some("report.json"));
+        assert_eq!(o.profile, None);
+
+        let o = parse_args(&args(&["in.pgm", "out.pgm", "--profile", "p.json"])).unwrap();
+        assert_eq!(o.profile.as_deref(), Some("p.json"));
+        assert!(parse_args(&args(&["in.pgm", "out.pgm", "--profile"])).is_err());
     }
 
     #[test]

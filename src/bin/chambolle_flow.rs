@@ -16,6 +16,10 @@
 //!   --method M          tvl1 | hs | bm (estimator)           [tvl1]
 //!   --median            3x3 median filter between warps
 //!   --telemetry P       write a JSON run report (metrics + run summary) to P
+//!   --profile P         load a tuning profile (chambolle.tuning_profile.v1,
+//!                       written by the `tune` bin); takes precedence over
+//!                       CHAMBOLLE_PROFILE. A missing or invalid profile
+//!                       falls back to defaults with a warning.
 //! ```
 
 use std::process::ExitCode;
@@ -49,6 +53,7 @@ struct Options {
     method: Method,
     median: bool,
     telemetry: Option<String>,
+    profile: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +86,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         method: Method::TvL1,
         median: false,
         telemetry: None,
+        profile: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -139,6 +145,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--median" => opts.median = true,
             "--telemetry" => opts.telemetry = Some(value("--telemetry")?),
+            "--profile" => opts.profile = Some(value("--profile")?),
             "--help" | "-h" => return Err("help".into()),
             other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
             other => positional.push(other.to_string()),
@@ -217,6 +224,17 @@ fn estimate(
     }
 }
 
+/// Applies `--profile` (taking precedence over `CHAMBOLLE_PROFILE`): loads
+/// the profile with total fallback to defaults and installs the result as
+/// the process-wide active schedule. Never fails; a bad profile warns.
+fn apply_profile(path: &str, telemetry: &Telemetry) {
+    let (tunables, err) = chambolle::tune::load_with_fallback(Some(path), telemetry);
+    if let Some(err) = err {
+        eprintln!("warning: tuning profile {path:?} ignored: {err}");
+    }
+    let _ = chambolle::tune::install(tunables);
+}
+
 fn run(opts: &Options) -> chambolle::Result<()> {
     let i0 = read_pgm(&opts.input0)?;
     let i1 = read_pgm(&opts.input1)?;
@@ -225,6 +243,9 @@ fn run(opts: &Options) -> chambolle::Result<()> {
     } else {
         Telemetry::disabled()
     };
+    if let Some(path) = &opts.profile {
+        apply_profile(path, &telemetry);
+    }
     let flow = estimate(opts, &i0, &i1, &telemetry)?;
 
     let (mu, mv) = flow.mean();
@@ -274,8 +295,9 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--threads N] [--method tvl1|hs|bm] [--median] [--telemetry REPORT.json]");
+            eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--threads N] [--method tvl1|hs|bm] [--median] [--telemetry REPORT.json] [--profile PROFILE.json]");
             eprintln!("  --threads N sizes the shared worker pool explicitly; the TV-L1 outer loop and the seq/tiled inner solvers run on it, bit-identical to the 1-thread result (hs/bm and fpga ignore it)");
+            eprintln!("  --profile P loads a chambolle.tuning_profile.v1 written by the tune bin (takes precedence over CHAMBOLLE_PROFILE; invalid profiles fall back to defaults with a warning)");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {
@@ -347,6 +369,11 @@ mod tests {
         assert!(o.median);
         assert_eq!(o.method, Method::TvL1);
         assert_eq!(o.telemetry.as_deref(), Some("flow.json"));
+        assert_eq!(o.profile, None);
+
+        let o = parse_args(&args(&["a.pgm", "b.pgm", "--profile", "p.json"])).unwrap();
+        assert_eq!(o.profile.as_deref(), Some("p.json"));
+        assert!(parse_args(&args(&["a.pgm", "b.pgm", "--profile"])).is_err());
     }
 
     #[test]

@@ -19,7 +19,14 @@
 //! - [`service`] — the long-running request service: bounded admission
 //!   queue, micro-batching of compatible requests, per-request deadlines
 //!   with cooperative cancellation, priority lanes, graceful drain-based
-//!   shutdown, and a framed localhost TCP front-end.
+//!   shutdown, and a framed localhost TCP front-end;
+//! - [`tune`] — the auto-tuning subsystem: the [`tune::Tunables`] knob
+//!   registry behind every schedule constant in the stack, the
+//!   coordinate-descent search engine of the `tune` binary, and the
+//!   fingerprinted per-machine `chambolle.tuning_profile.v1` store loaded
+//!   at startup (`CHAMBOLLE_PROFILE`) with non-panicking fallback. Every
+//!   tunable schedule is bit-identical to the defaults — tuning changes
+//!   time, never pixels.
 //!
 //! On top of the re-exports, the facade adds the [`enum@Error`] umbrella —
 //! one enum with a `From` impl per crate-local error type, so application
@@ -61,3 +68,4 @@ pub use chambolle_imaging as imaging;
 pub use chambolle_par as par;
 pub use chambolle_service as service;
 pub use chambolle_telemetry as telemetry;
+pub use chambolle_tune as tune;

@@ -136,6 +136,117 @@ fn flow_cli_reports_missing_files() {
     assert_eq!(status.code(), Some(1));
 }
 
+/// `--profile` (and the `CHAMBOLLE_PROFILE` env var) steer the schedule but
+/// never the pixels: a valid profile with different tile geometry produces a
+/// byte-identical output, and a corrupt profile falls back with a warning
+/// instead of failing the run.
+#[test]
+fn denoise_cli_profiles_are_bit_exact_and_fall_back() {
+    use chambolle::tune::{Fingerprint, Profile, Tunables};
+
+    let scene = NoiseTexture::new(80);
+    let pair = render_pair(&scene, 48, 40, Motion::Translation { du: 0.0, dv: 0.0 });
+    let input = tmp("prof_in.pgm");
+    write_pgm(&input, &pair.i0).expect("write input");
+
+    let run = |out: &PathBuf, extra: &[&str], env: &[(&str, &str)]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_chambolle_denoise"));
+        cmd.args([input.to_str().unwrap(), out.to_str().unwrap()])
+            .args(["--iterations", "25"])
+            .args(extra);
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let output = cmd.output().expect("spawn chambolle_denoise");
+        assert!(output.status.success(), "denoise run failed: {output:?}");
+        String::from_utf8_lossy(&output.stderr).into_owned()
+    };
+
+    let default_out = tmp("prof_default.pgm");
+    run(&default_out, &[], &[]);
+    let reference = std::fs::read(&default_out).expect("read default output");
+
+    // A valid profile with a different schedule: same pixels, byte for byte.
+    let profile_path = tmp("prof_valid.json");
+    let tunables = Tunables {
+        tile_width: 64,
+        tile_height: 60,
+        merge_factor: 3,
+        threads: 3,
+        ..Tunables::default()
+    };
+    Profile::new(Fingerprint::detect(), tunables)
+        .save(&profile_path)
+        .expect("save profile");
+    let flag_out = tmp("prof_flag.pgm");
+    run(
+        &flag_out,
+        &["--profile", profile_path.to_str().unwrap()],
+        &[],
+    );
+    assert_eq!(
+        std::fs::read(&flag_out).expect("read profiled output"),
+        reference,
+        "--profile must not change pixels"
+    );
+
+    let env_out = tmp("prof_env.pgm");
+    run(
+        &env_out,
+        &[],
+        &[("CHAMBOLLE_PROFILE", profile_path.to_str().unwrap())],
+    );
+    assert_eq!(
+        std::fs::read(&env_out).expect("read env-profiled output"),
+        reference,
+        "CHAMBOLLE_PROFILE must not change pixels"
+    );
+
+    // A corrupt profile warns and falls back; the run still succeeds.
+    let bad_path = tmp("prof_bad.json");
+    std::fs::write(&bad_path, "{ not json").expect("write bad profile");
+    let bad_out = tmp("prof_bad.pgm");
+    let stderr = run(&bad_out, &["--profile", bad_path.to_str().unwrap()], &[]);
+    assert!(
+        stderr.contains("tuning profile"),
+        "fallback must warn on stderr, got: {stderr}"
+    );
+    assert_eq!(
+        std::fs::read(&bad_out).expect("read fallback output"),
+        reference,
+        "fallback must reproduce the default output"
+    );
+
+    for f in [
+        input,
+        default_out,
+        profile_path,
+        flag_out,
+        env_out,
+        bad_path,
+        bad_out,
+    ] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+/// Both bins reject a bare `--profile` with usage exit code 2, and the flow
+/// bin accepts the flag.
+#[test]
+fn profile_flag_usage_errors() {
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_denoise"))
+        .args(["a.pgm", "b.pgm", "--profile"])
+        .status()
+        .expect("spawn chambolle_denoise");
+    assert_eq!(status.code(), Some(2));
+
+    let status = Command::new(env!("CARGO_BIN_EXE_chambolle_flow"))
+        .args(["a.pgm", "b.pgm", "--profile"])
+        .status()
+        .expect("spawn chambolle_flow");
+    assert_eq!(status.code(), Some(2));
+}
+
 #[test]
 fn denoise_cli_roundtrip() {
     let scene = NoiseTexture::new(78);

@@ -1,0 +1,132 @@
+//! The exactness contract of the auto-tuning subsystem: a tuning profile
+//! reshapes the schedule (tile geometry, merge depth, halo redundancy,
+//! pool width, kernel backend) but never the pixels. Every schedule below
+//! must reproduce the sequential solver's output bit for bit.
+
+use std::sync::Arc;
+
+use chambolle::core::{
+    ChambolleParams, ExecCtx, SequentialSolver, TileConfig, TiledSolver, TvDenoiser,
+};
+use chambolle::imaging::{render_pair, Image, Motion, NoiseTexture};
+use chambolle::par::ThreadPool;
+use chambolle::telemetry::Telemetry;
+use chambolle::tune::{BackendChoice, Tunables};
+
+fn test_frame() -> Image {
+    let scene = NoiseTexture::new(91);
+    render_pair(&scene, 67, 53, Motion::Translation { du: 0.0, dv: 0.0 }).i0
+}
+
+/// Three-plus distinct schedules, spanning every knob the solver reads.
+fn profiles() -> Vec<(&'static str, Tunables)> {
+    vec![
+        ("defaults", Tunables::default()),
+        (
+            "small_tiles_deep_merge",
+            Tunables {
+                tile_width: 32,
+                tile_height: 28,
+                merge_factor: 4,
+                threads: 3,
+                backend: BackendChoice::Scalar,
+                ..Tunables::default()
+            },
+        ),
+        (
+            "redundant_halo",
+            Tunables {
+                tile_width: 48,
+                tile_height: 40,
+                merge_factor: 1,
+                halo_margin: 3,
+                threads: 1,
+                ..Tunables::default()
+            },
+        ),
+        (
+            "wide_tiles_many_threads",
+            Tunables {
+                tile_width: 120,
+                tile_height: 96,
+                merge_factor: 2,
+                halo_margin: 1,
+                threads: 4,
+                band_rows_divisor: 2,
+                ..Tunables::default()
+            },
+        ),
+    ]
+}
+
+/// Every profile's tiled schedule reproduces the sequential solver's
+/// pixels exactly — the contract that makes auto-tuning safe to apply
+/// blindly at startup.
+#[test]
+fn every_profile_is_bit_identical_to_sequential() {
+    let v = test_frame();
+    let params = ChambolleParams::with_iterations(13);
+    let reference = SequentialSolver::new().denoise(&v, &params);
+
+    for (name, tunables) in profiles() {
+        tunables
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let config = TileConfig::from_tunables(&tunables)
+            .unwrap_or_else(|e| panic!("{name}: unconstructible schedule: {e}"));
+        let pool = Arc::new(ThreadPool::new(tunables.threads));
+        let u = TiledSolver::new(config)
+            .with_pool(pool)
+            .denoise(&v, &params);
+        assert_eq!(
+            u.as_slice(),
+            reference.as_slice(),
+            "profile {name} changed pixels"
+        );
+    }
+}
+
+/// `ExecCtx::from_tunables` threads the same schedule through the context
+/// path: contexts built from different profiles are interchangeable
+/// pixel-wise.
+#[test]
+fn contexts_from_different_profiles_are_interchangeable() {
+    use chambolle::core::chambolle_denoise_monitored_with_ctx;
+
+    let v = test_frame();
+    let params = ChambolleParams::with_iterations(9);
+
+    let mut outputs = Vec::new();
+    for (name, tunables) in profiles() {
+        let ctx = ExecCtx::from_tunables(tunables);
+        assert_eq!(ctx.tunables(), &tunables, "{name}: knobs must round-trip");
+        let report = chambolle_denoise_monitored_with_ctx(&v, &params, 3, 0.0, &ctx)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        outputs.push((name, report.u));
+    }
+    let (first_name, first) = &outputs[0];
+    for (name, u) in &outputs[1..] {
+        assert_eq!(
+            u.as_slice(),
+            first.as_slice(),
+            "ctx from {name} diverged from {first_name}"
+        );
+    }
+}
+
+/// `ExecCtx::auto` resolves the process-wide active schedule — in a test
+/// run with no profile on disk that is the defaults — and always yields a
+/// valid, constructible configuration (the total-fallback guarantee).
+#[test]
+fn auto_context_always_yields_a_valid_schedule() {
+    let ctx = ExecCtx::auto(Telemetry::null());
+    ctx.tunables()
+        .validate()
+        .expect("auto context must carry a valid schedule");
+    assert_eq!(ctx.tunables(), &chambolle::tune::active());
+    // The derived tile config is constructible whatever was loaded.
+    let config = ctx.tile_config();
+    config
+        .with_halo_margin(config.halo_margin)
+        .expect("auto tile config must validate");
+}
