@@ -32,27 +32,46 @@
 //! contenders and best-of-reps, so machine noise (steal time, frequency
 //! drift) hits every contender alike instead of biasing one window.
 //!
+//! A second phase benches the **numerics tiers** end to end on the same
+//! 512×512 frame — full solver iterations through
+//! [`chambolle_core::chambolle_iterate_with_ctx`] at the Exact and Fast
+//! tiers per supported backend, plus the Q24.8 fixed-point planar solver
+//! ([`chambolle_fixed::fixed_denoise`], the paper's 13/9/9-bit datapath) —
+//! and emits a second schema-stable report, `BENCH_pr10.json`. In full
+//! mode the Fast tier's best contender must clear **2×** the best-iter
+//! time of the Exact AVX2 path (the PR-10 acceptance gate).
+//!
 //! ```text
-//! kernels [--smoke] [--out PATH]
-//!   --smoke   few iterations; exercises the harness, skips the speedup gates
-//!   --out P   report path                                [BENCH_pr5.json]
+//! kernels [--smoke] [--out PATH] [--numerics-out PATH]
+//!   --smoke          few iterations; exercises the harness, skips the gates
+//!   --out P          row-kernel report path              [BENCH_pr5.json]
+//!   --numerics-out P numerics-tier report path           [BENCH_pr10.json]
 //! ```
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use chambolle_core::kernels::BandHalo;
-use chambolle_core::{ChambolleParams, KernelBackend};
+use chambolle_core::{
+    chambolle_iterate_with_ctx, ChambolleParams, DualField, ExecCtx, KernelBackend, NumericsPolicy,
+};
+use chambolle_fixed::{fixed_denoise, FixedFrame, FixedSolverParams, SqrtUnit};
+use chambolle_imaging::Grid;
 use chambolle_telemetry::json::JsonValue;
 
 /// Schema identifier shared by every bench report in the workspace.
 const SCHEMA: &str = "chambolle.bench.v1";
 /// This bench's identifier inside the shared schema.
 const BENCH: &str = "pr5";
+/// The numerics-tier phase's identifier inside the shared schema.
+const BENCH_NUMERICS: &str = "pr10";
 /// Frame edge: the acceptance criterion is stated at 512×512.
 const SIZE: usize = 512;
 /// The speedup AVX2 must clear over the serial baseline in full mode.
 const REQUIRED_AVX2_SPEEDUP: f64 = 1.5;
+/// The best-iter speedup the Fast tier must clear over Exact AVX2 in full
+/// mode (the PR-10 acceptance gate).
+const REQUIRED_FAST_SPEEDUP: f64 = 2.0;
 
 /// One timed implementation of the fused iteration.
 #[derive(Clone, Copy, PartialEq)]
@@ -284,6 +303,7 @@ fn run_once(
 fn main() {
     let mut smoke = false;
     let mut out_path = String::from("BENCH_pr5.json");
+    let mut numerics_out_path = String::from("BENCH_pr10.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -295,9 +315,16 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--numerics-out" => match args.next() {
+                Some(p) => numerics_out_path = p,
+                None => {
+                    eprintln!("--numerics-out needs a value");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown option {other:?}");
-                eprintln!("usage: kernels [--smoke] [--out PATH]");
+                eprintln!("usage: kernels [--smoke] [--out PATH] [--numerics-out PATH]");
                 std::process::exit(2);
             }
         }
@@ -469,6 +496,249 @@ fn main() {
     });
     eprintln!("wrote {out_path}");
     println!("{text}");
+
+    run_numerics_bench(smoke, &numerics_out_path);
+}
+
+/// One timed implementation of the full-frame solve in the numerics phase.
+#[derive(Clone, Copy)]
+enum NumericsContender {
+    /// `chambolle_iterate_with_ctx` with the tier and backend pinned on the
+    /// context — the exact dispatch every production solve goes through.
+    Tier(NumericsPolicy, KernelBackend),
+    /// The Q24.8 planar fixed-point solver with the paper's LUT sqrt unit.
+    Fixedpoint,
+}
+
+impl NumericsContender {
+    fn name(&self) -> String {
+        match self {
+            NumericsContender::Tier(tier, backend) => {
+                let t = match tier {
+                    NumericsPolicy::Exact => "exact",
+                    NumericsPolicy::Fast => "fast",
+                };
+                format!("{t}_{}", backend.as_str())
+            }
+            NumericsContender::Fixedpoint => "fixedpoint".into(),
+        }
+    }
+}
+
+/// Runs `iters` full-frame solver iterations once for one numerics-phase
+/// contender, returning the per-iteration wall time in milliseconds.
+/// Single-threaded by construction: no pool is attached anywhere.
+fn run_numerics_once(
+    contender: NumericsContender,
+    v: &Grid<f32>,
+    params: &ChambolleParams,
+    iters: u32,
+) -> f64 {
+    match contender {
+        NumericsContender::Tier(tier, backend) => {
+            let ctx = ExecCtx::default().with_numerics(tier).with_backend(backend);
+            let mut p = DualField::zeros(v.width(), v.height());
+            let start = Instant::now();
+            chambolle_iterate_with_ctx(&mut p, v, params, iters, &ctx)
+                .expect("an inert context carries no cancellation token");
+            black_box(&p);
+            start.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+        }
+        NumericsContender::Fixedpoint => {
+            let mut frame = FixedFrame::quantize(v.as_slice(), v.width(), v.height());
+            let fixed_params = FixedSolverParams::standard();
+            let sqrt = SqrtUnit::lut();
+            let start = Instant::now();
+            let u = fixed_denoise(&mut frame, &fixed_params, iters, &sqrt);
+            black_box(&u);
+            start.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+        }
+    }
+}
+
+/// The numerics-tier phase: Exact vs Fast per supported backend plus the
+/// fixed-point solver, on a 512×512 denoise, emitting `BENCH_pr10.json`.
+fn run_numerics_bench(smoke: bool, out_path: &str) {
+    let (iters, reps) = if smoke { (4u32, 2) } else { (20u32, 7) };
+    let (w, h) = (SIZE, SIZE);
+    let v = Grid::from_vec(w, h, frame(w, h)).expect("frame dims match");
+    let params =
+        ChambolleParams::new(0.25, 0.248 * 0.25, iters).expect("paper parameters are valid");
+
+    let backends: Vec<KernelBackend> = [
+        KernelBackend::Scalar,
+        KernelBackend::Sse2,
+        KernelBackend::Avx2,
+        KernelBackend::Avx512,
+    ]
+    .into_iter()
+    .filter(|b| b.is_supported())
+    .collect();
+    let mut contenders: Vec<NumericsContender> = Vec::new();
+    for tier in [NumericsPolicy::Exact, NumericsPolicy::Fast] {
+        for &b in &backends {
+            contenders.push(NumericsContender::Tier(tier, b));
+        }
+    }
+    contenders.push(NumericsContender::Fixedpoint);
+
+    eprintln!(
+        "numerics-tier bench: {w}x{h}, {iters} solver iterations x {reps} interleaved reps, \
+         single thread"
+    );
+    let mut best = vec![f64::INFINITY; contenders.len()];
+    let mut total = vec![0.0f64; contenders.len()];
+    for _ in 0..reps {
+        for (i, &c) in contenders.iter().enumerate() {
+            let iter_ms = run_numerics_once(c, &v, &params, iters);
+            best[i] = best[i].min(iter_ms);
+            total[i] += iter_ms;
+        }
+    }
+    let entries: Vec<JsonValue> = contenders
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let name = c.name();
+            eprintln!(
+                "  {:>12}: best {:.3} ms/iter, mean {:.3} ms/iter, {:.1} Mpx/s",
+                name,
+                best[i],
+                total[i] / reps as f64,
+                (w * h) as f64 / (best[i] * 1e3)
+            );
+            JsonValue::Object(vec![
+                ("name".into(), name.as_str().into()),
+                ("best_iter_ms".into(), best[i].into()),
+                ("mean_iter_ms".into(), (total[i] / reps as f64).into()),
+                (
+                    "mpixels_per_s".into(),
+                    ((w * h) as f64 / (best[i] * 1e3)).into(),
+                ),
+            ])
+        })
+        .collect();
+
+    let time_of = |name: &str| -> Option<f64> {
+        contenders
+            .iter()
+            .position(|c| c.name() == name)
+            .map(|i| best[i])
+    };
+    let exact_avx2 = time_of("exact_avx2");
+    let fast_best = contenders
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| matches!(c, NumericsContender::Tier(NumericsPolicy::Fast, _)))
+        .map(|(i, c)| (c.name(), best[i]))
+        .min_by(|a, b| a.1.total_cmp(&b.1));
+    let fixedpoint_ms = time_of("fixedpoint").expect("fixedpoint contender always runs");
+
+    let mut comparison = vec![(
+        "fixedpoint_best_iter_ms".into(),
+        JsonValue::from(fixedpoint_ms),
+    )];
+    if let (Some(exact_ms), Some((fast_name, fast_ms))) = (exact_avx2, fast_best.clone()) {
+        let speedup = exact_ms / fast_ms;
+        eprintln!(
+            "  fast tier ({fast_name}) speedup over exact_avx2: {speedup:.2}x \
+             (gate: {REQUIRED_FAST_SPEEDUP}x in full mode)"
+        );
+        comparison.push(("exact_avx2_best_iter_ms".into(), exact_ms.into()));
+        comparison.push(("fast_best_iter_ms".into(), fast_ms.into()));
+        comparison.push(("fast_best_contender".into(), fast_name.as_str().into()));
+        comparison.push(("fast_speedup_vs_exact_avx2".into(), speedup.into()));
+        if !smoke {
+            assert!(
+                speedup >= REQUIRED_FAST_SPEEDUP,
+                "the Fast tier must be at least {REQUIRED_FAST_SPEEDUP}x the Exact AVX2 \
+                 best-iter time on a {SIZE}x{SIZE} denoise (measured {speedup:.2}x)"
+            );
+        }
+    } else {
+        eprintln!("  (no AVX2 on this host: the fast-vs-exact gate is skipped)");
+    }
+
+    let report = JsonValue::Object(vec![
+        ("schema".into(), SCHEMA.into()),
+        ("bench".into(), BENCH_NUMERICS.into()),
+        ("mode".into(), mode(smoke).into()),
+        ("width".into(), (w as u64).into()),
+        ("height".into(), (h as u64).into()),
+        ("iterations".into(), u64::from(iters).into()),
+        ("reps".into(), (reps as u64).into()),
+        ("threads".into(), 1u64.into()),
+        ("contenders".into(), JsonValue::Array(entries)),
+        ("comparison".into(), JsonValue::Object(comparison)),
+    ]);
+    let text = report.to_string_pretty();
+    validate_numerics(&text, exact_avx2.is_some()).unwrap_or_else(|e| {
+        eprintln!("emitted numerics report failed schema validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(out_path, format!("{text}\n")).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out_path}");
+    println!("{text}");
+}
+
+/// Checks the numerics-tier document against its stable shape: identifiers,
+/// one entry per contender with every timing field, a fixed-point entry,
+/// and — on AVX2 hosts — the Exact-vs-Fast comparison the acceptance gate
+/// reads.
+fn validate_numerics(text: &str, expect_avx2: bool) -> Result<(), String> {
+    let doc = JsonValue::parse(text).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(JsonValue::as_str) != Some(SCHEMA) {
+        return Err(format!("schema must be {SCHEMA:?}"));
+    }
+    if doc.get("bench").and_then(JsonValue::as_str) != Some(BENCH_NUMERICS) {
+        return Err(format!("bench must be {BENCH_NUMERICS:?}"));
+    }
+    match doc.get("mode").and_then(JsonValue::as_str) {
+        Some("full") | Some("smoke") => {}
+        other => return Err(format!("mode must be full|smoke, got {other:?}")),
+    }
+    let contenders = doc
+        .get("contenders")
+        .and_then(JsonValue::as_array)
+        .ok_or("contenders must be an array")?;
+    let mut names = Vec::new();
+    for entry in contenders {
+        let name = entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("contender entry missing \"name\"")?;
+        names.push(name.to_string());
+        for field in ["best_iter_ms", "mean_iter_ms", "mpixels_per_s"] {
+            if entry.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("contender {name:?} missing numeric {field:?}"));
+            }
+        }
+    }
+    for required in ["exact_scalar", "fast_scalar", "fixedpoint"] {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("contender {required:?} must always be present"));
+        }
+    }
+    let comparison = doc.get("comparison").ok_or("comparison block missing")?;
+    if comparison.get("fixedpoint_best_iter_ms").is_none() {
+        return Err("comparison missing \"fixedpoint_best_iter_ms\"".into());
+    }
+    if expect_avx2 {
+        for field in [
+            "exact_avx2_best_iter_ms",
+            "fast_best_iter_ms",
+            "fast_best_contender",
+            "fast_speedup_vs_exact_avx2",
+        ] {
+            if comparison.get(field).is_none() {
+                return Err(format!("comparison missing {field:?} on an AVX2 host"));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn mode(smoke: bool) -> &'static str {

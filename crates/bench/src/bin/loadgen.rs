@@ -242,7 +242,7 @@ fn main() {
              [--scrape-interval-ms <ms>] [--out <path>] [--profile <path>]"
         );
         eprintln!(
-            "  --profile <path> loads a chambolle.tuning_profile.v1 (written by the tune \
+            "  --profile <path> loads a chambolle.tuning_profile.v2 (written by the tune \
              bin) before the phases run; takes precedence over CHAMBOLLE_PROFILE, and an \
              invalid profile falls back to defaults with a warning"
         );

@@ -21,8 +21,9 @@ use std::time::Instant;
 
 use chambolle_bench::workloads::timing_frame;
 use chambolle_core::{
-    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_with_pool, ChambolleParams,
-    DualField, ParallelSolver, SequentialSolver, TileConfig, TvDenoiser, TvL1Params, TvL1Solver,
+    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_with_ctx, ChambolleParams,
+    DualField, ExecCtx, NumericsPolicy, ParallelSolver, SequentialSolver, TileConfig, TvDenoiser,
+    TvL1Params, TvL1Solver,
 };
 use chambolle_imaging::Image;
 use chambolle_par::ThreadPool;
@@ -124,19 +125,17 @@ fn main() {
         baseline_ms,
     );
 
-    let pool = ThreadPool::new(threads);
+    // Pin the Exact tier: this comparison asserts bit-identity against the
+    // spawn baseline, which never honors the fast tier.
+    let ctx = ExecCtx::default()
+        .with_pool(Arc::new(ThreadPool::new(threads)))
+        .with_telemetry(Telemetry::disabled())
+        .with_numerics(NumericsPolicy::Exact);
     let mut p_pool = DualField::<f32>::zeros(size, size);
     let pooled_ms = time_ms(reps, || {
         p_pool = DualField::zeros(size, size);
-        chambolle_iterate_tiled_with_pool(
-            &mut p_pool,
-            &v,
-            &params,
-            iters,
-            &config,
-            &pool,
-            &Telemetry::disabled(),
-        );
+        chambolle_iterate_tiled_with_ctx(&mut p_pool, &v, &params, iters, &config, &ctx)
+            .expect("no cancellation token installed");
     });
     push("tiled.pooled", size, size, iters, threads, pooled_ms);
     let bit_identical = p_base.px.as_slice() == p_pool.px.as_slice()

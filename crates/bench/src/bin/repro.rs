@@ -24,8 +24,9 @@ use chambolle_bench::tables::{fps_cell, TextTable};
 use chambolle_bench::workloads::{measure_host_chambolle, timing_frame};
 use chambolle_core::dependency::{best_group_shape, cone_stats};
 use chambolle_core::{
-    chambolle_denoise, chambolle_denoise_monitored, chambolle_denoise_monitored_with_telemetry,
-    ChambolleParams, TileConfig, TilePlan, TiledSolver, TvDenoiser, TvL1Params, TvL1Solver,
+    chambolle_denoise, chambolle_denoise_monitored, chambolle_denoise_monitored_with_ctx,
+    ChambolleParams, ExecCtx, TileConfig, TilePlan, TiledSolver, TvDenoiser, TvL1Params,
+    TvL1Solver,
 };
 use chambolle_fixed::{sqrt_accuracy, SqrtLut};
 use chambolle_hwsim::{
@@ -107,13 +108,14 @@ fn json_full_report() -> RunReport {
     // Solver: monitored convergence on the standard timing frame.
     let v = timing_frame(128, 128).map(|&x| f64::from(x));
     let solver_iters = 200u32;
-    let solve = chambolle_denoise_monitored_with_telemetry(
+    let solve = chambolle_denoise_monitored_with_ctx(
         &v,
         &ChambolleParams::with_iterations(solver_iters),
         50,
         0.0,
-        &telemetry,
-    );
+        &ExecCtx::default().with_telemetry(telemetry.clone()),
+    )
+    .expect("no cancellation token installed");
     let trajectory = JsonValue::Array(
         solve
             .history

@@ -1,6 +1,6 @@
 //! Auto-tuner for the Chambolle stack: searches the knob space on this
 //! machine, persists the winning schedule as a fingerprinted
-//! `chambolle.tuning_profile.v1`, and writes a schema-stable
+//! `chambolle.tuning_profile.v2`, and writes a schema-stable
 //! `BENCH_pr9.json` run report.
 //!
 //! ```text
@@ -22,8 +22,12 @@
 //! The winners merge into one profile. Before anything is reported the
 //! profile is written, re-loaded through the fingerprint-checking loader,
 //! and the winning schedule is proven **bit-identical** to the defaults on
-//! a test frame — tuning changes the schedule, never the pixels. A failed
-//! reload or a pixel mismatch aborts the run.
+//! a test frame *at the Exact numerics tier* — tuning changes the schedule,
+//! never the pixels. A winner that selects the Fast tier must additionally
+//! stay inside the Fast-tier tolerance envelope against its own Exact
+//! solve, and is persisted with `numerics: "auto"` unless
+//! `--allow-fast-profile` opts the profile into the tier explicitly. A
+//! failed reload, pixel mismatch, or tolerance breach aborts the run.
 
 use std::env;
 use std::sync::Arc;
@@ -32,24 +36,30 @@ use std::time::Instant;
 use chambolle_bench::loadreport::SCHEMA;
 use chambolle_bench::tunereport::{parse_args, validate_tuning, Args, BENCH_TUNING};
 use chambolle_bench::workloads::timing_frame;
-use chambolle_core::{ChambolleParams, TileConfig, TiledSolver, TvDenoiser};
+use chambolle_core::{
+    rof_energy, ChambolleParams, ExecCtx, NumericsPolicy, TileConfig, TiledSolver, TvDenoiser,
+};
 use chambolle_imaging::Image;
 use chambolle_par::ThreadPool;
 use chambolle_service::{Priority, Request, Service, ServiceConfig, Workload};
 use chambolle_telemetry::json::JsonValue;
 use chambolle_telemetry::{names, Telemetry};
 use chambolle_tune::{
-    coordinate_descent, Fingerprint, Profile, SearchOptions, SearchOutcome, SearchSpace, Tunables,
+    coordinate_descent, Fingerprint, NumericsChoice, Profile, SearchOptions, SearchOutcome,
+    SearchSpace, Tunables,
 };
 
 fn main() {
     let raw: Vec<String> = env::args().skip(1).collect();
     let args = parse_args(&raw).unwrap_or_else(|e| {
         eprintln!("tune: {e}");
-        eprintln!("usage: tune [--smoke] [--out <path>] [--profile-out <path>]");
-        eprintln!("  --smoke       coarse CI grid (seconds, not minutes)");
-        eprintln!("  --out         report path            [BENCH_pr9.json]");
-        eprintln!("  --profile-out profile path           [chambolle.profile.json]");
+        eprintln!(
+            "usage: tune [--smoke] [--out <path>] [--profile-out <path>] [--allow-fast-profile]"
+        );
+        eprintln!("  --smoke              coarse CI grid (seconds, not minutes)");
+        eprintln!("  --out                report path     [BENCH_pr9.json]");
+        eprintln!("  --profile-out        profile path    [chambolle.profile.json]");
+        eprintln!("  --allow-fast-profile persist a Fast-tier winner as-is");
         std::process::exit(2);
     });
 
@@ -80,26 +90,52 @@ fn main() {
         .unwrap_or_else(|e| abort(&format!("merged winner fails validation: {e}")));
 
     // The exactness contract, checked on the actual winner before it is
-    // allowed anywhere near a profile file: identical pixels to defaults.
+    // allowed anywhere near a profile file: identical pixels to defaults at
+    // the Exact tier (the only tier that promises bit equality).
     let bit_identical = prove_bit_identity(&best);
     if !bit_identical {
         abort("winning schedule changed pixels — exactness contract violated");
     }
+    // A Fast-tier winner carries a second obligation: its own Fast solve
+    // must sit inside the tolerance envelope of its Exact solve.
+    let fast_within_tolerance = prove_fast_tolerance(&best);
+    if !fast_within_tolerance {
+        abort("Fast-tier winner breached the numerics tolerance envelope");
+    }
 
     // Persist, then prove the profile loads back through the strict
-    // fingerprint-checking path a production startup would take.
+    // fingerprint-checking path a production startup would take. A Fast
+    // winner is demoted to `auto` unless explicitly allowed: a profile on
+    // disk must not silently flip every consumer off the bit-exact tier.
+    let persisted = if best.numerics == NumericsChoice::Fast && !args.allow_fast_profile {
+        eprintln!(
+            "tune: winner selects the Fast tier; persisting numerics=auto \
+             (re-run with --allow-fast-profile to keep it)"
+        );
+        Tunables {
+            numerics: NumericsChoice::Auto,
+            ..best
+        }
+    } else {
+        best
+    };
     let profile_path = args.profile_path();
-    let profile = Profile::new(fingerprint.clone(), best).with_provenance(JsonValue::Object(vec![
-        ("solver_speedup".into(), solver.speedup().into()),
-        ("service_speedup".into(), service.speedup().into()),
-        ("mode".into(), mode(args.smoke).into()),
-    ]));
+    let profile =
+        Profile::new(fingerprint.clone(), persisted).with_provenance(JsonValue::Object(vec![
+            ("solver_speedup".into(), solver.speedup().into()),
+            ("service_speedup".into(), service.speedup().into()),
+            ("mode".into(), mode(args.smoke).into()),
+            ("searched_numerics".into(), best.numerics.as_str().into()),
+        ]));
     profile
         .save(&profile_path)
         .unwrap_or_else(|e| abort(&format!("cannot write {profile_path}: {e}")));
     let reloaded = Profile::load_for_host(&profile_path, &fingerprint)
         .unwrap_or_else(|e| abort(&format!("emitted profile failed to reload: {e}")));
-    assert_eq!(reloaded.tunables, best, "reload must return the winner");
+    assert_eq!(
+        reloaded.tunables, persisted,
+        "reload must return the persisted schedule"
+    );
     eprintln!("tune: wrote profile {profile_path} (reload verified)");
 
     let trials_total = (solver.trials.len() + service.trials.len()) as u64;
@@ -134,6 +170,11 @@ fn main() {
                 ("path".into(), profile_path.as_str().into()),
                 ("reloaded".into(), JsonValue::Bool(true)),
                 ("bit_identical".into(), JsonValue::Bool(bit_identical)),
+                (
+                    "fast_within_tolerance".into(),
+                    JsonValue::Bool(fast_within_tolerance),
+                ),
+                ("numerics".into(), persisted.numerics.as_str().into()),
             ]),
         ),
     ]);
@@ -302,21 +343,63 @@ fn search_service_knobs(args: &Args, telemetry: &Telemetry) -> Option<SearchOutc
     )
 }
 
-/// Solves one frame under the default schedule and under `best`; true iff
-/// the outputs agree bit for bit.
+/// Solves one frame under schedule `t` with the numerics tier pinned on
+/// the context (so neither the knob under test nor a `CHAMBOLLE_NUMERICS`
+/// environment can move the attestation off `tier`), through the same
+/// `Tunables`-reading schedule path production uses.
+fn solve_at_tier(
+    t: &Tunables,
+    tier: NumericsPolicy,
+    frame: &Image,
+    params: &ChambolleParams,
+) -> Option<Image> {
+    with_installed(t, || {
+        let pool = Arc::new(ThreadPool::new(t.threads));
+        let ctx = ExecCtx::default().with_numerics(tier);
+        TiledSolver::new(TileConfig::default())
+            .with_pool(pool)
+            .denoise_with_ctx(frame, params, &ctx)
+    })
+}
+
+/// Solves one frame under the default schedule and under `best`, both
+/// pinned to the Exact tier; true iff the outputs agree bit for bit.
+/// (Bit equality across schedules is the Exact tier's contract — a Fast
+/// winner is held to the tolerance envelope instead, see
+/// [`prove_fast_tolerance`].)
 fn prove_bit_identity(best: &Tunables) -> bool {
     let frame = timing_frame(67, 53);
     let params = ChambolleParams::with_iterations(11);
-    let solve = |t: &Tunables| {
-        with_installed(t, || {
-            let pool = Arc::new(ThreadPool::new(t.threads));
-            TiledSolver::new(TileConfig::default())
-                .with_pool(pool)
-                .denoise(&frame, &params)
-        })
-    };
-    match (solve(&Tunables::default()), solve(best)) {
+    let at_exact = |t: &Tunables| solve_at_tier(t, NumericsPolicy::Exact, &frame, &params);
+    match (at_exact(&Tunables::default()), at_exact(best)) {
         (Some(reference), Some(tuned)) => reference.as_slice() == tuned.as_slice(),
         _ => false,
     }
+}
+
+/// For a winner that selects the Fast tier: its Fast solve must stay within
+/// the numerics tolerance envelope ([`NumericsPolicy::PIXEL_ATOL`] pixels,
+/// [`NumericsPolicy::ENERGY_RTOL`] relative ROF energy) of its own Exact
+/// solve. Vacuously true for Exact/Auto winners.
+fn prove_fast_tolerance(best: &Tunables) -> bool {
+    if best.numerics != NumericsChoice::Fast {
+        return true;
+    }
+    let frame = timing_frame(67, 53);
+    let params = ChambolleParams::with_iterations(11);
+    let exact = solve_at_tier(best, NumericsPolicy::Exact, &frame, &params);
+    let fast = solve_at_tier(best, NumericsPolicy::Fast, &frame, &params);
+    let (Some(exact), Some(fast)) = (exact, fast) else {
+        return false;
+    };
+    let max_dev = exact
+        .as_slice()
+        .iter()
+        .zip(fast.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let e_exact = rof_energy(&exact, &frame, params.theta);
+    let e_fast = rof_energy(&fast, &frame, params.theta);
+    let energy_rdev = (e_exact - e_fast).abs() / e_exact.abs().max(f64::EPSILON);
+    max_dev <= NumericsPolicy::PIXEL_ATOL && energy_rdev <= NumericsPolicy::ENERGY_RTOL
 }

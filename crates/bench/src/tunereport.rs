@@ -8,8 +8,11 @@
 //! The `pr9` document records one auto-tuning run: the host fingerprint,
 //! one entry per searched workload (trial counts, anchor timings, the
 //! winning knobs), the merged best schedule, and the profile block proving
-//! the emitted `chambolle.tuning_profile.v1` file reloaded for this host
-//! and reproduced the default pixels bit for bit.
+//! the emitted `chambolle.tuning_profile.v2` file reloaded for this host,
+//! reproduced the default pixels bit for bit at the Exact tier, and — when
+//! the winner runs the Fast tier — stayed inside the Fast-tier tolerance
+//! envelope. The block also records which numerics tier was persisted
+//! (a Fast winner is demoted to `auto` unless `--allow-fast-profile`).
 
 use chambolle_telemetry::json::JsonValue;
 
@@ -31,6 +34,11 @@ pub struct Args {
     pub out: Option<String>,
     /// Profile path override (`--profile-out`).
     pub profile_out: Option<String>,
+    /// Persist a `Fast`-tier winner as-is (`--allow-fast-profile`).
+    /// Without it a Fast winner is demoted to `auto` in the saved profile,
+    /// so a profile on disk never silently flips consumers off the
+    /// bit-exact tier.
+    pub allow_fast_profile: bool,
 }
 
 impl Args {
@@ -54,11 +62,13 @@ pub fn parse_args(args: &[String]) -> Result<Args, String> {
         smoke: false,
         out: None,
         profile_out: None,
+        allow_fast_profile: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--smoke" => parsed.smoke = true,
+            "--allow-fast-profile" => parsed.allow_fast_profile = true,
             "--out" => {
                 let value = iter.next().ok_or("--out requires a path")?;
                 parsed.out = Some(value.clone());
@@ -140,7 +150,11 @@ pub fn validate_tuning(text: &str) -> Result<(), String> {
     {
         return Err("tuning report missing \"profile.path\"".into());
     }
-    for attestation in ["profile.reloaded", "profile.bit_identical"] {
+    for attestation in [
+        "profile.reloaded",
+        "profile.bit_identical",
+        "profile.fast_within_tolerance",
+    ] {
         match doc.get_path(attestation) {
             Some(JsonValue::Bool(true)) => {}
             other => {
@@ -150,7 +164,12 @@ pub fn validate_tuning(text: &str) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    match doc.get_path("profile.numerics").and_then(JsonValue::as_str) {
+        Some("auto") | Some("exact") | Some("fast") => Ok(()),
+        other => Err(format!(
+            "tuning report must record the persisted \"profile.numerics\" tier, got {other:?}"
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -177,11 +196,14 @@ mod tests {
             "report.json",
             "--profile-out",
             "prof.json",
+            "--allow-fast-profile",
         ]))
         .unwrap();
         assert!(args.smoke);
         assert_eq!(args.out_path(), "report.json");
         assert_eq!(args.profile_path(), "prof.json");
+        assert!(args.allow_fast_profile);
+        assert!(!parse_args(&[]).unwrap().allow_fast_profile);
     }
 
     #[test]

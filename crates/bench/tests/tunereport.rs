@@ -86,6 +86,8 @@ fn pr9_doc(outcome: &SearchOutcome) -> JsonValue {
                 ("path".into(), "chambolle.profile.json".into()),
                 ("reloaded".into(), JsonValue::Bool(true)),
                 ("bit_identical".into(), JsonValue::Bool(true)),
+                ("fast_within_tolerance".into(), JsonValue::Bool(true)),
+                ("numerics".into(), "auto".into()),
             ]),
         ),
     ])
@@ -127,6 +129,16 @@ fn the_validator_rejects_broken_attestations() {
     assert!(validate_tuning(&unreloaded).is_err());
     let inexact = good.replace("\"bit_identical\": true", "\"bit_identical\": false");
     assert!(validate_tuning(&inexact).is_err());
+
+    // A Fast winner outside the tolerance envelope, or a profile that does
+    // not say which numerics tier it persisted, is rejected too.
+    let breached = good.replace(
+        "\"fast_within_tolerance\": true",
+        "\"fast_within_tolerance\": false",
+    );
+    assert!(validate_tuning(&breached).is_err());
+    let tierless = good.replace("\"numerics\": \"auto\"", "\"numerics\": \"quantum\"");
+    assert!(validate_tuning(&tierless).is_err());
 
     // No workloads, no report.
     let doc = JsonValue::parse(&good).unwrap();

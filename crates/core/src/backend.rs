@@ -1,9 +1,12 @@
 //! Runtime-dispatched SIMD backends for the fused row kernels.
 //!
 //! A [`KernelBackend`] names one implementation of the hot row kernels in
-//! [`crate::kernels`]: the portable scalar reference, 128-bit SSE2 or
-//! 256-bit AVX2 `std::arch` intrinsics. All three compute **bit-identical**
-//! results:
+//! [`crate::kernels`]: the portable scalar reference, 128-bit SSE2,
+//! 256-bit AVX2 or 512-bit AVX-512 `std::arch` intrinsics. At the
+//! **Exact** numerics tier all of them compute **bit-identical** results
+//! (the AVX-512 backend executes the AVX2 exact bodies — dedicated 16-lane
+//! kernels exist only at the Fast tier, where byte equality is not the
+//! contract):
 //!
 //! - vector lanes replay the scalar operation order exactly — no fused
 //!   multiply-add, no reassociation — and every op used (`add`, `sub`,
@@ -19,10 +22,16 @@
 //!
 //! The process-wide default is resolved once by [`KernelBackend::active`]:
 //! the widest level the CPU supports, overridable with
-//! `CHAMBOLLE_BACKEND=scalar|sse2|avx2` (see [`chambolle_par::simd`]).
-//! Because every backend is bit-identical, the choice is purely a
-//! throughput knob — pinned by the backend-exactness test matrix at the
-//! workspace root.
+//! `CHAMBOLLE_BACKEND=scalar|sse2|avx2|avx512` (see
+//! [`chambolle_par::simd`]). Because every backend is bit-identical at the
+//! Exact tier, the choice is purely a throughput knob — pinned by the
+//! backend-exactness test matrix at the workspace root.
+//!
+//! The **Fast** tier ([`crate::ctx::NumericsPolicy::Fast`]) swaps in the
+//! kernels of [`crate::fast`]: FMA contraction, a shared reciprocal for
+//! the two normalizing divides, `rsqrt`/`rcp` approximations refined by one
+//! Newton–Raphson step, and true 16-lane AVX-512 bodies. Those are
+//! tolerance-validated against the exact reference, not bit-compared.
 
 use std::any::TypeId;
 
@@ -46,6 +55,10 @@ pub enum KernelBackend {
     Sse2,
     /// 256-bit AVX2 intrinsics, 8 × `f32` per op.
     Avx2,
+    /// 512-bit AVX-512F intrinsics, 16 × `f32` per op. Exact-tier solves
+    /// delegate to the AVX2 bodies (bit-identity is cheaper to audit on one
+    /// vector width); the Fast tier runs dedicated 16-lane kernels.
+    Avx512,
 }
 
 impl Default for KernelBackend {
@@ -73,6 +86,7 @@ impl KernelBackend {
             SimdLevel::Scalar => KernelBackend::Scalar,
             SimdLevel::Sse2 => KernelBackend::Sse2,
             SimdLevel::Avx2 => KernelBackend::Avx2,
+            SimdLevel::Avx512 => KernelBackend::Avx512,
         }
     }
 
@@ -88,6 +102,7 @@ impl KernelBackend {
             BackendChoice::Scalar => KernelBackend::Scalar,
             BackendChoice::Sse2 => KernelBackend::Sse2,
             BackendChoice::Avx2 => KernelBackend::Avx2,
+            BackendChoice::Avx512 => KernelBackend::Avx512,
         }
     }
 
@@ -98,10 +113,11 @@ impl KernelBackend {
             KernelBackend::Scalar => SimdLevel::Scalar,
             KernelBackend::Sse2 => SimdLevel::Sse2,
             KernelBackend::Avx2 => SimdLevel::Avx2,
+            KernelBackend::Avx512 => SimdLevel::Avx512,
         }
     }
 
-    /// Stable identifier (`scalar`/`sse2`/`avx2`).
+    /// Stable identifier (`scalar`/`sse2`/`avx2`/`avx512`).
     pub fn as_str(&self) -> &'static str {
         self.simd_level().as_str()
     }
@@ -127,6 +143,10 @@ impl KernelBackend {
         telemetry.gauge_set(
             names::BACKEND_AVX2_SUPPORTED,
             f64::from(SimdLevel::Avx2.is_supported()),
+        );
+        telemetry.gauge_set(
+            names::BACKEND_AVX512_SUPPORTED,
+            f64::from(SimdLevel::Avx512.is_supported()),
         );
     }
 
@@ -290,8 +310,12 @@ mod x86 {
         };
         match backend {
             // SAFETY: the caller checked `backend.is_supported()`, which for
-            // Avx2 is a runtime `is_x86_feature_detected!("avx2")`.
-            KernelBackend::Avx2 => unsafe { term_row_avx2(px, v, inv_theta, out, &div_y) },
+            // Avx2 is a runtime `is_x86_feature_detected!("avx2")` — and for
+            // Avx512 includes the same avx2 check (see `SimdLevel`), since
+            // the exact tier delegates to the AVX2 bodies.
+            KernelBackend::Avx2 | KernelBackend::Avx512 => unsafe {
+                term_row_avx2(px, v, inv_theta, out, &div_y)
+            },
             // SAFETY: as above with `is_x86_feature_detected!("sse2")`.
             KernelBackend::Sse2 => unsafe { term_row_sse2(px, v, inv_theta, out, &div_y) },
             KernelBackend::Scalar => unreachable!("scalar never dispatches here"),
@@ -310,8 +334,12 @@ mod x86 {
     ) {
         match backend {
             // SAFETY: the caller checked `backend.is_supported()`, which for
-            // Avx2 is a runtime `is_x86_feature_detected!("avx2")`.
-            KernelBackend::Avx2 => unsafe { update_p_row_avx2(term, below, step, px, py) },
+            // Avx2 is a runtime `is_x86_feature_detected!("avx2")` — and for
+            // Avx512 includes the same avx2 check (see `SimdLevel`), since
+            // the exact tier delegates to the AVX2 bodies.
+            KernelBackend::Avx2 | KernelBackend::Avx512 => unsafe {
+                update_p_row_avx2(term, below, step, px, py)
+            },
             // SAFETY: as above with `is_x86_feature_detected!("sse2")`.
             KernelBackend::Sse2 => unsafe { update_p_row_sse2(term, below, step, px, py) },
             KernelBackend::Scalar => unreachable!("scalar never dispatches here"),
@@ -605,10 +633,14 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn vector_backends() -> Vec<KernelBackend> {
-        [KernelBackend::Sse2, KernelBackend::Avx2]
-            .into_iter()
-            .filter(KernelBackend::is_supported)
-            .collect()
+        [
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+            KernelBackend::Avx512,
+        ]
+        .into_iter()
+        .filter(KernelBackend::is_supported)
+        .collect()
     }
 
     fn random_rows(w: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
@@ -623,6 +655,7 @@ mod tests {
             KernelBackend::Scalar,
             KernelBackend::Sse2,
             KernelBackend::Avx2,
+            KernelBackend::Avx512,
         ] {
             assert_eq!(KernelBackend::from_level(b.simd_level()), b);
             assert_eq!(b.lanes(), b.simd_level().lanes());
@@ -714,7 +747,11 @@ mod tests {
         let v: Vec<f64> = (0..w).map(|i| i as f64 / w as f64).collect();
         let mut reference = vec![0.0f64; w];
         kernels::compute_term_row(&px, &py, None, &v, 4.0f64, false, &mut reference);
-        for backend in [KernelBackend::Sse2, KernelBackend::Avx2] {
+        for backend in [
+            KernelBackend::Sse2,
+            KernelBackend::Avx2,
+            KernelBackend::Avx512,
+        ] {
             let mut out = vec![0.0f64; w];
             backend.compute_term_row(&px, &py, None, &v, 4.0f64, false, &mut out);
             assert_eq!(

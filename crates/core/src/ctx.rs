@@ -36,16 +36,106 @@
 //! assert_eq!(u_seq.as_slice(), u_par.as_slice());
 //! ```
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use chambolle_par::ThreadPool;
 use chambolle_telemetry::trace::TraceContext;
 use chambolle_telemetry::Telemetry;
-use chambolle_tune::Tunables;
+use chambolle_tune::{NumericsChoice, Tunables};
 
 use crate::backend::KernelBackend;
 use crate::cancel::{CancelToken, Cancelled};
 use crate::tiling::TileConfig;
+
+/// Environment variable that overrides the process-wide numerics tier
+/// (`exact` or `fast`).
+pub const NUMERICS_ENV: &str = "CHAMBOLLE_NUMERICS";
+
+/// Which numerics tier the kernels of a solve run at.
+///
+/// **`Exact`** (the default) is the reference tier: every backend replays
+/// the scalar operation order — no fused multiply-add, no reassociation —
+/// so results are bit-identical across backends, thread counts and tile
+/// schedules. That contract is what the workspace exactness suites pin.
+///
+/// **`Fast`** trades the byte-equality contract for throughput: kernels may
+/// fuse multiply-adds, reassociate reductions, share one reciprocal across
+/// the two normalizing divides of the dual update, replace `sqrt`/division
+/// with hardware reciprocal approximations plus Newton–Raphson refinement,
+/// run 16-lane AVX-512 bodies, and fuse K iterations in one register- and
+/// cache-resident sweep. Fast results are validated against Exact by
+/// **energy and duality-gap tolerance** ([`NumericsPolicy::ENERGY_RTOL`],
+/// [`NumericsPolicy::PIXEL_ATOL`]) — the validation model of the paper's
+/// own quantized 13/9/9-bit datapath, which ships accuracy bounds, not byte
+/// equality. Within one backend the Fast tier is still deterministic and
+/// thread-count invariant; it is *not* bit-comparable across backends or
+/// tile shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NumericsPolicy {
+    /// Bit-exact reference numerics (scalar operation order everywhere).
+    #[default]
+    Exact,
+    /// Tolerance-validated fast numerics (FMA, reassociation, approximate
+    /// reciprocals, AVX-512, temporal fusion).
+    Fast,
+}
+
+impl NumericsPolicy {
+    /// Relative energy / duality-gap agreement the Fast tier guarantees
+    /// against Exact for the same solve (pinned by the workspace tolerance
+    /// harness).
+    pub const ENERGY_RTOL: f64 = 1e-3;
+
+    /// Absolute per-pixel agreement the Fast tier guarantees against Exact
+    /// on unit-range images.
+    pub const PIXEL_ATOL: f32 = 1e-3;
+
+    /// Stable identifier (`exact`/`fast`) used by `CHAMBOLLE_NUMERICS`,
+    /// telemetry and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NumericsPolicy::Exact => "exact",
+            NumericsPolicy::Fast => "fast",
+        }
+    }
+
+    /// Parses a `CHAMBOLLE_NUMERICS` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<NumericsPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exact" => Some(NumericsPolicy::Exact),
+            "fast" => Some(NumericsPolicy::Fast),
+            _ => None,
+        }
+    }
+
+    /// Resolves an optional override string: a recognised value wins,
+    /// anything else (unrecognised, absent) is the Exact default. The pure
+    /// core of [`NumericsPolicy::active`], separate so tests can exercise
+    /// the policy without touching the process environment.
+    pub fn resolve(requested: Option<&str>) -> NumericsPolicy {
+        requested
+            .and_then(NumericsPolicy::parse)
+            .unwrap_or(NumericsPolicy::Exact)
+    }
+
+    /// The process-wide numerics tier: the `CHAMBOLLE_NUMERICS` override if
+    /// valid, else Exact. Resolved once and cached.
+    pub fn active() -> NumericsPolicy {
+        static ACTIVE: OnceLock<NumericsPolicy> = OnceLock::new();
+        *ACTIVE.get_or_init(|| NumericsPolicy::resolve(std::env::var(NUMERICS_ENV).ok().as_deref()))
+    }
+
+    /// Maps a tunables knob to a policy: an explicit choice wins, `Auto`
+    /// defers to [`NumericsPolicy::active`] (mirroring
+    /// [`KernelBackend::from_choice`]).
+    pub fn from_choice(choice: NumericsChoice) -> NumericsPolicy {
+        match choice {
+            NumericsChoice::Auto => NumericsPolicy::active(),
+            NumericsChoice::Exact => NumericsPolicy::Exact,
+            NumericsChoice::Fast => NumericsPolicy::Fast,
+        }
+    }
+}
 
 /// Fidelity-shedding policy for brownout operation.
 ///
@@ -57,13 +147,29 @@ use crate::tiling::TileConfig;
 /// shedding fidelity before shedding requests.
 ///
 /// A policy is pure configuration: attaching one to an [`ExecCtx`] changes
-/// results only when `max_iterations` actually bites (i.e. the request
-/// asked for more). Callers that must know which tier they got should check
-/// [`DegradationPolicy::caps`] against the requested iteration count.
+/// results only when a lever actually bites (the request asked for more
+/// iterations than the cap, or asked for Exact numerics while the policy
+/// sheds to Fast). Callers that must know which tier they got should check
+/// [`DegradationPolicy::degrades`] against the requested iteration count.
+///
+/// Shedding is **staged**: the cheaper lever first. [`fast_tier`] switches
+/// solves to the tolerance-validated Fast numerics tier — same iteration
+/// count, same convergence point to within [`NumericsPolicy::ENERGY_RTOL`]
+/// — and only [`cap`] (or [`with_cap`] stacked on a fast-tier policy)
+/// actually truncates convergence.
+///
+/// [`fast_tier`]: DegradationPolicy::fast_tier
+/// [`cap`]: DegradationPolicy::cap
+/// [`with_cap`]: DegradationPolicy::with_cap
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DegradationPolicy {
-    /// Hard ceiling on Chambolle iterations per solve while degraded.
+    /// Hard ceiling on Chambolle iterations per solve while degraded
+    /// (`u32::MAX` when the policy sheds numerics only).
     pub max_iterations: u32,
+    /// Numerics-tier override while degraded: `Some(Fast)` sheds precision
+    /// guarantees instead of (or before) convergence depth, `None` leaves
+    /// the context's own tier in force.
+    pub numerics: Option<NumericsPolicy>,
 }
 
 impl DegradationPolicy {
@@ -78,7 +184,40 @@ impl DegradationPolicy {
             max_iterations > 0,
             "a degradation policy must allow at least one iteration"
         );
-        DegradationPolicy { max_iterations }
+        DegradationPolicy {
+            max_iterations,
+            numerics: None,
+        }
+    }
+
+    /// A policy shedding to the [`NumericsPolicy::Fast`] tier without
+    /// touching the iteration budget — the first (cheapest) brownout stage.
+    pub fn fast_tier() -> Self {
+        DegradationPolicy {
+            max_iterations: u32::MAX,
+            numerics: Some(NumericsPolicy::Fast),
+        }
+    }
+
+    /// Adds fast-tier numerics shedding to this policy.
+    pub fn with_fast_tier(mut self) -> Self {
+        self.numerics = Some(NumericsPolicy::Fast);
+        self
+    }
+
+    /// Adds an iteration cap to this policy (e.g. stacking the second
+    /// brownout stage onto [`DegradationPolicy::fast_tier`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` is zero (see [`DegradationPolicy::cap`]).
+    pub fn with_cap(mut self, max_iterations: u32) -> Self {
+        assert!(
+            max_iterations > 0,
+            "a degradation policy must allow at least one iteration"
+        );
+        self.max_iterations = max_iterations;
+        self
     }
 
     /// The iteration budget this policy grants a request for `requested`.
@@ -87,9 +226,23 @@ impl DegradationPolicy {
     }
 
     /// Whether the policy actually reduces a request for `requested`
-    /// iterations (i.e. the result will be a degraded-tier answer).
+    /// iterations.
     pub fn caps(&self, requested: u32) -> bool {
         requested > self.max_iterations
+    }
+
+    /// Whether the policy overrides the numerics tier to [`Fast`].
+    ///
+    /// [`Fast`]: NumericsPolicy::Fast
+    pub fn sheds_numerics(&self) -> bool {
+        self.numerics == Some(NumericsPolicy::Fast)
+    }
+
+    /// Whether a request for `requested` iterations would be served at a
+    /// degraded tier under this policy — by iteration truncation, by
+    /// numerics shedding, or both.
+    pub fn degrades(&self, requested: u32) -> bool {
+        self.caps(requested) || self.sheds_numerics()
     }
 }
 
@@ -105,6 +258,7 @@ pub struct ExecCtx {
     telemetry: Telemetry,
     cancel: Option<CancelToken>,
     backend: KernelBackend,
+    numerics: NumericsPolicy,
     degradation: Option<DegradationPolicy>,
     trace: TraceContext,
     tunables: Tunables,
@@ -154,6 +308,7 @@ impl ExecCtx {
             telemetry: Telemetry::disabled(),
             cancel: None,
             backend: KernelBackend::from_choice(tunables.backend),
+            numerics: NumericsPolicy::from_choice(tunables.numerics),
             degradation: None,
             trace: TraceContext::NONE,
             tunables,
@@ -187,6 +342,13 @@ impl ExecCtx {
     pub fn with_backend(mut self, backend: KernelBackend) -> Self {
         self.backend = backend;
         self.backend.record_telemetry(&self.telemetry);
+        self
+    }
+
+    /// Runs the solve at `numerics` tier (overriding the tunables knob and
+    /// the `CHAMBOLLE_NUMERICS` environment default).
+    pub fn with_numerics(mut self, numerics: NumericsPolicy) -> Self {
+        self.numerics = numerics;
         self
     }
 
@@ -228,6 +390,18 @@ impl ExecCtx {
         self.backend
     }
 
+    /// The numerics tier solves through this context run at, folding in any
+    /// degradation override: an attached policy shedding numerics wins over
+    /// the context's own tier (resolution order: degradation override >
+    /// [`ExecCtx::with_numerics`] > `CHAMBOLLE_NUMERICS` > tunables knob >
+    /// Exact).
+    pub fn numerics(&self) -> NumericsPolicy {
+        self.degradation
+            .as_ref()
+            .and_then(|p| p.numerics)
+            .unwrap_or(self.numerics)
+    }
+
     /// The brownout degradation policy, if one is attached.
     pub fn degradation(&self) -> Option<&DegradationPolicy> {
         self.degradation.as_ref()
@@ -263,9 +437,12 @@ impl ExecCtx {
     }
 
     /// Whether a solve asking for `requested` iterations would be served at
-    /// the degraded tier under this context.
+    /// the degraded tier under this context — by iteration capping or by
+    /// numerics shedding.
     pub fn degrades(&self, requested: u32) -> bool {
-        self.degradation.as_ref().is_some_and(|p| p.caps(requested))
+        self.degradation
+            .as_ref()
+            .is_some_and(|p| p.degrades(requested))
     }
 
     /// Polls the cancellation token, if one is attached.
@@ -318,6 +495,82 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn zero_iteration_degradation_policy_is_rejected() {
         let _ = DegradationPolicy::cap(0);
+    }
+
+    #[test]
+    fn numerics_policy_parses_and_resolves() {
+        assert_eq!(NumericsPolicy::parse("exact"), Some(NumericsPolicy::Exact));
+        assert_eq!(NumericsPolicy::parse(" FAST "), Some(NumericsPolicy::Fast));
+        assert_eq!(NumericsPolicy::parse("approx"), None);
+        assert_eq!(NumericsPolicy::resolve(None), NumericsPolicy::Exact);
+        assert_eq!(NumericsPolicy::resolve(Some("fast")), NumericsPolicy::Fast);
+        assert_eq!(
+            NumericsPolicy::resolve(Some("not-a-tier")),
+            NumericsPolicy::Exact
+        );
+        assert_eq!(NumericsPolicy::Exact.as_str(), "exact");
+        assert_eq!(NumericsPolicy::Fast.as_str(), "fast");
+        assert_eq!(
+            NumericsPolicy::from_choice(NumericsChoice::Exact),
+            NumericsPolicy::Exact
+        );
+        assert_eq!(
+            NumericsPolicy::from_choice(NumericsChoice::Fast),
+            NumericsPolicy::Fast
+        );
+        // Auto defers to the process-wide default, which is itself
+        // Exact unless CHAMBOLLE_NUMERICS overrides it.
+        assert_eq!(
+            NumericsPolicy::from_choice(NumericsChoice::Auto),
+            NumericsPolicy::active()
+        );
+    }
+
+    #[test]
+    fn context_numerics_folds_degradation_override() {
+        let ctx = ExecCtx::from_tunables(Tunables::default());
+        // Tunables default to Auto, which resolves to the env-or-Exact
+        // process default; with_numerics overrides it.
+        let fast = ctx.clone().with_numerics(NumericsPolicy::Fast);
+        assert_eq!(fast.numerics(), NumericsPolicy::Fast);
+        let exact = ctx.with_numerics(NumericsPolicy::Exact);
+        assert_eq!(exact.numerics(), NumericsPolicy::Exact);
+
+        // A numerics-shedding degradation policy wins over the context's
+        // own tier and marks every request degraded — even ones whose
+        // iteration budget is untouched.
+        let shed = exact.with_degradation(DegradationPolicy::fast_tier());
+        assert_eq!(shed.numerics(), NumericsPolicy::Fast);
+        assert_eq!(shed.effective_iterations(100), 100);
+        assert!(shed.degrades(1));
+
+        // A pure iteration cap leaves the tier alone.
+        let capped = ExecCtx::default()
+            .with_numerics(NumericsPolicy::Exact)
+            .with_degradation(DegradationPolicy::cap(25));
+        assert_eq!(capped.numerics(), NumericsPolicy::Exact);
+    }
+
+    #[test]
+    fn staged_degradation_policies_compose() {
+        let stage1 = DegradationPolicy::fast_tier();
+        assert!(stage1.sheds_numerics());
+        assert!(!stage1.caps(1_000_000));
+        assert!(stage1.degrades(1));
+        assert_eq!(stage1.effective_iterations(300), 300);
+
+        let stage2 = DegradationPolicy::fast_tier().with_cap(25);
+        assert!(stage2.sheds_numerics());
+        assert!(stage2.caps(26));
+        assert_eq!(stage2.effective_iterations(300), 25);
+
+        let capped_then_shed = DegradationPolicy::cap(25).with_fast_tier();
+        assert_eq!(capped_then_shed, stage2);
+
+        let cap_only = DegradationPolicy::cap(25);
+        assert!(!cap_only.sheds_numerics());
+        assert!(cap_only.degrades(26));
+        assert!(!cap_only.degrades(25));
     }
 
     #[test]

@@ -188,6 +188,8 @@ pub fn chambolle_denoise_monitored<R: Real>(
 /// # Panics
 ///
 /// Panics if `check_every == 0`.
+#[deprecated(note = "use `chambolle_denoise_monitored_with_ctx` with \
+            `ExecCtx::default().with_telemetry(telemetry.clone())`")]
 pub fn chambolle_denoise_monitored_with_telemetry<R: Real>(
     v: &Grid<R>,
     params: &ChambolleParams,
@@ -295,7 +297,8 @@ mod tests {
 
         let v = noisy(12, 10, 20);
         let (tele, events) = Telemetry::memory();
-        let report = chambolle_denoise_monitored_with_telemetry(&v, &params(45), 20, 0.0, &tele);
+        let ctx = ExecCtx::default().with_telemetry(tele.clone());
+        let report = chambolle_denoise_monitored_with_ctx(&v, &params(45), 20, 0.0, &ctx).unwrap();
         let snap = tele.snapshot();
         assert_eq!(snap.counter(names::SOLVER_ITERATIONS), Some(45));
         assert_eq!(

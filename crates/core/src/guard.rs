@@ -513,6 +513,8 @@ impl<P: TvDenoiser, F: TvDenoiser> TvDenoiser for GuardedDenoiser<P, F> {
 /// [`GuardError::InvalidParams`] / [`GuardError::EmptyInput`] for inputs no
 /// backend could serve; [`GuardError::Unrecoverable`] when retries are
 /// exhausted.
+#[deprecated(note = "use `guarded_denoise_with_ctx` with \
+            `ExecCtx::default().with_cancel(token.clone())`")]
 pub fn guarded_denoise_cancellable(
     v: &Grid<f32>,
     params: &ChambolleParams,
@@ -676,6 +678,19 @@ mod tests {
 
     fn params(iters: u32) -> ChambolleParams {
         ChambolleParams::paper(iters)
+    }
+
+    /// The token-driven guarded solve, spelled through the canonical
+    /// context API (the shape `guarded_denoise_cancellable` callers
+    /// migrate to).
+    fn guarded_with_token(
+        v: &Grid<f32>,
+        params: &ChambolleParams,
+        policy: &RecoveryPolicy,
+        token: &CancelToken,
+    ) -> Result<(Grid<f32>, RecoveryReport), GuardError> {
+        let ctx = ExecCtx::default().with_cancel(token.clone());
+        guarded_denoise_with_ctx(v, params, policy, &ctx)
     }
 
     #[test]
@@ -928,14 +943,14 @@ mod tests {
         let guard = GuardedDenoiser::new(SequentialSolver::new()).with_policy(policy);
         let (u_ref, rep_ref) = guard.denoise_checked(&v, &params(15)).unwrap();
         let (u_canc, rep_canc) =
-            guarded_denoise_cancellable(&v, &params(15), &policy, &CancelToken::new()).unwrap();
+            guarded_with_token(&v, &params(15), &policy, &CancelToken::new()).unwrap();
         assert_eq!(u_ref.as_slice(), u_canc.as_slice());
         assert_eq!(rep_ref.actions, rep_canc.actions);
 
         // Cancellation surfaces as a structured GuardError with a source.
         let token = CancelToken::new();
         token.cancel();
-        let err = guarded_denoise_cancellable(&v, &params(15), &policy, &token).unwrap_err();
+        let err = guarded_with_token(&v, &params(15), &policy, &token).unwrap_err();
         match err {
             GuardError::Cancelled(c) => assert_eq!(c.reason, CancelReason::Explicit),
             other => panic!("expected Cancelled, got {other:?}"),
@@ -944,7 +959,7 @@ mod tests {
         let mut bad = params(10);
         bad.iterations = 0;
         assert!(matches!(
-            guarded_denoise_cancellable(&v, &bad, &policy, &token),
+            guarded_with_token(&v, &bad, &policy, &token),
             Err(GuardError::InvalidParams(_))
         ));
     }
@@ -975,8 +990,7 @@ mod tests {
             CancelToken::with_deadline(Instant::now() - Duration::from_secs(5)),
         ] {
             let started = Instant::now();
-            let err =
-                guarded_denoise_cancellable(&v, &params(2_000_000), &policy, &token).unwrap_err();
+            let err = guarded_with_token(&v, &params(2_000_000), &policy, &token).unwrap_err();
             match err {
                 GuardError::Cancelled(c) => {
                     assert_eq!(c.reason, CancelReason::DeadlineExceeded);
@@ -998,10 +1012,9 @@ mod tests {
         // A live token is reusable across successive solves, each
         // bit-identical to the token-free reference.
         let token = CancelToken::new();
-        let (u_ref, _) =
-            guarded_denoise_cancellable(&v, &params(12), &policy, &CancelToken::new()).unwrap();
+        let (u_ref, _) = guarded_with_token(&v, &params(12), &policy, &CancelToken::new()).unwrap();
         for _ in 0..2 {
-            let (u, _) = guarded_denoise_cancellable(&v, &params(12), &policy, &token).unwrap();
+            let (u, _) = guarded_with_token(&v, &params(12), &policy, &token).unwrap();
             assert_eq!(u.as_slice(), u_ref.as_slice());
         }
         // Once cancelled, the same token poisons every later solve
@@ -1009,7 +1022,7 @@ mod tests {
         // error, not a silent recompute.
         token.cancel();
         for _ in 0..2 {
-            match guarded_denoise_cancellable(&v, &params(12), &policy, &token).unwrap_err() {
+            match guarded_with_token(&v, &params(12), &policy, &token).unwrap_err() {
                 GuardError::Cancelled(c) => assert_eq!(c.reason, CancelReason::Explicit),
                 other => panic!("expected Cancelled, got {other:?}"),
             }

@@ -24,8 +24,12 @@
 //!   kernels: scalar, SSE2 and AVX2 implementations selected at runtime
 //!   (override with `CHAMBOLLE_BACKEND`), all bit-identical by contract;
 //! - [`ctx`] — the [`ExecCtx`] execution context consolidating pool,
-//!   telemetry, cancellation and kernel backend behind one `*_with_ctx`
-//!   entry point per solve family.
+//!   telemetry, cancellation, kernel backend and numerics tier behind one
+//!   `*_with_ctx` entry point per solve family;
+//! - [`fast`] — the [`NumericsPolicy::Fast`](ctx::NumericsPolicy) tier:
+//!   FMA/approximate-reciprocal row kernels (AVX2+FMA and true 16-lane
+//!   AVX-512F) and the K-deep temporally fused sweep, validated against the
+//!   Exact tier by energy/duality-gap tolerance instead of bit equality.
 //!
 //! # Examples
 //!
@@ -34,14 +38,19 @@
 //!
 //! ```
 //! use chambolle_core::{
-//!     ChambolleParams, SequentialSolver, TileConfig, TiledSolver, TvDenoiser,
+//!     ChambolleParams, ExecCtx, NumericsPolicy, SequentialSolver, TileConfig, TiledSolver,
+//!     TvDenoiser,
 //! };
 //! use chambolle_imaging::Grid;
 //!
 //! let v = Grid::from_fn(64, 64, |x, y| ((x / 8 + y / 8) % 2) as f32);
 //! let params = ChambolleParams::with_iterations(25);
-//! let seq = SequentialSolver::new().denoise(&v, &params);
-//! let tiled = TiledSolver::new(TileConfig::new(24, 24, 2, 2)?).denoise(&v, &params);
+//! // Bit identity between schedules is the Exact tier's contract (pinned
+//! // here so the example holds even under `CHAMBOLLE_NUMERICS=fast`).
+//! let exact = ExecCtx::default().with_numerics(NumericsPolicy::Exact);
+//! let seq = SequentialSolver::new().denoise_with_ctx(&v, &params, &exact);
+//! let tiled =
+//!     TiledSolver::new(TileConfig::new(24, 24, 2, 2)?).denoise_with_ctx(&v, &params, &exact);
 //! assert_eq!(seq.as_slice(), tiled.as_slice());
 //! # Ok::<(), chambolle_core::InvalidParamsError>(())
 //! ```
@@ -55,6 +64,7 @@ pub mod ctx;
 pub mod decomposition;
 pub mod dependency;
 pub mod diagnostics;
+pub mod fast;
 pub mod guard;
 pub mod horn_schunck;
 pub mod kernels;
@@ -69,32 +79,45 @@ pub mod weighted;
 pub use backend::KernelBackend;
 pub use block_matching::{block_matching_flow, BlockMatchingParams};
 pub use cancel::{CancelReason, CancelToken, Cancelled};
-pub use ctx::{DegradationPolicy, ExecCtx};
+pub use ctx::{DegradationPolicy, ExecCtx, NumericsPolicy};
 pub use decomposition::{compute_group_decomposed, DecomposedStats, GroupRect};
 pub use diagnostics::{
-    chambolle_denoise_monitored, chambolle_denoise_monitored_with_ctx,
-    chambolle_denoise_monitored_with_telemetry, duality_gap, duality_gap_compact, rof_dual_energy,
-    try_duality_gap, try_duality_gap_compact, try_rof_dual_energy, ConvergencePoint, SolveReport,
+    chambolle_denoise_monitored, chambolle_denoise_monitored_with_ctx, duality_gap,
+    duality_gap_compact, rof_dual_energy, try_duality_gap, try_duality_gap_compact,
+    try_rof_dual_energy, ConvergencePoint, SolveReport,
 };
 pub use guard::{
-    guarded_denoise_cancellable, guarded_denoise_monitored, guarded_denoise_with_ctx,
-    output_is_valid, scrub_non_finite, validate_solvable, GuardError, GuardedDenoiser,
-    RecoveryAction, RecoveryPolicy, RecoveryReport,
+    guarded_denoise_monitored, guarded_denoise_with_ctx, output_is_valid, scrub_non_finite,
+    validate_solvable, GuardError, GuardedDenoiser, RecoveryAction, RecoveryPolicy, RecoveryReport,
 };
 pub use horn_schunck::{HornSchunck, HornSchunckParams};
 pub use params::{ChambolleParams, InvalidParamsError, TvL1Params};
 pub use real::Real;
 pub use solver::{
-    chambolle_denoise, chambolle_denoise_cancellable, chambolle_denoise_with_ctx,
-    chambolle_iterate, chambolle_iterate_cancellable, chambolle_iterate_parallel,
-    chambolle_iterate_with_ctx, recover_u, rof_energy, try_rof_energy, Convention, DualField,
-    ParallelSolver, SequentialSolver, TvDenoiser,
+    chambolle_denoise, chambolle_denoise_with_ctx, chambolle_iterate, chambolle_iterate_with_ctx,
+    recover_u, rof_energy, try_rof_energy, Convention, DualField, ParallelSolver, SequentialSolver,
+    TvDenoiser,
 };
 pub use tiling::{
-    chambolle_iterate_tiled, chambolle_iterate_tiled_cancellable,
-    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_spawn_baseline_with_ctx,
-    chambolle_iterate_tiled_with_ctx, chambolle_iterate_tiled_with_pool,
-    chambolle_iterate_tiled_with_telemetry, Tile, TileConfig, TilePlan, TiledSolver,
+    chambolle_iterate_tiled, chambolle_iterate_tiled_spawn_baseline,
+    chambolle_iterate_tiled_spawn_baseline_with_ctx, chambolle_iterate_tiled_with_ctx, Tile,
+    TileConfig, TilePlan, TiledSolver,
+};
+// Deprecated per-axis entry-point variants, re-exported for source
+// compatibility. Each is a thin wrapper over its `*_with_ctx` canonical
+// form; new code should construct an `ExecCtx` instead.
+#[allow(deprecated)]
+pub use diagnostics::chambolle_denoise_monitored_with_telemetry;
+#[allow(deprecated)]
+pub use guard::guarded_denoise_cancellable;
+#[allow(deprecated)]
+pub use solver::{
+    chambolle_denoise_cancellable, chambolle_iterate_cancellable, chambolle_iterate_parallel,
+};
+#[allow(deprecated)]
+pub use tiling::{
+    chambolle_iterate_tiled_cancellable, chambolle_iterate_tiled_with_pool,
+    chambolle_iterate_tiled_with_telemetry,
 };
 pub use tvl1::{threshold_step, FlowError, FlowStats, TvL1Solver, VideoFlowTracker};
 pub use weighted::{

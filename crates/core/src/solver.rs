@@ -23,7 +23,8 @@ use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 
 use crate::backend::KernelBackend;
 use crate::cancel::{CancelToken, Cancelled};
-use crate::ctx::ExecCtx;
+use crate::ctx::{ExecCtx, NumericsPolicy};
+use crate::fast;
 use crate::kernels::{BandHalo, BelowHalo};
 use crate::ops::{div_x_at, div_y_at, total_variation};
 use crate::params::{ChambolleParams, InvalidParamsError};
@@ -170,8 +171,14 @@ pub fn chambolle_iterate<R: Real>(
 /// - a pool → the banded parallel sweep of [`chambolle_iterate_parallel`],
 ///   bit-identical to sequential for every thread count;
 /// - the kernel rows run on `ctx.backend()` (bit-identical on every
-///   backend);
-/// - a cancellation token, if attached, is polled between iterations.
+///   backend under the default Exact tier);
+/// - `ctx.numerics()` selects the numerics tier: `Exact` (default) keeps
+///   the bit-identity contract; `Fast` routes `f32` solves through the
+///   tolerance-validated kernels of [`crate::fast`] — sequentially as
+///   K-deep temporally fused sweeps, in parallel as fast band iterations
+///   (still thread-count invariant). `f64` solves always run exact;
+/// - a cancellation token, if attached, is polled between iterations
+///   (between fused sweeps at the Fast tier).
 ///
 /// Every historical twin (`chambolle_iterate`,
 /// [`chambolle_iterate_cancellable`], [`chambolle_iterate_parallel`])
@@ -201,10 +208,12 @@ pub fn chambolle_iterate_with_ctx<R: Real>(
         ctx.pool().map(Arc::as_ref),
         ctx.cancel(),
         ctx.backend(),
+        ctx.numerics(),
     )
 }
 
 /// The one implementation behind every iteration entry point.
+#[allow(clippy::too_many_arguments)] // the execution-policy fan-in point
 fn iterate_impl<R: Real>(
     p: &mut DualField<R>,
     v: &Grid<R>,
@@ -213,6 +222,7 @@ fn iterate_impl<R: Real>(
     pool: Option<&ThreadPool>,
     token: Option<&CancelToken>,
     backend: KernelBackend,
+    numerics: NumericsPolicy,
 ) -> Result<(), Cancelled> {
     assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
     let (w, h) = v.dims();
@@ -224,6 +234,29 @@ fn iterate_impl<R: Real>(
 
     let bands = pool.map_or(1, ThreadPool::threads).min(h);
     if bands <= 1 {
+        // Sequential Fast tier: fuse iterations K at a time into single
+        // cache-resident passes over the frame. (`f64` solves never take
+        // this branch — the fast tier is an `f32` contract.)
+        if numerics == NumericsPolicy::Fast {
+            if let (Some(px), Some(py), Some(vs)) = (
+                fast::f32_slice_mut(p.px.as_mut_slice()),
+                fast::f32_slice_mut(p.py.as_mut_slice()),
+                fast::f32_slice(v.as_slice()),
+            ) {
+                let it = 1.0f32 / params.theta;
+                let st = params.step_ratio();
+                let mut remaining = iterations;
+                while remaining > 0 {
+                    if let Some(token) = token {
+                        token.check()?;
+                    }
+                    let k = remaining.min(fast::TEMPORAL_FUSION_DEPTH);
+                    fast::temporal_sweep(backend, px, py, vs, w, h, it, st, k);
+                    remaining -= k;
+                }
+                return Ok(());
+            }
+        }
         let (mut ta, mut tb) = (vec![R::ZERO; w], vec![R::ZERO; w]);
         for _ in 0..iterations {
             if let Some(token) = token {
@@ -297,7 +330,9 @@ fn iterate_impl<R: Real>(
                     v: v.row(r1),
                 }),
             };
-            backend.fused_band_iteration(
+            fast::band_iteration_tiered(
+                backend,
+                numerics,
                 px_band,
                 py_band,
                 &v.as_slice()[r0 * w..r1 * w],
@@ -330,6 +365,8 @@ fn iterate_impl<R: Real>(
 /// # Panics
 ///
 /// Panics if `p` and `v` dimensions differ.
+#[deprecated(note = "use `chambolle_iterate_with_ctx` with \
+            `ExecCtx::default().with_cancel(token.clone())`")]
 pub fn chambolle_iterate_cancellable<R: Real>(
     p: &mut DualField<R>,
     v: &Grid<R>,
@@ -405,6 +442,8 @@ pub fn chambolle_denoise_with_ctx<R: Real>(
 ///
 /// Returns [`Cancelled`] if `token` reports cancellation before the solve
 /// finishes; no partial output is produced.
+#[deprecated(note = "use `chambolle_denoise_with_ctx` with \
+            `ExecCtx::default().with_cancel(token.clone())`")]
 pub fn chambolle_denoise_cancellable<R: Real>(
     v: &Grid<R>,
     params: &ChambolleParams,
@@ -469,6 +508,24 @@ pub trait TvDenoiser {
     /// Denoises `v` with the given Chambolle parameters, returning `u`.
     fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32>;
 
+    /// Denoises `v` under an execution context (the TV-L1 outer loop calls
+    /// this so its [`ExecCtx`] governs the inner solves).
+    ///
+    /// The default forwards to [`TvDenoiser::denoise`] and ignores the
+    /// context — right for backends with fixed semantics like the hardware
+    /// simulator. The software solvers override it to honor the context's
+    /// kernel backend and numerics tier (but keep their own threading:
+    /// which pool a solver runs on is the backend's identity).
+    fn denoise_with_ctx(
+        &self,
+        v: &Grid<f32>,
+        params: &ChambolleParams,
+        ctx: &ExecCtx,
+    ) -> Grid<f32> {
+        let _ = ctx;
+        self.denoise(v, params)
+    }
+
     /// A short human-readable name for reports.
     fn name(&self) -> &str {
         "unnamed"
@@ -480,6 +537,15 @@ impl<T: TvDenoiser + ?Sized> TvDenoiser for Box<T> {
         (**self).denoise(v, params)
     }
 
+    fn denoise_with_ctx(
+        &self,
+        v: &Grid<f32>,
+        params: &ChambolleParams,
+        ctx: &ExecCtx,
+    ) -> Grid<f32> {
+        (**self).denoise_with_ctx(v, params, ctx)
+    }
+
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -488,6 +554,15 @@ impl<T: TvDenoiser + ?Sized> TvDenoiser for Box<T> {
 impl<T: TvDenoiser + ?Sized> TvDenoiser for &T {
     fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
         (**self).denoise(v, params)
+    }
+
+    fn denoise_with_ctx(
+        &self,
+        v: &Grid<f32>,
+        params: &ChambolleParams,
+        ctx: &ExecCtx,
+    ) -> Grid<f32> {
+        (**self).denoise_with_ctx(v, params, ctx)
     }
 
     fn name(&self) -> &str {
@@ -511,6 +586,23 @@ impl TvDenoiser for SequentialSolver {
         chambolle_denoise(v, params).0
     }
 
+    fn denoise_with_ctx(
+        &self,
+        v: &Grid<f32>,
+        params: &ChambolleParams,
+        ctx: &ExecCtx,
+    ) -> Grid<f32> {
+        // Adopt the context's observability and kernel policy, but never
+        // its pool: sequential is this backend's contract.
+        let seq_ctx = ExecCtx::default()
+            .with_telemetry(ctx.telemetry().clone())
+            .with_backend(ctx.backend())
+            .with_numerics(ctx.numerics());
+        chambolle_denoise_with_ctx(v, params, &seq_ctx)
+            .expect("a context without a token cannot be cancelled")
+            .0
+    }
+
     fn name(&self) -> &str {
         "sequential"
     }
@@ -529,6 +621,8 @@ impl TvDenoiser for SequentialSolver {
 /// # Panics
 ///
 /// Panics if `p` and `v` dimensions differ.
+#[deprecated(note = "use `chambolle_iterate_with_ctx` with \
+            `ExecCtx::default().with_pool(Arc::clone(pool))`")]
 pub fn chambolle_iterate_parallel<R: Real>(
     p: &mut DualField<R>,
     v: &Grid<R>,
@@ -588,7 +682,28 @@ impl ParallelSolver {
 impl TvDenoiser for ParallelSolver {
     fn denoise(&self, v: &Grid<f32>, params: &ChambolleParams) -> Grid<f32> {
         let mut p = DualField::zeros(v.width(), v.height());
-        chambolle_iterate_parallel(&mut p, v, params, params.iterations, &self.pool);
+        let ctx = ExecCtx::default().with_pool(Arc::clone(&self.pool));
+        chambolle_iterate_with_ctx(&mut p, v, params, params.iterations, &ctx)
+            .expect("an inert context carries no cancellation token");
+        recover_u(v, &p, params.theta)
+    }
+
+    fn denoise_with_ctx(
+        &self,
+        v: &Grid<f32>,
+        params: &ChambolleParams,
+        ctx: &ExecCtx,
+    ) -> Grid<f32> {
+        // This solver's pool is its identity; the context contributes its
+        // observability and kernel policy only.
+        let pooled_ctx = ExecCtx::default()
+            .with_telemetry(ctx.telemetry().clone())
+            .with_backend(ctx.backend())
+            .with_numerics(ctx.numerics())
+            .with_pool(Arc::clone(&self.pool));
+        let mut p = DualField::zeros(v.width(), v.height());
+        chambolle_iterate_with_ctx(&mut p, v, params, params.iterations, &pooled_ctx)
+            .expect("an inert context carries no cancellation token");
         recover_u(v, &p, params.theta)
     }
 
@@ -814,7 +929,8 @@ mod tests {
         let pr = params(40);
         let (u_plain, p_plain) = chambolle_denoise(&v, &pr);
         let token = crate::cancel::CancelToken::new();
-        let (u_canc, p_canc) = chambolle_denoise_cancellable(&v, &pr, &token).unwrap();
+        let ctx = ExecCtx::default().with_cancel(token);
+        let (u_canc, p_canc) = chambolle_denoise_with_ctx(&v, &pr, &ctx).unwrap();
         assert_eq!(u_plain.as_slice(), u_canc.as_slice());
         assert_eq!(p_plain.px.as_slice(), p_canc.px.as_slice());
         assert_eq!(p_plain.py.as_slice(), p_canc.py.as_slice());
@@ -825,12 +941,13 @@ mod tests {
         let v = noisy_step(10, 10, 29).map(|&x| x as f32);
         let token = crate::cancel::CancelToken::new();
         token.cancel();
-        let err = chambolle_denoise_cancellable(&v, &params(50), &token).unwrap_err();
+        let ctx = ExecCtx::default().with_cancel(token);
+        let err = chambolle_denoise_with_ctx(&v, &params(50), &ctx).unwrap_err();
         assert_eq!(err.reason, crate::cancel::CancelReason::Explicit);
         // The dual state after a cancelled iterate is the last completed one:
         // cancelling before iteration 0 leaves the zero field untouched.
         let mut p = DualField::zeros(10, 10);
-        let _ = chambolle_iterate_cancellable(&mut p, &v, &params(50), 50, &token);
+        let _ = chambolle_iterate_with_ctx(&mut p, &v, &params(50), 50, &ctx);
         assert!(p.max_norm() == 0.0);
     }
 

@@ -33,7 +33,8 @@ use chambolle_telemetry::{names, Telemetry};
 
 use crate::backend::KernelBackend;
 use crate::cancel::{CancelToken, Cancelled};
-use crate::ctx::ExecCtx;
+use crate::ctx::{ExecCtx, NumericsPolicy};
+use crate::fast;
 use crate::kernels::BandHalo;
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
@@ -353,9 +354,13 @@ pub fn chambolle_iterate_tiled<R: Real>(
 /// precedence over `config.threads`); without one, a pool with
 /// `config.threads` workers is spawned for this call and wired to the
 /// context's telemetry. Cancellation is polled between rounds, so a
-/// cancelled call never leaves `p` mid-write (see
-/// [`chambolle_iterate_tiled_cancellable`]). The result is bit-identical to
-/// [`crate::solver::chambolle_iterate`] for every pool size and backend.
+/// cancelled call never leaves `p` mid-write. Under the default Exact
+/// numerics tier the result is bit-identical to
+/// [`crate::solver::chambolle_iterate`] for every pool size and backend; a
+/// context selecting [`NumericsPolicy::Fast`] runs the window-local
+/// iterations on the tolerance-validated kernels of [`crate::fast`]
+/// (deterministic per tile shape, but not bit-comparable to the sequential
+/// fast sweep — window widths change the vector remainder splits).
 ///
 /// # Errors
 ///
@@ -384,6 +389,7 @@ pub fn chambolle_iterate_tiled_with_ctx<R: Real>(
             ctx.telemetry(),
             ctx.cancel(),
             ctx.backend(),
+            ctx.numerics(),
         ),
         None => {
             let pool = ThreadPool::new(config.threads).with_telemetry(ctx.telemetry().clone());
@@ -397,6 +403,7 @@ pub fn chambolle_iterate_tiled_with_ctx<R: Real>(
                 ctx.telemetry(),
                 ctx.cancel(),
                 ctx.backend(),
+                ctx.numerics(),
             )
         }
     }
@@ -414,6 +421,8 @@ pub fn chambolle_iterate_tiled_with_ctx<R: Real>(
 /// # Panics
 ///
 /// Panics if `p` and `v` dimensions differ.
+#[deprecated(note = "use `chambolle_iterate_tiled_with_ctx` with \
+            `ExecCtx::default().with_telemetry(..)`")]
 pub fn chambolle_iterate_tiled_with_telemetry<R: Real>(
     p: &mut DualField<R>,
     v: &Grid<R>,
@@ -475,6 +484,10 @@ impl<R: Real> TileScratch<R> {
 /// # Panics
 ///
 /// Panics if `p` and `v` dimensions differ.
+#[deprecated(
+    note = "use `chambolle_iterate_tiled_with_ctx` with an `ExecCtx` carrying \
+            the pool (`with_pool`) and telemetry (`with_telemetry`)"
+)]
 pub fn chambolle_iterate_tiled_with_pool<R: Real>(
     p: &mut DualField<R>,
     v: &Grid<R>,
@@ -496,6 +509,7 @@ pub fn chambolle_iterate_tiled_with_pool<R: Real>(
         telemetry,
         None,
         KernelBackend::active(),
+        NumericsPolicy::active(),
     )
     .expect("uncancellable tiled iterate cannot be cancelled");
 }
@@ -517,6 +531,10 @@ pub fn chambolle_iterate_tiled_with_pool<R: Real>(
 /// # Panics
 ///
 /// Panics if `p` and `v` dimensions differ.
+#[deprecated(
+    note = "use `chambolle_iterate_tiled_with_ctx` with an `ExecCtx` carrying \
+            the pool, telemetry and cancellation token"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn chambolle_iterate_tiled_cancellable<R: Real>(
     p: &mut DualField<R>,
@@ -538,6 +556,7 @@ pub fn chambolle_iterate_tiled_cancellable<R: Real>(
         telemetry,
         Some(token),
         KernelBackend::active(),
+        NumericsPolicy::active(),
     )
 }
 
@@ -552,6 +571,7 @@ fn iterate_tiled_pooled_impl<R: Real>(
     telemetry: &Telemetry,
     token: Option<&CancelToken>,
     backend: KernelBackend,
+    numerics: NumericsPolicy,
 ) -> Result<(), Cancelled> {
     assert_eq!(p.dims(), v.dims(), "dual field and v must match in size");
     if iterations == 0 {
@@ -595,6 +615,7 @@ fn iterate_tiled_pooled_impl<R: Real>(
                     step_ratio,
                     k,
                     backend,
+                    numerics,
                     &mut scratch,
                 );
                 // SAFETY: profitable regions partition the frame and each
@@ -638,6 +659,7 @@ fn process_window_fused<R: Real>(
     step_ratio: R,
     k: u32,
     backend: KernelBackend,
+    numerics: NumericsPolicy,
     scratch: &mut TileScratch<R>,
 ) {
     let (sw, sh) = (tile.src_w, tile.src_h);
@@ -650,7 +672,9 @@ fn process_window_fused<R: Real>(
         scratch.v[y * sw..(y + 1) * sw].copy_from_slice(&v.row(row)[span]);
     }
     for _ in 0..k {
-        backend.fused_band_iteration(
+        fast::band_iteration_tiered(
+            backend,
+            numerics,
             &mut scratch.px,
             &mut scratch.py,
             &scratch.v,
@@ -711,6 +735,11 @@ pub fn chambolle_iterate_tiled_spawn_baseline<R: Real>(
 ///   spans as the pooled path,
 /// - cancellation is polled between rounds, and
 /// - the row kernels run on the context's [`KernelBackend`].
+///
+/// The context's numerics tier is deliberately **not** honored: the
+/// baseline always runs Exact, because its role is a measured identity
+/// (schedule and allocation behavior) against the pooled path's Exact
+/// runs.
 ///
 /// # Errors
 ///
@@ -1003,6 +1032,35 @@ impl TvDenoiser for TiledSolver {
         recover_u(v, &p, params.theta)
     }
 
+    fn denoise_with_ctx(
+        &self,
+        v: &Grid<f32>,
+        params: &ChambolleParams,
+        ctx: &ExecCtx,
+    ) -> Grid<f32> {
+        let _span = self.telemetry.span("tiling.denoise");
+        let mut p = DualField::zeros(v.width(), v.height());
+        // Keep this solver's schedule (config, pool, telemetry) but honor the
+        // caller's kernel backend and numerics tier.
+        let mut tiled_ctx = ExecCtx::default()
+            .with_telemetry(self.telemetry.clone())
+            .with_backend(ctx.backend())
+            .with_numerics(ctx.numerics());
+        if let Some(pool) = &self.pool {
+            tiled_ctx = tiled_ctx.with_pool(Arc::clone(pool));
+        }
+        chambolle_iterate_tiled_with_ctx(
+            &mut p,
+            v,
+            params,
+            params.iterations,
+            &self.config,
+            &tiled_ctx,
+        )
+        .expect("a context without a token cannot be cancelled");
+        recover_u(v, &p, params.theta)
+    }
+
     fn name(&self) -> &str {
         "tiled"
     }
@@ -1011,12 +1069,34 @@ impl TvDenoiser for TiledSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::chambolle_iterate;
+    use crate::solver::chambolle_iterate_with_ctx;
     use proptest::prelude::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn params(iters: u32) -> ChambolleParams {
         ChambolleParams::paper(iters)
+    }
+
+    /// Tiled-vs-sequential bit equality is the **Exact**-tier contract: the
+    /// Fast tier is deterministic per window shape but not bit-comparable
+    /// across window widths. These tests pin the tier so the suite also
+    /// passes under `CHAMBOLLE_NUMERICS=fast`.
+    fn exact_ctx() -> ExecCtx {
+        ExecCtx::default().with_numerics(NumericsPolicy::Exact)
+    }
+
+    fn iterate_exact(p: &mut DualField<f32>, v: &Grid<f32>, pr: &ChambolleParams, iters: u32) {
+        chambolle_iterate_with_ctx(p, v, pr, iters, &exact_ctx()).expect("no token");
+    }
+
+    fn iterate_tiled_exact(
+        p: &mut DualField<f32>,
+        v: &Grid<f32>,
+        pr: &ChambolleParams,
+        iters: u32,
+        cfg: &TileConfig,
+    ) {
+        chambolle_iterate_tiled_with_ctx(p, v, pr, iters, cfg, &exact_ctx()).expect("no token");
     }
 
     #[test]
@@ -1027,7 +1107,8 @@ mod tests {
         let plan = TilePlan::new(40, 30, cfg);
         let tele = Telemetry::null();
         let mut p = DualField::zeros(40, 30);
-        chambolle_iterate_tiled_with_telemetry(&mut p, &v, &pr, 7, &cfg, &tele);
+        let ctx = ExecCtx::default().with_telemetry(tele.clone());
+        chambolle_iterate_tiled_with_ctx(&mut p, &v, &pr, 7, &cfg, &ctx).unwrap();
         let snap = tele.snapshot();
         assert_eq!(snap.counter(names::TILING_ROUNDS), Some(3));
         assert_eq!(
@@ -1098,7 +1179,7 @@ mod tests {
         let v = random_image(61, 47, 9);
         let pr = params(11);
         let mut p_seq = DualField::zeros(61, 47);
-        chambolle_iterate(&mut p_seq, &v, &pr, 11);
+        iterate_exact(&mut p_seq, &v, &pr, 11);
         for margin in [0usize, 1, 2, 4] {
             let cfg = TileConfig::new(24, 20, 2, 2)
                 .unwrap()
@@ -1109,7 +1190,7 @@ mod tests {
                 assert!(window_halo_is_full(t, &plan), "margin {margin}: {t:?}");
             }
             let mut p_tiled = DualField::zeros(61, 47);
-            chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 11, &cfg);
+            iterate_tiled_exact(&mut p_tiled, &v, &pr, 11, &cfg);
             assert_eq!(
                 p_seq.px.as_slice(),
                 p_tiled.px.as_slice(),
@@ -1168,13 +1249,13 @@ mod tests {
         let v = random_image(61, 47, 9);
         let pr = params(13);
         let mut p_seq = DualField::zeros(61, 47);
-        chambolle_iterate(&mut p_seq, &v, &pr, 13);
+        iterate_exact(&mut p_seq, &v, &pr, 13);
 
         for threads in [1usize, 2, 4] {
             for k in [1u32, 2, 3, 5] {
                 let cfg = TileConfig::new(20, 16, k, threads).unwrap();
                 let mut p_tiled = DualField::zeros(61, 47);
-                chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 13, &cfg);
+                iterate_tiled_exact(&mut p_tiled, &v, &pr, 13, &cfg);
                 assert_eq!(
                     p_seq.px.as_slice(),
                     p_tiled.px.as_slice(),
@@ -1192,10 +1273,10 @@ mod tests {
         let v = random_image(200, 150, 4);
         let pr = params(8);
         let mut p_seq = DualField::zeros(200, 150);
-        chambolle_iterate(&mut p_seq, &v, &pr, 8);
+        iterate_exact(&mut p_seq, &v, &pr, 8);
         let cfg = TileConfig::paper_hardware(2).unwrap();
         let mut p_tiled = DualField::zeros(200, 150);
-        chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 8, &cfg);
+        iterate_tiled_exact(&mut p_tiled, &v, &pr, 8, &cfg);
         assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
         assert_eq!(p_seq.py.as_slice(), p_tiled.py.as_slice());
     }
@@ -1206,10 +1287,10 @@ mod tests {
         let v = random_image(40, 30, 14);
         let pr = params(7);
         let mut p_seq = DualField::zeros(40, 30);
-        chambolle_iterate(&mut p_seq, &v, &pr, 7);
+        iterate_exact(&mut p_seq, &v, &pr, 7);
         let cfg = TileConfig::new(18, 14, 3, 2).unwrap();
         let mut p_tiled = DualField::zeros(40, 30);
-        chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 7, &cfg);
+        iterate_tiled_exact(&mut p_tiled, &v, &pr, 7, &cfg);
         assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
     }
 
@@ -1218,10 +1299,10 @@ mod tests {
         let v = random_image(10, 8, 3);
         let pr = params(5);
         let mut p_seq = DualField::zeros(10, 8);
-        chambolle_iterate(&mut p_seq, &v, &pr, 5);
+        iterate_exact(&mut p_seq, &v, &pr, 5);
         let cfg = TileConfig::paper_hardware(2).unwrap();
         let mut p_tiled = DualField::zeros(10, 8);
-        chambolle_iterate_tiled(&mut p_tiled, &v, &pr, 5, &cfg);
+        iterate_tiled_exact(&mut p_tiled, &v, &pr, 5, &cfg);
         assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
     }
 
@@ -1230,8 +1311,12 @@ mod tests {
         use crate::solver::SequentialSolver;
         let v = random_image(50, 40, 77);
         let pr = params(10);
-        let seq = SequentialSolver::new().denoise(&v, &pr);
-        let tiled = TiledSolver::new(TileConfig::new(24, 20, 2, 2).unwrap()).denoise(&v, &pr);
+        let seq = SequentialSolver::new().denoise_with_ctx(&v, &pr, &exact_ctx());
+        let tiled = TiledSolver::new(TileConfig::new(24, 20, 2, 2).unwrap()).denoise_with_ctx(
+            &v,
+            &pr,
+            &exact_ctx(),
+        );
         assert_eq!(seq.as_slice(), tiled.as_slice());
         assert_eq!(TiledSolver::default().name(), "tiled");
     }
@@ -1242,7 +1327,7 @@ mod tests {
         let pr = params(9);
         let cfg = TileConfig::new(20, 16, 2, 3).unwrap();
         let mut p_seq = DualField::zeros(50, 38);
-        chambolle_iterate(&mut p_seq, &v, &pr, 9);
+        iterate_exact(&mut p_seq, &v, &pr, 9);
 
         let mut p_base = DualField::zeros(50, 38);
         chambolle_iterate_tiled_spawn_baseline(&mut p_base, &v, &pr, 9, &cfg);
@@ -1250,17 +1335,10 @@ mod tests {
         assert_eq!(p_seq.py.as_slice(), p_base.py.as_slice());
 
         for pool_threads in [1usize, 2, 4] {
-            let pool = ThreadPool::new(pool_threads);
+            let pool = Arc::new(ThreadPool::new(pool_threads));
             let mut p_pool = DualField::zeros(50, 38);
-            chambolle_iterate_tiled_with_pool(
-                &mut p_pool,
-                &v,
-                &pr,
-                9,
-                &cfg,
-                &pool,
-                &Telemetry::disabled(),
-            );
+            let ctx = exact_ctx().with_pool(Arc::clone(&pool));
+            chambolle_iterate_tiled_with_ctx(&mut p_pool, &v, &pr, 9, &cfg, &ctx).unwrap();
             assert_eq!(
                 p_seq.px.as_slice(),
                 p_pool.px.as_slice(),
@@ -1281,7 +1359,7 @@ mod tests {
         let pr = params(6);
         let cfg = TileConfig::new(18, 14, 2, 2).unwrap(); // K=2 -> 3 rounds
         let mut p_ref = DualField::zeros(44, 32);
-        chambolle_iterate(&mut p_ref, &v, &pr, 6);
+        iterate_exact(&mut p_ref, &v, &pr, 6);
 
         let tele = Telemetry::null();
         let pool = Arc::new(ThreadPool::new(3));
@@ -1324,8 +1402,11 @@ mod tests {
         let pr = params(8);
         for seed in [1u64, 2] {
             let v = random_image(47, 33, seed);
-            let seq = SequentialSolver::new().denoise(&v, &pr);
-            assert_eq!(seq.as_slice(), solver.denoise(&v, &pr).as_slice());
+            let seq = SequentialSolver::new().denoise_with_ctx(&v, &pr, &exact_ctx());
+            assert_eq!(
+                seq.as_slice(),
+                solver.denoise_with_ctx(&v, &pr, &exact_ctx()).as_slice()
+            );
         }
         let stats = pool.stats();
         assert!(
@@ -1342,11 +1423,11 @@ mod tests {
         let pr = params(6);
         let cfg = TileConfig::new(14, 12, 2, 1).unwrap();
         let mut p_seq = DualField::zeros(30, 26);
-        chambolle_iterate(&mut p_seq, &v, &pr, 6);
+        iterate_exact(&mut p_seq, &v, &pr, 6);
         let mut p_base = DualField::zeros(30, 26);
         chambolle_iterate_tiled_spawn_baseline(&mut p_base, &v, &pr, 6, &cfg);
         let mut p_tile = DualField::zeros(30, 26);
-        chambolle_iterate_tiled(&mut p_tile, &v, &pr, 6, &cfg);
+        iterate_tiled_exact(&mut p_tile, &v, &pr, 6, &cfg);
         assert_eq!(p_seq.px.as_slice(), p_base.px.as_slice());
         assert_eq!(p_seq.px.as_slice(), p_tile.px.as_slice());
         assert_eq!(p_seq.py.as_slice(), p_tile.py.as_slice());
@@ -1358,31 +1439,17 @@ mod tests {
         let v = random_image(40, 30, 55);
         let pr = params(7);
         let cfg = TileConfig::new(18, 14, 3, 2).unwrap();
-        let pool = ThreadPool::new(2);
+        let pool = Arc::new(ThreadPool::new(2));
+        let pooled_ctx = ExecCtx::default().with_pool(Arc::clone(&pool));
 
         // Uncancelled run is bit-identical to the plain pooled path.
         let mut p_plain = DualField::zeros(40, 30);
-        chambolle_iterate_tiled_with_pool(
-            &mut p_plain,
-            &v,
-            &pr,
-            7,
-            &cfg,
-            &pool,
-            &Telemetry::disabled(),
-        );
+        chambolle_iterate_tiled_with_ctx(&mut p_plain, &v, &pr, 7, &cfg, &pooled_ctx).unwrap();
         let mut p_canc = DualField::zeros(40, 30);
-        chambolle_iterate_tiled_cancellable(
-            &mut p_canc,
-            &v,
-            &pr,
-            7,
-            &cfg,
-            &pool,
-            &Telemetry::disabled(),
-            &CancelToken::new(),
-        )
-        .unwrap();
+        let live_ctx = ExecCtx::default()
+            .with_pool(Arc::clone(&pool))
+            .with_cancel(CancelToken::new());
+        chambolle_iterate_tiled_with_ctx(&mut p_canc, &v, &pr, 7, &cfg, &live_ctx).unwrap();
         assert_eq!(p_plain.px.as_slice(), p_canc.px.as_slice());
         assert_eq!(p_plain.py.as_slice(), p_canc.py.as_slice());
 
@@ -1391,32 +1458,18 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let mut p_stop = DualField::zeros(40, 30);
-        let err = chambolle_iterate_tiled_cancellable(
-            &mut p_stop,
-            &v,
-            &pr,
-            7,
-            &cfg,
-            &pool,
-            &Telemetry::disabled(),
-            &token,
-        )
-        .unwrap_err();
+        let stop_ctx = ExecCtx::default()
+            .with_pool(Arc::clone(&pool))
+            .with_cancel(token);
+        let err =
+            chambolle_iterate_tiled_with_ctx(&mut p_stop, &v, &pr, 7, &cfg, &stop_ctx).unwrap_err();
         assert_eq!(err.reason, CancelReason::Explicit);
         assert_eq!(
             p_stop.px.as_slice(),
             DualField::<f32>::zeros(40, 30).px.as_slice()
         );
         let mut p_after = DualField::zeros(40, 30);
-        chambolle_iterate_tiled_with_pool(
-            &mut p_after,
-            &v,
-            &pr,
-            7,
-            &cfg,
-            &pool,
-            &Telemetry::disabled(),
-        );
+        chambolle_iterate_tiled_with_ctx(&mut p_after, &v, &pr, 7, &cfg, &pooled_ctx).unwrap();
         assert_eq!(p_plain.px.as_slice(), p_after.px.as_slice());
     }
 
@@ -1449,10 +1502,10 @@ mod tests {
             let v = random_image(w, h, seed);
             let pr = params(iters);
             let mut p_seq = DualField::zeros(w, h);
-            chambolle_iterate(&mut p_seq, &v, &pr, iters);
+            iterate_exact(&mut p_seq, &v, &pr, iters);
             let cfg = TileConfig::new(tile_w, tile_h, k, 2).unwrap();
             let mut p_tiled = DualField::zeros(w, h);
-            chambolle_iterate_tiled(&mut p_tiled, &v, &pr, iters, &cfg);
+            iterate_tiled_exact(&mut p_tiled, &v, &pr, iters, &cfg);
             prop_assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice());
             prop_assert_eq!(p_seq.py.as_slice(), p_tiled.py.as_slice());
         }

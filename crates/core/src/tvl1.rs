@@ -247,8 +247,8 @@ impl<D: TvDenoiser> TvL1Solver<D> {
                     ctx.checkpoint().map_err(FlowError::Cancelled)?;
                     let v = threshold_step(&lin, &u, self.params.lambda, self.params.inner.theta);
                     let t0 = Instant::now();
-                    let u1 = self.inner.denoise(&v.u1, &self.params.inner);
-                    let u2 = self.inner.denoise(&v.u2, &self.params.inner);
+                    let u1 = self.inner.denoise_with_ctx(&v.u1, &self.params.inner, ctx);
+                    let u2 = self.inner.denoise_with_ctx(&v.u2, &self.params.inner, ctx);
                     chambolle_time += t0.elapsed();
                     chambolle_calls += 2;
                     u = FlowField::from_components(u1, u2);
@@ -533,10 +533,15 @@ mod tests {
         let scene = NoiseTexture::new(30);
         let pair = render_pair(&scene, 70, 50, Motion::Translation { du: 1.0, dv: 0.0 });
         let p = fast_params();
-        let (f_seq, _) = TvL1Solver::sequential(p).flow(&pair.i0, &pair.i1).unwrap();
+        // Sequential-vs-tiled bit identity is the Exact-tier contract; pin
+        // the tier so the suite also passes under `CHAMBOLLE_NUMERICS=fast`.
+        let exact = ExecCtx::default().with_numerics(crate::ctx::NumericsPolicy::Exact);
+        let (f_seq, _) = TvL1Solver::sequential(p)
+            .flow_with_ctx(&pair.i0, &pair.i1, None, &exact)
+            .unwrap();
         let tiled = TiledSolver::new(TileConfig::new(32, 24, 2, 2).unwrap());
         let (f_tiled, _) = TvL1Solver::with_backend(p, tiled)
-            .flow(&pair.i0, &pair.i1)
+            .flow_with_ctx(&pair.i0, &pair.i1, None, &exact)
             .unwrap();
         assert_eq!(f_seq.u1.as_slice(), f_tiled.u1.as_slice());
         assert_eq!(f_seq.u2.as_slice(), f_tiled.u2.as_slice());

@@ -15,7 +15,8 @@ use chambolle_imaging::Grid;
 use chambolle_par::{ThreadPool, UnsafeSharedSlice};
 
 use crate::backend::KernelBackend;
-use crate::ctx::ExecCtx;
+use crate::ctx::{ExecCtx, NumericsPolicy};
+use crate::fast;
 use crate::params::{ChambolleParams, InvalidParamsError};
 use crate::real::Real;
 use crate::solver::{recover_u, DualField};
@@ -101,9 +102,12 @@ pub fn chambolle_denoise_weighted<R: Real>(
 ///
 /// The weighted dual update itself stays a sequential scalar pass: its
 /// per-weight renormalization has no fused/vector kernel (the paper's
-/// hardware fixes `w = 1`). The context's cancellation token is **not**
-/// polled — the weighted solve has no cancellable entry point to stay
-/// compatible with, and its error type reports invalid inputs only.
+/// hardware fixes `w = 1`). The context's numerics tier applies to the
+/// term pass only — under [`NumericsPolicy::Fast`](crate::NumericsPolicy)
+/// the term rows run the FMA kernels of [`crate::fast`]. The context's
+/// cancellation token is **not** polled — the weighted solve has no
+/// cancellable entry point to stay compatible with, and its error type
+/// reports invalid inputs only.
 ///
 /// # Errors
 ///
@@ -127,13 +131,14 @@ pub fn chambolle_denoise_weighted_with_ctx<R: Real>(
     validate_weights(weights)?;
     let _span = ctx.telemetry().span("weighted.solve");
     let backend = ctx.backend();
+    let numerics = ctx.numerics();
     let pool = ctx.pool().map(std::sync::Arc::as_ref);
     let inv_theta = R::ONE / R::from_f32(params.theta);
     let step_ratio = R::from_f32(params.step_ratio());
     let mut p = DualField::zeros(v.width(), v.height());
     let mut term = Grid::new(v.width(), v.height(), R::ZERO);
     for _ in 0..params.iterations {
-        term_pass(&p, v, inv_theta, backend, pool, &mut term);
+        term_pass(&p, v, inv_theta, backend, numerics, pool, &mut term);
         update_p_weighted(&mut p, &term, weights, step_ratio);
     }
     Ok((recover_u(v, &p, params.theta), p))
@@ -148,6 +153,7 @@ fn term_pass<R: Real>(
     v: &Grid<R>,
     inv_theta: R,
     backend: KernelBackend,
+    numerics: NumericsPolicy,
     pool: Option<&ThreadPool>,
     term: &mut Grid<R>,
 ) {
@@ -156,7 +162,9 @@ fn term_pass<R: Real>(
         return;
     }
     let term_row = |y: usize, out: &mut [R]| {
-        backend.compute_term_row(
+        fast::term_row_tiered(
+            backend,
+            numerics,
             p.px.row(y),
             p.py.row(y),
             (y > 0).then(|| p.py.row(y - 1)),

@@ -11,7 +11,10 @@
 //! - [`PackedWord`] — the 32-bit `{v, px, py}` memory word;
 //! - [`SqrtLut`] — the LUT square root with the odd-position alignment trick,
 //!   plus [`sqrt_accuracy`] to reproduce the paper's "<1% error in >90% of
-//!   samples" claim.
+//!   samples" claim;
+//! - [`solver`] — a planar (SoA) software solver over the same datapath:
+//!   the packed fields laid out as separate `i32` planes with an AVX2 Term
+//!   pass, bit-identical to the hwsim full-frame reference model.
 //!
 //! # Examples
 //!
@@ -30,9 +33,11 @@
 #![warn(missing_docs)]
 
 mod q;
+pub mod solver;
 mod sqrt;
 mod word;
 
 pub use q::{Fixed, Q24_8};
+pub use solver::{fixed_denoise, FixedFrame, FixedSolverParams};
 pub use sqrt::{isqrt_u64, sqrt_accuracy, SqrtAccuracy, SqrtLut, SqrtUnit};
 pub use word::{PackWordError, PackedWord, WordFixed, P_BITS, V_BITS, WORD_FRAC};

@@ -31,6 +31,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 /// assert_eq!((a + b).to_f32(), 1.75);
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct Fixed<const FRAC: u32>(i32);
 
 /// Q24.8: the wide datapath format (square-root input, accumulators).

@@ -1,0 +1,410 @@
+//! Planar (SoA) fixed-point Chambolle solver over the packed-word datapath.
+//!
+//! The hardware model in `chambolle-hwsim` stores its state as AoS
+//! [`PackedWord`](crate::PackedWord)s because that is what the BRAMs hold.
+//! This module keeps the *same arithmetic* — the 13-bit `v` / 9-bit `px`,
+//! `py` field widths, the saturating Q24.8 ops and the LUT square root —
+//! but lays the three fields out as separate planes, so each pass streams
+//! contiguous rows of `i32` lanes. That is the layout a SIMD datapath
+//! wants, and the Term pass (the bandwidth-bound half of Algorithm 1) runs
+//! 8 lanes wide under AVX2 when the host supports it.
+//!
+//! The vector path uses plain wrapping `i32` arithmetic instead of the
+//! saturating [`Fixed`](crate::Fixed) ops. That is bit-identical, not
+//! approximate: the packed field widths bound every intermediate — `px`,
+//! `py` sign-extend from 9 bits, `v` from 13 — so no Term-pass value can
+//! come near `i32` saturation (the dispatcher checks the one untrusted
+//! input, `1/θ`, and falls back to the scalar ops otherwise). The p-update
+//! pass stays scalar: its LUT square root is a data-dependent table walk.
+//!
+//! Bit-identity with the full-frame hwsim reference model is pinned by the
+//! workspace test `tests/fixedpoint_solver.rs`.
+
+use crate::word::{P_BITS, V_BITS};
+use crate::{SqrtUnit, WordFixed};
+
+/// Planar fixed-point solver state: one frame of `v`, `px`, `py` planes.
+///
+/// The planes hold full Q24.8 words, but every value respects the packed
+/// field widths at rest: `v` fits in [`V_BITS`] bits (saturated once at
+/// quantization), `px`/`py` in [`P_BITS`] bits (saturated by every update,
+/// as the RTL write path does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedFrame {
+    width: usize,
+    height: usize,
+    v: Vec<WordFixed>,
+    px: Vec<WordFixed>,
+    py: Vec<WordFixed>,
+}
+
+impl FixedFrame {
+    /// Quantizes an `f32` frame (row-major, `width * height` samples) into
+    /// the packed-word value domain with `p = 0`, the iteration's initial
+    /// state. Out-of-range intensities saturate into the 13-bit `v` field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples.len() != width * height` or either dimension is
+    /// zero.
+    pub fn quantize(samples: &[f32], width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "frame must be non-empty");
+        assert_eq!(samples.len(), width * height, "sample count mismatch");
+        FixedFrame {
+            width,
+            height,
+            v: samples
+                .iter()
+                .map(|&s| WordFixed::from_f32(s).saturate_to(V_BITS))
+                .collect(),
+            px: vec![WordFixed::ZERO; samples.len()],
+            py: vec![WordFixed::ZERO; samples.len()],
+        }
+    }
+
+    /// Frame width in elements.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in elements.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The quantized denoising target, row-major.
+    pub fn v(&self) -> &[WordFixed] {
+        &self.v
+    }
+
+    /// The `px` plane, row-major.
+    pub fn px(&self) -> &[WordFixed] {
+        &self.px
+    }
+
+    /// The `py` plane, row-major.
+    pub fn py(&self) -> &[WordFixed] {
+        &self.py
+    }
+}
+
+/// The fixed-point solve constants, in the exact encoding the datapath
+/// multiplies with (the hardware never divides by `θ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedSolverParams {
+    /// `θ` in Q24.8.
+    pub theta: WordFixed,
+    /// Precomputed `1/θ` in Q24.8.
+    pub inv_theta: WordFixed,
+    /// `τ/θ` in Q24.8.
+    pub step_ratio: WordFixed,
+}
+
+impl FixedSolverParams {
+    /// The standard configuration used throughout the paper's evaluation:
+    /// `θ = 1/4`, `τ/θ = 1/4`.
+    pub fn standard() -> Self {
+        FixedSolverParams {
+            theta: WordFixed::from_f32(0.25),
+            inv_theta: WordFixed::from_f32(4.0),
+            step_ratio: WordFixed::from_f32(0.25),
+        }
+    }
+}
+
+/// Runs `iterations` Chambolle iterations in fixed point over the whole
+/// frame, then recovers `u = v − θ·div p` with a final Term-style sweep —
+/// the schedule the accelerator executes. Returns `u`, row-major.
+pub fn fixed_denoise(
+    frame: &mut FixedFrame,
+    params: &FixedSolverParams,
+    iterations: u32,
+    sqrt: &SqrtUnit,
+) -> Vec<WordFixed> {
+    let n = frame.width * frame.height;
+    let mut term = vec![WordFixed::ZERO; n];
+    for _ in 0..iterations {
+        term_pass(frame, params.inv_theta, &mut term);
+        update_pass(frame, &term, params.step_ratio, sqrt);
+    }
+    recover_pass(frame, params.theta)
+}
+
+/// Pass 1 of one iteration: `Term = div p − v·(1/θ)` over the whole frame,
+/// with Backward differences (left/upper neighbor, zero at the borders).
+fn term_pass(frame: &FixedFrame, inv_theta: WordFixed, term: &mut [WordFixed]) {
+    let (w, h) = (frame.width, frame.height);
+    #[cfg(target_arch = "x86_64")]
+    if vector_mul_is_exact(inv_theta) && std::is_x86_feature_detected!("avx2") {
+        for y in 0..h {
+            let row = y * w;
+            let above = (y > 0).then(|| &frame.py[row - w..row]);
+            // SAFETY: AVX2 support was just detected; slice lengths all
+            // equal the row width by construction.
+            unsafe {
+                avx2::term_row(
+                    &frame.px[row..row + w],
+                    &frame.py[row..row + w],
+                    above,
+                    &frame.v[row..row + w],
+                    inv_theta,
+                    &mut term[row..row + w],
+                );
+            }
+        }
+        return;
+    }
+    term_pass_scalar(frame, inv_theta, term);
+}
+
+/// The scalar Term pass: the reference op order every other path replays.
+fn term_pass_scalar(frame: &FixedFrame, inv_theta: WordFixed, term: &mut [WordFixed]) {
+    let (w, h) = (frame.width, frame.height);
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let l_px = if x == 0 {
+                WordFixed::ZERO
+            } else {
+                frame.px[i - 1]
+            };
+            let a_py = if y == 0 {
+                WordFixed::ZERO
+            } else {
+                frame.py[i - w]
+            };
+            let div = (frame.px[i] - l_px) + (frame.py[i] - a_py);
+            term[i] = div - frame.v[i] * inv_theta;
+        }
+    }
+}
+
+/// Pass 2 of one iteration: the normalized `p` update with Forward
+/// differences and the selected square-root unit, each component saturated
+/// back into the 9-bit packed field as the RTL write path does.
+fn update_pass(frame: &mut FixedFrame, term: &[WordFixed], step_ratio: WordFixed, sqrt: &SqrtUnit) {
+    let (w, h) = (frame.width, frame.height);
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let t1 = if x + 1 == w {
+                WordFixed::ZERO
+            } else {
+                term[i + 1] - term[i]
+            };
+            let t2 = if y + 1 == h {
+                WordFixed::ZERO
+            } else {
+                term[i + w] - term[i]
+            };
+            let mag_sq = t1 * t1 + t2 * t2;
+            let grad = WordFixed::from_bits(sqrt.sqrt_q24_8(mag_sq.to_bits() as u32) as i32);
+            let denom = WordFixed::ONE + step_ratio * grad;
+            frame.px[i] = ((frame.px[i] + step_ratio * t1) / denom).saturate_to(P_BITS);
+            frame.py[i] = ((frame.py[i] + step_ratio * t2) / denom).saturate_to(P_BITS);
+        }
+    }
+}
+
+/// The final sweep: `u = v − θ·div p` (a Term pass with the PE-Vs idle).
+fn recover_pass(frame: &FixedFrame, theta: WordFixed) -> Vec<WordFixed> {
+    let (w, h) = (frame.width, frame.height);
+    let mut u = vec![WordFixed::ZERO; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let l_px = if x == 0 {
+                WordFixed::ZERO
+            } else {
+                frame.px[i - 1]
+            };
+            let a_py = if y == 0 {
+                WordFixed::ZERO
+            } else {
+                frame.py[i - w]
+            };
+            let div = (frame.px[i] - l_px) + (frame.py[i] - a_py);
+            u[i] = frame.v[i] - theta * div;
+        }
+    }
+    u
+}
+
+/// Whether `v·(1/θ)` can be computed with wrapping 32-bit lane arithmetic
+/// without diverging from the saturating reference: the product of a
+/// 13-bit `v` and this `1/θ` (the one operand not bounded by a packed
+/// field width) must fit in `i32` before the Q24.8 renormalizing shift.
+fn vector_mul_is_exact(inv_theta: WordFixed) -> bool {
+    // |v| < 2^12 lanes, so any |1/θ| < 2^18 keeps |v·(1/θ)| < 2^30.
+    inv_theta.to_bits().unsigned_abs() < 1 << 18
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::WordFixed;
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_loadu_si256, _mm256_mullo_epi32, _mm256_set1_epi32,
+        _mm256_setzero_si256, _mm256_srai_epi32, _mm256_storeu_si256, _mm256_sub_epi32,
+    };
+
+    /// Views a plane row as its raw Q24.8 bit pattern. Sound because
+    /// [`Fixed`](crate::Fixed) is `#[repr(transparent)]` over `i32`.
+    fn bits(row: &[WordFixed]) -> &[i32] {
+        unsafe { std::slice::from_raw_parts(row.as_ptr().cast(), row.len()) }
+    }
+
+    fn bits_mut(row: &mut [WordFixed]) -> &mut [i32] {
+        unsafe { std::slice::from_raw_parts_mut(row.as_mut_ptr().cast(), row.len()) }
+    }
+
+    /// One row of the Term pass, 8 Q24.8 lanes per step.
+    ///
+    /// Wrapping lane arithmetic replays the saturating scalar ops exactly
+    /// because the 9/13-bit field invariants (checked by the caller for
+    /// `1/θ`) keep every intermediate far from `i32` range — see the
+    /// module docs.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn term_row(
+        px: &[WordFixed],
+        py: &[WordFixed],
+        py_above: Option<&[WordFixed]>,
+        v: &[WordFixed],
+        inv_theta: WordFixed,
+        out: &mut [WordFixed],
+    ) {
+        let w = out.len();
+        // First column: no left neighbor; also covers rows too narrow for
+        // a full vector.
+        let a_py0 = py_above.map_or(WordFixed::ZERO, |a| a[0]);
+        out[0] = (px[0] - WordFixed::ZERO) + (py[0] - a_py0) - v[0] * inv_theta;
+
+        let px = bits(px);
+        let py = bits(py);
+        let above = py_above.map(bits);
+        let v = bits(v);
+        let it = _mm256_set1_epi32(inv_theta.to_bits());
+        let out_bits = bits_mut(out);
+
+        let mut x = 1usize;
+        while x + 8 <= w {
+            let cpx = _mm256_loadu_si256(px.as_ptr().add(x).cast::<__m256i>());
+            let lpx = _mm256_loadu_si256(px.as_ptr().add(x - 1).cast::<__m256i>());
+            let cpy = _mm256_loadu_si256(py.as_ptr().add(x).cast::<__m256i>());
+            let apy = match above {
+                Some(a) => _mm256_loadu_si256(a.as_ptr().add(x).cast::<__m256i>()),
+                None => _mm256_setzero_si256(),
+            };
+            let vv = _mm256_loadu_si256(v.as_ptr().add(x).cast::<__m256i>());
+            // Q24.8 multiply: full product fits i32 (caller-checked), so
+            // the low-lane product + arithmetic shift is the truncating
+            // reference multiply.
+            let prod = _mm256_srai_epi32::<8>(_mm256_mullo_epi32(vv, it));
+            let div = _mm256_add_epi32(_mm256_sub_epi32(cpx, lpx), _mm256_sub_epi32(cpy, apy));
+            let term = _mm256_sub_epi32(div, prod);
+            _mm256_storeu_si256(out_bits.as_mut_ptr().add(x).cast::<__m256i>(), term);
+            x += 8;
+        }
+        for i in x..w {
+            let l_px = WordFixed::from_bits(px[i - 1]);
+            let a_py = above.map_or(WordFixed::ZERO, |a| WordFixed::from_bits(a[i]));
+            let div = (WordFixed::from_bits(px[i]) - l_px) + (WordFixed::from_bits(py[i]) - a_py);
+            out_bits[i] = (div - WordFixed::from_bits(v[i]) * inv_theta).to_bits();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_state(w: usize, h: usize, seed: u64) -> FixedFrame {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = w * h;
+        // Raw bit patterns spanning the full packed field ranges, not just
+        // values a solve would reach — the vector path must match anyway.
+        let field = |rng: &mut StdRng, bits: u32| {
+            let half = 1i32 << (bits - 1);
+            WordFixed::from_bits(rng.gen_range(-half..half))
+        };
+        FixedFrame {
+            width: w,
+            height: h,
+            v: (0..n).map(|_| field(&mut rng, V_BITS)).collect(),
+            px: (0..n).map(|_| field(&mut rng, P_BITS)).collect(),
+            py: (0..n).map(|_| field(&mut rng, P_BITS)).collect(),
+        }
+    }
+
+    #[test]
+    fn term_pass_matches_scalar_reference() {
+        for (w, h) in [(1, 1), (7, 3), (8, 4), (9, 5), (33, 2), (64, 6)] {
+            let frame = random_state(w, h, (w * 31 + h) as u64);
+            let mut got = vec![WordFixed::ZERO; w * h];
+            let mut want = vec![WordFixed::ZERO; w * h];
+            term_pass(&frame, FixedSolverParams::standard().inv_theta, &mut got);
+            term_pass_scalar(&frame, FixedSolverParams::standard().inv_theta, &mut want);
+            assert_eq!(got, want, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn huge_inv_theta_takes_the_saturating_path() {
+        // A 1/θ large enough to overflow a 32-bit lane product must route
+        // to the scalar saturating ops — and still produce their answer.
+        let huge = WordFixed::from_bits(1 << 20);
+        assert!(!vector_mul_is_exact(huge));
+        let frame = random_state(17, 4, 9);
+        let mut got = vec![WordFixed::ZERO; 17 * 4];
+        let mut want = vec![WordFixed::ZERO; 17 * 4];
+        term_pass(&frame, huge, &mut got);
+        term_pass_scalar(&frame, huge, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn constant_image_is_a_fixed_point() {
+        let mut frame = FixedFrame::quantize(&vec![0.5f32; 12 * 10], 12, 10);
+        let u = fixed_denoise(
+            &mut frame,
+            &FixedSolverParams::standard(),
+            30,
+            &SqrtUnit::lut(),
+        );
+        for &s in &u {
+            assert_eq!(s.to_f32(), 0.5);
+        }
+        for (&px, &py) in frame.px().iter().zip(frame.py()) {
+            assert_eq!(px, WordFixed::ZERO);
+            assert_eq!(py, WordFixed::ZERO);
+        }
+    }
+
+    #[test]
+    fn dual_planes_stay_in_nine_bits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f32> = (0..24 * 20).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut frame = FixedFrame::quantize(&samples, 24, 20);
+        fixed_denoise(
+            &mut frame,
+            &FixedSolverParams::standard(),
+            60,
+            &SqrtUnit::lut(),
+        );
+        for (&px, &py) in frame.px().iter().zip(frame.py()) {
+            assert!(px.fits_in(P_BITS) && py.fits_in(P_BITS));
+        }
+    }
+
+    #[test]
+    fn quantize_saturates_into_the_v_field() {
+        let frame = FixedFrame::quantize(&[1.0e9, -1.0e9], 2, 1);
+        assert!(frame.v()[0].fits_in(V_BITS));
+        assert!(frame.v()[1].fits_in(V_BITS));
+        assert_eq!(frame.v()[0], WordFixed::MAX.saturate_to(V_BITS));
+    }
+}

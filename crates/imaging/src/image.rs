@@ -272,7 +272,12 @@ mod tests {
         let (gx, gy) = gradient_central(&img);
         for threads in [1usize, 2, 3, 8] {
             let pool = ThreadPool::new(threads);
-            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+            for level in [
+                SimdLevel::Scalar,
+                SimdLevel::Sse2,
+                SimdLevel::Avx2,
+                SimdLevel::Avx512,
+            ] {
                 if !level.is_supported() {
                     continue;
                 }

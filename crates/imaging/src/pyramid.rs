@@ -413,10 +413,15 @@ mod tests {
         let resized = resize_bilinear(&img, 31, 22);
         let pyr_half = Pyramid::build(&img, 4);
         let pyr_scaled = Pyramid::build_scaled(&img, 4, 0.7);
-        let levels: Vec<SimdLevel> = [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
-            .into_iter()
-            .filter(SimdLevel::is_supported)
-            .collect();
+        let levels: Vec<SimdLevel> = [
+            SimdLevel::Scalar,
+            SimdLevel::Sse2,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+        ]
+        .into_iter()
+        .filter(SimdLevel::is_supported)
+        .collect();
         for threads in [1usize, 2, 3, 8] {
             let pool = ThreadPool::new(threads);
             for &level in &levels {

@@ -26,7 +26,7 @@ pub(crate) fn blur_h_row(level: SimdLevel, src: &[f32], out: &mut [f32]) {
     if level != SimdLevel::Scalar && out.len() >= 2 && level.is_supported() {
         match level {
             // SAFETY: `is_supported()` ran `is_x86_feature_detected!("avx2")`.
-            SimdLevel::Avx2 => unsafe { x86::blur_h_row_avx2(src, out) },
+            SimdLevel::Avx2 | SimdLevel::Avx512 => unsafe { x86::blur_h_row_avx2(src, out) },
             // SAFETY: as above with `is_x86_feature_detected!("sse2")`.
             SimdLevel::Sse2 => unsafe { x86::blur_h_row_sse2(src, out) },
             SimdLevel::Scalar => unreachable!("scalar never dispatches here"),
@@ -58,7 +58,7 @@ pub(crate) fn blur_v_row(level: SimdLevel, taps: [&[f32]; 5], out: &mut [f32]) {
     if level != SimdLevel::Scalar && out.len() >= 2 && level.is_supported() {
         match level {
             // SAFETY: `is_supported()` ran `is_x86_feature_detected!("avx2")`.
-            SimdLevel::Avx2 => unsafe { x86::blur_v_row_avx2(taps, out) },
+            SimdLevel::Avx2 | SimdLevel::Avx512 => unsafe { x86::blur_v_row_avx2(taps, out) },
             // SAFETY: as above with `is_x86_feature_detected!("sse2")`.
             SimdLevel::Sse2 => unsafe { x86::blur_v_row_sse2(taps, out) },
             SimdLevel::Scalar => unreachable!("scalar never dispatches here"),
@@ -99,7 +99,9 @@ pub(crate) fn gradient_row(
     if level != SimdLevel::Scalar && row.len() >= 2 && level.is_supported() {
         match level {
             // SAFETY: `is_supported()` ran `is_x86_feature_detected!("avx2")`.
-            SimdLevel::Avx2 => unsafe { x86::gradient_row_avx2(above, row, below, gx, gy) },
+            SimdLevel::Avx2 | SimdLevel::Avx512 => unsafe {
+                x86::gradient_row_avx2(above, row, below, gx, gy)
+            },
             // SAFETY: as above with `is_x86_feature_detected!("sse2")`.
             SimdLevel::Sse2 => unsafe { x86::gradient_row_sse2(above, row, below, gx, gy) },
             SimdLevel::Scalar => unreachable!("scalar never dispatches here"),
@@ -122,7 +124,7 @@ pub(crate) fn sub_slice(level: SimdLevel, a: &[f32], b: &[f32], out: &mut [f32])
     if level != SimdLevel::Scalar && out.len() >= 2 && level.is_supported() {
         match level {
             // SAFETY: `is_supported()` ran `is_x86_feature_detected!("avx2")`.
-            SimdLevel::Avx2 => unsafe { x86::sub_slice_avx2(a, b, out) },
+            SimdLevel::Avx2 | SimdLevel::Avx512 => unsafe { x86::sub_slice_avx2(a, b, out) },
             // SAFETY: as above with `is_x86_feature_detected!("sse2")`.
             SimdLevel::Sse2 => unsafe { x86::sub_slice_sse2(a, b, out) },
             SimdLevel::Scalar => unreachable!("scalar never dispatches here"),
@@ -385,7 +387,7 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn vector_levels() -> Vec<SimdLevel> {
-        [SimdLevel::Sse2, SimdLevel::Avx2]
+        [SimdLevel::Sse2, SimdLevel::Avx2, SimdLevel::Avx512]
             .into_iter()
             .filter(SimdLevel::is_supported)
             .collect()

@@ -227,7 +227,12 @@ mod tests {
                 par_warp.as_slice(),
                 "{threads} threads"
             );
-            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+            for level in [
+                SimdLevel::Scalar,
+                SimdLevel::Sse2,
+                SimdLevel::Avx2,
+                SimdLevel::Avx512,
+            ] {
                 if !level.is_supported() {
                     continue;
                 }

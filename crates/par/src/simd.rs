@@ -6,16 +6,20 @@
 //! resolved **once** per process by [`active`]:
 //!
 //! 1. if the `CHAMBOLLE_BACKEND` environment variable ([`BACKEND_ENV`]) is
-//!    set to `scalar`, `sse2` or `avx2`, that level is requested;
+//!    set to `scalar`, `sse2`, `avx2` or `avx512`, that level is requested;
 //! 2. a requested level the CPU cannot run (or an unrecognised value) falls
 //!    back to the best detected level, never to undefined behavior;
 //! 3. with no override, the best supported level wins ([`detect`]).
 //!
-//! Every level computes **bit-identical** results for the elementwise
-//! kernels — vector lanes replay the scalar operation order with no fused
-//! multiply-add and no reassociation — so the choice is purely a throughput
-//! knob. That contract is pinned by the backend-exactness test matrix at
-//! the workspace root.
+//! Under the default **Exact** numerics tier every level computes
+//! **bit-identical** results for the elementwise kernels — vector lanes
+//! replay the scalar operation order with no fused multiply-add and no
+//! reassociation — so the choice is purely a throughput knob. That contract
+//! is pinned by the backend-exactness test matrix at the workspace root.
+//! (The AVX-512 level has no dedicated bit-exact kernels; in the Exact tier
+//! it runs the AVX2 ones. Its 16-lane FMA kernels belong to the Fast
+//! numerics tier, which is validated by tolerance instead — see
+//! `chambolle-core`.)
 
 use std::sync::OnceLock;
 
@@ -32,6 +36,8 @@ pub enum SimdLevel {
     Sse2,
     /// 256-bit AVX2 (8 × `f32` lanes).
     Avx2,
+    /// 512-bit AVX-512F (16 × `f32` lanes).
+    Avx512,
 }
 
 impl SimdLevel {
@@ -41,6 +47,7 @@ impl SimdLevel {
             SimdLevel::Scalar => "scalar",
             SimdLevel::Sse2 => "sse2",
             SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
         }
     }
 
@@ -50,6 +57,7 @@ impl SimdLevel {
             SimdLevel::Scalar => 1,
             SimdLevel::Sse2 => 4,
             SimdLevel::Avx2 => 8,
+            SimdLevel::Avx512 => 16,
         }
     }
 
@@ -59,6 +67,7 @@ impl SimdLevel {
             "scalar" => Some(SimdLevel::Scalar),
             "sse2" => Some(SimdLevel::Sse2),
             "avx2" => Some(SimdLevel::Avx2),
+            "avx512" => Some(SimdLevel::Avx512),
             _ => None,
         }
     }
@@ -71,6 +80,16 @@ impl SimdLevel {
             SimdLevel::Sse2 => is_x86_feature_detected!("sse2"),
             #[cfg(target_arch = "x86_64")]
             SimdLevel::Avx2 => is_x86_feature_detected!("avx2"),
+            // The AVX-512 level also requires AVX2 (its Exact tier runs the
+            // AVX2 bodies) and FMA (its Fast-tier kernels contract); every
+            // AVX-512F part ships both, but the dispatch contract must not
+            // rest on that convention.
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => {
+                is_x86_feature_detected!("avx512f")
+                    && is_x86_feature_detected!("avx2")
+                    && is_x86_feature_detected!("fma")
+            }
             #[cfg(not(target_arch = "x86_64"))]
             _ => false,
         }
@@ -79,7 +98,9 @@ impl SimdLevel {
 
 /// The widest [`SimdLevel`] the current CPU supports.
 pub fn detect() -> SimdLevel {
-    if SimdLevel::Avx2.is_supported() {
+    if SimdLevel::Avx512.is_supported() {
+        SimdLevel::Avx512
+    } else if SimdLevel::Avx2.is_supported() {
         SimdLevel::Avx2
     } else if SimdLevel::Sse2.is_supported() {
         SimdLevel::Sse2
@@ -117,13 +138,19 @@ mod tests {
         assert_eq!(SimdLevel::parse("scalar"), Some(SimdLevel::Scalar));
         assert_eq!(SimdLevel::parse("SSE2"), Some(SimdLevel::Sse2));
         assert_eq!(SimdLevel::parse(" Avx2 "), Some(SimdLevel::Avx2));
-        assert_eq!(SimdLevel::parse("avx512"), None);
+        assert_eq!(SimdLevel::parse("AVX512"), Some(SimdLevel::Avx512));
+        assert_eq!(SimdLevel::parse("avx512vl"), None);
         assert_eq!(SimdLevel::parse(""), None);
     }
 
     #[test]
     fn lanes_and_names_are_consistent() {
-        for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+        for level in [
+            SimdLevel::Scalar,
+            SimdLevel::Sse2,
+            SimdLevel::Avx2,
+            SimdLevel::Avx512,
+        ] {
             assert_eq!(SimdLevel::parse(level.as_str()), Some(level));
             assert!(level.lanes().is_power_of_two());
         }

@@ -34,10 +34,12 @@
 //!   dispatcher liveness, brownout state, and last-solve age.
 //! - **Brownout degradation** — under sustained queue congestion *or a
 //!   burning latency SLO* the service sheds *fidelity* instead of
-//!   requests: solves are capped by a configured
-//!   [`DegradationPolicy`](chambolle_core::DegradationPolicy) and tagged
-//!   [`ResponseTier::Degraded`]; full fidelity resumes when the episode
-//!   ends.
+//!   requests, staged cheapest-lever-first: one pressure signal switches
+//!   solves to the tolerance-validated `Fast` numerics tier at the full
+//!   iteration budget, and only both signals at once stack the configured
+//!   [`DegradationPolicy`](chambolle_core::DegradationPolicy) iteration cap
+//!   on top. Degraded solves are tagged [`ResponseTier::Degraded`]; full
+//!   fidelity resumes when the episode ends.
 //! - **End-to-end request tracing** — clients mint a 128-bit
 //!   [`TraceContext`] that rides the v3 wire frames; the server threads it
 //!   through queue admission, batch formation, and the solve, recording a
@@ -354,12 +356,35 @@ mod tests {
     }
 
     #[test]
-    fn sustained_congestion_degrades_fidelity_then_recovers() {
+    fn brownout_stages_shed_numerics_before_iterations() {
+        use crate::service::staged_policy;
         use chambolle_core::DegradationPolicy;
+
+        let configured = DegradationPolicy::cap(5);
+        // No pressure: full fidelity.
+        assert_eq!(staged_policy(configured, false, false), None);
+        // One signal (either one): numerics only, full iteration budget.
+        let stage1 = DegradationPolicy::fast_tier();
+        assert_eq!(staged_policy(configured, true, false), Some(stage1));
+        assert_eq!(staged_policy(configured, false, true), Some(stage1));
+        // Compound pressure: the configured cap stacks on the fast tier.
+        let stage2 = staged_policy(configured, true, true).unwrap();
+        assert_eq!(stage2, DegradationPolicy::fast_tier().with_cap(5));
+        assert!(stage2.sheds_numerics());
+        assert_eq!(stage2.effective_iterations(50), 5);
+    }
+
+    #[test]
+    fn sustained_congestion_degrades_fidelity_then_recovers() {
+        use chambolle_core::{
+            chambolle_denoise_with_ctx, DegradationPolicy, ExecCtx, NumericsPolicy,
+        };
 
         let telemetry = Telemetry::null();
         // Capacity 8 -> high watermark 6, low watermark 2. One dispatcher
-        // thread, no coalescing, and a brownout cap of 5 iterations.
+        // thread, no coalescing, and a brownout cap of 5 iterations. The cap
+        // is the *second* shedding stage: queue congestion alone only sheds
+        // numerics, so these solves keep their full iteration budget.
         let config = ServiceConfig::new(1, 8)
             .with_max_batch(1)
             .with_degradation(DegradationPolicy::cap(5));
@@ -394,12 +419,24 @@ mod tests {
             !degraded.is_empty(),
             "sustained congestion must produce degraded-tier responses"
         );
+        // Stage 1 shedding: the fast numerics tier at the full 50-iteration
+        // budget — NOT the 5-iteration cap, which needs compound pressure.
+        let fast_ctx = ExecCtx::default().with_numerics(NumericsPolicy::Fast);
+        let (shed, _) =
+            chambolle_denoise_with_ctx(&input, &ChambolleParams::with_iterations(50), &fast_ctx)
+                .expect("no cancellation token installed");
         let capped = SequentialSolver::new().denoise(&input, &ChambolleParams::with_iterations(5));
         for c in &degraded {
+            let out = c.output.as_denoised().unwrap().as_slice();
             assert_eq!(
-                c.output.as_denoised().unwrap().as_slice(),
+                out,
+                shed.as_slice(),
+                "a degraded response is exactly the fast-tier full-budget solve"
+            );
+            assert_ne!(
+                out,
                 capped.as_slice(),
-                "a degraded response is exactly the capped-iteration solve"
+                "congestion alone must not truncate the iteration budget"
             );
         }
 

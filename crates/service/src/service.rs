@@ -901,16 +901,40 @@ fn evaluate_slo_burn(shared: &Shared) -> bool {
     burning
 }
 
+/// Picks the brownout stage for one batch from the two pressure signals.
+///
+/// Shedding is staged by severity, cheapest lever first:
+///
+/// - one signal (congestion episode *or* SLO burn) sheds **numerics**: the
+///   tolerance-validated Fast tier at the full iteration budget;
+/// - both signals at once additionally shed **convergence depth**: the
+///   configured policy's iteration cap stacks on top of the fast tier.
+///
+/// Iterations are only ever truncated under compound pressure — precision
+/// guarantees are cheaper to give up than convergence.
+pub(crate) fn staged_policy(
+    configured: DegradationPolicy,
+    congested: bool,
+    burning: bool,
+) -> Option<DegradationPolicy> {
+    match (congested, burning) {
+        (false, false) => None,
+        (true, true) => Some(configured.with_fast_tier()),
+        _ => Some(DegradationPolicy::fast_tier()),
+    }
+}
+
 /// Decides (at batch granularity) whether brownout degradation applies, and
 /// records the edge transitions. Fidelity is shed when the queue sits inside
 /// a congestion episode *or* the measured SLO burn rate says the service is
 /// spending error budget too fast — so brownout reacts to what clients
-/// experience, not only to queue depth. Returns the policy to cap solves
-/// with, or `None` for full fidelity.
+/// experience, not only to queue depth. Returns the [`staged_policy`] to
+/// degrade solves with, or `None` for full fidelity.
 fn brownout_policy(shared: &Shared) -> Option<DegradationPolicy> {
     let burning = evaluate_slo_burn(shared);
     let policy = shared.config.degradation?;
-    let active = shared.queue.is_congested() || burning;
+    let congested = shared.queue.is_congested();
+    let active = congested || burning;
     let was = shared.brownout.swap(active, Ordering::Relaxed);
     if active && !was {
         shared
@@ -921,7 +945,7 @@ fn brownout_policy(shared: &Shared) -> Option<DegradationPolicy> {
             .telemetry
             .counter_add(names::SERVICE_BROWNOUT_EXITED, 1);
     }
-    active.then_some(policy)
+    staged_policy(policy, congested, burning)
 }
 
 /// Solves one batch on the pool and responds to every member.
@@ -1035,9 +1059,10 @@ fn solve_one(
     }
     match &pending.workload {
         Workload::Denoise { input, params } => {
-            // The context's degradation policy caps the iteration count
-            // inside the guarded solve; the tier just records whether it bit.
-            let tier = if degradation.is_some_and(|d| d.caps(params.iterations)) {
+            // The context's degradation policy caps the iteration count and
+            // overrides the numerics tier inside the guarded solve; the tier
+            // just records whether either lever bit.
+            let tier = if degradation.is_some_and(|d| d.degrades(params.iterations)) {
                 ResponseTier::Degraded
             } else {
                 ResponseTier::Full
@@ -1050,10 +1075,11 @@ fn solve_one(
         }
         Workload::TvL1 { i0, i1, params } => {
             // The TV-L1 outer loop sizes its inner Chambolle solves from its
-            // own params, so brownout caps those directly.
+            // own params, so brownout caps those directly; the numerics-tier
+            // override rides in on the context itself.
             let mut params = *params;
             let tier = match degradation {
-                Some(d) if d.caps(params.inner.iterations) => {
+                Some(d) if d.degrades(params.inner.iterations) => {
                     params.inner.iterations = d.effective_iterations(params.inner.iterations);
                     ResponseTier::Degraded
                 }

@@ -231,12 +231,16 @@ pub mod names {
     pub const SERVICE_CHAOS_SERVER_PANICS: &str = "service.chaos.server_panics";
 
     /// Gauge: `f32` lanes per vector op of the selected kernel backend
-    /// (1 scalar, 4 SSE2, 8 AVX2).
+    /// (1 scalar, 4 SSE2, 8 AVX2, 16 AVX-512).
     pub const BACKEND_SIMD_LANES: &str = "backend.simd_lanes";
     /// Gauge: 1 if the host CPU supports the SSE2 backend, else 0.
     pub const BACKEND_SSE2_SUPPORTED: &str = "backend.sse2_supported";
     /// Gauge: 1 if the host CPU supports the AVX2 backend, else 0.
     pub const BACKEND_AVX2_SUPPORTED: &str = "backend.avx2_supported";
+    /// Gauge: 1 if the host CPU supports the AVX-512 backend, else 0.
+    pub const BACKEND_AVX512_SUPPORTED: &str = "backend.avx512_supported";
+    /// Gauge: 1 when the active numerics tier is Fast, 0 when Exact.
+    pub const BACKEND_NUMERICS_FAST: &str = "backend.numerics_fast";
 
     /// Counter: tuning profiles loaded and applied at startup.
     pub const TUNE_PROFILE_LOADED: &str = "tune.profile.loaded";

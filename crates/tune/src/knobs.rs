@@ -33,16 +33,21 @@ pub enum BackendChoice {
     Sse2,
     /// 256-bit AVX2 kernels.
     Avx2,
+    /// 512-bit AVX-512 kernels (Fast tier; Exact solves run the AVX2
+    /// bit-exact kernels when this backend is selected).
+    Avx512,
 }
 
 impl BackendChoice {
-    /// Stable identifier used in profiles (`auto`/`scalar`/`sse2`/`avx2`).
+    /// Stable identifier used in profiles
+    /// (`auto`/`scalar`/`sse2`/`avx2`/`avx512`).
     pub fn as_str(&self) -> &'static str {
         match self {
             BackendChoice::Auto => "auto",
             BackendChoice::Scalar => "scalar",
             BackendChoice::Sse2 => "sse2",
             BackendChoice::Avx2 => "avx2",
+            BackendChoice::Avx512 => "avx512",
         }
     }
 
@@ -53,6 +58,48 @@ impl BackendChoice {
             "scalar" => Some(BackendChoice::Scalar),
             "sse2" => Some(BackendChoice::Sse2),
             "avx2" => Some(BackendChoice::Avx2),
+            "avx512" => Some(BackendChoice::Avx512),
+            _ => None,
+        }
+    }
+}
+
+/// Which numerics tier solves built from a profile run at.
+///
+/// Mirrors `core::NumericsPolicy` as plain data, the way [`BackendChoice`]
+/// mirrors `core::KernelBackend`. `Auto` defers to the process-wide
+/// resolution (the `CHAMBOLLE_NUMERICS` override, else Exact). Unlike every
+/// other knob, a profile that pins `Fast` **changes bits** — within the
+/// declared energy/duality-gap tolerance — which is why the `tune` binary
+/// only persists it on explicit operator opt-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NumericsChoice {
+    /// Defer to the process-wide resolution (`CHAMBOLLE_NUMERICS`, else
+    /// the bit-exact tier).
+    #[default]
+    Auto,
+    /// The bit-exact reference tier.
+    Exact,
+    /// The tolerance-validated fast tier (FMA, reassociation, AVX-512).
+    Fast,
+}
+
+impl NumericsChoice {
+    /// Stable identifier used in profiles (`auto`/`exact`/`fast`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NumericsChoice::Auto => "auto",
+            NumericsChoice::Exact => "exact",
+            NumericsChoice::Fast => "fast",
+        }
+    }
+
+    /// Parses a stable identifier back into a choice.
+    pub fn parse(s: &str) -> Option<NumericsChoice> {
+        match s {
+            "auto" => Some(NumericsChoice::Auto),
+            "exact" => Some(NumericsChoice::Exact),
+            "fast" => Some(NumericsChoice::Fast),
             _ => None,
         }
     }
@@ -68,6 +115,7 @@ impl BackendChoice {
 /// | `threads` | two sliding windows / pool workers | `core`, `par` |
 /// | `band_rows_divisor` | the `4` in `height / (threads * 4)` | `imaging::grid` |
 /// | `backend` | runtime SIMD detection | `core::backend` |
+/// | `numerics` | the process-wide numerics tier (Exact) | `core::ctx` |
 /// | `batch_window` | micro-batch coalescing window of 8 requests | `service` |
 /// | `high_watermark_pct`/`low_watermark_pct` | admission watermarks at 75% / 25% | `service` |
 ///
@@ -93,6 +141,8 @@ pub struct Tunables {
     pub band_rows_divisor: usize,
     /// Kernel backend the fused row kernels run on.
     pub backend: BackendChoice,
+    /// Numerics tier the solves run at (`Auto` = process default).
+    pub numerics: NumericsChoice,
     /// Micro-batcher coalescing window: most requests coalesced into one
     /// pool dispatch.
     pub batch_window: usize,
@@ -113,6 +163,7 @@ impl Default for Tunables {
             threads: 2,
             band_rows_divisor: 4,
             backend: BackendChoice::Auto,
+            numerics: NumericsChoice::Auto,
             batch_window: 8,
             high_watermark_pct: 75,
             low_watermark_pct: 25,
@@ -193,6 +244,7 @@ impl Tunables {
                 (self.band_rows_divisor as u64).into(),
             ),
             ("backend".into(), self.backend.as_str().into()),
+            ("numerics".into(), self.numerics.as_str().into()),
             ("batch_window".into(), (self.batch_window as u64).into()),
             (
                 "high_watermark_pct".into(),
@@ -229,6 +281,12 @@ impl Tunables {
             .ok_or_else(|| "missing or non-string knob \"backend\"".to_string())?;
         let backend = BackendChoice::parse(backend_raw)
             .ok_or_else(|| format!("unknown backend {backend_raw:?}"))?;
+        let numerics_raw = value
+            .get("numerics")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "missing or non-string knob \"numerics\"".to_string())?;
+        let numerics = NumericsChoice::parse(numerics_raw)
+            .ok_or_else(|| format!("unknown numerics tier {numerics_raw:?}"))?;
         let tunables = Tunables {
             tile_width: num(value, "tile_width")? as usize,
             tile_height: num(value, "tile_height")? as usize,
@@ -238,6 +296,7 @@ impl Tunables {
             threads: num(value, "threads")? as usize,
             band_rows_divisor: num(value, "band_rows_divisor")? as usize,
             backend,
+            numerics,
             batch_window: num(value, "batch_window")? as usize,
             high_watermark_pct: u8::try_from(num(value, "high_watermark_pct")?)
                 .map_err(|_| "high_watermark_pct out of range".to_string())?,
@@ -261,6 +320,7 @@ mod tests {
         assert_eq!(t.halo_margin, 0);
         assert_eq!(t.threads, 2);
         assert_eq!(t.backend, BackendChoice::Auto);
+        assert_eq!(t.numerics, NumericsChoice::Auto);
         assert_eq!(t.batch_window, 8);
         // The band heuristic must be byte-identical to
         // `height.div_ceil(threads * 4).max(1)` for every shape.
@@ -355,6 +415,7 @@ mod tests {
             threads: 6,
             band_rows_divisor: 2,
             backend: BackendChoice::Sse2,
+            numerics: NumericsChoice::Fast,
             batch_window: 16,
             high_watermark_pct: 80,
             low_watermark_pct: 10,
@@ -401,9 +462,41 @@ mod tests {
             BackendChoice::Scalar,
             BackendChoice::Sse2,
             BackendChoice::Avx2,
+            BackendChoice::Avx512,
         ] {
             assert_eq!(BackendChoice::parse(c.as_str()), Some(c));
         }
-        assert_eq!(BackendChoice::parse("avx512"), None);
+        assert_eq!(BackendChoice::parse("avx1024"), None);
+    }
+
+    #[test]
+    fn numerics_choice_identifiers_round_trip() {
+        for c in [
+            NumericsChoice::Auto,
+            NumericsChoice::Exact,
+            NumericsChoice::Fast,
+        ] {
+            assert_eq!(NumericsChoice::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(NumericsChoice::parse("approximate"), None);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_or_unknown_numerics() {
+        let mut doc = Tunables::default().to_json();
+        if let JsonValue::Object(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "numerics");
+        }
+        assert!(Tunables::from_json(&doc).unwrap_err().contains("numerics"));
+
+        let mut doc = Tunables::default().to_json();
+        if let JsonValue::Object(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "numerics" {
+                    *v = "sloppy".into();
+                }
+            }
+        }
+        assert!(Tunables::from_json(&doc).unwrap_err().contains("sloppy"));
     }
 }

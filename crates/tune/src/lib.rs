@@ -15,7 +15,7 @@
 //!   of the survivors. Measurement is injected as closures, so the engine
 //!   has no opinion about workloads.
 //! - [`fingerprint`] / [`profile`] — the per-machine profile store: a
-//!   versioned `chambolle.tuning_profile.v1` JSON document keyed by host
+//!   versioned `chambolle.tuning_profile.v2` JSON document keyed by host
 //!   [`Fingerprint`], written by the `tune` bin and loaded at startup with
 //!   total, non-panicking fallback to defaults.
 //!
@@ -39,7 +39,7 @@ pub mod profile;
 pub mod search;
 
 pub use fingerprint::{Fingerprint, ASSUMED_CACHE_LINE};
-pub use knobs::{BackendChoice, Tunables};
+pub use knobs::{BackendChoice, NumericsChoice, Tunables};
 pub use profile::{
     env_profile_path, fallback_count, load_with_fallback, Profile, ProfileError,
     DEFAULT_PROFILE_PATH, PROFILE_ENV, PROFILE_SCHEMA,

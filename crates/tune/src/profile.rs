@@ -1,11 +1,11 @@
 //! The versioned, fingerprinted tuning-profile store.
 //!
 //! A profile is a hand-rolled-JSON document with the stable schema
-//! [`PROFILE_SCHEMA`] (`chambolle.tuning_profile.v1`):
+//! [`PROFILE_SCHEMA`] (`chambolle.tuning_profile.v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "chambolle.tuning_profile.v1",
+//!   "schema": "chambolle.tuning_profile.v2",
 //!   "fingerprint": { "arch": "x86_64", "cores": 8, "sse2": true,
 //!                    "avx2": true, "cache_line": 64 },
 //!   "tunables": { "tile_width": 92, ... },
@@ -31,7 +31,12 @@ use crate::fingerprint::Fingerprint;
 use crate::knobs::Tunables;
 
 /// Schema identifier of every profile this version reads and writes.
-pub const PROFILE_SCHEMA: &str = "chambolle.tuning_profile.v1";
+///
+/// v2 added the `numerics` knob (the `Exact | Fast` tier). Loading is
+/// strict about the version: a v1 (or any unknown-schema) document takes
+/// the total non-panicking fallback to defaults below, exactly like any
+/// other unreadable profile — old profiles can never be half-applied.
+pub const PROFILE_SCHEMA: &str = "chambolle.tuning_profile.v2";
 
 /// Environment variable naming the profile to load at startup.
 pub const PROFILE_ENV: &str = "CHAMBOLLE_PROFILE";
@@ -295,14 +300,26 @@ mod tests {
         let (t, err) = load_with_fallback(path.to_str(), &Telemetry::disabled());
         assert_eq!(t, Tunables::default());
         assert!(matches!(err, Some(ProfileError::Parse(_))));
-        // Wrong schema version.
+        // Wrong schema version (a future one).
         let bumped = Profile::new(Fingerprint::detect(), Tunables::default())
             .to_json()
             .to_string()
-            .replace("tuning_profile.v1", "tuning_profile.v2");
+            .replace("tuning_profile.v2", "tuning_profile.v3");
         std::fs::write(&path, bumped).unwrap();
         let (_, err) = load_with_fallback(path.to_str(), &Telemetry::disabled());
         assert!(matches!(err, Some(ProfileError::Schema { found: Some(_) })));
+        // An old v1 profile (pre-`numerics` schema): total fallback, no
+        // panic, no half-applied knobs.
+        let v1 = Profile::new(Fingerprint::detect(), Tunables::default())
+            .to_json()
+            .to_string()
+            .replace("tuning_profile.v2", "tuning_profile.v1");
+        std::fs::write(&path, v1).unwrap();
+        let (t, err) = load_with_fallback(path.to_str(), &Telemetry::disabled());
+        assert_eq!(t, Tunables::default());
+        assert!(
+            matches!(err, Some(ProfileError::Schema { found: Some(ref s) }) if s.ends_with("v1"))
+        );
         // Wrong machine.
         let mut fp = Fingerprint::detect();
         fp.cores += 1;

@@ -26,7 +26,7 @@
 
 use chambolle_telemetry::{names, Telemetry};
 
-use crate::knobs::{BackendChoice, Tunables};
+use crate::knobs::{BackendChoice, NumericsChoice, Tunables};
 
 /// Candidate values per knob dimension. Empty dimensions are skipped, so
 /// one space type serves solver-only, service-only and combined searches.
@@ -46,6 +46,9 @@ pub struct SearchSpace {
     pub band_rows_divisors: Vec<usize>,
     /// Candidate kernel backends.
     pub backends: Vec<BackendChoice>,
+    /// Candidate numerics tiers (the search measures Fast-tier schedules;
+    /// see the `tune` binary for how a Fast winner is persisted).
+    pub numerics: Vec<NumericsChoice>,
     /// Candidate micro-batch coalescing windows.
     pub batch_windows: Vec<usize>,
     /// Candidate admission watermark pairs `(high_pct, low_pct)`.
@@ -68,6 +71,7 @@ impl SearchSpace {
             threads: thread_grid(max_threads, 3),
             band_rows_divisors: vec![1, 4],
             backends: vec![BackendChoice::Auto, BackendChoice::Scalar],
+            numerics: vec![NumericsChoice::Auto, NumericsChoice::Fast],
             batch_windows: vec![],
             watermarks: vec![],
         }
@@ -87,6 +91,12 @@ impl SearchSpace {
                 BackendChoice::Scalar,
                 BackendChoice::Sse2,
                 BackendChoice::Avx2,
+                BackendChoice::Avx512,
+            ],
+            numerics: vec![
+                NumericsChoice::Auto,
+                NumericsChoice::Exact,
+                NumericsChoice::Fast,
             ],
             batch_windows: vec![],
             watermarks: vec![],
@@ -150,6 +160,7 @@ impl SearchSpace {
                 t.band_rows_divisor = v;
             }),
             dim("backend", &self.backends, |t, v| t.backend = v),
+            dim("numerics", &self.numerics, |t, v| t.numerics = v),
             dim("batch_window", &self.batch_windows, |t, v| {
                 t.batch_window = v;
             }),
@@ -389,7 +400,8 @@ mod tests {
     fn synthetic_cost(t: &Tunables) -> Option<f64> {
         t.validate().ok()?;
         let backend_cost = match t.backend {
-            BackendChoice::Avx2 => 0.0,
+            BackendChoice::Avx512 => 0.0,
+            BackendChoice::Avx2 => 1.0,
             BackendChoice::Sse2 => 4.0,
             BackendChoice::Auto => 6.0,
             BackendChoice::Scalar => 10.0,

@@ -12,7 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use chambolle_telemetry::{names, Telemetry};
 use chambolle_tune::{
-    fallback_count, load_with_fallback, BackendChoice, Fingerprint, Profile, ProfileError, Tunables,
+    fallback_count, load_with_fallback, BackendChoice, Fingerprint, NumericsChoice, Profile,
+    ProfileError, Tunables,
 };
 use proptest::prelude::*;
 
@@ -43,11 +44,17 @@ fn tunables_from(
     low_pct: u8,
     high_pct: u8,
 ) -> Option<Tunables> {
-    let backend = match backend % 4 {
+    let numerics = match backend / 5 % 3 {
+        0 => NumericsChoice::Auto,
+        1 => NumericsChoice::Exact,
+        _ => NumericsChoice::Fast,
+    };
+    let backend = match backend % 5 {
         0 => BackendChoice::Auto,
         1 => BackendChoice::Scalar,
         2 => BackendChoice::Sse2,
-        _ => BackendChoice::Avx2,
+        3 => BackendChoice::Avx2,
+        _ => BackendChoice::Avx512,
     };
     let t = Tunables {
         tile_width,
@@ -57,6 +64,7 @@ fn tunables_from(
         threads,
         band_rows_divisor,
         backend,
+        numerics,
         batch_window,
         high_watermark_pct: high_pct,
         low_watermark_pct: low_pct,
@@ -156,7 +164,7 @@ fn version_bumped_schema_falls_back() {
     let bumped = Profile::new(Fingerprint::detect(), Tunables::default())
         .to_json()
         .to_string_pretty()
-        .replace("tuning_profile.v1", "tuning_profile.v2");
+        .replace("tuning_profile.v2", "tuning_profile.v3");
     let path = tmp("schema_bump");
     std::fs::write(&path, bumped).unwrap();
     let telemetry = Telemetry::null();
@@ -164,11 +172,62 @@ fn version_bumped_schema_falls_back() {
     std::fs::remove_file(&path).ok();
 
     assert_eq!(tunables, Tunables::default());
-    assert!(matches!(err, Some(ProfileError::Schema { found: Some(s) }) if s.ends_with("v2")));
+    assert!(matches!(err, Some(ProfileError::Schema { found: Some(s) }) if s.ends_with("v3")));
     assert_eq!(
         telemetry.snapshot().counter(names::TUNE_PROFILE_FALLBACK),
         Some(1)
     );
+}
+
+#[test]
+fn v1_profile_without_numerics_knob_falls_back_totally() {
+    // A faithful pre-PR-10 document: v1 schema string and no `numerics`
+    // knob. The loader must take the total fallback (defaults, fallback
+    // counter bumped) rather than guess at the missing tier.
+    let mut text = Profile::new(Fingerprint::detect(), Tunables::default())
+        .to_json()
+        .to_string_pretty()
+        .replace("tuning_profile.v2", "tuning_profile.v1");
+    let numerics_line = text
+        .lines()
+        .find(|l| l.contains("\"numerics\""))
+        .expect("v2 documents carry the numerics knob")
+        .to_string();
+    text = text.replace(&format!("{numerics_line}\n"), "");
+    let path = tmp("v1_legacy");
+    std::fs::write(&path, &text).unwrap();
+    let telemetry = Telemetry::null();
+    let (tunables, err) = load_with_fallback(path.to_str(), &telemetry);
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(tunables, Tunables::default());
+    assert!(matches!(err, Some(ProfileError::Schema { found: Some(s) }) if s.ends_with("v1")));
+    assert_eq!(
+        telemetry.snapshot().counter(names::TUNE_PROFILE_FALLBACK),
+        Some(1)
+    );
+}
+
+#[test]
+fn v2_profile_missing_numerics_knob_falls_back() {
+    // Claims the current schema but lost the numerics knob: strict knob
+    // parsing refuses it and the loader falls back whole.
+    let text = Profile::new(Fingerprint::detect(), Tunables::default())
+        .to_json()
+        .to_string_pretty();
+    let numerics_line = text
+        .lines()
+        .find(|l| l.contains("\"numerics\""))
+        .expect("v2 documents carry the numerics knob")
+        .to_string();
+    let text = text.replace(&format!("{numerics_line}\n"), "");
+    let path = tmp("v2_missing_numerics");
+    std::fs::write(&path, &text).unwrap();
+    let (tunables, err) = load_with_fallback(path.to_str(), &Telemetry::disabled());
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(tunables, Tunables::default());
+    assert!(matches!(err, Some(ProfileError::Invalid(msg)) if msg.contains("numerics")));
 }
 
 #[test]

@@ -11,7 +11,7 @@
 //!                    its windows on N workers (fpga/--gap-tol ignore it)
 //!   --gap-tol G      stop early once the duality gap < G (seq backend only)
 //!   --telemetry P    write a JSON run report (metrics + run summary) to P
-//!   --profile P      load a tuning profile (chambolle.tuning_profile.v1,
+//!   --profile P      load a tuning profile (chambolle.tuning_profile.v2,
 //!                    written by the `tune` bin); takes precedence over the
 //!                    CHAMBOLLE_PROFILE environment variable. A missing or
 //!                    invalid profile falls back to defaults with a warning.
@@ -210,7 +210,7 @@ fn main() -> ExitCode {
             }
             eprintln!("usage: chambolle_denoise IN.pgm OUT.pgm [--iterations N] [--theta T] [--backend seq|tiled|fpga] [--threads N] [--gap-tol G] [--telemetry REPORT.json] [--profile PROFILE.json]");
             eprintln!("  --threads N sizes the shared worker pool explicitly: seq upgrades to the bit-identical row-parallel solver, tiled runs its windows on N workers (fpga and --gap-tol ignore it)");
-            eprintln!("  --profile P loads a chambolle.tuning_profile.v1 written by the tune bin (takes precedence over CHAMBOLLE_PROFILE; invalid profiles fall back to defaults with a warning)");
+            eprintln!("  --profile P loads a chambolle.tuning_profile.v2 written by the tune bin (takes precedence over CHAMBOLLE_PROFILE; invalid profiles fall back to defaults with a warning)");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {

@@ -16,7 +16,7 @@
 //!   --method M          tvl1 | hs | bm (estimator)           [tvl1]
 //!   --median            3x3 median filter between warps
 //!   --telemetry P       write a JSON run report (metrics + run summary) to P
-//!   --profile P         load a tuning profile (chambolle.tuning_profile.v1,
+//!   --profile P         load a tuning profile (chambolle.tuning_profile.v2,
 //!                       written by the `tune` bin); takes precedence over
 //!                       CHAMBOLLE_PROFILE. A missing or invalid profile
 //!                       falls back to defaults with a warning.
@@ -297,7 +297,7 @@ fn main() -> ExitCode {
             }
             eprintln!("usage: chambolle_flow I0.pgm I1.pgm [--out F.flo] [--vis F.ppm] [--iterations N] [--lambda L] [--warps N] [--levels N] [--backend seq|tiled|fpga] [--threads N] [--method tvl1|hs|bm] [--median] [--telemetry REPORT.json] [--profile PROFILE.json]");
             eprintln!("  --threads N sizes the shared worker pool explicitly; the TV-L1 outer loop and the seq/tiled inner solvers run on it, bit-identical to the 1-thread result (hs/bm and fpga ignore it)");
-            eprintln!("  --profile P loads a chambolle.tuning_profile.v1 written by the tune bin (takes precedence over CHAMBOLLE_PROFILE; invalid profiles fall back to defaults with a warning)");
+            eprintln!("  --profile P loads a chambolle.tuning_profile.v2 written by the tune bin (takes precedence over CHAMBOLLE_PROFILE; invalid profiles fall back to defaults with a warning)");
             return if msg == "help" {
                 ExitCode::SUCCESS
             } else {

@@ -7,7 +7,10 @@
 //!   flow metrics and I/O;
 //! - [`fixed`] — the accelerator's Q-format datapath and LUT square root;
 //! - [`core`] — the Chambolle solver (sequential and the paper's tiled
-//!   parallel scheme), TV-L1, baselines and diagnostics;
+//!   parallel scheme), TV-L1, baselines, diagnostics, and the tiered
+//!   numerics policy (`Exact` bit-reproducible kernels vs the `Fast`
+//!   FMA/temporally-fused tier, selected per call through
+//!   [`core::ExecCtx`] or `CHAMBOLLE_NUMERICS=fast`);
 //! - [`hwsim`] — the bit- and cycle-faithful simulator of the FPGA
 //!   architecture with its timing and area models;
 //! - [`par`] — the persistent worker pool behind every parallel code path:
@@ -23,10 +26,11 @@
 //! - [`tune`] — the auto-tuning subsystem: the [`tune::Tunables`] knob
 //!   registry behind every schedule constant in the stack, the
 //!   coordinate-descent search engine of the `tune` binary, and the
-//!   fingerprinted per-machine `chambolle.tuning_profile.v1` store loaded
+//!   fingerprinted per-machine `chambolle.tuning_profile.v2` store loaded
 //!   at startup (`CHAMBOLLE_PROFILE`) with non-panicking fallback. Every
-//!   tunable schedule is bit-identical to the defaults — tuning changes
-//!   time, never pixels.
+//!   tunable schedule under the `Exact` numerics tier is bit-identical to
+//!   the defaults — scheduling changes time, never pixels; only an explicit
+//!   opt-in to the `Fast` tier trades bit-reproducibility for speed.
 //!
 //! On top of the re-exports, the facade adds the [`enum@Error`] umbrella —
 //! one enum with a `From` impl per crate-local error type, so application

@@ -10,8 +10,8 @@ pub use crate::error::{Error, Result};
 pub use chambolle_core::{
     chambolle_denoise, chambolle_denoise_with_ctx, chambolle_iterate, chambolle_iterate_with_ctx,
     CancelToken, ChambolleParams, DegradationPolicy, ExecCtx, GuardedDenoiser, KernelBackend,
-    ParallelSolver, RecoveryPolicy, SequentialSolver, TileConfig, TiledSolver, TvDenoiser,
-    TvL1Params, TvL1Solver,
+    NumericsPolicy, ParallelSolver, RecoveryPolicy, SequentialSolver, TileConfig, TiledSolver,
+    TvDenoiser, TvL1Params, TvL1Solver,
 };
 pub use chambolle_imaging::{
     read_pgm, write_pgm, FlowField, Grid, Image, Pyramid, WarpLinearization,

@@ -12,11 +12,18 @@ use std::sync::Arc;
 
 use chambolle::core::{
     chambolle_denoise_with_ctx, chambolle_iterate_tiled_with_ctx, chambolle_iterate_with_ctx,
-    ChambolleParams, DualField, ExecCtx, KernelBackend, TileConfig,
+    ChambolleParams, DualField, ExecCtx, KernelBackend, NumericsPolicy, TileConfig,
 };
 use chambolle::imaging::Grid;
 use chambolle::par::ThreadPool;
 use proptest::prelude::*;
+
+/// Byte equality across backends is the **Exact-tier** contract, so pin the
+/// tier: the suite also runs under `CHAMBOLLE_NUMERICS=fast`, which must not
+/// turn these assertions into cross-backend Fast comparisons.
+fn exact_ctx() -> ExecCtx {
+    ExecCtx::default().with_numerics(NumericsPolicy::Exact)
+}
 
 /// Every backend the host CPU can execute (scalar always included).
 fn supported_backends() -> Vec<KernelBackend> {
@@ -52,7 +59,7 @@ fn solver_dual_fields_byte_equal_across_backends_widths_and_threads() {
         let params = ChambolleParams::with_iterations(11);
 
         let mut p_ref = DualField::zeros(w, h);
-        let scalar = ExecCtx::default().with_backend(KernelBackend::Scalar);
+        let scalar = exact_ctx().with_backend(KernelBackend::Scalar);
         chambolle_iterate_with_ctx(&mut p_ref, &v, &params, 11, &scalar)
             .expect("no cancellation token");
         let (u_ref, _) = chambolle_denoise_with_ctx(&v, &params, &scalar).expect("no token");
@@ -60,7 +67,7 @@ fn solver_dual_fields_byte_equal_across_backends_widths_and_threads() {
         for backend in supported_backends() {
             for threads in [1usize, 4] {
                 let pool = Arc::new(ThreadPool::new(threads));
-                let ctx = ExecCtx::default()
+                let ctx = exact_ctx()
                     .with_backend(backend)
                     .with_pool(Arc::clone(&pool));
                 let mut p = DualField::zeros(w, h);
@@ -94,14 +101,14 @@ fn tiled_solver_byte_equal_across_backends_and_threads() {
     let params = ChambolleParams::paper(8);
 
     let mut p_ref = DualField::zeros(w, h);
-    let scalar = ExecCtx::default().with_backend(KernelBackend::Scalar);
+    let scalar = exact_ctx().with_backend(KernelBackend::Scalar);
     chambolle_iterate_with_ctx(&mut p_ref, &v, &params, 8, &scalar).expect("no token");
 
     for backend in supported_backends() {
         for threads in [1usize, 4] {
             let cfg = TileConfig::new(24, 24, 2, threads).expect("valid config");
             let pool = Arc::new(ThreadPool::new(threads));
-            let ctx = ExecCtx::default()
+            let ctx = exact_ctx()
                 .with_backend(backend)
                 .with_pool(Arc::clone(&pool));
             let mut p = DualField::zeros(w, h);

@@ -1,0 +1,93 @@
+//! Cross-crate contracts of the planar fixed-point solver
+//! (`chambolle_fixed::solver`):
+//!
+//! 1. **Bit-identity with the hardware model.** The SoA solver and the
+//!    hwsim full-frame reference execute the same Q24.8 datapath; every
+//!    word of `u`, `px` and `py` must agree exactly, SIMD or not.
+//! 2. **Quantization error bound.** Against the `f32` solver of
+//!    `chambolle-core`, the 13/9-bit packed format plus the LUT square
+//!    root stays within the error budget the hwsim model established.
+
+use chambolle::core::chambolle_denoise;
+use chambolle::fixed::{fixed_denoise, FixedFrame, FixedSolverParams, SqrtUnit};
+use chambolle::hwsim::{fixed_chambolle_reference, quantize_input, HwParams};
+use chambolle::imaging::{Grid, NoiseTexture, Scene};
+
+fn frame_of(v: &Grid<f32>) -> FixedFrame {
+    FixedFrame::quantize(v.as_slice(), v.width(), v.height())
+}
+
+#[test]
+fn planar_solver_is_bit_identical_to_hwsim_reference() {
+    for (w, h, iters, seed) in [(16, 16, 8, 1u64), (33, 17, 12, 2), (8, 25, 30, 3)] {
+        let v = NoiseTexture::new(seed).render(w, h);
+        let reference = fixed_chambolle_reference(&quantize_input(&v), &HwParams::standard(iters));
+
+        let mut frame = frame_of(&v);
+        let u = fixed_denoise(
+            &mut frame,
+            &FixedSolverParams::standard(),
+            iters,
+            &SqrtUnit::lut(),
+        );
+
+        assert_eq!(u.as_slice(), reference.u.as_slice(), "{w}x{h}: u");
+        for (i, word) in reference.words.as_slice().iter().enumerate() {
+            assert_eq!(frame.px()[i], word.px(), "{w}x{h}: px[{i}]");
+            assert_eq!(frame.py()[i], word.py(), "{w}x{h}: py[{i}]");
+        }
+    }
+}
+
+#[test]
+fn planar_solver_matches_float_solver_within_quantization() {
+    let v = NoiseTexture::new(7).render(32, 28);
+    let iters = 40;
+
+    let mut frame = frame_of(&v);
+    let u_fixed = fixed_denoise(
+        &mut frame,
+        &FixedSolverParams::standard(),
+        iters,
+        &SqrtUnit::lut(),
+    );
+
+    let params = HwParams::standard(iters).to_chambolle_params();
+    let (u_float, _) = chambolle_denoise(&v, &params);
+
+    let max_err = u_fixed
+        .iter()
+        .zip(u_float.as_slice())
+        .map(|(f, &r)| (f.to_f32() - r).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_err < 0.05,
+        "fixed-vs-float max error {max_err} exceeds the quantization budget"
+    );
+}
+
+#[test]
+fn exact_sqrt_unit_tightens_the_error_bound() {
+    // Design-choice ablation: swapping the LUT for the exact non-restoring
+    // unit must not loosen the float error — the LUT is the only sqrt
+    // approximation in the datapath.
+    let v = NoiseTexture::new(11).render(24, 24);
+    let iters = 30;
+    let params = HwParams::standard(iters).to_chambolle_params();
+    let (u_float, _) = chambolle_denoise(&v, &params);
+
+    let err_with = |unit: &SqrtUnit| {
+        let mut frame = frame_of(&v);
+        let u = fixed_denoise(&mut frame, &FixedSolverParams::standard(), iters, unit);
+        u.iter()
+            .zip(u_float.as_slice())
+            .map(|(f, &r)| (f.to_f32() - r).abs())
+            .fold(0.0f32, f32::max)
+    };
+    let lut = err_with(&SqrtUnit::lut());
+    let exact = err_with(&SqrtUnit::non_restoring());
+    assert!(
+        exact <= lut + 1.0 / 256.0,
+        "exact sqrt {exact} vs LUT {lut}"
+    );
+}

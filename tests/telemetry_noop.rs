@@ -5,8 +5,8 @@
 //! hook leaked into the datapath.
 
 use chambolle::core::{
-    chambolle_denoise, chambolle_denoise_monitored, chambolle_denoise_monitored_with_telemetry,
-    chambolle_iterate_tiled, chambolle_iterate_tiled_with_telemetry, ChambolleParams, DualField,
+    chambolle_denoise, chambolle_denoise_monitored, chambolle_denoise_monitored_with_ctx,
+    chambolle_iterate_tiled, chambolle_iterate_tiled_with_ctx, ChambolleParams, DualField, ExecCtx,
     TileConfig, TiledSolver, TvDenoiser,
 };
 use chambolle::imaging::{NoiseTexture, Scene};
@@ -19,10 +19,13 @@ fn disabled_telemetry_solver_output_is_bit_identical() {
 
     let (u_plain, p_plain) = chambolle_denoise(&v, &params);
     let report_plain = chambolle_denoise_monitored(&v, &params, 10, 0.0);
-    let report_disabled =
-        chambolle_denoise_monitored_with_telemetry(&v, &params, 10, 0.0, &Telemetry::disabled());
-    let report_null =
-        chambolle_denoise_monitored_with_telemetry(&v, &params, 10, 0.0, &Telemetry::null());
+    let monitored = |telemetry: Telemetry| {
+        let ctx = ExecCtx::default().with_telemetry(telemetry);
+        chambolle_denoise_monitored_with_ctx(&v, &params, 10, 0.0, &ctx)
+            .expect("no cancellation token installed")
+    };
+    let report_disabled = monitored(Telemetry::disabled());
+    let report_null = monitored(Telemetry::null());
 
     for (label, report) in [("disabled", &report_disabled), ("null", &report_null)] {
         assert_eq!(
@@ -55,7 +58,9 @@ fn disabled_telemetry_tiled_solver_is_bit_identical() {
         ("null", Telemetry::null()),
     ] {
         let mut p_inst = DualField::zeros(150, 110);
-        chambolle_iterate_tiled_with_telemetry(&mut p_inst, &v, &params, 7, &cfg, &telemetry);
+        let ctx = ExecCtx::default().with_telemetry(telemetry);
+        chambolle_iterate_tiled_with_ctx(&mut p_inst, &v, &params, 7, &cfg, &ctx)
+            .expect("no cancellation token installed");
         assert_eq!(p_plain.px.as_slice(), p_inst.px.as_slice(), "{label}: px");
         assert_eq!(p_plain.py.as_slice(), p_inst.py.as_slice(), "{label}: py");
     }
@@ -74,7 +79,9 @@ fn enabled_telemetry_observes_without_perturbing() {
     let v = NoiseTexture::new(43).render(96, 80);
     let params = ChambolleParams::paper(20);
     let telemetry = Telemetry::null();
-    let report = chambolle_denoise_monitored_with_telemetry(&v, &params, 5, 0.0, &telemetry);
+    let ctx = ExecCtx::default().with_telemetry(telemetry.clone());
+    let report = chambolle_denoise_monitored_with_ctx(&v, &params, 5, 0.0, &ctx)
+        .expect("no cancellation token installed");
     let baseline = chambolle_denoise_monitored(&v, &params, 5, 0.0);
     assert_eq!(report.u.as_slice(), baseline.u.as_slice());
 

@@ -6,23 +6,33 @@
 use std::sync::Arc;
 
 use chambolle::core::{
-    chambolle_iterate, chambolle_iterate_tiled, chambolle_iterate_tiled_spawn_baseline, rof_energy,
-    ChambolleParams, DualField, ParallelSolver, SequentialSolver, TileConfig, TilePlan,
-    TiledSolver, TvDenoiser,
+    chambolle_iterate_tiled_spawn_baseline, chambolle_iterate_tiled_with_ctx,
+    chambolle_iterate_with_ctx, recover_u, rof_energy, ChambolleParams, DualField, ExecCtx,
+    NumericsPolicy, ParallelSolver, SequentialSolver, TileConfig, TilePlan, TiledSolver,
+    TvDenoiser,
 };
 use chambolle::imaging::{NoiseTexture, Scene};
 use chambolle::par::ThreadPool;
+
+/// Tiled-vs-sequential bit equality is the **Exact-tier** contract: the Fast
+/// tier is deterministic per tile shape but not bit-comparable across window
+/// widths. The suite also runs under `CHAMBOLLE_NUMERICS=fast`, so the
+/// exactness tests pin the tier explicitly.
+fn exact_ctx() -> ExecCtx {
+    ExecCtx::default().with_numerics(NumericsPolicy::Exact)
+}
 
 #[test]
 fn paper_geometry_exact_on_vga_like_frame() {
     let v = NoiseTexture::new(31).render(320, 200);
     let params = ChambolleParams::paper(9);
     let mut p_seq = DualField::zeros(320, 200);
-    chambolle_iterate(&mut p_seq, &v, &params, 9);
+    chambolle_iterate_with_ctx(&mut p_seq, &v, &params, 9, &exact_ctx()).expect("no token");
     for k in [1u32, 2, 3] {
         let cfg = TileConfig::paper_hardware(k).expect("valid config");
         let mut p_tiled = DualField::zeros(320, 200);
-        chambolle_iterate_tiled(&mut p_tiled, &v, &params, 9, &cfg);
+        chambolle_iterate_tiled_with_ctx(&mut p_tiled, &v, &params, 9, &cfg, &exact_ctx())
+            .expect("no token");
         assert_eq!(p_seq.px.as_slice(), p_tiled.px.as_slice(), "K={k}");
         assert_eq!(p_seq.py.as_slice(), p_tiled.py.as_slice(), "K={k}");
     }
@@ -57,14 +67,17 @@ fn pooled_tiling_matches_sequential_across_threads_and_merge_factors() {
     let v = NoiseTexture::new(45).render(130, 100);
     let params = ChambolleParams::paper(8);
     let mut p_seq = DualField::zeros(130, 100);
-    chambolle_iterate(&mut p_seq, &v, &params, 8);
+    chambolle_iterate_with_ctx(&mut p_seq, &v, &params, 8, &exact_ctx()).expect("no token");
+    let u_seq = recover_u(&v, &p_seq, params.theta);
     for threads in [1usize, 2, 3, 8] {
         let pool = Arc::new(ThreadPool::new(threads));
         for k in [1u32, 2, 4] {
             let cfg = TileConfig::new(48, 40, k, threads).expect("cfg");
-            let solver = TiledSolver::new(cfg).with_pool(Arc::clone(&pool));
-            let u = solver.denoise(&v, &params);
-            let u_seq = SequentialSolver::new().denoise(&v, &params);
+            let ctx = exact_ctx().with_pool(Arc::clone(&pool));
+            let mut p_tiled = DualField::zeros(130, 100);
+            chambolle_iterate_tiled_with_ctx(&mut p_tiled, &v, &params, 8, &cfg, &ctx)
+                .expect("no token");
+            let u = recover_u(&v, &p_tiled, params.theta);
             assert_eq!(u_seq.as_slice(), u.as_slice(), "threads={threads}, K={k}");
 
             let mut p_base = DualField::zeros(130, 100);
@@ -96,8 +109,20 @@ fn redundancy_matches_plan_arithmetic() {
 fn denoising_quality_unaffected_by_tiling() {
     let v = NoiseTexture::new(33).render(120, 90);
     let params = ChambolleParams::with_iterations(60);
-    let u_seq = SequentialSolver::new().denoise(&v, &params);
-    let u_tiled = TiledSolver::new(TileConfig::default()).denoise(&v, &params);
+    let mut p_seq = DualField::zeros(120, 90);
+    chambolle_iterate_with_ctx(&mut p_seq, &v, &params, 60, &exact_ctx()).expect("no token");
+    let u_seq = recover_u(&v, &p_seq, params.theta);
+    let mut p_tiled = DualField::zeros(120, 90);
+    chambolle_iterate_tiled_with_ctx(
+        &mut p_tiled,
+        &v,
+        &params,
+        60,
+        &TileConfig::default(),
+        &exact_ctx(),
+    )
+    .expect("no token");
+    let u_tiled = recover_u(&v, &p_tiled, params.theta);
     let e_seq = rof_energy(&u_seq, &v, params.theta);
     let e_tiled = rof_energy(&u_tiled, &v, params.theta);
     assert_eq!(e_seq, e_tiled, "identical results imply identical energy");
